@@ -1,0 +1,105 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out: producer
+// batching (§V.D "publish to the local Kafka brokers in batches"), the
+// bitcask fsync policy (durability-vs-throughput), and relay transaction
+// batching.
+package datainfra
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"datainfra/internal/kafka"
+	"datainfra/internal/storage"
+	"datainfra/internal/vclock"
+	"datainfra/internal/versioned"
+	"datainfra/internal/workload"
+)
+
+// BenchmarkAblationProducerBatching shows why producers batch: per-message
+// broker round trips versus amortized message-set appends.
+func BenchmarkAblationProducerBatching(b *testing.B) {
+	for _, batch := range []int{1, 20, 200} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			br, err := kafka.NewBroker(0, b.TempDir(), kafka.BrokerConfig{
+				PartitionsPerTopic: 1,
+				Log:                kafka.LogConfig{FlushMessages: 1000},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer br.Close()
+			p := kafka.NewProducer(br, kafka.ProducerConfig{BatchSize: batch, Linger: time.Second})
+			defer p.Close()
+			payload := workload.Value(1, 200)
+			b.SetBytes(200)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := p.SendTo("t", 0, payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			p.Flush()
+		})
+	}
+}
+
+// BenchmarkAblationFsyncPolicy quantifies the bitcask durability knob:
+// fsync on every write versus batched syncs (the BDB-style trade-off the
+// read-write stores live with).
+func BenchmarkAblationFsyncPolicy(b *testing.B) {
+	for _, every := range []int{0, 100, 1000} { // 0 = sync every write
+		name := "every-write"
+		if every > 0 {
+			name = fmt.Sprintf("every-%d", every)
+		}
+		b.Run(name, func(b *testing.B) {
+			eng, err := storage.OpenBitcask("f", b.TempDir(), every)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer eng.Close()
+			val := workload.Value(1, 512)
+			b.SetBytes(512)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c := vclock.New().Increment(0, int64(i))
+				if err := eng.Put(workload.Key("k", i), versioned.With(val, c)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationCompaction measures bitcask compaction cost against the
+// garbage it reclaims (the log-structured design's maintenance bill).
+func BenchmarkAblationCompaction(b *testing.B) {
+	for iter := 0; iter < b.N; iter++ {
+		b.StopTimer()
+		eng, err := storage.OpenBitcask("c", b.TempDir(), 1000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		val := workload.Value(1, 512)
+		clock := vclock.New()
+		// 20k writes over 1k keys: 95% garbage
+		for i := 0; i < 20000; i++ {
+			clock = clock.Incremented(0, int64(i))
+			if err := eng.Put(workload.Key("k", i%1000), versioned.With(val, clock)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		before := eng.Size()
+		b.StartTimer()
+		if err := eng.Compact(); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		after := eng.Size()
+		b.ReportMetric(float64(before-after)/float64(before)*100, "%-reclaimed")
+		eng.Close()
+		b.StartTimer()
+	}
+}

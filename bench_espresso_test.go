@@ -1,0 +1,284 @@
+// Espresso experiments E13, E16, E17 (see DESIGN.md §3 and EXPERIMENTS.md).
+package datainfra
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"datainfra/internal/cluster"
+	"datainfra/internal/databus"
+	"datainfra/internal/espresso"
+	"datainfra/internal/ring"
+	"datainfra/internal/roexport"
+	"datainfra/internal/schema"
+	"datainfra/internal/storage"
+	"datainfra/internal/workload"
+)
+
+func benchMusicDB(b *testing.B, partitions, replicas int) *espresso.Database {
+	b.Helper()
+	db, err := espresso.NewDatabase(
+		espresso.DatabaseSchema{Name: "Music", NumPartitions: partitions, Replicas: replicas},
+		[]*espresso.TableSchema{
+			{Name: "Artist", KeyParts: []string{"artist"}},
+			{Name: "Song", KeyParts: []string{"artist", "album", "song"}},
+		})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := db.SetDocumentSchema("Artist", schema.MustParse(`{
+		"name":"Artist","fields":[{"name":"name","type":"string"},{"name":"genre","type":"string","index":"exact"}]}`)); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := db.SetDocumentSchema("Song", schema.MustParse(`{
+		"name":"Song","fields":[
+			{"name":"title","type":"string"},
+			{"name":"lyrics","type":"string","index":"text"},
+			{"name":"durationSec","type":"long"}]}`)); err != nil {
+		b.Fatal(err)
+	}
+	return db
+}
+
+func soloEspresso(b *testing.B, db *espresso.Database) *espresso.Node {
+	b.Helper()
+	n := espresso.NewNode("solo", db, databus.NewLogSource())
+	for p := 0; p < db.Schema.NumPartitions; p++ {
+		n.SetRole(p, true)
+	}
+	return n
+}
+
+// BenchmarkE13EspressoGet measures primary-key document reads (§IV.B:
+// "requests for specific resources can be satisfied via direct lookup").
+func BenchmarkE13EspressoGet(b *testing.B) {
+	db := benchMusicDB(b, 8, 1)
+	n := soloEspresso(b, db)
+	const artists = 5000
+	for i := 0; i < artists; i++ {
+		key := espresso.DocKey{Table: "Artist", Parts: []string{fmt.Sprintf("a%d", i)}}
+		if _, err := n.Put(key, map[string]any{"name": fmt.Sprintf("a%d", i), "genre": "rock"}, ""); err != nil {
+			b.Fatal(err)
+		}
+	}
+	gen := workload.NewUniform(artists, 17)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := espresso.DocKey{Table: "Artist", Parts: []string{fmt.Sprintf("a%d", gen.Next())}}
+		if _, err := n.Get(key); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "qps")
+}
+
+// BenchmarkE13EspressoPut measures writes including schema validation,
+// binlog commit and index maintenance.
+func BenchmarkE13EspressoPut(b *testing.B) {
+	db := benchMusicDB(b, 8, 1)
+	n := soloEspresso(b, db)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := espresso.DocKey{Table: "Artist", Parts: []string{fmt.Sprintf("a%d", i)}}
+		if _, err := n.Put(key, map[string]any{"name": "x", "genre": "rock"}, ""); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE13EspressoIndexQuery measures local secondary-index queries
+// ("queries first consult a local secondary index then return the matching
+// documents", §IV.B).
+func BenchmarkE13EspressoIndexQuery(b *testing.B) {
+	db := benchMusicDB(b, 4, 1)
+	n := soloEspresso(b, db)
+	const songs = 2000
+	for i := 0; i < songs; i++ {
+		key := espresso.DocKey{Table: "Song", Parts: []string{"The_Beatles", fmt.Sprintf("album%d", i%20), fmt.Sprintf("song%d", i)}}
+		lyrics := fmt.Sprintf("common words track%d special", i)
+		if i%10 == 0 {
+			lyrics += " lucy in the sky"
+		}
+		if _, err := n.Put(key, map[string]any{"title": "t", "lyrics": lyrics, "durationSec": int64(200)}, ""); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := n.Query("Song", "The_Beatles", "lyrics", "lucy in the sky")
+		if err != nil || len(rows) != songs/10 {
+			b.Fatalf("(%d, %v)", len(rows), err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "qps")
+}
+
+// BenchmarkE13EspressoTxn measures multi-table transactional commits (an
+// album plus its songs, §IV.A).
+func BenchmarkE13EspressoTxn(b *testing.B) {
+	db := benchMusicDB(b, 8, 1)
+	n := soloEspresso(b, db)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		artist := fmt.Sprintf("artist%d", i)
+		writes := []espresso.Write{
+			{Key: espresso.DocKey{Table: "Artist", Parts: []string{artist}},
+				Doc: map[string]any{"name": artist, "genre": "rock"}},
+			{Key: espresso.DocKey{Table: "Song", Parts: []string{artist, "album", "s1"}},
+				Doc: map[string]any{"title": "s1", "lyrics": "la", "durationSec": int64(100)}},
+			{Key: espresso.DocKey{Table: "Song", Parts: []string{artist, "album", "s2"}},
+				Doc: map[string]any{"title": "s2", "lyrics": "la la", "durationSec": int64(120)}},
+		}
+		if _, err := n.Commit(writes); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "txns/s")
+}
+
+// BenchmarkE16Failover measures the unavailability window when a master
+// dies: slave catch-up plus Helix promotion (§IV.B fault tolerance).
+func BenchmarkE16Failover(b *testing.B) {
+	for iter := 0; iter < b.N; iter++ {
+		b.StopTimer()
+		db := benchMusicDB(b, 4, 2)
+		c, err := espresso.NewCluster(db)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < 3; i++ {
+			if _, err := c.AddNode(fmt.Sprintf("n%d", i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := c.WaitForMasters(10 * time.Second); err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < 200; i++ {
+			key := espresso.DocKey{Table: "Artist", Parts: []string{fmt.Sprintf("a%d", i)}}
+			node, err := c.Route(key.ResourceID())
+			if err != nil {
+				continue
+			}
+			node.Put(key, map[string]any{"name": "x", "genre": "g"}, "")
+		}
+		victim, err := c.MasterOf(0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		victimID := victim.Node.ID
+		b.StartTimer()
+		if err := c.KillNode(victimID); err != nil {
+			b.Fatal(err)
+		}
+		deadline := time.Now().Add(15 * time.Second)
+		for {
+			m, err := c.MasterOf(0)
+			if err == nil && m.Node.ID != victimID && m.Node.IsMaster(0) {
+				break
+			}
+			if time.Now().After(deadline) {
+				b.Fatal("failover never completed")
+			}
+			time.Sleep(time.Millisecond)
+		}
+		b.StopTimer()
+		c.Close()
+		b.StartTimer()
+	}
+}
+
+// BenchmarkE17BuildSwap times the Figure II.3 cycle for a 100K-entry store
+// and isolates the swap (which the paper calls atomic and the rollback
+// instantaneous).
+func BenchmarkE17BuildSwap(b *testing.B) {
+	clus := cluster.Uniform("ro", 3, 12, 0)
+	strategy, err := ring.NewConsistent(clus, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const entries = 100000
+	kvs := make([]storage.KV, entries)
+	for i := range kvs {
+		kvs[i] = storage.KV{Key: workload.Key("m", i), Value: workload.Value(i, 128)}
+	}
+	b.Run("full-cycle", func(b *testing.B) {
+		for iter := 0; iter < b.N; iter++ {
+			b.StopTimer()
+			engines := make([]*storage.ReadOnlyEngine, 3)
+			targets := make([]roexport.NodeTarget, 3)
+			for i := range engines {
+				dir := filepath.Join(b.TempDir(), "store")
+				e, err := storage.OpenReadOnly("pymk", dir)
+				if err != nil {
+					b.Fatal(err)
+				}
+				engines[i] = e
+				targets[i] = roexport.NodeTarget{NodeID: i, StoreDir: dir, Swap: e.Swap, Rollback: e.Rollback}
+			}
+			ctl := &roexport.Controller{
+				Builder: &roexport.Builder{Cluster: clus, Strategy: strategy, OutDir: b.TempDir(), Store: "pymk", Version: 1},
+				Puller:  &roexport.Puller{},
+				Targets: targets,
+			}
+			b.StartTimer()
+			if err := ctl.Run(kvs); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			for _, e := range engines {
+				e.Close()
+			}
+			b.StartTimer()
+		}
+	})
+	b.Run("swap-only", func(b *testing.B) {
+		dir := filepath.Join(b.TempDir(), "store")
+		if err := storage.WriteReadOnlyFiles(filepath.Join(dir, "version-1"), kvs[:10000]); err != nil {
+			b.Fatal(err)
+		}
+		if err := storage.WriteReadOnlyFiles(filepath.Join(dir, "version-2"), kvs[:10000]); err != nil {
+			b.Fatal(err)
+		}
+		e, err := storage.OpenReadOnly("pymk", dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer e.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			v := 1 + i%2
+			if err := e.Swap(v); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("rollback", func(b *testing.B) {
+		dir := filepath.Join(b.TempDir(), "store")
+		storage.WriteReadOnlyFiles(filepath.Join(dir, "version-1"), kvs[:10000])
+		storage.WriteReadOnlyFiles(filepath.Join(dir, "version-2"), kvs[:10000])
+		e, err := storage.OpenReadOnly("pymk", dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer e.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := e.Rollback(); err != nil {
+				b.Fatal(err)
+			}
+			if err := e.Swap(2); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,318 @@
+// Kafka experiments E9–E14 (see DESIGN.md §3 and EXPERIMENTS.md).
+package datainfra
+
+import (
+	"crypto/md5"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"datainfra/internal/kafka"
+	"datainfra/internal/workload"
+	"datainfra/internal/zk"
+)
+
+// activityEvent renders a realistic JSON user-activity payload (~230 bytes),
+// the data shape of §V.D: shared structure (field names, hostnames, URLs)
+// that compresses well, plus per-event entropy (timestamps, member ids and a
+// session token) that does not — which is what puts batch compression near
+// the paper's "save about 2/3" rather than at an artificial extreme.
+func activityEvent(i int) []byte {
+	sum := md5.Sum([]byte{byte(i), byte(i >> 8), byte(i >> 16), byte(i >> 24)})
+	token := hex.EncodeToString(sum[:])
+	return []byte(fmt.Sprintf(
+		`{"timestamp":%d,"server":"app-%02d.prod.linkedin.com","event":"page_view","member":%d,"session":"%s","page":"/in/profile/%x","referrer":"https://www.linkedin.com/feed/"}`,
+		1700000000000+int64(i)*137, i%20, 100000+i*7, token, sum[:6]))
+}
+
+func newBenchBroker(b *testing.B, partitions int) *kafka.Broker {
+	b.Helper()
+	br, err := kafka.NewBroker(0, b.TempDir(), kafka.BrokerConfig{
+		PartitionsPerTopic: partitions,
+		Log:                kafka.LogConfig{FlushMessages: 1000, FlushInterval: 10 * time.Millisecond},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { br.Close() })
+	return br
+}
+
+// BenchmarkE9KafkaProduce reproduces §V.D: LinkedIn's peak production rate
+// was >50K messages/s across the cluster, projected to 200K. A single
+// in-process broker should comfortably exceed that rate.
+func BenchmarkE9KafkaProduce(b *testing.B) {
+	br := newBenchBroker(b, 4)
+	p := kafka.NewProducer(br, kafka.ProducerConfig{BatchSize: 200})
+	defer p.Close()
+	payload := activityEvent(1)
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.SendTo("activity", i%4, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	p.Flush()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "msgs/s")
+}
+
+// BenchmarkE9KafkaConsume measures the sequential pull path.
+func BenchmarkE9KafkaConsume(b *testing.B) {
+	br := newBenchBroker(b, 1)
+	p := kafka.NewProducer(br, kafka.ProducerConfig{BatchSize: 200})
+	const preload = 200000
+	payload := activityEvent(1)
+	for i := 0; i < preload; i++ {
+		if err := p.SendTo("activity", 0, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	p.Close()
+	br.FlushAll()
+	sc := kafka.NewSimpleConsumer(br, 300<<10)
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	var off int64
+	consumed := 0
+	for consumed < b.N {
+		msgs, err := sc.Consume("activity", 0, off)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(msgs) == 0 {
+			off = 0 // wrap: re-consume from the head (consumers may rewind)
+			continue
+		}
+		consumed += len(msgs)
+		off = msgs[len(msgs)-1].NextOffset
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(consumed)/b.Elapsed().Seconds(), "msgs/s")
+}
+
+// BenchmarkE10Compression reproduces §V.B: batch compression saves about
+// 2/3 of the network bandwidth on activity-event traffic. The metric
+// "bandwidth-ratio" should sit near 0.33.
+func BenchmarkE10Compression(b *testing.B) {
+	var set kafka.MessageSet
+	for i := 0; i < 200; i++ {
+		set.Append(kafka.NewMessage(activityEvent(i)))
+	}
+	b.SetBytes(int64(set.Len()))
+	b.ReportAllocs()
+	var ratio float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		compressed, err := set.Compress()
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = float64(compressed.Len()) / float64(set.Len())
+	}
+	b.StopTimer()
+	b.ReportMetric(ratio, "bandwidth-ratio")
+}
+
+// BenchmarkE11ZeroCopy is the §V.B sendfile ablation over identical TCP
+// transports: a server streams 1 MB chunks of a Kafka segment file to a
+// client either via io.CopyN straight from the file (the kernel can use
+// sendfile — no application buffer) or via the 4-copy userspace path (read
+// the chunk into an application buffer, then write that buffer).
+func BenchmarkE11ZeroCopy(b *testing.B) {
+	// Build a segment file through the normal log path.
+	dir := b.TempDir()
+	l, err := kafka.OpenLog(dir, kafka.LogConfig{FlushMessages: 1000, SegmentBytes: 1 << 40})
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := workload.Value(1, 1024)
+	for i := 0; i < 50000; i++ {
+		if _, err := l.Append(kafka.NewMessageSet(payload)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	l.Flush()
+	const chunk = 1 << 20
+	f, _, _, err := l.SectionReader(0, chunk)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+
+	serve := func(b *testing.B, zeroCopy bool) {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer ln.Close()
+		go func() {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+			var one [1]byte
+			buf := make([]byte, chunk)
+			for {
+				if _, err := conn.Read(one[:]); err != nil {
+					return // client done
+				}
+				if zeroCopy {
+					// file -> socket directly; io.CopyN over *os.File lets
+					// the runtime use sendfile(2) on Linux.
+					if _, err := f.Seek(0, io.SeekStart); err != nil {
+						return
+					}
+					if _, err := io.CopyN(conn, f, chunk); err != nil {
+						return
+					}
+				} else {
+					// file -> application buffer -> socket: the extra copies
+					// of §V.B's four-step description.
+					if _, err := f.ReadAt(buf, 0); err != nil {
+						return
+					}
+					if _, err := conn.Write(buf); err != nil {
+						return
+					}
+				}
+			}
+		}()
+		conn, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer conn.Close()
+		sink := make([]byte, 64<<10)
+		b.SetBytes(chunk)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := conn.Write([]byte{1}); err != nil {
+				b.Fatal(err)
+			}
+			remaining := chunk
+			for remaining > 0 {
+				n, err := conn.Read(sink)
+				if err != nil {
+					b.Fatal(err)
+				}
+				remaining -= n
+			}
+		}
+	}
+	b.Run("sendfile-path", func(b *testing.B) { serve(b, true) })
+	b.Run("userspace-copy", func(b *testing.B) { serve(b, false) })
+}
+
+// BenchmarkE12PipelineLatency reproduces §V.D's end-to-end pipeline: with
+// production-like batching at every hop (producer batches, broker flush
+// intervals, mirror poll), a message takes seconds, dominated by batching
+// delays, not compute. Absolute numbers scale down with our smaller batch
+// windows; the shape (latency ≈ sum of batch/flush windows ≫ single-hop
+// compute) is the claim under test.
+func BenchmarkE12PipelineLatency(b *testing.B) {
+	live, err := kafka.NewBroker(0, b.TempDir(), kafka.BrokerConfig{
+		PartitionsPerTopic: 1,
+		Log:                kafka.LogConfig{FlushMessages: 1 << 30, FlushInterval: 20 * time.Millisecond},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer live.Close()
+	offline, err := kafka.NewBroker(1, b.TempDir(), kafka.BrokerConfig{
+		PartitionsPerTopic: 1,
+		Log:                kafka.LogConfig{FlushMessages: 1 << 30, FlushInterval: 20 * time.Millisecond},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer offline.Close()
+	producer := kafka.NewProducer(live, kafka.ProducerConfig{BatchSize: 1 << 30, Linger: 20 * time.Millisecond})
+	defer producer.Close()
+	mirror := kafka.NewMirror(live, offline, "e2e")
+	if _, err := live.Partitions("e2e"); err != nil {
+		b.Fatal(err)
+	}
+	if err := mirror.Start(); err != nil {
+		b.Fatal(err)
+	}
+	defer mirror.Close()
+	sc := kafka.NewSimpleConsumer(offline, 1<<20)
+	var off int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		if err := producer.SendTo("e2e", 0, activityEvent(i)); err != nil {
+			b.Fatal(err)
+		}
+		// wait for the message to surface in the offline cluster
+		for {
+			offline.FlushAll()
+			msgs, err := sc.Consume("e2e", 0, off)
+			if err == nil && len(msgs) > 0 {
+				off = msgs[len(msgs)-1].NextOffset
+				break
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		b.ReportMetric(float64(time.Since(start).Milliseconds()), "e2e-ms")
+	}
+}
+
+// BenchmarkE14Rebalance measures consumer-group rebalance time as members
+// join (§V.C: rebalancing is an infrequent event whose cost is amortized).
+func BenchmarkE14Rebalance(b *testing.B) {
+	for _, members := range []int{2, 8} {
+		b.Run(fmt.Sprintf("members=%d", members), func(b *testing.B) {
+			for iter := 0; iter < b.N; iter++ {
+				b.StopTimer()
+				srv := zk.NewServer()
+				br, err := kafka.NewBroker(0, b.TempDir(), kafka.BrokerConfig{PartitionsPerTopic: 16})
+				if err != nil {
+					b.Fatal(err)
+				}
+				clients := map[int]kafka.BrokerClient{0: br}
+				if _, err := br.Partitions("t"); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				gs := make([]*kafka.GroupConsumer, members)
+				for m := 0; m < members; m++ {
+					g, err := kafka.NewGroupConsumer(srv, "g", fmt.Sprintf("c%d", m), []string{"t"}, clients, kafka.GroupConfig{FromEarliest: true})
+					if err != nil {
+						b.Fatal(err)
+					}
+					gs[m] = g
+				}
+				// wait for a disjoint full cover
+				deadline := time.Now().Add(10 * time.Second)
+				for {
+					total := 0
+					for _, g := range gs {
+						total += len(g.Owned("t"))
+					}
+					if total == 16 {
+						break
+					}
+					if time.Now().After(deadline) {
+						b.Fatal("rebalance never settled")
+					}
+					time.Sleep(time.Millisecond)
+				}
+				b.StopTimer()
+				for _, g := range gs {
+					g.Close()
+				}
+				br.Close()
+				b.StartTimer()
+			}
+		})
+	}
+}

@@ -1,0 +1,165 @@
+// Command databus-relay runs a Databus relay with an attached bootstrap
+// server, exposed over a small HTTP API:
+//
+//	POST /commit            body: {"source":"s","key":"k","payload":"...","op":0}[]
+//	                        commits one transaction; returns its SCN
+//	GET  /stream?since=N&max=M[&source=s][&partition=p]
+//	                        returns events after SCN N (JSON); 410 Gone when
+//	                        the SCN fell off the buffer (use /bootstrap)
+//	GET  /bootstrap?since=N returns the consolidated delta / snapshot and the
+//	                        SCN to resume streaming from
+//	GET  /stats             relay counters
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"time"
+
+	"datainfra/internal/bootstrap"
+	"datainfra/internal/databus"
+)
+
+type commitItem struct {
+	Source  string `json:"source"`
+	Key     string `json:"key"`
+	Payload string `json:"payload"`
+	Op      int    `json:"op"`
+}
+
+type wireEvent struct {
+	SCN       int64  `json:"scn"`
+	TxnID     int64  `json:"txnId"`
+	EndOfTxn  bool   `json:"endOfTxn"`
+	Source    string `json:"source"`
+	Op        int    `json:"op"`
+	Key       string `json:"key"`
+	Payload   string `json:"payload"`
+	Partition int    `json:"partition"`
+}
+
+func toWire(e databus.Event) wireEvent {
+	return wireEvent{
+		SCN: e.SCN, TxnID: e.TxnID, EndOfTxn: e.EndOfTxn, Source: e.Source,
+		Op: int(e.Op), Key: string(e.Key), Payload: string(e.Payload), Partition: e.Partition,
+	}
+}
+
+func main() {
+	var (
+		listen     = flag.String("listen", "127.0.0.1:8600", "listen address")
+		maxEvents  = flag.Int("buffer-events", 1<<20, "relay buffer capacity (events)")
+		maxBytes   = flag.Int("buffer-bytes", 256<<20, "relay buffer capacity (bytes)")
+		partitions = flag.Int("partitions", 16, "partitioning for server-side filters")
+	)
+	flag.Parse()
+
+	source := databus.NewLogSource()
+	relay := databus.NewRelay(databus.RelayConfig{MaxEvents: *maxEvents, MaxBytes: *maxBytes})
+	relay.AttachSource(source, time.Millisecond)
+	defer relay.Close()
+	boot := bootstrap.New()
+	bootClient, err := databus.NewClient(databus.ClientConfig{
+		Relay: relay, Consumer: boot, PollExpiry: 10 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	bootClient.Start()
+	defer bootClient.Close()
+	go func() {
+		for range time.Tick(100 * time.Millisecond) {
+			boot.ApplyOnce()
+		}
+	}()
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /commit", func(w http.ResponseWriter, r *http.Request) {
+		var items []commitItem
+		if err := json.NewDecoder(r.Body).Decode(&items); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		events := make([]databus.Event, len(items))
+		for i, it := range items {
+			events[i] = databus.Event{
+				Source: it.Source, Key: []byte(it.Key),
+				Payload: []byte(it.Payload), Op: databus.Op(it.Op),
+			}
+			events[i].ComputePartition(*partitions)
+		}
+		scn := source.Commit(events...)
+		fmt.Fprintf(w, `{"scn":%d}`+"\n", scn)
+	})
+	mux.HandleFunc("GET /stream", func(w http.ResponseWriter, r *http.Request) {
+		since, _ := strconv.ParseInt(r.URL.Query().Get("since"), 10, 64)
+		max, _ := strconv.Atoi(r.URL.Query().Get("max"))
+		if max == 0 {
+			max = 1000
+		}
+		var f *databus.Filter
+		if s := r.URL.Query().Get("source"); s != "" {
+			f = &databus.Filter{Sources: []string{s}}
+		}
+		if p := r.URL.Query().Get("partition"); p != "" {
+			n, err := strconv.Atoi(p)
+			if err != nil {
+				http.Error(w, "bad partition", http.StatusBadRequest)
+				return
+			}
+			if f == nil {
+				f = &databus.Filter{}
+			}
+			f.Partitions = []int{n}
+		}
+		events, err := relay.ReadBlocking(since, max, f, 500*time.Millisecond)
+		if errors.Is(err, databus.ErrSCNTooOld) {
+			http.Error(w, err.Error(), http.StatusGone)
+			return
+		}
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		out := make([]wireEvent, len(events))
+		for i, e := range events {
+			out[i] = toWire(e)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(out)
+	})
+	mux.HandleFunc("GET /bootstrap", func(w http.ResponseWriter, r *http.Request) {
+		since, _ := strconv.ParseInt(r.URL.Query().Get("since"), 10, 64)
+		var out []wireEvent
+		resume, err := boot.Catchup(since, nil, func(e databus.Event) error {
+			out = append(out, toWire(e))
+			return nil
+		})
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{"resume": resume, "events": out})
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{
+			"lastSCN":        relay.LastSCN(),
+			"minSCN":         relay.MinSCN(),
+			"bufferedEvents": relay.BufferedEvents(),
+			"bufferedBytes":  relay.BufferedBytes(),
+			"eventsServed":   relay.EventsServed(),
+			"bootstrapLog":   boot.LogLen(),
+			"snapshotRows":   boot.SnapshotLen(),
+		})
+	})
+
+	fmt.Printf("databus relay listening on http://%s\n", *listen)
+	log.Fatal(http.ListenAndServe(*listen, mux))
+}

@@ -1,0 +1,86 @@
+// Command espresso-server runs a complete Espresso deployment in one
+// process — storage nodes, Databus relay, bootstrap server, Helix controller
+// — and serves the document API over HTTP:
+//
+//	PUT    /Music/Album/Cher/Greatest_Hits      {"artist":"Cher",...}
+//	GET    /Music/Album/Cher/Greatest_Hits
+//	GET    /Music/Song/The_Beatles?query=lyrics:"lucy in the sky"
+//	POST   /Music/*/Elton_John                  [{"table":"Album",...},...]
+//	DELETE /Music/Album/Cher/Greatest_Hits
+//
+// The default schema is the paper's Music database (Artist/Album/Song); pass
+// -db/-tables/-schemas files to serve your own.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	"datainfra/internal/espresso"
+	"datainfra/internal/schema"
+)
+
+func musicDatabase(partitions, replicas int) (*espresso.Database, error) {
+	db, err := espresso.NewDatabase(
+		espresso.DatabaseSchema{Name: "Music", NumPartitions: partitions, Replicas: replicas},
+		[]*espresso.TableSchema{
+			{Name: "Artist", KeyParts: []string{"artist"}},
+			{Name: "Album", KeyParts: []string{"artist", "album"}},
+			{Name: "Song", KeyParts: []string{"artist", "album", "song"}},
+		})
+	if err != nil {
+		return nil, err
+	}
+	schemas := map[string]string{
+		"Artist": `{"name":"Artist","fields":[
+			{"name":"name","type":"string"},
+			{"name":"genre","type":"string","index":"exact"}]}`,
+		"Album": `{"name":"Album","fields":[
+			{"name":"artist","type":"string","index":"exact"},
+			{"name":"title","type":"string"},
+			{"name":"year","type":"long"}]}`,
+		"Song": `{"name":"Song","fields":[
+			{"name":"title","type":"string"},
+			{"name":"lyrics","type":"string","index":"text"},
+			{"name":"durationSec","type":"long"}]}`,
+	}
+	for table, s := range schemas {
+		if _, err := db.SetDocumentSchema(table, schema.MustParse(s)); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+func main() {
+	var (
+		listen     = flag.String("listen", "127.0.0.1:8700", "HTTP listen address")
+		nodes      = flag.Int("nodes", 3, "storage nodes")
+		partitions = flag.Int("partitions", 8, "database partitions")
+		replicas   = flag.Int("replicas", 2, "replicas per partition")
+	)
+	flag.Parse()
+
+	db, err := musicDatabase(*partitions, *replicas)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c, err := espresso.NewCluster(db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < *nodes; i++ {
+		if _, err := c.AddNode(fmt.Sprintf("node-%d", i)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	log.Printf("waiting for %d partitions to master across %d nodes...", *partitions, *nodes)
+	if err := c.WaitForMasters(30e9); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("espresso serving database %q on http://%s\n", db.Schema.Name, *listen)
+	log.Fatal(http.ListenAndServe(*listen, espresso.NewHandler(c)))
+}

@@ -1,0 +1,97 @@
+// Command voldemort-server runs one Voldemort storage node serving the
+// binary socket protocol and the admin service.
+//
+// Usage:
+//
+//	voldemort-server -node 0 -cluster cluster.json -stores stores.json -data /var/voldemort
+//	voldemort-server -demo                  # 1-node demo cluster with a "demo" store
+//
+// cluster.json is the topology (see internal/cluster); stores.json is a JSON
+// array of store definitions.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"datainfra/internal/cluster"
+	"datainfra/internal/voldemort"
+)
+
+func main() {
+	var (
+		nodeID      = flag.Int("node", 0, "this node's id in the cluster file")
+		clusterFile = flag.String("cluster", "", "cluster topology JSON")
+		storesFile  = flag.String("stores", "", "store definitions JSON")
+		dataDir     = flag.String("data", "voldemort-data", "data directory")
+		listen      = flag.String("listen", "", "listen address (default: the node's address from the cluster file)")
+		demo        = flag.Bool("demo", false, "run a single-node demo cluster with a memory store named 'demo'")
+	)
+	flag.Parse()
+
+	var clus *cluster.Cluster
+	var defs []*cluster.StoreDef
+	switch {
+	case *demo:
+		clus = cluster.Uniform("demo", 1, 8, 6666)
+		defs = []*cluster.StoreDef{(&cluster.StoreDef{
+			Name: "demo", Replication: 1, RequiredReads: 1, RequiredWrites: 1,
+		}).WithDefaults()}
+	case *clusterFile != "":
+		data, err := os.ReadFile(*clusterFile)
+		if err != nil {
+			log.Fatalf("reading cluster file: %v", err)
+		}
+		clus = &cluster.Cluster{}
+		if err := json.Unmarshal(data, clus); err != nil {
+			log.Fatalf("parsing cluster file: %v", err)
+		}
+		if *storesFile != "" {
+			data, err := os.ReadFile(*storesFile)
+			if err != nil {
+				log.Fatalf("reading stores file: %v", err)
+			}
+			defs, err = cluster.ParseStoreDefs(data)
+			if err != nil {
+				log.Fatalf("parsing stores file: %v", err)
+			}
+		}
+	default:
+		log.Fatal("need -cluster (and optionally -stores), or -demo")
+	}
+
+	srv, err := voldemort.NewServer(voldemort.ServerConfig{
+		NodeID: *nodeID, Cluster: clus, DataDir: *dataDir,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, def := range defs {
+		if err := srv.AddStore(def); err != nil {
+			log.Fatalf("adding store %s: %v", def.Name, err)
+		}
+		log.Printf("serving store %s", def)
+	}
+	addr := *listen
+	if addr == "" {
+		addr = clus.NodeByID(*nodeID).Addr()
+	}
+	bound, err := srv.Listen(addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("voldemort node %d listening on %s (stores: %v)\n", *nodeID, bound, srv.StoreNames())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Println("shutting down")
+	if err := srv.Close(); err != nil {
+		log.Fatal(err)
+	}
+}

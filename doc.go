@@ -1,0 +1,13 @@
+// Package datainfra reproduces "Data Infrastructure at LinkedIn" (ICDE
+// 2012): Voldemort, Databus, Espresso and Kafka, together with the
+// substrates they depend on (a Zookeeper-like coordination service, a
+// Helix-like cluster manager, an Avro-like serialization system, storage
+// engines and the Hadoop read-only build pipeline), implemented from scratch
+// on the Go standard library.
+//
+// The implementation lives under internal/ (one package per subsystem; see
+// DESIGN.md for the inventory); runnable servers are under cmd/, runnable
+// scenarios under examples/, and the benchmark harness that regenerates the
+// paper's reported numbers is in the root *_test.go files (results recorded
+// in EXPERIMENTS.md).
+package datainfra

@@ -1,0 +1,129 @@
+// Company Follow (§II.C): the paper's first Voldemort application. Two
+// read-write stores form a cache-like layer over the primary database —
+// member→companies-followed and company→members-following — both fed by a
+// Databus relay so they stay in sync with primary-store commits. Server-side
+// list.append transforms update the lists without shipping them back and
+// forth.
+//
+//	go run ./examples/companyfollow
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"time"
+
+	"datainfra/internal/cluster"
+	"datainfra/internal/databus"
+	"datainfra/internal/ring"
+	"datainfra/internal/storage"
+	"datainfra/internal/voldemort"
+)
+
+// followEvent is the change record the primary database emits when a member
+// follows a company.
+type followEvent struct {
+	Member  string `json:"member"`
+	Company string `json:"company"`
+}
+
+func newStore(name string, clus *cluster.Cluster) (*voldemort.Client, map[int]voldemort.Store) {
+	def := (&cluster.StoreDef{Name: name, Replication: 2, RequiredReads: 1, RequiredWrites: 2}).WithDefaults()
+	strategy, err := ring.NewConsistent(clus, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stores := make(map[int]voldemort.Store)
+	for _, n := range clus.Nodes {
+		stores[n.ID] = voldemort.NewEngineStore(storage.NewMemory(name), n.ID, nil)
+	}
+	routed, err := voldemort.NewRouted(voldemort.RoutedConfig{
+		Def: def, Cluster: clus, Strategy: strategy, Stores: stores,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return voldemort.NewClient(routed, nil, 1), stores
+}
+
+func main() {
+	clus := cluster.Uniform("follow", 3, 24, 0)
+	memberToCompanies, _ := newStore("member-follows", clus)
+	companyToMembers, _ := newStore("company-followers", clus)
+
+	// The primary database's transaction log, relayed by Databus.
+	primary := databus.NewLogSource()
+	relay := databus.NewRelay(databus.RelayConfig{})
+	defer relay.Close()
+	relay.AttachSource(primary, time.Millisecond)
+
+	// The Databus consumer populates BOTH stores from each follow event —
+	// "both stores are fed by a Databus relay and are populated whenever a
+	// user follows a new company" (§II.C).
+	consumer := databus.ConsumerFuncs{Event: func(e databus.Event) error {
+		var f followEvent
+		if err := json.Unmarshal(e.Payload, &f); err != nil {
+			return err
+		}
+		companyJSON, _ := json.Marshal(f.Company)
+		memberJSON, _ := json.Marshal(f.Member)
+		if err := memberToCompanies.PutWithTransform(
+			[]byte(f.Member), companyJSON, voldemort.Transform{Name: "list.append"}); err != nil {
+			return err
+		}
+		return companyToMembers.PutWithTransform(
+			[]byte(f.Company), memberJSON, voldemort.Transform{Name: "list.append"})
+	}}
+	client, err := databus.NewClient(databus.ClientConfig{Relay: relay, Consumer: consumer})
+	if err != nil {
+		log.Fatal(err)
+	}
+	client.Start()
+	defer client.Close()
+
+	// Members follow companies (writes hit the primary DB; the cache layer
+	// follows via CDC).
+	follows := []followEvent{
+		{"jkreps", "LinkedIn"}, {"jkreps", "Confluent"},
+		{"nneha", "LinkedIn"}, {"nneha", "Confluent"},
+		{"rsumbaly", "LinkedIn"}, {"rsumbaly", "Coursera"},
+	}
+	for _, f := range follows {
+		payload, _ := json.Marshal(f)
+		primary.Commit(databus.Event{Source: "follows", Key: []byte(f.Member + "/" + f.Company), Payload: payload})
+	}
+
+	// Wait for the pipeline to drain.
+	deadline := time.Now().Add(5 * time.Second)
+	for client.SCN() < primary.LastSCN() {
+		if time.Now().After(deadline) {
+			log.Fatal("pipeline did not drain")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Feed queries: "who does jkreps follow?" / "who follows LinkedIn?"
+	show := func(store *voldemort.Client, key string) {
+		value, ok, err := store.Get([]byte(key))
+		if err != nil || !ok {
+			log.Fatalf("get %s: (%v, %v)", key, ok, err)
+		}
+		fmt.Printf("  %-10s -> %s\n", key, value)
+	}
+	fmt.Println("member -> companies followed:")
+	show(memberToCompanies, "jkreps")
+	show(memberToCompanies, "nneha")
+	fmt.Println("company -> followers:")
+	show(companyToMembers, "LinkedIn")
+	show(companyToMembers, "Confluent")
+
+	// Server-side sub-list retrieval (Figure II.2 method 3): first follower
+	// only, without shipping the full list.
+	sub, _, err := companyToMembers.GetWithTransform([]byte("LinkedIn"),
+		voldemort.Transform{Name: "list.slice", Arg: voldemort.SliceArg(0, 1)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("first follower of LinkedIn (server-side slice): %s\n", sub)
+}

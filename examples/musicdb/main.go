@@ -1,0 +1,172 @@
+// Music database (§IV.A): the paper's running Espresso example — Artists,
+// Albums and Songs addressed hierarchically, a multi-table transaction
+// posting a new album with its songs, the secondary-index lyrics query, a
+// schema evolution, and a master failover with no data loss. Runs the full
+// cluster: storage nodes, Databus replication, Helix mastership.
+//
+//	go run ./examples/musicdb
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"datainfra/internal/espresso"
+	"datainfra/internal/schema"
+)
+
+func main() {
+	db, err := espresso.NewDatabase(
+		espresso.DatabaseSchema{Name: "Music", NumPartitions: 8, Replicas: 2},
+		[]*espresso.TableSchema{
+			{Name: "Artist", KeyParts: []string{"artist"}},
+			{Name: "Album", KeyParts: []string{"artist", "album"}},
+			{Name: "Song", KeyParts: []string{"artist", "album", "song"}},
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+	mustRegister(db, "Artist", `{"name":"Artist","fields":[
+		{"name":"name","type":"string"},
+		{"name":"genre","type":"string","index":"exact"}]}`)
+	mustRegister(db, "Album", `{"name":"Album","fields":[
+		{"name":"artist","type":"string","index":"exact"},
+		{"name":"title","type":"string"},
+		{"name":"year","type":"long"}]}`)
+	mustRegister(db, "Song", `{"name":"Song","fields":[
+		{"name":"title","type":"string"},
+		{"name":"lyrics","type":"string","index":"text"},
+		{"name":"durationSec","type":"long"}]}`)
+
+	c, err := espresso.NewCluster(db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 3; i++ {
+		if _, err := c.AddNode(fmt.Sprintf("node-%d", i)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := c.WaitForMasters(15 * time.Second); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("cluster up: 8 partitions, 2 replicas, 3 storage nodes")
+
+	put := func(key espresso.DocKey, doc map[string]any) {
+		node := route(c, key)
+		if _, err := node.Put(key, doc, ""); err != nil {
+			log.Fatalf("put %v: %v", key, err)
+		}
+	}
+
+	// Singleton and collection documents from the paper's URI examples.
+	put(espresso.DocKey{Table: "Artist", Parts: []string{"The_Beatles"}},
+		map[string]any{"name": "The Beatles", "genre": "rock"})
+	put(espresso.DocKey{Table: "Song", Parts: []string{"The_Beatles", "Sgt_Pepper", "Lucy_in_the_Sky_with_Diamonds"}},
+		map[string]any{"title": "Lucy in the Sky with Diamonds",
+			"lyrics": "Picture yourself in a boat on a river ... Lucy in the sky with diamonds", "durationSec": int64(208)})
+	put(espresso.DocKey{Table: "Song", Parts: []string{"The_Beatles", "Magical_Mystery_Tour", "I_am_the_Walrus"}},
+		map[string]any{"title": "I am the Walrus",
+			"lyrics": "I am he as you are he ... see how they fly, Lucy in the sky", "durationSec": int64(274)})
+
+	// Multi-table transaction (§IV.A): "post a new album for an artist to
+	// the Album table and each of the album's songs to the Song table in a
+	// single transaction".
+	node := route(c, espresso.DocKey{Table: "Album", Parts: []string{"Elton_John"}})
+	_, err = node.Commit([]espresso.Write{
+		{Key: espresso.DocKey{Table: "Album", Parts: []string{"Elton_John", "Greatest_Hits"}},
+			Doc: map[string]any{"artist": "Elton John", "title": "Greatest Hits", "year": int64(1974)}},
+		{Key: espresso.DocKey{Table: "Song", Parts: []string{"Elton_John", "Greatest_Hits", "Rocket_Man"}},
+			Doc: map[string]any{"title": "Rocket Man", "lyrics": "I think it's gonna be a long long time", "durationSec": int64(281)}},
+		{Key: espresso.DocKey{Table: "Song", Parts: []string{"Elton_John", "Greatest_Hits", "Daniel"}},
+			Doc: map[string]any{"title": "Daniel", "lyrics": "Daniel is travelling tonight on a plane", "durationSec": int64(223)}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("committed album + 2 songs in one transaction")
+
+	// The paper's secondary-index query:
+	// GET /Music/Song/The_Beatles?query=lyrics:"Lucy in the sky"
+	rows, err := route(c, espresso.DocKey{Table: "Song", Parts: []string{"The_Beatles"}}).
+		Query("Song", "The_Beatles", "lyrics", "Lucy in the sky")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query lyrics:\"Lucy in the sky\" matched %d songs:\n", len(rows))
+	for _, row := range rows {
+		fmt.Printf("  /Music%s\n", row.Key)
+	}
+
+	// Schema evolution (§IV.A): add a label field with a default; old
+	// documents keep reading.
+	if _, err := db.SetDocumentSchema("Album", schema.MustParse(`{"name":"Album","fields":[
+		{"name":"artist","type":"string","index":"exact"},
+		{"name":"title","type":"string"},
+		{"name":"year","type":"long"},
+		{"name":"label","type":"string","default":"unknown"}]}`)); err != nil {
+		log.Fatal(err)
+	}
+	key := espresso.DocKey{Table: "Album", Parts: []string{"Elton_John", "Greatest_Hits"}}
+	row, err := route(c, key).Get(key)
+	if err != nil {
+		log.Fatal(err)
+	}
+	doc, _ := route(c, key).Document(row)
+	fmt.Printf("after schema evolution, v%d document reads label=%q\n", row.SchemaVersion, doc["label"])
+
+	// Failover (§IV.B): kill the master of the Beatles' partition; a slave
+	// catches up from the Databus relay and takes over.
+	beatlesPartition := db.PartitionOf("The_Beatles")
+	master, err := c.MasterOf(beatlesPartition)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("killing %s (master of partition %d)...\n", master.Node.ID, beatlesPartition)
+	start := time.Now()
+	if err := c.KillNode(master.Node.ID); err != nil {
+		log.Fatal(err)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		m, err := c.MasterOf(beatlesPartition)
+		if err == nil && m.Node.ID != master.Node.ID && m.Node.IsMaster(beatlesPartition) {
+			fmt.Printf("%s mastered partition %d after %v\n", m.Node.ID, beatlesPartition,
+				time.Since(start).Round(time.Millisecond))
+			break
+		}
+		if time.Now().After(deadline) {
+			log.Fatal("failover never completed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// The data survived.
+	rows, err = route(c, espresso.DocKey{Table: "Song", Parts: []string{"The_Beatles"}}).
+		Query("Song", "The_Beatles", "lyrics", "Lucy in the sky")
+	if err != nil || len(rows) != 2 {
+		log.Fatalf("post-failover query: (%d, %v)", len(rows), err)
+	}
+	fmt.Println("post-failover query still matches 2 songs — no data lost")
+}
+
+func route(c *espresso.Cluster, key espresso.DocKey) *espresso.Node {
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		node, err := c.Route(key.ResourceID())
+		if err == nil {
+			return node
+		}
+		if time.Now().After(deadline) {
+			log.Fatalf("routing %v: %v", key, err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func mustRegister(db *espresso.Database, table, s string) {
+	if _, err := db.SetDocumentSchema(table, schema.MustParse(s)); err != nil {
+		log.Fatal(err)
+	}
+}

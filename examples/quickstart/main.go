@@ -1,0 +1,143 @@
+// Quickstart: each of the four systems in a few lines — a Voldemort
+// key-value store with vector-clock versioning, a Databus change stream, an
+// Espresso document put/get, and a Kafka produce/consume round trip.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"datainfra/internal/databus"
+	"datainfra/internal/espresso"
+	"datainfra/internal/kafka"
+	"datainfra/internal/schema"
+	"datainfra/internal/storage"
+	"datainfra/internal/versioned"
+	"datainfra/internal/voldemort"
+)
+
+func main() {
+	voldemortDemo()
+	databusDemo()
+	espressoDemo()
+	kafkaDemo()
+}
+
+func voldemortDemo() {
+	fmt.Println("--- Voldemort: versioned key-value store ---")
+	store := voldemort.NewEngineStore(storage.NewMemory("profiles"), 0, nil)
+	client := voldemort.NewClient(store, nil, 1)
+
+	if err := client.Put([]byte("member:1001"), []byte(`{"name":"Jay"}`)); err != nil {
+		log.Fatal(err)
+	}
+	value, ok, err := client.Get([]byte("member:1001"))
+	if err != nil || !ok {
+		log.Fatalf("get: (%v, %v)", ok, err)
+	}
+	fmt.Printf("  get member:1001 -> %s\n", value)
+
+	// applyUpdate: the optimistic read-modify-write loop of Figure II.2.
+	for i := 0; i < 3; i++ {
+		err := client.ApplyUpdate([]byte("views:1001"), 10, func(cur *versioned.Versioned) ([]byte, error) {
+			n := 0
+			if cur != nil {
+				json.Unmarshal(cur.Value, &n)
+			}
+			return json.Marshal(n + 1)
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	views, _, _ := client.Get([]byte("views:1001"))
+	fmt.Printf("  applyUpdate counter views:1001 -> %s\n", views)
+}
+
+func databusDemo() {
+	fmt.Println("--- Databus: change data capture ---")
+	source := databus.NewLogSource() // the primary DB's transaction log
+	relay := databus.NewRelay(databus.RelayConfig{})
+	defer relay.Close()
+	relay.AttachSource(source, time.Millisecond)
+
+	consumer := databus.ConsumerFuncs{
+		Event: func(e databus.Event) error {
+			fmt.Printf("  CDC event scn=%d source=%s key=%s\n", e.SCN, e.Source, e.Key)
+			return nil
+		},
+	}
+	client, err := databus.NewClient(databus.ClientConfig{Relay: relay, Consumer: consumer})
+	if err != nil {
+		log.Fatal(err)
+	}
+	source.Commit(databus.Event{Source: "profiles", Key: []byte("member:1001"), Payload: []byte("v2")})
+	time.Sleep(10 * time.Millisecond) // let the relay pull
+	if _, err := client.Poll(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func espressoDemo() {
+	fmt.Println("--- Espresso: documents with schemas and secondary indexes ---")
+	db, err := espresso.NewDatabase(
+		espresso.DatabaseSchema{Name: "Music", NumPartitions: 4, Replicas: 1},
+		[]*espresso.TableSchema{{Name: "Album", KeyParts: []string{"artist", "album"}}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := db.SetDocumentSchema("Album", schema.MustParse(`{
+		"name":"Album","fields":[
+			{"name":"artist","type":"string","index":"exact"},
+			{"name":"title","type":"string"},
+			{"name":"year","type":"long"}]}`)); err != nil {
+		log.Fatal(err)
+	}
+	node := espresso.NewNode("solo", db, databus.NewLogSource())
+	for p := 0; p < 4; p++ {
+		node.SetRole(p, true)
+	}
+	key := espresso.DocKey{Table: "Album", Parts: []string{"Cher", "Greatest_Hits"}}
+	if _, err := node.Put(key, map[string]any{"artist": "Cher", "title": "Greatest Hits", "year": int64(1999)}, ""); err != nil {
+		log.Fatal(err)
+	}
+	row, err := node.Get(key)
+	if err != nil {
+		log.Fatal(err)
+	}
+	doc, _ := node.Document(row)
+	fmt.Printf("  GET /Music/Album/Cher/Greatest_Hits -> %v (etag %s)\n", doc["title"], row.Etag)
+}
+
+func kafkaDemo() {
+	fmt.Println("--- Kafka: pub/sub over a segment-file log ---")
+	dir, err := os.MkdirTemp("", "quickstart-kafka-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	broker, err := kafka.NewBroker(0, dir, kafka.BrokerConfig{PartitionsPerTopic: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer broker.Close()
+	producer := kafka.NewProducer(broker, kafka.ProducerConfig{BatchSize: 2})
+	producer.SendTo("clicks", 0, []byte(`{"member":1001,"page":"/feed"}`))
+	producer.SendTo("clicks", 0, []byte(`{"member":1002,"page":"/jobs"}`))
+	producer.Close()
+	broker.FlushAll()
+
+	consumer := kafka.NewSimpleConsumer(broker, 1<<20)
+	msgs, err := consumer.Consume("clicks", 0, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, m := range msgs {
+		fmt.Printf("  consumed @%d: %s\n", m.NextOffset, m.Payload)
+	}
+}

@@ -1,0 +1,112 @@
+// Site pipeline (Figure I.1): the whole architecture in one process. Profile
+// writes land in Espresso (primary storage); Databus fans every change out
+// to a Voldemort read cache and the people-search index; user-activity
+// events flow through Kafka from the live datacenter to the offline cluster
+// via the embedded mirror consumer.
+//
+//	go run ./examples/sitepipeline
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"datainfra/internal/core"
+	"datainfra/internal/espresso"
+	"datainfra/internal/schema"
+)
+
+func main() {
+	db, err := espresso.NewDatabase(
+		espresso.DatabaseSchema{Name: "Members", NumPartitions: 8, Replicas: 2},
+		[]*espresso.TableSchema{{Name: "Profile", KeyParts: []string{"member"}}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := db.SetDocumentSchema("Profile", schema.MustParse(`{
+		"name":"Profile","fields":[
+			{"name":"name","type":"string"},
+			{"name":"headline","type":"string","index":"text"},
+			{"name":"company","type":"string","index":"exact"}]}`)); err != nil {
+		log.Fatal(err)
+	}
+
+	tmp, err := os.MkdirTemp("", "sitepipeline-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(tmp)
+
+	p, err := core.NewPipeline(core.PipelineConfig{
+		Database: db, StorageNodes: 3, KafkaDataDir: tmp,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer p.Close()
+	fmt.Println("pipeline up: 3 espresso nodes -> databus -> {voldemort cache, search index}; kafka live -> mirror -> offline")
+
+	// Members edit their profiles (writes hit the primary store).
+	profiles := map[string]map[string]any{
+		"jkreps":   {"name": "Jay Kreps", "headline": "distributed systems and logs", "company": "LinkedIn"},
+		"nneha":    {"name": "Neha Narkhede", "headline": "stream processing systems", "company": "LinkedIn"},
+		"rsumbaly": {"name": "Roshan Sumbaly", "headline": "serving systems and stores", "company": "LinkedIn"},
+	}
+	for member, doc := range profiles {
+		key := espresso.DocKey{Table: "Profile", Parts: []string{member}}
+		if _, err := p.Write(key, doc); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Each profile view is tracked through the Kafka pipeline.
+	for i := 0; i < 300; i++ {
+		member := []string{"jkreps", "nneha", "rsumbaly"}[i%3]
+		payload := fmt.Sprintf(`{"viewer":%d,"viewed":"%s"}`, i, member)
+		if err := p.Track("profile_views", []byte(member), []byte(payload)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	p.Activity.Flush()
+	if err := p.StartMirror("profile_views"); err != nil {
+		log.Fatal(err)
+	}
+
+	// The Databus subscribers converge.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		cacheOK := p.CacheHas(espresso.DocKey{Table: "Profile", Parts: []string{"jkreps"}})
+		hits := p.SearchText("headline", "systems")
+		if cacheOK && len(hits) == 3 && p.Mirror.Copied() >= 300 {
+			break
+		}
+		if time.Now().After(deadline) {
+			log.Fatalf("subscribers lagged: cache=%v search=%d mirrored=%d", cacheOK, len(hits), p.Mirror.Copied())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	fmt.Println("databus-fed search: headline contains 'systems':")
+	for _, id := range p.SearchText("headline", "systems") {
+		fmt.Printf("  %s\n", id)
+	}
+	fmt.Println("databus-fed cache: jkreps profile cached =", p.CacheHas(espresso.DocKey{Table: "Profile", Parts: []string{"jkreps"}}))
+	fmt.Printf("kafka mirror: %d profile-view events in the offline datacenter\n", p.Mirror.Copied())
+
+	// A profile edit propagates everywhere.
+	key := espresso.DocKey{Table: "Profile", Parts: []string{"jkreps"}}
+	if _, err := p.Write(key, map[string]any{
+		"name": "Jay Kreps", "headline": "logs and storage unified", "company": "Confluent"}); err != nil {
+		log.Fatal(err)
+	}
+	deadline = time.Now().Add(5 * time.Second)
+	for len(p.SearchText("headline", "unified")) == 0 {
+		if time.Now().After(deadline) {
+			log.Fatal("search never absorbed the edit")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	fmt.Println("profile edit propagated to the search index:", p.SearchText("headline", "unified"))
+}

@@ -1,0 +1,3 @@
+module datainfra
+
+go 1.22

@@ -1,0 +1,233 @@
+// Package bootstrap implements the Databus bootstrap server (§III.C, Figure
+// III.3): it listens to the relay's event stream, keeps long-term storage in
+// two forms — an append-only Log and a Snapshot holding only the last event
+// per row — and serves the two long look-back query types:
+//
+//   - Consolidated delta since SCN T: only the last of multiple updates to
+//     the same row is returned ("fast playback" of time);
+//   - Consistent snapshot at SCN U: the snapshot is served (possibly
+//     inconsistently, since rows change during the long scan) and then all
+//     changes since the scan started are replayed, making the result
+//     consistent at U.
+//
+// The bootstrap server isolates the source database from clients that need
+// these queries (§III.B).
+package bootstrap
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"datainfra/internal/databus"
+)
+
+// Server is the bootstrap store and query engine.
+type Server struct {
+	mu sync.RWMutex
+	// log is the append-only event log (the Log storage).
+	log []databus.Event
+	// logStart is the SCN of the first retained log entry.
+	logStart int64
+	// snapshot holds the last event per (source,key) — the Snapshot storage.
+	snapshot map[string]databus.Event
+	// appliedSCN is the log position reflected in the snapshot.
+	appliedSCN int64
+	lastSCN    int64
+}
+
+// New returns an empty bootstrap server.
+func New() *Server {
+	return &Server{snapshot: make(map[string]databus.Event)}
+}
+
+func rowKey(e *databus.Event) string { return e.Source + "\x00" + string(e.Key) }
+
+// OnEvent implements databus.Consumer: the Log writer path. Events must
+// arrive in SCN order (the client library guarantees this).
+func (s *Server) OnEvent(e databus.Event) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e.SCN < s.lastSCN {
+		return fmt.Errorf("bootstrap: event SCN %d before %d", e.SCN, s.lastSCN)
+	}
+	if len(s.log) == 0 && s.appliedSCN == 0 {
+		s.logStart = e.SCN
+	}
+	s.log = append(s.log, e.Clone())
+	s.lastSCN = e.SCN
+	return nil
+}
+
+// OnCheckpoint implements databus.Consumer (no-op: the log is the state).
+func (s *Server) OnCheckpoint(int64) {}
+
+// ApplyOnce runs the Log applier: snapshot absorbs all fully logged
+// transactions. Returns how many events were applied.
+func (s *Server) ApplyOnce() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, e := range s.log {
+		if e.SCN <= s.appliedSCN {
+			continue
+		}
+		k := rowKey(&e)
+		if e.Op == databus.OpDelete {
+			delete(s.snapshot, k)
+		} else {
+			s.snapshot[k] = e
+		}
+		if e.SCN > s.appliedSCN {
+			s.appliedSCN = e.SCN
+		}
+		n++
+	}
+	return n
+}
+
+// TrimLog drops applied log entries with SCN < keepSince, bounding the Log
+// storage. Clients older than keepSince will be served from the snapshot.
+func (s *Server) TrimLog(keepSince int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if keepSince > s.appliedSCN {
+		keepSince = s.appliedSCN // never trim unapplied events
+	}
+	i := sort.Search(len(s.log), func(i int) bool { return s.log[i].SCN >= keepSince })
+	if i == 0 {
+		return
+	}
+	s.log = append([]databus.Event(nil), s.log[i:]...)
+	if len(s.log) > 0 {
+		s.logStart = s.log[0].SCN
+	} else {
+		s.logStart = s.appliedSCN + 1
+	}
+}
+
+// LastSCN returns the newest event SCN seen.
+func (s *Server) LastSCN() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.lastSCN
+}
+
+// LogLen returns the retained log length (diagnostics).
+func (s *Server) LogLen() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.log)
+}
+
+// SnapshotLen returns the number of live rows in the snapshot.
+func (s *Server) SnapshotLen() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.snapshot)
+}
+
+// ConsolidatedDelta returns, for every row changed after sinceSCN, only its
+// final event — collapsing multiple updates to the same row. The returned
+// SCN is the point from which relay consumption may resume. Fails if the
+// log no longer reaches back to sinceSCN.
+func (s *Server) ConsolidatedDelta(sinceSCN int64, f *databus.Filter) ([]databus.Event, int64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if sinceSCN < s.logStart-1 {
+		return nil, 0, fmt.Errorf("bootstrap: log starts at %d, cannot serve delta since %d (use snapshot)", s.logStart, sinceSCN)
+	}
+	last := make(map[string]int) // row -> index of final event
+	var order []string
+	i := sort.Search(len(s.log), func(i int) bool { return s.log[i].SCN > sinceSCN })
+	for ; i < len(s.log); i++ {
+		e := &s.log[i]
+		if !f.Match(e) {
+			continue
+		}
+		k := rowKey(e)
+		if _, seen := last[k]; !seen {
+			order = append(order, k)
+		}
+		last[k] = i
+	}
+	// Emit in the SCN order of each row's final event so the client applies
+	// a valid (prefix-consistent) history.
+	idxs := make([]int, 0, len(last))
+	for _, k := range order {
+		idxs = append(idxs, last[k])
+	}
+	sort.Ints(idxs)
+	out := make([]databus.Event, 0, len(idxs))
+	for _, i := range idxs {
+		e := f.Apply(&s.log[i])
+		e.EndOfTxn = true // each consolidated row is its own apply unit
+		out = append(out, e)
+	}
+	return out, s.lastSCN, nil
+}
+
+// Snapshot serves a consistent snapshot: the Snapshot storage is scanned
+// (rows may be concurrently modified — that scan alone is NOT consistent),
+// then every change since the scan began is replayed. fn receives first the
+// scan and then the replay; the returned SCN U is the sequence number of the
+// last transaction reflected, from which the client resumes on the relay.
+func (s *Server) Snapshot(f *databus.Filter, fn func(databus.Event) error) (int64, error) {
+	// Phase 1: capture the key list and the replay start point.
+	s.mu.RLock()
+	start := s.appliedSCN
+	keys := make([]string, 0, len(s.snapshot))
+	for k := range s.snapshot {
+		keys = append(keys, k)
+	}
+	s.mu.RUnlock()
+	sort.Strings(keys) // deterministic scan order
+
+	// Phase 2: long scan — values read row-at-a-time, possibly newer than
+	// `start` (the documented inconsistency the replay below repairs).
+	for _, k := range keys {
+		s.mu.RLock()
+		e, ok := s.snapshot[k]
+		s.mu.RUnlock()
+		if !ok || !f.Match(&e) {
+			continue
+		}
+		out := f.Apply(&e)
+		out.EndOfTxn = true
+		if err := fn(out); err != nil {
+			return 0, err
+		}
+	}
+
+	// Phase 3: replay everything since the scan started.
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	i := sort.Search(len(s.log), func(i int) bool { return s.log[i].SCN > start })
+	for ; i < len(s.log); i++ {
+		e := &s.log[i]
+		if !f.Match(e) {
+			continue
+		}
+		out := f.Apply(e)
+		out.EndOfTxn = true
+		if err := fn(out); err != nil {
+			return 0, err
+		}
+	}
+	return s.lastSCN, nil
+}
+
+// Catchup implements databus.BootstrapSource: consolidated delta when the
+// log reaches back far enough, snapshot+replay otherwise.
+func (s *Server) Catchup(sinceSCN int64, f *databus.Filter, fn func(databus.Event) error) (int64, error) {
+	events, resume, err := s.ConsolidatedDelta(sinceSCN, f)
+	if err == nil {
+		for _, e := range events {
+			if err := fn(e); err != nil {
+				return 0, err
+			}
+		}
+		return resume, nil
+	}
+	return s.Snapshot(f, fn)
+}

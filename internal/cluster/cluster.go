@@ -1,0 +1,220 @@
+// Package cluster holds the topology metadata a Voldemort deployment stores
+// on every node (§II.A of the paper): the full node→partition map, zone
+// definitions with proximity lists, and per-store configuration (replication
+// factor N, required reads R, required writes W).
+//
+// Keeping the complete topology on every node is the design choice that
+// reduces lookups from Chord's O(log N) to O(1).
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// Zone is a group of co-located nodes (typically a datacenter). ProximityList
+// orders the other zones by network distance, nearest first.
+type Zone struct {
+	ID            int   `json:"id"`
+	ProximityList []int `json:"proximityList"`
+}
+
+// Node is one Voldemort server: a unique id, an address, the zone it lives
+// in, and the set of logical partitions it owns.
+type Node struct {
+	ID         int    `json:"id"`
+	Host       string `json:"host"`
+	Port       int    `json:"port"`
+	ZoneID     int    `json:"zoneId"`
+	Partitions []int  `json:"partitions"`
+}
+
+// Addr returns the host:port dial address for the node.
+func (n *Node) Addr() string { return fmt.Sprintf("%s:%d", n.Host, n.Port) }
+
+// Cluster is the full topology: every node and zone, plus the total number of
+// logical partitions the hash ring is split into.
+type Cluster struct {
+	Name          string  `json:"name"`
+	NumPartitions int     `json:"numPartitions"`
+	Nodes         []*Node `json:"nodes"`
+	Zones         []*Zone `json:"zones"`
+
+	partitionOwner map[int]int // partition id -> node id
+}
+
+// New assembles and validates a cluster. Every partition in [0,numPartitions)
+// must be owned by exactly one node.
+func New(name string, numPartitions int, nodes []*Node, zones []*Zone) (*Cluster, error) {
+	c := &Cluster{Name: name, NumPartitions: numPartitions, Nodes: nodes, Zones: zones}
+	if err := c.reindex(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *Cluster) reindex() error {
+	if c.NumPartitions <= 0 {
+		return fmt.Errorf("cluster %q: numPartitions must be positive, got %d", c.Name, c.NumPartitions)
+	}
+	c.partitionOwner = make(map[int]int, c.NumPartitions)
+	seenNode := make(map[int]bool)
+	for _, n := range c.Nodes {
+		if seenNode[n.ID] {
+			return fmt.Errorf("cluster %q: duplicate node id %d", c.Name, n.ID)
+		}
+		seenNode[n.ID] = true
+		for _, p := range n.Partitions {
+			if p < 0 || p >= c.NumPartitions {
+				return fmt.Errorf("cluster %q: node %d owns out-of-range partition %d", c.Name, n.ID, p)
+			}
+			if owner, dup := c.partitionOwner[p]; dup {
+				return fmt.Errorf("cluster %q: partition %d owned by both node %d and node %d", c.Name, p, owner, n.ID)
+			}
+			c.partitionOwner[p] = n.ID
+		}
+	}
+	if len(c.partitionOwner) != c.NumPartitions {
+		return fmt.Errorf("cluster %q: %d of %d partitions unowned", c.Name,
+			c.NumPartitions-len(c.partitionOwner), c.NumPartitions)
+	}
+	return nil
+}
+
+// NodeByID returns the node with the given id, or nil.
+func (c *Cluster) NodeByID(id int) *Node {
+	for _, n := range c.Nodes {
+		if n.ID == id {
+			return n
+		}
+	}
+	return nil
+}
+
+// ZoneByID returns the zone with the given id, or nil.
+func (c *Cluster) ZoneByID(id int) *Zone {
+	for _, z := range c.Zones {
+		if z.ID == id {
+			return z
+		}
+	}
+	return nil
+}
+
+// OwnerOf returns the node owning partition p.
+func (c *Cluster) OwnerOf(p int) (*Node, error) {
+	id, ok := c.partitionOwner[p]
+	if !ok {
+		return nil, fmt.Errorf("cluster %q: no owner for partition %d", c.Name, p)
+	}
+	return c.NodeByID(id), nil
+}
+
+// SetOwner reassigns partition p to node id (used during rebalancing) and
+// updates both the owner index and the per-node partition lists.
+func (c *Cluster) SetOwner(p, nodeID int) error {
+	if p < 0 || p >= c.NumPartitions {
+		return fmt.Errorf("cluster %q: partition %d out of range", c.Name, p)
+	}
+	newOwner := c.NodeByID(nodeID)
+	if newOwner == nil {
+		return fmt.Errorf("cluster %q: unknown node %d", c.Name, nodeID)
+	}
+	if old, ok := c.partitionOwner[p]; ok {
+		if old == nodeID {
+			return nil
+		}
+		oldNode := c.NodeByID(old)
+		kept := oldNode.Partitions[:0]
+		for _, q := range oldNode.Partitions {
+			if q != p {
+				kept = append(kept, q)
+			}
+		}
+		oldNode.Partitions = kept
+	}
+	newOwner.Partitions = append(newOwner.Partitions, p)
+	sort.Ints(newOwner.Partitions)
+	c.partitionOwner[p] = nodeID
+	return nil
+}
+
+// Clone deep-copies the cluster so a rebalance plan can be applied to a copy.
+func (c *Cluster) Clone() *Cluster {
+	nodes := make([]*Node, len(c.Nodes))
+	for i, n := range c.Nodes {
+		parts := make([]int, len(n.Partitions))
+		copy(parts, n.Partitions)
+		nodes[i] = &Node{ID: n.ID, Host: n.Host, Port: n.Port, ZoneID: n.ZoneID, Partitions: parts}
+	}
+	zones := make([]*Zone, len(c.Zones))
+	for i, z := range c.Zones {
+		prox := make([]int, len(z.ProximityList))
+		copy(prox, z.ProximityList)
+		zones[i] = &Zone{ID: z.ID, ProximityList: prox}
+	}
+	out, err := New(c.Name, c.NumPartitions, nodes, zones)
+	if err != nil {
+		panic("cluster: clone of valid cluster invalid: " + err.Error())
+	}
+	return out
+}
+
+// MarshalJSON serializes the cluster config.
+func (c *Cluster) MarshalJSON() ([]byte, error) {
+	type alias Cluster
+	return json.Marshal((*alias)(c))
+}
+
+// UnmarshalJSON parses and validates a cluster config.
+func (c *Cluster) UnmarshalJSON(data []byte) error {
+	type alias Cluster
+	if err := json.Unmarshal(data, (*alias)(c)); err != nil {
+		return err
+	}
+	return c.reindex()
+}
+
+// Uniform builds a cluster of n nodes in one zone with numPartitions spread
+// round-robin — the standard test and quickstart topology.
+func Uniform(name string, n, numPartitions, basePort int) *Cluster {
+	nodes := make([]*Node, n)
+	for i := range nodes {
+		nodes[i] = &Node{ID: i, Host: "127.0.0.1", Port: basePort + i, ZoneID: 0}
+	}
+	for p := 0; p < numPartitions; p++ {
+		nodes[p%n].Partitions = append(nodes[p%n].Partitions, p)
+	}
+	c, err := New(name, numPartitions, nodes, []*Zone{{ID: 0}})
+	if err != nil {
+		panic("cluster: uniform construction failed: " + err.Error())
+	}
+	return c
+}
+
+// UniformZoned builds a cluster with nodes spread evenly across zones;
+// node i goes to zone i%zones, partitions assigned round-robin so replicas
+// can land in distinct zones.
+func UniformZoned(name string, n, numPartitions, zones, basePort int) *Cluster {
+	nodes := make([]*Node, n)
+	for i := range nodes {
+		nodes[i] = &Node{ID: i, Host: "127.0.0.1", Port: basePort + i, ZoneID: i % zones}
+	}
+	for p := 0; p < numPartitions; p++ {
+		nodes[p%n].Partitions = append(nodes[p%n].Partitions, p)
+	}
+	zs := make([]*Zone, zones)
+	for z := range zs {
+		var prox []int
+		for o := 1; o < zones; o++ {
+			prox = append(prox, (z+o)%zones)
+		}
+		zs[z] = &Zone{ID: z, ProximityList: prox}
+	}
+	c, err := New(name, numPartitions, nodes, zs)
+	if err != nil {
+		panic("cluster: zoned construction failed: " + err.Error())
+	}
+	return c
+}

@@ -1,0 +1,175 @@
+package cluster
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestUniformCoversAllPartitions(t *testing.T) {
+	c := Uniform("t", 3, 12, 7000)
+	for p := 0; p < 12; p++ {
+		n, err := c.OwnerOf(p)
+		if err != nil {
+			t.Fatalf("partition %d unowned: %v", p, err)
+		}
+		if n == nil {
+			t.Fatalf("partition %d owner nil", p)
+		}
+	}
+}
+
+func TestNewRejectsUnownedPartition(t *testing.T) {
+	nodes := []*Node{{ID: 0, Partitions: []int{0, 1}}}
+	if _, err := New("bad", 3, nodes, nil); err == nil {
+		t.Fatal("unowned partition accepted")
+	}
+}
+
+func TestNewRejectsDuplicateOwnership(t *testing.T) {
+	nodes := []*Node{
+		{ID: 0, Partitions: []int{0, 1}},
+		{ID: 1, Partitions: []int{1}},
+	}
+	if _, err := New("bad", 2, nodes, nil); err == nil {
+		t.Fatal("duplicate partition ownership accepted")
+	}
+}
+
+func TestNewRejectsDuplicateNodeID(t *testing.T) {
+	nodes := []*Node{
+		{ID: 0, Partitions: []int{0}},
+		{ID: 0, Partitions: []int{1}},
+	}
+	if _, err := New("bad", 2, nodes, nil); err == nil {
+		t.Fatal("duplicate node id accepted")
+	}
+}
+
+func TestNewRejectsOutOfRangePartition(t *testing.T) {
+	nodes := []*Node{{ID: 0, Partitions: []int{0, 5}}}
+	if _, err := New("bad", 2, nodes, nil); err == nil {
+		t.Fatal("out-of-range partition accepted")
+	}
+}
+
+func TestSetOwnerMovesPartition(t *testing.T) {
+	c := Uniform("t", 2, 4, 7000)
+	owner, _ := c.OwnerOf(0)
+	target := 1 - owner.ID
+	if err := c.SetOwner(0, target); err != nil {
+		t.Fatal(err)
+	}
+	newOwner, _ := c.OwnerOf(0)
+	if newOwner.ID != target {
+		t.Fatalf("owner of 0 is %d, want %d", newOwner.ID, target)
+	}
+	// old node's list must not contain 0 anymore
+	for _, p := range c.NodeByID(owner.ID).Partitions {
+		if p == 0 {
+			t.Fatal("old owner still lists partition 0")
+		}
+	}
+	// new node's list must contain 0
+	found := false
+	for _, p := range c.NodeByID(target).Partitions {
+		if p == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("new owner does not list partition 0")
+	}
+}
+
+func TestSetOwnerErrors(t *testing.T) {
+	c := Uniform("t", 2, 4, 7000)
+	if err := c.SetOwner(99, 0); err == nil {
+		t.Fatal("out-of-range partition move accepted")
+	}
+	if err := c.SetOwner(0, 42); err == nil {
+		t.Fatal("unknown target node accepted")
+	}
+}
+
+func TestCloneIsolation(t *testing.T) {
+	c := Uniform("t", 2, 4, 7000)
+	clone := c.Clone()
+	owner, _ := c.OwnerOf(0)
+	if err := clone.SetOwner(0, 1-owner.ID); err != nil {
+		t.Fatal(err)
+	}
+	origOwner, _ := c.OwnerOf(0)
+	if origOwner.ID != owner.ID {
+		t.Fatal("mutation of clone leaked into original")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	c := UniformZoned("t", 4, 8, 2, 7000)
+	data, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Cluster
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.NumPartitions != 8 || len(got.Nodes) != 4 || len(got.Zones) != 2 {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if _, err := got.OwnerOf(7); err != nil {
+		t.Fatalf("owner index not rebuilt after unmarshal: %v", err)
+	}
+}
+
+func TestJSONRejectsInvalid(t *testing.T) {
+	bad := []byte(`{"name":"x","numPartitions":4,"nodes":[{"id":0,"partitions":[0,1]}]}`)
+	var c Cluster
+	if err := json.Unmarshal(bad, &c); err == nil {
+		t.Fatal("invalid cluster config accepted")
+	}
+}
+
+func TestStoreDefValidate(t *testing.T) {
+	d := (&StoreDef{Name: "s", Replication: 2, RequiredReads: 1, RequiredWrites: 2}).WithDefaults()
+	if err := d.Validate(3); err != nil {
+		t.Fatal(err)
+	}
+	cases := []*StoreDef{
+		{Name: "", Replication: 1, RequiredReads: 1, RequiredWrites: 1},
+		{Name: "s", Replication: 0, RequiredReads: 1, RequiredWrites: 1},
+		{Name: "s", Replication: 4, RequiredReads: 1, RequiredWrites: 1}, // > nodes
+		{Name: "s", Replication: 2, RequiredReads: 3, RequiredWrites: 1},
+		{Name: "s", Replication: 2, RequiredReads: 1, RequiredWrites: 0},
+	}
+	for i, bad := range cases {
+		if err := bad.Validate(3); err == nil {
+			t.Errorf("case %d: invalid storedef accepted: %v", i, bad)
+		}
+	}
+}
+
+func TestStoreDefDefaults(t *testing.T) {
+	d := (&StoreDef{Name: "s", Replication: 3, RequiredReads: 2, RequiredWrites: 2}).WithDefaults()
+	if d.PreferredReads != 3 || d.PreferredWrites != 3 {
+		t.Fatalf("preferred defaults wrong: %+v", d)
+	}
+	if d.Engine != EngineMemory || d.Routing != RouteClient {
+		t.Fatalf("engine/routing defaults wrong: %+v", d)
+	}
+}
+
+func TestParseStoreDefs(t *testing.T) {
+	data := []byte(`[{"name":"a","replication":2,"requiredReads":1,"requiredWrites":1},
+		{"name":"b","engine":"bitcask","replication":1,"requiredReads":1,"requiredWrites":1}]`)
+	defs, err := ParseStoreDefs(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(defs) != 2 || defs[1].Engine != EngineBitcask {
+		t.Fatalf("parse mismatch: %+v", defs)
+	}
+	if _, err := ParseStoreDefs([]byte("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

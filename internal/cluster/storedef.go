@@ -1,0 +1,108 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// EngineType identifies a storage-engine implementation behind the pluggable
+// Store interface of Figure II.1.
+type EngineType string
+
+// Supported engine types.
+const (
+	EngineMemory   EngineType = "memory"   // in-heap, for tests and caches
+	EngineBitcask  EngineType = "bitcask"  // durable log-structured (BDB substitute)
+	EngineReadOnly EngineType = "readonly" // static index/data files built offline
+)
+
+// RoutingTier says whether the client or the server walks the ring.
+type RoutingTier string
+
+// Routing tiers.
+const (
+	RouteClient RoutingTier = "client"
+	RouteServer RoutingTier = "server"
+)
+
+// StoreDef is the per-store ("database table") configuration described in
+// §II.B: replication factor, required reads/writes, engine and serialization
+// choices, and optional zone-routing requirements.
+type StoreDef struct {
+	Name            string      `json:"name"`
+	Engine          EngineType  `json:"engine"`
+	Routing         RoutingTier `json:"routing"`
+	Replication     int         `json:"replication"`     // N
+	RequiredReads   int         `json:"requiredReads"`   // R
+	RequiredWrites  int         `json:"requiredWrites"`  // W
+	PreferredReads  int         `json:"preferredReads"`  // defaults to N
+	PreferredWrites int         `json:"preferredWrites"` // defaults to N
+	ZoneCountReads  int         `json:"zoneCountReads"`  // zones that must answer a read
+	ZoneCountWrites int         `json:"zoneCountWrites"` // zones that must ack a write
+	KeySerializer   string      `json:"keySerializer"`   // e.g. "string", "bytes", "json"
+	ValueSerializer string      `json:"valueSerializer"` // e.g. "string", "bytes", "json"
+	RetentionDays   int         `json:"retentionDays"`   // 0 = keep forever
+	HintedHandoff   bool        `json:"hintedHandoff"`   // enable write hints (§II.B repair)
+	ReadRepair      bool        `json:"readRepair"`      // enable read repair (§II.B repair)
+}
+
+// Validate checks the quorum arithmetic.
+func (d *StoreDef) Validate(numNodes int) error {
+	if d.Name == "" {
+		return fmt.Errorf("storedef: empty name")
+	}
+	if d.Replication < 1 {
+		return fmt.Errorf("storedef %q: replication %d < 1", d.Name, d.Replication)
+	}
+	if d.Replication > numNodes {
+		return fmt.Errorf("storedef %q: replication %d exceeds cluster size %d", d.Name, d.Replication, numNodes)
+	}
+	if d.RequiredReads < 1 || d.RequiredReads > d.Replication {
+		return fmt.Errorf("storedef %q: requiredReads %d outside [1,%d]", d.Name, d.RequiredReads, d.Replication)
+	}
+	if d.RequiredWrites < 1 || d.RequiredWrites > d.Replication {
+		return fmt.Errorf("storedef %q: requiredWrites %d outside [1,%d]", d.Name, d.RequiredWrites, d.Replication)
+	}
+	return nil
+}
+
+// WithDefaults fills PreferredReads/Writes and engine defaults, returning the
+// receiver for chaining.
+func (d *StoreDef) WithDefaults() *StoreDef {
+	if d.PreferredReads == 0 {
+		d.PreferredReads = d.Replication
+	}
+	if d.PreferredWrites == 0 {
+		d.PreferredWrites = d.Replication
+	}
+	if d.Engine == "" {
+		d.Engine = EngineMemory
+	}
+	if d.Routing == "" {
+		d.Routing = RouteClient
+	}
+	if d.KeySerializer == "" {
+		d.KeySerializer = "bytes"
+	}
+	if d.ValueSerializer == "" {
+		d.ValueSerializer = "bytes"
+	}
+	return d
+}
+
+// String summarizes the quorum configuration.
+func (d *StoreDef) String() string {
+	return fmt.Sprintf("%s[N=%d R=%d W=%d %s]", d.Name, d.Replication, d.RequiredReads, d.RequiredWrites, d.Engine)
+}
+
+// ParseStoreDefs decodes a JSON array of store definitions.
+func ParseStoreDefs(data []byte) ([]*StoreDef, error) {
+	var defs []*StoreDef
+	if err := json.Unmarshal(data, &defs); err != nil {
+		return nil, fmt.Errorf("storedef: %w", err)
+	}
+	for _, d := range defs {
+		d.WithDefaults()
+	}
+	return defs, nil
+}

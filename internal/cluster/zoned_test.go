@@ -1,0 +1,52 @@
+package cluster
+
+import "testing"
+
+func TestUniformZonedLayout(t *testing.T) {
+	c := UniformZoned("z", 6, 12, 3, 7000)
+	if len(c.Zones) != 3 {
+		t.Fatalf("%d zones", len(c.Zones))
+	}
+	// nodes spread round-robin over zones
+	perZone := map[int]int{}
+	for _, n := range c.Nodes {
+		perZone[n.ZoneID]++
+	}
+	for z, n := range perZone {
+		if n != 2 {
+			t.Fatalf("zone %d has %d nodes", z, n)
+		}
+	}
+	// proximity lists enumerate every other zone exactly once
+	for _, z := range c.Zones {
+		if len(z.ProximityList) != 2 {
+			t.Fatalf("zone %d proximity = %v", z.ID, z.ProximityList)
+		}
+		seen := map[int]bool{z.ID: true}
+		for _, other := range z.ProximityList {
+			if seen[other] {
+				t.Fatalf("zone %d proximity repeats %d", z.ID, other)
+			}
+			seen[other] = true
+		}
+		if len(seen) != 3 {
+			t.Fatalf("zone %d proximity incomplete: %v", z.ID, z.ProximityList)
+		}
+	}
+	// all partitions owned
+	for p := 0; p < 12; p++ {
+		if _, err := c.OwnerOf(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestZoneByID(t *testing.T) {
+	c := UniformZoned("z", 4, 8, 2, 7000)
+	if c.ZoneByID(1) == nil {
+		t.Fatal("zone 1 missing")
+	}
+	if c.ZoneByID(9) != nil {
+		t.Fatal("phantom zone")
+	}
+}

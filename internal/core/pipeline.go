@@ -1,0 +1,269 @@
+// Package core wires the paper's systems into the site-wide data flow of
+// Figure I.1: Espresso is the primary online store; every change it commits
+// flows through Databus to the subscriber systems — here a Voldemort-backed
+// read cache and a search index — while user-activity events flow through
+// Kafka from the live datacenter to an offline cluster via the embedded
+// mirror consumer.
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"datainfra/internal/databus"
+	"datainfra/internal/docindex"
+	"datainfra/internal/espresso"
+	"datainfra/internal/kafka"
+	"datainfra/internal/schema"
+	"datainfra/internal/storage"
+	"datainfra/internal/vclock"
+	"datainfra/internal/versioned"
+	"datainfra/internal/voldemort"
+)
+
+// PipelineConfig sizes the demo site.
+type PipelineConfig struct {
+	Database        *espresso.Database // primary store definition
+	StorageNodes    int                // Espresso nodes; default 3
+	KafkaDataDir    string             // broker storage root (required)
+	KafkaPartitions int                // partitions per topic; default 4
+}
+
+// Pipeline is the assembled Figure I.1 stack.
+type Pipeline struct {
+	// Live storage.
+	Espresso *espresso.Cluster
+	// Stream layer: the Espresso cluster's relay doubles as the site's
+	// change-capture feed (§III: Databus is the central replication layer).
+	Cache *voldemort.EngineStore // Databus-fed read cache (Voldemort engine)
+	// Search subscriber (the People Search Index stand-in).
+	Search *docindex.Index
+	// Activity pipeline.
+	LiveKafka    *kafka.Broker
+	OfflineKafka *kafka.Broker
+	Mirror       *kafka.Mirror
+	Activity     *kafka.Producer
+
+	subscribers []*databus.Client
+}
+
+// NewPipeline boots every tier.
+func NewPipeline(cfg PipelineConfig) (*Pipeline, error) {
+	if cfg.Database == nil {
+		return nil, fmt.Errorf("core: pipeline needs a database definition")
+	}
+	if cfg.StorageNodes == 0 {
+		cfg.StorageNodes = 3
+	}
+	if cfg.KafkaPartitions == 0 {
+		cfg.KafkaPartitions = 4
+	}
+	p := &Pipeline{Search: docindex.New()}
+
+	// Live storage tier.
+	esp, err := espresso.NewCluster(cfg.Database)
+	if err != nil {
+		return nil, err
+	}
+	p.Espresso = esp
+	for i := 0; i < cfg.StorageNodes; i++ {
+		if _, err := esp.AddNode(fmt.Sprintf("es-%d", i)); err != nil {
+			p.Close()
+			return nil, err
+		}
+	}
+	if err := esp.WaitForMasters(10 * time.Second); err != nil {
+		p.Close()
+		return nil, err
+	}
+
+	// Databus subscribers: read cache + search indexer.
+	p.Cache = voldemort.NewEngineStore(storage.NewMemory("cache"), 0, nil)
+	cacheClient, err := databus.NewClient(databus.ClientConfig{
+		Relay:      esp.Relay,
+		Bootstrap:  esp.Boot,
+		Consumer:   databus.ConsumerFuncs{Event: p.applyCache},
+		PollExpiry: 5 * time.Millisecond,
+	})
+	if err != nil {
+		p.Close()
+		return nil, err
+	}
+	cacheClient.Start()
+	p.subscribers = append(p.subscribers, cacheClient)
+
+	searchClient, err := databus.NewClient(databus.ClientConfig{
+		Relay:      esp.Relay,
+		Bootstrap:  esp.Boot,
+		Consumer:   databus.ConsumerFuncs{Event: p.applySearch},
+		PollExpiry: 5 * time.Millisecond,
+	})
+	if err != nil {
+		p.Close()
+		return nil, err
+	}
+	searchClient.Start()
+	p.subscribers = append(p.subscribers, searchClient)
+
+	// Activity pipeline: live broker, offline broker, mirror.
+	live, err := kafka.NewBroker(0, cfg.KafkaDataDir+"/live", kafka.BrokerConfig{
+		PartitionsPerTopic: cfg.KafkaPartitions,
+		Log:                kafka.LogConfig{FlushMessages: 100, FlushInterval: 5 * time.Millisecond},
+	})
+	if err != nil {
+		p.Close()
+		return nil, err
+	}
+	p.LiveKafka = live
+	offline, err := kafka.NewBroker(1, cfg.KafkaDataDir+"/offline", kafka.BrokerConfig{
+		PartitionsPerTopic: cfg.KafkaPartitions,
+		Log:                kafka.LogConfig{FlushMessages: 100, FlushInterval: 5 * time.Millisecond},
+	})
+	if err != nil {
+		p.Close()
+		return nil, err
+	}
+	p.OfflineKafka = offline
+	p.Activity = kafka.NewProducer(live, kafka.ProducerConfig{BatchSize: 50, Compression: true, Linger: 5 * time.Millisecond})
+	return p, nil
+}
+
+// cacheKey is the rowID form used by the cache subscriber.
+func cacheKey(e *databus.Event) []byte { return e.Key }
+
+// applyCache maintains the Voldemort read cache from the change stream —
+// the "read replicas, invalidating and keeping caches consistent" use case
+// of §III.E.
+func (p *Pipeline) applyCache(e databus.Event) error {
+	if e.Op == databus.OpDelete {
+		_, err := p.Cache.Delete(cacheKey(&e), nil)
+		return err
+	}
+	// SCN-stamped clocks: later commits dominate earlier ones, and
+	// redelivered events are harmlessly obsolete.
+	clock := vclock.FromEntries([]vclock.Entry{{Node: 0, Version: uint64(e.SCN)}}, e.Timestamp)
+	err := p.Cache.Put(cacheKey(&e), versioned.With(e.Payload, clock), nil)
+	if errors.Is(err, versioned.ErrObsoleteVersion) {
+		return nil // replayed event; cache already newer
+	}
+	return err
+}
+
+// applySearch keeps the search index consistent with profile changes — the
+// Databus-fed People Search Index of §III.A.
+func (p *Pipeline) applySearch(e databus.Event) error {
+	docID := string(e.Key)
+	if e.Op == databus.OpDelete {
+		p.Search.Remove(docID)
+		return nil
+	}
+	var cr struct {
+		Table         string `json:"table"`
+		Val           []byte `json:"val"`
+		SchemaVersion int    `json:"schemaVersion"`
+	}
+	if err := json.Unmarshal(e.Payload, &cr); err != nil {
+		return err
+	}
+	subject := p.Espresso.DB.Schema.Name + "." + cr.Table
+	rec, err := p.Espresso.DB.Registry.Get(subject, cr.SchemaVersion)
+	if err != nil {
+		return err
+	}
+	doc, err := schema.Unmarshal(rec, cr.Val)
+	if err != nil {
+		return err
+	}
+	p.Search.Remove(docID)
+	for _, f := range rec.IndexedFields() {
+		if s, ok := doc[f.Name].(string); ok {
+			kind := docindex.Exact
+			if f.Index == schema.IndexText {
+				kind = docindex.Text
+			}
+			p.Search.Add(docID, f.Name, s, kind)
+		}
+	}
+	return nil
+}
+
+// Write commits a document to the primary store; Databus fans it out to the
+// cache and index asynchronously.
+func (p *Pipeline) Write(key espresso.DocKey, doc map[string]any) (*espresso.Row, error) {
+	node, err := p.Espresso.Route(key.ResourceID())
+	if err != nil {
+		return nil, err
+	}
+	return node.Put(key, doc, "")
+}
+
+// Read serves from the primary store.
+func (p *Pipeline) Read(key espresso.DocKey) (map[string]any, error) {
+	node, err := p.Espresso.Route(key.ResourceID())
+	if err != nil {
+		return nil, err
+	}
+	row, err := node.Get(key)
+	if err != nil {
+		return nil, err
+	}
+	return node.Document(row)
+}
+
+// CacheHas reports whether the Databus-fed cache has caught up for key.
+func (p *Pipeline) CacheHas(key espresso.DocKey) bool {
+	vs, err := p.Cache.Get([]byte(rowIDOf(key)), nil)
+	return err == nil && len(vs) > 0
+}
+
+// rowIDOf mirrors espresso's internal row id form for cache lookups.
+func rowIDOf(key espresso.DocKey) string {
+	id := key.Table
+	for _, part := range key.Parts {
+		id += "\x1f" + part
+	}
+	return id
+}
+
+// SearchText queries the subscriber-maintained index.
+func (p *Pipeline) SearchText(field, query string) []string {
+	return p.Search.QueryText(field, query)
+}
+
+// Track publishes a user-activity event to the live Kafka cluster.
+func (p *Pipeline) Track(topic string, key, payload []byte) error {
+	return p.Activity.Send(topic, key, payload)
+}
+
+// StartMirror begins replicating topic to the offline cluster (§V.D).
+func (p *Pipeline) StartMirror(topic string) error {
+	if p.Mirror != nil {
+		p.Mirror.Close()
+	}
+	p.Mirror = kafka.NewMirror(p.LiveKafka, p.OfflineKafka, topic)
+	return p.Mirror.Start()
+}
+
+// Close tears the stack down.
+func (p *Pipeline) Close() {
+	for _, c := range p.subscribers {
+		c.Close()
+	}
+	if p.Activity != nil {
+		p.Activity.Close()
+	}
+	if p.Mirror != nil {
+		p.Mirror.Close()
+	}
+	if p.LiveKafka != nil {
+		p.LiveKafka.Close()
+	}
+	if p.OfflineKafka != nil {
+		p.OfflineKafka.Close()
+	}
+	if p.Espresso != nil {
+		p.Espresso.Close()
+	}
+}

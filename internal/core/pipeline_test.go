@@ -1,0 +1,157 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"datainfra/internal/espresso"
+	"datainfra/internal/kafka"
+	"datainfra/internal/schema"
+)
+
+// memberDB is the member-profile database powering the Figure I.1 demo.
+func memberDB(t testing.TB) *espresso.Database {
+	t.Helper()
+	db, err := espresso.NewDatabase(
+		espresso.DatabaseSchema{Name: "Members", NumPartitions: 4, Replicas: 2},
+		[]*espresso.TableSchema{{Name: "Profile", KeyParts: []string{"member"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.SetDocumentSchema("Profile", schema.MustParse(`{
+		"name":"Profile","fields":[
+			{"name":"name","type":"string"},
+			{"name":"headline","type":"string","index":"text"},
+			{"name":"company","type":"string","index":"exact"}
+		]}`)); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func newPipeline(t testing.TB) *Pipeline {
+	t.Helper()
+	p, err := NewPipeline(PipelineConfig{
+		Database:     memberDB(t),
+		StorageNodes: 2,
+		KafkaDataDir: t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	return p
+}
+
+func profileKey(member string) espresso.DocKey {
+	return espresso.DocKey{Table: "Profile", Parts: []string{member}}
+}
+
+func waitUntil(t testing.TB, what string, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestPipelinePrimaryReadWrite(t *testing.T) {
+	p := newPipeline(t)
+	key := profileKey("jkreps")
+	if _, err := p.Write(key, map[string]any{
+		"name": "Jay", "headline": "building kafka at linkedin", "company": "LinkedIn"}); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := p.Read(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc["name"] != "Jay" {
+		t.Fatalf("doc = %v", doc)
+	}
+}
+
+func TestPipelineCacheFollowsChanges(t *testing.T) {
+	p := newPipeline(t)
+	key := profileKey("nneha")
+	if _, err := p.Write(key, map[string]any{
+		"name": "Neha", "headline": "streams", "company": "LinkedIn"}); err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, "cache to absorb the change", 5*time.Second, func() bool {
+		return p.CacheHas(key)
+	})
+}
+
+func TestPipelineSearchFollowsChanges(t *testing.T) {
+	p := newPipeline(t)
+	for i, headline := range []string{
+		"distributed systems engineer",
+		"site reliability engineer",
+		"product designer",
+	} {
+		if _, err := p.Write(profileKey(fmt.Sprintf("m%d", i)), map[string]any{
+			"name": fmt.Sprintf("m%d", i), "headline": headline, "company": "LinkedIn"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitUntil(t, "search index to absorb the changes", 5*time.Second, func() bool {
+		return len(p.SearchText("headline", "engineer")) == 2
+	})
+	// updates re-index downstream too
+	if _, err := p.Write(profileKey("m2"), map[string]any{
+		"name": "m2", "headline": "engineer now", "company": "LinkedIn"}); err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, "search index to absorb the update", 5*time.Second, func() bool {
+		return len(p.SearchText("headline", "engineer")) == 3
+	})
+}
+
+func TestPipelineActivityMirroring(t *testing.T) {
+	p := newPipeline(t)
+	const total = 80
+	for i := 0; i < total; i++ {
+		if err := p.Track("page_views", []byte(fmt.Sprintf("m%d", i%8)),
+			[]byte(fmt.Sprintf(`{"member":"m%d","page":"/feed"}`, i%8))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Activity.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.StartMirror("page_views"); err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, "mirror to copy all events", 10*time.Second, func() bool {
+		return p.Mirror.Copied() >= total
+	})
+	// offline cluster serves the events for batch jobs
+	if err := p.OfflineKafka.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	sc := kafka.NewSimpleConsumer(p.OfflineKafka, 1<<20)
+	n, err := p.OfflineKafka.Partitions("page_views")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	for part := 0; part < n; part++ {
+		off := int64(0)
+		for {
+			msgs, err := sc.Consume("page_views", part, off)
+			if err != nil || len(msgs) == 0 {
+				break
+			}
+			got += len(msgs)
+			off = msgs[len(msgs)-1].NextOffset
+		}
+	}
+	if got != total {
+		t.Fatalf("offline cluster has %d/%d events", got, total)
+	}
+}

@@ -1,0 +1,218 @@
+package databus
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Consumer receives the Databus callbacks (push interface, §III.C). OnEvent
+// returning an error triggers the client library's retry logic; OnCheckpoint
+// fires at transaction boundaries with the restart SCN.
+type Consumer interface {
+	OnEvent(e Event) error
+	OnCheckpoint(scn int64)
+}
+
+// ConsumerFuncs adapts plain functions to Consumer.
+type ConsumerFuncs struct {
+	Event      func(e Event) error
+	Checkpoint func(scn int64)
+}
+
+// OnEvent calls Event if set.
+func (c ConsumerFuncs) OnEvent(e Event) error {
+	if c.Event != nil {
+		return c.Event(e)
+	}
+	return nil
+}
+
+// OnCheckpoint calls Checkpoint if set.
+func (c ConsumerFuncs) OnCheckpoint(scn int64) {
+	if c.Checkpoint != nil {
+		c.Checkpoint(scn)
+	}
+}
+
+// EventReader is the pull surface of a relay (in-process or a remote
+// transport): events after sinceSCN, blocking up to timeout when caught up.
+type EventReader interface {
+	ReadBlocking(sinceSCN int64, maxEvents int, f *Filter, timeout time.Duration) ([]Event, error)
+}
+
+// BootstrapSource serves arbitrary look-back queries when the relay buffer
+// no longer covers the client's SCN (§III.C bootstrap server). Catchup
+// streams events (consolidated delta or snapshot+replay as it sees fit) and
+// returns the SCN at which relay consumption may resume.
+type BootstrapSource interface {
+	Catchup(sinceSCN int64, f *Filter, fn func(Event) error) (int64, error)
+}
+
+// ClientConfig assembles a Databus client.
+type ClientConfig struct {
+	Relay      EventReader
+	Bootstrap  BootstrapSource // optional; without it ErrSCNTooOld is fatal
+	Consumer   Consumer
+	Filter     *Filter
+	FromSCN    int64         // resume point (0 = start of stream)
+	BatchSize  int           // events per poll; default 512
+	Retries    int           // per-event OnEvent retries; default 3
+	PollExpiry time.Duration // blocking-read timeout; default 100ms
+}
+
+// Client is the Databus client library: it tracks progress in the event
+// stream, switches automatically between the relay and the bootstrap
+// service, retries failing consumers and checkpoints at transaction
+// boundaries (§III.C).
+type Client struct {
+	cfg ClientConfig
+
+	scn        atomic.Int64
+	bootstraps atomic.Int64
+	delivered  atomic.Int64
+
+	stop chan struct{}
+	once sync.Once
+	wg   sync.WaitGroup
+	err  atomic.Value // last fatal error
+}
+
+// NewClient validates the configuration.
+func NewClient(cfg ClientConfig) (*Client, error) {
+	if cfg.Relay == nil {
+		return nil, errors.New("databus: client needs a relay")
+	}
+	if cfg.Consumer == nil {
+		return nil, errors.New("databus: client needs a consumer")
+	}
+	if cfg.BatchSize == 0 {
+		cfg.BatchSize = 512
+	}
+	if cfg.Retries == 0 {
+		cfg.Retries = 3
+	}
+	if cfg.PollExpiry == 0 {
+		cfg.PollExpiry = 100 * time.Millisecond
+	}
+	c := &Client{cfg: cfg, stop: make(chan struct{})}
+	c.scn.Store(cfg.FromSCN)
+	return c, nil
+}
+
+// SCN returns the client's current checkpoint.
+func (c *Client) SCN() int64 { return c.scn.Load() }
+
+// Delivered returns the number of events handed to the consumer.
+func (c *Client) Delivered() int64 { return c.delivered.Load() }
+
+// Bootstraps returns how many times the client fell back to the bootstrap
+// service.
+func (c *Client) Bootstraps() int64 { return c.bootstraps.Load() }
+
+// Err returns the fatal error that stopped the client, if any.
+func (c *Client) Err() error {
+	if v := c.err.Load(); v != nil {
+		return v.(error)
+	}
+	return nil
+}
+
+// Start launches the consumption loop.
+func (c *Client) Start() {
+	c.wg.Add(1)
+	go c.run()
+}
+
+// Poll runs one synchronous consumption step (for tests and simple apps):
+// it reads a batch and delivers it, returning the number of events handled.
+func (c *Client) Poll() (int, error) {
+	return c.step()
+}
+
+func (c *Client) run() {
+	defer c.wg.Done()
+	for {
+		select {
+		case <-c.stop:
+			return
+		default:
+		}
+		if _, err := c.step(); err != nil {
+			c.err.Store(err)
+			return
+		}
+	}
+}
+
+func (c *Client) step() (int, error) {
+	events, err := c.cfg.Relay.ReadBlocking(c.scn.Load(), c.cfg.BatchSize, c.cfg.Filter, c.cfg.PollExpiry)
+	switch {
+	case errors.Is(err, ErrSCNTooOld):
+		return c.bootstrap()
+	case errors.Is(err, ErrClosed):
+		return 0, err
+	case err != nil:
+		return 0, fmt.Errorf("databus: relay read: %w", err)
+	}
+	return c.deliver(events)
+}
+
+func (c *Client) bootstrap() (int, error) {
+	if c.cfg.Bootstrap == nil {
+		return 0, fmt.Errorf("databus: fell off relay buffer at SCN %d and no bootstrap server configured", c.scn.Load())
+	}
+	c.bootstraps.Add(1)
+	n := 0
+	resume, err := c.cfg.Bootstrap.Catchup(c.scn.Load(), c.cfg.Filter, func(e Event) error {
+		if err := c.deliverOne(e); err != nil {
+			return err
+		}
+		n++
+		return nil
+	})
+	if err != nil {
+		return n, fmt.Errorf("databus: bootstrap catchup: %w", err)
+	}
+	c.scn.Store(resume)
+	c.cfg.Consumer.OnCheckpoint(resume)
+	return n, nil
+}
+
+func (c *Client) deliver(events []Event) (int, error) {
+	n := 0
+	for _, e := range events {
+		if err := c.deliverOne(e); err != nil {
+			return n, err
+		}
+		n++
+		if e.EndOfTxn {
+			// Checkpoint at transaction boundaries: at-least-once with
+			// transactional semantics.
+			c.scn.Store(e.SCN)
+			c.cfg.Consumer.OnCheckpoint(e.SCN)
+		}
+	}
+	return n, nil
+}
+
+func (c *Client) deliverOne(e Event) error {
+	var lastErr error
+	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
+		if err := c.cfg.Consumer.OnEvent(e); err != nil {
+			lastErr = err
+			continue
+		}
+		c.delivered.Add(1)
+		return nil
+	}
+	return fmt.Errorf("databus: consumer failed %d times on SCN %d: %w", c.cfg.Retries+1, e.SCN, lastErr)
+}
+
+// Close stops the loop.
+func (c *Client) Close() {
+	c.once.Do(func() { close(c.stop) })
+	c.wg.Wait()
+}

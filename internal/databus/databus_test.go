@@ -1,0 +1,476 @@
+package databus
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func ev(source, key, payload string) Event {
+	return Event{Source: source, Key: []byte(key), Payload: []byte(payload)}
+}
+
+func TestEventCodecRoundTrip(t *testing.T) {
+	e := Event{
+		SCN: 42, TxnID: 42, EndOfTxn: true, Source: "profiles",
+		Op: OpDelete, Key: []byte("k"), Payload: []byte("p"),
+		SchemaVersion: 3, Timestamp: 1234, Partition: 7,
+	}
+	data, err := e.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Event
+	if err := got.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if got.SCN != 42 || !got.EndOfTxn || got.Source != "profiles" || got.Op != OpDelete ||
+		string(got.Key) != "k" || string(got.Payload) != "p" || got.SchemaVersion != 3 ||
+		got.Timestamp != 1234 || got.Partition != 7 {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestEventCodecCorrupt(t *testing.T) {
+	e := ev("s", "k", "p")
+	data, _ := e.MarshalBinary()
+	for _, cut := range []int{0, 8, len(data) - 1} {
+		var got Event
+		if err := got.UnmarshalBinary(data[:cut]); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+	var got Event
+	if err := got.UnmarshalBinary(append(append([]byte{}, data...), 1)); err == nil {
+		t.Error("trailing byte accepted")
+	}
+}
+
+func TestRelayAppendRead(t *testing.T) {
+	r := NewRelay(RelayConfig{})
+	defer r.Close()
+	for i := 1; i <= 10; i++ {
+		if err := r.Append(Txn{SCN: int64(i), Events: []Event{ev("s", fmt.Sprintf("k%d", i), "v")}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	events, err := r.Read(0, 100, nil)
+	if err != nil || len(events) != 10 {
+		t.Fatalf("Read(0) = (%d, %v)", len(events), err)
+	}
+	if events[0].SCN != 1 || events[9].SCN != 10 {
+		t.Fatalf("order: %d..%d", events[0].SCN, events[9].SCN)
+	}
+	// resume mid-stream
+	events, _ = r.Read(7, 100, nil)
+	if len(events) != 3 || events[0].SCN != 8 {
+		t.Fatalf("Read(7): %d events from %d", len(events), events[0].SCN)
+	}
+	// caught up
+	events, _ = r.Read(10, 100, nil)
+	if len(events) != 0 {
+		t.Fatalf("caught-up read returned %d events", len(events))
+	}
+}
+
+func TestRelayMonotonicSCN(t *testing.T) {
+	r := NewRelay(RelayConfig{})
+	defer r.Close()
+	r.Append(Txn{SCN: 5, Events: []Event{ev("s", "k", "v")}})
+	if err := r.Append(Txn{SCN: 5, Events: []Event{ev("s", "k", "v")}}); !errors.Is(err, ErrNonMonotonicSCN) {
+		t.Fatalf("equal SCN err = %v", err)
+	}
+	if err := r.Append(Txn{SCN: 3, Events: []Event{ev("s", "k", "v")}}); !errors.Is(err, ErrNonMonotonicSCN) {
+		t.Fatalf("lower SCN err = %v", err)
+	}
+}
+
+func TestRelayTxnBoundariesPreserved(t *testing.T) {
+	r := NewRelay(RelayConfig{})
+	defer r.Close()
+	// txn with 3 events (mailbox insert + unread count + index update)
+	r.Append(Txn{SCN: 1, Events: []Event{ev("mail", "m1", "a"), ev("counts", "m1", "b"), ev("idx", "m1", "c")}})
+	events, _ := r.Read(0, 100, nil)
+	if len(events) != 3 {
+		t.Fatalf("%d events", len(events))
+	}
+	if events[0].EndOfTxn || events[1].EndOfTxn || !events[2].EndOfTxn {
+		t.Fatalf("EndOfTxn flags wrong: %v %v %v", events[0].EndOfTxn, events[1].EndOfTxn, events[2].EndOfTxn)
+	}
+	for _, e := range events {
+		if e.TxnID != 1 || e.SCN != 1 {
+			t.Fatalf("txn stamping wrong: %+v", e)
+		}
+	}
+}
+
+func TestRelayNeverSplitsTxnAtBatchBoundary(t *testing.T) {
+	r := NewRelay(RelayConfig{})
+	defer r.Close()
+	r.Append(Txn{SCN: 1, Events: []Event{ev("s", "a", "1"), ev("s", "b", "2"), ev("s", "c", "3")}})
+	r.Append(Txn{SCN: 2, Events: []Event{ev("s", "d", "4")}})
+	// maxEvents=2 lands mid-txn: the relay must extend to the boundary.
+	events, err := r.Read(0, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 3 {
+		t.Fatalf("%d events returned, want full txn of 3", len(events))
+	}
+	if !events[2].EndOfTxn {
+		t.Fatal("batch does not end at a txn boundary")
+	}
+}
+
+func TestRelayFilterBySourceAndPartition(t *testing.T) {
+	r := NewRelay(RelayConfig{})
+	defer r.Close()
+	for i := 1; i <= 20; i++ {
+		e := ev("s", fmt.Sprintf("k%d", i), "v")
+		if i%2 == 0 {
+			e.Source = "other"
+		}
+		e.ComputePartition(4)
+		r.Append(Txn{SCN: int64(i), Events: []Event{e}})
+	}
+	events, _ := r.Read(0, 100, &Filter{Sources: []string{"other"}})
+	if len(events) != 10 {
+		t.Fatalf("source filter: %d events", len(events))
+	}
+	all, _ := r.Read(0, 100, nil)
+	partCount := map[int]int{}
+	for _, e := range all {
+		partCount[e.Partition]++
+	}
+	events, _ = r.Read(0, 100, &Filter{Partitions: []int{2}})
+	if len(events) != partCount[2] {
+		t.Fatalf("partition filter: %d events, want %d", len(events), partCount[2])
+	}
+	for _, e := range events {
+		if e.Partition != 2 {
+			t.Fatalf("leaked partition %d", e.Partition)
+		}
+	}
+}
+
+func TestRelayEvictionSignalsSCNTooOld(t *testing.T) {
+	r := NewRelay(RelayConfig{MaxEvents: 10})
+	defer r.Close()
+	for i := 1; i <= 30; i++ {
+		r.Append(Txn{SCN: int64(i), Events: []Event{ev("s", "k", "v")}})
+	}
+	if r.BufferedEvents() > 10 {
+		t.Fatalf("buffer holds %d events, cap 10", r.BufferedEvents())
+	}
+	_, err := r.Read(0, 100, nil)
+	if !errors.Is(err, ErrSCNTooOld) {
+		t.Fatalf("old read err = %v", err)
+	}
+	// recent reads still work
+	events, err := r.Read(25, 100, nil)
+	if err != nil || len(events) != 5 {
+		t.Fatalf("recent read = (%d, %v)", len(events), err)
+	}
+}
+
+func TestRelayEvictionByBytes(t *testing.T) {
+	r := NewRelay(RelayConfig{MaxEvents: 1 << 20, MaxBytes: 4096})
+	defer r.Close()
+	payload := make([]byte, 512)
+	for i := 1; i <= 100; i++ {
+		r.Append(Txn{SCN: int64(i), Events: []Event{{Source: "s", Key: []byte("k"), Payload: payload}}})
+	}
+	if r.BufferedBytes() > 4096+1024 {
+		t.Fatalf("buffered %d bytes, budget 4096", r.BufferedBytes())
+	}
+}
+
+func TestRelayBlockingReadWakes(t *testing.T) {
+	r := NewRelay(RelayConfig{})
+	defer r.Close()
+	done := make(chan []Event, 1)
+	go func() {
+		events, _ := r.ReadBlocking(0, 10, nil, 2*time.Second)
+		done <- events
+	}()
+	time.Sleep(20 * time.Millisecond)
+	r.Append(Txn{SCN: 1, Events: []Event{ev("s", "k", "v")}})
+	select {
+	case events := <-done:
+		if len(events) != 1 {
+			t.Fatalf("woke with %d events", len(events))
+		}
+	case <-time.After(time.Second):
+		t.Fatal("blocking read never woke")
+	}
+}
+
+func TestLogSourceCommitPull(t *testing.T) {
+	src := NewLogSource()
+	src.Commit(ev("s", "a", "1"))
+	src.Commit(ev("s", "b", "2"), ev("s", "c", "3"))
+	if src.LastSCN() != 2 || src.Len() != 2 {
+		t.Fatalf("LastSCN=%d Len=%d", src.LastSCN(), src.Len())
+	}
+	txns, err := src.Pull(0, 10)
+	if err != nil || len(txns) != 2 {
+		t.Fatalf("Pull = (%d, %v)", len(txns), err)
+	}
+	if len(txns[1].Events) != 2 || !txns[1].Events[1].EndOfTxn {
+		t.Fatalf("txn 2 = %+v", txns[1])
+	}
+	txns, _ = src.Pull(1, 10)
+	if len(txns) != 1 || txns[0].SCN != 2 {
+		t.Fatalf("Pull(1) = %+v", txns)
+	}
+	txns, _ = src.Pull(2, 10)
+	if len(txns) != 0 {
+		t.Fatal("caught-up pull returned txns")
+	}
+}
+
+func TestRelayAttachedToSource(t *testing.T) {
+	src := NewLogSource()
+	r := NewRelay(RelayConfig{})
+	defer r.Close()
+	r.AttachSource(src, 2*time.Millisecond)
+	for i := 0; i < 10; i++ {
+		src.Commit(ev("s", fmt.Sprintf("k%d", i), "v"))
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for r.LastSCN() < 10 {
+		if time.Now().After(deadline) {
+			t.Fatalf("relay only reached SCN %d", r.LastSCN())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if r.SourcePulls() == 0 {
+		t.Fatal("source pulls not counted")
+	}
+}
+
+func TestRelayChainReplication(t *testing.T) {
+	src := NewLogSource()
+	primary := NewRelay(RelayConfig{})
+	defer primary.Close()
+	secondary := NewRelay(RelayConfig{})
+	defer secondary.Close()
+	for i := 0; i < 5; i++ {
+		src.Commit(ev("s", fmt.Sprintf("k%d", i), "v"), ev("t", fmt.Sprintf("k%d", i), "w"))
+	}
+	primary.PullOnce(src, 100)
+	secondary.PullOnce(&RelayChain{Upstream: primary}, 100)
+	if secondary.LastSCN() != primary.LastSCN() {
+		t.Fatalf("chained relay at SCN %d, primary at %d", secondary.LastSCN(), primary.LastSCN())
+	}
+	a, _ := primary.Read(0, 100, nil)
+	b, _ := secondary.Read(0, 100, nil)
+	if len(a) != len(b) {
+		t.Fatalf("chained relay has %d events, primary %d", len(b), len(a))
+	}
+}
+
+type collectingConsumer struct {
+	mu          sync.Mutex
+	events      []Event
+	checkpoints []int64
+	failFirstN  atomic.Int64
+}
+
+func (c *collectingConsumer) OnEvent(e Event) error {
+	if c.failFirstN.Load() > 0 {
+		c.failFirstN.Add(-1)
+		return errors.New("transient consumer failure")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.events = append(c.events, e)
+	return nil
+}
+
+func (c *collectingConsumer) OnCheckpoint(scn int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.checkpoints = append(c.checkpoints, scn)
+}
+
+func (c *collectingConsumer) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.events)
+}
+
+func TestClientConsumesAndCheckpoints(t *testing.T) {
+	r := NewRelay(RelayConfig{})
+	defer r.Close()
+	cons := &collectingConsumer{}
+	cl, err := NewClient(ClientConfig{Relay: r, Consumer: cons, PollExpiry: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Append(Txn{SCN: 1, Events: []Event{ev("s", "a", "1"), ev("s", "b", "2")}})
+	r.Append(Txn{SCN: 2, Events: []Event{ev("s", "c", "3")}})
+	if _, err := cl.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	if cons.count() != 3 {
+		t.Fatalf("consumed %d events", cons.count())
+	}
+	if cl.SCN() != 2 {
+		t.Fatalf("checkpoint at %d, want 2", cl.SCN())
+	}
+	cons.mu.Lock()
+	cps := append([]int64{}, cons.checkpoints...)
+	cons.mu.Unlock()
+	if len(cps) != 2 || cps[0] != 1 || cps[1] != 2 {
+		t.Fatalf("checkpoints = %v", cps)
+	}
+}
+
+func TestClientRetriesTransientFailures(t *testing.T) {
+	r := NewRelay(RelayConfig{})
+	defer r.Close()
+	cons := &collectingConsumer{}
+	cons.failFirstN.Store(2)
+	cl, _ := NewClient(ClientConfig{Relay: r, Consumer: cons, Retries: 3, PollExpiry: 10 * time.Millisecond})
+	r.Append(Txn{SCN: 1, Events: []Event{ev("s", "a", "1")}})
+	if _, err := cl.Poll(); err != nil {
+		t.Fatalf("retries should have absorbed transient failures: %v", err)
+	}
+	if cons.count() != 1 {
+		t.Fatalf("consumed %d", cons.count())
+	}
+}
+
+func TestClientFailsAfterRetryBudget(t *testing.T) {
+	r := NewRelay(RelayConfig{})
+	defer r.Close()
+	cons := &collectingConsumer{}
+	cons.failFirstN.Store(100)
+	cl, _ := NewClient(ClientConfig{Relay: r, Consumer: cons, Retries: 2, PollExpiry: 10 * time.Millisecond})
+	r.Append(Txn{SCN: 1, Events: []Event{ev("s", "a", "1")}})
+	if _, err := cl.Poll(); err == nil {
+		t.Fatal("poll succeeded despite persistent consumer failure")
+	}
+}
+
+type fakeBootstrap struct {
+	calls  atomic.Int64
+	events []Event
+	resume int64
+}
+
+func (b *fakeBootstrap) Catchup(sinceSCN int64, f *Filter, fn func(Event) error) (int64, error) {
+	b.calls.Add(1)
+	for _, e := range b.events {
+		if err := fn(e); err != nil {
+			return 0, err
+		}
+	}
+	return b.resume, nil
+}
+
+func TestClientSwitchesToBootstrapAndBack(t *testing.T) {
+	r := NewRelay(RelayConfig{MaxEvents: 4})
+	defer r.Close()
+	for i := 1; i <= 20; i++ {
+		r.Append(Txn{SCN: int64(i), Events: []Event{ev("s", fmt.Sprintf("k%d", i), "v")}})
+	}
+	// Bootstrap pretends to deliver the consolidated past up to SCN 18.
+	bs := &fakeBootstrap{resume: 18, events: []Event{
+		{SCN: 18, TxnID: 18, EndOfTxn: true, Source: "s", Key: []byte("old"), Payload: []byte("consolidated")},
+	}}
+	cons := &collectingConsumer{}
+	cl, _ := NewClient(ClientConfig{Relay: r, Bootstrap: bs, Consumer: cons, PollExpiry: 10 * time.Millisecond})
+	// First poll: SCN 0 is off-buffer -> bootstrap.
+	if _, err := cl.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	if bs.calls.Load() != 1 {
+		t.Fatalf("bootstrap called %d times", bs.calls.Load())
+	}
+	if cl.SCN() != 18 {
+		t.Fatalf("resume SCN = %d, want 18", cl.SCN())
+	}
+	// Second poll: back on the relay for 19..20.
+	if _, err := cl.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	if cl.SCN() != 20 {
+		t.Fatalf("final SCN = %d, want 20", cl.SCN())
+	}
+	if cl.Bootstraps() != 1 {
+		t.Fatalf("bootstraps = %d", cl.Bootstraps())
+	}
+	if cons.count() != 3 { // 1 consolidated + 2 live
+		t.Fatalf("consumed %d events", cons.count())
+	}
+}
+
+func TestClientWithoutBootstrapFailsOffBuffer(t *testing.T) {
+	r := NewRelay(RelayConfig{MaxEvents: 2})
+	defer r.Close()
+	for i := 1; i <= 10; i++ {
+		r.Append(Txn{SCN: int64(i), Events: []Event{ev("s", "k", "v")}})
+	}
+	cons := &collectingConsumer{}
+	cl, _ := NewClient(ClientConfig{Relay: r, Consumer: cons, PollExpiry: 10 * time.Millisecond})
+	if _, err := cl.Poll(); err == nil {
+		t.Fatal("off-buffer poll without bootstrap succeeded")
+	}
+}
+
+func TestClientBackgroundRun(t *testing.T) {
+	src := NewLogSource()
+	r := NewRelay(RelayConfig{})
+	defer r.Close()
+	r.AttachSource(src, 2*time.Millisecond)
+	cons := &collectingConsumer{}
+	cl, _ := NewClient(ClientConfig{Relay: r, Consumer: cons, PollExpiry: 20 * time.Millisecond})
+	cl.Start()
+	defer cl.Close()
+	for i := 0; i < 50; i++ {
+		src.Commit(ev("s", fmt.Sprintf("k%d", i), "v"))
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for cons.count() < 50 {
+		if time.Now().After(deadline) {
+			t.Fatalf("background client consumed %d/50", cons.count())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := cl.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkRelayAppend(b *testing.B) {
+	r := NewRelay(RelayConfig{MaxEvents: 1 << 18})
+	defer r.Close()
+	payload := make([]byte, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Append(Txn{SCN: int64(i + 1), Events: []Event{{Source: "s", Key: []byte("k"), Payload: payload}}})
+	}
+}
+
+func BenchmarkRelayRead(b *testing.B) {
+	r := NewRelay(RelayConfig{MaxEvents: 1 << 18})
+	defer r.Close()
+	payload := make([]byte, 256)
+	for i := 0; i < 10000; i++ {
+		r.Append(Txn{SCN: int64(i + 1), Events: []Event{{Source: "s", Key: []byte("k"), Payload: payload}}})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		since := int64(i % 9000)
+		if _, err := r.Read(since, 100, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

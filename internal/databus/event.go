@@ -1,0 +1,274 @@
+// Package databus implements the change-data-capture pipeline of §III: a
+// Relay captures commit-ordered changes from a source database, serializes
+// them into a compact binary form, and buffers them in an in-memory circular
+// buffer indexed by sequence number; Databus clients consume the stream with
+// transactional semantics, at-least-once delivery and automatic switchover
+// to a bootstrap server (package bootstrap) when they fall behind the
+// relay's memory.
+package databus
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"datainfra/internal/ring"
+)
+
+// Op is the kind of change an event carries.
+type Op byte
+
+// Change kinds.
+const (
+	OpUpsert Op = 0
+	OpDelete Op = 1
+)
+
+// Event is one Databus CDC event: a sequence number in the commit order of
+// the source database, metadata, and the serialized change payload (§III.C).
+type Event struct {
+	SCN           int64  // commit sequence number, strictly increasing per source DB
+	TxnID         int64  // all events of one transaction share this
+	EndOfTxn      bool   // marks the transaction window boundary
+	Source        string // logical source, e.g. "member_profile"
+	Op            Op
+	Key           []byte
+	Payload       []byte // schema-encoded row image (empty for deletes)
+	SchemaVersion int
+	Timestamp     int64 // commit time, ms
+	Partition     int   // hash partition of Key, precomputed for server-side filters
+}
+
+// ComputePartition stamps the event's partition for an N-way partitioning.
+func (e *Event) ComputePartition(numPartitions int) {
+	e.Partition = ring.Hash(e.Key, numPartitions)
+}
+
+// SizeBytes approximates the buffered footprint of the event.
+func (e *Event) SizeBytes() int {
+	return 48 + len(e.Source) + len(e.Key) + len(e.Payload)
+}
+
+// Clone deep-copies the event.
+func (e *Event) Clone() Event {
+	out := *e
+	out.Key = append([]byte(nil), e.Key...)
+	out.Payload = append([]byte(nil), e.Payload...)
+	return out
+}
+
+// Txn is an atomic group of events sharing one commit (§III.B "transaction
+// boundaries": an insert into a mailbox and the unread-count update must be
+// seen together).
+type Txn struct {
+	SCN    int64
+	Events []Event
+}
+
+// errors
+var (
+	// ErrSCNTooOld means the requested sequence number has fallen off the
+	// relay's circular buffer: the client must bootstrap.
+	ErrSCNTooOld = errors.New("databus: SCN no longer in relay buffer")
+	// ErrNonMonotonicSCN guards the commit-order invariant on append.
+	ErrNonMonotonicSCN = errors.New("databus: SCN not increasing")
+	// ErrClosed is returned after Close.
+	ErrClosed = errors.New("databus: closed")
+)
+
+// Binary event codec (length-delimited, used by the HTTP/socket transports
+// and the bootstrap log).
+
+// MarshalBinary encodes the event.
+func (e *Event) MarshalBinary() ([]byte, error) {
+	src := []byte(e.Source)
+	buf := make([]byte, 0, e.SizeBytes()+16)
+	var tmp [8]byte
+	put64 := func(v int64) {
+		binary.BigEndian.PutUint64(tmp[:], uint64(v))
+		buf = append(buf, tmp[:]...)
+	}
+	put32 := func(v int) {
+		binary.BigEndian.PutUint32(tmp[:4], uint32(v))
+		buf = append(buf, tmp[:4]...)
+	}
+	put64(e.SCN)
+	put64(e.TxnID)
+	put64(e.Timestamp)
+	flags := byte(e.Op)
+	if e.EndOfTxn {
+		flags |= 0x80
+	}
+	buf = append(buf, flags)
+	put32(e.SchemaVersion)
+	put32(e.Partition)
+	put32(len(src))
+	buf = append(buf, src...)
+	put32(len(e.Key))
+	buf = append(buf, e.Key...)
+	put32(len(e.Payload))
+	buf = append(buf, e.Payload...)
+	return buf, nil
+}
+
+// UnmarshalBinary decodes an event written by MarshalBinary.
+func (e *Event) UnmarshalBinary(data []byte) error {
+	r := breader{b: data}
+	var err error
+	if e.SCN, err = r.i64(); err != nil {
+		return err
+	}
+	if e.TxnID, err = r.i64(); err != nil {
+		return err
+	}
+	if e.Timestamp, err = r.i64(); err != nil {
+		return err
+	}
+	flags, err := r.u8()
+	if err != nil {
+		return err
+	}
+	e.Op = Op(flags & 0x7f)
+	e.EndOfTxn = flags&0x80 != 0
+	sv, err := r.i32()
+	if err != nil {
+		return err
+	}
+	e.SchemaVersion = sv
+	if e.Partition, err = r.i32(); err != nil {
+		return err
+	}
+	src, err := r.blob()
+	if err != nil {
+		return err
+	}
+	e.Source = string(src)
+	if e.Key, err = r.blob(); err != nil {
+		return err
+	}
+	e.Key = append([]byte(nil), e.Key...)
+	if e.Payload, err = r.blob(); err != nil {
+		return err
+	}
+	e.Payload = append([]byte(nil), e.Payload...)
+	if len(r.b) != 0 {
+		return fmt.Errorf("databus: %d trailing bytes in event", len(r.b))
+	}
+	return nil
+}
+
+type breader struct{ b []byte }
+
+var errShort = errors.New("databus: truncated event")
+
+func (r *breader) i64() (int64, error) {
+	if len(r.b) < 8 {
+		return 0, errShort
+	}
+	v := int64(binary.BigEndian.Uint64(r.b))
+	r.b = r.b[8:]
+	return v, nil
+}
+func (r *breader) i32() (int, error) {
+	if len(r.b) < 4 {
+		return 0, errShort
+	}
+	v := int(int32(binary.BigEndian.Uint32(r.b)))
+	r.b = r.b[4:]
+	return v, nil
+}
+func (r *breader) u8() (byte, error) {
+	if len(r.b) < 1 {
+		return 0, errShort
+	}
+	v := r.b[0]
+	r.b = r.b[1:]
+	return v, nil
+}
+func (r *breader) blob() ([]byte, error) {
+	n, err := r.i32()
+	if err != nil {
+		return nil, err
+	}
+	if n < 0 || len(r.b) < n {
+		return nil, errShort
+	}
+	v := r.b[:n]
+	r.b = r.b[n:]
+	return v, nil
+}
+
+// Filter is a server-side predicate pushed down to the relay and bootstrap
+// servers so each client receives only its partition slice (§III.B data
+// source / subscriber isolation).
+type Filter struct {
+	// Sources restricts to the named sources; empty means all.
+	Sources []string
+	// Partitions restricts to the listed partitions; nil means all.
+	Partitions []int
+	// Project, when non-empty, is the declarative data transformation of
+	// §III.E's future work: JSON-object payloads are reduced to the listed
+	// top-level fields before leaving the relay, so subscribers that need
+	// two fields of a wide row don't pay for the whole row. Non-JSON
+	// payloads pass through untouched.
+	Project []string
+}
+
+// Match reports whether the filter admits e.
+func (f *Filter) Match(e *Event) bool {
+	if f == nil {
+		return true
+	}
+	if len(f.Sources) > 0 {
+		ok := false
+		for _, s := range f.Sources {
+			if s == e.Source {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	if f.Partitions != nil {
+		ok := false
+		for _, p := range f.Partitions {
+			if p == e.Partition {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Apply returns the event as the filter's subscriber should see it: a clone
+// with the payload projected when Project is set. Must be called only on
+// events that Match.
+func (f *Filter) Apply(e *Event) Event {
+	out := e.Clone()
+	if f == nil || len(f.Project) == 0 || len(out.Payload) == 0 {
+		return out
+	}
+	var obj map[string]json.RawMessage
+	if err := json.Unmarshal(out.Payload, &obj); err != nil {
+		return out // not a JSON object: pass through
+	}
+	kept := make(map[string]json.RawMessage, len(f.Project))
+	for _, field := range f.Project {
+		if v, ok := obj[field]; ok {
+			kept[field] = v
+		}
+	}
+	projected, err := json.Marshal(kept)
+	if err != nil {
+		return out
+	}
+	out.Payload = projected
+	return out
+}

@@ -1,0 +1,276 @@
+package databus
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// HTTP transport: relays and bootstrap servers serve their event streams
+// over plain HTTP with a compact binary framing (u32 length + encoded event,
+// terminated by a zero-length frame), so Databus clients in other processes
+// use the same client library against a remote pipeline.
+
+// Paths served by Handler.
+const (
+	StreamPath    = "/stream"
+	BootstrapPath = "/bootstrap"
+	resumeHeader  = "X-Databus-Resume-SCN"
+)
+
+// Handler serves a Relay (and optionally a bootstrap source) over HTTP.
+type Handler struct {
+	Relay *Relay
+	Boot  BootstrapSource // optional
+	// PollExpiry bounds how long /stream blocks when the client is caught
+	// up; default 250ms.
+	PollExpiry time.Duration
+}
+
+// ServeHTTP dispatches /stream and /bootstrap.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case StreamPath:
+		h.stream(w, r)
+	case BootstrapPath:
+		h.bootstrap(w, r)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+func parseFilter(r *http.Request) (*Filter, error) {
+	var f *Filter
+	if s := r.URL.Query().Get("sources"); s != "" {
+		f = &Filter{Sources: strings.Split(s, ",")}
+	}
+	if p := r.URL.Query().Get("partitions"); p != "" {
+		if f == nil {
+			f = &Filter{}
+		}
+		for _, part := range strings.Split(p, ",") {
+			n, err := strconv.Atoi(part)
+			if err != nil {
+				return nil, fmt.Errorf("databus: bad partition %q", part)
+			}
+			f.Partitions = append(f.Partitions, n)
+		}
+	}
+	if proj := r.URL.Query().Get("project"); proj != "" {
+		if f == nil {
+			f = &Filter{}
+		}
+		f.Project = strings.Split(proj, ",")
+	}
+	return f, nil
+}
+
+func writeEventFrame(w io.Writer, e *Event) error {
+	data, err := e.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(data)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
+}
+
+func writeTerminator(w io.Writer) error {
+	var hdr [4]byte
+	_, err := w.Write(hdr[:])
+	return err
+}
+
+func (h *Handler) stream(w http.ResponseWriter, r *http.Request) {
+	since, _ := strconv.ParseInt(r.URL.Query().Get("since"), 10, 64)
+	max, _ := strconv.Atoi(r.URL.Query().Get("max"))
+	if max <= 0 {
+		max = 1000
+	}
+	f, err := parseFilter(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	expiry := h.PollExpiry
+	if expiry == 0 {
+		expiry = 250 * time.Millisecond
+	}
+	events, err := h.Relay.ReadBlocking(since, max, f, expiry)
+	switch {
+	case errors.Is(err, ErrSCNTooOld):
+		http.Error(w, err.Error(), http.StatusGone)
+		return
+	case err != nil:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-databus-events")
+	for i := range events {
+		if err := writeEventFrame(w, &events[i]); err != nil {
+			return
+		}
+	}
+	_ = writeTerminator(w)
+}
+
+func (h *Handler) bootstrap(w http.ResponseWriter, r *http.Request) {
+	if h.Boot == nil {
+		http.Error(w, "databus: no bootstrap source", http.StatusNotImplemented)
+		return
+	}
+	since, _ := strconv.ParseInt(r.URL.Query().Get("since"), 10, 64)
+	f, err := parseFilter(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	// Buffer the catch-up so the resume SCN can travel in a header.
+	var events []Event
+	resume, err := h.Boot.Catchup(since, f, func(e Event) error {
+		events = append(events, e)
+		return nil
+	})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-databus-events")
+	w.Header().Set(resumeHeader, strconv.FormatInt(resume, 10))
+	for i := range events {
+		if err := writeEventFrame(w, &events[i]); err != nil {
+			return
+		}
+	}
+	_ = writeTerminator(w)
+}
+
+// HTTPReader is an EventReader over a remote relay's /stream endpoint, so
+// ClientConfig.Relay can point across the network.
+type HTTPReader struct {
+	BaseURL string // e.g. "http://relay-1:8600"
+	Client  *http.Client
+}
+
+func (h *HTTPReader) httpClient() *http.Client {
+	if h.Client != nil {
+		return h.Client
+	}
+	return http.DefaultClient
+}
+
+func filterQuery(f *Filter) string {
+	if f == nil {
+		return ""
+	}
+	var sb strings.Builder
+	if len(f.Sources) > 0 {
+		sb.WriteString("&sources=" + strings.Join(f.Sources, ","))
+	}
+	if f.Partitions != nil {
+		parts := make([]string, len(f.Partitions))
+		for i, p := range f.Partitions {
+			parts[i] = strconv.Itoa(p)
+		}
+		sb.WriteString("&partitions=" + strings.Join(parts, ","))
+	}
+	if len(f.Project) > 0 {
+		sb.WriteString("&project=" + strings.Join(f.Project, ","))
+	}
+	return sb.String()
+}
+
+func readEventFrames(r io.Reader) ([]Event, error) {
+	var out []Event
+	var hdr [4]byte
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			if err == io.EOF && len(out) == 0 {
+				return out, nil
+			}
+			return out, err
+		}
+		n := binary.BigEndian.Uint32(hdr[:])
+		if n == 0 {
+			return out, nil
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return out, err
+		}
+		var e Event
+		if err := e.UnmarshalBinary(buf); err != nil {
+			return out, err
+		}
+		out = append(out, e)
+	}
+}
+
+// ReadBlocking implements EventReader against the remote relay. Blocking is
+// server-side (the relay holds the request until events arrive or its poll
+// expiry passes).
+func (h *HTTPReader) ReadBlocking(sinceSCN int64, maxEvents int, f *Filter, timeout time.Duration) ([]Event, error) {
+	url := fmt.Sprintf("%s%s?since=%d&max=%d%s", h.BaseURL, StreamPath, sinceSCN, maxEvents, filterQuery(f))
+	resp, err := h.httpClient().Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return readEventFrames(resp.Body)
+	case http.StatusGone:
+		msg, _ := io.ReadAll(resp.Body)
+		return nil, fmt.Errorf("%w: %s", ErrSCNTooOld, strings.TrimSpace(string(msg)))
+	default:
+		msg, _ := io.ReadAll(resp.Body)
+		return nil, fmt.Errorf("databus: remote relay: %s: %s", resp.Status, strings.TrimSpace(string(msg)))
+	}
+}
+
+// HTTPBootstrap is a BootstrapSource over a remote /bootstrap endpoint.
+type HTTPBootstrap struct {
+	BaseURL string
+	Client  *http.Client
+}
+
+// Catchup implements BootstrapSource.
+func (h *HTTPBootstrap) Catchup(sinceSCN int64, f *Filter, fn func(Event) error) (int64, error) {
+	client := h.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	url := fmt.Sprintf("%s%s?since=%d%s", h.BaseURL, BootstrapPath, sinceSCN, filterQuery(f))
+	resp, err := client.Get(url)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(resp.Body)
+		return 0, fmt.Errorf("databus: remote bootstrap: %s: %s", resp.Status, strings.TrimSpace(string(msg)))
+	}
+	resume, err := strconv.ParseInt(resp.Header.Get(resumeHeader), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("databus: remote bootstrap: bad resume header: %w", err)
+	}
+	events, err := readEventFrames(resp.Body)
+	if err != nil {
+		return 0, err
+	}
+	for _, e := range events {
+		if err := fn(e); err != nil {
+			return 0, err
+		}
+	}
+	return resume, nil
+}

@@ -1,0 +1,66 @@
+package databus
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestFilterProjectionReducesJSONPayloads(t *testing.T) {
+	r := NewRelay(RelayConfig{})
+	defer r.Close()
+	wide := []byte(`{"name":"Jay","headline":"logs","company":"LinkedIn","summary":"a very long biography field that subscribers rarely need"}`)
+	r.Append(Txn{SCN: 1, Events: []Event{{Source: "profiles", Key: []byte("m1"), Payload: wide}}})
+
+	f := &Filter{Project: []string{"name", "company"}}
+	events, err := r.Read(0, 10, f)
+	if err != nil || len(events) != 1 {
+		t.Fatalf("Read = (%d, %v)", len(events), err)
+	}
+	var got map[string]string
+	if err := json.Unmarshal(events[0].Payload, &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got["name"] != "Jay" || got["company"] != "LinkedIn" {
+		t.Fatalf("projected = %v", got)
+	}
+	if len(events[0].Payload) >= len(wide) {
+		t.Fatalf("projection did not shrink payload: %d vs %d", len(events[0].Payload), len(wide))
+	}
+	// the relay's stored copy is untouched
+	full, _ := r.Read(0, 10, nil)
+	if string(full[0].Payload) != string(wide) {
+		t.Fatal("projection mutated the buffered event")
+	}
+}
+
+func TestFilterProjectionPassesNonJSON(t *testing.T) {
+	f := &Filter{Project: []string{"a"}}
+	e := Event{Source: "s", Key: []byte("k"), Payload: []byte{0x01, 0x02, 0x03}}
+	out := f.Apply(&e)
+	if string(out.Payload) != string(e.Payload) {
+		t.Fatal("binary payload mangled by projection")
+	}
+}
+
+func TestFilterProjectionMissingFields(t *testing.T) {
+	f := &Filter{Project: []string{"nope"}}
+	e := Event{Source: "s", Key: []byte("k"), Payload: []byte(`{"a":1}`)}
+	out := f.Apply(&e)
+	var got map[string]any
+	if err := json.Unmarshal(out.Payload, &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("projected = %v", got)
+	}
+}
+
+func TestNilFilterApplyClones(t *testing.T) {
+	var f *Filter
+	e := Event{Source: "s", Key: []byte("k"), Payload: []byte("v")}
+	out := f.Apply(&e)
+	out.Payload[0] = 'X'
+	if e.Payload[0] == 'X' {
+		t.Fatal("Apply returned aliased payload")
+	}
+}

@@ -1,0 +1,277 @@
+package databus
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Relay captures changes from a source database, serializes them and buffers
+// them in an in-memory circular buffer that serves Databus clients from a
+// given sequence number (§III.C). The buffer is bounded by event count and
+// bytes; old events are evicted and such clients are redirected to the
+// bootstrap server via ErrSCNTooOld.
+//
+// A relay is shared-nothing and stateless across restarts: it re-pulls from
+// the source, which owns the transaction log and drives ordering (§III.D).
+type Relay struct {
+	mu       sync.RWMutex
+	events   []Event // SCN-ordered window
+	bytes    int
+	maxCount int
+	maxBytes int
+	lastSCN  int64
+	minSCN   int64 // smallest SCN still buffered
+
+	subsMu sync.Mutex
+	subs   []chan struct{} // wakeups for blocking readers
+
+	sourcePulls atomic.Int64 // how many times we hit the source (E8)
+	served      atomic.Int64 // events served to clients
+
+	stop    chan struct{}
+	stopped sync.Once
+	wg      sync.WaitGroup
+}
+
+// RelayConfig bounds the circular buffer.
+type RelayConfig struct {
+	MaxEvents int // default 1<<20
+	MaxBytes  int // default 256 MB
+}
+
+// NewRelay builds an empty relay.
+func NewRelay(cfg RelayConfig) *Relay {
+	if cfg.MaxEvents == 0 {
+		cfg.MaxEvents = 1 << 20
+	}
+	if cfg.MaxBytes == 0 {
+		cfg.MaxBytes = 256 << 20
+	}
+	return &Relay{
+		maxCount: cfg.MaxEvents,
+		maxBytes: cfg.MaxBytes,
+		stop:     make(chan struct{}),
+	}
+}
+
+// ChangeSource is a transaction log provider — the abstraction behind the
+// Oracle and MySQL adapters (§III.A). The source is the source of truth: it
+// assigns commit sequence numbers and can replay from any SCN.
+type ChangeSource interface {
+	// Pull returns up to limit transactions with SCN > sinceSCN, in commit
+	// order. An empty result means the caller is caught up.
+	Pull(sinceSCN int64, limit int) ([]Txn, error)
+}
+
+// AttachSource starts a background goroutine pulling from src every
+// interval. Multiple relays can attach to the same source (replicated
+// availability) or to another relay (chaining).
+func (r *Relay) AttachSource(src ChangeSource, interval time.Duration) {
+	if interval == 0 {
+		interval = 10 * time.Millisecond
+	}
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-r.stop:
+				return
+			case <-t.C:
+				r.PullOnce(src, 1024)
+			}
+		}
+	}()
+}
+
+// PullOnce pulls a batch from the source into the buffer; it returns the
+// number of transactions appended.
+func (r *Relay) PullOnce(src ChangeSource, limit int) int {
+	r.sourcePulls.Add(1)
+	txns, err := src.Pull(r.LastSCN(), limit)
+	if err != nil || len(txns) == 0 {
+		return 0
+	}
+	n := 0
+	for _, txn := range txns {
+		if err := r.Append(txn); err == nil {
+			n++
+		}
+	}
+	return n
+}
+
+// SourcePulls reports how many times the relay hit the source — the E8
+// isolation metric (hundreds of consumers must not increase this).
+func (r *Relay) SourcePulls() int64 { return r.sourcePulls.Load() }
+
+// EventsServed reports the total events streamed to clients.
+func (r *Relay) EventsServed() int64 { return r.served.Load() }
+
+// Append buffers one transaction. Events receive the txn's SCN stamping and
+// the final event is marked EndOfTxn, preserving transaction boundaries.
+func (r *Relay) Append(txn Txn) error {
+	if len(txn.Events) == 0 {
+		return nil
+	}
+	r.mu.Lock()
+	if txn.SCN <= r.lastSCN {
+		r.mu.Unlock()
+		return fmt.Errorf("%w: txn SCN %d after %d", ErrNonMonotonicSCN, txn.SCN, r.lastSCN)
+	}
+	for i := range txn.Events {
+		e := txn.Events[i]
+		e.SCN = txn.SCN
+		e.TxnID = txn.SCN
+		e.EndOfTxn = i == len(txn.Events)-1
+		r.events = append(r.events, e)
+		r.bytes += e.SizeBytes()
+	}
+	r.lastSCN = txn.SCN
+	if r.minSCN == 0 {
+		r.minSCN = txn.SCN
+	}
+	r.evictLocked()
+	r.mu.Unlock()
+	r.wake()
+	return nil
+}
+
+// evictLocked drops whole transactions from the head while over budget.
+func (r *Relay) evictLocked() {
+	for (len(r.events) > r.maxCount || r.bytes > r.maxBytes) && len(r.events) > 0 {
+		// find the end of the first transaction
+		first := r.events[0].TxnID
+		cut := 0
+		for cut < len(r.events) && r.events[cut].TxnID == first {
+			r.bytes -= r.events[cut].SizeBytes()
+			cut++
+		}
+		r.events = r.events[cut:]
+		if len(r.events) > 0 {
+			r.minSCN = r.events[0].SCN
+		} else {
+			r.minSCN = r.lastSCN + 1
+		}
+	}
+}
+
+func (r *Relay) wake() {
+	r.subsMu.Lock()
+	for _, ch := range r.subs {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+	r.subsMu.Unlock()
+}
+
+// notify returns a channel pulsed on every append.
+func (r *Relay) notify() chan struct{} {
+	ch := make(chan struct{}, 1)
+	r.subsMu.Lock()
+	r.subs = append(r.subs, ch)
+	r.subsMu.Unlock()
+	return ch
+}
+
+// LastSCN returns the newest buffered sequence number.
+func (r *Relay) LastSCN() int64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.lastSCN
+}
+
+// MinSCN returns the oldest buffered sequence number.
+func (r *Relay) MinSCN() int64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.minSCN
+}
+
+// BufferedEvents returns the current buffer length (diagnostics).
+func (r *Relay) BufferedEvents() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.events)
+}
+
+// BufferedBytes returns the approximate buffered footprint.
+func (r *Relay) BufferedBytes() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.bytes
+}
+
+// Read returns up to maxEvents events with SCN > sinceSCN passing the
+// filter, never splitting a transaction window. If sinceSCN predates the
+// buffer, ErrSCNTooOld is returned and the client must bootstrap.
+func (r *Relay) Read(sinceSCN int64, maxEvents int, f *Filter) ([]Event, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.events) == 0 {
+		if sinceSCN < r.minSCN-1 && r.minSCN > 0 {
+			return nil, fmt.Errorf("%w: since=%d, buffer starts at %d", ErrSCNTooOld, sinceSCN, r.minSCN)
+		}
+		return nil, nil
+	}
+	if sinceSCN < r.minSCN-1 {
+		return nil, fmt.Errorf("%w: since=%d, buffer starts at %d", ErrSCNTooOld, sinceSCN, r.minSCN)
+	}
+	// Binary search for the first event with SCN > sinceSCN.
+	i := sort.Search(len(r.events), func(i int) bool { return r.events[i].SCN > sinceSCN })
+	if maxEvents <= 0 {
+		maxEvents = 1 << 20
+	}
+	out := make([]Event, 0, min(maxEvents, len(r.events)-i))
+	lastIncludedTxn := int64(-1)
+	for ; i < len(r.events); i++ {
+		e := &r.events[i]
+		if len(out) >= maxEvents && e.TxnID != lastIncludedTxn {
+			break // only stop at a transaction boundary
+		}
+		if f.Match(e) {
+			out = append(out, f.Apply(e))
+			lastIncludedTxn = e.TxnID
+		}
+	}
+	r.served.Add(int64(len(out)))
+	return out, nil
+}
+
+// ReadBlocking behaves like Read but waits up to timeout for new events when
+// the client is caught up.
+func (r *Relay) ReadBlocking(sinceSCN int64, maxEvents int, f *Filter, timeout time.Duration) ([]Event, error) {
+	events, err := r.Read(sinceSCN, maxEvents, f)
+	if err != nil || len(events) > 0 {
+		return events, err
+	}
+	ch := r.notify()
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	for {
+		select {
+		case <-deadline.C:
+			return nil, nil
+		case <-r.stop:
+			return nil, ErrClosed
+		case <-ch:
+			events, err := r.Read(sinceSCN, maxEvents, f)
+			if err != nil || len(events) > 0 {
+				return events, err
+			}
+		}
+	}
+}
+
+// Close stops background pulls.
+func (r *Relay) Close() {
+	r.stopped.Do(func() { close(r.stop) })
+	r.wg.Wait()
+}

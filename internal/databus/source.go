@@ -1,0 +1,105 @@
+package databus
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// LogSource is an in-memory transaction log implementing ChangeSource — the
+// stand-in for a primary database's replication log (the Oracle/MySQL
+// adapters of §III.A). Producers commit transactions; relays pull them. It
+// is also what the Espresso storage node's binlog shipper feeds.
+type LogSource struct {
+	mu      sync.RWMutex
+	txns    []Txn
+	nextSCN int64
+	now     func() time.Time
+}
+
+// NewLogSource returns an empty log with SCNs starting at 1.
+func NewLogSource() *LogSource {
+	return &LogSource{nextSCN: 1, now: time.Now}
+}
+
+// Commit appends events as one transaction, assigning the next SCN, and
+// returns it. Events get commit timestamps and transaction stamps.
+func (s *LogSource) Commit(events ...Event) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	scn := s.nextSCN
+	s.nextSCN++
+	ts := s.now().UnixMilli()
+	for i := range events {
+		events[i].SCN = scn
+		events[i].TxnID = scn
+		events[i].EndOfTxn = i == len(events)-1
+		if events[i].Timestamp == 0 {
+			events[i].Timestamp = ts
+		}
+	}
+	s.txns = append(s.txns, Txn{SCN: scn, Events: events})
+	return scn
+}
+
+// Pull implements ChangeSource: transactions with SCN > sinceSCN, replayable
+// from any point — the source of truth owns the full log.
+func (s *LogSource) Pull(sinceSCN int64, limit int) ([]Txn, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	i := sort.Search(len(s.txns), func(i int) bool { return s.txns[i].SCN > sinceSCN })
+	if i >= len(s.txns) {
+		return nil, nil
+	}
+	end := i + limit
+	if limit <= 0 || end > len(s.txns) {
+		end = len(s.txns)
+	}
+	out := make([]Txn, end-i)
+	copy(out, s.txns[i:end])
+	return out, nil
+}
+
+// LastSCN returns the newest committed SCN.
+func (s *LogSource) LastSCN() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.nextSCN - 1
+}
+
+// Len returns the number of committed transactions.
+func (s *LogSource) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.txns)
+}
+
+// RelayChain adapts a Relay into a ChangeSource so relays can be chained
+// ("connected directly to the database, or to other relays to provide
+// replicated availability", §III.C).
+type RelayChain struct{ Upstream *Relay }
+
+// Pull reads transactions from the upstream relay buffer.
+func (c *RelayChain) Pull(sinceSCN int64, limit int) ([]Txn, error) {
+	events, err := c.Upstream.Read(sinceSCN, limit*4, nil)
+	if err != nil {
+		return nil, err
+	}
+	var out []Txn
+	var cur *Txn
+	for _, e := range events {
+		if cur == nil || cur.SCN != e.TxnID {
+			out = append(out, Txn{SCN: e.TxnID})
+			cur = &out[len(out)-1]
+		}
+		cur.Events = append(cur.Events, e)
+	}
+	// Drop a trailing incomplete window: it will be re-read next pull.
+	if len(out) > 0 {
+		last := out[len(out)-1]
+		if !last.Events[len(last.Events)-1].EndOfTxn {
+			out = out[:len(out)-1]
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,167 @@
+// Package docindex is the local secondary index behind Espresso storage
+// nodes (§IV.B uses Lucene; this is the substitute): a per-partition
+// inverted index over schema-annotated document fields, supporting exact
+// match and tokenized free-text queries like
+//
+//	?query=lyrics:"Lucy in the sky"
+package docindex
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"unicode"
+)
+
+// Kind selects how a field value is indexed.
+type Kind int
+
+// Index kinds.
+const (
+	Exact Kind = iota // whole-value equality
+	Text              // tokenized terms
+)
+
+type posting struct {
+	field string
+	term  string
+}
+
+// Index is a thread-safe inverted index mapping (field, term) -> doc ids.
+type Index struct {
+	mu sync.RWMutex
+	// field -> term -> doc id set
+	postings map[string]map[string]map[string]struct{}
+	// doc id -> its postings, for removal on update/delete
+	docs map[string][]posting
+}
+
+// New returns an empty index.
+func New() *Index {
+	return &Index{
+		postings: map[string]map[string]map[string]struct{}{},
+		docs:     map[string][]posting{},
+	}
+}
+
+// Tokenize lowercases and splits on non-alphanumeric runes — the text
+// analyzer.
+func Tokenize(s string) []string {
+	return strings.FieldsFunc(strings.ToLower(s), func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsDigit(r)
+	})
+}
+
+// Add indexes value under field for doc. Text kind indexes each token;
+// Exact indexes the whole value verbatim.
+func (ix *Index) Add(docID, field, value string, kind Kind) {
+	var terms []string
+	switch kind {
+	case Exact:
+		terms = []string{value}
+	case Text:
+		terms = Tokenize(value)
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	byTerm, ok := ix.postings[field]
+	if !ok {
+		byTerm = map[string]map[string]struct{}{}
+		ix.postings[field] = byTerm
+	}
+	for _, term := range terms {
+		set, ok := byTerm[term]
+		if !ok {
+			set = map[string]struct{}{}
+			byTerm[term] = set
+		}
+		if _, dup := set[docID]; !dup {
+			set[docID] = struct{}{}
+			ix.docs[docID] = append(ix.docs[docID], posting{field: field, term: term})
+		}
+	}
+}
+
+// Remove drops every posting of doc (called before re-indexing an update and
+// on delete).
+func (ix *Index) Remove(docID string) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	for _, p := range ix.docs[docID] {
+		if byTerm, ok := ix.postings[p.field]; ok {
+			if set, ok := byTerm[p.term]; ok {
+				delete(set, docID)
+				if len(set) == 0 {
+					delete(byTerm, p.term)
+				}
+			}
+		}
+	}
+	delete(ix.docs, docID)
+}
+
+// QueryExact returns the sorted doc ids whose field equals value.
+func (ix *Index) QueryExact(field, value string) []string {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return collect(ix.postings[field][value])
+}
+
+// QueryText returns the sorted doc ids containing every token of the query
+// in field (an AND query, sufficient for the paper's phrase example).
+func (ix *Index) QueryText(field, query string) []string {
+	tokens := Tokenize(query)
+	if len(tokens) == 0 {
+		return nil
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	byTerm := ix.postings[field]
+	if byTerm == nil {
+		return nil
+	}
+	// Intersect starting from the rarest token.
+	sets := make([]map[string]struct{}, 0, len(tokens))
+	for _, tok := range tokens {
+		set, ok := byTerm[tok]
+		if !ok {
+			return nil
+		}
+		sets = append(sets, set)
+	}
+	sort.Slice(sets, func(i, j int) bool { return len(sets[i]) < len(sets[j]) })
+	var out []string
+	for id := range sets[0] {
+		all := true
+		for _, s := range sets[1:] {
+			if _, ok := s[id]; !ok {
+				all = false
+				break
+			}
+		}
+		if all {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Docs returns the number of indexed documents.
+func (ix *Index) Docs() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.docs)
+}
+
+func collect(set map[string]struct{}) []string {
+	if len(set) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}

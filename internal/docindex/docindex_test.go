@@ -1,0 +1,132 @@
+package docindex
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestTokenize(t *testing.T) {
+	got := Tokenize(`Lucy in the Sky, with "Diamonds"!`)
+	want := []string{"lucy", "in", "the", "sky", "with", "diamonds"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Tokenize = %v", got)
+	}
+	if len(Tokenize("  ,,, ")) != 0 {
+		t.Fatal("punctuation-only string yielded tokens")
+	}
+}
+
+func TestExactQuery(t *testing.T) {
+	ix := New()
+	ix.Add("d1", "artist", "Etta James", Exact)
+	ix.Add("d2", "artist", "Etta James", Exact)
+	ix.Add("d3", "artist", "Doris Day", Exact)
+	got := ix.QueryExact("artist", "Etta James")
+	if !reflect.DeepEqual(got, []string{"d1", "d2"}) {
+		t.Fatalf("QueryExact = %v", got)
+	}
+	if ix.QueryExact("artist", "etta james") != nil {
+		t.Fatal("exact match should be case-sensitive")
+	}
+	if ix.QueryExact("missing", "x") != nil {
+		t.Fatal("unknown field matched")
+	}
+}
+
+func TestTextQueryPaperExample(t *testing.T) {
+	ix := New()
+	ix.Add("sgt-pepper/lucy", "lyrics", "Picture yourself in a boat on a river... Lucy in the sky with diamonds", Text)
+	ix.Add("mmt/walrus", "lyrics", "I am he as you are he... Lucy in disguise", Text)
+	ix.Add("abbey/sun", "lyrics", "Here comes the sun", Text)
+
+	got := ix.QueryText("lyrics", `Lucy in the sky`)
+	if !reflect.DeepEqual(got, []string{"sgt-pepper/lucy"}) {
+		t.Fatalf("phrase query = %v", got)
+	}
+	// single token matches both Lucy songs
+	got = ix.QueryText("lyrics", "lucy")
+	if len(got) != 2 {
+		t.Fatalf("token query = %v", got)
+	}
+	// no-hit token
+	if ix.QueryText("lyrics", "yellow submarine") != nil {
+		t.Fatal("impossible AND matched")
+	}
+	if ix.QueryText("lyrics", "") != nil {
+		t.Fatal("empty query matched")
+	}
+}
+
+func TestUpdateReindexes(t *testing.T) {
+	ix := New()
+	ix.Add("doc", "title", "old title here", Text)
+	ix.Remove("doc")
+	ix.Add("doc", "title", "brand new words", Text)
+	if ix.QueryText("title", "old") != nil {
+		t.Fatal("stale term survived update")
+	}
+	if got := ix.QueryText("title", "new"); !reflect.DeepEqual(got, []string{"doc"}) {
+		t.Fatalf("new term = %v", got)
+	}
+}
+
+func TestRemoveDeletesPostings(t *testing.T) {
+	ix := New()
+	ix.Add("d1", "f", "shared term", Text)
+	ix.Add("d2", "f", "shared term", Text)
+	ix.Remove("d1")
+	if got := ix.QueryText("f", "shared"); !reflect.DeepEqual(got, []string{"d2"}) {
+		t.Fatalf("after remove = %v", got)
+	}
+	if ix.Docs() != 1 {
+		t.Fatalf("Docs = %d", ix.Docs())
+	}
+	ix.Remove("d1") // idempotent
+}
+
+func TestMultiFieldIsolation(t *testing.T) {
+	ix := New()
+	ix.Add("d", "title", "alpha", Text)
+	ix.Add("d", "body", "beta", Text)
+	if ix.QueryText("title", "beta") != nil {
+		t.Fatal("cross-field leak")
+	}
+}
+
+func TestConcurrentIndexing(t *testing.T) {
+	ix := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				id := fmt.Sprintf("g%d-d%d", g, i)
+				ix.Add(id, "f", fmt.Sprintf("common token%d", i%10), Text)
+				ix.QueryText("f", "common")
+				if i%3 == 0 {
+					ix.Remove(id)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := len(ix.QueryText("f", "common")); got == 0 {
+		t.Fatal("all docs vanished")
+	}
+}
+
+func BenchmarkQueryText(b *testing.B) {
+	ix := New()
+	for i := 0; i < 10000; i++ {
+		ix.Add(fmt.Sprintf("d%d", i), "lyrics",
+			fmt.Sprintf("common words plus unique%d token", i), Text)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.QueryText("lyrics", fmt.Sprintf("unique%d", i%10000))
+	}
+}

@@ -1,0 +1,325 @@
+package espresso
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"datainfra/internal/bootstrap"
+	"datainfra/internal/databus"
+	"datainfra/internal/helix"
+	"datainfra/internal/zk"
+)
+
+// Cluster assembles the four Espresso components of Figure IV.1 — routers,
+// storage nodes, (Databus) relays and the cluster manager — around one
+// database. The binlog of every master partition flows into the Databus
+// relay; slaves subscribe per-partition; Helix drives mastership; a
+// bootstrap server covers slaves that fall off the relay buffer.
+type Cluster struct {
+	DB     *Database
+	Binlog *databus.LogSource
+	Relay  *databus.Relay
+	Boot   *bootstrap.Server
+	ZK     *zk.Server
+
+	controller *helix.Controller
+	spectator  *helix.Spectator
+	bootClient *databus.Client
+
+	mu      sync.Mutex
+	members map[string]*Member
+	closed  bool
+}
+
+// Member is one storage node plus its Helix participant and its per-partition
+// slave subscriptions.
+type Member struct {
+	Node        *Node
+	cluster     *Cluster
+	participant *helix.Participant
+
+	mu   sync.Mutex
+	subs map[int]*databus.Client
+}
+
+// helixCluster names the helix-managed cluster for a database.
+func helixCluster(db string) string { return "espresso-" + db }
+
+// NewCluster wires the shared substrate (binlog, relay, bootstrap server,
+// zookeeper, controller) for db.
+func NewCluster(db *Database) (*Cluster, error) {
+	c := &Cluster{
+		DB:      db,
+		Binlog:  databus.NewLogSource(),
+		Relay:   databus.NewRelay(databus.RelayConfig{}),
+		Boot:    bootstrap.New(),
+		ZK:      zk.NewServer(),
+		members: map[string]*Member{},
+	}
+	c.Relay.AttachSource(c.Binlog, time.Millisecond)
+
+	// The bootstrap server is itself a Databus client of the relay.
+	bc, err := databus.NewClient(databus.ClientConfig{
+		Relay:      c.Relay,
+		Consumer:   c.Boot,
+		PollExpiry: 5 * time.Millisecond,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.bootClient = bc
+	bc.Start()
+
+	ctrl, err := helix.NewController(c.ZK, helixCluster(db.Schema.Name))
+	if err != nil {
+		return nil, err
+	}
+	c.controller = ctrl
+	if err := ctrl.AddResource(&helix.Resource{
+		Name:          db.Schema.Name,
+		NumPartitions: db.Schema.NumPartitions,
+		Replicas:      db.Schema.Replicas,
+	}); err != nil {
+		return nil, err
+	}
+	ctrl.Start()
+	c.spectator = helix.NewSpectator(c.ZK, helixCluster(db.Schema.Name))
+	return c, nil
+}
+
+// AddNode creates a storage node, registers it as a Helix participant and
+// returns the member. Helix will assign it partitions (slaving first, then
+// mastering), which is also how elastic expansion works (§IV.B).
+func (c *Cluster) AddNode(id string) (*Member, error) {
+	c.mu.Lock()
+	if _, dup := c.members[id]; dup {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("espresso: duplicate node %q", id)
+	}
+	c.mu.Unlock()
+	m := &Member{
+		Node:    NewNode(id, c.DB, c.Binlog),
+		cluster: c,
+		subs:    map[int]*databus.Client{},
+	}
+	p, err := helix.NewParticipant(c.ZK, helixCluster(c.DB.Schema.Name), id, helix.StateModelFunc(m.applyTransition))
+	if err != nil {
+		return nil, err
+	}
+	m.participant = p
+	c.mu.Lock()
+	c.members[id] = m
+	c.mu.Unlock()
+	return m, nil
+}
+
+// Member returns a registered member by id.
+func (c *Cluster) Member(id string) (*Member, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m, ok := c.members[id]
+	return m, ok
+}
+
+// KillNode simulates a node failure: its Helix ephemeral disappears and the
+// controller fails its partitions over to slaves.
+func (c *Cluster) KillNode(id string) error {
+	c.mu.Lock()
+	m, ok := c.members[id]
+	delete(c.members, id)
+	c.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("espresso: unknown node %q", id)
+	}
+	m.shutdown()
+	return nil
+}
+
+// MasterOf returns the member currently mastering partition p.
+func (c *Cluster) MasterOf(p int) (*Member, error) {
+	inst, err := c.spectator.MasterOf(c.DB.Schema.Name, p)
+	if err != nil {
+		return nil, err
+	}
+	m, ok := c.Member(inst)
+	if !ok {
+		return nil, fmt.Errorf("espresso: master %q not found", inst)
+	}
+	return m, nil
+}
+
+// Route returns the node to contact for resourceID — what the router tier
+// does per request (§IV.B Router).
+func (c *Cluster) Route(resourceID string) (*Node, error) {
+	m, err := c.MasterOf(c.DB.PartitionOf(resourceID))
+	if err != nil {
+		return nil, err
+	}
+	return m.Node, nil
+}
+
+// WaitForMasters blocks until every partition has a live master (cluster
+// convergence), or the timeout expires.
+func (c *Cluster) WaitForMasters(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		ok := true
+		for p := 0; p < c.DB.Schema.NumPartitions; p++ {
+			m, err := c.MasterOf(p)
+			if err != nil || !m.Node.IsMaster(p) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("espresso: cluster did not converge within %v", timeout)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// Close stops everything.
+func (c *Cluster) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	members := make([]*Member, 0, len(c.members))
+	for _, m := range c.members {
+		members = append(members, m)
+	}
+	c.members = map[string]*Member{}
+	c.mu.Unlock()
+	for _, m := range members {
+		m.shutdown()
+	}
+	c.spectator.Close()
+	c.controller.Close()
+	c.bootClient.Close()
+	c.Relay.Close()
+}
+
+// applyTransition is the Helix state model (§IV.B): OFFLINE→SLAVE subscribes
+// the partition to the relay stream; SLAVE→MASTER first consumes all
+// outstanding changes from the relay and only then accepts writes;
+// MASTER→SLAVE re-subscribes; SLAVE→OFFLINE drops the subscription.
+func (m *Member) applyTransition(t helix.Transition) error {
+	p := t.Partition
+	switch {
+	case t.From == helix.StateOffline && t.To == helix.StateSlave:
+		return m.startSlave(p)
+	case t.From == helix.StateSlave && t.To == helix.StateMaster:
+		if err := m.catchUp(p); err != nil {
+			return err
+		}
+		m.stopSlave(p)
+		m.Node.SetRole(p, true)
+		return nil
+	case t.From == helix.StateMaster && t.To == helix.StateSlave:
+		m.Node.SetRole(p, false)
+		return m.startSlave(p)
+	case t.From == helix.StateSlave && t.To == helix.StateOffline:
+		m.stopSlave(p)
+		return nil
+	}
+	return nil
+}
+
+// startSlave subscribes partition p to the relay (bootstrap-backed).
+func (m *Member) startSlave(p int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, running := m.subs[p]; running {
+		return nil
+	}
+	m.Node.SetRole(p, false)
+	client, err := databus.NewClient(databus.ClientConfig{
+		Relay:     m.cluster.Relay,
+		Bootstrap: m.cluster.Boot,
+		Filter:    &databus.Filter{Partitions: []int{p}},
+		FromSCN:   m.Node.AppliedSCN(p),
+		Consumer: databus.ConsumerFuncs{
+			Event: m.Node.ApplyReplicated,
+		},
+		PollExpiry: 5 * time.Millisecond,
+	})
+	if err != nil {
+		return err
+	}
+	m.subs[p] = client
+	client.Start()
+	return nil
+}
+
+func (m *Member) stopSlave(p int) {
+	m.mu.Lock()
+	client, ok := m.subs[p]
+	delete(m.subs, p)
+	m.mu.Unlock()
+	if ok {
+		client.Close()
+	}
+}
+
+// catchUp synchronously drains the relay for partition p ("the slave
+// partition first consumes all outstanding changes ... and then becomes a
+// master partition").
+func (m *Member) catchUp(p int) error {
+	filter := &databus.Filter{Partitions: []int{p}}
+	since := m.Node.AppliedSCN(p)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		events, err := m.cluster.Relay.Read(since, 1024, filter)
+		if err != nil {
+			// Fallen off the buffer: catch up through the bootstrap server.
+			var bErr error
+			since, bErr = m.cluster.Boot.Catchup(since, filter, m.Node.ApplyReplicated)
+			if bErr != nil {
+				return bErr
+			}
+			continue
+		}
+		if len(events) == 0 {
+			// Nothing pending for this partition up to the relay's head —
+			// but make sure the relay itself has pulled the binlog tail
+			// before declaring the slave caught up.
+			if m.cluster.Relay.LastSCN() >= m.cluster.Binlog.LastSCN() {
+				return nil
+			}
+		}
+		for _, e := range events {
+			if err := m.Node.ApplyReplicated(e); err != nil {
+				return err
+			}
+			since = e.SCN
+		}
+		if len(events) == 0 {
+			if time.Now().After(deadline) {
+				return fmt.Errorf("espresso: catch-up of partition %d timed out", p)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+// shutdown stops the participant (dropping the ephemeral) and all
+// subscriptions.
+func (m *Member) shutdown() {
+	m.participant.Close()
+	m.mu.Lock()
+	subs := make([]*databus.Client, 0, len(m.subs))
+	for _, c := range m.subs {
+		subs = append(subs, c)
+	}
+	m.subs = map[int]*databus.Client{}
+	m.mu.Unlock()
+	for _, c := range subs {
+		c.Close()
+	}
+}

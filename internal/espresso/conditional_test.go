@@ -1,0 +1,83 @@
+package espresso
+
+import (
+	"errors"
+	"net/http"
+	"testing"
+)
+
+func TestConditionalDelete(t *testing.T) {
+	db := musicDB(t, 4, 1)
+	n := soloNode(t, db)
+	key := DocKey{Table: "Artist", Parts: []string{"Cond"}}
+	row, err := n.Put(key, map[string]any{"name": "Cond", "genre": "g"}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// stale etag rejected, document survives
+	if err := n.Delete(key, "stale"); !errors.Is(err, ErrEtagMismatch) {
+		t.Fatalf("stale delete err = %v", err)
+	}
+	if _, err := n.Get(key); err != nil {
+		t.Fatal("document vanished after rejected delete")
+	}
+	// matching etag deletes
+	if err := n.Delete(key, row.Etag); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Get(key); !errors.Is(err, ErrNoSuchDocument) {
+		t.Fatalf("get after conditional delete err = %v", err)
+	}
+}
+
+func TestHTTPConditionalDelete(t *testing.T) {
+	_, srv := newHTTPRig(t)
+	url := srv.URL + "/Music/Artist/CondHTTP"
+	resp, _ := doReq(t, http.MethodPut, url, map[string]any{"name": "CondHTTP", "genre": "g"}, nil)
+	etag := resp.Header.Get("ETag")
+
+	resp, _ = doReq(t, http.MethodDelete, url, nil, map[string]string{"If-Match": "bogus"})
+	if resp.StatusCode != http.StatusPreconditionFailed {
+		t.Fatalf("stale If-Match DELETE: %d", resp.StatusCode)
+	}
+	resp, _ = doReq(t, http.MethodDelete, url, nil, map[string]string{"If-Match": etag})
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("valid If-Match DELETE: %d", resp.StatusCode)
+	}
+	resp, _ = doReq(t, http.MethodGet, url, nil, nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET after conditional delete: %d", resp.StatusCode)
+	}
+}
+
+func TestTxnWithIfMatchPrecondition(t *testing.T) {
+	db := musicDB(t, 4, 1)
+	n := soloNode(t, db)
+	key := DocKey{Table: "Artist", Parts: []string{"TxnCond"}}
+	row, err := n.Put(key, map[string]any{"name": "TxnCond", "genre": "g"}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a transaction whose precondition fails applies nothing
+	writes := []Write{
+		{Key: key, Doc: map[string]any{"name": "TxnCond", "genre": "updated"}, IfMatch: "wrong"},
+		{Key: DocKey{Table: "Album", Parts: []string{"TxnCond", "A1"}},
+			Doc: map[string]any{"artist": "TxnCond", "title": "A1", "year": int64(2000)}},
+	}
+	if _, err := n.Commit(writes); !errors.Is(err, ErrEtagMismatch) {
+		t.Fatalf("txn with bad precondition err = %v", err)
+	}
+	if _, err := n.Get(DocKey{Table: "Album", Parts: []string{"TxnCond", "A1"}}); !errors.Is(err, ErrNoSuchDocument) {
+		t.Fatal("failed txn leaked a row")
+	}
+	// with the right etag, both rows commit
+	writes[0].IfMatch = row.Etag
+	if _, err := n.Commit(writes); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := n.Get(key)
+	doc, _ := n.Document(got)
+	if doc["genre"] != "updated" {
+		t.Fatalf("doc = %v", doc)
+	}
+}

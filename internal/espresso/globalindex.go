@@ -1,0 +1,92 @@
+package espresso
+
+import (
+	"encoding/json"
+	"time"
+
+	"datainfra/internal/databus"
+	"datainfra/internal/docindex"
+	"datainfra/internal/schema"
+)
+
+// GlobalIndex implements the future enhancement of §IV.A: "global secondary
+// indexes maintained via a listener to the update stream". Unlike the local
+// per-partition index (which only answers queries scoped to one
+// resource_id), the global index subscribes to the database's Databus relay
+// and indexes every document, so queries span all resources — at the cost of
+// asynchronous (timeline-consistent) freshness.
+type GlobalIndex struct {
+	db     *Database
+	index  *docindex.Index
+	client *databus.Client
+}
+
+// NewGlobalIndex subscribes a fresh index to the cluster's change stream and
+// starts consuming. Close it to detach.
+func NewGlobalIndex(c *Cluster) (*GlobalIndex, error) {
+	g := &GlobalIndex{db: c.DB, index: docindex.New()}
+	client, err := databus.NewClient(databus.ClientConfig{
+		Relay:      c.Relay,
+		Bootstrap:  c.Boot,
+		Consumer:   databus.ConsumerFuncs{Event: g.apply},
+		PollExpiry: 5 * time.Millisecond,
+	})
+	if err != nil {
+		return nil, err
+	}
+	g.client = client
+	client.Start()
+	return g, nil
+}
+
+func (g *GlobalIndex) apply(e databus.Event) error {
+	docID := string(e.Key)
+	if e.Op == databus.OpDelete {
+		g.index.Remove(docID)
+		return nil
+	}
+	var cr changeRecord
+	if err := json.Unmarshal(e.Payload, &cr); err != nil {
+		return err
+	}
+	rec, err := g.db.Registry.Get(g.db.Schema.Name+"."+cr.Table, cr.SchemaVersion)
+	if err != nil {
+		return err
+	}
+	doc, err := schema.Unmarshal(rec, cr.Val)
+	if err != nil {
+		return err
+	}
+	g.index.Remove(docID)
+	for _, f := range rec.IndexedFields() {
+		v, ok := doc[f.Name].(string)
+		if !ok {
+			continue
+		}
+		kind := docindex.Exact
+		if f.Index == schema.IndexText {
+			kind = docindex.Text
+		}
+		g.index.Add(docID, f.Name, v, kind)
+	}
+	return nil
+}
+
+// QueryText searches a text-indexed field across the whole database.
+func (g *GlobalIndex) QueryText(field, query string) []string {
+	return g.index.QueryText(field, query)
+}
+
+// QueryExact searches an exact-indexed field across the whole database.
+func (g *GlobalIndex) QueryExact(field, value string) []string {
+	return g.index.QueryExact(field, value)
+}
+
+// SCN returns the stream position the index has absorbed.
+func (g *GlobalIndex) SCN() int64 { return g.client.SCN() }
+
+// Docs returns the number of indexed documents.
+func (g *GlobalIndex) Docs() int { return g.index.Docs() }
+
+// Close detaches the listener.
+func (g *GlobalIndex) Close() { g.client.Close() }

@@ -1,0 +1,115 @@
+package espresso
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"datainfra/internal/schema"
+)
+
+func mustParseSchema(t *testing.T) *schema.Record {
+	t.Helper()
+	return schema.MustParse(`{"name":"Setting","fields":[{"name":"value","type":"string"}]}`)
+}
+
+func TestGlobalIndexSpansResources(t *testing.T) {
+	c := newTestCluster(t, 4, 2, 2)
+	g, err := NewGlobalIndex(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+
+	// Songs by different artists land in different partitions; the local
+	// index can only answer per-artist queries, the global index spans all.
+	artists := []string{"The_Beatles", "Etta_James", "Elton_John"}
+	for i, artist := range artists {
+		key := DocKey{Table: "Song", Parts: []string{artist, "album", fmt.Sprintf("song%d", i)}}
+		clusterPut(t, c, key, map[string]any{
+			"title": fmt.Sprintf("song%d", i), "lyrics": "shared magic words here", "durationSec": int64(100)})
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for len(g.QueryText("lyrics", "magic words")) < 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("global index has %d hits, want 3 (docs=%d, scn=%d)",
+				len(g.QueryText("lyrics", "magic words")), g.Docs(), g.SCN())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	hits := g.QueryText("lyrics", "magic words")
+	if len(hits) != 3 {
+		t.Fatalf("hits = %v", hits)
+	}
+}
+
+func TestGlobalIndexFollowsDeletes(t *testing.T) {
+	c := newTestCluster(t, 4, 2, 2)
+	g, err := NewGlobalIndex(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	key := DocKey{Table: "Artist", Parts: []string{"Vanishing"}}
+	clusterPut(t, c, key, map[string]any{"name": "Vanishing", "genre": "synth"})
+	deadline := time.Now().Add(5 * time.Second)
+	for len(g.QueryExact("genre", "synth")) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("index never absorbed the put")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	node, err := c.Route("Vanishing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := node.Delete(key, ""); err != nil {
+		t.Fatal(err)
+	}
+	for len(g.QueryExact("genre", "synth")) != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("index never absorbed the delete")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestGlobalIndexLateSubscriberBootstraps(t *testing.T) {
+	// An index attached after the fact must catch up through the
+	// bootstrap-backed stream.
+	c := newTestCluster(t, 4, 2, 2)
+	for i := 0; i < 10; i++ {
+		key := DocKey{Table: "Artist", Parts: []string{fmt.Sprintf("old%d", i)}}
+		clusterPut(t, c, key, map[string]any{"name": fmt.Sprintf("old%d", i), "genre": "classic"})
+	}
+	g, err := NewGlobalIndex(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for len(g.QueryExact("genre", "classic")) < 10 {
+		if time.Now().After(deadline) {
+			t.Fatalf("late subscriber indexed %d/10", len(g.QueryExact("genre", "classic")))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestUnpartitionedDatabase(t *testing.T) {
+	db, err := NewDatabase(
+		DatabaseSchema{Name: "Config", NumPartitions: 1, Replicas: 1, Unpartitioned: true},
+		[]*TableSchema{{Name: "Setting", KeyParts: []string{"key"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.SetDocumentSchema("Setting", mustParseSchema(t)); err != nil {
+		t.Fatal(err)
+	}
+	// every resource hashes to partition 0
+	for _, r := range []string{"a", "b", "zzz"} {
+		if p := db.PartitionOf(r); p != 0 {
+			t.Fatalf("unpartitioned PartitionOf(%q) = %d", r, p)
+		}
+	}
+}

@@ -1,0 +1,294 @@
+package espresso
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"datainfra/internal/schema"
+)
+
+// Handler exposes the cluster over HTTP — the router tier of Figure IV.1.
+// Documents are identified by URIs of the form
+//
+//	/<database>/<table>/<resource_id>[/<subresource_id>...]
+//
+// GET returns the document (ETag header set); GET with ?query=field:value
+// runs a secondary-index query over the collection; PUT writes (honouring
+// If-Match); DELETE removes; POST to /<database>/*/<resource_id> commits a
+// multi-table transaction.
+type Handler struct {
+	clusters map[string]*Cluster
+}
+
+// NewHandler serves the given databases.
+func NewHandler(clusters ...*Cluster) *Handler {
+	h := &Handler{clusters: map[string]*Cluster{}}
+	for _, c := range clusters {
+		h.clusters[c.DB.Schema.Name] = c
+	}
+	return h
+}
+
+// TxnItem is one write inside a transactional POST body.
+type TxnItem struct {
+	Table string         `json:"table"`
+	Parts []string       `json:"parts"` // resource_id followed by subresource ids
+	Doc   map[string]any `json:"doc"`   // null means delete
+}
+
+func httpStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrNoSuchDocument), errors.Is(err, ErrNoSuchTable), errors.Is(err, ErrNoSuchDatabase):
+		return http.StatusNotFound
+	case errors.Is(err, ErrEtagMismatch):
+		return http.StatusPreconditionFailed
+	case errors.Is(err, ErrBadURI), errors.Is(err, ErrKeyArity), errors.Is(err, ErrTxnMixedKeys):
+		return http.StatusBadRequest
+	case errors.Is(err, ErrNotMaster):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	http.Error(w, err.Error(), httpStatus(err))
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// ServeHTTP routes the request to the master storage node for the resource.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	dbName, key, err := ParseURI(r.URL.Path)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	c, ok := h.clusters[dbName]
+	if !ok {
+		writeErr(w, fmt.Errorf("%w: %s", ErrNoSuchDatabase, dbName))
+		return
+	}
+	// Schema URIs (§IV.A: "to evolve a document schema, one simply posts a
+	// new version to the schema URI"): /<db>/_schema/<table>.
+	if key.Table == "_schema" {
+		h.schemaEndpoint(w, r, c, key)
+		return
+	}
+	// The router inspects the URI, applies the database's routing function
+	// to the resource_id, consults the cluster manager's routing table and
+	// forwards to the master storage node (§IV.B Router).
+	node, err := c.Route(key.ResourceID())
+	if err != nil {
+		writeErr(w, fmt.Errorf("%w: %v", ErrNotMaster, err))
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		h.get(w, r, node, key)
+	case http.MethodPut:
+		h.put(w, r, node, key)
+	case http.MethodDelete:
+		if err := node.Delete(key, r.Header.Get("If-Match")); err != nil {
+			writeErr(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	case http.MethodPost:
+		h.post(w, r, node, key)
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+// schemaEndpoint serves GET (latest document schema + version) and POST
+// (register an evolved schema; incompatible evolutions are rejected with
+// 409) for /<db>/_schema/<table>.
+func (h *Handler) schemaEndpoint(w http.ResponseWriter, r *http.Request, c *Cluster, key DocKey) {
+	if len(key.Parts) != 1 {
+		writeErr(w, fmt.Errorf("%w: schema URI is /<db>/_schema/<table>", ErrBadURI))
+		return
+	}
+	table := key.Parts[0]
+	switch r.Method {
+	case http.MethodGet:
+		rec, version, err := c.DB.DocumentSchema(table)
+		if err != nil {
+			writeErr(w, fmt.Errorf("%w: %s", ErrNoSuchTable, table))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Espresso-Schema-Version", fmt.Sprint(version))
+		w.Write(rec.JSON())
+	case http.MethodPost:
+		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		rec, err := schema.Parse(body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		version, err := c.DB.SetDocumentSchema(table, rec)
+		if err != nil {
+			// incompatible evolution or unknown table
+			status := http.StatusConflict
+			if errors.Is(err, ErrNoSuchTable) {
+				status = http.StatusNotFound
+			}
+			http.Error(w, err.Error(), status)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]int{"version": version})
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+// docResponse is the JSON form of a returned document.
+type docResponse struct {
+	URI           string         `json:"uri"`
+	Etag          string         `json:"etag"`
+	Timestamp     int64          `json:"timestamp"`
+	SchemaVersion int            `json:"schemaVersion"`
+	Doc           map[string]any `json:"doc"`
+}
+
+func (h *Handler) respRow(node *Node, dbName string, row *Row) (docResponse, error) {
+	doc, err := node.Document(row)
+	if err != nil {
+		return docResponse{}, err
+	}
+	return docResponse{
+		URI:           "/" + dbName + row.Key.String(),
+		Etag:          row.Etag,
+		Timestamp:     row.Timestamp,
+		SchemaVersion: row.SchemaVersion,
+		Doc:           doc,
+	}, nil
+}
+
+func (h *Handler) get(w http.ResponseWriter, r *http.Request, node *Node, key DocKey) {
+	dbName := node.Database().Schema.Name
+	if q := r.URL.Query().Get("query"); q != "" {
+		field, value, ok := strings.Cut(q, ":")
+		if !ok {
+			writeErr(w, fmt.Errorf("%w: query must be field:value", ErrBadURI))
+			return
+		}
+		value = strings.Trim(value, `"`)
+		rows, err := node.Query(key.Table, key.ResourceID(), field, value)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		out := make([]docResponse, 0, len(rows))
+		for _, row := range rows {
+			d, err := h.respRow(node, dbName, row)
+			if err != nil {
+				writeErr(w, err)
+				return
+			}
+			out = append(out, d)
+		}
+		writeJSON(w, http.StatusOK, out)
+		return
+	}
+	ts, ok := node.Database().Tables[key.Table]
+	if ok && len(key.Parts) == 1 && ts.KeyDepth() > 1 {
+		// collection resource: list every document under the resource_id
+		rows, err := node.List(key.Table, key.ResourceID())
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		out := make([]docResponse, 0, len(rows))
+		for _, row := range rows {
+			d, err := h.respRow(node, dbName, row)
+			if err != nil {
+				writeErr(w, err)
+				return
+			}
+			out = append(out, d)
+		}
+		writeJSON(w, http.StatusOK, out)
+		return
+	}
+	row, err := node.Get(key)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	// conditional GET
+	if match := r.Header.Get("If-None-Match"); match != "" && match == row.Etag {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	d, err := h.respRow(node, dbName, row)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.Header().Set("ETag", row.Etag)
+	writeJSON(w, http.StatusOK, d)
+}
+
+func (h *Handler) put(w http.ResponseWriter, r *http.Request, node *Node, key DocKey) {
+	var doc map[string]any
+	if err := json.NewDecoder(r.Body).Decode(&doc); err != nil {
+		writeErr(w, fmt.Errorf("%w: body: %v", ErrBadURI, err))
+		return
+	}
+	row, err := node.Put(key, doc, r.Header.Get("If-Match"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.Header().Set("ETag", row.Etag)
+	w.WriteHeader(http.StatusOK)
+}
+
+// post handles transactional updates: a POST to a database with a wildcard
+// table name, the entity-body containing the individual document updates
+// (§IV.A). All updates commit or none do.
+func (h *Handler) post(w http.ResponseWriter, r *http.Request, node *Node, key DocKey) {
+	if key.Table != "*" {
+		writeErr(w, fmt.Errorf("%w: transactions POST to /<db>/*/<resource>", ErrBadURI))
+		return
+	}
+	var items []TxnItem
+	if err := json.NewDecoder(r.Body).Decode(&items); err != nil {
+		writeErr(w, fmt.Errorf("%w: body: %v", ErrBadURI, err))
+		return
+	}
+	resource := key.ResourceID()
+	writes := make([]Write, 0, len(items))
+	for _, item := range items {
+		parts := item.Parts
+		if len(parts) == 0 || parts[0] != resource {
+			writeErr(w, fmt.Errorf("%w: item key %v must start with %q", ErrTxnMixedKeys, parts, resource))
+			return
+		}
+		writes = append(writes, Write{Key: DocKey{Table: item.Table, Parts: parts}, Doc: item.Doc})
+	}
+	rows, err := node.Commit(writes)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	etags := make([]string, len(rows))
+	for i, row := range rows {
+		etags[i] = row.Etag
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"committed": len(rows), "etags": etags})
+}

@@ -1,0 +1,220 @@
+package espresso
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func newHTTPRig(t *testing.T) (*Cluster, *httptest.Server) {
+	t.Helper()
+	c := newTestCluster(t, 4, 2, 2)
+	srv := httptest.NewServer(NewHandler(c))
+	t.Cleanup(srv.Close)
+	return c, srv
+}
+
+func doReq(t *testing.T, method, url string, body any, headers map[string]string) (*http.Response, []byte) {
+	t.Helper()
+	var rd *bytes.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(data)
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range headers {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes()
+}
+
+func TestHTTPPutGetDelete(t *testing.T) {
+	_, srv := newHTTPRig(t)
+	url := srv.URL + "/Music/Album/Cher/Greatest_Hits"
+	resp, _ := doReq(t, http.MethodPut, url,
+		map[string]any{"artist": "Cher", "title": "Greatest Hits", "year": 1999}, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("PUT status %d", resp.StatusCode)
+	}
+	etag := resp.Header.Get("ETag")
+	if etag == "" {
+		t.Fatal("no ETag on PUT")
+	}
+	resp, body := doReq(t, http.MethodGet, url, nil, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET status %d: %s", resp.StatusCode, body)
+	}
+	var d docResponse
+	if err := json.Unmarshal(body, &d); err != nil {
+		t.Fatal(err)
+	}
+	if d.Doc["title"] != "Greatest Hits" || d.Etag != etag {
+		t.Fatalf("doc = %+v", d)
+	}
+	if d.URI != "/Music/Album/Cher/Greatest_Hits" {
+		t.Fatalf("URI = %s", d.URI)
+	}
+	// conditional GET: 304
+	resp, _ = doReq(t, http.MethodGet, url, nil, map[string]string{"If-None-Match": etag})
+	if resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("conditional GET status %d", resp.StatusCode)
+	}
+	// DELETE then 404
+	resp, _ = doReq(t, http.MethodDelete, url, nil, nil)
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("DELETE status %d", resp.StatusCode)
+	}
+	resp, _ = doReq(t, http.MethodGet, url, nil, nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET after delete status %d", resp.StatusCode)
+	}
+}
+
+func TestHTTPConditionalPut(t *testing.T) {
+	_, srv := newHTTPRig(t)
+	url := srv.URL + "/Music/Artist/Akon"
+	resp, _ := doReq(t, http.MethodPut, url, map[string]any{"name": "Akon", "genre": "r&b"}, nil)
+	etag := resp.Header.Get("ETag")
+	// stale etag -> 412
+	resp, _ = doReq(t, http.MethodPut, url, map[string]any{"name": "Akon", "genre": "pop"},
+		map[string]string{"If-Match": "bogus"})
+	if resp.StatusCode != http.StatusPreconditionFailed {
+		t.Fatalf("stale If-Match status %d", resp.StatusCode)
+	}
+	// fresh etag -> 200
+	resp, _ = doReq(t, http.MethodPut, url, map[string]any{"name": "Akon", "genre": "pop"},
+		map[string]string{"If-Match": etag})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("valid If-Match status %d", resp.StatusCode)
+	}
+}
+
+func TestHTTPSecondaryIndexQuery(t *testing.T) {
+	_, srv := newHTTPRig(t)
+	songs := map[string]string{
+		"Sgt_Pepper/Lucy_in_the_Sky":  "Lucy in the sky with diamonds",
+		"Magical_Mystery_Tour/Walrus": "see how they run, Lucy in the sky watching",
+		"Abbey_Road/Sun":              "here comes the sun",
+	}
+	for path, lyrics := range songs {
+		url := srv.URL + "/Music/Song/The_Beatles/" + path
+		resp, body := doReq(t, http.MethodPut, url,
+			map[string]any{"title": path, "lyrics": lyrics, "durationSec": 200}, nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("PUT %s: %d %s", path, resp.StatusCode, body)
+		}
+	}
+	// the paper's query: /Music/Song/The_Beatles?query=lyrics:"Lucy in the sky"
+	url := srv.URL + `/Music/Song/The_Beatles?query=` + strings.ReplaceAll(`lyrics:"Lucy in the sky"`, " ", "%20")
+	resp, body := doReq(t, http.MethodGet, url, nil, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query status %d: %s", resp.StatusCode, body)
+	}
+	var results []docResponse
+	if err := json.Unmarshal(body, &results); err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("query returned %d docs: %s", len(results), body)
+	}
+	for _, d := range results {
+		if !strings.Contains(d.URI, "/Music/Song/The_Beatles/") {
+			t.Fatalf("URI = %s", d.URI)
+		}
+	}
+}
+
+func TestHTTPCollectionListing(t *testing.T) {
+	_, srv := newHTTPRig(t)
+	for i := 0; i < 3; i++ {
+		url := fmt.Sprintf("%s/Music/Album/Babyface/Album_%d", srv.URL, i)
+		doReq(t, http.MethodPut, url, map[string]any{"artist": "Babyface", "title": fmt.Sprintf("Album %d", i), "year": 1990 + i}, nil)
+	}
+	resp, body := doReq(t, http.MethodGet, srv.URL+"/Music/Album/Babyface", nil, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("collection GET %d: %s", resp.StatusCode, body)
+	}
+	var results []docResponse
+	json.Unmarshal(body, &results)
+	if len(results) != 3 {
+		t.Fatalf("collection size %d", len(results))
+	}
+}
+
+func TestHTTPTransaction(t *testing.T) {
+	_, srv := newHTTPRig(t)
+	items := []TxnItem{
+		{Table: "Album", Parts: []string{"Elton_John", "Honky"}, Doc: map[string]any{"artist": "Elton John", "title": "Honky", "year": 1973}},
+		{Table: "Song", Parts: []string{"Elton_John", "Honky", "Saturday"}, Doc: map[string]any{"title": "Saturday", "lyrics": "la la", "durationSec": 200}},
+	}
+	resp, body := doReq(t, http.MethodPost, srv.URL+"/Music/*/Elton_John", items, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("txn status %d: %s", resp.StatusCode, body)
+	}
+	resp, _ = doReq(t, http.MethodGet, srv.URL+"/Music/Song/Elton_John/Honky/Saturday", nil, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("txn row missing: %d", resp.StatusCode)
+	}
+	// mixed resource ids rejected, nothing applied
+	bad := []TxnItem{
+		{Table: "Artist", Parts: []string{"Elton_John"}, Doc: map[string]any{"name": "EJ", "genre": "rock"}},
+		{Table: "Artist", Parts: []string{"Cher"}, Doc: map[string]any{"name": "Cher", "genre": "pop"}},
+	}
+	resp, _ = doReq(t, http.MethodPost, srv.URL+"/Music/*/Elton_John", bad, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("mixed txn status %d", resp.StatusCode)
+	}
+	resp, _ = doReq(t, http.MethodGet, srv.URL+"/Music/Artist/Elton_John", nil, nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("rejected txn leaked a row: %d", resp.StatusCode)
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	_, srv := newHTTPRig(t)
+	cases := []struct {
+		method, path string
+		status       int
+	}{
+		{http.MethodGet, "/NoDB/Table/x", http.StatusNotFound},
+		{http.MethodGet, "/Music/NoTable/x", http.StatusNotFound},
+		{http.MethodGet, "/Music", http.StatusBadRequest},
+		{http.MethodPatch, "/Music/Artist/x", http.StatusMethodNotAllowed},
+		{http.MethodGet, "/Music/Album/Nobody/Nothing", http.StatusNotFound},
+	}
+	for _, tc := range cases {
+		resp, _ := doReq(t, tc.method, srv.URL+tc.path, nil, nil)
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s %s: status %d, want %d", tc.method, tc.path, resp.StatusCode, tc.status)
+		}
+	}
+	// invalid JSON body
+	req, _ := http.NewRequest(http.MethodPut, srv.URL+"/Music/Artist/x", strings.NewReader("not json"))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad body status %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,180 @@
+// Package espresso implements the distributed, timeline-consistent document
+// store of §IV: hierarchical documents addressed by
+// /<database>/<table>/<resource_id>[/<subresource_id>...], Avro-style
+// document schemas with index annotations, local secondary indexing, local
+// transactions across tables sharing a resource_id, master/slave partitions
+// managed by Helix, and internal replication through Databus — which also
+// gives downstream consumers a change-capture stream for free.
+package espresso
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"datainfra/internal/ring"
+	"datainfra/internal/schema"
+)
+
+// Errors.
+var (
+	ErrNoSuchDatabase = errors.New("espresso: no such database")
+	ErrNoSuchTable    = errors.New("espresso: no such table")
+	ErrNoSuchDocument = errors.New("espresso: no such document")
+	ErrBadURI         = errors.New("espresso: malformed URI")
+	ErrKeyArity       = errors.New("espresso: wrong number of key parts for table")
+	ErrEtagMismatch   = errors.New("espresso: etag precondition failed")
+	ErrNotMaster      = errors.New("espresso: node is not master for partition")
+	ErrTxnMixedKeys   = errors.New("espresso: transaction spans multiple resource ids")
+)
+
+// DatabaseSchema defines a database: its partitioning and replication
+// (§IV.A "a database schema defines how the database is partitioned").
+type DatabaseSchema struct {
+	Name          string `json:"name"`
+	NumPartitions int    `json:"numPartitions"`
+	Replicas      int    `json:"replicas"`
+	// Unpartitioned stores all documents on all nodes (the only other
+	// supported strategy in the paper).
+	Unpartitioned bool `json:"unpartitioned,omitempty"`
+}
+
+// TableSchema defines how documents in a table are referenced: the
+// resource_id plus the named subresource levels. KeyDepth 1 means singleton
+// documents per resource; more levels address documents within collections
+// (Album: artist/album; Song: artist/album/song).
+type TableSchema struct {
+	Name     string   `json:"name"`
+	KeyParts []string `json:"keyParts"` // e.g. ["artist","album","song"]
+}
+
+// KeyDepth returns the number of path elements addressing one document.
+func (t *TableSchema) KeyDepth() int { return len(t.KeyParts) }
+
+// Database bundles the database schema, its tables and the versioned
+// document schemas.
+type Database struct {
+	Schema   DatabaseSchema
+	Tables   map[string]*TableSchema
+	Registry *schema.Registry // subject = "<db>.<table>"
+}
+
+// NewDatabase assembles and validates a database definition.
+func NewDatabase(ds DatabaseSchema, tables []*TableSchema) (*Database, error) {
+	if ds.Name == "" {
+		return nil, fmt.Errorf("espresso: database without name")
+	}
+	if ds.NumPartitions <= 0 {
+		return nil, fmt.Errorf("espresso: database %q: numPartitions %d", ds.Name, ds.NumPartitions)
+	}
+	if ds.Replicas <= 0 {
+		ds.Replicas = 1
+	}
+	db := &Database{Schema: ds, Tables: map[string]*TableSchema{}, Registry: schema.NewRegistry()}
+	for _, t := range tables {
+		if t.Name == "" || len(t.KeyParts) == 0 {
+			return nil, fmt.Errorf("espresso: table %q invalid", t.Name)
+		}
+		if _, dup := db.Tables[t.Name]; dup {
+			return nil, fmt.Errorf("espresso: duplicate table %q", t.Name)
+		}
+		db.Tables[t.Name] = t
+	}
+	return db, nil
+}
+
+// SetDocumentSchema registers (or evolves) the document schema for table.
+// Evolution must satisfy the Avro resolution rules (enforced by the
+// registry).
+func (db *Database) SetDocumentSchema(table string, rec *schema.Record) (int, error) {
+	if _, ok := db.Tables[table]; !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNoSuchTable, table)
+	}
+	return db.Registry.Register(db.Schema.Name+"."+table, rec)
+}
+
+// DocumentSchema returns the latest document schema and version for table.
+func (db *Database) DocumentSchema(table string) (*schema.Record, int, error) {
+	return db.Registry.Latest(db.Schema.Name + "." + table)
+}
+
+// PartitionOf applies the database's partitioning function to a resource id.
+func (db *Database) PartitionOf(resourceID string) int {
+	if db.Schema.Unpartitioned {
+		return 0
+	}
+	return ring.Hash([]byte(resourceID), db.Schema.NumPartitions)
+}
+
+// DocKey identifies one document.
+type DocKey struct {
+	Table string
+	// Parts holds resource_id followed by subresource ids; its length must
+	// equal the table's KeyDepth.
+	Parts []string
+}
+
+// ResourceID returns the partitioning component of the key.
+func (k DocKey) ResourceID() string { return k.Parts[0] }
+
+// String renders "/table/part0/part1/...".
+func (k DocKey) String() string { return "/" + k.Table + "/" + strings.Join(k.Parts, "/") }
+
+// rowID is the storage key within a partition: unit-separated so ids cannot
+// collide across tables or key parts.
+func (k DocKey) rowID() string { return k.Table + "\x1f" + strings.Join(k.Parts, "\x1f") }
+
+// ParseURI splits "/<database>/<table>/<resource>[/<sub>...]" into database
+// and key. A table of "*" (transactions) yields Table "*" and raw parts.
+func ParseURI(uri string) (database string, key DocKey, err error) {
+	trimmed := strings.TrimPrefix(uri, "/")
+	parts := strings.Split(trimmed, "/")
+	if len(parts) < 3 || parts[0] == "" || parts[1] == "" || parts[2] == "" {
+		return "", DocKey{}, fmt.Errorf("%w: %q", ErrBadURI, uri)
+	}
+	return parts[0], DocKey{Table: parts[1], Parts: parts[2:]}, nil
+}
+
+// validateKey checks arity against the table schema.
+func (db *Database) validateKey(key DocKey) (*TableSchema, error) {
+	ts, ok := db.Tables[key.Table]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchTable, key.Table)
+	}
+	if len(key.Parts) != ts.KeyDepth() {
+		return nil, fmt.Errorf("%w: table %s wants %d parts, got %d (%v)",
+			ErrKeyArity, key.Table, ts.KeyDepth(), len(key.Parts), key.Parts)
+	}
+	for _, p := range key.Parts {
+		if p == "" {
+			return nil, fmt.Errorf("%w: empty key part", ErrBadURI)
+		}
+	}
+	return ts, nil
+}
+
+// collectionPrefix is the rowID prefix addressing every document under a
+// resource_id in a table (for collection queries).
+func collectionPrefix(table, resourceID string) string {
+	return table + "\x1f" + resourceID + "\x1f"
+}
+
+// Row is the stored form of a document — exactly the Table IV.1 layout: the
+// key columns, timestamp, etag, val blob and schema_version.
+type Row struct {
+	Key           DocKey `json:"key"`
+	Timestamp     int64  `json:"timestamp"`
+	Etag          string `json:"etag"`
+	Val           []byte `json:"val"` // schema-serialized document
+	SchemaVersion int    `json:"schema_version"`
+}
+
+// TableIV1Columns documents the physical layout (golden-tested against the
+// paper's Table IV.1).
+var TableIV1Columns = []string{
+	"<key columns from table schema>", // artist, album, song in the example
+	"timestamp bigint(20)",
+	"etag varchar(10)",
+	"val blob",
+	"schema_version smallint(6)",
+}

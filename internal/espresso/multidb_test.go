@@ -1,0 +1,67 @@
+package espresso
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"datainfra/internal/schema"
+)
+
+// TestHandlerServesMultipleDatabases: one router tier fronting two
+// independent Espresso databases, each with its own cluster, relay and
+// Helix domain.
+func TestHandlerServesMultipleDatabases(t *testing.T) {
+	music := newTestCluster(t, 4, 2, 2)
+
+	members, err := NewDatabase(
+		DatabaseSchema{Name: "Members", NumPartitions: 2, Replicas: 1},
+		[]*TableSchema{{Name: "Profile", KeyParts: []string{"member"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := members.SetDocumentSchema("Profile", schema.MustParse(`{
+		"name":"Profile","fields":[{"name":"name","type":"string"}]}`)); err != nil {
+		t.Fatal(err)
+	}
+	mcluster, err := NewCluster(members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(mcluster.Close)
+	if _, err := mcluster.AddNode("m0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := mcluster.WaitForMasters(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := httptest.NewServer(NewHandler(music, mcluster))
+	t.Cleanup(srv.Close)
+
+	// writes to both databases through one router
+	resp, body := doReq(t, http.MethodPut, srv.URL+"/Music/Artist/Adele",
+		map[string]any{"name": "Adele", "genre": "pop"}, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("Music PUT: %d %s", resp.StatusCode, body)
+	}
+	resp, body = doReq(t, http.MethodPut, srv.URL+"/Members/Profile/adele",
+		map[string]any{"name": "Adele L."}, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("Members PUT: %d %s", resp.StatusCode, body)
+	}
+	// isolation: Members has no Artist table
+	resp, _ = doReq(t, http.MethodGet, srv.URL+"/Members/Artist/Adele", nil, nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("cross-db table leak: %d", resp.StatusCode)
+	}
+	resp, _ = doReq(t, http.MethodGet, srv.URL+"/Music/Artist/Adele", nil, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("Music GET: %d", resp.StatusCode)
+	}
+	resp, _ = doReq(t, http.MethodGet, srv.URL+"/Members/Profile/adele", nil, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("Members GET: %d", resp.StatusCode)
+	}
+}

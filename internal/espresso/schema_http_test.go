@@ -1,0 +1,104 @@
+package espresso
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestSchemaURIGetAndEvolve(t *testing.T) {
+	_, srv := newHTTPRig(t)
+
+	// GET the current Album schema
+	resp, body := doReq(t, http.MethodGet, srv.URL+"/Music/_schema/Album", nil, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET schema: %d %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("X-Espresso-Schema-Version") != "1" {
+		t.Fatalf("version header = %q", resp.Header.Get("X-Espresso-Schema-Version"))
+	}
+	if !strings.Contains(string(body), `"artist"`) {
+		t.Fatalf("schema body = %s", body)
+	}
+
+	// Write a v1 document first.
+	doReq(t, http.MethodPut, srv.URL+"/Music/Album/Cher/Greatest_Hits",
+		map[string]any{"artist": "Cher", "title": "Greatest Hits", "year": 1999}, nil)
+
+	// POST a compatible evolution to the schema URI (§IV.A).
+	evolved := `{"name":"Album","fields":[
+		{"name":"artist","type":"string","index":"exact"},
+		{"name":"title","type":"string"},
+		{"name":"year","type":"long"},
+		{"name":"label","type":"string","default":"unknown"}]}`
+	req, _ := http.NewRequest(http.MethodPost, srv.URL+"/Music/_schema/Album", bytes.NewReader([]byte(evolved)))
+	raw, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Body.Close()
+	if raw.StatusCode != http.StatusOK {
+		t.Fatalf("POST schema: %d", raw.StatusCode)
+	}
+	var out map[string]int
+	json.NewDecoder(raw.Body).Decode(&out)
+	if out["version"] != 2 {
+		t.Fatalf("new version = %d", out["version"])
+	}
+
+	// Old documents now read with the default filled in.
+	resp, body = doReq(t, http.MethodGet, srv.URL+"/Music/Album/Cher/Greatest_Hits", nil, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET doc after evolution: %d", resp.StatusCode)
+	}
+	var d docResponse
+	json.Unmarshal(body, &d)
+	if d.Doc["label"] != "unknown" || d.SchemaVersion != 1 {
+		t.Fatalf("evolved read = %+v", d)
+	}
+}
+
+func TestSchemaURIRejectsIncompatible(t *testing.T) {
+	_, srv := newHTTPRig(t)
+	bad := `{"name":"Album","fields":[{"name":"artist","type":"long"}]}`
+	req, _ := http.NewRequest(http.MethodPost, srv.URL+"/Music/_schema/Album", bytes.NewReader([]byte(bad)))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("incompatible POST: %d, want 409", resp.StatusCode)
+	}
+}
+
+func TestSchemaURIErrors(t *testing.T) {
+	_, srv := newHTTPRig(t)
+	// unknown table
+	resp, _ := doReq(t, http.MethodGet, srv.URL+"/Music/_schema/Nope", nil, nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown table: %d", resp.StatusCode)
+	}
+	// malformed schema body
+	req, _ := http.NewRequest(http.MethodPost, srv.URL+"/Music/_schema/Album", strings.NewReader("not json"))
+	raw, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw.Body.Close()
+	if raw.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad body: %d", raw.StatusCode)
+	}
+	// wrong arity
+	resp, _ = doReq(t, http.MethodGet, srv.URL+"/Music/_schema/Album/extra", nil, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("deep schema URI: %d", resp.StatusCode)
+	}
+	// method not allowed
+	resp, _ = doReq(t, http.MethodDelete, srv.URL+"/Music/_schema/Album", nil, nil)
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("DELETE schema: %d", resp.StatusCode)
+	}
+}

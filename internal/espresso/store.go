@@ -1,0 +1,430 @@
+package espresso
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"datainfra/internal/databus"
+	"datainfra/internal/docindex"
+	"datainfra/internal/schema"
+)
+
+// changeRecord is the replication envelope carried in Databus event
+// payloads: enough to reapply the row on a slave.
+type changeRecord struct {
+	Table         string   `json:"table"`
+	Parts         []string `json:"parts"`
+	Timestamp     int64    `json:"timestamp"`
+	Etag          string   `json:"etag"`
+	Val           []byte   `json:"val"`
+	SchemaVersion int      `json:"schemaVersion"`
+	Delete        bool     `json:"delete,omitempty"`
+}
+
+// partitionStore holds one partition's rows and local secondary index.
+type partitionStore struct {
+	mu         sync.RWMutex
+	rows       map[string]*Row
+	index      *docindex.Index
+	appliedSCN int64
+	master     bool
+}
+
+func newPartitionStore() *partitionStore {
+	return &partitionStore{rows: map[string]*Row{}, index: docindex.New()}
+}
+
+// Node is an Espresso storage node: it masters some partitions (serving
+// reads and writes, committing every change to the shared binlog/relay) and
+// slaves others (applying the relay stream in commit order — timeline
+// consistency, §IV.B).
+type Node struct {
+	ID string
+	db *Database
+
+	// binlog is the node's write-ahead commit stream; in this reproduction
+	// all nodes of a database share one LogSource (a single global commit
+	// order), which the Databus relay serves per-partition to slaves.
+	binlog *databus.LogSource
+
+	mu         sync.RWMutex
+	partitions map[int]*partitionStore
+
+	now func() time.Time
+}
+
+// NewNode builds a storage node for db committing to binlog.
+func NewNode(id string, db *Database, binlog *databus.LogSource) *Node {
+	return &Node{
+		ID:         id,
+		db:         db,
+		binlog:     binlog,
+		partitions: map[int]*partitionStore{},
+		now:        time.Now,
+	}
+}
+
+// Database returns the node's database definition.
+func (n *Node) Database() *Database { return n.db }
+
+func (n *Node) partition(p int, create bool) *partitionStore {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ps, ok := n.partitions[p]
+	if !ok && create {
+		ps = newPartitionStore()
+		n.partitions[p] = ps
+	}
+	return ps
+}
+
+// SetRole switches the node's role for partition p (driven by the Helix
+// state model). Becoming master enables writes; becoming slave disables
+// them. The partition store is created on demand.
+func (n *Node) SetRole(p int, master bool) {
+	ps := n.partition(p, true)
+	ps.mu.Lock()
+	ps.master = master
+	ps.mu.Unlock()
+}
+
+// IsMaster reports the node's role for partition p.
+func (n *Node) IsMaster(p int) bool {
+	ps := n.partition(p, false)
+	if ps == nil {
+		return false
+	}
+	ps.mu.RLock()
+	defer ps.mu.RUnlock()
+	return ps.master
+}
+
+// AppliedSCN returns the replication position of partition p on this node.
+func (n *Node) AppliedSCN(p int) int64 {
+	ps := n.partition(p, false)
+	if ps == nil {
+		return 0
+	}
+	ps.mu.RLock()
+	defer ps.mu.RUnlock()
+	return ps.appliedSCN
+}
+
+func makeEtag(val []byte, ts int64) string {
+	return fmt.Sprintf("%08x", crc32.ChecksumIEEE(val)^uint32(ts))
+}
+
+// encodeDoc validates doc against the table's latest schema and serializes
+// it.
+func (n *Node) encodeDoc(table string, doc map[string]any) ([]byte, int, *schema.Record, error) {
+	rec, version, err := n.db.DocumentSchema(table)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	val, err := schema.Marshal(rec, doc)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	return val, version, rec, nil
+}
+
+// Put writes one document (conditionally if ifMatch is non-empty) — a
+// single-row transaction. It returns the stored row.
+func (n *Node) Put(key DocKey, doc map[string]any, ifMatch string) (*Row, error) {
+	rows, err := n.Commit([]Write{{Key: key, Doc: doc, IfMatch: ifMatch}})
+	if err != nil {
+		return nil, err
+	}
+	return rows[0], nil
+}
+
+// Write is one document operation inside a transaction.
+type Write struct {
+	Key     DocKey
+	Doc     map[string]any // nil means delete
+	IfMatch string         // optional etag precondition
+}
+
+// Commit applies writes atomically. All rows must share one resource_id
+// (hence one partition) — the transactional-update rule of §IV.A: tables
+// indexed by the same resource_id partition identically, so a new album and
+// its songs commit together or not at all.
+func (n *Node) Commit(writes []Write) ([]*Row, error) {
+	if len(writes) == 0 {
+		return nil, fmt.Errorf("espresso: empty transaction")
+	}
+	resource := writes[0].Key.ResourceID()
+	for _, w := range writes[1:] {
+		if w.Key.ResourceID() != resource {
+			return nil, fmt.Errorf("%w: %q vs %q", ErrTxnMixedKeys, resource, w.Key.ResourceID())
+		}
+	}
+	p := n.db.PartitionOf(resource)
+	ps := n.partition(p, true)
+
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if !ps.master {
+		return nil, fmt.Errorf("%w: partition %d on node %s", ErrNotMaster, p, n.ID)
+	}
+
+	// Validate everything before mutating anything (all-or-nothing).
+	type staged struct {
+		row    *Row
+		rec    *schema.Record
+		delete bool
+	}
+	ts := n.now().UnixMilli()
+	stagedWrites := make([]staged, 0, len(writes))
+	for _, w := range writes {
+		if _, err := n.db.validateKey(w.Key); err != nil {
+			return nil, err
+		}
+		existing := ps.rows[w.Key.rowID()]
+		if w.IfMatch != "" {
+			if existing == nil || existing.Etag != w.IfMatch {
+				have := "<absent>"
+				if existing != nil {
+					have = existing.Etag
+				}
+				return nil, fmt.Errorf("%w: have %s, want %s", ErrEtagMismatch, have, w.IfMatch)
+			}
+		}
+		if w.Doc == nil {
+			if existing == nil {
+				return nil, fmt.Errorf("%w: %s", ErrNoSuchDocument, w.Key)
+			}
+			stagedWrites = append(stagedWrites, staged{row: &Row{Key: w.Key}, delete: true})
+			continue
+		}
+		val, version, rec, err := n.encodeDoc(w.Key.Table, w.Doc)
+		if err != nil {
+			return nil, err
+		}
+		stagedWrites = append(stagedWrites, staged{
+			row: &Row{Key: w.Key, Timestamp: ts, Etag: makeEtag(val, ts), Val: val, SchemaVersion: version},
+			rec: rec,
+		})
+	}
+
+	// Build the binlog transaction ("each change is written to two places
+	// before being committed — the local binlog and the Databus relay").
+	events := make([]databus.Event, 0, len(stagedWrites))
+	for _, st := range stagedWrites {
+		cr := changeRecord{
+			Table: st.row.Key.Table, Parts: st.row.Key.Parts,
+			Timestamp: st.row.Timestamp, Etag: st.row.Etag,
+			Val: st.row.Val, SchemaVersion: st.row.SchemaVersion, Delete: st.delete,
+		}
+		payload, err := json.Marshal(cr)
+		if err != nil {
+			return nil, err
+		}
+		op := databus.OpUpsert
+		if st.delete {
+			op = databus.OpDelete
+		}
+		events = append(events, databus.Event{
+			Source:    n.db.Schema.Name + "." + st.row.Key.Table,
+			Op:        op,
+			Key:       []byte(st.row.Key.rowID()),
+			Payload:   payload,
+			Partition: p,
+			Timestamp: ts,
+		})
+	}
+	scn := n.binlog.Commit(events...)
+
+	// Apply locally in the same commit order.
+	rows := make([]*Row, 0, len(stagedWrites))
+	for _, st := range stagedWrites {
+		ps.applyLocked(n.db, st.row, st.rec, st.delete)
+		rows = append(rows, st.row)
+	}
+	ps.appliedSCN = scn
+	return rows, nil
+}
+
+// applyLocked installs (or removes) a row and maintains the secondary index.
+func (ps *partitionStore) applyLocked(db *Database, row *Row, rec *schema.Record, del bool) {
+	id := row.Key.rowID()
+	ps.index.Remove(id)
+	if del {
+		delete(ps.rows, id)
+		return
+	}
+	ps.rows[id] = row
+	if rec == nil {
+		var err error
+		rec, err = db.Registry.Get(db.Schema.Name+"."+row.Key.Table, row.SchemaVersion)
+		if err != nil {
+			return
+		}
+	}
+	doc, err := schema.Unmarshal(rec, row.Val)
+	if err != nil {
+		return
+	}
+	for _, f := range rec.IndexedFields() {
+		v, ok := doc[f.Name].(string)
+		if !ok {
+			continue
+		}
+		kind := docindex.Exact
+		if f.Index == schema.IndexText {
+			kind = docindex.Text
+		}
+		ps.index.Add(id, f.Name, v, kind)
+	}
+}
+
+// Get returns the row for key from the local store (master or slave — the
+// router sends reads to masters; tests may read slaves to verify timeline
+// consistency).
+func (n *Node) Get(key DocKey) (*Row, error) {
+	if _, err := n.db.validateKey(key); err != nil {
+		return nil, err
+	}
+	ps := n.partition(n.db.PartitionOf(key.ResourceID()), false)
+	if ps == nil {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchDocument, key)
+	}
+	ps.mu.RLock()
+	defer ps.mu.RUnlock()
+	row, ok := ps.rows[key.rowID()]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchDocument, key)
+	}
+	return row, nil
+}
+
+// Document decodes a row through the latest document schema (resolving old
+// schema versions per the Avro rules).
+func (n *Node) Document(row *Row) (map[string]any, error) {
+	return n.db.Registry.DecodeLatest(n.db.Schema.Name+"."+row.Key.Table, row.SchemaVersion, row.Val)
+}
+
+// Delete removes a document.
+func (n *Node) Delete(key DocKey, ifMatch string) error {
+	_, err := n.Commit([]Write{{Key: key, Doc: nil, IfMatch: ifMatch}})
+	return err
+}
+
+// List returns the rows of a collection: every document under resource_id in
+// table, sorted by key.
+func (n *Node) List(table, resourceID string) ([]*Row, error) {
+	ts, ok := n.db.Tables[table]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchTable, table)
+	}
+	if ts.KeyDepth() < 2 {
+		// singleton table: the "collection" is the single row
+		row, err := n.Get(DocKey{Table: table, Parts: []string{resourceID}})
+		if err != nil {
+			return nil, nil
+		}
+		return []*Row{row}, nil
+	}
+	ps := n.partition(n.db.PartitionOf(resourceID), false)
+	if ps == nil {
+		return nil, nil
+	}
+	prefix := collectionPrefix(table, resourceID)
+	ps.mu.RLock()
+	defer ps.mu.RUnlock()
+	var out []*Row
+	for id, row := range ps.rows {
+		if strings.HasPrefix(id, prefix) {
+			out = append(out, row)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key.rowID() < out[j].Key.rowID() })
+	return out, nil
+}
+
+// Query runs a secondary-index lookup within the collection under
+// resource_id (§IV.A: indexed access is limited to collection resources
+// accessed via a common resource_id). The field must carry an index
+// annotation in the document schema.
+func (n *Node) Query(table, resourceID, field, value string) ([]*Row, error) {
+	rec, _, err := n.db.DocumentSchema(table)
+	if err != nil {
+		return nil, err
+	}
+	f, ok := rec.FieldByName(field)
+	if !ok || f.Index == schema.IndexNone {
+		return nil, fmt.Errorf("espresso: field %q of %s is not indexed", field, table)
+	}
+	ps := n.partition(n.db.PartitionOf(resourceID), false)
+	if ps == nil {
+		return nil, nil
+	}
+	ps.mu.RLock()
+	defer ps.mu.RUnlock()
+	var ids []string
+	if f.Index == schema.IndexText {
+		ids = ps.index.QueryText(field, value)
+	} else {
+		ids = ps.index.QueryExact(field, value)
+	}
+	prefix := collectionPrefix(table, resourceID)
+	var out []*Row
+	for _, id := range ids {
+		if !strings.HasPrefix(id, prefix) && !strings.HasPrefix(id, table+"\x1f"+resourceID) {
+			continue
+		}
+		if row, ok := ps.rows[id]; ok {
+			out = append(out, row)
+		}
+	}
+	return out, nil
+}
+
+// ApplyReplicated applies one relay event to a slave partition in commit
+// order — the timeline-consistency path. Events at or below the applied SCN
+// are skipped (idempotent redelivery).
+func (n *Node) ApplyReplicated(e databus.Event) error {
+	ps := n.partition(e.Partition, true)
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if e.SCN <= ps.appliedSCN {
+		return nil
+	}
+	var cr changeRecord
+	if err := json.Unmarshal(e.Payload, &cr); err != nil {
+		return fmt.Errorf("espresso: bad change record at SCN %d: %w", e.SCN, err)
+	}
+	row := &Row{
+		Key:           DocKey{Table: cr.Table, Parts: cr.Parts},
+		Timestamp:     cr.Timestamp,
+		Etag:          cr.Etag,
+		Val:           cr.Val,
+		SchemaVersion: cr.SchemaVersion,
+	}
+	ps.applyLocked(n.db, row, nil, cr.Delete)
+	if e.EndOfTxn {
+		ps.appliedSCN = e.SCN
+	}
+	return nil
+}
+
+// PartitionRows returns a copy of the partition's rows (test hook for
+// master/slave equivalence checks).
+func (n *Node) PartitionRows(p int) map[string]Row {
+	ps := n.partition(p, false)
+	out := map[string]Row{}
+	if ps == nil {
+		return out
+	}
+	ps.mu.RLock()
+	defer ps.mu.RUnlock()
+	for id, row := range ps.rows {
+		out[id] = *row
+	}
+	return out
+}

@@ -1,0 +1,222 @@
+// Package failure implements Voldemort's failure detectors (§II.B): routing
+// consults an up-to-date availability status per storage node so clients
+// avoid hammering overloaded or dead servers. The primary implementation is
+// the bannage/success-ratio detector the paper describes: a node is marked
+// down when its ratio of successful operations falls below a threshold, and
+// is considered online again only when an asynchronous recovery probe can
+// contact it.
+package failure
+
+import (
+	"sync"
+	"time"
+)
+
+// Detector tracks per-node availability.
+type Detector interface {
+	// Available reports whether node is believed up.
+	Available(node int) bool
+	// RecordSuccess notes a successful operation against node.
+	RecordSuccess(node int)
+	// RecordFailure notes a failed operation against node.
+	RecordFailure(node int)
+}
+
+// Prober checks liveness of a node out-of-band; used by the async recovery
+// loop to bring banned nodes back.
+type Prober interface {
+	Ping(node int) error
+}
+
+// ProberFunc adapts a function to the Prober interface.
+type ProberFunc func(node int) error
+
+// Ping calls f(node).
+func (f ProberFunc) Ping(node int) error { return f(node) }
+
+// AlwaysUp is a Detector that never bans anything; the default for tests and
+// single-node deployments.
+type AlwaysUp struct{}
+
+// Available always reports true.
+func (AlwaysUp) Available(int) bool { return true }
+
+// RecordSuccess is a no-op.
+func (AlwaysUp) RecordSuccess(int) {}
+
+// RecordFailure is a no-op.
+func (AlwaysUp) RecordFailure(int) {}
+
+type nodeStats struct {
+	success, total int
+	windowStart    time.Time
+	banned         bool
+	bannedAt       time.Time
+}
+
+// SuccessRatioConfig tunes the success-ratio detector.
+type SuccessRatioConfig struct {
+	// Threshold is the minimum success ratio; below it the node is banned.
+	Threshold float64
+	// MinRequests is how many operations must be observed in a window before
+	// the ratio is acted on (avoids banning on a single blip).
+	MinRequests int
+	// Window resets the counters periodically so old history ages out.
+	Window time.Duration
+	// ProbeInterval is how often the async thread re-probes banned nodes.
+	ProbeInterval time.Duration
+	// Now is the clock; defaults to time.Now (injectable for tests).
+	Now func() time.Time
+}
+
+func (c *SuccessRatioConfig) withDefaults() {
+	if c.Threshold == 0 {
+		c.Threshold = 0.8
+	}
+	if c.MinRequests == 0 {
+		c.MinRequests = 10
+	}
+	if c.Window == 0 {
+		c.Window = 10 * time.Second
+	}
+	if c.ProbeInterval == 0 {
+		c.ProbeInterval = 100 * time.Millisecond
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+}
+
+// SuccessRatio is the bannage detector: below-threshold success ratio bans a
+// node; only a successful async probe (or explicit MarkUp) unbans it.
+type SuccessRatio struct {
+	cfg SuccessRatioConfig
+
+	mu    sync.Mutex
+	nodes map[int]*nodeStats
+
+	prober Prober
+	stop   chan struct{}
+	wg     sync.WaitGroup
+}
+
+// NewSuccessRatio builds the detector. If prober is non-nil, a background
+// goroutine probes banned nodes every ProbeInterval and unbans them on a
+// successful ping; call Close to stop it.
+func NewSuccessRatio(cfg SuccessRatioConfig, prober Prober) *SuccessRatio {
+	cfg.withDefaults()
+	d := &SuccessRatio{
+		cfg:    cfg,
+		nodes:  make(map[int]*nodeStats),
+		prober: prober,
+		stop:   make(chan struct{}),
+	}
+	if prober != nil {
+		d.wg.Add(1)
+		go d.recoveryLoop()
+	}
+	return d
+}
+
+// Close stops the async recovery loop.
+func (d *SuccessRatio) Close() {
+	select {
+	case <-d.stop:
+	default:
+		close(d.stop)
+	}
+	d.wg.Wait()
+}
+
+func (d *SuccessRatio) stats(node int) *nodeStats {
+	s, ok := d.nodes[node]
+	if !ok {
+		s = &nodeStats{windowStart: d.cfg.Now()}
+		d.nodes[node] = s
+	}
+	return s
+}
+
+// Available reports whether node is not banned.
+func (d *SuccessRatio) Available(node int) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return !d.stats(node).banned
+}
+
+// RecordSuccess counts a success; a success also immediately unbans the node
+// (we evidently reached it).
+func (d *SuccessRatio) RecordSuccess(node int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s := d.stats(node)
+	d.roll(s)
+	s.total++
+	s.success++
+	s.banned = false
+}
+
+// RecordFailure counts a failure and bans the node if the windowed success
+// ratio dropped below threshold.
+func (d *SuccessRatio) RecordFailure(node int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s := d.stats(node)
+	d.roll(s)
+	s.total++
+	if s.total >= d.cfg.MinRequests {
+		ratio := float64(s.success) / float64(s.total)
+		if ratio < d.cfg.Threshold && !s.banned {
+			s.banned = true
+			s.bannedAt = d.cfg.Now()
+		}
+	}
+}
+
+func (d *SuccessRatio) roll(s *nodeStats) {
+	if d.cfg.Now().Sub(s.windowStart) > d.cfg.Window {
+		s.windowStart = d.cfg.Now()
+		s.success, s.total = 0, 0
+	}
+}
+
+// MarkUp forcibly unbans a node (admin override / successful probe).
+func (d *SuccessRatio) MarkUp(node int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s := d.stats(node)
+	s.banned = false
+	s.success, s.total = 0, 0
+	s.windowStart = d.cfg.Now()
+}
+
+// Banned returns the ids of currently banned nodes (diagnostics).
+func (d *SuccessRatio) Banned() []int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var out []int
+	for id, s := range d.nodes {
+		if s.banned {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func (d *SuccessRatio) recoveryLoop() {
+	defer d.wg.Done()
+	ticker := time.NewTicker(d.cfg.ProbeInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-d.stop:
+			return
+		case <-ticker.C:
+			for _, id := range d.Banned() {
+				if err := d.prober.Ping(id); err == nil {
+					d.MarkUp(id)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package failure
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestAlwaysUp(t *testing.T) {
+	var d AlwaysUp
+	d.RecordFailure(1)
+	d.RecordFailure(1)
+	if !d.Available(1) {
+		t.Fatal("AlwaysUp banned a node")
+	}
+}
+
+func TestBansBelowThreshold(t *testing.T) {
+	d := NewSuccessRatio(SuccessRatioConfig{Threshold: 0.8, MinRequests: 5}, nil)
+	defer d.Close()
+	for i := 0; i < 3; i++ {
+		d.RecordSuccess(1)
+	}
+	for i := 0; i < 4; i++ {
+		d.RecordFailure(1)
+	}
+	if d.Available(1) {
+		t.Fatal("node with 3/7 success ratio still available")
+	}
+	if d.Available(2) {
+		// node 2 untouched, should be up
+	} else {
+		t.Fatal("untouched node banned")
+	}
+}
+
+func TestNoBanBeforeMinRequests(t *testing.T) {
+	d := NewSuccessRatio(SuccessRatioConfig{Threshold: 0.8, MinRequests: 10}, nil)
+	defer d.Close()
+	for i := 0; i < 5; i++ {
+		d.RecordFailure(1)
+	}
+	if !d.Available(1) {
+		t.Fatal("banned before MinRequests observations")
+	}
+}
+
+func TestSuccessUnbans(t *testing.T) {
+	d := NewSuccessRatio(SuccessRatioConfig{Threshold: 0.9, MinRequests: 2}, nil)
+	defer d.Close()
+	d.RecordFailure(1)
+	d.RecordFailure(1)
+	if d.Available(1) {
+		t.Fatal("not banned")
+	}
+	d.RecordSuccess(1)
+	if !d.Available(1) {
+		t.Fatal("success did not unban")
+	}
+}
+
+func TestWindowReset(t *testing.T) {
+	now := time.Now()
+	clock := func() time.Time { return now }
+	d := NewSuccessRatio(SuccessRatioConfig{Threshold: 0.8, MinRequests: 4, Window: time.Second, Now: clock}, nil)
+	defer d.Close()
+	d.RecordFailure(1)
+	d.RecordFailure(1)
+	d.RecordFailure(1)
+	now = now.Add(2 * time.Second) // window expires
+	d.RecordFailure(1)             // only 1 observation in the new window
+	if !d.Available(1) {
+		t.Fatal("stale window failures caused ban")
+	}
+}
+
+func TestAsyncProbeRecovers(t *testing.T) {
+	var ok atomic.Bool
+	prober := ProberFunc(func(node int) error {
+		if ok.Load() {
+			return nil
+		}
+		return errors.New("down")
+	})
+	d := NewSuccessRatio(SuccessRatioConfig{
+		Threshold: 0.9, MinRequests: 2, ProbeInterval: 5 * time.Millisecond,
+	}, prober)
+	defer d.Close()
+	d.RecordFailure(7)
+	d.RecordFailure(7)
+	if d.Available(7) {
+		t.Fatal("not banned")
+	}
+	time.Sleep(30 * time.Millisecond)
+	if d.Available(7) {
+		t.Fatal("recovered while probe failing")
+	}
+	ok.Store(true)
+	deadline := time.Now().Add(time.Second)
+	for !d.Available(7) {
+		if time.Now().After(deadline) {
+			t.Fatal("probe success did not unban node")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestBannedList(t *testing.T) {
+	d := NewSuccessRatio(SuccessRatioConfig{Threshold: 0.9, MinRequests: 1}, nil)
+	defer d.Close()
+	d.RecordFailure(3)
+	banned := d.Banned()
+	if len(banned) != 1 || banned[0] != 3 {
+		t.Fatalf("Banned() = %v, want [3]", banned)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	d := NewSuccessRatio(SuccessRatioConfig{Threshold: 0.5, MinRequests: 100}, nil)
+	defer d.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				if i%2 == 0 {
+					d.RecordSuccess(g % 3)
+				} else {
+					d.RecordFailure(g % 3)
+				}
+				d.Available(g % 3)
+			}
+		}(g)
+	}
+	wg.Wait()
+}

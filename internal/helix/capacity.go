@@ -1,0 +1,107 @@
+package helix
+
+import "sort"
+
+// WeightedIdealState implements Helix's load-balancing feature (§IV.B:
+// "smart allocation of resources to servers based on server capacity"):
+// masters are assigned proportionally to instance capacity, with slaves
+// round-robin over the remaining instances. An instance with capacity 2
+// masters roughly twice the partitions of an instance with capacity 1.
+func WeightedIdealState(r *Resource, capacity map[string]int) Assignment {
+	type slot struct {
+		name string
+		cap  int
+	}
+	slots := make([]slot, 0, len(capacity))
+	total := 0
+	for name, c := range capacity {
+		if c <= 0 {
+			continue
+		}
+		slots = append(slots, slot{name: name, cap: c})
+		total += c
+	}
+	sort.Slice(slots, func(i, j int) bool { return slots[i].name < slots[j].name })
+	out := make(Assignment, r.NumPartitions)
+	if total == 0 {
+		return out
+	}
+	// Largest-remainder apportionment of masters by capacity.
+	masters := make([]string, 0, r.NumPartitions)
+	type share struct {
+		idx       int
+		base      int
+		remainder float64
+	}
+	shares := make([]share, len(slots))
+	assigned := 0
+	for i, s := range slots {
+		exact := float64(r.NumPartitions) * float64(s.cap) / float64(total)
+		base := int(exact)
+		shares[i] = share{idx: i, base: base, remainder: exact - float64(base)}
+		assigned += base
+	}
+	sort.Slice(shares, func(i, j int) bool {
+		if shares[i].remainder != shares[j].remainder {
+			return shares[i].remainder > shares[j].remainder
+		}
+		return shares[i].idx < shares[j].idx
+	})
+	for i := 0; assigned < r.NumPartitions; i, assigned = (i+1)%len(shares), assigned+1 {
+		shares[i].base++
+	}
+	for _, sh := range shares {
+		for k := 0; k < sh.base; k++ {
+			masters = append(masters, slots[sh.idx].name)
+		}
+	}
+	// Interleave masters so consecutive partitions spread across instances.
+	sort.Strings(masters)
+	interleaved := make([]string, 0, len(masters))
+	for stride := 0; stride < len(slots); stride++ {
+		for i := stride; i < len(masters); i += len(slots) {
+			interleaved = append(interleaved, masters[i])
+		}
+	}
+
+	replicas := r.Replicas
+	if replicas > len(slots) {
+		replicas = len(slots)
+	}
+	names := make([]string, len(slots))
+	for i, s := range slots {
+		names[i] = s.name
+	}
+	for p := 0; p < r.NumPartitions; p++ {
+		m := map[string]State{}
+		master := interleaved[p%len(interleaved)]
+		m[master] = StateMaster
+		// slaves: next instances in name order, skipping the master
+		start := sort.SearchStrings(names, master)
+		for off, added := 1, 0; added < replicas-1 && off <= len(names); off++ {
+			inst := names[(start+off)%len(names)]
+			if inst == master {
+				continue
+			}
+			if _, dup := m[inst]; dup {
+				continue
+			}
+			m[inst] = StateSlave
+			added++
+		}
+		out[p] = m
+	}
+	return out
+}
+
+// MasterCounts tallies masters per instance in an assignment (diagnostics,
+// load-balance checks).
+func MasterCounts(a Assignment) map[string]int {
+	out := map[string]int{}
+	for p := range a {
+		if inst, ok := a.MasterOf(p); ok {
+			out[inst]++
+		}
+	}
+	return out
+}

@@ -1,0 +1,149 @@
+package helix
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"datainfra/internal/zk"
+)
+
+func TestWeightedIdealStateProportional(t *testing.T) {
+	r := &Resource{Name: "db", NumPartitions: 12, Replicas: 2}
+	ideal := WeightedIdealState(r, map[string]int{"big": 2, "small1": 1, "small2": 1})
+	counts := MasterCounts(ideal)
+	// capacity 2:1:1 over 12 partitions -> 6:3:3 masters
+	if counts["big"] != 6 || counts["small1"] != 3 || counts["small2"] != 3 {
+		t.Fatalf("master counts = %v", counts)
+	}
+	for p := 0; p < 12; p++ {
+		m := ideal[p]
+		if len(m) != 2 {
+			t.Fatalf("partition %d has %d replicas", p, len(m))
+		}
+		masters, slaves := 0, 0
+		for _, st := range m {
+			switch st {
+			case StateMaster:
+				masters++
+			case StateSlave:
+				slaves++
+			}
+		}
+		if masters != 1 || slaves != 1 {
+			t.Fatalf("partition %d roles: %v", p, m)
+		}
+	}
+}
+
+func TestWeightedIdealStateRemainders(t *testing.T) {
+	// 10 partitions over capacities 3:2 -> 6:4
+	r := &Resource{Name: "db", NumPartitions: 10, Replicas: 1}
+	ideal := WeightedIdealState(r, map[string]int{"a": 3, "b": 2})
+	counts := MasterCounts(ideal)
+	if counts["a"] != 6 || counts["b"] != 4 {
+		t.Fatalf("counts = %v", counts)
+	}
+	// total master assignments always equal partitions
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	if total != 10 {
+		t.Fatalf("total = %d", total)
+	}
+}
+
+func TestWeightedIdealStateDegenerate(t *testing.T) {
+	r := &Resource{Name: "db", NumPartitions: 4, Replicas: 2}
+	if got := WeightedIdealState(r, nil); len(MasterCounts(got)) != 0 {
+		t.Fatal("empty capacity produced masters")
+	}
+	if got := WeightedIdealState(r, map[string]int{"dead": 0}); len(MasterCounts(got)) != 0 {
+		t.Fatal("zero capacity produced masters")
+	}
+	// single instance: replicas capped at 1
+	got := WeightedIdealState(r, map[string]int{"solo": 5})
+	for p, m := range got {
+		if len(m) != 1 {
+			t.Fatalf("partition %d has %d replicas with one instance", p, len(m))
+		}
+	}
+}
+
+func drainAlerts(ch <-chan Alert) []Alert {
+	var out []Alert
+	for {
+		select {
+		case a := <-ch:
+			out = append(out, a)
+		default:
+			return out
+		}
+	}
+}
+
+func TestHealthMonitorDetectsJoinAndDeath(t *testing.T) {
+	srv := zk.NewServer()
+	if _, err := NewController(srv, "hm"); err != nil { // creates the tree
+		t.Fatal(err)
+	}
+	mon := NewHealthMonitor(srv, "hm", 2)
+	defer mon.Close()
+
+	p1, err := NewParticipant(srv, "hm", "n1", StateModelFunc(func(Transition) error { return nil }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := NewParticipant(srv, "hm", "n2", StateModelFunc(func(Transition) error { return nil }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+
+	waitAlert := func(want string) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			for _, a := range drainAlerts(mon.Alerts()) {
+				if a.Message == want || (len(a.Message) >= len(want) && a.Message[:len(want)] == want) {
+					return
+				}
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("never saw alert %q", want)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	waitAlert("instance joined")
+
+	// killing n1 drops below the SLA floor of 2
+	p1.Close()
+	waitAlert("instance DOWN")
+	waitAlert("SLA violation")
+
+	deadline := time.Now().Add(5 * time.Second)
+	for len(mon.Live()) != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("Live() = %v", mon.Live())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestWeightedIdealStateServesAllPartitions(t *testing.T) {
+	for n := 1; n <= 5; n++ {
+		caps := map[string]int{}
+		for i := 0; i < n; i++ {
+			caps[fmt.Sprintf("i%d", i)] = 1 + i%3
+		}
+		r := &Resource{Name: "db", NumPartitions: 16, Replicas: 2}
+		ideal := WeightedIdealState(r, caps)
+		for p := 0; p < 16; p++ {
+			if _, ok := ideal.MasterOf(p); !ok {
+				t.Fatalf("n=%d: partition %d unmastered", n, p)
+			}
+		}
+	}
+}

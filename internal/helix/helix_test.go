@@ -1,0 +1,338 @@
+package helix
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"datainfra/internal/zk"
+)
+
+func TestLegalNext(t *testing.T) {
+	cases := []struct {
+		from, to, next State
+		changed        bool
+	}{
+		{StateOffline, StateMaster, StateSlave, true},
+		{StateOffline, StateSlave, StateSlave, true},
+		{StateSlave, StateMaster, StateMaster, true},
+		{StateSlave, StateOffline, StateOffline, true},
+		{StateMaster, StateOffline, StateSlave, true},
+		{StateMaster, StateSlave, StateSlave, true},
+		{StateMaster, StateMaster, StateMaster, false},
+	}
+	for _, c := range cases {
+		next, changed := legalNext(c.from, c.to)
+		if next != c.next || changed != c.changed {
+			t.Errorf("legalNext(%s,%s) = (%s,%v), want (%s,%v)", c.from, c.to, next, changed, c.next, c.changed)
+		}
+	}
+}
+
+func TestIdealStateLayout(t *testing.T) {
+	r := &Resource{Name: "db", NumPartitions: 6, Replicas: 2}
+	ideal := IdealState(r, []string{"n1", "n0", "n2"})
+	if len(ideal) != 6 {
+		t.Fatalf("ideal covers %d partitions", len(ideal))
+	}
+	masters := map[string]int{}
+	for p := 0; p < 6; p++ {
+		m := ideal[p]
+		if len(m) != 2 {
+			t.Fatalf("partition %d has %d replicas, want 2", p, len(m))
+		}
+		master, ok := ideal.MasterOf(p)
+		if !ok {
+			t.Fatalf("partition %d has no master", p)
+		}
+		masters[master]++
+		nSlaves := 0
+		for _, st := range m {
+			if st == StateSlave {
+				nSlaves++
+			}
+		}
+		if nSlaves != 1 {
+			t.Fatalf("partition %d has %d slaves", p, nSlaves)
+		}
+	}
+	// round-robin: masters spread evenly (2 each over 3 nodes, 6 partitions)
+	for inst, n := range masters {
+		if n != 2 {
+			t.Fatalf("instance %s masters %d partitions, want 2 (got %v)", inst, n, masters)
+		}
+	}
+}
+
+func TestIdealStateReplicasCappedByInstances(t *testing.T) {
+	r := &Resource{Name: "db", NumPartitions: 2, Replicas: 3}
+	ideal := IdealState(r, []string{"only"})
+	for p, m := range ideal {
+		if len(m) != 1 {
+			t.Fatalf("partition %d: %d replicas with a single instance", p, len(m))
+		}
+	}
+}
+
+func TestBestPossiblePromotesSlave(t *testing.T) {
+	r := &Resource{Name: "db", NumPartitions: 4, Replicas: 2}
+	all := []string{"a", "b", "c"}
+	ideal := IdealState(r, all)
+	// kill the master of partition 0
+	dead, _ := ideal.MasterOf(0)
+	var live []string
+	for _, inst := range all {
+		if inst != dead {
+			live = append(live, inst)
+		}
+	}
+	best := BestPossible(r, ideal, live)
+	newMaster, ok := best.MasterOf(0)
+	if !ok {
+		t.Fatal("partition 0 lost its master entirely")
+	}
+	if newMaster == dead {
+		t.Fatal("dead instance still master")
+	}
+	// the previous slave should be promoted
+	if ideal[0][newMaster] != StateSlave {
+		t.Fatalf("promoted %q which was not the slave (%v)", newMaster, ideal[0])
+	}
+	// replica count restored by drafting a third node
+	if len(best[0]) != 2 {
+		t.Fatalf("partition 0 has %d replicas after failover, want 2", len(best[0]))
+	}
+}
+
+func TestAssignmentJSONRoundTrip(t *testing.T) {
+	a := Assignment{0: {"x": StateMaster}, 3: {"y": StateSlave}}
+	data, err := a.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Assignment
+	if err := got.UnmarshalJSON(data); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(a) {
+		t.Fatalf("round trip mismatch: %v vs %v", got, a)
+	}
+}
+
+func TestDiffNeverSkipsStates(t *testing.T) {
+	current := Assignment{0: {}}
+	target := Assignment{0: {"a": StateMaster}}
+	ts := diff("r", current, target)
+	if len(ts) != 1 || ts[0].From != StateOffline || ts[0].To != StateSlave {
+		t.Fatalf("diff = %+v, want single OFFLINE->SLAVE", ts)
+	}
+}
+
+func TestDiffDemotesBeforePromoting(t *testing.T) {
+	current := Assignment{0: {"a": StateMaster, "b": StateSlave}}
+	target := Assignment{0: {"a": StateSlave, "b": StateMaster}}
+	ts := diff("r", current, target)
+	if len(ts) < 2 {
+		t.Fatalf("diff = %+v", ts)
+	}
+	if ts[0].Instance != "a" || ts[0].To != StateSlave {
+		t.Fatalf("first transition %+v, want demotion of a", ts[0])
+	}
+}
+
+// tracker is a StateModel recording transitions.
+type tracker struct {
+	mu    sync.Mutex
+	order []Transition
+}
+
+func (tr *tracker) Apply(t Transition) error {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	tr.order = append(tr.order, t)
+	return nil
+}
+
+func waitFor(t *testing.T, what string, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestControllerConvergesToIdeal(t *testing.T) {
+	srv := zk.NewServer()
+	ctrl, err := NewController(srv, "c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.Close()
+
+	parts := make([]*Participant, 3)
+	for i := range parts {
+		p, err := NewParticipant(srv, "c1", fmt.Sprintf("node-%d", i), &tracker{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts[i] = p
+		defer p.Close()
+	}
+	res := &Resource{Name: "db", NumPartitions: 6, Replicas: 2}
+	if err := ctrl.AddResource(res); err != nil {
+		t.Fatal(err)
+	}
+	ctrl.Start()
+
+	waitFor(t, "convergence to ideal", 5*time.Second, func() bool {
+		masters := 0
+		slaves := 0
+		for _, p := range parts {
+			for _, st := range p.States("db") {
+				switch st {
+				case StateMaster:
+					masters++
+				case StateSlave:
+					slaves++
+				}
+			}
+		}
+		return masters == 6 && slaves == 6
+	})
+
+	// no partition has two masters
+	masterOf := map[int]string{}
+	for _, p := range parts {
+		for part, st := range p.States("db") {
+			if st == StateMaster {
+				if prev, dup := masterOf[part]; dup {
+					t.Fatalf("partition %d mastered by both %s and %s", part, prev, p.Instance())
+				}
+				masterOf[part] = p.Instance()
+			}
+		}
+	}
+}
+
+func TestControllerFailover(t *testing.T) {
+	srv := zk.NewServer()
+	ctrl, err := NewController(srv, "c2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.Close()
+
+	models := make([]*tracker, 3)
+	parts := make([]*Participant, 3)
+	for i := range parts {
+		models[i] = &tracker{}
+		p, err := NewParticipant(srv, "c2", fmt.Sprintf("node-%d", i), models[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts[i] = p
+	}
+	res := &Resource{Name: "db", NumPartitions: 4, Replicas: 2}
+	ctrl.AddResource(res)
+	ctrl.Start()
+
+	countMasters := func() int {
+		n := 0
+		for _, p := range parts {
+			if p == nil {
+				continue
+			}
+			for _, st := range p.States("db") {
+				if st == StateMaster {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	waitFor(t, "initial convergence", 5*time.Second, func() bool { return countMasters() == 4 })
+
+	// Kill node-0: its ephemeral disappears, controller must promote slaves.
+	victim := parts[0]
+	parts[0] = nil
+	victim.Close()
+
+	waitFor(t, "failover", 5*time.Second, func() bool { return countMasters() == 4 })
+
+	// The survivors must cover all 4 partitions with masters.
+	covered := map[int]bool{}
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		for part, st := range p.States("db") {
+			if st == StateMaster {
+				covered[part] = true
+			}
+		}
+	}
+	if len(covered) != 4 {
+		t.Fatalf("masters cover %d/4 partitions after failover", len(covered))
+	}
+	for _, p := range parts {
+		if p != nil {
+			p.Close()
+		}
+	}
+}
+
+func TestExternalViewPublished(t *testing.T) {
+	srv := zk.NewServer()
+	ctrl, err := NewController(srv, "c3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.Close()
+	p, err := NewParticipant(srv, "c3", "solo", &tracker{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	ctrl.AddResource(&Resource{Name: "db", NumPartitions: 2, Replicas: 1})
+	ctrl.Start()
+
+	spec := NewSpectator(srv, "c3")
+	defer spec.Close()
+	waitFor(t, "external view", 5*time.Second, func() bool {
+		inst, err := spec.MasterOf("db", 0)
+		return err == nil && inst == "solo"
+	})
+}
+
+func TestTransitionsArriveInLegalOrder(t *testing.T) {
+	srv := zk.NewServer()
+	ctrl, err := NewController(srv, "c4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.Close()
+	model := &tracker{}
+	p, err := NewParticipant(srv, "c4", "solo", model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	ctrl.AddResource(&Resource{Name: "db", NumPartitions: 1, Replicas: 1})
+	ctrl.Start()
+
+	waitFor(t, "mastering", 5*time.Second, func() bool {
+		return p.States("db")[0] == StateMaster
+	})
+	model.mu.Lock()
+	defer model.mu.Unlock()
+	if len(model.order) < 2 {
+		t.Fatalf("transitions = %+v", model.order)
+	}
+	if model.order[0].To != StateSlave || model.order[1].To != StateMaster {
+		t.Fatalf("order = %+v, want OFFLINE->SLAVE then SLAVE->MASTER", model.order)
+	}
+}

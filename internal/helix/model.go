@@ -1,0 +1,325 @@
+// Package helix is the generic cluster manager of §IV.B: a controller
+// observes cluster changes through the coordination service (package zk),
+// computes the BESTPOSSIBLESTATE — the state closest to the IDEALSTATE given
+// the currently live nodes — and issues state-machine transitions to
+// participants until the CURRENTSTATE converges. The bundled state model is
+// MasterSlave, the one Espresso partitions use.
+package helix
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// State is a node's role for one partition in the MasterSlave model.
+type State string
+
+// MasterSlave model states.
+const (
+	StateOffline State = "OFFLINE"
+	StateSlave   State = "SLAVE"
+	StateMaster  State = "MASTER"
+)
+
+// legalNext returns the next hop from 'from' toward 'to' in the MasterSlave
+// transition graph: OFFLINE <-> SLAVE <-> MASTER. Transitions never skip a
+// step (an offline replica must become a slave — and catch up — before it
+// can master a partition).
+func legalNext(from, to State) (State, bool) {
+	if from == to {
+		return to, false
+	}
+	switch from {
+	case StateOffline:
+		return StateSlave, true
+	case StateSlave:
+		if to == StateMaster {
+			return StateMaster, true
+		}
+		return StateOffline, true
+	case StateMaster:
+		return StateSlave, true
+	}
+	return to, false
+}
+
+// Resource is a partitioned, replicated entity managed by Helix (an Espresso
+// database, a relay group, ...).
+type Resource struct {
+	Name          string `json:"name"`
+	NumPartitions int    `json:"numPartitions"`
+	Replicas      int    `json:"replicas"` // total replicas incl. master
+}
+
+// Validate checks the resource definition.
+func (r *Resource) Validate() error {
+	if r.Name == "" {
+		return fmt.Errorf("helix: resource name empty")
+	}
+	if r.NumPartitions <= 0 {
+		return fmt.Errorf("helix: resource %q: numPartitions %d", r.Name, r.NumPartitions)
+	}
+	if r.Replicas <= 0 {
+		return fmt.Errorf("helix: resource %q: replicas %d", r.Name, r.Replicas)
+	}
+	return nil
+}
+
+// Assignment maps partition -> instance -> state. It is the shape of the
+// IDEALSTATE, the CURRENTSTATE and the BESTPOSSIBLESTATE alike.
+type Assignment map[int]map[string]State
+
+// Clone deep-copies the assignment.
+func (a Assignment) Clone() Assignment {
+	out := make(Assignment, len(a))
+	for p, m := range a {
+		cp := make(map[string]State, len(m))
+		for k, v := range m {
+			cp[k] = v
+		}
+		out[p] = cp
+	}
+	return out
+}
+
+// MasterOf returns the instance mastering partition p, if any.
+func (a Assignment) MasterOf(p int) (string, bool) {
+	for inst, st := range a[p] {
+		if st == StateMaster {
+			return inst, true
+		}
+	}
+	return "", false
+}
+
+// Equal reports deep equality.
+func (a Assignment) Equal(b Assignment) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for p, m := range a {
+		bm, ok := b[p]
+		if !ok || len(m) != len(bm) {
+			return false
+		}
+		for inst, st := range m {
+			if bm[inst] != st {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// MarshalJSON encodes with string partition keys for readability in zk.
+func (a Assignment) MarshalJSON() ([]byte, error) {
+	out := make(map[string]map[string]State, len(a))
+	for p, m := range a {
+		out[fmt.Sprintf("%d", p)] = m
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON decodes the string-keyed form.
+func (a *Assignment) UnmarshalJSON(data []byte) error {
+	var raw map[string]map[string]State
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	out := make(Assignment, len(raw))
+	for k, m := range raw {
+		var p int
+		if _, err := fmt.Sscanf(k, "%d", &p); err != nil {
+			return fmt.Errorf("helix: bad partition key %q", k)
+		}
+		out[p] = m
+	}
+	*a = out
+	return nil
+}
+
+// IdealState computes the full-strength assignment for a resource over the
+// given instance set: preference lists are round-robin so masters spread
+// evenly, exactly the layout of Figure IV.3.
+func IdealState(r *Resource, instances []string) Assignment {
+	sorted := append([]string(nil), instances...)
+	sort.Strings(sorted)
+	out := make(Assignment, r.NumPartitions)
+	n := len(sorted)
+	if n == 0 {
+		return out
+	}
+	replicas := r.Replicas
+	if replicas > n {
+		replicas = n
+	}
+	for p := 0; p < r.NumPartitions; p++ {
+		m := make(map[string]State, replicas)
+		for i := 0; i < replicas; i++ {
+			inst := sorted[(p+i)%n]
+			if i == 0 {
+				m[inst] = StateMaster
+			} else {
+				m[inst] = StateSlave
+			}
+		}
+		out[p] = m
+	}
+	return out
+}
+
+// BestPossible restricts ideal to live instances: for each partition the
+// first live instance in preference order masters it, the remaining live
+// replicas slave. When a preferred replica is dead, the next live instance
+// (in global sorted order) is drafted to keep the replica count.
+func BestPossible(r *Resource, ideal Assignment, live []string) Assignment {
+	liveSet := make(map[string]bool, len(live))
+	for _, inst := range live {
+		liveSet[inst] = true
+	}
+	sortedLive := append([]string(nil), live...)
+	sort.Strings(sortedLive)
+	out := make(Assignment, len(ideal))
+	for p, m := range ideal {
+		// preference order: master first, then slaves sorted by name.
+		var pref []string
+		for inst, st := range m {
+			if st == StateMaster {
+				pref = append(pref, inst)
+				break
+			}
+		}
+		var slaves []string
+		for inst, st := range m {
+			if st == StateSlave {
+				slaves = append(slaves, inst)
+			}
+		}
+		sort.Strings(slaves)
+		pref = append(pref, slaves...)
+
+		chosen := make([]string, 0, len(pref))
+		for _, inst := range pref {
+			if liveSet[inst] {
+				chosen = append(chosen, inst)
+			}
+		}
+		// Draft replacements to restore the replica count.
+		want := len(pref)
+		if want > len(sortedLive) {
+			want = len(sortedLive)
+		}
+		for _, inst := range sortedLive {
+			if len(chosen) >= want {
+				break
+			}
+			already := false
+			for _, c := range chosen {
+				if c == inst {
+					already = true
+					break
+				}
+			}
+			if !already {
+				chosen = append(chosen, inst)
+			}
+		}
+		pm := make(map[string]State, len(chosen))
+		for i, inst := range chosen {
+			if i == 0 {
+				pm[inst] = StateMaster
+			} else {
+				pm[inst] = StateSlave
+			}
+		}
+		out[p] = pm
+	}
+	return out
+}
+
+// Transition is one state-machine step issued by the controller to a
+// participant.
+type Transition struct {
+	ID        string `json:"id"`
+	Instance  string `json:"instance"`
+	Resource  string `json:"resource"`
+	Partition int    `json:"partition"`
+	From      State  `json:"from"`
+	To        State  `json:"to"`
+}
+
+// diff computes the next-hop transitions taking current toward target.
+// Instances present in current but absent from target are driven to OFFLINE.
+func diff(resource string, current, target Assignment) []Transition {
+	var out []Transition
+	partitions := map[int]bool{}
+	for p := range current {
+		partitions[p] = true
+	}
+	for p := range target {
+		partitions[p] = true
+	}
+	// Deterministic order for tests and reproducibility.
+	var plist []int
+	for p := range partitions {
+		plist = append(plist, p)
+	}
+	sort.Ints(plist)
+	for _, p := range plist {
+		instances := map[string]bool{}
+		for inst := range current[p] {
+			instances[inst] = true
+		}
+		for inst := range target[p] {
+			instances[inst] = true
+		}
+		var ilist []string
+		for inst := range instances {
+			ilist = append(ilist, inst)
+		}
+		sort.Strings(ilist)
+
+		// Demotions and offlining first so a partition never has two masters.
+		for _, phase := range []bool{true, false} {
+			for _, inst := range ilist {
+				cur, ok := current[p][inst]
+				if !ok {
+					cur = StateOffline
+				}
+				want, ok := target[p][inst]
+				if !ok {
+					want = StateOffline
+				}
+				next, changed := legalNext(cur, want)
+				if !changed {
+					continue
+				}
+				demotion := rank(next) < rank(cur)
+				if phase != demotion {
+					continue
+				}
+				out = append(out, Transition{
+					ID:        fmt.Sprintf("%s-%d-%s-%s>%s", resource, p, inst, cur, next),
+					Instance:  inst,
+					Resource:  resource,
+					Partition: p,
+					From:      cur,
+					To:        next,
+				})
+			}
+		}
+	}
+	return out
+}
+
+func rank(s State) int {
+	switch s {
+	case StateMaster:
+		return 2
+	case StateSlave:
+		return 1
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,259 @@
+package kafka
+
+import (
+	"encoding/json"
+	"sync"
+	"time"
+)
+
+// AuditTopic carries the monitoring events of §V.D: each producer
+// periodically publishes, for every topic, the number of messages it
+// produced in a fixed time window; consumers count what they received and
+// compare, verifying no data loss along the pipeline.
+const AuditTopic = "_audit"
+
+// AuditRecord is one monitoring event.
+type AuditRecord struct {
+	Producer    string `json:"producer"`
+	Topic       string `json:"topic"`
+	WindowStart int64  `json:"windowStart"` // unix ms
+	WindowEnd   int64  `json:"windowEnd"`
+	Count       int64  `json:"count"`
+}
+
+// AuditEmitter counts produced messages per topic and periodically emits
+// AuditRecords to the audit topic through its own producer path.
+type AuditEmitter struct {
+	producerID string
+	broker     BrokerClient
+	window     time.Duration
+
+	mu          sync.Mutex
+	counts      map[string]int64
+	windowStart time.Time
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewAuditEmitter builds an emitter flushing counts every window.
+func NewAuditEmitter(producerID string, broker BrokerClient, window time.Duration) *AuditEmitter {
+	if window == 0 {
+		window = time.Second
+	}
+	a := &AuditEmitter{
+		producerID:  producerID,
+		broker:      broker,
+		window:      window,
+		counts:      map[string]int64{},
+		windowStart: time.Now(),
+		stop:        make(chan struct{}),
+	}
+	a.wg.Add(1)
+	go a.loop()
+	return a
+}
+
+// Count notes one produced message for topic.
+func (a *AuditEmitter) Count(topic string) {
+	if topic == AuditTopic {
+		return
+	}
+	a.mu.Lock()
+	a.counts[topic]++
+	a.mu.Unlock()
+}
+
+func (a *AuditEmitter) loop() {
+	defer a.wg.Done()
+	t := time.NewTicker(a.window)
+	defer t.Stop()
+	for {
+		select {
+		case <-a.stop:
+			return
+		case <-t.C:
+			a.FlushWindow()
+		}
+	}
+}
+
+// FlushWindow emits the current window's counts immediately (also called on
+// Close so no counts are lost).
+func (a *AuditEmitter) FlushWindow() {
+	a.mu.Lock()
+	counts := a.counts
+	start := a.windowStart
+	a.counts = map[string]int64{}
+	a.windowStart = time.Now()
+	a.mu.Unlock()
+	end := time.Now()
+	for topic, n := range counts {
+		rec := AuditRecord{
+			Producer:    a.producerID,
+			Topic:       topic,
+			WindowStart: start.UnixMilli(),
+			WindowEnd:   end.UnixMilli(),
+			Count:       n,
+		}
+		data, err := json.Marshal(rec)
+		if err != nil {
+			continue
+		}
+		_, _ = a.broker.Produce(AuditTopic, 0, NewMessageSet(data))
+	}
+}
+
+// Close flushes and stops the emitter.
+func (a *AuditEmitter) Close() {
+	close(a.stop)
+	a.wg.Wait()
+	a.FlushWindow()
+}
+
+// Auditor is the consumer side: it tallies received per-topic counts and
+// reads the audit topic to compare.
+type Auditor struct {
+	mu       sync.Mutex
+	received map[string]int64
+}
+
+// NewAuditor returns an empty tally.
+func NewAuditor() *Auditor {
+	return &Auditor{received: map[string]int64{}}
+}
+
+// Observe notes one consumed message.
+func (a *Auditor) Observe(topic string) {
+	a.mu.Lock()
+	a.received[topic]++
+	a.mu.Unlock()
+}
+
+// Received returns the consumed count for topic.
+func (a *Auditor) Received(topic string) int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.received[topic]
+}
+
+// Verify reads all audit records from the broker and compares claimed
+// production counts against the tally. It returns the per-topic claimed
+// totals and whether every topic matches.
+func (a *Auditor) Verify(broker BrokerClient) (map[string]int64, bool, error) {
+	sc := NewSimpleConsumer(broker, 1<<20)
+	earliest, err := sc.EarliestOffset(AuditTopic, 0)
+	if err != nil {
+		return nil, false, err
+	}
+	latest, err := sc.LatestOffset(AuditTopic, 0)
+	if err != nil {
+		return nil, false, err
+	}
+	claimed := map[string]int64{}
+	for off := earliest; off < latest; {
+		msgs, err := sc.Consume(AuditTopic, 0, off)
+		if err != nil {
+			return nil, false, err
+		}
+		if len(msgs) == 0 {
+			break
+		}
+		for _, m := range msgs {
+			var rec AuditRecord
+			if err := json.Unmarshal(m.Payload, &rec); err != nil {
+				continue
+			}
+			claimed[rec.Topic] += rec.Count
+			off = m.NextOffset
+		}
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	ok := true
+	for topic, want := range claimed {
+		if a.received[topic] != want {
+			ok = false
+		}
+	}
+	return claimed, ok, nil
+}
+
+// Mirror is the embedded consumer of §V.D: it pulls every message from a
+// source cluster's topic and republishes to a destination broker — the
+// live-datacenter → offline-datacenter replication pipeline feeding Hadoop.
+type Mirror struct {
+	src, dst BrokerClient
+	topic    string
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+	sync.Mutex
+	copied int64
+}
+
+// NewMirror builds (but does not start) a mirror for topic.
+func NewMirror(src, dst BrokerClient, topic string) *Mirror {
+	return &Mirror{src: src, dst: dst, topic: topic, stop: make(chan struct{})}
+}
+
+// Start launches one copier per source partition, starting at the earliest
+// offsets.
+func (m *Mirror) Start() error {
+	n, err := m.src.Partitions(m.topic)
+	if err != nil {
+		return err
+	}
+	for p := 0; p < n; p++ {
+		m.wg.Add(1)
+		go m.copyLoop(p)
+	}
+	return nil
+}
+
+func (m *Mirror) copyLoop(partition int) {
+	defer m.wg.Done()
+	sc := NewSimpleConsumer(m.src, 300<<10)
+	offset, err := sc.EarliestOffset(m.topic, partition)
+	if err != nil {
+		return
+	}
+	for {
+		select {
+		case <-m.stop:
+			return
+		default:
+		}
+		msgs, err := sc.Consume(m.topic, partition, offset)
+		if err != nil || len(msgs) == 0 {
+			select {
+			case <-m.stop:
+				return
+			case <-time.After(2 * time.Millisecond):
+			}
+			continue
+		}
+		for _, msg := range msgs {
+			if _, err := m.dst.Produce(m.topic, partition, NewMessageSet(msg.Payload)); err != nil {
+				return
+			}
+			offset = msg.NextOffset
+			m.Lock()
+			m.copied++
+			m.Unlock()
+		}
+	}
+}
+
+// Copied returns how many messages crossed the mirror.
+func (m *Mirror) Copied() int64 {
+	m.Lock()
+	defer m.Unlock()
+	return m.copied
+}
+
+// Close stops the copiers.
+func (m *Mirror) Close() {
+	close(m.stop)
+	m.wg.Wait()
+}

@@ -1,0 +1,121 @@
+package kafka
+
+import (
+	"errors"
+	"time"
+)
+
+// SimpleConsumer pulls raw chunks from one broker and decodes them — the
+// low-level consumption primitive. The consumer, not the broker, tracks how
+// much it has consumed (§V.B "distributed consumer state").
+type SimpleConsumer struct {
+	broker   BrokerClient
+	maxBytes int
+}
+
+// NewSimpleConsumer builds a consumer; maxBytes is the per-fetch cap
+// (typically hundreds of kilobytes, §V.B).
+func NewSimpleConsumer(broker BrokerClient, maxBytes int) *SimpleConsumer {
+	if maxBytes == 0 {
+		maxBytes = 300 << 10
+	}
+	return &SimpleConsumer{broker: broker, maxBytes: maxBytes}
+}
+
+// Consume fetches and decodes messages from offset. An empty result means
+// caught up. The returned messages carry the offsets to resume from.
+func (c *SimpleConsumer) Consume(topic string, partition int, offset int64) ([]MessageAndOffset, error) {
+	chunk, err := c.broker.Fetch(topic, partition, offset, c.maxBytes)
+	if err != nil {
+		return nil, err
+	}
+	if len(chunk) == 0 {
+		return nil, nil
+	}
+	return Decode(chunk, offset)
+}
+
+// EarliestOffset returns the first valid offset of the partition.
+func (c *SimpleConsumer) EarliestOffset(topic string, partition int) (int64, error) {
+	earliest, _, err := c.broker.Offsets(topic, partition)
+	return earliest, err
+}
+
+// LatestOffset returns the offset one past the last flushed message.
+func (c *SimpleConsumer) LatestOffset(topic string, partition int) (int64, error) {
+	_, latest, err := c.broker.Offsets(topic, partition)
+	return latest, err
+}
+
+// Stream is the never-terminating message iterator of §V.A: Next blocks
+// until a message is published or the stream is closed. Under the covers it
+// issues pull requests keeping a buffer of decoded messages ready.
+type Stream struct {
+	consumer  *SimpleConsumer
+	topic     string
+	partition int
+	offset    int64
+	buf       []MessageAndOffset
+	closed    chan struct{}
+	poll      time.Duration
+}
+
+// StreamFrom opens a blocking iterator over (topic, partition) starting at
+// offset (which may be an old offset: consumers can deliberately rewind and
+// re-consume, §V.B).
+func (c *SimpleConsumer) StreamFrom(topic string, partition int, offset int64) *Stream {
+	return &Stream{
+		consumer:  c,
+		topic:     topic,
+		partition: partition,
+		offset:    offset,
+		closed:    make(chan struct{}),
+		poll:      2 * time.Millisecond,
+	}
+}
+
+// ErrStreamClosed is returned by Next after Close.
+var ErrStreamClosed = errors.New("kafka: stream closed")
+
+// Next returns the next message, blocking until one is available. It only
+// fails when the stream is closed or the log rejects our offset.
+func (s *Stream) Next() (MessageAndOffset, error) {
+	for {
+		if len(s.buf) > 0 {
+			m := s.buf[0]
+			s.buf = s.buf[1:]
+			s.offset = m.NextOffset
+			return m, nil
+		}
+		select {
+		case <-s.closed:
+			return MessageAndOffset{}, ErrStreamClosed
+		default:
+		}
+		msgs, err := s.consumer.Consume(s.topic, s.partition, s.offset)
+		if err != nil {
+			return MessageAndOffset{}, err
+		}
+		if len(msgs) == 0 {
+			select {
+			case <-s.closed:
+				return MessageAndOffset{}, ErrStreamClosed
+			case <-time.After(s.poll):
+			}
+			continue
+		}
+		s.buf = msgs
+	}
+}
+
+// Offset returns the next offset the stream will fetch.
+func (s *Stream) Offset() int64 { return s.offset }
+
+// Close unblocks Next.
+func (s *Stream) Close() {
+	select {
+	case <-s.closed:
+	default:
+		close(s.closed)
+	}
+}

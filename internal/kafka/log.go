@@ -1,0 +1,318 @@
+package kafka
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Log is one topic partition on disk: a set of segment files of roughly
+// equal size, each named by the logical offset of its first message (§V.B
+// "simple storage"). Appends go to the last segment; a configurable flush
+// policy (message count or elapsed time) controls when data becomes visible
+// to consumers; reads locate the segment by binary search over the base
+// offsets and return raw bytes straight from the file.
+type Log struct {
+	dir string
+
+	mu       sync.Mutex
+	segments []*segment // sorted by baseOffset; last is active
+	cfg      LogConfig
+
+	unflushedCount int
+	lastFlush      time.Time
+	flushedTo      int64 // messages below this offset are consumer-visible
+}
+
+type segment struct {
+	baseOffset int64
+	f          *os.File
+	size       int64
+	mtime      time.Time
+}
+
+// LogConfig tunes a partition log.
+type LogConfig struct {
+	SegmentBytes  int64         // roll size; default 64 MB
+	FlushMessages int           // flush after N appends; default 1 (every append)
+	FlushInterval time.Duration // or after this much time; default 0 (disabled)
+	Retention     time.Duration // segment max age; 0 = keep forever
+}
+
+func (c *LogConfig) withDefaults() {
+	if c.SegmentBytes == 0 {
+		c.SegmentBytes = 64 << 20
+	}
+	if c.FlushMessages == 0 {
+		c.FlushMessages = 1
+	}
+}
+
+func segmentName(base int64) string { return fmt.Sprintf("%020d.kafka", base) }
+
+// OpenLog opens (creating if needed) the partition log in dir, recovering
+// the active segment by truncating any torn tail.
+func OpenLog(dir string, cfg LogConfig) (*Log, error) {
+	cfg.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	l := &Log{dir: dir, cfg: cfg, lastFlush: time.Now()}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var bases []int64
+	for _, ent := range ents {
+		if !strings.HasSuffix(ent.Name(), ".kafka") {
+			continue
+		}
+		base, err := strconv.ParseInt(strings.TrimSuffix(ent.Name(), ".kafka"), 10, 64)
+		if err != nil {
+			continue
+		}
+		bases = append(bases, base)
+	}
+	sort.Slice(bases, func(i, j int) bool { return bases[i] < bases[j] })
+	for i, base := range bases {
+		f, err := os.OpenFile(filepath.Join(dir, segmentName(base)), os.O_RDWR, 0o644)
+		if err != nil {
+			return nil, err
+		}
+		st, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		size := st.Size()
+		if i == len(bases)-1 {
+			// Recover the active segment: keep only the valid prefix.
+			data := make([]byte, size)
+			if _, err := f.ReadAt(data, 0); err != nil && size > 0 {
+				f.Close()
+				return nil, err
+			}
+			valid := int64(validPrefix(data))
+			if valid < size {
+				if err := f.Truncate(valid); err != nil {
+					f.Close()
+					return nil, err
+				}
+				size = valid
+			}
+		}
+		l.segments = append(l.segments, &segment{baseOffset: base, f: f, size: size, mtime: st.ModTime()})
+	}
+	if len(l.segments) == 0 {
+		if err := l.rollLocked(0); err != nil {
+			return nil, err
+		}
+	}
+	l.flushedTo = l.endOffsetLocked()
+	return l, nil
+}
+
+func (l *Log) rollLocked(base int64) error {
+	f, err := os.OpenFile(filepath.Join(l.dir, segmentName(base)), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	l.segments = append(l.segments, &segment{baseOffset: base, f: f, mtime: time.Now()})
+	return nil
+}
+
+func (l *Log) active() *segment { return l.segments[len(l.segments)-1] }
+
+func (l *Log) endOffsetLocked() int64 {
+	a := l.active()
+	return a.baseOffset + a.size
+}
+
+// Append writes the message set at the end of the log and returns the
+// offset of its first byte. Data becomes consumer-visible per the flush
+// policy ("a message is only exposed to the consumers after it is flushed").
+func (l *Log) Append(set MessageSet) (int64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	a := l.active()
+	base := a.baseOffset + a.size
+	if _, err := a.f.WriteAt(set.Bytes(), a.size); err != nil {
+		return 0, err
+	}
+	a.size += int64(set.Len())
+	a.mtime = time.Now()
+	l.unflushedCount++
+	if l.unflushedCount >= l.cfg.FlushMessages ||
+		(l.cfg.FlushInterval > 0 && time.Since(l.lastFlush) >= l.cfg.FlushInterval) {
+		if err := l.flushLocked(); err != nil {
+			return 0, err
+		}
+	}
+	if a.size >= l.cfg.SegmentBytes {
+		if err := l.flushLocked(); err != nil {
+			return 0, err
+		}
+		if err := l.rollLocked(a.baseOffset + a.size); err != nil {
+			return 0, err
+		}
+	}
+	return base, nil
+}
+
+func (l *Log) flushLocked() error {
+	if err := l.active().f.Sync(); err != nil {
+		return err
+	}
+	l.unflushedCount = 0
+	l.lastFlush = time.Now()
+	l.flushedTo = l.endOffsetLocked()
+	return nil
+}
+
+// Flush forces durability and visibility of everything appended.
+func (l *Log) Flush() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.flushLocked()
+}
+
+// MaybeFlushByTime applies the time-based flush policy (called by the
+// broker's background flusher).
+func (l *Log) MaybeFlushByTime() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.cfg.FlushInterval > 0 && l.unflushedCount > 0 && time.Since(l.lastFlush) >= l.cfg.FlushInterval {
+		return l.flushLocked()
+	}
+	return nil
+}
+
+// Earliest returns the smallest valid offset.
+func (l *Log) Earliest() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.segments[0].baseOffset
+}
+
+// Latest returns the offset one past the last *flushed* byte — the consumer
+// high-water mark.
+func (l *Log) Latest() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.flushedTo
+}
+
+// Read returns up to maxBytes of raw log starting at offset, never past the
+// flush point and never crossing a segment boundary (the consumer simply
+// fetches again). An empty result means caught-up.
+func (l *Log) Read(offset int64, maxBytes int) ([]byte, error) {
+	l.mu.Lock()
+	if offset < l.segments[0].baseOffset || offset > l.flushedTo {
+		end := l.flushedTo
+		l.mu.Unlock()
+		return nil, fmt.Errorf("%w: offset %d, log covers [%d,%d]",
+			ErrOffsetOutOfRange, offset, l.segments[0].baseOffset, end)
+	}
+	// Locate the segment: last one with baseOffset <= offset.
+	i := sort.Search(len(l.segments), func(i int) bool { return l.segments[i].baseOffset > offset }) - 1
+	seg := l.segments[i]
+	pos := offset - seg.baseOffset
+	limit := seg.size
+	if segEnd := seg.baseOffset + seg.size; segEnd > l.flushedTo {
+		limit = l.flushedTo - seg.baseOffset
+	}
+	n := int64(maxBytes)
+	if n > limit-pos {
+		n = limit - pos
+	}
+	f := seg.f
+	l.mu.Unlock()
+	if n <= 0 {
+		return nil, nil
+	}
+	buf := make([]byte, n)
+	if _, err := f.ReadAt(buf, pos); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// SectionReader returns the segment file and in-file range covering a fetch,
+// so transports can io.Copy straight from the page cache to the socket —
+// the sendfile-style zero-copy path of §V.B (io.CopyN over an *os.File
+// section lets the runtime use sendfile/splice on Linux).
+func (l *Log) SectionReader(offset int64, maxBytes int) (*os.File, int64, int64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if offset < l.segments[0].baseOffset || offset > l.flushedTo {
+		return nil, 0, 0, fmt.Errorf("%w: offset %d", ErrOffsetOutOfRange, offset)
+	}
+	i := sort.Search(len(l.segments), func(i int) bool { return l.segments[i].baseOffset > offset }) - 1
+	seg := l.segments[i]
+	pos := offset - seg.baseOffset
+	limit := seg.size
+	if segEnd := seg.baseOffset + seg.size; segEnd > l.flushedTo {
+		limit = l.flushedTo - seg.baseOffset
+	}
+	n := int64(maxBytes)
+	if n > limit-pos {
+		n = limit - pos
+	}
+	if n < 0 {
+		n = 0
+	}
+	return seg.f, pos, n, nil
+}
+
+// CleanOld deletes whole segments older than the retention period — the
+// time-based SLA retention policy of §V.B. The active segment is never
+// deleted. Returns the number of segments removed.
+func (l *Log) CleanOld(now time.Time) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.cfg.Retention == 0 {
+		return 0, nil
+	}
+	removed := 0
+	for len(l.segments) > 1 {
+		seg := l.segments[0]
+		if now.Sub(seg.mtime) < l.cfg.Retention {
+			break
+		}
+		seg.f.Close()
+		if err := os.Remove(filepath.Join(l.dir, segmentName(seg.baseOffset))); err != nil {
+			return removed, err
+		}
+		l.segments = l.segments[1:]
+		removed++
+	}
+	return removed, nil
+}
+
+// Segments returns the current segment count (diagnostics).
+func (l *Log) Segments() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.segments)
+}
+
+// Close flushes and closes all segment files.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var firstErr error
+	if err := l.flushLocked(); err != nil {
+		firstErr = err
+	}
+	for _, seg := range l.segments {
+		if err := seg.f.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

@@ -1,0 +1,202 @@
+// Package kafka implements the log-structured pub/sub system of §V: brokers
+// persist each topic partition as a set of segment files; messages are
+// addressed by their logical offset (the byte position in the partition log)
+// rather than ids — increasing but not consecutive, exactly as the paper
+// describes; producers batch and optionally gzip-compress message sets;
+// consumers pull sequentially, own their offsets, and coordinate group
+// membership through the zk package.
+package kafka
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Compression codecs carried in the message attributes byte.
+const (
+	CodecNone byte = 0
+	CodecGzip byte = 1
+)
+
+const (
+	msgMagic      byte = 1
+	msgOverhead        = 4 + 1 + 1 + 4 // length + magic + attrs + crc
+	msgHeaderSize      = 1 + 1 + 4     // magic + attrs + crc (covered by length)
+)
+
+// Message errors.
+var (
+	ErrCorruptMessage   = errors.New("kafka: corrupt message")
+	ErrOffsetOutOfRange = errors.New("kafka: offset out of range")
+)
+
+// Message is a payload of bytes, optionally a compressed wrapper holding a
+// nested message set (§V.B "each producer can compress a set of messages").
+type Message struct {
+	Attrs   byte
+	Payload []byte
+}
+
+// NewMessage wraps payload as an uncompressed message.
+func NewMessage(payload []byte) Message { return Message{Payload: payload} }
+
+// WireSize returns the on-disk footprint of the message.
+func (m *Message) WireSize() int64 { return int64(msgOverhead + len(m.Payload)) }
+
+// appendTo encodes the message: u32 length | magic | attrs | crc32 | payload.
+func (m *Message) appendTo(buf []byte) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, uint32(msgHeaderSize+len(m.Payload)))
+	buf = append(buf, msgMagic, m.Attrs)
+	buf = binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(m.Payload))
+	return append(buf, m.Payload...)
+}
+
+// MessageSet is a sequence of encoded messages — the unit producers send and
+// brokers append (§V.B "the producer can submit a set of messages in a
+// single send request").
+type MessageSet struct{ buf []byte }
+
+// NewMessageSet encodes payloads into a set.
+func NewMessageSet(payloads ...[]byte) MessageSet {
+	var s MessageSet
+	for _, p := range payloads {
+		s.Append(NewMessage(p))
+	}
+	return s
+}
+
+// Append adds a message.
+func (s *MessageSet) Append(m Message) { s.buf = m.appendTo(s.buf) }
+
+// Bytes returns the wire form.
+func (s *MessageSet) Bytes() []byte { return s.buf }
+
+// Len returns the byte length of the set.
+func (s *MessageSet) Len() int { return len(s.buf) }
+
+// Compress gzips the whole set into a single wrapper message, the unit
+// stored on the broker and shipped to consumers ("the compressed data is
+// stored in the broker and is eventually delivered to the consumer").
+func (s *MessageSet) Compress() (MessageSet, error) {
+	var z bytes.Buffer
+	w := gzip.NewWriter(&z)
+	if _, err := w.Write(s.buf); err != nil {
+		return MessageSet{}, err
+	}
+	if err := w.Close(); err != nil {
+		return MessageSet{}, err
+	}
+	var out MessageSet
+	out.Append(Message{Attrs: CodecGzip, Payload: z.Bytes()})
+	return out, nil
+}
+
+// decodeMessage parses one message at the start of data, returning it and
+// the total bytes consumed. io.ErrShortBuffer means a partial message tail
+// (normal at fetch-chunk boundaries).
+func decodeMessage(data []byte) (Message, int, error) {
+	if len(data) < 4 {
+		return Message{}, 0, io.ErrShortBuffer
+	}
+	length := int(binary.BigEndian.Uint32(data))
+	if length < msgHeaderSize {
+		return Message{}, 0, fmt.Errorf("%w: length %d", ErrCorruptMessage, length)
+	}
+	if len(data) < 4+length {
+		return Message{}, 0, io.ErrShortBuffer
+	}
+	body := data[4 : 4+length]
+	if body[0] != msgMagic {
+		return Message{}, 0, fmt.Errorf("%w: magic %d", ErrCorruptMessage, body[0])
+	}
+	attrs := body[1]
+	crc := binary.BigEndian.Uint32(body[2:6])
+	payload := body[6:]
+	if crc32.ChecksumIEEE(payload) != crc {
+		return Message{}, 0, fmt.Errorf("%w: crc mismatch", ErrCorruptMessage)
+	}
+	out := make([]byte, len(payload))
+	copy(out, payload)
+	return Message{Attrs: attrs, Payload: out}, 4 + length, nil
+}
+
+// MessageAndOffset pairs a delivered payload with the offset to fetch next —
+// the consumer computes "the id of the next message by adding the length of
+// the current message to its id" (§V.B).
+type MessageAndOffset struct {
+	Payload    []byte
+	NextOffset int64
+}
+
+// Decode iterates the complete messages in a fetched chunk starting at
+// baseOffset, transparently unpacking compressed wrapper messages. A
+// trailing partial message is ignored (the consumer re-fetches from the
+// returned position).
+func Decode(chunk []byte, baseOffset int64) ([]MessageAndOffset, error) {
+	var out []MessageAndOffset
+	pos := 0
+	for pos < len(chunk) {
+		m, n, err := decodeMessage(chunk[pos:])
+		if errors.Is(err, io.ErrShortBuffer) {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		next := baseOffset + int64(pos+n)
+		switch m.Attrs {
+		case CodecNone:
+			out = append(out, MessageAndOffset{Payload: m.Payload, NextOffset: next})
+		case CodecGzip:
+			inner, err := decompress(m.Payload)
+			if err != nil {
+				return nil, err
+			}
+			ipos := 0
+			for ipos < len(inner) {
+				im, in, err := decodeMessage(inner[ipos:])
+				if err != nil {
+					return nil, fmt.Errorf("kafka: inner message: %w", err)
+				}
+				// Inner messages all advance to the wrapper's end: offsets
+				// are positions in the partition log, and the wrapper is the
+				// unit that lives there.
+				out = append(out, MessageAndOffset{Payload: im.Payload, NextOffset: next})
+				ipos += in
+			}
+		default:
+			return nil, fmt.Errorf("kafka: unknown codec %d", m.Attrs)
+		}
+		pos += n
+	}
+	return out, nil
+}
+
+func decompress(data []byte) ([]byte, error) {
+	r, err := gzip.NewReader(bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	return io.ReadAll(r)
+}
+
+// validPrefix scans data and returns the length of the longest prefix that
+// consists of complete, checksum-valid messages — the crash-recovery rule
+// for the active segment.
+func validPrefix(data []byte) int {
+	pos := 0
+	for pos < len(data) {
+		_, n, err := decodeMessage(data[pos:])
+		if err != nil {
+			break
+		}
+		pos += n
+	}
+	return pos
+}

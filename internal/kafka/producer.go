@@ -1,0 +1,226 @@
+package kafka
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"datainfra/internal/ring"
+)
+
+// BrokerClient is the produce/fetch surface of a broker — implemented by
+// *Broker (in-process) and *RemoteBroker (TCP).
+type BrokerClient interface {
+	Produce(topic string, partition int, set MessageSet) (int64, error)
+	Fetch(topic string, partition int, offset int64, maxBytes int) ([]byte, error)
+	Offsets(topic string, partition int) (earliest, latest int64, err error)
+	Partitions(topic string) (int, error)
+}
+
+// Partitioner picks the partition for a message: random when key is nil, or
+// "semantically determined by a partitioning key and a partitioning
+// function" (§V.C).
+type Partitioner func(key []byte, numPartitions int) int
+
+// DefaultPartitioner hashes non-nil keys and spreads nil keys randomly.
+func DefaultPartitioner(key []byte, numPartitions int) int {
+	if len(key) == 0 {
+		return rand.Intn(numPartitions)
+	}
+	return ring.Hash(key, numPartitions)
+}
+
+// ProducerConfig tunes batching and compression.
+type ProducerConfig struct {
+	BatchSize   int           // messages per batch; default 1 (sync-ish)
+	Linger      time.Duration // max time a batch waits; default 10ms
+	Compression bool          // gzip whole batches (§V.B)
+	Partitioner Partitioner
+}
+
+// Producer publishes messages to topics through a broker, buffering them
+// into per-partition batches ("the frontend services publish to the local
+// Kafka brokers in batches", §V.D).
+type Producer struct {
+	broker BrokerClient
+	cfg    ProducerConfig
+
+	mu      sync.Mutex
+	batches map[string]*batch // "topic/partition"
+	closed  bool
+
+	sent        int64 // messages produced
+	bytesOnWire int64 // bytes shipped to the broker (post-compression)
+
+	audit *AuditEmitter // optional
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+type batch struct {
+	topic     string
+	partition int
+	set       MessageSet
+	count     int
+	started   time.Time
+}
+
+// NewProducer builds a producer over broker.
+func NewProducer(broker BrokerClient, cfg ProducerConfig) *Producer {
+	if cfg.BatchSize == 0 {
+		cfg.BatchSize = 1
+	}
+	if cfg.Linger == 0 {
+		cfg.Linger = 10 * time.Millisecond
+	}
+	if cfg.Partitioner == nil {
+		cfg.Partitioner = DefaultPartitioner
+	}
+	p := &Producer{
+		broker:  broker,
+		cfg:     cfg,
+		batches: map[string]*batch{},
+		stop:    make(chan struct{}),
+	}
+	p.wg.Add(1)
+	go p.lingerLoop()
+	return p
+}
+
+// EnableAudit attaches an audit emitter (§V.D): the producer periodically
+// publishes monitoring events counting its messages per topic per window.
+func (p *Producer) EnableAudit(a *AuditEmitter) {
+	p.mu.Lock()
+	p.audit = a
+	p.mu.Unlock()
+}
+
+// Send publishes one message. A nil key selects a random partition.
+func (p *Producer) Send(topic string, key, payload []byte) error {
+	n, err := p.broker.Partitions(topic)
+	if err != nil {
+		return err
+	}
+	partition := p.cfg.Partitioner(key, n)
+	return p.SendTo(topic, partition, payload)
+}
+
+// SendTo publishes to an explicit partition.
+func (p *Producer) SendTo(topic string, partition int, payload []byte) error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return fmt.Errorf("kafka: producer closed")
+	}
+	k := fmt.Sprintf("%s/%d", topic, partition)
+	b, ok := p.batches[k]
+	if !ok {
+		b = &batch{topic: topic, partition: partition, started: time.Now()}
+		p.batches[k] = b
+	}
+	b.set.Append(NewMessage(payload))
+	b.count++
+	p.sent++
+	if p.audit != nil {
+		p.audit.Count(topic)
+	}
+	var flush *batch
+	if b.count >= p.cfg.BatchSize {
+		flush = b
+		delete(p.batches, k)
+	}
+	p.mu.Unlock()
+	if flush != nil {
+		return p.ship(flush)
+	}
+	return nil
+}
+
+func (p *Producer) ship(b *batch) error {
+	set := b.set
+	if p.cfg.Compression {
+		var err error
+		set, err = b.set.Compress()
+		if err != nil {
+			return err
+		}
+	}
+	p.mu.Lock()
+	p.bytesOnWire += int64(set.Len())
+	p.mu.Unlock()
+	_, err := p.broker.Produce(b.topic, b.partition, set)
+	return err
+}
+
+// Flush ships every pending batch.
+func (p *Producer) Flush() error {
+	p.mu.Lock()
+	pending := make([]*batch, 0, len(p.batches))
+	for k, b := range p.batches {
+		pending = append(pending, b)
+		delete(p.batches, k)
+	}
+	p.mu.Unlock()
+	for _, b := range pending {
+		if err := p.ship(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *Producer) lingerLoop() {
+	defer p.wg.Done()
+	t := time.NewTicker(p.cfg.Linger)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-t.C:
+			p.mu.Lock()
+			var due []*batch
+			for k, b := range p.batches {
+				if time.Since(b.started) >= p.cfg.Linger {
+					due = append(due, b)
+					delete(p.batches, k)
+				}
+			}
+			p.mu.Unlock()
+			for _, b := range due {
+				_ = p.ship(b)
+			}
+		}
+	}
+}
+
+// Sent returns the number of messages produced.
+func (p *Producer) Sent() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.sent
+}
+
+// BytesOnWire returns post-compression bytes shipped — the E10 bandwidth
+// metric.
+func (p *Producer) BytesOnWire() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.bytesOnWire
+}
+
+// Close flushes and stops the producer.
+func (p *Producer) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	p.mu.Unlock()
+	close(p.stop)
+	p.wg.Wait()
+	return p.Flush()
+}

@@ -1,0 +1,178 @@
+package kafka
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// RemoteBroker is a BrokerClient over the TCP protocol, with a small
+// connection pool.
+type RemoteBroker struct {
+	addr    string
+	timeout time.Duration
+
+	mu     sync.Mutex
+	conns  []net.Conn
+	closed bool
+}
+
+// DialBroker connects lazily to the broker at addr.
+func DialBroker(addr string, timeout time.Duration) *RemoteBroker {
+	if timeout == 0 {
+		timeout = 5 * time.Second
+	}
+	return &RemoteBroker{addr: addr, timeout: timeout}
+}
+
+func (r *RemoteBroker) getConn() (net.Conn, error) {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil, errors.New("kafka: remote broker closed")
+	}
+	if n := len(r.conns); n > 0 {
+		c := r.conns[n-1]
+		r.conns = r.conns[:n-1]
+		r.mu.Unlock()
+		return c, nil
+	}
+	r.mu.Unlock()
+	return net.DialTimeout("tcp", r.addr, r.timeout)
+}
+
+func (r *RemoteBroker) putConn(c net.Conn) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed || len(r.conns) >= 4 {
+		c.Close()
+		return
+	}
+	r.conns = append(r.conns, c)
+}
+
+// call sends one framed request and reads the framed response.
+func (r *RemoteBroker) call(req []byte) ([]byte, error) {
+	conn, err := r.getConn()
+	if err != nil {
+		return nil, err
+	}
+	_ = conn.SetDeadline(time.Now().Add(r.timeout))
+	hdr := make([]byte, 4)
+	binary.BigEndian.PutUint32(hdr, uint32(len(req)))
+	if _, err := conn.Write(hdr); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if _, err := conn.Write(req); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if _, err := io.ReadFull(conn, hdr); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr)
+	if n < 1 || n > 64<<20 {
+		conn.Close()
+		return nil, fmt.Errorf("kafka: bad response frame %d", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(conn, body); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	_ = conn.SetDeadline(time.Time{})
+	r.putConn(conn)
+	if body[0] != 0 {
+		msg := string(body[1:])
+		if contains(msg, "offset out of range") {
+			return nil, fmt.Errorf("%w: %s", ErrOffsetOutOfRange, msg)
+		}
+		return nil, errors.New("kafka: " + msg)
+	}
+	return body[1:], nil
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && searchStr(s, sub)
+}
+
+func searchStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func reqHeader(op byte, topic string) []byte {
+	buf := make([]byte, 0, 3+len(topic))
+	buf = append(buf, op)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(topic)))
+	return append(buf, topic...)
+}
+
+// Produce implements BrokerClient.
+func (r *RemoteBroker) Produce(topic string, partition int, set MessageSet) (int64, error) {
+	req := reqHeader(brokerOpProduce, topic)
+	req = binary.BigEndian.AppendUint32(req, uint32(partition))
+	req = append(req, set.Bytes()...)
+	resp, err := r.call(req)
+	if err != nil {
+		return 0, err
+	}
+	if len(resp) != 8 {
+		return 0, fmt.Errorf("kafka: bad produce response")
+	}
+	return int64(binary.BigEndian.Uint64(resp)), nil
+}
+
+// Fetch implements BrokerClient.
+func (r *RemoteBroker) Fetch(topic string, partition int, offset int64, maxBytes int) ([]byte, error) {
+	req := reqHeader(brokerOpFetch, topic)
+	req = binary.BigEndian.AppendUint32(req, uint32(partition))
+	req = binary.BigEndian.AppendUint64(req, uint64(offset))
+	req = binary.BigEndian.AppendUint32(req, uint32(maxBytes))
+	return r.call(req)
+}
+
+// Offsets implements BrokerClient.
+func (r *RemoteBroker) Offsets(topic string, partition int) (int64, int64, error) {
+	req := reqHeader(brokerOpOffsets, topic)
+	req = binary.BigEndian.AppendUint32(req, uint32(partition))
+	resp, err := r.call(req)
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(resp) != 16 {
+		return 0, 0, fmt.Errorf("kafka: bad offsets response")
+	}
+	return int64(binary.BigEndian.Uint64(resp[0:8])), int64(binary.BigEndian.Uint64(resp[8:16])), nil
+}
+
+// Partitions implements BrokerClient.
+func (r *RemoteBroker) Partitions(topic string) (int, error) {
+	resp, err := r.call(reqHeader(brokerOpPartitions, topic))
+	if err != nil {
+		return 0, err
+	}
+	return strconv.Atoi(string(resp))
+}
+
+// Close drops pooled connections.
+func (r *RemoteBroker) Close() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.closed = true
+	for _, c := range r.conns {
+		c.Close()
+	}
+	r.conns = nil
+}

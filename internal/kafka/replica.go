@@ -1,0 +1,151 @@
+package kafka
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ReplicaSet implements §V.D's stated future feature, intra-cluster
+// replication: every topic partition is written to a leader broker and
+// asynchronously replicated to a follower by per-partition fetchers (the
+// same pull mechanism consumers use). Reads prefer the leader and fail over
+// to the follower when the leader is unreachable, bounding message loss to
+// the unreplicated tail.
+type ReplicaSet struct {
+	leader, follower BrokerClient
+
+	mu         sync.Mutex
+	fetchers   map[string]chan struct{} // topic -> stop channel
+	leaderUp   atomic.Bool
+	replicated atomic.Int64
+
+	wg sync.WaitGroup
+}
+
+// NewReplicaSet pairs a leader with a follower.
+func NewReplicaSet(leader, follower BrokerClient) *ReplicaSet {
+	rs := &ReplicaSet{
+		leader:   leader,
+		follower: follower,
+		fetchers: map[string]chan struct{}{},
+	}
+	rs.leaderUp.Store(true)
+	return rs
+}
+
+// Replicated returns how many messages have reached the follower.
+func (rs *ReplicaSet) Replicated() int64 { return rs.replicated.Load() }
+
+// SetLeaderUp simulates leader failure/recovery (tests and operators).
+func (rs *ReplicaSet) SetLeaderUp(up bool) { rs.leaderUp.Store(up) }
+
+// Produce writes to the leader; the replica fetcher ships it to the
+// follower asynchronously. Producing to a topic starts its replication.
+func (rs *ReplicaSet) Produce(topic string, partition int, set MessageSet) (int64, error) {
+	if !rs.leaderUp.Load() {
+		return 0, errors.New("kafka: leader down")
+	}
+	off, err := rs.leader.Produce(topic, partition, set)
+	if err != nil {
+		return 0, err
+	}
+	rs.ensureFetcher(topic)
+	return off, nil
+}
+
+func (rs *ReplicaSet) ensureFetcher(topic string) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if _, ok := rs.fetchers[topic]; ok {
+		return
+	}
+	stop := make(chan struct{})
+	rs.fetchers[topic] = stop
+	n, err := rs.leader.Partitions(topic)
+	if err != nil {
+		return
+	}
+	for p := 0; p < n; p++ {
+		rs.wg.Add(1)
+		go rs.replicate(topic, p, stop)
+	}
+}
+
+// replicate is the follower's fetch loop: exactly a consumer that
+// republishes into the follower's log.
+func (rs *ReplicaSet) replicate(topic string, partition int, stop chan struct{}) {
+	defer rs.wg.Done()
+	sc := NewSimpleConsumer(rs.leader, 300<<10)
+	var offset int64
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		if !rs.leaderUp.Load() {
+			select {
+			case <-stop:
+				return
+			case <-time.After(5 * time.Millisecond):
+			}
+			continue
+		}
+		msgs, err := sc.Consume(topic, partition, offset)
+		if err != nil || len(msgs) == 0 {
+			select {
+			case <-stop:
+				return
+			case <-time.After(2 * time.Millisecond):
+			}
+			continue
+		}
+		for _, m := range msgs {
+			if _, err := rs.follower.Produce(topic, partition, NewMessageSet(m.Payload)); err != nil {
+				return
+			}
+			offset = m.NextOffset
+			rs.replicated.Add(1)
+		}
+	}
+}
+
+// Fetch reads from the leader, failing over to the follower when the leader
+// is down. Note the follower's byte offsets differ from the leader's (its
+// log was rewritten by republication), so failing-over consumers restart
+// from the follower's earliest offset — the at-least-once contract.
+func (rs *ReplicaSet) Fetch(topic string, partition int, offset int64, maxBytes int) ([]byte, error) {
+	if rs.leaderUp.Load() {
+		return rs.leader.Fetch(topic, partition, offset, maxBytes)
+	}
+	return rs.follower.Fetch(topic, partition, offset, maxBytes)
+}
+
+// Offsets consults whichever broker is serving.
+func (rs *ReplicaSet) Offsets(topic string, partition int) (int64, int64, error) {
+	if rs.leaderUp.Load() {
+		return rs.leader.Offsets(topic, partition)
+	}
+	return rs.follower.Offsets(topic, partition)
+}
+
+// Partitions consults whichever broker is serving.
+func (rs *ReplicaSet) Partitions(topic string) (int, error) {
+	if rs.leaderUp.Load() {
+		return rs.leader.Partitions(topic)
+	}
+	return rs.follower.Partitions(topic)
+}
+
+// Close stops every replica fetcher.
+func (rs *ReplicaSet) Close() {
+	rs.mu.Lock()
+	for _, stop := range rs.fetchers {
+		close(stop)
+	}
+	rs.fetchers = map[string]chan struct{}{}
+	rs.mu.Unlock()
+	rs.wg.Wait()
+}

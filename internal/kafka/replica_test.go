@@ -1,0 +1,149 @@
+package kafka
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"datainfra/internal/zk"
+)
+
+func zkServerForTest(t *testing.T) *zk.Server {
+	t.Helper()
+	return zk.NewServer()
+}
+
+func replicaRig(t *testing.T) (*ReplicaSet, *Broker, *Broker) {
+	t.Helper()
+	leader, err := NewBroker(0, t.TempDir(), BrokerConfig{PartitionsPerTopic: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { leader.Close() })
+	follower, err := NewBroker(1, t.TempDir(), BrokerConfig{PartitionsPerTopic: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { follower.Close() })
+	rs := NewReplicaSet(leader, follower)
+	t.Cleanup(rs.Close)
+	return rs, leader, follower
+}
+
+func countAll(t *testing.T, b BrokerClient, topic string, parts int) int {
+	t.Helper()
+	sc := NewSimpleConsumer(b, 1<<20)
+	got := 0
+	for p := 0; p < parts; p++ {
+		var off int64
+		for {
+			msgs, err := sc.Consume(topic, p, off)
+			if err != nil || len(msgs) == 0 {
+				break
+			}
+			got += len(msgs)
+			off = msgs[len(msgs)-1].NextOffset
+		}
+	}
+	return got
+}
+
+func TestReplicaSetReplicatesToFollower(t *testing.T) {
+	rs, leader, follower := replicaRig(t)
+	const total = 100
+	for i := 0; i < total; i++ {
+		if _, err := rs.Produce("t", i%2, NewMessageSet([]byte(fmt.Sprintf("m%d", i)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for rs.Replicated() < total {
+		if time.Now().After(deadline) {
+			t.Fatalf("replicated %d/%d", rs.Replicated(), total)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	leader.FlushAll()
+	follower.FlushAll()
+	if got := countAll(t, follower, "t", 2); got != total {
+		t.Fatalf("follower holds %d/%d", got, total)
+	}
+}
+
+func TestReplicaSetFailover(t *testing.T) {
+	rs, _, follower := replicaRig(t)
+	const total = 50
+	for i := 0; i < total; i++ {
+		if _, err := rs.Produce("t", 0, NewMessageSet([]byte(fmt.Sprintf("m%d", i)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for rs.Replicated() < total {
+		if time.Now().After(deadline) {
+			t.Fatalf("replicated %d/%d", rs.Replicated(), total)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	follower.FlushAll()
+	// leader dies: produces fail, but fetches keep working from the follower
+	rs.SetLeaderUp(false)
+	if _, err := rs.Produce("t", 0, NewMessageSet([]byte("late"))); err == nil {
+		t.Fatal("produce succeeded with leader down")
+	}
+	earliest, latest, err := rs.Offsets("t", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := NewSimpleConsumer(rs, 1<<20)
+	got := 0
+	for off := earliest; off < latest; {
+		msgs, err := sc.Consume("t", 0, off)
+		if err != nil || len(msgs) == 0 {
+			break
+		}
+		got += len(msgs)
+		off = msgs[len(msgs)-1].NextOffset
+	}
+	if got != total {
+		t.Fatalf("failover read %d/%d messages", got, total)
+	}
+	// leader recovers: produces resume
+	rs.SetLeaderUp(true)
+	if _, err := rs.Produce("t", 0, NewMessageSet([]byte("back"))); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBrokerRegistersInZK(t *testing.T) {
+	srv := newTestBroker(t)
+	coord := zkServerForTest(t)
+	if err := srv.Register(coord, "127.0.0.1:9092"); err != nil {
+		t.Fatal(err)
+	}
+	sess := coord.NewSession()
+	defer sess.Close()
+	data, _, err := sess.Get("/brokers/ids/0")
+	if err != nil || string(data) != "127.0.0.1:9092" {
+		t.Fatalf("broker registration = (%q, %v)", data, err)
+	}
+	// producing to a topic announces it
+	if _, err := srv.Produce("announced", 0, NewMessageSet([]byte("x"))); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if data, _, err := sess.Get("/brokers/topics/announced/0"); err == nil && string(data) == "2" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("topic never announced in zk")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// closing the broker removes the ephemeral
+	srv.Close()
+	if ok, _ := sess.Exists("/brokers/ids/0"); ok {
+		t.Fatal("broker registration survived close")
+	}
+}

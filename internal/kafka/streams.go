@@ -1,0 +1,56 @@
+package kafka
+
+import "datainfra/internal/ring"
+
+// CreateMessageStreams is the §V.A consumer API: it splits this group
+// member's feed for a topic into n sub-streams ("the messages published to
+// that topic will be evenly distributed into these sub-streams"). A
+// partition's messages always land in the same sub-stream, so per-partition
+// ordering survives the split; each stream is the never-terminating iterator
+// the paper describes (ranging over the channel blocks until messages
+// arrive).
+//
+// Call it once per topic; the demultiplexer consumes the member's merged
+// feed, so combining it with direct reads of Messages() would race.
+func (g *GroupConsumer) CreateMessageStreams(topic string, n int) []<-chan GroupMsg {
+	if n < 1 {
+		n = 1
+	}
+	outs := make([]chan GroupMsg, n)
+	for i := range outs {
+		outs[i] = make(chan GroupMsg, g.cfg.StreamBuffer/n+1)
+	}
+	g.wg.Add(1)
+	go func() {
+		defer g.wg.Done()
+		defer func() {
+			for _, out := range outs {
+				close(out)
+			}
+		}()
+		for {
+			select {
+			case <-g.stop:
+				return
+			case m, ok := <-g.ch:
+				if !ok {
+					return
+				}
+				if m.Topic != topic {
+					continue
+				}
+				idx := ring.Hash([]byte(m.Partition.String()), n)
+				select {
+				case outs[idx] <- m:
+				case <-g.stop:
+					return
+				}
+			}
+		}
+	}()
+	views := make([]<-chan GroupMsg, n)
+	for i, out := range outs {
+		views[i] = out
+	}
+	return views
+}

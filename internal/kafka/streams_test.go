@@ -1,0 +1,104 @@
+package kafka
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCreateMessageStreamsDistributes(t *testing.T) {
+	srv, clients, raw := groupRig(t, 1, 4)
+	g, err := NewGroupConsumer(srv, "streams", "c1", []string{"t"}, clients, GroupConfig{FromEarliest: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	streams := g.CreateMessageStreams("t", 2)
+	if len(streams) != 2 {
+		t.Fatalf("%d streams", len(streams))
+	}
+	var mu sync.Mutex
+	perStream := make([]int, 2)
+	partitionStream := map[PartitionID]int{}
+	ordered := map[PartitionID][]int64{}
+	var wg sync.WaitGroup
+	for i, st := range streams {
+		wg.Add(1)
+		go func(i int, st <-chan GroupMsg) {
+			defer wg.Done()
+			for m := range st {
+				mu.Lock()
+				perStream[i]++
+				if prev, seen := partitionStream[m.Partition]; seen && prev != i {
+					t.Errorf("partition %v split across streams %d and %d", m.Partition, prev, i)
+				}
+				partitionStream[m.Partition] = i
+				ordered[m.Partition] = append(ordered[m.Partition], m.NextOffset)
+				mu.Unlock()
+			}
+		}(i, st)
+	}
+
+	p := NewProducer(raw[0], ProducerConfig{BatchSize: 10})
+	const total = 200
+	for i := 0; i < total; i++ {
+		p.Send("t", []byte(fmt.Sprintf("key-%d", i)), []byte(fmt.Sprintf("m%d", i)))
+	}
+	p.Flush()
+	p.Close()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		mu.Lock()
+		got := perStream[0] + perStream[1]
+		mu.Unlock()
+		if got >= total {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("streams received %d/%d", got, total)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	g.Close() // closes the member feed; demux closes the sub-streams
+	wg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if perStream[0] == 0 || perStream[1] == 0 {
+		t.Fatalf("distribution skewed: %v", perStream)
+	}
+	// per-partition order preserved within its stream
+	for p, offs := range ordered {
+		for i := 1; i < len(offs); i++ {
+			if offs[i] <= offs[i-1] {
+				t.Fatalf("partition %v out of order: %v", p, offs)
+			}
+		}
+	}
+}
+
+func TestCreateMessageStreamsSingle(t *testing.T) {
+	srv, clients, raw := groupRig(t, 1, 2)
+	g, err := NewGroupConsumer(srv, "single", "c1", []string{"t"}, clients, GroupConfig{FromEarliest: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	streams := g.CreateMessageStreams("t", 0) // clamps to 1
+	if len(streams) != 1 {
+		t.Fatalf("%d streams", len(streams))
+	}
+	p := NewProducer(raw[0], ProducerConfig{BatchSize: 1})
+	p.SendTo("t", 0, []byte("only"))
+	p.Close()
+	select {
+	case m := <-streams[0]:
+		if string(m.Payload) != "only" {
+			t.Fatalf("payload = %q", m.Payload)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("stream never delivered")
+	}
+}

@@ -1,0 +1,183 @@
+// Package metrics provides the latency histograms, throughput meters and
+// table rendering the benchmark harness uses to print paper-versus-measured
+// rows.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Histogram collects duration samples and reports percentiles.
+type Histogram struct {
+	mu      sync.Mutex
+	samples []time.Duration
+	sorted  bool
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// Observe records one sample.
+func (h *Histogram) Observe(d time.Duration) {
+	h.mu.Lock()
+	h.samples = append(h.samples, d)
+	h.sorted = false
+	h.mu.Unlock()
+}
+
+// Time runs fn and records its latency.
+func (h *Histogram) Time(fn func()) {
+	start := time.Now()
+	fn()
+	h.Observe(time.Since(start))
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.samples)
+}
+
+func (h *Histogram) sortLocked() {
+	if !h.sorted {
+		sort.Slice(h.samples, func(i, j int) bool { return h.samples[i] < h.samples[j] })
+		h.sorted = true
+	}
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100).
+func (h *Histogram) Percentile(p float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.sortLocked()
+	idx := int(p / 100 * float64(len(h.samples)-1))
+	return h.samples[idx]
+}
+
+// Mean returns the average sample.
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, s := range h.samples {
+		sum += s
+	}
+	return sum / time.Duration(len(h.samples))
+}
+
+// Max returns the largest sample.
+func (h *Histogram) Max() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.sortLocked()
+	return h.samples[len(h.samples)-1]
+}
+
+// Summary renders "mean=… p50=… p99=… max=…".
+func (h *Histogram) Summary() string {
+	return fmt.Sprintf("mean=%v p50=%v p99=%v max=%v",
+		h.Mean().Round(time.Microsecond),
+		h.Percentile(50).Round(time.Microsecond),
+		h.Percentile(99).Round(time.Microsecond),
+		h.Max().Round(time.Microsecond))
+}
+
+// Meter measures throughput over a run.
+type Meter struct {
+	mu    sync.Mutex
+	count int64
+	start time.Time
+}
+
+// NewMeter starts counting now.
+func NewMeter() *Meter { return &Meter{start: time.Now()} }
+
+// Add counts n operations.
+func (m *Meter) Add(n int64) {
+	m.mu.Lock()
+	m.count += n
+	m.mu.Unlock()
+}
+
+// Rate returns operations per second since start.
+func (m *Meter) Rate() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	el := time.Since(m.start).Seconds()
+	if el <= 0 {
+		return 0
+	}
+	return float64(m.count) / el
+}
+
+// Count returns the total.
+func (m *Meter) Count() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.count
+}
+
+// Table renders experiment rows with aligned columns.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// AddRow appends one row (cells are stringified).
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = fmt.Sprint(c)
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Render writes the table.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "\n== %s ==\n", t.Title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.Join(parts, "  "))
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.rows {
+		line(row)
+	}
+}

@@ -1,0 +1,81 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramPercentiles(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if p := h.Percentile(50); p < 49*time.Millisecond || p > 52*time.Millisecond {
+		t.Fatalf("p50 = %v", p)
+	}
+	if p := h.Percentile(99); p < 98*time.Millisecond {
+		t.Fatalf("p99 = %v", p)
+	}
+	if h.Max() != 100*time.Millisecond {
+		t.Fatalf("max = %v", h.Max())
+	}
+	if m := h.Mean(); m < 50*time.Millisecond || m > 51*time.Millisecond {
+		t.Fatalf("mean = %v", m)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Percentile(50) != 0 || h.Mean() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram not zero")
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				h.Observe(time.Microsecond)
+				_ = h.Percentile(90)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 4000 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+}
+
+func TestMeter(t *testing.T) {
+	m := NewMeter()
+	m.Add(100)
+	if m.Count() != 100 {
+		t.Fatalf("Count = %d", m.Count())
+	}
+	if m.Rate() <= 0 {
+		t.Fatal("Rate not positive")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := Table{Title: "E1", Headers: []string{"metric", "paper", "measured"}}
+	tab.AddRow("qps", "10K", 12345)
+	tab.AddRow("latency", "3ms", "2.5ms")
+	var sb strings.Builder
+	tab.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"E1", "metric", "qps", "12345", "2.5ms", "---"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,214 @@
+// Package ring implements Voldemort's consistent-hashing routing (§II.B):
+// keys are hashed (MD5) onto a ring of equal-sized logical partitions; the
+// replica set for a key is found by jumping the ring from the key's primary
+// partition until N-1 further partitions on *distinct nodes* are collected.
+// The non-order-preserving hash prevents hot spots.
+//
+// A zone-aware variant adds the constraint that the replica set must span a
+// required number of zones, walking each zone's proximity list.
+package ring
+
+import (
+	"crypto/md5"
+	"encoding/binary"
+	"fmt"
+
+	"datainfra/internal/cluster"
+)
+
+// Strategy computes the ordered replica lists for keys. Implementations are
+// pluggable per Figure II.1.
+type Strategy interface {
+	// PartitionList returns the ordered partition replica list for key.
+	PartitionList(key []byte) []int
+	// NodeList returns the ordered nodes responsible for key, preference
+	// order first (primary first).
+	NodeList(key []byte) []*cluster.Node
+	// Master returns the primary partition for key.
+	Master(key []byte) int
+	// Replication returns N, the number of replicas maintained.
+	Replication() int
+}
+
+// Hash maps a key to a partition id in [0, numPartitions). MD5 is used for
+// its uniformity, exactly as the paper describes for both routing and the
+// read-only store index.
+func Hash(key []byte, numPartitions int) int {
+	sum := md5.Sum(key)
+	v := binary.BigEndian.Uint32(sum[0:4])
+	return int(v % uint32(numPartitions))
+}
+
+// Consistent is the plain consistent-hashing strategy: jump the ring until
+// N partitions on distinct nodes are found.
+type Consistent struct {
+	c *cluster.Cluster
+	n int
+}
+
+// NewConsistent builds a Strategy over the cluster with replication factor n.
+func NewConsistent(c *cluster.Cluster, n int) (*Consistent, error) {
+	if n < 1 || n > len(c.Nodes) {
+		return nil, fmt.Errorf("ring: replication %d invalid for %d nodes", n, len(c.Nodes))
+	}
+	return &Consistent{c: c, n: n}, nil
+}
+
+// Replication returns N.
+func (r *Consistent) Replication() int { return r.n }
+
+// Master returns the primary partition for key.
+func (r *Consistent) Master(key []byte) int { return Hash(key, r.c.NumPartitions) }
+
+// PartitionList walks the ring from the key's primary partition, collecting
+// partitions until n distinct nodes are covered.
+func (r *Consistent) PartitionList(key []byte) []int {
+	return r.partitionListFrom(Hash(key, r.c.NumPartitions))
+}
+
+func (r *Consistent) partitionListFrom(start int) []int {
+	parts := make([]int, 0, r.n)
+	seen := make(map[int]bool, r.n)
+	for i := 0; i < r.c.NumPartitions && len(parts) < r.n; i++ {
+		p := (start + i) % r.c.NumPartitions
+		owner, err := r.c.OwnerOf(p)
+		if err != nil {
+			continue
+		}
+		if !seen[owner.ID] {
+			seen[owner.ID] = true
+			parts = append(parts, p)
+		}
+	}
+	return parts
+}
+
+// NodeList maps PartitionList through the ownership table.
+func (r *Consistent) NodeList(key []byte) []*cluster.Node {
+	parts := r.PartitionList(key)
+	nodes := make([]*cluster.Node, 0, len(parts))
+	for _, p := range parts {
+		if n, err := r.c.OwnerOf(p); err == nil {
+			nodes = append(nodes, n)
+		}
+	}
+	return nodes
+}
+
+// ReplicaPartitionsFor returns, for a given node, the set of partitions whose
+// replica lists include any partition owned by that node. Used by
+// rebalancing and the read-only build to decide which keys belong on a node.
+func (r *Consistent) ReplicaPartitionsFor(nodeID int) map[int]bool {
+	out := make(map[int]bool)
+	for p := 0; p < r.c.NumPartitions; p++ {
+		for _, q := range r.partitionListFrom(p) {
+			owner, err := r.c.OwnerOf(q)
+			if err == nil && owner.ID == nodeID {
+				out[p] = true
+			}
+		}
+	}
+	return out
+}
+
+// Zoned is the multi-datacenter routing variant: the ring walk carries the
+// extra constraint that replicas must span at least requiredZones zones,
+// preferring the client's local zone first, then zones in proximity order.
+type Zoned struct {
+	c             *cluster.Cluster
+	n             int
+	requiredZones int
+	clientZone    int
+}
+
+// NewZoned builds a zone-aware Strategy. clientZone orders the preference
+// list so the nearest replicas come first.
+func NewZoned(c *cluster.Cluster, n, requiredZones, clientZone int) (*Zoned, error) {
+	if n < 1 || n > len(c.Nodes) {
+		return nil, fmt.Errorf("ring: replication %d invalid for %d nodes", n, len(c.Nodes))
+	}
+	if requiredZones < 1 || requiredZones > len(c.Zones) {
+		return nil, fmt.Errorf("ring: requiredZones %d invalid for %d zones", requiredZones, len(c.Zones))
+	}
+	if c.ZoneByID(clientZone) == nil {
+		return nil, fmt.Errorf("ring: unknown client zone %d", clientZone)
+	}
+	return &Zoned{c: c, n: n, requiredZones: requiredZones, clientZone: clientZone}, nil
+}
+
+// Replication returns N.
+func (r *Zoned) Replication() int { return r.n }
+
+// Master returns the primary partition for key.
+func (r *Zoned) Master(key []byte) int { return Hash(key, r.c.NumPartitions) }
+
+// PartitionList jumps the ring collecting partitions on distinct nodes with
+// the zone-count constraint: while fewer than requiredZones zones are
+// represented, a partition is only accepted if it adds a new zone.
+func (r *Zoned) PartitionList(key []byte) []int {
+	start := Hash(key, r.c.NumPartitions)
+	parts := make([]int, 0, r.n)
+	seenNode := make(map[int]bool, r.n)
+	seenZone := make(map[int]bool, r.requiredZones)
+	// First pass: enforce zone diversity.
+	for i := 0; i < r.c.NumPartitions && len(seenZone) < r.requiredZones && len(parts) < r.n; i++ {
+		p := (start + i) % r.c.NumPartitions
+		owner, err := r.c.OwnerOf(p)
+		if err != nil || seenNode[owner.ID] || seenZone[owner.ZoneID] {
+			continue
+		}
+		seenNode[owner.ID] = true
+		seenZone[owner.ZoneID] = true
+		parts = append(parts, p)
+	}
+	// Second pass: fill remaining replicas on any distinct nodes.
+	for i := 0; i < r.c.NumPartitions && len(parts) < r.n; i++ {
+		p := (start + i) % r.c.NumPartitions
+		owner, err := r.c.OwnerOf(p)
+		if err != nil || seenNode[owner.ID] {
+			continue
+		}
+		seenNode[owner.ID] = true
+		parts = append(parts, p)
+	}
+	return parts
+}
+
+// NodeList returns the replica nodes ordered nearest-zone-first: the client's
+// own zone, then zones by the client zone's proximity list.
+func (r *Zoned) NodeList(key []byte) []*cluster.Node {
+	parts := r.PartitionList(key)
+	nodes := make([]*cluster.Node, 0, len(parts))
+	for _, p := range parts {
+		if n, err := r.c.OwnerOf(p); err == nil {
+			nodes = append(nodes, n)
+		}
+	}
+	rank := r.zoneRank()
+	// Stable sort by zone distance, preserving ring order within a zone.
+	out := make([]*cluster.Node, 0, len(nodes))
+	for dist := 0; dist <= len(r.c.Zones); dist++ {
+		for _, n := range nodes {
+			if rank[n.ZoneID] == dist {
+				out = append(out, n)
+			}
+		}
+	}
+	return out
+}
+
+func (r *Zoned) zoneRank() map[int]int {
+	rank := map[int]int{r.clientZone: 0}
+	z := r.c.ZoneByID(r.clientZone)
+	for i, other := range z.ProximityList {
+		rank[other] = i + 1
+	}
+	// Zones missing from the proximity list go last.
+	last := len(rank)
+	for _, zone := range r.c.Zones {
+		if _, ok := rank[zone.ID]; !ok {
+			rank[zone.ID] = last
+		}
+	}
+	return rank
+}

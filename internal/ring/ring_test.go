@@ -1,0 +1,256 @@
+package ring
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"datainfra/internal/cluster"
+)
+
+func testCluster(t *testing.T, nodes, partitions int) *cluster.Cluster {
+	t.Helper()
+	return cluster.Uniform("test", nodes, partitions, 7000)
+}
+
+func TestHashRange(t *testing.T) {
+	for i := 0; i < 1000; i++ {
+		p := Hash([]byte(fmt.Sprintf("key-%d", i)), 16)
+		if p < 0 || p >= 16 {
+			t.Fatalf("Hash out of range: %d", p)
+		}
+	}
+}
+
+func TestHashDeterministic(t *testing.T) {
+	if Hash([]byte("abc"), 64) != Hash([]byte("abc"), 64) {
+		t.Fatal("Hash not deterministic")
+	}
+}
+
+func TestHashUniform(t *testing.T) {
+	const parts, keys = 8, 16000
+	counts := make([]int, parts)
+	for i := 0; i < keys; i++ {
+		counts[Hash([]byte(fmt.Sprintf("key-%d", i)), parts)]++
+	}
+	want := keys / parts
+	for p, c := range counts {
+		if c < want/2 || c > want*2 {
+			t.Fatalf("partition %d has %d keys, expected near %d — hash badly skewed", p, c, want)
+		}
+	}
+}
+
+func TestConsistentDistinctNodes(t *testing.T) {
+	c := testCluster(t, 4, 32)
+	r, err := NewConsistent(c, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		nodes := r.NodeList([]byte(fmt.Sprintf("key-%d", i)))
+		if len(nodes) != 3 {
+			t.Fatalf("key %d: %d replicas, want 3", i, len(nodes))
+		}
+		seen := map[int]bool{}
+		for _, n := range nodes {
+			if seen[n.ID] {
+				t.Fatalf("key %d: duplicate node %d in replica set", i, n.ID)
+			}
+			seen[n.ID] = true
+		}
+	}
+}
+
+func TestConsistentPrimaryIsHashPartition(t *testing.T) {
+	c := testCluster(t, 4, 32)
+	r, _ := NewConsistent(c, 2)
+	key := []byte("hello")
+	parts := r.PartitionList(key)
+	if parts[0] != Hash(key, 32) {
+		t.Fatalf("first replica partition %d != hash partition %d", parts[0], Hash(key, 32))
+	}
+	if r.Master(key) != Hash(key, 32) {
+		t.Fatalf("Master mismatch")
+	}
+}
+
+func TestConsistentReplicationBounds(t *testing.T) {
+	c := testCluster(t, 2, 8)
+	if _, err := NewConsistent(c, 3); err == nil {
+		t.Fatal("replication > nodes accepted")
+	}
+	if _, err := NewConsistent(c, 0); err == nil {
+		t.Fatal("replication 0 accepted")
+	}
+}
+
+func TestReplicaPartitionsFor(t *testing.T) {
+	c := testCluster(t, 3, 9)
+	r, _ := NewConsistent(c, 2)
+	// Union over all nodes must cover every partition (each primary partition
+	// replicates somewhere).
+	union := map[int]bool{}
+	for id := 0; id < 3; id++ {
+		for p := range r.ReplicaPartitionsFor(id) {
+			union[p] = true
+		}
+	}
+	if len(union) != 9 {
+		t.Fatalf("replica partitions union covers %d/9 partitions", len(union))
+	}
+	// A node's own partitions are always in its replica set.
+	own := r.ReplicaPartitionsFor(0)
+	for _, p := range c.NodeByID(0).Partitions {
+		if !own[p] {
+			t.Fatalf("node 0's own partition %d missing from its replica set", p)
+		}
+	}
+}
+
+func TestZonedSpansZones(t *testing.T) {
+	c := cluster.UniformZoned("zoned", 6, 24, 2, 7100)
+	r, err := NewZoned(c, 3, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		nodes := r.NodeList([]byte(fmt.Sprintf("key-%d", i)))
+		if len(nodes) != 3 {
+			t.Fatalf("key %d: %d replicas, want 3", i, len(nodes))
+		}
+		zones := map[int]bool{}
+		ids := map[int]bool{}
+		for _, n := range nodes {
+			zones[n.ZoneID] = true
+			if ids[n.ID] {
+				t.Fatalf("duplicate node in zoned replica set")
+			}
+			ids[n.ID] = true
+		}
+		if len(zones) < 2 {
+			t.Fatalf("key %d: replicas span %d zones, want >=2", i, len(zones))
+		}
+	}
+}
+
+func TestZonedPrefersLocalZone(t *testing.T) {
+	c := cluster.UniformZoned("zoned", 6, 24, 3, 7100)
+	for zone := 0; zone < 3; zone++ {
+		r, err := NewZoned(c, 3, 3, zone)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 100; i++ {
+			nodes := r.NodeList([]byte(fmt.Sprintf("key-%d", i)))
+			if nodes[0].ZoneID != zone {
+				t.Fatalf("client zone %d: first replica in zone %d", zone, nodes[0].ZoneID)
+			}
+		}
+	}
+}
+
+func TestZonedValidation(t *testing.T) {
+	c := cluster.UniformZoned("zoned", 4, 8, 2, 7100)
+	if _, err := NewZoned(c, 2, 3, 0); err == nil {
+		t.Fatal("requiredZones > zones accepted")
+	}
+	if _, err := NewZoned(c, 2, 1, 9); err == nil {
+		t.Fatal("unknown client zone accepted")
+	}
+}
+
+// Property: replica sets are stable — the same key always routes to the same
+// ordered node list, and every key yields exactly N distinct nodes.
+func TestPropRoutingStableAndComplete(t *testing.T) {
+	c := testCluster(t, 5, 40)
+	r, _ := NewConsistent(c, 3)
+	f := func(key []byte) bool {
+		a, b := r.NodeList(key), r.NodeList(key)
+		if len(a) != 3 || len(b) != 3 {
+			return false
+		}
+		for i := range a {
+			if a[i].ID != b[i].ID {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: reassigning an unrelated partition does not change routing for
+// keys whose replica walk never crosses it (stability under small topology
+// changes is what makes rebalancing proxying tractable).
+func TestPropUnrelatedReassignmentStable(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	base := testCluster(t, 5, 40)
+	strat, _ := NewConsistent(base, 2)
+	for trial := 0; trial < 50; trial++ {
+		key := []byte(fmt.Sprintf("key-%d", r.Intn(10000)))
+		before := strat.PartitionList(key)
+		touched := map[int]bool{}
+		for _, p := range before {
+			touched[p] = true
+		}
+		// pick a partition not in the key's walk range
+		victim := r.Intn(40)
+		if touched[victim] {
+			continue
+		}
+		// also skip partitions between master and last replica (the walk range)
+		inWalk := false
+		for i := 0; i < 40; i++ {
+			p := (before[0] + i) % 40
+			if p == victim {
+				inWalk = true
+			}
+			if p == before[len(before)-1] {
+				break
+			}
+		}
+		if inWalk {
+			continue
+		}
+		clone := base.Clone()
+		owner, _ := clone.OwnerOf(victim)
+		if err := clone.SetOwner(victim, (owner.ID+1)%5); err != nil {
+			t.Fatal(err)
+		}
+		strat2, _ := NewConsistent(clone, 2)
+		after := strat2.PartitionList(key)
+		if len(before) != len(after) {
+			t.Fatalf("replica count changed: %v vs %v", before, after)
+		}
+		for i := range before {
+			if before[i] != after[i] {
+				t.Fatalf("unrelated reassignment changed routing: %v vs %v", before, after)
+			}
+		}
+	}
+}
+
+func BenchmarkPartitionList(b *testing.B) {
+	c := cluster.Uniform("bench", 8, 128, 7000)
+	r, _ := NewConsistent(c, 3)
+	key := []byte("benchmark-key")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = r.PartitionList(key)
+	}
+}
+
+func BenchmarkZonedNodeList(b *testing.B) {
+	c := cluster.UniformZoned("bench", 9, 128, 3, 7000)
+	r, _ := NewZoned(c, 3, 2, 0)
+	key := []byte("benchmark-key")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = r.NodeList(key)
+	}
+}

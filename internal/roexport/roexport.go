@@ -1,0 +1,188 @@
+// Package roexport implements the three-phase data cycle of Figure II.3 that
+// loads offline ("Hadoop") job output into Voldemort's read-only stores:
+//
+//	Build  — partition the job output by destination node, sort each chunk by
+//	         MD5(key), and emit compact index + data files into a shared
+//	         "cluster filesystem" directory (the HDFS substitute);
+//	Pull   — every node fetches its chunk, optionally throttled, into a new
+//	         versioned directory (data files before index files, for
+//	         cache-locality post-swap);
+//	Swap   — the controller coordinates an atomic swap across all nodes;
+//	         versioned directories allow instantaneous rollback.
+package roexport
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"datainfra/internal/cluster"
+	"datainfra/internal/ring"
+	"datainfra/internal/storage"
+)
+
+// Builder is the offline (Hadoop-substitute) side: it consumes the job's
+// key/value output and produces per-node read-only store files.
+type Builder struct {
+	Cluster  *cluster.Cluster
+	Strategy ring.Strategy // decides which nodes replicate each key
+	OutDir   string        // the shared filesystem (HDFS substitute)
+	Store    string
+	Version  int
+}
+
+// chunkDir is where the build phase leaves node n's files.
+func (b *Builder) chunkDir(node int) string {
+	return filepath.Join(b.OutDir, b.Store, fmt.Sprintf("version-%d", b.Version), fmt.Sprintf("node-%d", node))
+}
+
+// Build partitions kvs by destination node (a key goes to every replica in
+// its preference list), sorts by MD5 digest and writes index+data files —
+// leveraging the offline system's ability to sort, exactly as the reducers
+// do in the paper.
+func (b *Builder) Build(kvs []storage.KV) error {
+	byNode := make(map[int][]storage.KV)
+	for _, kv := range kvs {
+		for _, n := range b.Strategy.NodeList(kv.Key) {
+			byNode[n.ID] = append(byNode[n.ID], kv)
+		}
+	}
+	for _, node := range b.Cluster.Nodes {
+		// Every node gets a (possibly empty) chunk so pulls are uniform.
+		if err := storage.WriteReadOnlyFiles(b.chunkDir(node.ID), byNode[node.ID]); err != nil {
+			return fmt.Errorf("roexport: build node %d: %w", node.ID, err)
+		}
+	}
+	return nil
+}
+
+// Throttler caps pull bandwidth in bytes/second (0 = unthrottled) — the
+// "throttling the pulls" optimization of §II.C.
+type Throttler struct {
+	BytesPerSec int64
+	spent       int64
+	windowStart time.Time
+}
+
+// Limit blocks as needed after transferring n bytes.
+func (t *Throttler) Limit(n int64) {
+	if t.BytesPerSec <= 0 {
+		return
+	}
+	if t.windowStart.IsZero() {
+		t.windowStart = time.Now()
+	}
+	t.spent += n
+	expected := time.Duration(float64(t.spent) / float64(t.BytesPerSec) * float64(time.Second))
+	elapsed := time.Since(t.windowStart)
+	if expected > elapsed {
+		time.Sleep(expected - elapsed)
+	}
+}
+
+// Puller is the per-node fetch: it copies the node's chunk from the shared
+// directory into the node's local store directory as version-N.
+type Puller struct {
+	Throttle *Throttler // optional
+}
+
+// Pull copies srcDir into destDir. Data files are pulled before index files
+// so the index lands last (cache-locality post-swap, §II.C).
+func (p *Puller) Pull(srcDir, destDir string) (int64, error) {
+	if err := os.MkdirAll(destDir, 0o755); err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, name := range []string{"data", "index"} {
+		n, err := p.copyFile(filepath.Join(srcDir, name), filepath.Join(destDir, name))
+		if err != nil {
+			return total, fmt.Errorf("roexport: pulling %s: %w", name, err)
+		}
+		total += n
+	}
+	return total, nil
+}
+
+func (p *Puller) copyFile(src, dst string) (int64, error) {
+	in, err := os.Open(src)
+	if err != nil {
+		return 0, err
+	}
+	defer in.Close()
+	out, err := os.Create(dst)
+	if err != nil {
+		return 0, err
+	}
+	defer out.Close()
+	var total int64
+	buf := make([]byte, 64<<10)
+	for {
+		n, err := in.Read(buf)
+		if n > 0 {
+			if _, werr := out.Write(buf[:n]); werr != nil {
+				return total, werr
+			}
+			total += int64(n)
+			if p.Throttle != nil {
+				p.Throttle.Limit(int64(n))
+			}
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, out.Sync()
+}
+
+// NodeTarget is one node's pull destination plus its swap hook.
+type NodeTarget struct {
+	NodeID   int
+	StoreDir string                  // local store dir holding version-N subdirs
+	Swap     func(version int) error // atomically serve version-N
+	Rollback func() error            // revert to the previous version
+}
+
+// Controller coordinates the full Build → Pull → Swap cycle across the
+// cluster (§II.B: "the complete data pipeline ... is co-ordinated by a
+// controller").
+type Controller struct {
+	Builder *Builder
+	Puller  *Puller
+	Targets []NodeTarget
+}
+
+// Run executes the cycle for kvs. The swap is all-or-nothing: if any node
+// fails to pull, no node swaps; if a swap fails midway, the already-swapped
+// nodes are rolled back.
+func (c *Controller) Run(kvs []storage.KV) error {
+	// Build phase (offline).
+	if err := c.Builder.Build(kvs); err != nil {
+		return err
+	}
+	// Pull phase: every node fetches its chunk into a fresh versioned dir.
+	for _, tgt := range c.Targets {
+		src := c.Builder.chunkDir(tgt.NodeID)
+		dst := filepath.Join(tgt.StoreDir, fmt.Sprintf("version-%d", c.Builder.Version))
+		if _, err := c.Puller.Pull(src, dst); err != nil {
+			return fmt.Errorf("roexport: pull to node %d: %w", tgt.NodeID, err)
+		}
+	}
+	// Swap phase: atomic across the cluster, with rollback on failure.
+	swapped := make([]NodeTarget, 0, len(c.Targets))
+	for _, tgt := range c.Targets {
+		if err := tgt.Swap(c.Builder.Version); err != nil {
+			for _, done := range swapped {
+				_ = done.Rollback()
+			}
+			return fmt.Errorf("roexport: swap on node %d failed (rolled back %d nodes): %w",
+				tgt.NodeID, len(swapped), err)
+		}
+		swapped = append(swapped, tgt)
+	}
+	return nil
+}

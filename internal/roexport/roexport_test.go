@@ -1,0 +1,217 @@
+package roexport
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"datainfra/internal/cluster"
+	"datainfra/internal/ring"
+	"datainfra/internal/storage"
+)
+
+// rig builds a 3-node cluster with read-only engines and a controller.
+func rig(t *testing.T, version int, throttle *Throttler) (*Controller, []*storage.ReadOnlyEngine) {
+	t.Helper()
+	clus := cluster.Uniform("ro", 3, 12, 8000)
+	strategy, err := ring.NewConsistent(clus, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outDir := t.TempDir()
+	engines := make([]*storage.ReadOnlyEngine, 3)
+	targets := make([]NodeTarget, 3)
+	for i := 0; i < 3; i++ {
+		storeDir := filepath.Join(t.TempDir(), "store")
+		e, err := storage.OpenReadOnly("pymk", storeDir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { e.Close() })
+		engines[i] = e
+		targets[i] = NodeTarget{
+			NodeID:   i,
+			StoreDir: storeDir,
+			Swap:     e.Swap,
+			Rollback: e.Rollback,
+		}
+	}
+	ctl := &Controller{
+		Builder: &Builder{Cluster: clus, Strategy: strategy, OutDir: outDir, Store: "pymk", Version: version},
+		Puller:  &Puller{Throttle: throttle},
+		Targets: targets,
+	}
+	return ctl, engines
+}
+
+func kvs(n int) []storage.KV {
+	out := make([]storage.KV, n)
+	for i := range out {
+		out[i] = storage.KV{
+			Key:   []byte(fmt.Sprintf("member-%d", i)),
+			Value: []byte(fmt.Sprintf("recs:%d,%d,%d", i+1, i+2, i+3)),
+		}
+	}
+	return out
+}
+
+func TestFullCycleServesEveryKeyWithReplication(t *testing.T) {
+	ctl, engines := rig(t, 1, nil)
+	data := kvs(500)
+	if err := ctl.Run(data); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range engines {
+		if e.Version() != 1 {
+			t.Fatalf("engine serving version %d", e.Version())
+		}
+	}
+	// every key must be found on exactly its N=2 replica nodes
+	for _, kv := range data {
+		found := 0
+		for _, e := range engines {
+			vs, err := e.Get(kv.Key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(vs) == 1 {
+				if string(vs[0].Value) != string(kv.Value) {
+					t.Fatalf("key %s wrong value", kv.Key)
+				}
+				found++
+			}
+		}
+		if found != 2 {
+			t.Fatalf("key %s on %d nodes, want 2", kv.Key, found)
+		}
+	}
+}
+
+func TestNewVersionSwapsAndRollsBack(t *testing.T) {
+	ctl1, engines := rig(t, 1, nil)
+	if err := ctl1.Run(kvs(50)); err != nil {
+		t.Fatal(err)
+	}
+	// second deployment with different data, same engines
+	ctl2 := &Controller{
+		Builder: &Builder{
+			Cluster: ctl1.Builder.Cluster, Strategy: ctl1.Builder.Strategy,
+			OutDir: t.TempDir(), Store: "pymk", Version: 2,
+		},
+		Puller:  &Puller{},
+		Targets: ctl1.Targets,
+	}
+	data2 := []storage.KV{{Key: []byte("member-0"), Value: []byte("NEW")}}
+	if err := ctl2.Run(data2); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range engines {
+		if e.Version() != 2 {
+			t.Fatalf("engine at version %d after second deploy", e.Version())
+		}
+	}
+	// the new data is served; the old key set is gone
+	hits := 0
+	for _, e := range engines {
+		if vs, _ := e.Get([]byte("member-0")); len(vs) == 1 && string(vs[0].Value) == "NEW" {
+			hits++
+		}
+		if vs, _ := e.Get([]byte("member-10")); len(vs) != 0 {
+			t.Fatal("old version data leaked into new version")
+		}
+	}
+	if hits != 2 {
+		t.Fatalf("new data on %d nodes", hits)
+	}
+	// instantaneous rollback on every node restores version 1
+	for _, e := range engines {
+		if err := e.Rollback(); err != nil {
+			t.Fatal(err)
+		}
+		if e.Version() != 1 {
+			t.Fatalf("rollback landed on version %d", e.Version())
+		}
+	}
+	found := 0
+	for _, e := range engines {
+		if vs, _ := e.Get([]byte("member-10")); len(vs) == 1 {
+			found++
+		}
+	}
+	if found != 2 {
+		t.Fatalf("rolled-back data on %d nodes", found)
+	}
+}
+
+func TestSwapFailureRollsBackCompletedNodes(t *testing.T) {
+	ctl, engines := rig(t, 1, nil)
+	if err := ctl.Run(kvs(20)); err != nil {
+		t.Fatal(err)
+	}
+	// version 2: sabotage the last node's swap
+	boom := errors.New("boom")
+	ctl2 := &Controller{
+		Builder: &Builder{
+			Cluster: ctl.Builder.Cluster, Strategy: ctl.Builder.Strategy,
+			OutDir: t.TempDir(), Store: "pymk", Version: 2,
+		},
+		Puller: &Puller{},
+	}
+	ctl2.Targets = append([]NodeTarget{}, ctl.Targets...)
+	ctl2.Targets[2].Swap = func(int) error { return boom }
+	err := ctl2.Run(kvs(5))
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	// nodes 0 and 1 were swapped then rolled back; all should serve v1
+	for i, e := range engines {
+		if e.Version() != 1 {
+			t.Fatalf("node %d serving version %d after failed swap", i, e.Version())
+		}
+	}
+}
+
+func TestThrottledPullIsSlower(t *testing.T) {
+	// E17 ablation: throttling caps the pull rate.
+	data := kvs(2000) // ~50 KB of data files
+
+	ctlFast, _ := rig(t, 1, nil)
+	start := time.Now()
+	if err := ctlFast.Run(data); err != nil {
+		t.Fatal(err)
+	}
+	fast := time.Since(start)
+
+	ctlSlow, _ := rig(t, 1, &Throttler{BytesPerSec: 400 << 10})
+	start = time.Now()
+	if err := ctlSlow.Run(data); err != nil {
+		t.Fatal(err)
+	}
+	slow := time.Since(start)
+	if slow <= fast {
+		t.Fatalf("throttled pull (%v) not slower than unthrottled (%v)", slow, fast)
+	}
+}
+
+func TestBuildEmptyChunksForIdleNodes(t *testing.T) {
+	// a single hot key replicates to 2 of 3 nodes; the third still gets an
+	// openable empty chunk
+	ctl, engines := rig(t, 1, nil)
+	if err := ctl.Run([]storage.KV{{Key: []byte("hot"), Value: []byte("v")}}); err != nil {
+		t.Fatal(err)
+	}
+	nonEmpty := 0
+	for _, e := range engines {
+		if e.Len() > 0 {
+			nonEmpty++
+		}
+		if e.Version() != 1 {
+			t.Fatalf("idle node failed to swap")
+		}
+	}
+	if nonEmpty != 2 {
+		t.Fatalf("%d nodes hold the key, want 2", nonEmpty)
+	}
+}

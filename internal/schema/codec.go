@@ -1,0 +1,328 @@
+package schema
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Binary encoding, Avro-shaped: longs are zig-zag varints; strings/bytes are
+// length-prefixed; optionals carry a 1-byte presence marker; arrays and maps
+// a varint count; records encode fields in schema order. No field names or
+// types on the wire — the schema (and its registry version) carries them,
+// which is the compactness Databus relies on.
+
+// ErrTruncated is returned for short input.
+var ErrTruncated = errors.New("schema: truncated input")
+
+type encoder struct{ b []byte }
+
+func (e *encoder) long(v int64) {
+	e.b = binary.AppendVarint(e.b, v)
+}
+func (e *encoder) bytes(p []byte) {
+	e.long(int64(len(p)))
+	e.b = append(e.b, p...)
+}
+func (e *encoder) double(f float64) {
+	e.b = binary.LittleEndian.AppendUint64(e.b, math.Float64bits(f))
+}
+func (e *encoder) bool(v bool) {
+	if v {
+		e.b = append(e.b, 1)
+	} else {
+		e.b = append(e.b, 0)
+	}
+}
+
+type decoder struct{ b []byte }
+
+func (d *decoder) long() (int64, error) {
+	v, n := binary.Varint(d.b)
+	if n <= 0 {
+		return 0, ErrTruncated
+	}
+	d.b = d.b[n:]
+	return v, nil
+}
+func (d *decoder) bytes() ([]byte, error) {
+	n, err := d.long()
+	if err != nil {
+		return nil, err
+	}
+	if n < 0 || int64(len(d.b)) < n {
+		return nil, ErrTruncated
+	}
+	v := d.b[:n]
+	d.b = d.b[n:]
+	return v, nil
+}
+func (d *decoder) double() (float64, error) {
+	if len(d.b) < 8 {
+		return 0, ErrTruncated
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.b))
+	d.b = d.b[8:]
+	return v, nil
+}
+func (d *decoder) bool() (bool, error) {
+	if len(d.b) < 1 {
+		return false, ErrTruncated
+	}
+	v := d.b[0] != 0
+	d.b = d.b[1:]
+	return v, nil
+}
+
+// Marshal encodes a record value (map[string]any) under r. Missing fields
+// take their defaults; unknown fields are rejected.
+func Marshal(r *Record, value map[string]any) ([]byte, error) {
+	for k := range value {
+		if _, ok := r.FieldByName(k); !ok {
+			return nil, fmt.Errorf("schema: record %q has no field %q", r.Name, k)
+		}
+	}
+	var e encoder
+	if err := encodeRecord(&e, r, value); err != nil {
+		return nil, err
+	}
+	return e.b, nil
+}
+
+func encodeRecord(e *encoder, r *Record, value map[string]any) error {
+	for _, f := range r.Fields {
+		v, present := value[f.Name]
+		if !present {
+			var err error
+			v, err = f.defaultValue()
+			if err != nil {
+				return err
+			}
+		}
+		if err := encodeField(e, f, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func encodeField(e *encoder, f *Field, v any) error {
+	if f.Optional {
+		if v == nil {
+			e.bool(false)
+			return nil
+		}
+		e.bool(true)
+	} else if v == nil && f.Type != TypeNull {
+		return fmt.Errorf("schema: nil for non-optional field %q", f.Name)
+	}
+	cv, err := coerceJSON(f, v)
+	if err != nil && f.Type != TypeNull {
+		return err
+	}
+	switch f.Type {
+	case TypeNull:
+		return nil
+	case TypeBoolean:
+		e.bool(cv.(bool))
+	case TypeInt, TypeLong:
+		e.long(cv.(int64))
+	case TypeFloat, TypeDouble:
+		e.double(cv.(float64))
+	case TypeString:
+		e.bytes([]byte(cv.(string)))
+	case TypeBytes:
+		e.bytes(cv.([]byte))
+	case TypeArray:
+		arr := cv.([]any)
+		e.long(int64(len(arr)))
+		for _, item := range arr {
+			if err := encodeField(e, f.Items, item); err != nil {
+				return err
+			}
+		}
+	case TypeMap:
+		m := cv.(map[string]any)
+		keys := make([]string, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys) // deterministic wire form
+		e.long(int64(len(m)))
+		for _, k := range keys {
+			e.bytes([]byte(k))
+			if err := encodeField(e, f.Items, m[k]); err != nil {
+				return err
+			}
+		}
+	case TypeRecord:
+		return encodeRecord(e, f.Record, cv.(map[string]any))
+	default:
+		return fmt.Errorf("schema: cannot encode type %q", f.Type)
+	}
+	return nil
+}
+
+// Unmarshal decodes data written under r back into a map.
+func Unmarshal(r *Record, data []byte) (map[string]any, error) {
+	d := decoder{b: data}
+	v, err := decodeRecord(&d, r)
+	if err != nil {
+		return nil, err
+	}
+	if len(d.b) != 0 {
+		return nil, fmt.Errorf("schema: %d trailing bytes", len(d.b))
+	}
+	return v, nil
+}
+
+func decodeRecord(d *decoder, r *Record) (map[string]any, error) {
+	out := make(map[string]any, len(r.Fields))
+	for _, f := range r.Fields {
+		v, err := decodeField(d, f)
+		if err != nil {
+			return nil, fmt.Errorf("field %q: %w", f.Name, err)
+		}
+		out[f.Name] = v
+	}
+	return out, nil
+}
+
+func decodeField(d *decoder, f *Field) (any, error) {
+	if f.Optional {
+		present, err := d.bool()
+		if err != nil {
+			return nil, err
+		}
+		if !present {
+			return nil, nil
+		}
+	}
+	switch f.Type {
+	case TypeNull:
+		return nil, nil
+	case TypeBoolean:
+		return d.bool()
+	case TypeInt, TypeLong:
+		return d.long()
+	case TypeFloat, TypeDouble:
+		return d.double()
+	case TypeString:
+		b, err := d.bytes()
+		return string(b), err
+	case TypeBytes:
+		b, err := d.bytes()
+		if err != nil {
+			return nil, err
+		}
+		out := make([]byte, len(b))
+		copy(out, b)
+		return out, nil
+	case TypeArray:
+		n, err := d.long()
+		if err != nil {
+			return nil, err
+		}
+		if n < 0 || n > int64(len(d.b))+1 {
+			return nil, ErrTruncated
+		}
+		out := make([]any, 0, n)
+		for i := int64(0); i < n; i++ {
+			v, err := decodeField(d, f.Items)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		}
+		return out, nil
+	case TypeMap:
+		n, err := d.long()
+		if err != nil {
+			return nil, err
+		}
+		if n < 0 || n > int64(len(d.b))+1 {
+			return nil, ErrTruncated
+		}
+		out := make(map[string]any, n)
+		for i := int64(0); i < n; i++ {
+			k, err := d.bytes()
+			if err != nil {
+				return nil, err
+			}
+			v, err := decodeField(d, f.Items)
+			if err != nil {
+				return nil, err
+			}
+			out[string(k)] = v
+		}
+		return out, nil
+	case TypeRecord:
+		return decodeRecord(d, f.Record)
+	}
+	return nil, fmt.Errorf("schema: cannot decode type %q", f.Type)
+}
+
+// skipField advances past a field without materializing it (used by
+// resolution when the reader dropped a writer field).
+func skipField(d *decoder, f *Field) error {
+	if f.Optional {
+		present, err := d.bool()
+		if err != nil {
+			return err
+		}
+		if !present {
+			return nil
+		}
+	}
+	switch f.Type {
+	case TypeNull:
+		return nil
+	case TypeBoolean:
+		_, err := d.bool()
+		return err
+	case TypeInt, TypeLong:
+		_, err := d.long()
+		return err
+	case TypeFloat, TypeDouble:
+		_, err := d.double()
+		return err
+	case TypeString, TypeBytes:
+		_, err := d.bytes()
+		return err
+	case TypeArray:
+		n, err := d.long()
+		if err != nil {
+			return err
+		}
+		for i := int64(0); i < n; i++ {
+			if err := skipField(d, f.Items); err != nil {
+				return err
+			}
+		}
+		return nil
+	case TypeMap:
+		n, err := d.long()
+		if err != nil {
+			return err
+		}
+		for i := int64(0); i < n; i++ {
+			if _, err := d.bytes(); err != nil {
+				return err
+			}
+			if err := skipField(d, f.Items); err != nil {
+				return err
+			}
+		}
+		return nil
+	case TypeRecord:
+		for _, sub := range f.Record.Fields {
+			if err := skipField(d, sub); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("schema: cannot skip type %q", f.Type)
+}

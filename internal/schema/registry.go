@@ -1,0 +1,88 @@
+package schema
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Registry stores versioned schemas per subject (an Espresso table, a
+// Databus source). Registration enforces that every new version can read
+// data written under all prior versions — the compatibility rule that makes
+// document schemas "freely evolvable" (§IV.A) without rewriting stored data.
+type Registry struct {
+	mu       sync.RWMutex
+	subjects map[string][]*Record // version v at index v-1
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{subjects: make(map[string][]*Record)}
+}
+
+// Register adds a new schema version for subject, returning the assigned
+// version (1-based). The new schema must be able to read every prior
+// version's data.
+func (r *Registry) Register(subject string, rec *Record) (int, error) {
+	if err := rec.Validate(); err != nil {
+		return 0, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for v, prior := range r.subjects[subject] {
+		if err := CanRead(prior, rec); err != nil {
+			return 0, fmt.Errorf("schema: subject %q: new schema incompatible with v%d: %w", subject, v+1, err)
+		}
+	}
+	r.subjects[subject] = append(r.subjects[subject], rec)
+	return len(r.subjects[subject]), nil
+}
+
+// Get returns version v of subject's schema.
+func (r *Registry) Get(subject string, version int) (*Record, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	versions := r.subjects[subject]
+	if version < 1 || version > len(versions) {
+		return nil, fmt.Errorf("schema: subject %q has no version %d (have %d)", subject, version, len(versions))
+	}
+	return versions[version-1], nil
+}
+
+// Latest returns the newest schema and its version for subject.
+func (r *Registry) Latest(subject string) (*Record, int, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	versions := r.subjects[subject]
+	if len(versions) == 0 {
+		return nil, 0, fmt.Errorf("schema: subject %q not registered", subject)
+	}
+	return versions[len(versions)-1], len(versions), nil
+}
+
+// Subjects lists the registered subjects.
+func (r *Registry) Subjects() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.subjects))
+	for s := range r.subjects {
+		out = append(out, s)
+	}
+	return out
+}
+
+// DecodeLatest decodes data written under writerVersion of subject into the
+// latest schema's shape — the standard consumer path for evolved documents.
+func (r *Registry) DecodeLatest(subject string, writerVersion int, data []byte) (map[string]any, error) {
+	writer, err := r.Get(subject, writerVersion)
+	if err != nil {
+		return nil, err
+	}
+	reader, latest, err := r.Latest(subject)
+	if err != nil {
+		return nil, err
+	}
+	if latest == writerVersion {
+		return Unmarshal(writer, data)
+	}
+	return Resolve(writer, reader, data)
+}

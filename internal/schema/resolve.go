@@ -1,0 +1,169 @@
+package schema
+
+import "fmt"
+
+// Resolution implements the evolution rules Espresso relies on ("new document
+// schemas must be compatible according to the Avro schema resolution rules",
+// §IV.A): data written under the writer schema is decoded through the lens of
+// the reader schema. Fields are matched by name; fields the reader dropped
+// are skipped; fields the reader added must carry defaults (or be optional);
+// int widens to long, and int/long widen to double.
+
+// CanRead reports whether a reader schema can decode data written under
+// writer — the registry's compatibility check for schema evolution.
+func CanRead(writer, reader *Record) error {
+	for _, rf := range reader.Fields {
+		wf, ok := writer.FieldByName(rf.Name)
+		if !ok {
+			if rf.Default == nil && !rf.Optional {
+				return fmt.Errorf("schema: reader field %q has no writer field and no default", rf.Name)
+			}
+			continue
+		}
+		if err := compatible(wf, rf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func compatible(wf, rf *Field) error {
+	if wf.Type == rf.Type {
+		switch wf.Type {
+		case TypeArray, TypeMap:
+			return compatible(wf.Items, rf.Items)
+		case TypeRecord:
+			return CanRead(wf.Record, rf.Record)
+		}
+		return nil
+	}
+	if promotable(wf.Type, rf.Type) {
+		return nil
+	}
+	return fmt.Errorf("schema: field %q: cannot read %s as %s", rf.Name, wf.Type, rf.Type)
+}
+
+func promotable(from, to Type) bool {
+	switch from {
+	case TypeInt:
+		return to == TypeLong || to == TypeFloat || to == TypeDouble
+	case TypeLong:
+		return to == TypeFloat || to == TypeDouble
+	case TypeFloat:
+		return to == TypeDouble
+	}
+	return false
+}
+
+// Resolve decodes data written under writer into the reader's shape.
+func Resolve(writer, reader *Record, data []byte) (map[string]any, error) {
+	if err := CanRead(writer, reader); err != nil {
+		return nil, err
+	}
+	d := decoder{b: data}
+	out, err := resolveRecord(&d, writer, reader)
+	if err != nil {
+		return nil, err
+	}
+	if len(d.b) != 0 {
+		return nil, fmt.Errorf("schema: %d trailing bytes after resolve", len(d.b))
+	}
+	return out, nil
+}
+
+func resolveRecord(d *decoder, writer, reader *Record) (map[string]any, error) {
+	out := make(map[string]any, len(reader.Fields))
+	// Walk writer fields in wire order: decode the ones the reader wants,
+	// skip the rest.
+	for _, wf := range writer.Fields {
+		rf, wanted := reader.FieldByName(wf.Name)
+		if !wanted {
+			if err := skipField(d, wf); err != nil {
+				return nil, fmt.Errorf("skipping %q: %w", wf.Name, err)
+			}
+			continue
+		}
+		v, err := resolveField(d, wf, rf)
+		if err != nil {
+			return nil, fmt.Errorf("field %q: %w", wf.Name, err)
+		}
+		out[rf.Name] = v
+	}
+	// Reader-only fields take defaults.
+	for _, rf := range reader.Fields {
+		if _, ok := out[rf.Name]; ok {
+			continue
+		}
+		v, err := rf.defaultValue()
+		if err != nil {
+			return nil, err
+		}
+		out[rf.Name] = v
+	}
+	return out, nil
+}
+
+func resolveField(d *decoder, wf, rf *Field) (any, error) {
+	if wf.Type == rf.Type && wf.Optional == rf.Optional {
+		switch wf.Type {
+		case TypeRecord:
+			if wf.Optional {
+				present, err := d.bool()
+				if err != nil {
+					return nil, err
+				}
+				if !present {
+					return nil, nil
+				}
+			}
+			return resolveRecord(d, wf.Record, rf.Record)
+		case TypeArray:
+			return resolveArray(d, wf, rf)
+		default:
+			return decodeField(d, wf)
+		}
+	}
+	// Decode under the writer's shape, then promote.
+	v, err := decodeField(d, wf)
+	if err != nil {
+		return nil, err
+	}
+	if v == nil {
+		if rf.Optional {
+			return nil, nil
+		}
+		return rf.defaultValue()
+	}
+	switch rf.Type {
+	case TypeLong, TypeInt:
+		if n, ok := v.(int64); ok {
+			return n, nil
+		}
+	case TypeFloat, TypeDouble:
+		switch n := v.(type) {
+		case int64:
+			return float64(n), nil
+		case float64:
+			return n, nil
+		}
+	default:
+		return v, nil
+	}
+	return nil, fmt.Errorf("cannot promote %T to %s", v, rf.Type)
+}
+
+func resolveArray(d *decoder, wf, rf *Field) (any, error) {
+	n, err := d.long()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]any, 0, n)
+	for i := int64(0); i < n; i++ {
+		v, err := resolveField(d, wf.Items, rf.Items)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,170 @@
+package schema
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestResolveSkipsEveryFieldKind(t *testing.T) {
+	// Writer has one field of every kind; reader keeps only the sentinel —
+	// exercising skipField across the full type zoo.
+	writer := MustParse(`{"name":"W","fields":[
+		{"name":"n","type":"null"},
+		{"name":"b","type":"boolean"},
+		{"name":"i","type":"int"},
+		{"name":"l","type":"long"},
+		{"name":"f","type":"float"},
+		{"name":"d","type":"double"},
+		{"name":"s","type":"string"},
+		{"name":"by","type":"bytes"},
+		{"name":"arr","type":"array","items":{"name":"e","type":"string"}},
+		{"name":"m","type":"map","items":{"name":"v","type":"long"}},
+		{"name":"rec","type":"record","record":{"name":"Inner","fields":[
+			{"name":"x","type":"long"},{"name":"opt","type":"string","optional":true}]}},
+		{"name":"optSkip","type":"double","optional":true},
+		{"name":"keep","type":"string"}
+	]}`)
+	reader := MustParse(`{"name":"W","fields":[{"name":"keep","type":"string"}]}`)
+	value := map[string]any{
+		"n": nil, "b": true, "i": int64(1), "l": int64(2), "f": 1.5, "d": 2.5,
+		"s": "str", "by": []byte{9}, "arr": []any{"a", "b"},
+		"m":       map[string]any{"k": int64(7)},
+		"rec":     map[string]any{"x": int64(3), "opt": "present"},
+		"optSkip": 9.0, "keep": "survivor",
+	}
+	data, err := Marshal(writer, value)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Resolve(writer, reader, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, map[string]any{"keep": "survivor"}) {
+		t.Fatalf("resolved = %#v", got)
+	}
+	// and the optional-absent variant of every optional field
+	value["optSkip"] = nil
+	value["rec"] = map[string]any{"x": int64(3), "opt": nil}
+	data, _ = Marshal(writer, value)
+	if _, err := Resolve(writer, reader, data); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResolveNestedRecordFieldChanges(t *testing.T) {
+	v1 := MustParse(`{"name":"O","fields":[
+		{"name":"inner","type":"record","record":{"name":"I","fields":[
+			{"name":"a","type":"int"},{"name":"drop","type":"string"}]}}
+	]}`)
+	v2 := MustParse(`{"name":"O","fields":[
+		{"name":"inner","type":"record","record":{"name":"I","fields":[
+			{"name":"a","type":"long"},
+			{"name":"added","type":"string","default":"dflt"}]}}
+	]}`)
+	data, err := Marshal(v1, map[string]any{"inner": map[string]any{"a": int64(5), "drop": "bye"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Resolve(v1, v2, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := got["inner"].(map[string]any)
+	if inner["a"] != int64(5) || inner["added"] != "dflt" {
+		t.Fatalf("inner = %#v", inner)
+	}
+	if _, leaked := inner["drop"]; leaked {
+		t.Fatal("dropped nested field leaked")
+	}
+}
+
+func TestResolveArrayElementPromotion(t *testing.T) {
+	v1 := MustParse(`{"name":"A","fields":[{"name":"xs","type":"array","items":{"name":"e","type":"int"}}]}`)
+	v2 := MustParse(`{"name":"A","fields":[{"name":"xs","type":"array","items":{"name":"e","type":"double"}}]}`)
+	data, _ := Marshal(v1, map[string]any{"xs": []any{int64(1), int64(2), int64(3)}})
+	got, err := Resolve(v1, v2, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []any{1.0, 2.0, 3.0}
+	if !reflect.DeepEqual(got["xs"], want) {
+		t.Fatalf("xs = %#v", got["xs"])
+	}
+}
+
+func TestResolveOptionalityChange(t *testing.T) {
+	// required -> optional is readable
+	v1 := MustParse(`{"name":"P","fields":[{"name":"s","type":"string"}]}`)
+	v2 := MustParse(`{"name":"P","fields":[{"name":"s","type":"string","optional":true}]}`)
+	data, _ := Marshal(v1, map[string]any{"s": "val"})
+	got, err := Resolve(v1, v2, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["s"] != "val" {
+		t.Fatalf("s = %#v", got["s"])
+	}
+	// optional-written-as-nil read by a reader with a default
+	v3 := MustParse(`{"name":"P","fields":[{"name":"s","type":"string","optional":true}]}`)
+	v4 := MustParse(`{"name":"P","fields":[{"name":"s","type":"string","default":"fallback"}]}`)
+	data, _ = Marshal(v3, map[string]any{"s": nil})
+	got, err = Resolve(v3, v4, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["s"] != "fallback" {
+		t.Fatalf("s = %#v", got["s"])
+	}
+}
+
+func TestZeroValuesForAllKinds(t *testing.T) {
+	r := MustParse(`{"name":"Z","fields":[
+		{"name":"b","type":"boolean"},
+		{"name":"l","type":"long"},
+		{"name":"d","type":"double"},
+		{"name":"s","type":"string"},
+		{"name":"by","type":"bytes"},
+		{"name":"arr","type":"array","items":{"name":"e","type":"string"}},
+		{"name":"m","type":"map","items":{"name":"v","type":"long"}},
+		{"name":"rec","type":"record","record":{"name":"I","fields":[{"name":"x","type":"long"}]}}
+	]}`)
+	data, err := Marshal(r, map[string]any{}) // everything defaults to zero
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(r, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["b"] != false || got["l"] != int64(0) || got["d"] != 0.0 || got["s"] != "" {
+		t.Fatalf("scalars = %#v", got)
+	}
+	if len(got["arr"].([]any)) != 0 || len(got["m"].(map[string]any)) != 0 {
+		t.Fatalf("composites = %#v", got)
+	}
+	if got["rec"].(map[string]any)["x"] != int64(0) {
+		t.Fatalf("rec = %#v", got["rec"])
+	}
+}
+
+func TestSchemaJSONRoundTrip(t *testing.T) {
+	r := MustParse(songSchema)
+	again, err := Parse(r.JSON())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again.Fields) != len(r.Fields) || again.Name != r.Name {
+		t.Fatalf("JSON round trip lost structure")
+	}
+}
+
+func TestRegistrySubjects(t *testing.T) {
+	reg := NewRegistry()
+	reg.Register("a", MustParse(`{"name":"A","fields":[]}`))
+	reg.Register("b", MustParse(`{"name":"B","fields":[]}`))
+	subs := reg.Subjects()
+	if len(subs) != 2 {
+		t.Fatalf("Subjects = %v", subs)
+	}
+}

@@ -1,0 +1,288 @@
+// Package schema is the Avro substitute (§III.C): JSON-declared record
+// schemas, a compact zig-zag varint binary encoding that needs no generated
+// code, writer/reader schema resolution for compatible evolution, and a
+// versioned registry. Databus serializes change events with it; Espresso
+// documents are stored as schema-versioned binary blobs (§IV.A).
+package schema
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Type enumerates field types.
+type Type string
+
+// Supported types.
+const (
+	TypeNull    Type = "null"
+	TypeBoolean Type = "boolean"
+	TypeInt     Type = "int"
+	TypeLong    Type = "long"
+	TypeFloat   Type = "float"
+	TypeDouble  Type = "double"
+	TypeString  Type = "string"
+	TypeBytes   Type = "bytes"
+	TypeArray   Type = "array"
+	TypeMap     Type = "map"
+	TypeRecord  Type = "record"
+)
+
+// IndexKind is the Espresso indexing annotation on a field (§IV.A "fields
+// within the document schema may be annotated with indexing constraints").
+type IndexKind string
+
+// Index annotations.
+const (
+	IndexNone  IndexKind = ""
+	IndexExact IndexKind = "exact" // equality lookups
+	IndexText  IndexKind = "text"  // tokenized free-text search
+)
+
+// Field is one record field.
+type Field struct {
+	Name     string          `json:"name"`
+	Type     Type            `json:"type"`
+	Items    *Field          `json:"items,omitempty"`  // array element / map value type
+	Record   *Record         `json:"record,omitempty"` // nested record
+	Optional bool            `json:"optional,omitempty"`
+	Default  json.RawMessage `json:"default,omitempty"`
+	Index    IndexKind       `json:"index,omitempty"`
+}
+
+// Record is a named record schema.
+type Record struct {
+	Name   string   `json:"name"`
+	Fields []*Field `json:"fields"`
+}
+
+// Parse decodes and validates a record schema from JSON.
+func Parse(data []byte) (*Record, error) {
+	var r Record
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("schema: %w", err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// MustParse panics on error; for package-level schema constants.
+func MustParse(data string) *Record {
+	r, err := Parse([]byte(data))
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Validate checks structural invariants.
+func (r *Record) Validate() error {
+	if r.Name == "" {
+		return fmt.Errorf("schema: record without name")
+	}
+	seen := map[string]bool{}
+	for _, f := range r.Fields {
+		if f.Name == "" {
+			return fmt.Errorf("schema: record %q has unnamed field", r.Name)
+		}
+		if seen[f.Name] {
+			return fmt.Errorf("schema: record %q has duplicate field %q", r.Name, f.Name)
+		}
+		seen[f.Name] = true
+		if err := f.validate(r.Name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *Field) validate(rec string) error {
+	switch f.Type {
+	case TypeNull, TypeBoolean, TypeInt, TypeLong, TypeFloat, TypeDouble, TypeString, TypeBytes:
+		return nil
+	case TypeArray, TypeMap:
+		if f.Items == nil {
+			return fmt.Errorf("schema: %s.%s: %s without items", rec, f.Name, f.Type)
+		}
+		return f.Items.validate(rec)
+	case TypeRecord:
+		if f.Record == nil {
+			return fmt.Errorf("schema: %s.%s: record type without record definition", rec, f.Name)
+		}
+		return f.Record.Validate()
+	default:
+		return fmt.Errorf("schema: %s.%s: unknown type %q", rec, f.Name, f.Type)
+	}
+}
+
+// FieldByName returns the field with the given name.
+func (r *Record) FieldByName(name string) (*Field, bool) {
+	for _, f := range r.Fields {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return nil, false
+}
+
+// IndexedFields returns the fields carrying an index annotation, for the
+// Espresso secondary-index builder.
+func (r *Record) IndexedFields() []*Field {
+	var out []*Field
+	for _, f := range r.Fields {
+		if f.Index != IndexNone {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// JSON renders the schema back to its JSON form.
+func (r *Record) JSON() []byte {
+	data, err := json.Marshal(r)
+	if err != nil {
+		panic("schema: marshal of validated schema failed: " + err.Error())
+	}
+	return data
+}
+
+// defaultValue materializes a field's default as a runtime value.
+func (f *Field) defaultValue() (any, error) {
+	if f.Default == nil {
+		if f.Optional {
+			return nil, nil
+		}
+		return zeroOf(f)
+	}
+	var v any
+	if err := json.Unmarshal(f.Default, &v); err != nil {
+		return nil, fmt.Errorf("schema: field %q default: %w", f.Name, err)
+	}
+	return coerceJSON(f, v)
+}
+
+func zeroOf(f *Field) (any, error) {
+	switch f.Type {
+	case TypeNull:
+		return nil, nil
+	case TypeBoolean:
+		return false, nil
+	case TypeInt, TypeLong:
+		return int64(0), nil
+	case TypeFloat, TypeDouble:
+		return float64(0), nil
+	case TypeString:
+		return "", nil
+	case TypeBytes:
+		return []byte{}, nil
+	case TypeArray:
+		return []any{}, nil
+	case TypeMap:
+		return map[string]any{}, nil
+	case TypeRecord:
+		m := map[string]any{}
+		for _, sub := range f.Record.Fields {
+			v, err := sub.defaultValue()
+			if err != nil {
+				return nil, err
+			}
+			m[sub.Name] = v
+		}
+		return m, nil
+	}
+	return nil, fmt.Errorf("schema: no zero for %q", f.Type)
+}
+
+// coerceJSON converts a generic JSON value into the runtime representation
+// for f (json numbers arrive as float64).
+func coerceJSON(f *Field, v any) (any, error) {
+	if v == nil {
+		if f.Optional || f.Type == TypeNull {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("schema: null for non-optional field %q", f.Name)
+	}
+	switch f.Type {
+	case TypeInt, TypeLong:
+		switch n := v.(type) {
+		case float64:
+			return int64(n), nil
+		case int64:
+			return n, nil
+		case int:
+			return int64(n), nil
+		}
+	case TypeFloat, TypeDouble:
+		switch n := v.(type) {
+		case float64:
+			return n, nil
+		case int64:
+			return float64(n), nil
+		case int:
+			return float64(n), nil
+		}
+	case TypeBoolean:
+		if b, ok := v.(bool); ok {
+			return b, nil
+		}
+	case TypeString:
+		if s, ok := v.(string); ok {
+			return s, nil
+		}
+	case TypeBytes:
+		switch b := v.(type) {
+		case string:
+			return []byte(b), nil
+		case []byte:
+			return b, nil
+		}
+	case TypeArray:
+		if arr, ok := v.([]any); ok {
+			out := make([]any, len(arr))
+			for i, e := range arr {
+				c, err := coerceJSON(f.Items, e)
+				if err != nil {
+					return nil, err
+				}
+				out[i] = c
+			}
+			return out, nil
+		}
+	case TypeMap:
+		if m, ok := v.(map[string]any); ok {
+			out := make(map[string]any, len(m))
+			for k, e := range m {
+				c, err := coerceJSON(f.Items, e)
+				if err != nil {
+					return nil, err
+				}
+				out[k] = c
+			}
+			return out, nil
+		}
+	case TypeRecord:
+		if m, ok := v.(map[string]any); ok {
+			out := make(map[string]any, len(m))
+			for _, sub := range f.Record.Fields {
+				e, present := m[sub.Name]
+				if !present {
+					d, err := sub.defaultValue()
+					if err != nil {
+						return nil, err
+					}
+					out[sub.Name] = d
+					continue
+				}
+				c, err := coerceJSON(sub, e)
+				if err != nil {
+					return nil, err
+				}
+				out[sub.Name] = c
+			}
+			return out, nil
+		}
+	}
+	return nil, fmt.Errorf("schema: field %q: cannot coerce %T to %s", f.Name, v, f.Type)
+}

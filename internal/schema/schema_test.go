@@ -1,0 +1,339 @@
+package schema
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const songSchema = `{
+	"name": "Song",
+	"fields": [
+		{"name": "artist", "type": "string", "index": "exact"},
+		{"name": "album", "type": "string"},
+		{"name": "title", "type": "string"},
+		{"name": "year", "type": "long"},
+		{"name": "durationSec", "type": "int"},
+		{"name": "lyrics", "type": "string", "index": "text"},
+		{"name": "tags", "type": "array", "items": {"name": "tag", "type": "string"}},
+		{"name": "plays", "type": "map", "items": {"name": "n", "type": "long"}},
+		{"name": "explicit", "type": "boolean"},
+		{"name": "rating", "type": "double", "optional": true}
+	]
+}`
+
+func song() map[string]any {
+	return map[string]any{
+		"artist":      "Etta James",
+		"album":       "Gold",
+		"title":       "At Last",
+		"year":        int64(1960),
+		"durationSec": int64(180),
+		"lyrics":      "at last my love has come along",
+		"tags":        []any{"soul", "classic"},
+		"plays":       map[string]any{"us": int64(100), "uk": int64(42)},
+		"explicit":    false,
+		"rating":      4.9,
+	}
+}
+
+func TestParseValidates(t *testing.T) {
+	if _, err := Parse([]byte(songSchema)); err != nil {
+		t.Fatal(err)
+	}
+	bad := []string{
+		`{"fields":[]}`, // no name
+		`{"name":"X","fields":[{"name":"","type":"string"}]}`,
+		`{"name":"X","fields":[{"name":"a","type":"string"},{"name":"a","type":"long"}]}`,
+		`{"name":"X","fields":[{"name":"a","type":"frobnicator"}]}`,
+		`{"name":"X","fields":[{"name":"a","type":"array"}]}`,  // array w/o items
+		`{"name":"X","fields":[{"name":"a","type":"record"}]}`, // record w/o def
+		`not json`,
+	}
+	for i, s := range bad {
+		if _, err := Parse([]byte(s)); err == nil {
+			t.Errorf("case %d: invalid schema accepted: %s", i, s)
+		}
+	}
+}
+
+func TestMarshalUnmarshalRoundTrip(t *testing.T) {
+	r := MustParse(songSchema)
+	data, err := Marshal(r, song())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(r, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, song()) {
+		t.Fatalf("round trip mismatch:\n got %#v\nwant %#v", got, song())
+	}
+}
+
+func TestMarshalDefaults(t *testing.T) {
+	r := MustParse(`{"name":"D","fields":[
+		{"name":"a","type":"string","default":"hello"},
+		{"name":"b","type":"long"},
+		{"name":"c","type":"double","optional":true}
+	]}`)
+	data, err := Marshal(r, map[string]any{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(r, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["a"] != "hello" || got["b"] != int64(0) || got["c"] != nil {
+		t.Fatalf("defaults = %#v", got)
+	}
+}
+
+func TestMarshalRejectsUnknownField(t *testing.T) {
+	r := MustParse(`{"name":"D","fields":[{"name":"a","type":"string"}]}`)
+	if _, err := Marshal(r, map[string]any{"nope": 1}); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}
+
+func TestMarshalRejectsNilRequired(t *testing.T) {
+	r := MustParse(`{"name":"D","fields":[{"name":"a","type":"string"}]}`)
+	if _, err := Marshal(r, map[string]any{"a": nil}); err == nil {
+		t.Fatal("nil for required field accepted")
+	}
+}
+
+func TestNestedRecord(t *testing.T) {
+	r := MustParse(`{"name":"Outer","fields":[
+		{"name":"inner","type":"record","record":{"name":"Inner","fields":[
+			{"name":"x","type":"long"},{"name":"y","type":"string"}
+		]}}
+	]}`)
+	v := map[string]any{"inner": map[string]any{"x": int64(7), "y": "nested"}}
+	data, err := Marshal(r, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(r, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, v) {
+		t.Fatalf("nested mismatch: %#v", got)
+	}
+}
+
+func TestUnmarshalCorrupt(t *testing.T) {
+	r := MustParse(songSchema)
+	data, _ := Marshal(r, song())
+	for _, cut := range []int{1, len(data) / 2, len(data) - 1} {
+		if _, err := Unmarshal(r, data[:cut]); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+	if _, err := Unmarshal(r, append(append([]byte{}, data...), 0xFF)); err == nil {
+		t.Error("trailing garbage accepted")
+	}
+}
+
+func TestResolveAddedFieldWithDefault(t *testing.T) {
+	v1 := MustParse(`{"name":"P","fields":[{"name":"name","type":"string"}]}`)
+	v2 := MustParse(`{"name":"P","fields":[
+		{"name":"name","type":"string"},
+		{"name":"headline","type":"string","default":"(none)"}
+	]}`)
+	data, _ := Marshal(v1, map[string]any{"name": "jay"})
+	got, err := Resolve(v1, v2, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["name"] != "jay" || got["headline"] != "(none)" {
+		t.Fatalf("resolved = %#v", got)
+	}
+}
+
+func TestResolveDroppedFieldSkipped(t *testing.T) {
+	v1 := MustParse(`{"name":"P","fields":[
+		{"name":"name","type":"string"},
+		{"name":"legacy","type":"array","items":{"name":"e","type":"long"}},
+		{"name":"age","type":"long"}
+	]}`)
+	v2 := MustParse(`{"name":"P","fields":[
+		{"name":"name","type":"string"},
+		{"name":"age","type":"long"}
+	]}`)
+	data, _ := Marshal(v1, map[string]any{
+		"name": "jay", "legacy": []any{int64(1), int64(2)}, "age": int64(30)})
+	got, err := Resolve(v1, v2, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["name"] != "jay" || got["age"] != int64(30) {
+		t.Fatalf("resolved = %#v", got)
+	}
+	if _, leaked := got["legacy"]; leaked {
+		t.Fatal("dropped field leaked through")
+	}
+}
+
+func TestResolvePromotion(t *testing.T) {
+	v1 := MustParse(`{"name":"P","fields":[{"name":"n","type":"int"}]}`)
+	v2 := MustParse(`{"name":"P","fields":[{"name":"n","type":"double"}]}`)
+	data, _ := Marshal(v1, map[string]any{"n": int64(42)})
+	got, err := Resolve(v1, v2, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["n"] != float64(42) {
+		t.Fatalf("promoted = %#v", got["n"])
+	}
+}
+
+func TestCanReadRejectsIncompatible(t *testing.T) {
+	v1 := MustParse(`{"name":"P","fields":[{"name":"n","type":"string"}]}`)
+	v2 := MustParse(`{"name":"P","fields":[{"name":"n","type":"long"}]}`)
+	if err := CanRead(v1, v2); err == nil {
+		t.Fatal("string->long read accepted")
+	}
+	// new required field without default
+	v3 := MustParse(`{"name":"P","fields":[
+		{"name":"n","type":"string"},{"name":"req","type":"long"}
+	]}`)
+	if err := CanRead(v1, v3); err == nil {
+		t.Fatal("new required field without default accepted")
+	}
+}
+
+func TestRegistryEvolution(t *testing.T) {
+	reg := NewRegistry()
+	v1 := MustParse(`{"name":"P","fields":[{"name":"name","type":"string"}]}`)
+	v, err := reg.Register("profiles", v1)
+	if err != nil || v != 1 {
+		t.Fatalf("Register v1 = (%d, %v)", v, err)
+	}
+	v2 := MustParse(`{"name":"P","fields":[
+		{"name":"name","type":"string"},
+		{"name":"company","type":"string","default":""}
+	]}`)
+	v, err = reg.Register("profiles", v2)
+	if err != nil || v != 2 {
+		t.Fatalf("Register v2 = (%d, %v)", v, err)
+	}
+	// incompatible evolution rejected
+	bad := MustParse(`{"name":"P","fields":[{"name":"name","type":"long"}]}`)
+	if _, err := reg.Register("profiles", bad); err == nil {
+		t.Fatal("incompatible schema registered")
+	}
+	// decode v1 data through latest
+	data, _ := Marshal(v1, map[string]any{"name": "neha"})
+	got, err := reg.DecodeLatest("profiles", 1, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["name"] != "neha" || got["company"] != "" {
+		t.Fatalf("DecodeLatest = %#v", got)
+	}
+	if _, err := reg.Get("profiles", 3); err == nil {
+		t.Fatal("missing version returned")
+	}
+	if _, _, err := reg.Latest("nothere"); err == nil {
+		t.Fatal("missing subject returned")
+	}
+}
+
+func TestIndexedFields(t *testing.T) {
+	r := MustParse(songSchema)
+	idx := r.IndexedFields()
+	if len(idx) != 2 {
+		t.Fatalf("%d indexed fields, want 2", len(idx))
+	}
+	names := []string{idx[0].Name, idx[1].Name}
+	if !strings.Contains(strings.Join(names, ","), "artist") ||
+		!strings.Contains(strings.Join(names, ","), "lyrics") {
+		t.Fatalf("indexed = %v", names)
+	}
+}
+
+// Property: marshal → unmarshal is the identity for random values conforming
+// to a mixed schema.
+func TestPropCodecIdentity(t *testing.T) {
+	r := MustParse(`{"name":"R","fields":[
+		{"name":"s","type":"string"},
+		{"name":"n","type":"long"},
+		{"name":"f","type":"double"},
+		{"name":"b","type":"boolean"},
+		{"name":"raw","type":"bytes"},
+		{"name":"list","type":"array","items":{"name":"e","type":"long"}},
+		{"name":"opt","type":"string","optional":true}
+	]}`)
+	f := func(seed int64) bool {
+		rng := rand.NewSource(seed)
+		rn := rand.New(rng)
+		v := map[string]any{
+			"s":    randStr(rn),
+			"n":    rn.Int63() - rn.Int63(),
+			"f":    rn.NormFloat64(),
+			"b":    rn.Intn(2) == 0,
+			"raw":  []byte(randStr(rn)),
+			"list": []any{rn.Int63n(100), rn.Int63n(100)},
+		}
+		if rn.Intn(2) == 0 {
+			v["opt"] = randStr(rn)
+		} else {
+			v["opt"] = nil
+		}
+		data, err := Marshal(r, v)
+		if err != nil {
+			return false
+		}
+		got, err := Unmarshal(r, data)
+		if err != nil {
+			return false
+		}
+		if !bytes.Equal(got["raw"].([]byte), v["raw"].([]byte)) {
+			return false
+		}
+		delete(got, "raw")
+		delete(v, "raw")
+		return reflect.DeepEqual(got, v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randStr(r *rand.Rand) string {
+	n := r.Intn(12)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte('a' + r.Intn(26))
+	}
+	return string(b)
+}
+
+func BenchmarkMarshal(b *testing.B) {
+	r := MustParse(songSchema)
+	v := song()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Marshal(r, v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUnmarshal(b *testing.B) {
+	r := MustParse(songSchema)
+	data, _ := Marshal(r, song())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Unmarshal(r, data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

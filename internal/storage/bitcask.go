@@ -1,0 +1,428 @@
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"datainfra/internal/vclock"
+	"datainfra/internal/versioned"
+)
+
+// BitcaskEngine is the durable read-write engine — the BerkeleyDB-JE
+// substitute. Writes append the key's full version set to a log file and
+// update an in-memory hash index; reads are a single ReadAt. Recovery scans
+// the log (last record for a key wins); Compact rewrites live records into a
+// fresh log and atomically swaps it in.
+type BitcaskEngine struct {
+	name string
+	dir  string
+
+	mu     sync.RWMutex
+	f      *os.File
+	w      *bufio.Writer
+	offset int64
+	index  map[string]recordLoc
+	closed bool
+	// syncEvery flushes+fsyncs after this many writes (0 = every write).
+	syncEvery int
+	unsynced  int
+}
+
+type recordLoc struct {
+	offset int64
+	size   int64
+}
+
+const (
+	recHeaderSize = 4 + 4 + 4 + 1 // crc, keyLen, dataLen, flags
+	flagTombstone = 1
+	logFileName   = "data.bitcask"
+)
+
+// OpenBitcask opens (creating if needed) a bitcask store in dir. syncEvery
+// controls fsync batching: 0 syncs every write; n>0 syncs every n writes.
+func OpenBitcask(name, dir string, syncEvery int) (*BitcaskEngine, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("bitcask %s: %w", name, err)
+	}
+	path := filepath.Join(dir, logFileName)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("bitcask %s: %w", name, err)
+	}
+	e := &BitcaskEngine{
+		name:      name,
+		dir:       dir,
+		f:         f,
+		index:     make(map[string]recordLoc),
+		syncEvery: syncEvery,
+	}
+	if err := e.recover(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(e.offset, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Truncate(e.offset); err != nil { // drop a torn tail record
+		f.Close()
+		return nil, err
+	}
+	e.w = bufio.NewWriter(f)
+	return e, nil
+}
+
+// recover scans the log, rebuilding the index; a corrupt record ends the scan
+// (the tail is truncated by the caller), which is the crash-recovery rule.
+func (e *BitcaskEngine) recover() error {
+	r := bufio.NewReader(e.f)
+	var off int64
+	hdr := make([]byte, recHeaderSize)
+	for {
+		if _, err := io.ReadFull(r, hdr); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				break
+			}
+			return err
+		}
+		crc := binary.BigEndian.Uint32(hdr[0:4])
+		keyLen := binary.BigEndian.Uint32(hdr[4:8])
+		dataLen := binary.BigEndian.Uint32(hdr[8:12])
+		flags := hdr[12]
+		body := make([]byte, int(keyLen)+int(dataLen))
+		if _, err := io.ReadFull(r, body); err != nil {
+			break // torn write at the tail
+		}
+		if crc32.ChecksumIEEE(body) != crc {
+			break // corruption: stop at last valid record
+		}
+		key := string(body[:keyLen])
+		size := int64(recHeaderSize) + int64(len(body))
+		if flags&flagTombstone != 0 {
+			delete(e.index, key)
+		} else {
+			e.index[key] = recordLoc{offset: off, size: size}
+		}
+		off += size
+	}
+	e.offset = off
+	return nil
+}
+
+// Name returns the store name.
+func (e *BitcaskEngine) Name() string { return e.name }
+
+func encodeVersions(vs []*versioned.Versioned) ([]byte, error) {
+	var out []byte
+	var lenBuf [4]byte
+	for _, v := range vs {
+		b, err := v.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		binary.BigEndian.PutUint32(lenBuf[:], uint32(len(b)))
+		out = append(out, lenBuf[:]...)
+		out = append(out, b...)
+	}
+	return out, nil
+}
+
+func decodeVersions(data []byte) ([]*versioned.Versioned, error) {
+	var out []*versioned.Versioned
+	for len(data) > 0 {
+		if len(data) < 4 {
+			return nil, fmt.Errorf("bitcask: truncated version list")
+		}
+		n := binary.BigEndian.Uint32(data)
+		data = data[4:]
+		if uint32(len(data)) < n {
+			return nil, fmt.Errorf("bitcask: truncated version record")
+		}
+		var v versioned.Versioned
+		if err := v.UnmarshalBinary(data[:n]); err != nil {
+			return nil, err
+		}
+		out = append(out, &v)
+		data = data[n:]
+	}
+	return out, nil
+}
+
+// appendRecord writes a record and returns its location. Caller holds mu.
+func (e *BitcaskEngine) appendRecord(key []byte, data []byte, flags byte) (recordLoc, error) {
+	body := make([]byte, 0, len(key)+len(data))
+	body = append(body, key...)
+	body = append(body, data...)
+	hdr := make([]byte, recHeaderSize)
+	binary.BigEndian.PutUint32(hdr[0:4], crc32.ChecksumIEEE(body))
+	binary.BigEndian.PutUint32(hdr[4:8], uint32(len(key)))
+	binary.BigEndian.PutUint32(hdr[8:12], uint32(len(data)))
+	hdr[12] = flags
+	if _, err := e.w.Write(hdr); err != nil {
+		return recordLoc{}, err
+	}
+	if _, err := e.w.Write(body); err != nil {
+		return recordLoc{}, err
+	}
+	loc := recordLoc{offset: e.offset, size: int64(len(hdr) + len(body))}
+	e.offset += loc.size
+	e.unsynced++
+	if e.syncEvery == 0 || e.unsynced >= e.syncEvery {
+		if err := e.w.Flush(); err != nil {
+			return recordLoc{}, err
+		}
+		if e.syncEvery == 0 {
+			if err := e.f.Sync(); err != nil {
+				return recordLoc{}, err
+			}
+		}
+		e.unsynced = 0
+	}
+	return loc, nil
+}
+
+// readRecord loads and decodes the version set at loc. Caller holds mu (read).
+func (e *BitcaskEngine) readRecord(loc recordLoc) ([]*versioned.Versioned, error) {
+	buf := make([]byte, loc.size)
+	if _, err := e.f.ReadAt(buf, loc.offset); err != nil {
+		return nil, err
+	}
+	keyLen := binary.BigEndian.Uint32(buf[4:8])
+	return decodeVersions(buf[recHeaderSize+int(keyLen):])
+}
+
+// Get returns the version set for key.
+func (e *BitcaskEngine) Get(key []byte) ([]*versioned.Versioned, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil, ErrClosed
+	}
+	loc, ok := e.index[string(key)]
+	if !ok {
+		return nil, nil
+	}
+	if err := e.w.Flush(); err != nil { // make buffered writes visible to ReadAt
+		return nil, err
+	}
+	return e.readRecord(loc)
+}
+
+// Put appends the updated version set for key.
+func (e *BitcaskEngine) Put(key []byte, v *versioned.Versioned) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrClosed
+	}
+	k := string(key)
+	var current []*versioned.Versioned
+	if loc, ok := e.index[k]; ok {
+		if err := e.w.Flush(); err != nil {
+			return err
+		}
+		var err error
+		current, err = e.readRecord(loc)
+		if err != nil {
+			return err
+		}
+	}
+	next, err := versioned.Add(current, v)
+	if err != nil {
+		return err
+	}
+	data, err := encodeVersions(next)
+	if err != nil {
+		return err
+	}
+	loc, err := e.appendRecord(key, data, 0)
+	if err != nil {
+		return err
+	}
+	e.index[k] = loc
+	return nil
+}
+
+// Delete removes dominated versions; a full removal appends a tombstone.
+func (e *BitcaskEngine) Delete(key []byte, clock *vclock.Clock) (bool, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return false, ErrClosed
+	}
+	k := string(key)
+	loc, ok := e.index[k]
+	if !ok {
+		return false, nil
+	}
+	if err := e.w.Flush(); err != nil {
+		return false, err
+	}
+	current, err := e.readRecord(loc)
+	if err != nil {
+		return false, err
+	}
+	kept, removed := deleteVersions(current, clock)
+	if !removed {
+		return false, nil
+	}
+	if len(kept) == 0 {
+		if _, err := e.appendRecord(key, nil, flagTombstone); err != nil {
+			return false, err
+		}
+		delete(e.index, k)
+		return true, nil
+	}
+	data, err := encodeVersions(kept)
+	if err != nil {
+		return false, err
+	}
+	newLoc, err := e.appendRecord(key, data, 0)
+	if err != nil {
+		return false, err
+	}
+	e.index[k] = newLoc
+	return true, nil
+}
+
+// Entries iterates all live keys.
+func (e *BitcaskEngine) Entries(fn func(key []byte, versions []*versioned.Versioned) bool) error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return ErrClosed
+	}
+	if err := e.w.Flush(); err != nil {
+		e.mu.Unlock()
+		return err
+	}
+	keys := make([]string, 0, len(e.index))
+	for k := range e.index {
+		keys = append(keys, k)
+	}
+	e.mu.Unlock()
+
+	for _, k := range keys {
+		e.mu.Lock()
+		loc, ok := e.index[k]
+		if !ok {
+			e.mu.Unlock()
+			continue
+		}
+		if err := e.w.Flush(); err != nil {
+			e.mu.Unlock()
+			return err
+		}
+		vs, err := e.readRecord(loc)
+		e.mu.Unlock()
+		if err != nil {
+			return err
+		}
+		if !fn([]byte(k), vs) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Len returns the number of live keys.
+func (e *BitcaskEngine) Len() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.index)
+}
+
+// Compact rewrites live records into a new log, dropping superseded records
+// and tombstones, then atomically replaces the old log.
+func (e *BitcaskEngine) Compact() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrClosed
+	}
+	if err := e.w.Flush(); err != nil {
+		return err
+	}
+	tmpPath := filepath.Join(e.dir, logFileName+".compact")
+	tmp, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_RDWR|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	tw := bufio.NewWriter(tmp)
+	newIndex := make(map[string]recordLoc, len(e.index))
+	var off int64
+	for k, loc := range e.index {
+		buf := make([]byte, loc.size)
+		if _, err := e.f.ReadAt(buf, loc.offset); err != nil {
+			tmp.Close()
+			os.Remove(tmpPath)
+			return err
+		}
+		if _, err := tw.Write(buf); err != nil {
+			tmp.Close()
+			os.Remove(tmpPath)
+			return err
+		}
+		newIndex[k] = recordLoc{offset: off, size: loc.size}
+		off += loc.size
+	}
+	if err := tw.Flush(); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return err
+	}
+	path := filepath.Join(e.dir, logFileName)
+	if err := os.Rename(tmpPath, path); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return err
+	}
+	e.f.Close()
+	e.f = tmp
+	e.w = bufio.NewWriter(tmp)
+	if _, err := tmp.Seek(off, io.SeekStart); err != nil {
+		return err
+	}
+	e.index = newIndex
+	e.offset = off
+	e.unsynced = 0
+	return nil
+}
+
+// Size returns the current log size in bytes (garbage included).
+func (e *BitcaskEngine) Size() int64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.offset
+}
+
+// Close flushes, syncs and closes the log.
+func (e *BitcaskEngine) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil
+	}
+	e.closed = true
+	if err := e.w.Flush(); err != nil {
+		e.f.Close()
+		return err
+	}
+	if err := e.f.Sync(); err != nil {
+		e.f.Close()
+		return err
+	}
+	return e.f.Close()
+}

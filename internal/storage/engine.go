@@ -1,0 +1,77 @@
+// Package storage provides Voldemort's pluggable storage engines (§II.B,
+// Figure II.1). Every engine implements the same Engine interface, which is
+// what lets the routing, repair and admin layers interchange and mock them:
+//
+//   - MemoryEngine: in-heap versioned map (tests, caches)
+//   - BitcaskEngine: durable append-only log + hash index, the BerkeleyDB-JE
+//     substitute for read-write traffic
+//   - ReadOnlyEngine: immutable index/data files built offline (Fig II.3),
+//     binary-searched by sorted MD5 key digests, with versioned directories
+//     for instantaneous rollback
+package storage
+
+import (
+	"errors"
+
+	"datainfra/internal/vclock"
+	"datainfra/internal/versioned"
+)
+
+// Common engine errors.
+var (
+	// ErrClosed is returned after Close.
+	ErrClosed = errors.New("storage: engine closed")
+	// ErrReadOnly is returned by mutation methods on read-only engines.
+	ErrReadOnly = errors.New("storage: engine is read-only")
+	// ErrNoSuchKey may be returned by Delete when the key is absent; Get on a
+	// missing key returns an empty version slice, not an error.
+	ErrNoSuchKey = errors.New("storage: no such key")
+)
+
+// Engine is the uniform storage contract. All methods are safe for
+// concurrent use.
+type Engine interface {
+	// Name returns the store name the engine backs.
+	Name() string
+
+	// Get returns all mutually concurrent versions stored for key.
+	// A missing key yields an empty slice and no error.
+	Get(key []byte) ([]*versioned.Versioned, error)
+
+	// Put inserts v, enforcing the anti-chain invariant: it fails with
+	// versioned.ErrObsoleteVersion if an existing version's clock dominates
+	// or equals v's clock, and discards versions that v dominates.
+	Put(key []byte, v *versioned.Versioned) error
+
+	// Delete removes versions of key dominated by clock (a nil clock removes
+	// everything). It reports whether anything was deleted.
+	Delete(key []byte, clock *vclock.Clock) (bool, error)
+
+	// Entries iterates all (key, versions) pairs. Iteration stops early if
+	// fn returns false. The callback must not retain the key slice.
+	Entries(fn func(key []byte, versions []*versioned.Versioned) bool) error
+
+	// Len returns the number of live keys.
+	Len() int
+
+	// Close releases resources. Further calls fail with ErrClosed.
+	Close() error
+}
+
+// deleteVersions removes versions dominated by clock from vs, returning the
+// survivors and whether anything was removed. A nil clock removes all.
+func deleteVersions(vs []*versioned.Versioned, clock *vclock.Clock) ([]*versioned.Versioned, bool) {
+	if clock == nil {
+		return nil, len(vs) > 0
+	}
+	kept := vs[:0]
+	removed := false
+	for _, v := range vs {
+		if rel := v.Clock.Compare(clock); rel == vclock.Before || rel == vclock.Equal {
+			removed = true
+			continue
+		}
+		kept = append(kept, v)
+	}
+	return kept, removed
+}

@@ -1,0 +1,124 @@
+package storage
+
+import (
+	"sync"
+
+	"datainfra/internal/vclock"
+	"datainfra/internal/versioned"
+)
+
+// MemoryEngine is a thread-safe in-heap engine. It is the default for tests,
+// quickstarts, and cache-like stores where durability is not required.
+type MemoryEngine struct {
+	name string
+
+	mu     sync.RWMutex
+	data   map[string][]*versioned.Versioned
+	closed bool
+}
+
+// NewMemory returns an empty in-memory engine for the named store.
+func NewMemory(name string) *MemoryEngine {
+	return &MemoryEngine{name: name, data: make(map[string][]*versioned.Versioned)}
+}
+
+// Name returns the store name.
+func (e *MemoryEngine) Name() string { return e.name }
+
+// Get returns the stored concurrent versions for key.
+func (e *MemoryEngine) Get(key []byte) ([]*versioned.Versioned, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return nil, ErrClosed
+	}
+	vs := e.data[string(key)]
+	out := make([]*versioned.Versioned, len(vs))
+	for i, v := range vs {
+		out[i] = v.Clone()
+	}
+	return out, nil
+}
+
+// Put inserts v under the anti-chain rule.
+func (e *MemoryEngine) Put(key []byte, v *versioned.Versioned) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrClosed
+	}
+	k := string(key)
+	next, err := versioned.Add(e.data[k], v.Clone())
+	if err != nil {
+		return err
+	}
+	e.data[k] = next
+	return nil
+}
+
+// Delete removes dominated versions.
+func (e *MemoryEngine) Delete(key []byte, clock *vclock.Clock) (bool, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return false, ErrClosed
+	}
+	k := string(key)
+	vs, ok := e.data[k]
+	if !ok {
+		return false, nil
+	}
+	kept, removed := deleteVersions(vs, clock)
+	if len(kept) == 0 {
+		delete(e.data, k)
+	} else {
+		e.data[k] = kept
+	}
+	return removed, nil
+}
+
+// Entries iterates a snapshot of the keys.
+func (e *MemoryEngine) Entries(fn func(key []byte, versions []*versioned.Versioned) bool) error {
+	e.mu.RLock()
+	if e.closed {
+		e.mu.RUnlock()
+		return ErrClosed
+	}
+	keys := make([]string, 0, len(e.data))
+	for k := range e.data {
+		keys = append(keys, k)
+	}
+	e.mu.RUnlock()
+
+	for _, k := range keys {
+		e.mu.RLock()
+		vs := e.data[k]
+		cp := make([]*versioned.Versioned, len(vs))
+		for i, v := range vs {
+			cp[i] = v.Clone()
+		}
+		e.mu.RUnlock()
+		if len(cp) == 0 {
+			continue
+		}
+		if !fn([]byte(k), cp) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Len returns the number of live keys.
+func (e *MemoryEngine) Len() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.data)
+}
+
+// Close marks the engine closed.
+func (e *MemoryEngine) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.closed = true
+	return nil
+}

@@ -1,0 +1,326 @@
+package storage
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/md5"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"datainfra/internal/vclock"
+	"datainfra/internal/versioned"
+)
+
+// ReadOnlyEngine serves static data produced offline (§II.B, Figure II.3).
+// Each data deployment lives in a versioned directory "version-N" containing
+// an index file (sorted 8-byte MD5 key digests + data offsets) and a data
+// file (full key + value records). Lookups binary-search the index. Keeping
+// multiple versioned directories allows instantaneous rollback.
+//
+// Values are served with an empty vector clock: the offline system is the
+// single writer, so there is nothing to version.
+type ReadOnlyEngine struct {
+	name string
+	dir  string // store directory containing version-N subdirs
+
+	mu      sync.RWMutex
+	version int
+	index   []byte // loaded index file: records of (8B digest, 8B offset)
+	data    *os.File
+	count   int
+	closed  bool
+}
+
+const roIndexEntrySize = 16 // 8-byte md5 prefix + 8-byte data offset
+
+// KV is one key/value pair handed to the read-only builder.
+type KV struct {
+	Key, Value []byte
+}
+
+// versionDir returns dir/version-N.
+func versionDir(dir string, v int) string {
+	return filepath.Join(dir, fmt.Sprintf("version-%d", v))
+}
+
+// WriteReadOnlyFiles builds the index and data files for one node/partition
+// chunk into destDir. Entries are sorted by MD5 digest, matching what the
+// offline (Hadoop-substitute) build produces via its sort phase.
+func WriteReadOnlyFiles(destDir string, kvs []KV) error {
+	if err := os.MkdirAll(destDir, 0o755); err != nil {
+		return err
+	}
+	type rec struct {
+		digest [8]byte
+		kv     KV
+	}
+	recs := make([]rec, len(kvs))
+	for i, kv := range kvs {
+		sum := md5.Sum(kv.Key)
+		copy(recs[i].digest[:], sum[:8])
+		recs[i].kv = kv
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		return bytes.Compare(recs[i].digest[:], recs[j].digest[:]) < 0
+	})
+
+	dataF, err := os.Create(filepath.Join(destDir, "data"))
+	if err != nil {
+		return err
+	}
+	defer dataF.Close()
+	idxF, err := os.Create(filepath.Join(destDir, "index"))
+	if err != nil {
+		return err
+	}
+	defer idxF.Close()
+
+	dw := bufio.NewWriter(dataF)
+	iw := bufio.NewWriter(idxF)
+	var off int64
+	var hdr [6]byte // keyLen u16, valLen u32
+	var idxEnt [roIndexEntrySize]byte
+	for _, r := range recs {
+		copy(idxEnt[:8], r.digest[:])
+		binary.BigEndian.PutUint64(idxEnt[8:], uint64(off))
+		if _, err := iw.Write(idxEnt[:]); err != nil {
+			return err
+		}
+		binary.BigEndian.PutUint16(hdr[0:2], uint16(len(r.kv.Key)))
+		binary.BigEndian.PutUint32(hdr[2:6], uint32(len(r.kv.Value)))
+		if _, err := dw.Write(hdr[:]); err != nil {
+			return err
+		}
+		if _, err := dw.Write(r.kv.Key); err != nil {
+			return err
+		}
+		if _, err := dw.Write(r.kv.Value); err != nil {
+			return err
+		}
+		off += int64(len(hdr)) + int64(len(r.kv.Key)) + int64(len(r.kv.Value))
+	}
+	if err := dw.Flush(); err != nil {
+		return err
+	}
+	if err := iw.Flush(); err != nil {
+		return err
+	}
+	if err := dataF.Sync(); err != nil {
+		return err
+	}
+	return idxF.Sync()
+}
+
+// OpenReadOnly opens the store at dir, serving the highest version-N
+// directory present. If none exists, an empty version-0 is created.
+func OpenReadOnly(name, dir string) (*ReadOnlyEngine, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	vs, err := ListVersions(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(vs) == 0 {
+		if err := WriteReadOnlyFiles(versionDir(dir, 0), nil); err != nil {
+			return nil, err
+		}
+		vs = []int{0}
+	}
+	e := &ReadOnlyEngine{name: name, dir: dir, version: -1}
+	if err := e.swapLocked(vs[len(vs)-1]); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// ListVersions returns the sorted version numbers present under dir.
+func ListVersions(dir string) ([]int, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var vs []int
+	for _, ent := range ents {
+		if !ent.IsDir() || !strings.HasPrefix(ent.Name(), "version-") {
+			continue
+		}
+		n, err := strconv.Atoi(strings.TrimPrefix(ent.Name(), "version-"))
+		if err != nil {
+			continue
+		}
+		vs = append(vs, n)
+	}
+	sort.Ints(vs)
+	return vs, nil
+}
+
+// swapLocked loads version v. Caller must hold mu or be in the constructor.
+func (e *ReadOnlyEngine) swapLocked(v int) error {
+	vd := versionDir(e.dir, v)
+	idx, err := os.ReadFile(filepath.Join(vd, "index"))
+	if err != nil {
+		return fmt.Errorf("readonly %s: load index v%d: %w", e.name, v, err)
+	}
+	if len(idx)%roIndexEntrySize != 0 {
+		return fmt.Errorf("readonly %s: index v%d size %d not a multiple of %d",
+			e.name, v, len(idx), roIndexEntrySize)
+	}
+	data, err := os.Open(filepath.Join(vd, "data"))
+	if err != nil {
+		return fmt.Errorf("readonly %s: open data v%d: %w", e.name, v, err)
+	}
+	if e.data != nil {
+		e.data.Close()
+	}
+	e.index = idx
+	e.data = data
+	e.version = v
+	e.count = len(idx) / roIndexEntrySize
+	return nil
+}
+
+// Swap atomically switches serving to version v (the Swap phase of Fig II.3).
+func (e *ReadOnlyEngine) Swap(v int) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrClosed
+	}
+	return e.swapLocked(v)
+}
+
+// Rollback switches back to the highest version below the current one —
+// the "instantaneous rollback" the versioned layout exists for.
+func (e *ReadOnlyEngine) Rollback() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrClosed
+	}
+	vs, err := ListVersions(e.dir)
+	if err != nil {
+		return err
+	}
+	var prev = -1
+	for _, v := range vs {
+		if v < e.version && v > prev {
+			prev = v
+		}
+	}
+	if prev < 0 {
+		return fmt.Errorf("readonly %s: no version below %d to roll back to", e.name, e.version)
+	}
+	return e.swapLocked(prev)
+}
+
+// Version returns the currently served version number.
+func (e *ReadOnlyEngine) Version() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.version
+}
+
+// Name returns the store name.
+func (e *ReadOnlyEngine) Name() string { return e.name }
+
+// Get binary-searches the digest index, then verifies the full key in the
+// data file (adjacent probing handles 8-byte digest collisions).
+func (e *ReadOnlyEngine) Get(key []byte) ([]*versioned.Versioned, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return nil, ErrClosed
+	}
+	sum := md5.Sum(key)
+	digest := sum[:8]
+	n := e.count
+	i := sort.Search(n, func(i int) bool {
+		return bytes.Compare(e.index[i*roIndexEntrySize:i*roIndexEntrySize+8], digest) >= 0
+	})
+	for ; i < n; i++ {
+		ent := e.index[i*roIndexEntrySize : (i+1)*roIndexEntrySize]
+		if !bytes.Equal(ent[:8], digest) {
+			break
+		}
+		off := int64(binary.BigEndian.Uint64(ent[8:]))
+		k, v, err := e.readAt(off)
+		if err != nil {
+			return nil, err
+		}
+		if bytes.Equal(k, key) {
+			return []*versioned.Versioned{versioned.With(v, vclock.New())}, nil
+		}
+	}
+	return nil, nil
+}
+
+func (e *ReadOnlyEngine) readAt(off int64) (key, value []byte, err error) {
+	var hdr [6]byte
+	if _, err := e.data.ReadAt(hdr[:], off); err != nil {
+		return nil, nil, err
+	}
+	keyLen := int(binary.BigEndian.Uint16(hdr[0:2]))
+	valLen := int(binary.BigEndian.Uint32(hdr[2:6]))
+	buf := make([]byte, keyLen+valLen)
+	if _, err := e.data.ReadAt(buf, off+6); err != nil {
+		return nil, nil, err
+	}
+	return buf[:keyLen], buf[keyLen:], nil
+}
+
+// Put always fails: the data cycle replaces whole versions.
+func (e *ReadOnlyEngine) Put([]byte, *versioned.Versioned) error { return ErrReadOnly }
+
+// Delete always fails.
+func (e *ReadOnlyEngine) Delete([]byte, *vclock.Clock) (bool, error) { return false, ErrReadOnly }
+
+// Entries iterates every record in digest order.
+func (e *ReadOnlyEngine) Entries(fn func(key []byte, versions []*versioned.Versioned) bool) error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return ErrClosed
+	}
+	for i := 0; i < e.count; i++ {
+		off := int64(binary.BigEndian.Uint64(e.index[i*roIndexEntrySize+8 : (i+1)*roIndexEntrySize]))
+		k, v, err := e.readAt(off)
+		if err != nil {
+			return err
+		}
+		if !fn(k, []*versioned.Versioned{versioned.With(v, vclock.New())}) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Len returns the number of records in the served version.
+func (e *ReadOnlyEngine) Len() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.count
+}
+
+// Close releases the data file.
+func (e *ReadOnlyEngine) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil
+	}
+	e.closed = true
+	if e.data != nil {
+		return e.data.Close()
+	}
+	return nil
+}

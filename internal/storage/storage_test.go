@@ -1,0 +1,589 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"datainfra/internal/vclock"
+	"datainfra/internal/versioned"
+)
+
+// engineConformance runs the shared Engine contract against any
+// implementation — the pluggability promise of Figure II.1.
+func engineConformance(t *testing.T, e Engine) {
+	t.Helper()
+
+	// missing key: empty result, no error
+	vs, err := e.Get([]byte("missing"))
+	if err != nil || len(vs) != 0 {
+		t.Fatalf("Get missing = (%v, %v), want empty", vs, err)
+	}
+
+	// put + get
+	c1 := vclock.New().Increment(0, 1)
+	if err := e.Put([]byte("k"), versioned.With([]byte("v1"), c1)); err != nil {
+		t.Fatal(err)
+	}
+	vs, err = e.Get([]byte("k"))
+	if err != nil || len(vs) != 1 || string(vs[0].Value) != "v1" {
+		t.Fatalf("Get after put = (%v, %v)", vs, err)
+	}
+
+	// obsolete put rejected
+	if err := e.Put([]byte("k"), versioned.With([]byte("stale"), vclock.New())); !errors.Is(err, versioned.ErrObsoleteVersion) {
+		t.Fatalf("stale put err = %v, want ErrObsoleteVersion", err)
+	}
+
+	// superseding put replaces
+	c2 := c1.Incremented(0, 2)
+	if err := e.Put([]byte("k"), versioned.With([]byte("v2"), c2)); err != nil {
+		t.Fatal(err)
+	}
+	vs, _ = e.Get([]byte("k"))
+	if len(vs) != 1 || string(vs[0].Value) != "v2" {
+		t.Fatalf("superseding put: got %v", vs)
+	}
+
+	// concurrent put keeps both
+	cc := vclock.New().Increment(9, 3)
+	if err := e.Put([]byte("k"), versioned.With([]byte("vc"), cc)); err != nil {
+		t.Fatal(err)
+	}
+	vs, _ = e.Get([]byte("k"))
+	if len(vs) != 2 {
+		t.Fatalf("concurrent versions: got %d, want 2", len(vs))
+	}
+
+	// delete with merged clock removes all
+	merged := c2.Merge(cc).Incremented(0, 4)
+	removed, err := e.Delete([]byte("k"), merged)
+	if err != nil || !removed {
+		t.Fatalf("Delete = (%v, %v)", removed, err)
+	}
+	vs, _ = e.Get([]byte("k"))
+	if len(vs) != 0 {
+		t.Fatalf("after delete: %v", vs)
+	}
+
+	// delete missing
+	removed, err = e.Delete([]byte("nothere"), nil)
+	if err != nil || removed {
+		t.Fatalf("Delete missing = (%v, %v)", removed, err)
+	}
+
+	// entries iteration
+	for i := 0; i < 10; i++ {
+		k := []byte(fmt.Sprintf("it-%d", i))
+		if err := e.Put(k, versioned.With([]byte{byte(i)}, vclock.New().Increment(0, 1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	count := 0
+	if err := e.Entries(func(k []byte, vs []*versioned.Versioned) bool {
+		if bytes.HasPrefix(k, []byte("it-")) {
+			count++
+		}
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 10 {
+		t.Fatalf("Entries visited %d it- keys, want 10", count)
+	}
+	if e.Len() < 10 {
+		t.Fatalf("Len = %d, want >= 10", e.Len())
+	}
+
+	// early stop
+	visits := 0
+	_ = e.Entries(func([]byte, []*versioned.Versioned) bool {
+		visits++
+		return false
+	})
+	if visits != 1 {
+		t.Fatalf("early-stop Entries visited %d, want 1", visits)
+	}
+
+	// closed
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Get([]byte("k")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Get after close err = %v", err)
+	}
+}
+
+// openAppend opens the bitcask log file for appending raw bytes (test-only
+// corruption injection).
+func openAppend(dir string) (*os.File, error) {
+	return os.OpenFile(filepath.Join(dir, logFileName), os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+func TestMemoryConformance(t *testing.T) {
+	engineConformance(t, NewMemory("test"))
+}
+
+func TestBitcaskConformance(t *testing.T) {
+	e, err := OpenBitcask("test", t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engineConformance(t, e)
+}
+
+func TestBitcaskBatchedSyncConformance(t *testing.T) {
+	e, err := OpenBitcask("test", t.TempDir(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engineConformance(t, e)
+}
+
+func TestMemoryGetReturnsCopies(t *testing.T) {
+	e := NewMemory("test")
+	defer e.Close()
+	c := vclock.New().Increment(0, 1)
+	if err := e.Put([]byte("k"), versioned.With([]byte("abc"), c)); err != nil {
+		t.Fatal(err)
+	}
+	vs, _ := e.Get([]byte("k"))
+	vs[0].Value[0] = 'X'
+	vs2, _ := e.Get([]byte("k"))
+	if string(vs2[0].Value) != "abc" {
+		t.Fatal("Get returned aliased value slice")
+	}
+}
+
+func TestBitcaskRecovery(t *testing.T) {
+	dir := t.TempDir()
+	e, err := OpenBitcask("test", dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		k := []byte(fmt.Sprintf("key-%d", i))
+		c := vclock.New().Increment(0, int64(i))
+		if err := e.Put(k, versioned.With([]byte(fmt.Sprintf("val-%d", i)), c)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// overwrite some, delete some
+	for i := 0; i < 10; i++ {
+		k := []byte(fmt.Sprintf("key-%d", i))
+		vs, _ := e.Get(k)
+		c := vs[0].Clock.Incremented(0, 100)
+		if err := e.Put(k, versioned.With([]byte("updated"), c)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 40; i < 50; i++ {
+		if _, err := e.Delete([]byte(fmt.Sprintf("key-%d", i)), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenBitcask("test", dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Len() != 40 {
+		t.Fatalf("recovered %d keys, want 40", re.Len())
+	}
+	vs, err := re.Get([]byte("key-5"))
+	if err != nil || len(vs) != 1 || string(vs[0].Value) != "updated" {
+		t.Fatalf("recovered key-5 = (%v, %v), want updated", vs, err)
+	}
+	vs, _ = re.Get([]byte("key-45"))
+	if len(vs) != 0 {
+		t.Fatal("deleted key survived recovery")
+	}
+}
+
+func TestBitcaskTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	e, err := OpenBitcask("test", dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := vclock.New().Increment(0, 1)
+	if err := e.Put([]byte("good"), versioned.With([]byte("data"), c)); err != nil {
+		t.Fatal(err)
+	}
+	e.Close()
+
+	// Append garbage simulating a torn write.
+	f, err := openAppend(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{1, 2, 3, 4, 5}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	re, err := OpenBitcask("test", dir, 0)
+	if err != nil {
+		t.Fatalf("recovery with torn tail failed: %v", err)
+	}
+	defer re.Close()
+	vs, err := re.Get([]byte("good"))
+	if err != nil || len(vs) != 1 {
+		t.Fatalf("valid record lost after torn tail: (%v, %v)", vs, err)
+	}
+	// and the engine still accepts writes after truncation
+	c2 := c.Incremented(0, 2)
+	if err := re.Put([]byte("good"), versioned.With([]byte("data2"), c2)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitcaskCompact(t *testing.T) {
+	dir := t.TempDir()
+	e, err := OpenBitcask("test", dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	c := vclock.New()
+	for i := 0; i < 100; i++ {
+		c = c.Incremented(0, int64(i))
+		if err := e.Put([]byte("hot"), versioned.With(bytes.Repeat([]byte("x"), 100), c)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := e.Size()
+	if err := e.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	after := e.Size()
+	if after >= before/10 {
+		t.Fatalf("compaction barely helped: %d -> %d", before, after)
+	}
+	vs, err := e.Get([]byte("hot"))
+	if err != nil || len(vs) != 1 {
+		t.Fatalf("data lost in compaction: (%v, %v)", vs, err)
+	}
+	// writes continue to work post-compaction and survive reopen
+	c = c.Incremented(0, 1000)
+	if err := e.Put([]byte("post"), versioned.With([]byte("compact"), c)); err != nil {
+		t.Fatal(err)
+	}
+	e.Close()
+	re, err := OpenBitcask("test", dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Len() != 2 {
+		t.Fatalf("post-compaction reopen: %d keys, want 2", re.Len())
+	}
+}
+
+func TestBitcaskConcurrent(t *testing.T) {
+	e, err := OpenBitcask("test", t.TempDir(), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := []byte(fmt.Sprintf("g%d-k%d", g, i))
+				c := vclock.New().Increment(int32(g), int64(i))
+				if err := e.Put(k, versioned.With([]byte("v"), c)); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := e.Get(k); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if e.Len() != 800 {
+		t.Fatalf("Len = %d, want 800", e.Len())
+	}
+}
+
+func TestReadOnlyBasics(t *testing.T) {
+	dir := t.TempDir()
+	kvs := make([]KV, 1000)
+	for i := range kvs {
+		kvs[i] = KV{
+			Key:   []byte(fmt.Sprintf("member-%d", i)),
+			Value: []byte(fmt.Sprintf("recs-for-%d", i)),
+		}
+	}
+	if err := WriteReadOnlyFiles(versionDir(dir, 1), kvs); err != nil {
+		t.Fatal(err)
+	}
+	e, err := OpenReadOnly("pymk", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if e.Version() != 1 {
+		t.Fatalf("serving version %d, want 1", e.Version())
+	}
+	if e.Len() != 1000 {
+		t.Fatalf("Len = %d, want 1000", e.Len())
+	}
+	for i := 0; i < 1000; i += 37 {
+		vs, err := e.Get([]byte(fmt.Sprintf("member-%d", i)))
+		if err != nil || len(vs) != 1 {
+			t.Fatalf("Get member-%d = (%v, %v)", i, vs, err)
+		}
+		if string(vs[0].Value) != fmt.Sprintf("recs-for-%d", i) {
+			t.Fatalf("wrong value for member-%d: %q", i, vs[0].Value)
+		}
+	}
+	vs, err := e.Get([]byte("member-99999"))
+	if err != nil || len(vs) != 0 {
+		t.Fatalf("missing key = (%v, %v)", vs, err)
+	}
+	if err := e.Put([]byte("x"), versioned.New([]byte("y"))); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("Put err = %v, want ErrReadOnly", err)
+	}
+	if _, err := e.Delete([]byte("x"), nil); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("Delete err = %v, want ErrReadOnly", err)
+	}
+}
+
+func TestReadOnlySwapAndRollback(t *testing.T) {
+	dir := t.TempDir()
+	mk := func(v int, val string) {
+		if err := WriteReadOnlyFiles(versionDir(dir, v), []KV{{[]byte("k"), []byte(val)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mk(1, "one")
+	e, err := OpenReadOnly("s", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	mk(2, "two")
+	if err := e.Swap(2); err != nil {
+		t.Fatal(err)
+	}
+	vs, _ := e.Get([]byte("k"))
+	if string(vs[0].Value) != "two" {
+		t.Fatalf("after swap: %q", vs[0].Value)
+	}
+	if err := e.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	vs, _ = e.Get([]byte("k"))
+	if string(vs[0].Value) != "one" {
+		t.Fatalf("after rollback: %q", vs[0].Value)
+	}
+	if e.Version() != 1 {
+		t.Fatalf("version after rollback = %d", e.Version())
+	}
+	// rolling back below the lowest version fails
+	if err := e.Rollback(); err == nil {
+		t.Fatal("rollback below lowest version succeeded")
+	}
+}
+
+func TestReadOnlyOpensEmptyStore(t *testing.T) {
+	e, err := OpenReadOnly("empty", t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if e.Len() != 0 {
+		t.Fatalf("empty store Len = %d", e.Len())
+	}
+	vs, err := e.Get([]byte("anything"))
+	if err != nil || len(vs) != 0 {
+		t.Fatalf("Get on empty = (%v, %v)", vs, err)
+	}
+}
+
+func TestReadOnlyEntriesOrderAndCount(t *testing.T) {
+	dir := t.TempDir()
+	kvs := []KV{{[]byte("a"), []byte("1")}, {[]byte("b"), []byte("2")}, {[]byte("c"), []byte("3")}}
+	if err := WriteReadOnlyFiles(versionDir(dir, 0), kvs); err != nil {
+		t.Fatal(err)
+	}
+	e, err := OpenReadOnly("s", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	seen := map[string]string{}
+	if err := e.Entries(func(k []byte, vs []*versioned.Versioned) bool {
+		seen[string(k)] = string(vs[0].Value)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 3 || seen["b"] != "2" {
+		t.Fatalf("Entries = %v", seen)
+	}
+}
+
+// Property: a bitcask engine and a memory engine fed the same random
+// operation sequence end in the same state (the pluggability contract).
+func TestPropEnginesEquivalent(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		mem := NewMemory("m")
+		bc, err := OpenBitcask("b", t.TempDir(), 10)
+		if err != nil {
+			return false
+		}
+		defer bc.Close()
+		defer mem.Close()
+		clocks := map[string]*vclock.Clock{}
+		for i := 0; i < 60; i++ {
+			k := fmt.Sprintf("k%d", r.Intn(8))
+			switch r.Intn(3) {
+			case 0, 1: // put with advancing clock
+				c := clocks[k]
+				if c == nil {
+					c = vclock.New()
+				}
+				c = c.Incremented(0, int64(i))
+				clocks[k] = c
+				v := versioned.With([]byte(fmt.Sprintf("v%d", i)), c)
+				e1 := mem.Put([]byte(k), v.Clone())
+				e2 := bc.Put([]byte(k), v.Clone())
+				if (e1 == nil) != (e2 == nil) {
+					return false
+				}
+			case 2: // delete everything
+				d1, _ := mem.Delete([]byte(k), nil)
+				d2, _ := bc.Delete([]byte(k), nil)
+				if d1 != d2 {
+					return false
+				}
+				delete(clocks, k)
+			}
+		}
+		if mem.Len() != bc.Len() {
+			return false
+		}
+		equal := true
+		_ = mem.Entries(func(k []byte, vs []*versioned.Versioned) bool {
+			other, err := bc.Get(k)
+			if err != nil || len(other) != len(vs) {
+				equal = false
+				return false
+			}
+			if !bytes.Equal(other[0].Value, vs[0].Value) {
+				equal = false
+				return false
+			}
+			return true
+		})
+		return equal
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMemoryPut(b *testing.B) {
+	e := NewMemory("bench")
+	defer e.Close()
+	benchPut(b, e)
+}
+
+func BenchmarkBitcaskPut(b *testing.B) {
+	e, err := OpenBitcask("bench", b.TempDir(), 1000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Close()
+	benchPut(b, e)
+}
+
+func benchPut(b *testing.B, e Engine) {
+	val := bytes.Repeat([]byte("x"), 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := []byte(fmt.Sprintf("key-%d", i))
+		c := vclock.New().Increment(0, int64(i))
+		if err := e.Put(k, versioned.With(val, c)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMemoryGet(b *testing.B) {
+	e := NewMemory("bench")
+	defer e.Close()
+	benchGet(b, e)
+}
+
+func BenchmarkBitcaskGet(b *testing.B) {
+	e, err := OpenBitcask("bench", b.TempDir(), 1000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Close()
+	benchGet(b, e)
+}
+
+func benchGet(b *testing.B, e Engine) {
+	val := bytes.Repeat([]byte("x"), 1024)
+	const n = 10000
+	for i := 0; i < n; i++ {
+		c := vclock.New().Increment(0, int64(i))
+		if err := e.Put([]byte(fmt.Sprintf("key-%d", i)), versioned.With(val, c)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Get([]byte(fmt.Sprintf("key-%d", i%n))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReadOnlyGet(b *testing.B) {
+	dir := b.TempDir()
+	const n = 10000
+	kvs := make([]KV, n)
+	val := bytes.Repeat([]byte("x"), 1024)
+	for i := range kvs {
+		kvs[i] = KV{Key: []byte(fmt.Sprintf("key-%d", i)), Value: val}
+	}
+	if err := WriteReadOnlyFiles(versionDir(dir, 0), kvs); err != nil {
+		b.Fatal(err)
+	}
+	e, err := OpenReadOnly("bench", dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Get([]byte(fmt.Sprintf("key-%d", i%n))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,251 @@
+// Package vclock implements vector clocks for versioning tuples, following
+// Lamport's happened-before relation [LAM78] as used by Voldemort (§II of the
+// paper) to detect concurrent updates to the same key.
+//
+// A Clock maps node IDs to logical counters. Clocks are compared with
+// Compare, which returns one of Before, After, Equal or Concurrent. Divergent
+// (Concurrent) versions are surfaced to the application for resolution, as in
+// Dynamo.
+package vclock
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Occurred describes the relation of one clock to another.
+type Occurred int
+
+// Relations returned by Compare: a.Compare(b) == Before means a happened
+// strictly before b.
+const (
+	Before Occurred = iota
+	After
+	Equal
+	Concurrent
+)
+
+// String returns a human-readable name for the relation.
+func (o Occurred) String() string {
+	switch o {
+	case Before:
+		return "BEFORE"
+	case After:
+		return "AFTER"
+	case Equal:
+		return "EQUAL"
+	case Concurrent:
+		return "CONCURRENT"
+	default:
+		return fmt.Sprintf("Occurred(%d)", int(o))
+	}
+}
+
+// Entry is a single (node, counter) pair in a clock.
+type Entry struct {
+	Node    int32
+	Version uint64
+}
+
+// Clock is a vector clock: a set of per-node counters plus a wall-clock
+// timestamp used only for diagnostics (never for ordering decisions).
+//
+// The zero value is a valid, empty clock.
+type Clock struct {
+	entries   []Entry // sorted by Node, no duplicates
+	Timestamp int64   // milliseconds since epoch, informational only
+}
+
+// New returns an empty clock.
+func New() *Clock { return &Clock{} }
+
+// FromEntries builds a clock from arbitrary (node, version) pairs. Duplicate
+// nodes keep the max version.
+func FromEntries(entries []Entry, ts int64) *Clock {
+	c := &Clock{Timestamp: ts}
+	for _, e := range entries {
+		if v := c.VersionOf(e.Node); e.Version > v {
+			c.set(e.Node, e.Version)
+		}
+	}
+	return c
+}
+
+func (c *Clock) set(node int32, version uint64) {
+	i := sort.Search(len(c.entries), func(i int) bool { return c.entries[i].Node >= node })
+	if i < len(c.entries) && c.entries[i].Node == node {
+		c.entries[i].Version = version
+		return
+	}
+	c.entries = append(c.entries, Entry{})
+	copy(c.entries[i+1:], c.entries[i:])
+	c.entries[i] = Entry{Node: node, Version: version}
+}
+
+// VersionOf returns the counter for node, or 0 if absent.
+func (c *Clock) VersionOf(node int32) uint64 {
+	i := sort.Search(len(c.entries), func(i int) bool { return c.entries[i].Node >= node })
+	if i < len(c.entries) && c.entries[i].Node == node {
+		return c.entries[i].Version
+	}
+	return 0
+}
+
+// Entries returns a copy of the clock's entries sorted by node id.
+func (c *Clock) Entries() []Entry {
+	out := make([]Entry, len(c.entries))
+	copy(out, c.entries)
+	return out
+}
+
+// Increment bumps the counter for node and updates the timestamp.
+// It returns the receiver for chaining.
+func (c *Clock) Increment(node int32, ts int64) *Clock {
+	c.set(node, c.VersionOf(node)+1)
+	c.Timestamp = ts
+	return c
+}
+
+// Incremented returns a copy of c with node's counter bumped, leaving c
+// untouched. This is the operation a Voldemort client performs before a put.
+func (c *Clock) Incremented(node int32, ts int64) *Clock {
+	return c.Clone().Increment(node, ts)
+}
+
+// Clone returns a deep copy of the clock.
+func (c *Clock) Clone() *Clock {
+	out := &Clock{Timestamp: c.Timestamp}
+	out.entries = make([]Entry, len(c.entries))
+	copy(out.entries, c.entries)
+	return out
+}
+
+// Compare reports the relation of c to other.
+func (c *Clock) Compare(other *Clock) Occurred {
+	var cBigger, oBigger bool
+	i, j := 0, 0
+	for i < len(c.entries) && j < len(other.entries) {
+		a, b := c.entries[i], other.entries[j]
+		switch {
+		case a.Node == b.Node:
+			if a.Version > b.Version {
+				cBigger = true
+			} else if a.Version < b.Version {
+				oBigger = true
+			}
+			i++
+			j++
+		case a.Node < b.Node:
+			cBigger = true
+			i++
+		default:
+			oBigger = true
+			j++
+		}
+	}
+	if i < len(c.entries) {
+		cBigger = true
+	}
+	if j < len(other.entries) {
+		oBigger = true
+	}
+	switch {
+	case cBigger && oBigger:
+		return Concurrent
+	case cBigger:
+		return After
+	case oBigger:
+		return Before
+	default:
+		return Equal
+	}
+}
+
+// Merge returns the least upper bound of c and other: per-node max of the
+// counters. The result happens after (or equals) both inputs.
+func (c *Clock) Merge(other *Clock) *Clock {
+	out := c.Clone()
+	for _, e := range other.entries {
+		if e.Version > out.VersionOf(e.Node) {
+			out.set(e.Node, e.Version)
+		}
+	}
+	if other.Timestamp > out.Timestamp {
+		out.Timestamp = other.Timestamp
+	}
+	return out
+}
+
+// String renders the clock as "{n0:3, n2:1} ts=...".
+func (c *Clock) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, e := range c.entries {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "n%d:%d", e.Node, e.Version)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// ErrCorruptClock is returned by Decode for malformed input.
+var ErrCorruptClock = errors.New("vclock: corrupt encoding")
+
+// MarshalBinary encodes the clock as:
+//
+//	uint16 numEntries | repeated (int32 node, uint64 version) | int64 timestamp
+//
+// all big-endian, matching the compactness goals of Voldemort's wire format.
+func (c *Clock) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, 2+len(c.entries)*12+8)
+	binary.BigEndian.PutUint16(buf[0:2], uint16(len(c.entries)))
+	off := 2
+	for _, e := range c.entries {
+		binary.BigEndian.PutUint32(buf[off:], uint32(e.Node))
+		binary.BigEndian.PutUint64(buf[off+4:], e.Version)
+		off += 12
+	}
+	binary.BigEndian.PutUint64(buf[off:], uint64(c.Timestamp))
+	return buf, nil
+}
+
+// UnmarshalBinary decodes a clock written by MarshalBinary.
+func (c *Clock) UnmarshalBinary(data []byte) error {
+	if len(data) < 10 {
+		return ErrCorruptClock
+	}
+	n := int(binary.BigEndian.Uint16(data[0:2]))
+	want := 2 + n*12 + 8
+	if len(data) != want {
+		return fmt.Errorf("%w: have %d bytes, want %d", ErrCorruptClock, len(data), want)
+	}
+	c.entries = make([]Entry, 0, n)
+	off := 2
+	var prev int32 = -1 << 31
+	for i := 0; i < n; i++ {
+		node := int32(binary.BigEndian.Uint32(data[off:]))
+		ver := binary.BigEndian.Uint64(data[off+4:])
+		if node <= prev && i > 0 {
+			return fmt.Errorf("%w: entries not strictly sorted", ErrCorruptClock)
+		}
+		prev = node
+		c.entries = append(c.entries, Entry{Node: node, Version: ver})
+		off += 12
+	}
+	c.Timestamp = int64(binary.BigEndian.Uint64(data[off:]))
+	return nil
+}
+
+// Decode parses a clock from data.
+func Decode(data []byte) (*Clock, error) {
+	c := New()
+	if err := c.UnmarshalBinary(data); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

@@ -1,0 +1,202 @@
+package vclock
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyClocksEqual(t *testing.T) {
+	a, b := New(), New()
+	if got := a.Compare(b); got != Equal {
+		t.Fatalf("empty clocks compare %v, want Equal", got)
+	}
+}
+
+func TestIncrementOrders(t *testing.T) {
+	a := New()
+	b := a.Incremented(1, 10)
+	if got := a.Compare(b); got != Before {
+		t.Fatalf("a.Compare(b) = %v, want Before", got)
+	}
+	if got := b.Compare(a); got != After {
+		t.Fatalf("b.Compare(a) = %v, want After", got)
+	}
+	c := b.Incremented(1, 20)
+	if got := a.Compare(c); got != Before {
+		t.Fatalf("transitive: a.Compare(c) = %v, want Before", got)
+	}
+}
+
+func TestConcurrent(t *testing.T) {
+	base := New().Increment(0, 1)
+	a := base.Incremented(1, 2)
+	b := base.Incremented(2, 2)
+	if got := a.Compare(b); got != Concurrent {
+		t.Fatalf("a.Compare(b) = %v, want Concurrent", got)
+	}
+	if got := b.Compare(a); got != Concurrent {
+		t.Fatalf("b.Compare(a) = %v, want Concurrent", got)
+	}
+	m := a.Merge(b)
+	if got := m.Compare(a); got != After {
+		t.Fatalf("merge.Compare(a) = %v, want After", got)
+	}
+	if got := m.Compare(b); got != After {
+		t.Fatalf("merge.Compare(b) = %v, want After", got)
+	}
+}
+
+func TestVersionOf(t *testing.T) {
+	c := New().Increment(3, 0).Increment(3, 0).Increment(7, 0)
+	if got := c.VersionOf(3); got != 2 {
+		t.Fatalf("VersionOf(3) = %d, want 2", got)
+	}
+	if got := c.VersionOf(7); got != 1 {
+		t.Fatalf("VersionOf(7) = %d, want 1", got)
+	}
+	if got := c.VersionOf(99); got != 0 {
+		t.Fatalf("VersionOf(99) = %d, want 0", got)
+	}
+}
+
+func TestCloneIsolation(t *testing.T) {
+	a := New().Increment(1, 0)
+	b := a.Clone()
+	b.Increment(1, 0)
+	if a.VersionOf(1) != 1 || b.VersionOf(1) != 2 {
+		t.Fatalf("clone not isolated: a=%v b=%v", a, b)
+	}
+}
+
+func TestFromEntriesDedup(t *testing.T) {
+	c := FromEntries([]Entry{{1, 5}, {1, 3}, {2, 1}}, 0)
+	if c.VersionOf(1) != 5 {
+		t.Fatalf("duplicate entry should keep max, got %d", c.VersionOf(1))
+	}
+	if c.VersionOf(2) != 1 {
+		t.Fatalf("VersionOf(2) = %d", c.VersionOf(2))
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	c := New().Increment(0, 5).Increment(4, 6).Increment(4, 7).Increment(1, 8)
+	data, err := c.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Compare(c) != Equal {
+		t.Fatalf("round trip mismatch: %v vs %v", got, c)
+	}
+	if got.Timestamp != c.Timestamp {
+		t.Fatalf("timestamp lost: %d vs %d", got.Timestamp, c.Timestamp)
+	}
+}
+
+func TestDecodeCorrupt(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{0, 1},
+		{0, 1, 0, 0, 0, 0, 0, 0, 0, 0}, // claims 1 entry, too short
+	}
+	for i, data := range cases {
+		if _, err := Decode(data); err == nil {
+			t.Errorf("case %d: Decode(%v) succeeded, want error", i, data)
+		}
+	}
+}
+
+func randomClock(r *rand.Rand) *Clock {
+	c := New()
+	n := r.Intn(5)
+	for i := 0; i < n; i++ {
+		node := int32(r.Intn(6))
+		for k := r.Intn(3) + 1; k > 0; k-- {
+			c.Increment(node, 0)
+		}
+	}
+	return c
+}
+
+// Property: Compare is antisymmetric — a BEFORE b iff b AFTER a; EQUAL and
+// CONCURRENT are symmetric.
+func TestPropCompareAntisymmetric(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomClock(r), randomClock(r)
+		ab, ba := a.Compare(b), b.Compare(a)
+		switch ab {
+		case Before:
+			return ba == After
+		case After:
+			return ba == Before
+		default:
+			return ab == ba
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Merge is a least upper bound — result is After-or-Equal both
+// inputs, and merging is commutative.
+func TestPropMergeLUB(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomClock(r), randomClock(r)
+		m := a.Merge(b)
+		if rel := m.Compare(a); rel != After && rel != Equal {
+			return false
+		}
+		if rel := m.Compare(b); rel != After && rel != Equal {
+			return false
+		}
+		return m.Compare(b.Merge(a)) == Equal
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: marshal/unmarshal is the identity.
+func TestPropCodecIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := randomClock(r)
+		data, err := c.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		got, err := Decode(data)
+		if err != nil {
+			return false
+		}
+		return got.Compare(c) == Equal
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCompare(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	x, y := randomClock(r), randomClock(r)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = x.Compare(y)
+	}
+}
+
+func BenchmarkMarshal(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	c := randomClock(r)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, _ = c.MarshalBinary()
+	}
+}

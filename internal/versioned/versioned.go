@@ -1,0 +1,160 @@
+// Package versioned pairs opaque byte values with vector clocks and provides
+// the version bookkeeping Voldemort performs on every read and write: keeping
+// only maximal (mutually concurrent) versions and rejecting obsolete writes.
+package versioned
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"datainfra/internal/vclock"
+)
+
+// ErrObsoleteVersion is returned when a put carries a clock that is dominated
+// by (or equal to) an already-stored version. Clients react by re-reading and
+// retrying — the optimistic-locking loop encapsulated by ApplyUpdate in the
+// voldemort package.
+var ErrObsoleteVersion = errors.New("versioned: obsolete version")
+
+// Versioned is a value stamped with the vector clock under which it was
+// written.
+type Versioned struct {
+	Value []byte
+	Clock *vclock.Clock
+}
+
+// New returns a Versioned wrapping value with a fresh empty clock.
+func New(value []byte) *Versioned {
+	return &Versioned{Value: value, Clock: vclock.New()}
+}
+
+// With returns a Versioned wrapping value under clock.
+func With(value []byte, clock *vclock.Clock) *Versioned {
+	if clock == nil {
+		clock = vclock.New()
+	}
+	return &Versioned{Value: value, Clock: clock}
+}
+
+// Clone deep-copies the versioned value.
+func (v *Versioned) Clone() *Versioned {
+	val := make([]byte, len(v.Value))
+	copy(val, v.Value)
+	return &Versioned{Value: val, Clock: v.Clock.Clone()}
+}
+
+// String renders the value size and clock.
+func (v *Versioned) String() string {
+	return fmt.Sprintf("Versioned(%dB @ %v)", len(v.Value), v.Clock)
+}
+
+// Add inserts v into versions, enforcing the anti-chain invariant: versions
+// holds only mutually concurrent clocks. Versions dominated by v are dropped;
+// if an existing version dominates or equals v, ErrObsoleteVersion is
+// returned and versions is unchanged.
+func Add(versions []*Versioned, v *Versioned) ([]*Versioned, error) {
+	out := versions[:0]
+	for _, existing := range versions {
+		switch v.Clock.Compare(existing.Clock) {
+		case vclock.Before, vclock.Equal:
+			return versions, fmt.Errorf("%w: put clock %v vs stored %v",
+				ErrObsoleteVersion, v.Clock, existing.Clock)
+		case vclock.After:
+			// drop the dominated version
+		case vclock.Concurrent:
+			out = append(out, existing)
+		}
+	}
+	return append(out, v), nil
+}
+
+// Resolve collapses a multi-version read result to the set of maximal
+// versions. Engines maintain the anti-chain themselves, but reads assembled
+// from several replicas (quorum reads) can contain comparable versions;
+// Resolve removes the dominated ones.
+func Resolve(versions []*Versioned) []*Versioned {
+	var out []*Versioned
+	for _, v := range versions {
+		dominated := false
+		dup := false
+		for _, w := range versions {
+			if v == w {
+				continue
+			}
+			switch v.Clock.Compare(w.Clock) {
+			case vclock.Before:
+				dominated = true
+			case vclock.Equal:
+				// keep only the first of an equal pair
+				for _, o := range out {
+					if o.Clock.Compare(v.Clock) == vclock.Equal {
+						dup = true
+					}
+				}
+			}
+			if dominated || dup {
+				break
+			}
+		}
+		if !dominated && !dup {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Latest returns the version with the greatest clock if the set is totally
+// ordered, or the version with the newest timestamp as a last-writer-wins
+// tiebreak when versions are concurrent. ok is false for an empty set.
+func Latest(versions []*Versioned) (v *Versioned, ok bool) {
+	if len(versions) == 0 {
+		return nil, false
+	}
+	best := versions[0]
+	for _, w := range versions[1:] {
+		switch w.Clock.Compare(best.Clock) {
+		case vclock.After:
+			best = w
+		case vclock.Concurrent:
+			if w.Clock.Timestamp > best.Clock.Timestamp {
+				best = w
+			}
+		}
+	}
+	return best, true
+}
+
+// MarshalBinary encodes the versioned value as
+//
+//	uint32 clockLen | clock | value
+func (v *Versioned) MarshalBinary() ([]byte, error) {
+	clk, err := v.Clock.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 4+len(clk)+len(v.Value))
+	binary.BigEndian.PutUint32(buf, uint32(len(clk)))
+	copy(buf[4:], clk)
+	copy(buf[4+len(clk):], v.Value)
+	return buf, nil
+}
+
+// UnmarshalBinary decodes data written by MarshalBinary.
+func (v *Versioned) UnmarshalBinary(data []byte) error {
+	if len(data) < 4 {
+		return errors.New("versioned: truncated header")
+	}
+	n := binary.BigEndian.Uint32(data)
+	if uint32(len(data)-4) < n {
+		return errors.New("versioned: truncated clock")
+	}
+	clk, err := vclock.Decode(data[4 : 4+n])
+	if err != nil {
+		return err
+	}
+	v.Clock = clk
+	v.Value = make([]byte, len(data)-4-int(n))
+	copy(v.Value, data[4+n:])
+	return nil
+}

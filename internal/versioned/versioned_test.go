@@ -1,0 +1,181 @@
+package versioned
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"datainfra/internal/vclock"
+)
+
+func clk(incs ...int32) *vclock.Clock {
+	c := vclock.New()
+	for _, n := range incs {
+		c.Increment(n, 0)
+	}
+	return c
+}
+
+func TestAddRejectsObsolete(t *testing.T) {
+	stored := []*Versioned{With([]byte("v2"), clk(1, 1))}
+	_, err := Add(stored, With([]byte("v1"), clk(1)))
+	if !errors.Is(err, ErrObsoleteVersion) {
+		t.Fatalf("Add older clock: err = %v, want ErrObsoleteVersion", err)
+	}
+	_, err = Add(stored, With([]byte("same"), clk(1, 1)))
+	if !errors.Is(err, ErrObsoleteVersion) {
+		t.Fatalf("Add equal clock: err = %v, want ErrObsoleteVersion", err)
+	}
+}
+
+func TestAddSupersedes(t *testing.T) {
+	stored := []*Versioned{With([]byte("old"), clk(1))}
+	out, err := Add(stored, With([]byte("new"), clk(1, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || string(out[0].Value) != "new" {
+		t.Fatalf("got %v, want single new version", out)
+	}
+}
+
+func TestAddKeepsConcurrent(t *testing.T) {
+	stored := []*Versioned{With([]byte("a"), clk(1))}
+	out, err := Add(stored, With([]byte("b"), clk(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("got %d versions, want 2 concurrent", len(out))
+	}
+}
+
+func TestAddConcurrentThenDominating(t *testing.T) {
+	var vs []*Versioned
+	var err error
+	vs, _ = Add(vs, With([]byte("a"), clk(1)))
+	vs, _ = Add(vs, With([]byte("b"), clk(2)))
+	dominating := With([]byte("merged"), clk(1, 2))
+	vs, err = Add(vs, dominating)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 1 || string(vs[0].Value) != "merged" {
+		t.Fatalf("dominating write should collapse set, got %v", vs)
+	}
+}
+
+func TestResolve(t *testing.T) {
+	a := With([]byte("a"), clk(1))
+	b := With([]byte("b"), clk(1, 1))
+	c := With([]byte("c"), clk(2))
+	got := Resolve([]*Versioned{a, b, c})
+	if len(got) != 2 {
+		t.Fatalf("Resolve kept %d versions, want 2 (b and c)", len(got))
+	}
+	for _, v := range got {
+		if string(v.Value) == "a" {
+			t.Fatal("dominated version 'a' survived Resolve")
+		}
+	}
+}
+
+func TestResolveDedupsEqual(t *testing.T) {
+	a := With([]byte("a"), clk(1))
+	a2 := With([]byte("a"), clk(1))
+	got := Resolve([]*Versioned{a, a2})
+	if len(got) != 1 {
+		t.Fatalf("Resolve kept %d equal versions, want 1", len(got))
+	}
+}
+
+func TestLatest(t *testing.T) {
+	if _, ok := Latest(nil); ok {
+		t.Fatal("Latest(nil) ok = true")
+	}
+	a := With([]byte("a"), clk(1))
+	b := With([]byte("b"), clk(1, 1))
+	v, ok := Latest([]*Versioned{a, b})
+	if !ok || string(v.Value) != "b" {
+		t.Fatalf("Latest = %v, want b", v)
+	}
+	// concurrent: timestamp tiebreak
+	c1 := With([]byte("c1"), vclock.New().Increment(1, 100))
+	c2 := With([]byte("c2"), vclock.New().Increment(2, 200))
+	v, _ = Latest([]*Versioned{c1, c2})
+	if string(v.Value) != "c2" {
+		t.Fatalf("Latest concurrent tiebreak = %s, want c2", v.Value)
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	v := With([]byte("hello world"), clk(1, 2, 3))
+	data, err := v.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Versioned
+	if err := got.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Value, v.Value) {
+		t.Fatalf("value mismatch: %q vs %q", got.Value, v.Value)
+	}
+	if got.Clock.Compare(v.Clock) != vclock.Equal {
+		t.Fatalf("clock mismatch: %v vs %v", got.Clock, v.Clock)
+	}
+}
+
+func TestCodecEmptyValue(t *testing.T) {
+	v := With(nil, clk())
+	data, _ := v.MarshalBinary()
+	var got Versioned
+	if err := got.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Value) != 0 {
+		t.Fatalf("want empty value, got %q", got.Value)
+	}
+}
+
+func TestCodecCorrupt(t *testing.T) {
+	var v Versioned
+	if err := v.UnmarshalBinary([]byte{0, 0}); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+	if err := v.UnmarshalBinary([]byte{0, 0, 0, 99, 1, 2}); err == nil {
+		t.Fatal("truncated clock accepted")
+	}
+}
+
+// Property: repeatedly Adding random versions maintains the anti-chain
+// invariant — no pair in the stored set is comparable.
+func TestPropAddMaintainsAntichain(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var vs []*Versioned
+		for i := 0; i < 20; i++ {
+			c := vclock.New()
+			for j := 0; j < r.Intn(4); j++ {
+				c.Increment(int32(r.Intn(4)), 0)
+			}
+			vs2, err := Add(vs, With([]byte{byte(i)}, c))
+			if err == nil {
+				vs = vs2
+			}
+		}
+		for i, a := range vs {
+			for j, b := range vs {
+				if i != j && a.Clock.Compare(b.Clock) != vclock.Concurrent {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

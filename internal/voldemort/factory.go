@@ -1,0 +1,126 @@
+package voldemort
+
+import (
+	"time"
+
+	"datainfra/internal/cluster"
+	"datainfra/internal/failure"
+	"datainfra/internal/ring"
+)
+
+// ClientFactory builds client-side-routed stores: per-node socket stores
+// assembled under a RoutedStore, with a shared success-ratio failure detector
+// whose async probe pings the nodes — the standard client stack of §II.B.
+type ClientFactory struct {
+	clus     *cluster.Cluster
+	detector *failure.SuccessRatio
+	timeout  time.Duration
+	sockets  map[int]map[string]*SocketStore // node -> store -> socket
+	slops    []*SlopPusher
+}
+
+// NewClientFactory builds a factory over the cluster topology.
+func NewClientFactory(clus *cluster.Cluster, timeout time.Duration) *ClientFactory {
+	f := &ClientFactory{
+		clus:    clus,
+		timeout: timeout,
+		sockets: make(map[int]map[string]*SocketStore),
+	}
+	prober := failure.ProberFunc(func(node int) error {
+		n := clus.NodeByID(node)
+		if n == nil {
+			return ErrNodeDown
+		}
+		s := DialStore("", n.Addr(), timeout)
+		defer s.Close()
+		return s.Ping()
+	})
+	f.detector = failure.NewSuccessRatio(failure.SuccessRatioConfig{}, prober)
+	return f
+}
+
+// Detector exposes the shared failure detector.
+func (f *ClientFactory) Detector() *failure.SuccessRatio { return f.detector }
+
+func (f *ClientFactory) socket(node int, store string) (*SocketStore, bool) {
+	byStore, ok := f.sockets[node]
+	if !ok {
+		byStore = make(map[string]*SocketStore)
+		f.sockets[node] = byStore
+	}
+	s, ok := byStore[store]
+	if !ok {
+		n := f.clus.NodeByID(node)
+		if n == nil {
+			return nil, false
+		}
+		s = DialStore(store, n.Addr(), f.timeout)
+		byStore[store] = s
+	}
+	return s, true
+}
+
+// RoutedStore assembles the full quorum stack for def: socket stores for
+// every node, consistent (or zoned) routing, the shared failure detector and
+// a slop pusher for hinted handoff.
+func (f *ClientFactory) RoutedStore(def *cluster.StoreDef, clientZone int) (*RoutedStore, error) {
+	def = def.WithDefaults()
+	var strategy ring.Strategy
+	var err error
+	if def.ZoneCountReads > 0 || def.ZoneCountWrites > 0 {
+		strategy, err = ring.NewZoned(f.clus, def.Replication, max(def.ZoneCountReads, def.ZoneCountWrites), clientZone)
+	} else {
+		strategy, err = ring.NewConsistent(f.clus, def.Replication)
+	}
+	if err != nil {
+		return nil, err
+	}
+	stores := make(map[int]Store, len(f.clus.Nodes))
+	for _, n := range f.clus.Nodes {
+		s, ok := f.socket(n.ID, def.Name)
+		if !ok {
+			continue
+		}
+		stores[n.ID] = s
+	}
+	var slop *SlopPusher
+	if def.HintedHandoff {
+		slop = NewSlopPusher(func(node int, store string) (Store, bool) {
+			s, ok := f.socket(node, store)
+			return s, ok
+		}, f.detector, 0)
+		slop.Start()
+		f.slops = append(f.slops, slop)
+	}
+	return NewRouted(RoutedConfig{
+		Def:      def,
+		Cluster:  f.clus,
+		Strategy: strategy,
+		Detector: f.detector,
+		Stores:   stores,
+		Slop:     slop,
+		Timeout:  f.timeout,
+	})
+}
+
+// Client returns a Figure II.2 client bound to a routed store for def.
+func (f *ClientFactory) Client(def *cluster.StoreDef, clientID int) (*Client, error) {
+	rs, err := f.RoutedStore(def, 0)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(rs, nil, clientID), nil
+}
+
+// Close shuts the detector, slop pushers and all pooled sockets.
+func (f *ClientFactory) Close() {
+	f.detector.Close()
+	for _, s := range f.slops {
+		s.Close()
+	}
+	for _, byStore := range f.sockets {
+		for _, s := range byStore {
+			s.Close()
+		}
+	}
+}

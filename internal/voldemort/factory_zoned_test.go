@@ -1,0 +1,75 @@
+package voldemort
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"datainfra/internal/cluster"
+)
+
+// TestFactoryZonedStoreOverSockets drives the multi-datacenter client stack
+// end to end: socket servers in two zones, a zoned routing strategy picked
+// automatically from the store definition's zone-count requirements.
+func TestFactoryZonedStoreOverSockets(t *testing.T) {
+	clus := cluster.UniformZoned("zsock", 4, 16, 2, 0)
+	def := (&cluster.StoreDef{
+		Name: "zs", Replication: 2, RequiredReads: 1, RequiredWrites: 2,
+		ZoneCountWrites: 2,
+	}).WithDefaults()
+
+	servers := make([]*Server, 4)
+	for i := range servers {
+		srv, err := NewServer(ServerConfig{NodeID: i, Cluster: clus, DataDir: t.TempDir()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var port int
+		fmt.Sscanf(addr[len("127.0.0.1:"):], "%d", &port)
+		clus.NodeByID(i).Port = port
+		if err := srv.AddStore(def); err != nil {
+			t.Fatal(err)
+		}
+		servers[i] = srv
+	}
+	t.Cleanup(func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	})
+
+	f := NewClientFactory(clus, time.Second)
+	defer f.Close()
+	c, err := f.Client(def, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		k := []byte(fmt.Sprintf("zk%d", i))
+		if err := c.Put(k, []byte("v")); err != nil {
+			t.Fatalf("zoned socket put: %v", err)
+		}
+		if _, ok, err := c.Get(k); err != nil || !ok {
+			t.Fatalf("zoned socket get: (%v, %v)", ok, err)
+		}
+	}
+	// verify the replicas really span both zones on the servers
+	key := []byte("zk0")
+	zones := map[int]bool{}
+	for _, srv := range servers {
+		es, ok := srv.LocalStore("zs")
+		if !ok {
+			continue
+		}
+		if vs, _ := es.Get(key, nil); len(vs) > 0 {
+			zones[clus.NodeByID(srv.NodeID()).ZoneID] = true
+		}
+	}
+	if len(zones) != 2 {
+		t.Fatalf("replicas span %d zones, want 2", len(zones))
+	}
+}

@@ -1,0 +1,112 @@
+package voldemort
+
+import (
+	"sync"
+
+	"datainfra/internal/versioned"
+)
+
+// MultiGetter is the optional batched-read extension of Store. Batching
+// matters on the socket path (one round trip for many keys) and for feed
+// rendering patterns like Company Follow, which resolve many small lists at
+// once.
+type MultiGetter interface {
+	GetAll(keys [][]byte) (map[string][]*versioned.Versioned, error)
+}
+
+// GetAll fetches many keys through s, using its native batched path when
+// available and falling back to per-key gets otherwise. Missing keys are
+// absent from the result map.
+func GetAll(s Store, keys [][]byte) (map[string][]*versioned.Versioned, error) {
+	if mg, ok := s.(MultiGetter); ok {
+		return mg.GetAll(keys)
+	}
+	out := make(map[string][]*versioned.Versioned, len(keys))
+	for _, k := range keys {
+		vs, err := s.Get(k, nil)
+		if err != nil {
+			return nil, err
+		}
+		if len(vs) > 0 {
+			out[string(k)] = vs
+		}
+	}
+	return out, nil
+}
+
+// GetAll implements MultiGetter on the engine store.
+func (s *EngineStore) GetAll(keys [][]byte) (map[string][]*versioned.Versioned, error) {
+	out := make(map[string][]*versioned.Versioned, len(keys))
+	for _, k := range keys {
+		vs, err := s.engine.Get(k)
+		if err != nil {
+			return nil, err
+		}
+		if len(vs) > 0 {
+			out[string(k)] = vs
+		}
+	}
+	return out, nil
+}
+
+// GetAll implements MultiGetter over the wire: one request, one response.
+func (s *SocketStore) GetAll(keys [][]byte) (map[string][]*versioned.Versioned, error) {
+	resp, err := s.call(&request{Op: opGetAll, Store: s.storeName, Body: encodeKeys(keys)})
+	if err != nil {
+		return nil, err
+	}
+	if err := resp.err(); err != nil {
+		return nil, err
+	}
+	return decodeKeyedVersionSets(resp.Payload)
+}
+
+// GetAll implements MultiGetter on the routed store: keys resolve through
+// their own quorums concurrently.
+func (s *RoutedStore) GetAll(keys [][]byte) (map[string][]*versioned.Versioned, error) {
+	type result struct {
+		key string
+		vs  []*versioned.Versioned
+		err error
+	}
+	ch := make(chan result, len(keys))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, 16) // bound concurrency
+	for _, k := range keys {
+		wg.Add(1)
+		go func(k []byte) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			vs, err := s.Get(k, nil)
+			ch <- result{key: string(k), vs: vs, err: err}
+		}(k)
+	}
+	wg.Wait()
+	close(ch)
+	out := make(map[string][]*versioned.Versioned, len(keys))
+	for r := range ch {
+		if r.err != nil {
+			return nil, r.err
+		}
+		if len(r.vs) > 0 {
+			out[r.key] = r.vs
+		}
+	}
+	return out, nil
+}
+
+// GetAll resolves many keys to values through the client's resolver.
+func (c *Client) GetAll(keys [][]byte) (map[string][]byte, error) {
+	raw, err := GetAll(c.store, keys)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string][]byte, len(raw))
+	for k, vs := range raw {
+		if v := c.resolver(vs); v != nil {
+			out[k] = v.Value
+		}
+	}
+	return out, nil
+}

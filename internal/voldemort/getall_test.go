@@ -1,0 +1,88 @@
+package voldemort
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"datainfra/internal/cluster"
+)
+
+func TestGetAllEngineStore(t *testing.T) {
+	rig := newRig(t, 3, 12, 2, 1, 2, false)
+	c := NewClient(rig.routed, nil, 1)
+	for i := 0; i < 20; i++ {
+		if err := c.Put([]byte(fmt.Sprintf("k%d", i)), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keys := [][]byte{[]byte("k1"), []byte("k5"), []byte("k19"), []byte("missing")}
+	got, err := c.GetAll(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("GetAll returned %d entries", len(got))
+	}
+	if string(got["k5"]) != "v5" {
+		t.Fatalf("k5 = %q", got["k5"])
+	}
+	if _, present := got["missing"]; present {
+		t.Fatal("missing key present in result")
+	}
+}
+
+func TestGetAllOverSocket(t *testing.T) {
+	def := (&cluster.StoreDef{Name: "ga", Replication: 1, RequiredReads: 1, RequiredWrites: 1}).WithDefaults()
+	clus, _ := startCluster(t, 1, 4, def)
+	ss := DialStore("ga", clus.NodeByID(0).Addr(), time.Second)
+	defer ss.Close()
+	c := NewClient(ss, nil, 1)
+	for i := 0; i < 10; i++ {
+		if err := c.Put([]byte(fmt.Sprintf("k%d", i)), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var keys [][]byte
+	for i := 0; i < 10; i += 2 {
+		keys = append(keys, []byte(fmt.Sprintf("k%d", i)))
+	}
+	got, err := c.GetAll(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("socket GetAll returned %d entries", len(got))
+	}
+	for i := 0; i < 10; i += 2 {
+		if string(got[fmt.Sprintf("k%d", i)]) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("k%d = %q", i, got[fmt.Sprintf("k%d", i)])
+		}
+	}
+	// empty key list
+	got, err = c.GetAll(nil)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty GetAll = (%d, %v)", len(got), err)
+	}
+}
+
+func TestGetAllRoutedWithFailures(t *testing.T) {
+	rig := newRig(t, 3, 12, 3, 1, 2, false)
+	c := NewClient(rig.routed, nil, 1)
+	var keys [][]byte
+	for i := 0; i < 30; i++ {
+		k := []byte(fmt.Sprintf("k%d", i))
+		keys = append(keys, k)
+		if err := c.Put(k, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rig.flaky[0].SetFailing(true) // R=1 of N=3 still satisfiable
+	got, err := c.GetAll(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 30 {
+		t.Fatalf("GetAll with node down returned %d/30", len(got))
+	}
+}

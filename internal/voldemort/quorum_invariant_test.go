@@ -1,0 +1,116 @@
+package voldemort
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestPropQuorumReadsSeeCommittedWrites checks the core Dynamo invariant the
+// paper's N/R/W configuration relies on: with R+W > N, a successful read
+// observes the latest successful write — even while individual nodes suffer
+// transient failures (at most one at a time, so quorums stay satisfiable).
+func TestPropQuorumReadsSeeCommittedWrites(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rig := newRig(t, 3, 12, 3, 2, 2, false) // N=3, R=2, W=2: R+W > N
+		c := NewClient(rig.routed, nil, 1)
+		key := []byte("invariant")
+		lastCommitted := ""
+		for op := 0; op < 60; op++ {
+			// Flip at most one node down.
+			down := r.Intn(4) // 3 == everyone up
+			for id := 0; id < 3; id++ {
+				rig.flaky[id].SetFailing(id == down)
+			}
+			switch r.Intn(2) {
+			case 0:
+				val := fmt.Sprintf("v%d", op)
+				if err := c.Put(key, []byte(val)); err == nil {
+					lastCommitted = val
+				} else {
+					// Failed writes may or may not have reached some
+					// replicas; the committed value is now ambiguous between
+					// old and new. Re-read to resolve what the system chose.
+					if v, ok, rerr := c.Get(key); rerr == nil && ok {
+						lastCommitted = string(v)
+					}
+				}
+			case 1:
+				v, ok, err := c.Get(key)
+				if err != nil {
+					continue // quorum unavailable this round; not a violation
+				}
+				if lastCommitted == "" {
+					continue
+				}
+				if !ok || string(v) != lastCommitted {
+					t.Logf("seed %d op %d: read %q, committed %q", seed, op, v, lastCommitted)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropReadRepairConverges: after arbitrary single-node outages during
+// writes, turning every node back on and issuing quorum reads drives all
+// replicas to the same latest value.
+func TestPropReadRepairConverges(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rig := newRig(t, 3, 12, 3, 2, 2, false)
+		c := NewClient(rig.routed, nil, 1)
+		key := []byte("converge")
+		var last string
+		for op := 0; op < 30; op++ {
+			down := r.Intn(4)
+			for id := 0; id < 3; id++ {
+				rig.flaky[id].SetFailing(id == down)
+			}
+			val := fmt.Sprintf("v%d", op)
+			if err := c.Put(key, []byte(val)); err == nil {
+				last = val
+			}
+		}
+		// Heal the cluster and read repeatedly: read repair must propagate
+		// the winning version everywhere.
+		for id := 0; id < 3; id++ {
+			rig.flaky[id].SetFailing(false)
+		}
+		for i := 0; i < 3; i++ {
+			if _, _, err := c.Get(key); err != nil {
+				return false
+			}
+		}
+		if last == "" {
+			return true
+		}
+		// Every replica holding the key must hold the winning value.
+		for id, es := range rig.engines {
+			vs, err := es.Get(key, nil)
+			if err != nil || len(vs) == 0 {
+				continue
+			}
+			found := false
+			for _, v := range vs {
+				if string(v.Value) == last {
+					found = true
+				}
+			}
+			if !found {
+				t.Logf("seed %d: node %d lacks winning value %q", seed, id, last)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,380 @@
+package voldemort
+
+import (
+	"fmt"
+	"time"
+
+	"datainfra/internal/cluster"
+	"datainfra/internal/failure"
+	"datainfra/internal/ring"
+	"datainfra/internal/vclock"
+	"datainfra/internal/versioned"
+)
+
+// RoutedStore performs quorum reads and writes across replicas (§II.B): it
+// walks the consistent-hash ring for the key's preference list, issues
+// parallel requests, requires R successful reads / W successful writes,
+// repairs stale replicas on reads (read repair) and hands failed writes to
+// the slop pusher (hinted handoff).
+type RoutedStore struct {
+	def      *cluster.StoreDef
+	clus     *cluster.Cluster
+	strategy ring.Strategy
+	detector failure.Detector
+	stores   map[int]Store // per-node stores (local engine or socket client)
+	slop     *SlopPusher   // nil disables hinted handoff
+	timeout  time.Duration
+}
+
+// RoutedConfig assembles a RoutedStore.
+type RoutedConfig struct {
+	Def      *cluster.StoreDef
+	Cluster  *cluster.Cluster
+	Strategy ring.Strategy
+	Detector failure.Detector // nil means AlwaysUp
+	Stores   map[int]Store
+	Slop     *SlopPusher   // optional
+	Timeout  time.Duration // per-operation replica timeout; default 500ms
+}
+
+// NewRouted validates the configuration and builds the store.
+func NewRouted(cfg RoutedConfig) (*RoutedStore, error) {
+	if err := cfg.Def.Validate(len(cfg.Cluster.Nodes)); err != nil {
+		return nil, err
+	}
+	if cfg.Strategy.Replication() != cfg.Def.Replication {
+		return nil, fmt.Errorf("voldemort: strategy replication %d != store replication %d",
+			cfg.Strategy.Replication(), cfg.Def.Replication)
+	}
+	det := cfg.Detector
+	if det == nil {
+		det = failure.AlwaysUp{}
+	}
+	t := cfg.Timeout
+	if t == 0 {
+		t = 500 * time.Millisecond
+	}
+	return &RoutedStore{
+		def:      cfg.Def,
+		clus:     cfg.Cluster,
+		strategy: cfg.Strategy,
+		detector: det,
+		stores:   cfg.Stores,
+		slop:     cfg.Slop,
+		timeout:  t,
+	}, nil
+}
+
+// Name returns the store name.
+func (s *RoutedStore) Name() string { return s.def.Name }
+
+// MasterNode names the primary replica node for key. Clients increment this
+// node's clock entry so concurrent updates of the same key collide instead
+// of forking siblings.
+func (s *RoutedStore) MasterNode(key []byte) int32 {
+	nodes := s.strategy.NodeList(key)
+	if len(nodes) == 0 {
+		return -1
+	}
+	return int32(nodes[0].ID)
+}
+
+type nodeResult struct {
+	node     int
+	zone     int
+	versions []*versioned.Versioned
+	deleted  bool
+	err      error
+}
+
+// liveNodes returns the preference list filtered by the failure detector,
+// followed by the banned nodes (kept as backups appended at the end).
+func (s *RoutedStore) liveNodes(key []byte) (live, banned []*cluster.Node) {
+	for _, n := range s.strategy.NodeList(key) {
+		if s.detector.Available(n.ID) {
+			live = append(live, n)
+		} else {
+			banned = append(banned, n)
+		}
+	}
+	return live, banned
+}
+
+// fanout runs op against up to want nodes in parallel, collecting results
+// until enough() is satisfied, every launched request answered, or the
+// timeout expires. Stragglers keep running; drain receives their results
+// (for detector bookkeeping and hinted handoff) without blocking the caller
+// — the Dynamo rule that a quorum response returns as soon as R (or W)
+// replicas answer.
+func (s *RoutedStore) fanout(nodes []*cluster.Node, want int,
+	op func(n *cluster.Node) nodeResult,
+	enough func(results []nodeResult) bool,
+	drain func(r nodeResult)) []nodeResult {
+	if want > len(nodes) {
+		want = len(nodes)
+	}
+	ch := make(chan nodeResult, want) // buffered: stragglers never block
+	for _, n := range nodes[:want] {
+		go func(n *cluster.Node) { ch <- op(n) }(n)
+	}
+	results := make([]nodeResult, 0, want)
+	deadline := time.NewTimer(s.timeout)
+	defer deadline.Stop()
+	for len(results) < want {
+		select {
+		case r := <-ch:
+			results = append(results, r)
+			if enough != nil && enough(results) {
+				if remaining := want - len(results); remaining > 0 && drain != nil {
+					go func() {
+						for i := 0; i < remaining; i++ {
+							drain(<-ch)
+						}
+					}()
+				}
+				return results
+			}
+		case <-deadline.C:
+			return results
+		}
+	}
+	return results
+}
+
+func (s *RoutedStore) record(r nodeResult) {
+	if r.err == nil || occurredErr(r.err) {
+		s.detector.RecordSuccess(r.node)
+	} else {
+		s.detector.RecordFailure(r.node)
+	}
+}
+
+func zonesIn(results []nodeResult) int {
+	set := map[int]bool{}
+	for _, r := range results {
+		if r.err == nil {
+			set[r.zone] = true
+		}
+	}
+	return len(set)
+}
+
+// Get performs a quorum read with read repair.
+func (s *RoutedStore) Get(key []byte, tr *Transform) ([]*versioned.Versioned, error) {
+	live, banned := s.liveNodes(key)
+	nodes := append(append([]*cluster.Node{}, live...), banned...)
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("%w: no replicas for key", ErrInsufficientReads)
+	}
+	op := func(n *cluster.Node) nodeResult {
+		st, ok := s.stores[n.ID]
+		if !ok {
+			return nodeResult{node: n.ID, zone: n.ZoneID, err: fmt.Errorf("no store for node %d", n.ID)}
+		}
+		vs, err := st.Get(key, tr)
+		return nodeResult{node: n.ID, zone: n.ZoneID, versions: vs, err: err}
+	}
+	quorumMet := func(rs []nodeResult) bool {
+		if len(successes(rs)) < s.def.RequiredReads {
+			return false
+		}
+		return s.def.ZoneCountReads == 0 || zonesIn(rs) >= s.def.ZoneCountReads
+	}
+	results := s.fanout(nodes, s.def.PreferredReads, op, quorumMet, s.record)
+	for _, r := range results {
+		s.record(r)
+	}
+	good := successes(results)
+	// Serially try remaining nodes if the quorum is not yet met.
+	tried := s.def.PreferredReads
+	for len(good) < s.def.RequiredReads && tried < len(nodes) {
+		r := op(nodes[tried])
+		s.record(r)
+		results = append(results, r)
+		good = successes(results)
+		tried++
+	}
+	if len(good) < s.def.RequiredReads {
+		return nil, fmt.Errorf("%w: %d of %d required", ErrInsufficientReads, len(good), s.def.RequiredReads)
+	}
+	if s.def.ZoneCountReads > 0 && zonesIn(results) < s.def.ZoneCountReads {
+		return nil, fmt.Errorf("%w: reads from %d zones, need %d", ErrInsufficientZones, zonesIn(results), s.def.ZoneCountReads)
+	}
+	var all []*versioned.Versioned
+	for _, r := range good {
+		all = append(all, r.versions...)
+	}
+	resolved := versioned.Resolve(all)
+	if s.def.ReadRepair && tr == nil {
+		s.readRepair(key, good, resolved)
+	}
+	return resolved, nil
+}
+
+func successes(results []nodeResult) []nodeResult {
+	var out []nodeResult
+	for _, r := range results {
+		if r.err == nil {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// readRepair pushes maximal versions to replicas that missed them (§II.B:
+// "read repair detects inconsistencies during gets").
+func (s *RoutedStore) readRepair(key []byte, responded []nodeResult, maximal []*versioned.Versioned) {
+	for _, r := range responded {
+		for _, want := range maximal {
+			has := false
+			for _, v := range r.versions {
+				rel := v.Clock.Compare(want.Clock)
+				if rel == vclock.Equal || rel == vclock.After {
+					has = true
+					break
+				}
+			}
+			if has {
+				continue
+			}
+			if st, ok := s.stores[r.node]; ok {
+				// Best-effort: obsolete errors mean the replica caught up.
+				_ = st.Put(key, want.Clone(), nil)
+			}
+		}
+	}
+}
+
+// Put performs a quorum write. Failed replicas are handed to the slop pusher
+// when hinted handoff is enabled, but the write still fails if fewer than W
+// replicas acked.
+func (s *RoutedStore) Put(key []byte, v *versioned.Versioned, tr *Transform) error {
+	live, banned := s.liveNodes(key)
+	nodes := append(append([]*cluster.Node{}, live...), banned...)
+	if len(nodes) == 0 {
+		return fmt.Errorf("%w: no replicas for key", ErrInsufficientWrites)
+	}
+	op := func(n *cluster.Node) nodeResult {
+		st, ok := s.stores[n.ID]
+		if !ok {
+			return nodeResult{node: n.ID, zone: n.ZoneID, err: fmt.Errorf("no store for node %d", n.ID)}
+		}
+		return nodeResult{node: n.ID, zone: n.ZoneID, err: st.Put(key, v.Clone(), tr)}
+	}
+	// Master-first: the first live replica performs the put synchronously so
+	// the optimistic-lock check is serialized at one node — two concurrent
+	// writers with the same clock race at the master and exactly one loses
+	// (§II.B). Only after the master accepts is the write fanned out.
+	var results []nodeResult
+	rest := nodes
+	masterAcked := 0
+	if len(live) > 0 {
+		master := op(nodes[0])
+		s.record(master)
+		if occurredErr(master.err) {
+			return master.err
+		}
+		results = append(results, master)
+		rest = nodes[1:]
+		if master.err == nil {
+			masterAcked = 1
+		}
+	}
+	// Stragglers drain in the background: their failures still feed the
+	// detector and, when enabled, become hints.
+	drain := func(r nodeResult) {
+		s.record(r)
+		if r.err != nil && !occurredErr(r.err) && s.slop != nil && s.def.HintedHandoff {
+			s.slop.Add(Hint{Store: s.def.Name, Node: r.node, Key: key, Value: v.Clone()})
+		}
+	}
+	quorumMet := func(rs []nodeResult) bool {
+		acked := masterAcked
+		for _, r := range rs {
+			if r.err == nil || occurredErr(r.err) {
+				acked++
+			}
+		}
+		if acked < s.def.RequiredWrites {
+			return false
+		}
+		return s.def.ZoneCountWrites == 0 || zonesIn(append(rs, results...)) >= s.def.ZoneCountWrites
+	}
+	fanned := s.fanout(rest, s.def.PreferredWrites-len(results), op, quorumMet, drain)
+	var acks int
+	var obsolete error
+	for _, r := range fanned {
+		s.record(r)
+		results = append(results, r)
+	}
+	for _, r := range results {
+		switch {
+		case r.err == nil:
+			acks++
+		case occurredErr(r.err):
+			// After the master accepted, a replica rejecting as obsolete
+			// already holds this version or newer — count it as applied.
+			obsolete = r.err
+			acks++
+		}
+	}
+	if obsolete != nil && len(results) > 0 && occurredErr(results[0].err) {
+		return obsolete
+	}
+	// Hand failed/missed replicas to the slop pusher.
+	if s.slop != nil && s.def.HintedHandoff {
+		for _, n := range nodes {
+			ok := false
+			for _, r := range results {
+				if r.node == n.ID && r.err == nil {
+					ok = true
+				}
+			}
+			if !ok {
+				s.slop.Add(Hint{Store: s.def.Name, Node: n.ID, Key: key, Value: v.Clone()})
+			}
+		}
+	}
+	if acks < s.def.RequiredWrites {
+		return fmt.Errorf("%w: %d of %d required", ErrInsufficientWrites, acks, s.def.RequiredWrites)
+	}
+	if s.def.ZoneCountWrites > 0 && zonesIn(results) < s.def.ZoneCountWrites {
+		return fmt.Errorf("%w: writes to %d zones, need %d", ErrInsufficientZones, zonesIn(results), s.def.ZoneCountWrites)
+	}
+	return nil
+}
+
+// Delete performs a quorum delete.
+func (s *RoutedStore) Delete(key []byte, clock *vclock.Clock) (bool, error) {
+	live, banned := s.liveNodes(key)
+	nodes := append(append([]*cluster.Node{}, live...), banned...)
+	if len(nodes) == 0 {
+		return false, fmt.Errorf("%w: no replicas for key", ErrInsufficientWrites)
+	}
+	op := func(n *cluster.Node) nodeResult {
+		st, ok := s.stores[n.ID]
+		if !ok {
+			return nodeResult{node: n.ID, zone: n.ZoneID, err: fmt.Errorf("no store for node %d", n.ID)}
+		}
+		del, err := st.Delete(key, clock)
+		return nodeResult{node: n.ID, zone: n.ZoneID, deleted: del, err: err}
+	}
+	results := s.fanout(nodes, s.def.PreferredWrites, op, nil, nil)
+	acks, deleted := 0, false
+	for _, r := range results {
+		s.record(r)
+		if r.err == nil {
+			acks++
+			deleted = deleted || r.deleted
+		} else if s.slop != nil && s.def.HintedHandoff {
+			s.slop.Add(Hint{Store: s.def.Name, Node: r.node, Key: key, Delete: true, Clock: clock})
+		}
+	}
+	if acks < s.def.RequiredWrites {
+		return false, fmt.Errorf("%w: %d of %d required", ErrInsufficientWrites, acks, s.def.RequiredWrites)
+	}
+	return deleted, nil
+}
+
+// Close closes nothing: the per-node stores are owned by their servers.
+func (s *RoutedStore) Close() error { return nil }

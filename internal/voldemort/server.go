@@ -1,0 +1,489 @@
+package voldemort
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"path/filepath"
+	"strconv"
+	"sync"
+
+	"datainfra/internal/cluster"
+	"datainfra/internal/ring"
+	"datainfra/internal/storage"
+	"datainfra/internal/vclock"
+	"datainfra/internal/versioned"
+)
+
+// Server is one Voldemort storage node: it hosts engines for each store,
+// serves the binary socket protocol, and runs the administrative service
+// (§II.B "Admin Service") that allows store addition/deletion and partition
+// streaming for rebalancing — all without downtime.
+type Server struct {
+	nodeID  int
+	dataDir string
+
+	mu     sync.RWMutex
+	clus   *cluster.Cluster
+	stores map[string]*EngineStore
+	defs   map[string]*cluster.StoreDef
+
+	transforms *TransformRegistry
+	ln         net.Listener
+	conns      map[net.Conn]bool
+	wg         sync.WaitGroup
+	closed     bool
+}
+
+// ServerConfig configures a node.
+type ServerConfig struct {
+	NodeID     int
+	Cluster    *cluster.Cluster
+	DataDir    string // required for bitcask/readonly engines
+	Transforms *TransformRegistry
+}
+
+// NewServer builds a node with no stores.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Cluster.NodeByID(cfg.NodeID) == nil {
+		return nil, fmt.Errorf("voldemort: node %d not in cluster %q", cfg.NodeID, cfg.Cluster.Name)
+	}
+	tr := cfg.Transforms
+	if tr == nil {
+		tr = NewTransformRegistry()
+	}
+	return &Server{
+		nodeID:     cfg.NodeID,
+		dataDir:    cfg.DataDir,
+		clus:       cfg.Cluster,
+		stores:     make(map[string]*EngineStore),
+		defs:       make(map[string]*cluster.StoreDef),
+		conns:      make(map[net.Conn]bool),
+		transforms: tr,
+	}, nil
+}
+
+// NodeID returns this server's node id.
+func (s *Server) NodeID() int { return s.nodeID }
+
+// Cluster returns the current topology metadata.
+func (s *Server) Cluster() *cluster.Cluster {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.clus
+}
+
+// AddStore creates the engine for def and begins serving it — privileged
+// admin command, no downtime.
+func (s *Server) AddStore(def *cluster.StoreDef) error {
+	def = def.WithDefaults()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := def.Validate(len(s.clus.Nodes)); err != nil {
+		return err
+	}
+	if _, exists := s.stores[def.Name]; exists {
+		return fmt.Errorf("voldemort: store %q already exists on node %d", def.Name, s.nodeID)
+	}
+	var eng storage.Engine
+	var err error
+	switch def.Engine {
+	case cluster.EngineMemory:
+		eng = storage.NewMemory(def.Name)
+	case cluster.EngineBitcask:
+		eng, err = storage.OpenBitcask(def.Name, s.storeDir(def.Name), 100)
+	case cluster.EngineReadOnly:
+		eng, err = storage.OpenReadOnly(def.Name, s.storeDir(def.Name))
+	default:
+		err = fmt.Errorf("voldemort: unknown engine %q", def.Engine)
+	}
+	if err != nil {
+		return err
+	}
+	s.stores[def.Name] = NewEngineStore(eng, s.nodeID, s.transforms)
+	s.defs[def.Name] = def
+	return nil
+}
+
+func (s *Server) storeDir(store string) string {
+	return filepath.Join(s.dataDir, fmt.Sprintf("node-%d", s.nodeID), store)
+}
+
+// DeleteStore stops serving and closes the named store.
+func (s *Server) DeleteStore(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.stores[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownStore, name)
+	}
+	delete(s.stores, name)
+	delete(s.defs, name)
+	return st.Close()
+}
+
+// LocalStore returns the engine-backed store for name (in-process access).
+func (s *Server) LocalStore(name string) (*EngineStore, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st, ok := s.stores[name]
+	return st, ok
+}
+
+// StoreNames lists the stores served by this node.
+func (s *Server) StoreNames() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.stores))
+	for name := range s.stores {
+		out = append(out, name)
+	}
+	return out
+}
+
+// Listen starts serving the socket protocol on addr ("host:0" picks a free
+// port). It returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = true
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer func() {
+				conn.Close()
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+			}()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	for {
+		frame, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		req, err := decodeRequest(frame)
+		if err != nil {
+			_ = writeFrame(conn, (&response{Status: statusError, Message: err.Error()}).encode())
+			return
+		}
+		if req.Op == opFetchPartitions {
+			if err := s.streamPartitions(conn, req); err != nil {
+				return
+			}
+			continue
+		}
+		resp := s.dispatch(req)
+		if err := writeFrame(conn, resp.encode()); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) store(name string) (*EngineStore, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st, ok := s.stores[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownStore, name)
+	}
+	return st, nil
+}
+
+func (s *Server) dispatch(req *request) *response {
+	switch req.Op {
+	case opPing:
+		return &response{Status: statusOK}
+
+	case opGet:
+		st, err := s.store(req.Store)
+		if err != nil {
+			return errToResponse(err, nil)
+		}
+		var tr *Transform
+		if req.TrName != "" {
+			tr = &Transform{Name: req.TrName, Arg: req.TrArg}
+		}
+		vs, err := st.Get(req.Key, tr)
+		if err != nil {
+			return errToResponse(err, nil)
+		}
+		payload, err := encodeVersionSet(vs)
+		return errToResponse(err, payload)
+
+	case opGetAll:
+		st, err := s.store(req.Store)
+		if err != nil {
+			return errToResponse(err, nil)
+		}
+		keys, err := decodeKeys(req.Body)
+		if err != nil {
+			return errToResponse(err, nil)
+		}
+		entries, err := st.GetAll(keys)
+		if err != nil {
+			return errToResponse(err, nil)
+		}
+		payload, err := encodeKeyedVersionSets(entries)
+		return errToResponse(err, payload)
+
+	case opPut:
+		st, err := s.store(req.Store)
+		if err != nil {
+			return errToResponse(err, nil)
+		}
+		var v versioned.Versioned
+		if err := v.UnmarshalBinary(req.Body); err != nil {
+			return errToResponse(err, nil)
+		}
+		var tr *Transform
+		if req.TrName != "" {
+			tr = &Transform{Name: req.TrName, Arg: req.TrArg}
+		}
+		return errToResponse(st.Put(req.Key, &v, tr), nil)
+
+	case opDelete:
+		st, err := s.store(req.Store)
+		if err != nil {
+			return errToResponse(err, nil)
+		}
+		var clock *vclock.Clock
+		if len(req.Body) > 0 {
+			clock, err = vclock.Decode(req.Body)
+			if err != nil {
+				return errToResponse(err, nil)
+			}
+		}
+		deleted, err := st.Delete(req.Key, clock)
+		if err != nil {
+			return errToResponse(err, nil)
+		}
+		payload := []byte{0}
+		if deleted {
+			payload[0] = 1
+		}
+		return &response{Status: statusOK, Payload: payload}
+
+	case opAddStore:
+		var def cluster.StoreDef
+		if err := json.Unmarshal(req.Body, &def); err != nil {
+			return errToResponse(err, nil)
+		}
+		return errToResponse(s.AddStore(&def), nil)
+
+	case opDeleteStore:
+		return errToResponse(s.DeleteStore(req.Store), nil)
+
+	case opListStores:
+		payload, err := json.Marshal(s.StoreNames())
+		return errToResponse(err, payload)
+
+	case opGetCluster:
+		s.mu.RLock()
+		payload, err := json.Marshal(s.clus)
+		s.mu.RUnlock()
+		return errToResponse(err, payload)
+
+	case opUpdateCluster:
+		var c cluster.Cluster
+		if err := json.Unmarshal(req.Body, &c); err != nil {
+			return errToResponse(err, nil)
+		}
+		s.mu.Lock()
+		s.clus = &c
+		s.mu.Unlock()
+		return &response{Status: statusOK}
+
+	case opDeletePartition:
+		return errToResponse(s.deletePartition(req), nil)
+
+	case opSwapReadOnly:
+		return errToResponse(s.swapReadOnly(req.Store, req.Body, false), nil)
+
+	case opRollbackRO:
+		return errToResponse(s.swapReadOnly(req.Store, nil, true), nil)
+
+	default:
+		return &response{Status: statusError, Message: fmt.Sprintf("unknown op %d", req.Op)}
+	}
+}
+
+// swapReadOnly swaps (or rolls back) the read-only engine behind a store —
+// the Swap phase of Figure II.3, executed per node by the controller.
+func (s *Server) swapReadOnly(store string, versionBytes []byte, rollback bool) error {
+	st, err := s.store(store)
+	if err != nil {
+		return err
+	}
+	ro, ok := st.Engine().(*storage.ReadOnlyEngine)
+	if !ok {
+		return fmt.Errorf("voldemort: store %q is not read-only", store)
+	}
+	if rollback {
+		return ro.Rollback()
+	}
+	v, err := strconv.Atoi(string(versionBytes))
+	if err != nil {
+		return fmt.Errorf("voldemort: bad swap version: %w", err)
+	}
+	return ro.Swap(v)
+}
+
+// ReadOnlyEngine returns the read-only engine behind store, if any.
+func (s *Server) ReadOnlyEngine(store string) (*storage.ReadOnlyEngine, bool) {
+	st, err := s.store(store)
+	if err != nil {
+		return nil, false
+	}
+	ro, ok := st.Engine().(*storage.ReadOnlyEngine)
+	return ro, ok
+}
+
+// streamPartitions streams every entry whose primary partition is in the
+// requested set: frames of (key, versionSet), terminated by an empty frame.
+func (s *Server) streamPartitions(conn net.Conn, req *request) error {
+	st, err := s.store(req.Store)
+	if err != nil {
+		return writeFrame(conn, nil) // empty terminator; client sees zero entries
+	}
+	var parts []int
+	if err := json.Unmarshal(req.Body, &parts); err != nil {
+		return writeFrame(conn, nil)
+	}
+	want := make(map[int]bool, len(parts))
+	for _, p := range parts {
+		want[p] = true
+	}
+	s.mu.RLock()
+	numPartitions := s.clus.NumPartitions
+	s.mu.RUnlock()
+
+	var streamErr error
+	err = st.Engine().Entries(func(key []byte, vs []*versioned.Versioned) bool {
+		if !want[ring.Hash(key, numPartitions)] {
+			return true
+		}
+		data, err := encodeVersionSet(vs)
+		if err != nil {
+			streamErr = err
+			return false
+		}
+		var w wbuf
+		w.bytes32(key)
+		w.bytes32(data)
+		if err := writeFrame(conn, w.b); err != nil {
+			streamErr = err
+			return false
+		}
+		return true
+	})
+	if err != nil && streamErr == nil {
+		streamErr = err
+	}
+	if streamErr != nil {
+		return streamErr
+	}
+	return writeFrame(conn, nil)
+}
+
+// deletePartition removes all keys with primary partitions in the given set
+// (post-rebalance cleanup on the donor).
+func (s *Server) deletePartition(req *request) error {
+	st, err := s.store(req.Store)
+	if err != nil {
+		return err
+	}
+	var parts []int
+	if err := json.Unmarshal(req.Body, &parts); err != nil {
+		return err
+	}
+	want := make(map[int]bool, len(parts))
+	for _, p := range parts {
+		want[p] = true
+	}
+	s.mu.RLock()
+	numPartitions := s.clus.NumPartitions
+	s.mu.RUnlock()
+
+	var keys [][]byte
+	if err := st.Engine().Entries(func(key []byte, _ []*versioned.Versioned) bool {
+		if want[ring.Hash(key, numPartitions)] {
+			k := make([]byte, len(key))
+			copy(k, key)
+			keys = append(keys, k)
+		}
+		return true
+	}); err != nil {
+		return err
+	}
+	for _, k := range keys {
+		if _, err := st.Engine().Delete(k, nil); err != nil && !errors.Is(err, storage.ErrNoSuchKey) {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close stops the listener and closes every store.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	stores := make([]*EngineStore, 0, len(s.stores))
+	for _, st := range s.stores {
+		stores = append(stores, st)
+	}
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	var firstErr error
+	for _, st := range stores {
+		if err := st.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

@@ -1,0 +1,379 @@
+package voldemort
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"datainfra/internal/cluster"
+	"datainfra/internal/ring"
+	"datainfra/internal/storage"
+	"datainfra/internal/versioned"
+)
+
+// writeROVersion creates a version-v directory under dir holding a single
+// entry k -> val, using the same file format the offline build emits.
+func writeROVersion(dir string, v int, val string) error {
+	return storage.WriteReadOnlyFiles(
+		filepath.Join(dir, fmt.Sprintf("version-%d", v)),
+		[]storage.KV{{Key: []byte("k"), Value: []byte(val)}})
+}
+
+// startCluster boots n socket servers with a shared topology and one store.
+func startCluster(t testing.TB, n, partitions int, def *cluster.StoreDef) (*cluster.Cluster, []*Server) {
+	t.Helper()
+	clus := cluster.Uniform("sock", n, partitions, 0)
+	servers := make([]*Server, n)
+	for i := 0; i < n; i++ {
+		srv, err := NewServer(ServerConfig{NodeID: i, Cluster: clus, DataDir: t.TempDir()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Record the actual bound port in the shared topology.
+		var port int
+		fmt.Sscanf(addr[len("127.0.0.1:"):], "%d", &port)
+		clus.NodeByID(i).Port = port
+		if def != nil {
+			if err := srv.AddStore(def); err != nil {
+				t.Fatal(err)
+			}
+		}
+		servers[i] = srv
+	}
+	t.Cleanup(func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	})
+	return clus, servers
+}
+
+func TestSocketStoreRoundTrip(t *testing.T) {
+	def := (&cluster.StoreDef{Name: "s", Replication: 1, RequiredReads: 1, RequiredWrites: 1}).WithDefaults()
+	clus, _ := startCluster(t, 1, 4, def)
+	ss := DialStore("s", clus.NodeByID(0).Addr(), time.Second)
+	defer ss.Close()
+
+	if err := ss.Ping(); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+	v := versioned.New([]byte("hello"))
+	v.Clock = v.Clock.Incremented(0, 1)
+	if err := ss.Put([]byte("k"), v, nil); err != nil {
+		t.Fatal(err)
+	}
+	vs, err := ss.Get([]byte("k"), nil)
+	if err != nil || len(vs) != 1 || string(vs[0].Value) != "hello" {
+		t.Fatalf("Get = (%v, %v)", vs, err)
+	}
+	// obsolete put travels the wire as the typed error
+	stale := versioned.New([]byte("stale"))
+	err = ss.Put([]byte("k"), stale, nil)
+	if !errors.Is(err, versioned.ErrObsoleteVersion) {
+		t.Fatalf("remote obsolete err = %v", err)
+	}
+	// delete
+	deleted, err := ss.Delete([]byte("k"), vs[0].Clock)
+	if err != nil || !deleted {
+		t.Fatalf("Delete = (%v, %v)", deleted, err)
+	}
+	vs, _ = ss.Get([]byte("k"), nil)
+	if len(vs) != 0 {
+		t.Fatal("key survived remote delete")
+	}
+	// unknown store error
+	bad := DialStore("nope", clus.NodeByID(0).Addr(), time.Second)
+	defer bad.Close()
+	_, err = bad.Get([]byte("k"), nil)
+	if !errors.Is(err, ErrUnknownStore) {
+		t.Fatalf("unknown store err = %v", err)
+	}
+}
+
+func TestSocketTransforms(t *testing.T) {
+	def := (&cluster.StoreDef{Name: "s", Replication: 1, RequiredReads: 1, RequiredWrites: 1}).WithDefaults()
+	clus, _ := startCluster(t, 1, 4, def)
+	ss := DialStore("s", clus.NodeByID(0).Addr(), time.Second)
+	defer ss.Close()
+
+	v := versioned.New([]byte(`"first"`))
+	v.Clock = v.Clock.Incremented(0, 1)
+	if err := ss.Put([]byte("list"), v, &Transform{Name: "list.append"}); err != nil {
+		t.Fatal(err)
+	}
+	v2 := versioned.New([]byte(`"second"`))
+	v2.Clock = v2.Clock.Incremented(0, 2)
+	if err := ss.Put([]byte("list"), v2, &Transform{Name: "list.append"}); err != nil {
+		t.Fatal(err)
+	}
+	vs, err := ss.Get([]byte("list"), &Transform{Name: "list.slice", Arg: SliceArg(0, 1)})
+	if err != nil || len(vs) != 1 {
+		t.Fatalf("transformed get = (%v, %v)", vs, err)
+	}
+	if string(vs[0].Value) != `["first"]` {
+		t.Fatalf("slice = %s", vs[0].Value)
+	}
+}
+
+func TestClientFactoryEndToEnd(t *testing.T) {
+	def := (&cluster.StoreDef{
+		Name: "e2e", Replication: 2, RequiredReads: 1, RequiredWrites: 2,
+		ReadRepair: true,
+	}).WithDefaults()
+	clus, _ := startCluster(t, 3, 12, def)
+	f := NewClientFactory(clus, time.Second)
+	defer f.Close()
+	c, err := f.Client(def, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		k := []byte(fmt.Sprintf("k%d", i))
+		if err := c.Put(k, []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 40; i++ {
+		k := []byte(fmt.Sprintf("k%d", i))
+		v, ok, err := c.Get(k)
+		if err != nil || !ok || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("Get %s = (%q, %v, %v)", k, v, ok, err)
+		}
+	}
+}
+
+func TestFactorySurvivesNodeFailure(t *testing.T) {
+	def := (&cluster.StoreDef{
+		Name: "ha", Replication: 2, RequiredReads: 1, RequiredWrites: 1,
+		HintedHandoff: true,
+	}).WithDefaults()
+	clus, servers := startCluster(t, 3, 12, def)
+	f := NewClientFactory(clus, 300*time.Millisecond)
+	defer f.Close()
+	c, err := f.Client(def, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put([]byte("pre"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	// Kill one server; R=1/W=1 over N=2 must keep the cluster available.
+	servers[1].Close()
+	okCount := 0
+	for i := 0; i < 30; i++ {
+		k := []byte(fmt.Sprintf("after-%d", i))
+		if err := c.Put(k, []byte("v")); err != nil {
+			continue
+		}
+		if _, ok, err := c.Get(k); err == nil && ok {
+			okCount++
+		}
+	}
+	if okCount < 25 {
+		t.Fatalf("only %d/30 operations succeeded with one node down", okCount)
+	}
+}
+
+func TestAdminAddDeleteListStores(t *testing.T) {
+	clus, _ := startCluster(t, 1, 4, nil)
+	adm := NewAdmin(clus.NodeByID(0).Addr(), time.Second)
+	def := (&cluster.StoreDef{Name: "dyn", Replication: 1, RequiredReads: 1, RequiredWrites: 1}).WithDefaults()
+	if err := adm.AddStore(def); err != nil {
+		t.Fatal(err)
+	}
+	names, err := adm.ListStores()
+	if err != nil || len(names) != 1 || names[0] != "dyn" {
+		t.Fatalf("ListStores = (%v, %v)", names, err)
+	}
+	// duplicate add fails
+	if err := adm.AddStore(def); err == nil {
+		t.Fatal("duplicate AddStore accepted")
+	}
+	if err := adm.DeleteStore("dyn"); err != nil {
+		t.Fatal(err)
+	}
+	names, _ = adm.ListStores()
+	if len(names) != 0 {
+		t.Fatalf("store survived delete: %v", names)
+	}
+	if err := adm.DeleteStore("dyn"); err == nil {
+		t.Fatal("deleting missing store succeeded")
+	}
+}
+
+func TestAdminClusterMetadata(t *testing.T) {
+	clus, _ := startCluster(t, 2, 8, nil)
+	adm := NewAdmin(clus.NodeByID(0).Addr(), time.Second)
+	got, err := adm.GetCluster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumPartitions != 8 || len(got.Nodes) != 2 {
+		t.Fatalf("GetCluster = %+v", got)
+	}
+	// flip a partition and push
+	next := got.Clone()
+	owner, _ := next.OwnerOf(0)
+	if err := next.SetOwner(0, 1-owner.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := adm.UpdateCluster(next); err != nil {
+		t.Fatal(err)
+	}
+	got2, err := adm.GetCluster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	newOwner, _ := got2.OwnerOf(0)
+	if newOwner.ID != 1-owner.ID {
+		t.Fatalf("metadata update not applied: partition 0 owned by %d", newOwner.ID)
+	}
+}
+
+func TestRebalanceMovesPartitionWithoutDataLoss(t *testing.T) {
+	def := (&cluster.StoreDef{Name: "rb", Replication: 1, RequiredReads: 1, RequiredWrites: 1}).WithDefaults()
+	clus, servers := startCluster(t, 2, 8, def)
+
+	// Load data through a factory client.
+	f := NewClientFactory(clus, time.Second)
+	c, err := f.Client(def, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys = 200
+	for i := 0; i < keys; i++ {
+		if err := c.Put([]byte(fmt.Sprintf("k%d", i)), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.Close()
+
+	// Move every partition owned by node 0 to node 1.
+	admins := map[int]*Admin{
+		0: NewAdmin(clus.NodeByID(0).Addr(), 5*time.Second),
+		1: NewAdmin(clus.NodeByID(1).Addr(), 5*time.Second),
+	}
+	var plan []Move
+	for _, p := range clus.NodeByID(0).Partitions {
+		plan = append(plan, Move{Partition: p, From: 0, To: 1})
+	}
+	rb := &Rebalancer{Admins: admins, Stores: []string{"rb"}}
+	next, err := rb.Execute(clus, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(next.NodeByID(0).Partitions); got != 0 {
+		t.Fatalf("node 0 still owns %d partitions", got)
+	}
+
+	// All keys must be readable through the new topology.
+	f2 := NewClientFactory(next, time.Second)
+	defer f2.Close()
+	c2, err := f2.Client(def, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < keys; i++ {
+		k := []byte(fmt.Sprintf("k%d", i))
+		v, ok, err := c2.Get(k)
+		if err != nil || !ok || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("post-rebalance Get %s = (%q, %v, %v)", k, v, ok, err)
+		}
+	}
+	// Donor cleanup: node 0's engine must hold none of the moved keys.
+	es, _ := servers[0].LocalStore("rb")
+	if n := es.Engine().Len(); n != 0 {
+		t.Fatalf("donor still holds %d keys after cleanup", n)
+	}
+}
+
+func TestRebalanceRejectsStalePlan(t *testing.T) {
+	def := (&cluster.StoreDef{Name: "rb2", Replication: 1, RequiredReads: 1, RequiredWrites: 1}).WithDefaults()
+	clus, _ := startCluster(t, 2, 8, def)
+	admins := map[int]*Admin{
+		0: NewAdmin(clus.NodeByID(0).Addr(), time.Second),
+		1: NewAdmin(clus.NodeByID(1).Addr(), time.Second),
+	}
+	owner, _ := clus.OwnerOf(0)
+	wrong := 1 - owner.ID
+	rb := &Rebalancer{Admins: admins, Stores: []string{"rb2"}}
+	if _, err := rb.Execute(clus, []Move{{Partition: 0, From: wrong, To: owner.ID}}); err == nil {
+		t.Fatal("stale plan accepted")
+	}
+}
+
+func TestServerSideRoutingViaLocalAndRemote(t *testing.T) {
+	// Server-side routing: a RoutedStore living on node 0 with a local engine
+	// store for itself and socket stores for peers (the paper's movable
+	// routing module).
+	def := (&cluster.StoreDef{Name: "ssr", Replication: 2, RequiredReads: 1, RequiredWrites: 2, Routing: cluster.RouteServer}).WithDefaults()
+	clus, servers := startCluster(t, 3, 12, def)
+	strategy, err := ring.NewConsistent(clus, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stores := make(map[int]Store)
+	local, _ := servers[0].LocalStore("ssr")
+	stores[0] = local
+	for _, n := range clus.Nodes[1:] {
+		stores[n.ID] = DialStore("ssr", n.Addr(), time.Second)
+	}
+	routed, err := NewRouted(RoutedConfig{Def: def, Cluster: clus, Strategy: strategy, Stores: stores})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(routed, nil, 9)
+	for i := 0; i < 20; i++ {
+		k := []byte(fmt.Sprintf("srv%d", i))
+		if err := c.Put(k, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok, err := c.Get(k); err != nil || !ok {
+			t.Fatalf("server-routed get: (%v, %v)", ok, err)
+		}
+	}
+}
+
+func TestReadOnlySwapOverAdmin(t *testing.T) {
+	def := (&cluster.StoreDef{Name: "ro", Engine: cluster.EngineReadOnly, Replication: 1, RequiredReads: 1, RequiredWrites: 1}).WithDefaults()
+	clus, servers := startCluster(t, 1, 4, def)
+	srv := servers[0]
+	ro, ok := srv.ReadOnlyEngine("ro")
+	if !ok {
+		t.Fatal("no read-only engine")
+	}
+	dir := srv.storeDir("ro")
+	if err := writeROVersion(dir, 1, "one"); err != nil {
+		t.Fatal(err)
+	}
+	adm := NewAdmin(clus.NodeByID(0).Addr(), time.Second)
+	if err := adm.SwapReadOnly("ro", 1); err != nil {
+		t.Fatal(err)
+	}
+	if ro.Version() != 1 {
+		t.Fatalf("version after swap = %d", ro.Version())
+	}
+	ss := DialStore("ro", clus.NodeByID(0).Addr(), time.Second)
+	defer ss.Close()
+	vs, err := ss.Get([]byte("k"), nil)
+	if err != nil || len(vs) != 1 || string(vs[0].Value) != "one" {
+		t.Fatalf("Get after swap = (%v, %v)", vs, err)
+	}
+	if err := adm.RollbackReadOnly("ro"); err != nil {
+		t.Fatal(err)
+	}
+	if ro.Version() != 0 {
+		t.Fatalf("version after rollback = %d", ro.Version())
+	}
+	// writes to a read-only store are refused over the wire
+	v := versioned.New([]byte("x"))
+	if err := ss.Put([]byte("k"), v, nil); err == nil {
+		t.Fatal("put to read-only store succeeded")
+	}
+}

@@ -1,0 +1,150 @@
+package voldemort
+
+import (
+	"sync"
+	"time"
+
+	"datainfra/internal/failure"
+	"datainfra/internal/vclock"
+	"datainfra/internal/versioned"
+)
+
+// Hint is a write that could not reach its destination replica and is parked
+// locally until the destination recovers — hinted handoff (§II.B: "hinted
+// handoff is triggered during puts").
+type Hint struct {
+	Store  string
+	Node   int // destination node
+	Key    []byte
+	Value  *versioned.Versioned // nil for deletes
+	Delete bool
+	Clock  *vclock.Clock // delete clock
+}
+
+// StoreResolver returns the store handle for (node, storeName); the pusher
+// uses it to deliver hints.
+type StoreResolver func(node int, store string) (Store, bool)
+
+// SlopPusher queues hints and delivers them in the background once the
+// failure detector reports the destination available again.
+type SlopPusher struct {
+	mu    sync.Mutex
+	queue []Hint
+
+	resolve  StoreResolver
+	detector failure.Detector
+	interval time.Duration
+	stop     chan struct{}
+	wg       sync.WaitGroup
+	started  bool
+}
+
+// NewSlopPusher builds a pusher. Call Start to begin background delivery, or
+// drive it manually with DeliverOnce (tests).
+func NewSlopPusher(resolve StoreResolver, detector failure.Detector, interval time.Duration) *SlopPusher {
+	if detector == nil {
+		detector = failure.AlwaysUp{}
+	}
+	if interval == 0 {
+		interval = 100 * time.Millisecond
+	}
+	return &SlopPusher{
+		resolve:  resolve,
+		detector: detector,
+		interval: interval,
+		stop:     make(chan struct{}),
+	}
+}
+
+// Add parks a hint.
+func (p *SlopPusher) Add(h Hint) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.queue = append(p.queue, h)
+}
+
+// Pending returns the number of undelivered hints.
+func (p *SlopPusher) Pending() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.queue)
+}
+
+// DeliverOnce attempts delivery of every queued hint whose destination is
+// available; it returns how many were delivered. Hints rejected as obsolete
+// are dropped (the replica already has newer data).
+func (p *SlopPusher) DeliverOnce() int {
+	p.mu.Lock()
+	pending := p.queue
+	p.queue = nil
+	p.mu.Unlock()
+
+	delivered := 0
+	var remaining []Hint
+	for _, h := range pending {
+		if !p.detector.Available(h.Node) {
+			remaining = append(remaining, h)
+			continue
+		}
+		st, ok := p.resolve(h.Node, h.Store)
+		if !ok {
+			remaining = append(remaining, h)
+			continue
+		}
+		var err error
+		if h.Delete {
+			_, err = st.Delete(h.Key, h.Clock)
+		} else {
+			err = st.Put(h.Key, h.Value, nil)
+		}
+		switch {
+		case err == nil, occurredErr(err):
+			delivered++
+			p.detector.RecordSuccess(h.Node)
+		default:
+			p.detector.RecordFailure(h.Node)
+			remaining = append(remaining, h)
+		}
+	}
+	if len(remaining) > 0 {
+		p.mu.Lock()
+		p.queue = append(remaining, p.queue...)
+		p.mu.Unlock()
+	}
+	return delivered
+}
+
+// Start launches the background delivery loop.
+func (p *SlopPusher) Start() {
+	p.mu.Lock()
+	if p.started {
+		p.mu.Unlock()
+		return
+	}
+	p.started = true
+	p.mu.Unlock()
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		t := time.NewTicker(p.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-p.stop:
+				return
+			case <-t.C:
+				p.DeliverOnce()
+			}
+		}
+	}()
+}
+
+// Close stops the background loop.
+func (p *SlopPusher) Close() {
+	select {
+	case <-p.stop:
+	default:
+		close(p.stop)
+	}
+	p.wg.Wait()
+}

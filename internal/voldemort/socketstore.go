@@ -1,0 +1,158 @@
+package voldemort
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"datainfra/internal/vclock"
+	"datainfra/internal/versioned"
+)
+
+// SocketStore is the client side of the binary protocol: a Store backed by a
+// remote node, with a small connection pool. It is what the routed store
+// uses for client-side routing.
+type SocketStore struct {
+	storeName string
+	addr      string
+	timeout   time.Duration
+
+	mu     sync.Mutex
+	conns  []net.Conn
+	closed bool
+}
+
+// DialStore returns a SocketStore for storeName on the node at addr.
+func DialStore(storeName, addr string, timeout time.Duration) *SocketStore {
+	if timeout == 0 {
+		timeout = 2 * time.Second
+	}
+	return &SocketStore{storeName: storeName, addr: addr, timeout: timeout}
+}
+
+// Name returns the store name.
+func (s *SocketStore) Name() string { return s.storeName }
+
+func (s *SocketStore) getConn() (net.Conn, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("voldemort: socket store closed")
+	}
+	if n := len(s.conns); n > 0 {
+		c := s.conns[n-1]
+		s.conns = s.conns[:n-1]
+		s.mu.Unlock()
+		return c, nil
+	}
+	s.mu.Unlock()
+	return net.DialTimeout("tcp", s.addr, s.timeout)
+}
+
+func (s *SocketStore) putConn(c net.Conn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || len(s.conns) >= 4 {
+		c.Close()
+		return
+	}
+	s.conns = append(s.conns, c)
+}
+
+// call sends one request and reads one response, discarding the connection
+// on any transport error.
+func (s *SocketStore) call(req *request) (*response, error) {
+	conn, err := s.getConn()
+	if err != nil {
+		return nil, err
+	}
+	deadline := time.Now().Add(s.timeout)
+	_ = conn.SetDeadline(deadline)
+	if err := writeFrame(conn, req.encode()); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	frame, err := readFrame(conn)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	_ = conn.SetDeadline(time.Time{})
+	s.putConn(conn)
+	return decodeResponse(frame)
+}
+
+// Ping checks node liveness (the failure detector's async probe).
+func (s *SocketStore) Ping() error {
+	resp, err := s.call(&request{Op: opPing})
+	if err != nil {
+		return err
+	}
+	return resp.err()
+}
+
+// Get fetches the version set for key.
+func (s *SocketStore) Get(key []byte, tr *Transform) ([]*versioned.Versioned, error) {
+	req := &request{Op: opGet, Store: s.storeName, Key: key}
+	if tr != nil {
+		req.TrName, req.TrArg = tr.Name, tr.Arg
+	}
+	resp, err := s.call(req)
+	if err != nil {
+		return nil, err
+	}
+	if err := resp.err(); err != nil {
+		return nil, err
+	}
+	return decodeVersionSet(resp.Payload)
+}
+
+// Put writes a versioned value.
+func (s *SocketStore) Put(key []byte, v *versioned.Versioned, tr *Transform) error {
+	body, err := v.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	req := &request{Op: opPut, Store: s.storeName, Key: key, Body: body}
+	if tr != nil {
+		req.TrName, req.TrArg = tr.Name, tr.Arg
+	}
+	resp, err := s.call(req)
+	if err != nil {
+		return err
+	}
+	return resp.err()
+}
+
+// Delete removes dominated versions.
+func (s *SocketStore) Delete(key []byte, clock *vclock.Clock) (bool, error) {
+	var body []byte
+	if clock != nil {
+		var err error
+		body, err = clock.MarshalBinary()
+		if err != nil {
+			return false, err
+		}
+	}
+	resp, err := s.call(&request{Op: opDelete, Store: s.storeName, Key: key, Body: body})
+	if err != nil {
+		return false, err
+	}
+	if err := resp.err(); err != nil {
+		return false, err
+	}
+	return len(resp.Payload) == 1 && resp.Payload[0] == 1, nil
+}
+
+// Close drops pooled connections.
+func (s *SocketStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	for _, c := range s.conns {
+		c.Close()
+	}
+	s.conns = nil
+	return nil
+}

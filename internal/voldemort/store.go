@@ -1,0 +1,92 @@
+// Package voldemort implements the distributed key-value store of §II:
+// Dynamo-style quorum reads and writes over a consistent-hash ring, vector
+// clock versioning with application-level conflict resolution, read repair
+// and hinted handoff, pluggable per-node storage engines, client- and
+// server-side routing over a binary socket protocol, an admin service with
+// no-downtime rebalancing, and the read-only data cycle of Figure II.3.
+package voldemort
+
+import (
+	"errors"
+	"fmt"
+
+	"datainfra/internal/vclock"
+	"datainfra/internal/versioned"
+)
+
+// Errors surfaced by store operations.
+var (
+	// ErrInsufficientReads means fewer than R replicas answered a get.
+	ErrInsufficientReads = errors.New("voldemort: insufficient successful reads")
+	// ErrInsufficientWrites means fewer than W replicas acked a put.
+	ErrInsufficientWrites = errors.New("voldemort: insufficient successful writes")
+	// ErrInsufficientZones means the zone-count requirement was not met.
+	ErrInsufficientZones = errors.New("voldemort: insufficient zones responded")
+	// ErrNodeDown marks a request refused because the failure detector
+	// considers the node unavailable.
+	ErrNodeDown = errors.New("voldemort: node marked down")
+	// ErrUnknownStore is returned for operations on undefined stores.
+	ErrUnknownStore = errors.New("voldemort: unknown store")
+	// ErrUnknownTransform is returned when a request names an unregistered
+	// server-side transform.
+	ErrUnknownTransform = errors.New("voldemort: unknown transform")
+)
+
+// Transform names a server-side transformation applied to the value during a
+// get or put (methods 3 and 4 of Figure II.2), saving a client round trip.
+type Transform struct {
+	Name string
+	Arg  []byte
+}
+
+// Store is the uniform store contract every layer of the Figure II.1 stack
+// implements — engine adapters, socket clients, the routed store, repair
+// wrappers — which is what makes the modules interchangeable and mockable.
+type Store interface {
+	// Name returns the store (table) name.
+	Name() string
+	// Get returns all concurrent versions for key; tr optionally transforms
+	// the value server-side (nil for plain gets).
+	Get(key []byte, tr *Transform) ([]*versioned.Versioned, error)
+	// Put writes v; tr optionally transforms the stored value server-side.
+	Put(key []byte, v *versioned.Versioned, tr *Transform) error
+	// Delete removes versions dominated by clock.
+	Delete(key []byte, clock *vclock.Clock) (bool, error)
+	// Close releases resources.
+	Close() error
+}
+
+// UpdateAction is the read-modify-write body run by ApplyUpdate.
+// It receives the current resolved version (nil if absent) and returns the
+// new value to store.
+type UpdateAction func(current *versioned.Versioned) ([]byte, error)
+
+// Resolver collapses concurrent versions to one — conflict resolution is
+// delegated to the application (§II.B). The default resolver is
+// last-writer-wins by clock timestamp.
+type Resolver func([]*versioned.Versioned) *versioned.Versioned
+
+// LWWResolver picks the version with the newest timestamp among maximal
+// versions.
+func LWWResolver(vs []*versioned.Versioned) *versioned.Versioned {
+	v, ok := versioned.Latest(versioned.Resolve(vs))
+	if !ok {
+		return nil
+	}
+	return v
+}
+
+// occurredErr reports whether err is the logical obsolete-version conflict
+// (as opposed to an availability failure).
+func occurredErr(err error) bool {
+	return errors.Is(err, versioned.ErrObsoleteVersion)
+}
+
+// nodeError annotates an error with the node it came from.
+type nodeError struct {
+	node int
+	err  error
+}
+
+func (e nodeError) Error() string { return fmt.Sprintf("node %d: %v", e.node, e.err) }
+func (e nodeError) Unwrap() error { return e.err }

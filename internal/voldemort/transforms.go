@@ -1,0 +1,148 @@
+package voldemort
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"sync"
+)
+
+// GetTransform transforms a stored value on the server during a get.
+type GetTransform func(value []byte, arg []byte) ([]byte, error)
+
+// PutTransform merges an incoming value into the stored value on the server
+// during a put; current is nil when the key is absent.
+type PutTransform func(current []byte, incoming []byte, arg []byte) ([]byte, error)
+
+// TransformRegistry holds named server-side transforms. The paper's examples
+// — retrieving a sub-list and appending to a list without a client round
+// trip — are registered by default under "list.slice" and "list.append".
+type TransformRegistry struct {
+	mu   sync.RWMutex
+	gets map[string]GetTransform
+	puts map[string]PutTransform
+}
+
+// NewTransformRegistry returns a registry pre-populated with the list
+// transforms from the paper plus "bytes.range".
+func NewTransformRegistry() *TransformRegistry {
+	r := &TransformRegistry{
+		gets: make(map[string]GetTransform),
+		puts: make(map[string]PutTransform),
+	}
+	r.RegisterGet("list.slice", listSlice)
+	r.RegisterPut("list.append", listAppend)
+	r.RegisterGet("bytes.range", bytesRange)
+	return r
+}
+
+// RegisterGet installs a get transform under name.
+func (r *TransformRegistry) RegisterGet(name string, t GetTransform) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gets[name] = t
+}
+
+// RegisterPut installs a put transform under name.
+func (r *TransformRegistry) RegisterPut(name string, t PutTransform) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.puts[name] = t
+}
+
+// Get looks up a get transform.
+func (r *TransformRegistry) Get(name string) (GetTransform, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	t, ok := r.gets[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: get transform %q", ErrUnknownTransform, name)
+	}
+	return t, nil
+}
+
+// Put looks up a put transform.
+func (r *TransformRegistry) Put(name string) (PutTransform, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	t, ok := r.puts[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: put transform %q", ErrUnknownTransform, name)
+	}
+	return t, nil
+}
+
+// SliceArg encodes [start,end) bounds for "list.slice" and "bytes.range".
+func SliceArg(start, end int) []byte {
+	buf := make([]byte, 8)
+	binary.BigEndian.PutUint32(buf[0:4], uint32(start))
+	binary.BigEndian.PutUint32(buf[4:8], uint32(end))
+	return buf
+}
+
+func decodeSliceArg(arg []byte) (start, end int, err error) {
+	if len(arg) != 8 {
+		return 0, 0, fmt.Errorf("voldemort: slice arg must be 8 bytes, got %d", len(arg))
+	}
+	return int(binary.BigEndian.Uint32(arg[0:4])), int(binary.BigEndian.Uint32(arg[4:8])), nil
+}
+
+// listSlice treats value as a JSON array and returns the [start,end) slice.
+func listSlice(value, arg []byte) ([]byte, error) {
+	start, end, err := decodeSliceArg(arg)
+	if err != nil {
+		return nil, err
+	}
+	var list []json.RawMessage
+	if len(value) > 0 {
+		if err := json.Unmarshal(value, &list); err != nil {
+			return nil, fmt.Errorf("voldemort: list.slice on non-list value: %w", err)
+		}
+	}
+	if start < 0 {
+		start = 0
+	}
+	if end > len(list) {
+		end = len(list)
+	}
+	if start > end {
+		start = end
+	}
+	return json.Marshal(list[start:end])
+}
+
+// listAppend treats the stored value as a JSON array and appends the incoming
+// JSON element.
+func listAppend(current, incoming, _ []byte) ([]byte, error) {
+	var list []json.RawMessage
+	if len(current) > 0 {
+		if err := json.Unmarshal(current, &list); err != nil {
+			return nil, fmt.Errorf("voldemort: list.append on non-list value: %w", err)
+		}
+	}
+	var elem json.RawMessage
+	if err := json.Unmarshal(incoming, &elem); err != nil {
+		return nil, fmt.Errorf("voldemort: list.append element invalid JSON: %w", err)
+	}
+	return json.Marshal(append(list, elem))
+}
+
+// bytesRange returns value[start:end) clamped to bounds.
+func bytesRange(value, arg []byte) ([]byte, error) {
+	start, end, err := decodeSliceArg(arg)
+	if err != nil {
+		return nil, err
+	}
+	if start < 0 {
+		start = 0
+	}
+	if end > len(value) {
+		end = len(value)
+	}
+	if start > end {
+		start = end
+	}
+	out := make([]byte, end-start)
+	copy(out, value[start:end])
+	return out, nil
+}

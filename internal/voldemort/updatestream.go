@@ -1,0 +1,83 @@
+package voldemort
+
+import (
+	"sync"
+
+	"datainfra/internal/databus"
+	"datainfra/internal/vclock"
+	"datainfra/internal/versioned"
+)
+
+// UpdateStreamStore implements the future-work item of §II.C: "an update
+// stream to which consumers can listen". It wraps a Store and commits every
+// successful mutation to a Databus transaction log, so downstream systems
+// can subscribe to a Voldemort store exactly as they subscribe to a primary
+// database.
+type UpdateStreamStore struct {
+	Inner  Store
+	stream *databus.LogSource
+	mu     sync.Mutex // serializes commit order with mutation order
+}
+
+// NewUpdateStream wraps inner, emitting change events to stream.
+func NewUpdateStream(inner Store, stream *databus.LogSource) *UpdateStreamStore {
+	return &UpdateStreamStore{Inner: inner, stream: stream}
+}
+
+// Stream returns the change log consumers attach relays to.
+func (s *UpdateStreamStore) Stream() *databus.LogSource { return s.stream }
+
+// Name delegates to the inner store.
+func (s *UpdateStreamStore) Name() string { return s.Inner.Name() }
+
+// Get delegates to the inner store.
+func (s *UpdateStreamStore) Get(key []byte, tr *Transform) ([]*versioned.Versioned, error) {
+	return s.Inner.Get(key, tr)
+}
+
+// Put writes through and, on success, commits an upsert event carrying the
+// final stored value.
+func (s *UpdateStreamStore) Put(key []byte, v *versioned.Versioned, tr *Transform) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.Inner.Put(key, v, tr); err != nil {
+		return err
+	}
+	// For transformed puts the stored value differs from the input; read the
+	// resolved result so subscribers see what readers see.
+	payload := v.Value
+	if tr != nil {
+		if vs, err := s.Inner.Get(key, nil); err == nil {
+			if resolved := LWWResolver(vs); resolved != nil {
+				payload = resolved.Value
+			}
+		}
+	}
+	s.stream.Commit(databus.Event{
+		Source:  s.Name(),
+		Op:      databus.OpUpsert,
+		Key:     append([]byte(nil), key...),
+		Payload: append([]byte(nil), payload...),
+	})
+	return nil
+}
+
+// Delete writes through and commits a delete event when something was
+// removed.
+func (s *UpdateStreamStore) Delete(key []byte, clock *vclock.Clock) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	deleted, err := s.Inner.Delete(key, clock)
+	if err != nil || !deleted {
+		return deleted, err
+	}
+	s.stream.Commit(databus.Event{
+		Source: s.Name(),
+		Op:     databus.OpDelete,
+		Key:    append([]byte(nil), key...),
+	})
+	return true, nil
+}
+
+// Close delegates to the inner store.
+func (s *UpdateStreamStore) Close() error { return s.Inner.Close() }

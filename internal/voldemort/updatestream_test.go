@@ -1,0 +1,131 @@
+package voldemort
+
+import (
+	"testing"
+	"time"
+
+	"datainfra/internal/databus"
+	"datainfra/internal/storage"
+)
+
+func TestUpdateStreamEmitsChanges(t *testing.T) {
+	stream := databus.NewLogSource()
+	us := NewUpdateStream(NewEngineStore(storage.NewMemory("follows"), 0, nil), stream)
+	c := NewClient(us, nil, 1)
+
+	if err := c.Put([]byte("k1"), []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put([]byte("k1"), []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Delete([]byte("k1")); err != nil {
+		t.Fatal(err)
+	}
+	txns, err := stream.Pull(0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(txns) != 3 {
+		t.Fatalf("stream has %d txns, want 3", len(txns))
+	}
+	if txns[0].Events[0].Op != databus.OpUpsert || string(txns[0].Events[0].Payload) != "v1" {
+		t.Fatalf("first event = %+v", txns[0].Events[0])
+	}
+	if txns[1].Events[0].Op != databus.OpUpsert || string(txns[1].Events[0].Payload) != "v2" {
+		t.Fatalf("second event = %+v", txns[1].Events[0])
+	}
+	if txns[2].Events[0].Op != databus.OpDelete {
+		t.Fatalf("third event = %+v", txns[2].Events[0])
+	}
+}
+
+func TestUpdateStreamSkipsFailedWrites(t *testing.T) {
+	stream := databus.NewLogSource()
+	us := NewUpdateStream(NewEngineStore(storage.NewMemory("s"), 0, nil), stream)
+	c := NewClient(us, nil, 1)
+	if err := c.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	// an obsolete put must not emit an event
+	stale, err := us.Get([]byte("k"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = stale
+	v := stale[0].Clone()
+	if err := us.Put([]byte("k"), v, nil); err == nil {
+		t.Fatal("stale put accepted")
+	}
+	// deleting a missing key must not emit
+	if _, err := c.Delete([]byte("missing")); err != nil {
+		t.Fatal(err)
+	}
+	if stream.Len() != 1 {
+		t.Fatalf("stream has %d txns, want 1", stream.Len())
+	}
+}
+
+func TestUpdateStreamTransformedPutEmitsResolvedValue(t *testing.T) {
+	stream := databus.NewLogSource()
+	us := NewUpdateStream(NewEngineStore(storage.NewMemory("s"), 0, nil), stream)
+	c := NewClient(us, nil, 1)
+	if err := c.PutWithTransform([]byte("list"), []byte(`"a"`), Transform{Name: "list.append"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PutWithTransform([]byte("list"), []byte(`"b"`), Transform{Name: "list.append"}); err != nil {
+		t.Fatal(err)
+	}
+	txns, _ := stream.Pull(0, 10)
+	if len(txns) != 2 {
+		t.Fatalf("%d txns", len(txns))
+	}
+	// subscribers see the merged list, not the appended element
+	if got := string(txns[1].Events[0].Payload); got != `["a","b"]` {
+		t.Fatalf("second event payload = %s", got)
+	}
+}
+
+func TestUpdateStreamFeedsDownstreamConsumer(t *testing.T) {
+	// End to end: Voldemort update stream -> Databus relay -> consumer,
+	// exactly how a derived system would subscribe to a Voldemort store.
+	stream := databus.NewLogSource()
+	us := NewUpdateStream(NewEngineStore(storage.NewMemory("s"), 0, nil), stream)
+	c := NewClient(us, nil, 1)
+	relay := databus.NewRelay(databus.RelayConfig{})
+	defer relay.Close()
+	relay.AttachSource(stream, time.Millisecond)
+
+	seen := map[string]string{}
+	dc, err := databus.NewClient(databus.ClientConfig{
+		Relay: relay,
+		Consumer: databus.ConsumerFuncs{Event: func(e databus.Event) error {
+			if e.Op == databus.OpDelete {
+				delete(seen, string(e.Key))
+			} else {
+				seen[string(e.Key)] = string(e.Payload)
+			}
+			return nil
+		}},
+		PollExpiry: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put([]byte("a"), []byte("1"))
+	c.Put([]byte("b"), []byte("2"))
+	c.Delete([]byte("a"))
+
+	deadline := time.Now().Add(3 * time.Second)
+	for dc.SCN() < stream.LastSCN() {
+		if time.Now().After(deadline) {
+			t.Fatalf("consumer lagged at SCN %d of %d", dc.SCN(), stream.LastSCN())
+		}
+		if _, err := dc.Poll(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(seen) != 1 || seen["b"] != "2" {
+		t.Fatalf("derived state = %v", seen)
+	}
+}

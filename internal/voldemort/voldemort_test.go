@@ -1,0 +1,452 @@
+package voldemort
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"datainfra/internal/cluster"
+	"datainfra/internal/failure"
+	"datainfra/internal/ring"
+	"datainfra/internal/storage"
+	"datainfra/internal/versioned"
+)
+
+// testRig wires an in-process N-node routed store over memory engines with
+// flaky wrappers for failure injection.
+type testRig struct {
+	clus    *cluster.Cluster
+	def     *cluster.StoreDef
+	flaky   map[int]*FlakyStore
+	engines map[int]*EngineStore
+	routed  *RoutedStore
+	slop    *SlopPusher
+}
+
+func newRig(t *testing.T, nodes, partitions, n, r, w int, hinted bool) *testRig {
+	t.Helper()
+	clus := cluster.Uniform("rig", nodes, partitions, 9000)
+	def := (&cluster.StoreDef{
+		Name: "test", Replication: n, RequiredReads: r, RequiredWrites: w,
+		ReadRepair: true, HintedHandoff: hinted,
+	}).WithDefaults()
+	strategy, err := ring.NewConsistent(clus, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rig := &testRig{clus: clus, def: def,
+		flaky:   make(map[int]*FlakyStore),
+		engines: make(map[int]*EngineStore),
+	}
+	stores := make(map[int]Store)
+	for _, node := range clus.Nodes {
+		es := NewEngineStore(storage.NewMemory("test"), node.ID, nil)
+		rig.engines[node.ID] = es
+		fs := &FlakyStore{Inner: es}
+		rig.flaky[node.ID] = fs
+		stores[node.ID] = fs
+	}
+	if hinted {
+		rig.slop = NewSlopPusher(func(node int, store string) (Store, bool) {
+			s, ok := stores[node]
+			return s, ok
+		}, failure.AlwaysUp{}, 0)
+	}
+	routed, err := NewRouted(RoutedConfig{
+		Def: def, Cluster: clus, Strategy: strategy,
+		Stores: stores, Slop: rig.slop,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rig.routed = routed
+	return rig
+}
+
+func TestRoutedPutGet(t *testing.T) {
+	rig := newRig(t, 3, 12, 2, 1, 2, false)
+	c := NewClient(rig.routed, nil, 100)
+	for i := 0; i < 50; i++ {
+		k := []byte(fmt.Sprintf("k%d", i))
+		if err := c.Put(k, []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		k := []byte(fmt.Sprintf("k%d", i))
+		v, ok, err := c.Get(k)
+		if err != nil || !ok || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("Get %s = (%q, %v, %v)", k, v, ok, err)
+		}
+	}
+	// missing key
+	_, ok, err := c.Get([]byte("missing"))
+	if err != nil || ok {
+		t.Fatalf("missing Get = (%v, %v)", ok, err)
+	}
+}
+
+func TestRoutedReplicationFanout(t *testing.T) {
+	rig := newRig(t, 3, 12, 3, 1, 3, false)
+	c := NewClient(rig.routed, nil, 100)
+	if err := c.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	// With N=W=3 every engine must hold the key.
+	for id, es := range rig.engines {
+		vs, err := es.Get([]byte("k"), nil)
+		if err != nil || len(vs) != 1 {
+			t.Fatalf("node %d missing replica: (%v, %v)", id, vs, err)
+		}
+	}
+}
+
+func TestRoutedToleratesFailuresWithinQuorum(t *testing.T) {
+	rig := newRig(t, 3, 12, 3, 1, 2, false)
+	c := NewClient(rig.routed, nil, 100)
+	// one node down: W=2 of N=3 still satisfiable
+	rig.flaky[0].SetFailing(true)
+	for i := 0; i < 30; i++ {
+		k := []byte(fmt.Sprintf("k%d", i))
+		if err := c.Put(k, []byte("v")); err != nil {
+			t.Fatalf("put with 1 node down: %v", err)
+		}
+		if _, ok, err := c.Get(k); err != nil || !ok {
+			t.Fatalf("get with 1 node down: (%v, %v)", ok, err)
+		}
+	}
+}
+
+func TestRoutedFailsBelowWriteQuorum(t *testing.T) {
+	rig := newRig(t, 3, 12, 3, 1, 3, false)
+	c := NewClient(rig.routed, nil, 100)
+	rig.flaky[1].SetFailing(true)
+	err := c.Put([]byte("k"), []byte("v"))
+	if !errors.Is(err, ErrInsufficientWrites) {
+		t.Fatalf("err = %v, want ErrInsufficientWrites", err)
+	}
+}
+
+func TestRoutedFailsBelowReadQuorum(t *testing.T) {
+	rig := newRig(t, 3, 12, 3, 3, 1, false)
+	c := NewClient(rig.routed, nil, 100)
+	if err := c.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	rig.flaky[0].SetFailing(true)
+	rig.flaky[1].SetFailing(true)
+	rig.flaky[2].SetFailing(true)
+	_, _, err := c.Get([]byte("k"))
+	if !errors.Is(err, ErrInsufficientReads) {
+		t.Fatalf("err = %v, want ErrInsufficientReads", err)
+	}
+}
+
+func TestReadRepairHealsStaleReplica(t *testing.T) {
+	rig := newRig(t, 3, 12, 3, 2, 2, false)
+	c := NewClient(rig.routed, nil, 100)
+	key := []byte("repair-me")
+	if err := c.Put(key, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	// Find a replica node and wipe the key there, simulating a missed write.
+	strategy, _ := ring.NewConsistent(rig.clus, 3)
+	victim := strategy.NodeList(key)[2].ID
+	if _, err := rig.engines[victim].Delete(key, nil); err != nil {
+		t.Fatal(err)
+	}
+	vs, _ := rig.engines[victim].Get(key, nil)
+	if len(vs) != 0 {
+		t.Fatal("precondition failed: victim still has key")
+	}
+	// A quorum read triggers read repair.
+	if _, ok, err := c.Get(key); err != nil || !ok {
+		t.Fatalf("Get = (%v, %v)", ok, err)
+	}
+	vs, err := rig.engines[victim].Get(key, nil)
+	if err != nil || len(vs) != 1 || string(vs[0].Value) != "v1" {
+		t.Fatalf("read repair did not heal node %d: (%v, %v)", victim, vs, err)
+	}
+}
+
+func TestHintedHandoffDelivers(t *testing.T) {
+	rig := newRig(t, 3, 12, 3, 1, 1, true)
+	c := NewClient(rig.routed, nil, 100)
+	key := []byte("hinted")
+	strategy, _ := ring.NewConsistent(rig.clus, 3)
+	victim := strategy.NodeList(key)[1].ID
+	rig.flaky[victim].SetFailing(true)
+
+	if err := c.Put(key, []byte("v")); err != nil {
+		t.Fatalf("put with hinted handoff: %v", err)
+	}
+	if rig.slop.Pending() == 0 {
+		t.Fatal("no hint queued for failed replica")
+	}
+	// Victim recovers; pusher delivers.
+	rig.flaky[victim].SetFailing(false)
+	if n := rig.slop.DeliverOnce(); n == 0 {
+		t.Fatal("DeliverOnce delivered nothing")
+	}
+	vs, err := rig.engines[victim].Get(key, nil)
+	if err != nil || len(vs) != 1 {
+		t.Fatalf("hint not applied on recovered node: (%v, %v)", vs, err)
+	}
+	if rig.slop.Pending() != 0 {
+		t.Fatalf("%d hints still pending", rig.slop.Pending())
+	}
+}
+
+func TestSlopKeepsHintWhileDown(t *testing.T) {
+	rig := newRig(t, 3, 12, 3, 1, 1, true)
+	c := NewClient(rig.routed, nil, 100)
+	key := []byte("stuck")
+	strategy, _ := ring.NewConsistent(rig.clus, 3)
+	victim := strategy.NodeList(key)[1].ID
+	rig.flaky[victim].SetFailing(true)
+	if err := c.Put(key, []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	before := rig.slop.Pending()
+	rig.slop.DeliverOnce() // still down: delivery fails, hint requeued
+	if rig.slop.Pending() != before {
+		t.Fatalf("hints lost while destination down: %d -> %d", before, rig.slop.Pending())
+	}
+}
+
+func TestOptimisticLockConflict(t *testing.T) {
+	rig := newRig(t, 3, 12, 2, 1, 2, false)
+	c1 := NewClient(rig.routed, nil, 1)
+	c2 := NewClient(rig.routed, nil, 2)
+	if err := c1.Put([]byte("k"), []byte("base")); err != nil {
+		t.Fatal(err)
+	}
+	// Both clients read the same version.
+	v1, err := c1.GetVersioned([]byte("k"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := c2.GetVersioned([]byte("k"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First writer wins.
+	w1 := versioned.With([]byte("from-c1"), v1.Clock.Incremented(1, 10))
+	if err := c1.PutVersioned([]byte("k"), w1); err != nil {
+		t.Fatal(err)
+	}
+	// Second writer with the stale clock must see concurrency, not obsolete:
+	// a sibling version is created (clock increments on different node ids
+	// are concurrent). Writing with an *identical* clock fails as obsolete.
+	stale := versioned.With([]byte("stale"), v2.Clock.Clone())
+	err = c2.PutVersioned([]byte("k"), stale)
+	if !errors.Is(err, versioned.ErrObsoleteVersion) {
+		t.Fatalf("identical-clock rewrite err = %v, want ErrObsoleteVersion", err)
+	}
+}
+
+func TestApplyUpdateCounter(t *testing.T) {
+	rig := newRig(t, 3, 12, 2, 1, 2, false)
+	key := []byte("counter")
+	var wg sync.WaitGroup
+	const writers, perWriter = 4, 25
+	for wid := 0; wid < writers; wid++ {
+		wg.Add(1)
+		go func(wid int) {
+			defer wg.Done()
+			c := NewClient(rig.routed, nil, 1000+wid)
+			for i := 0; i < perWriter; i++ {
+				err := c.ApplyUpdate(key, 50, func(cur *versioned.Versioned) ([]byte, error) {
+					n := 0
+					if cur != nil {
+						if err := json.Unmarshal(cur.Value, &n); err != nil {
+							return nil, err
+						}
+					}
+					return json.Marshal(n + 1)
+				})
+				if err != nil {
+					t.Errorf("applyUpdate: %v", err)
+					return
+				}
+			}
+		}(wid)
+	}
+	wg.Wait()
+	c := NewClient(rig.routed, nil, 1)
+	v, ok, err := c.Get(key)
+	if err != nil || !ok {
+		t.Fatalf("final read: (%v, %v)", ok, err)
+	}
+	var n int
+	if err := json.Unmarshal(v, &n); err != nil {
+		t.Fatal(err)
+	}
+	if n != writers*perWriter {
+		t.Fatalf("counter = %d, want %d (lost updates)", n, writers*perWriter)
+	}
+}
+
+func TestTransformsListAppendAndSlice(t *testing.T) {
+	rig := newRig(t, 3, 12, 2, 1, 2, false)
+	c := NewClient(rig.routed, nil, 7)
+	key := []byte("follows")
+	for i := 0; i < 5; i++ {
+		elem, _ := json.Marshal(fmt.Sprintf("company-%d", i))
+		if err := c.PutWithTransform(key, elem, Transform{Name: "list.append"}); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	full, ok, err := c.Get(key)
+	if err != nil || !ok {
+		t.Fatalf("get list: (%v, %v)", ok, err)
+	}
+	var list []string
+	if err := json.Unmarshal(full, &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 5 || list[4] != "company-4" {
+		t.Fatalf("list = %v", list)
+	}
+	// server-side sub-list
+	sub, ok, err := c.GetWithTransform(key, Transform{Name: "list.slice", Arg: SliceArg(1, 3)})
+	if err != nil || !ok {
+		t.Fatalf("slice: (%v, %v)", ok, err)
+	}
+	var subList []string
+	if err := json.Unmarshal(sub, &subList); err != nil {
+		t.Fatal(err)
+	}
+	if len(subList) != 2 || subList[0] != "company-1" {
+		t.Fatalf("sublist = %v", subList)
+	}
+}
+
+func TestTransformUnknownName(t *testing.T) {
+	rig := newRig(t, 3, 12, 2, 1, 2, false)
+	c := NewClient(rig.routed, nil, 7)
+	_, _, err := c.GetWithTransform([]byte("k"), Transform{Name: "nope"})
+	if err == nil {
+		t.Fatal("unknown get transform accepted")
+	}
+	err = c.PutWithTransform([]byte("k"), []byte(`"x"`), Transform{Name: "nope"})
+	if err == nil {
+		t.Fatal("unknown put transform accepted")
+	}
+}
+
+func TestDeleteQuorum(t *testing.T) {
+	rig := newRig(t, 3, 12, 3, 2, 2, false)
+	c := NewClient(rig.routed, nil, 1)
+	if err := c.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	deleted, err := c.Delete([]byte("k"))
+	if err != nil || !deleted {
+		t.Fatalf("Delete = (%v, %v)", deleted, err)
+	}
+	_, ok, err := c.Get([]byte("k"))
+	if err != nil || ok {
+		t.Fatalf("Get after delete = (%v, %v)", ok, err)
+	}
+	// deleting again is a no-op
+	deleted, err = c.Delete([]byte("k"))
+	if err != nil || deleted {
+		t.Fatalf("second Delete = (%v, %v)", deleted, err)
+	}
+}
+
+func TestConcurrentVersionsSurfacedAndResolved(t *testing.T) {
+	// Write divergent versions directly to engines, then check the client
+	// surfaces both via GetVersions and resolves via Get.
+	rig := newRig(t, 3, 12, 3, 3, 1, false)
+	key := []byte("diverged")
+	strategy, _ := ring.NewConsistent(rig.clus, 3)
+	nodes := strategy.NodeList(key)
+	va := versioned.With([]byte("a"), versioned.New(nil).Clock.Incremented(1, 100))
+	vb := versioned.With([]byte("b"), versioned.New(nil).Clock.Incremented(2, 200))
+	if err := rig.engines[nodes[0].ID].Put(key, va, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := rig.engines[nodes[1].ID].Put(key, vb, nil); err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(rig.routed, nil, 1)
+	vs, err := c.GetVersions(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 2 {
+		t.Fatalf("GetVersions returned %d versions, want 2 concurrent", len(vs))
+	}
+	v, ok, err := c.Get(key)
+	if err != nil || !ok {
+		t.Fatalf("resolved Get = (%v, %v)", ok, err)
+	}
+	if string(v) != "b" { // LWW: timestamp 200 wins
+		t.Fatalf("LWW resolved to %q, want b", v)
+	}
+}
+
+func TestZoneRoutedStore(t *testing.T) {
+	clus := cluster.UniformZoned("zones", 6, 24, 2, 9100)
+	def := (&cluster.StoreDef{
+		Name: "ztest", Replication: 3, RequiredReads: 1, RequiredWrites: 2,
+		ZoneCountWrites: 2,
+	}).WithDefaults()
+	strategy, err := ring.NewZoned(clus, 3, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stores := make(map[int]Store)
+	for _, n := range clus.Nodes {
+		stores[n.ID] = NewEngineStore(storage.NewMemory("ztest"), n.ID, nil)
+	}
+	routed, err := NewRouted(RoutedConfig{Def: def, Cluster: clus, Strategy: strategy, Stores: stores})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(routed, nil, 1)
+	for i := 0; i < 20; i++ {
+		k := []byte(fmt.Sprintf("zk%d", i))
+		if err := c.Put(k, []byte("v")); err != nil {
+			t.Fatalf("zoned put: %v", err)
+		}
+		if _, ok, err := c.Get(k); err != nil || !ok {
+			t.Fatalf("zoned get: (%v, %v)", ok, err)
+		}
+	}
+	// Verify replicas landed in both zones.
+	key := []byte("zk0")
+	zonesHit := map[int]bool{}
+	for _, n := range clus.Nodes {
+		if vs, _ := stores[n.ID].Get(key, nil); len(vs) > 0 {
+			zonesHit[n.ZoneID] = true
+		}
+	}
+	if len(zonesHit) < 2 {
+		t.Fatalf("replicas only in zones %v, want both", zonesHit)
+	}
+}
+
+func BenchmarkRoutedPut(b *testing.B) {
+	clus := cluster.Uniform("bench", 3, 24, 9200)
+	def := (&cluster.StoreDef{Name: "b", Replication: 2, RequiredReads: 1, RequiredWrites: 1}).WithDefaults()
+	strategy, _ := ring.NewConsistent(clus, 2)
+	stores := make(map[int]Store)
+	for _, n := range clus.Nodes {
+		stores[n.ID] = NewEngineStore(storage.NewMemory("b"), n.ID, nil)
+	}
+	routed, _ := NewRouted(RoutedConfig{Def: def, Cluster: clus, Strategy: strategy, Stores: stores})
+	c := NewClient(routed, nil, 1)
+	val := make([]byte, 512)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Put([]byte(fmt.Sprintf("k%d", i)), val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package voldemort
+
+import (
+	"errors"
+	"sync/atomic"
+	"time"
+
+	"datainfra/internal/vclock"
+	"datainfra/internal/versioned"
+)
+
+// LatencyStore injects a fixed delay before each operation — used to model
+// inter-zone network distance in the multi-datacenter experiments (E15) and
+// for failure-detector tests.
+type LatencyStore struct {
+	Inner Store
+	Delay time.Duration
+}
+
+// Name delegates to the inner store.
+func (s *LatencyStore) Name() string { return s.Inner.Name() }
+
+// Get sleeps then delegates.
+func (s *LatencyStore) Get(key []byte, tr *Transform) ([]*versioned.Versioned, error) {
+	time.Sleep(s.Delay)
+	return s.Inner.Get(key, tr)
+}
+
+// Put sleeps then delegates.
+func (s *LatencyStore) Put(key []byte, v *versioned.Versioned, tr *Transform) error {
+	time.Sleep(s.Delay)
+	return s.Inner.Put(key, v, tr)
+}
+
+// Delete sleeps then delegates.
+func (s *LatencyStore) Delete(key []byte, clock *vclock.Clock) (bool, error) {
+	time.Sleep(s.Delay)
+	return s.Inner.Delete(key, clock)
+}
+
+// Close delegates.
+func (s *LatencyStore) Close() error { return s.Inner.Close() }
+
+// ErrInjected is returned by a failing FlakyStore.
+var ErrInjected = errors.New("voldemort: injected failure")
+
+// FlakyStore fails every operation while Failing is set — the transient
+// failures the failure detector and repair mechanisms exist for.
+type FlakyStore struct {
+	Inner   Store
+	failing atomic.Bool
+}
+
+// SetFailing toggles failure injection.
+func (s *FlakyStore) SetFailing(v bool) { s.failing.Store(v) }
+
+// Failing reports the current state.
+func (s *FlakyStore) Failing() bool { return s.failing.Load() }
+
+// Name delegates to the inner store.
+func (s *FlakyStore) Name() string { return s.Inner.Name() }
+
+// Get fails if failing, else delegates.
+func (s *FlakyStore) Get(key []byte, tr *Transform) ([]*versioned.Versioned, error) {
+	if s.failing.Load() {
+		return nil, ErrInjected
+	}
+	return s.Inner.Get(key, tr)
+}
+
+// Put fails if failing, else delegates.
+func (s *FlakyStore) Put(key []byte, v *versioned.Versioned, tr *Transform) error {
+	if s.failing.Load() {
+		return ErrInjected
+	}
+	return s.Inner.Put(key, v, tr)
+}
+
+// Delete fails if failing, else delegates.
+func (s *FlakyStore) Delete(key []byte, clock *vclock.Clock) (bool, error) {
+	if s.failing.Load() {
+		return false, ErrInjected
+	}
+	return s.Inner.Delete(key, clock)
+}
+
+// Close delegates.
+func (s *FlakyStore) Close() error { return s.Inner.Close() }

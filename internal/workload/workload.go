@@ -1,0 +1,153 @@
+// Package workload generates the load shapes the paper's production numbers
+// come from: Zipfian-distributed popularity and value sizes ("both the
+// stores have a Zipfian distribution for their data size", §II.C), uniform
+// key spaces, and mixed read/write runners (the 60/40 mix of the largest
+// read-write cluster).
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Zipfian draws integers in [0, n) with P(i) ∝ 1/(i+1)^s, using the classic
+// Gray et al. rejection-inversion-free approximation (precomputed zeta).
+type Zipfian struct {
+	n     int
+	s     float64
+	zetaN float64
+	r     *rand.Rand
+}
+
+// NewZipfian builds a generator over n items with skew s (s=0.99 is the
+// conventional YCSB default).
+func NewZipfian(n int, s float64, seed int64) *Zipfian {
+	if n <= 0 {
+		panic("workload: zipfian over empty domain")
+	}
+	z := &Zipfian{n: n, s: s, r: rand.New(rand.NewSource(seed))}
+	z.zetaN = zeta(n, s)
+	return z
+}
+
+func zeta(n int, s float64) float64 {
+	sum := 0.0
+	for i := 1; i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), s)
+	}
+	return sum
+}
+
+// Next draws the next item.
+func (z *Zipfian) Next() int {
+	u := z.r.Float64() * z.zetaN
+	sum := 0.0
+	for i := 1; i <= z.n; i++ {
+		sum += 1 / math.Pow(float64(i), z.s)
+		if sum >= u {
+			return i - 1
+		}
+	}
+	return z.n - 1
+}
+
+// FastZipfian is the O(1) sampler (Gray et al., "Quickly generating
+// billion-record synthetic databases") used for large domains.
+type FastZipfian struct {
+	n               int
+	theta           float64
+	alpha, zetaN    float64
+	eta, zeta2Theta float64
+	r               *rand.Rand
+}
+
+// NewFastZipfian builds the constant-time sampler.
+func NewFastZipfian(n int, theta float64, seed int64) *FastZipfian {
+	if n <= 0 {
+		panic("workload: zipfian over empty domain")
+	}
+	z := &FastZipfian{n: n, theta: theta, r: rand.New(rand.NewSource(seed))}
+	z.zetaN = zeta(n, theta)
+	z.zeta2Theta = zeta(2, theta)
+	z.alpha = 1 / (1 - theta)
+	z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - z.zeta2Theta/z.zetaN)
+	return z
+}
+
+// Next draws the next item in O(1).
+func (z *FastZipfian) Next() int {
+	u := z.r.Float64()
+	uz := u * z.zetaN
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	return int(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+}
+
+// Uniform draws uniformly from [0, n).
+type Uniform struct {
+	n int
+	r *rand.Rand
+}
+
+// NewUniform builds a uniform generator.
+func NewUniform(n int, seed int64) *Uniform {
+	return &Uniform{n: n, r: rand.New(rand.NewSource(seed))}
+}
+
+// Next draws the next item.
+func (u *Uniform) Next() int { return u.r.Intn(u.n) }
+
+// Key renders item i of a keyspace as a stable key.
+func Key(space string, i int) []byte {
+	return []byte(fmt.Sprintf("%s-%012d", space, i))
+}
+
+// Value returns a deterministic pseudo-random value of the given size
+// (compressible about as well as JSON event text).
+func Value(i, size int) []byte {
+	out := make([]byte, size)
+	r := rand.New(rand.NewSource(int64(i)))
+	const corpus = `{"member":1234,"event":"page_view","page":"/in/profile","ts":1700000000}`
+	for off := 0; off < size; {
+		n := copy(out[off:], corpus[r.Intn(len(corpus)/2):])
+		off += n
+	}
+	return out
+}
+
+// SizeZipfian draws value sizes with a Zipfian distribution between min and
+// max bytes — the Company Follow list-length shape of §II.C.
+type SizeZipfian struct {
+	z        *FastZipfian
+	min, max int
+}
+
+// NewSizeZipfian builds the size sampler over [min,max] with skew theta.
+func NewSizeZipfian(min, max int, theta float64, seed int64) *SizeZipfian {
+	return &SizeZipfian{z: NewFastZipfian(max-min+1, theta, seed), min: min, max: max}
+}
+
+// Next draws a size. Most draws are near min; the tail reaches max.
+func (s *SizeZipfian) Next() int {
+	return s.min + s.z.Next()
+}
+
+// Mix deals read/write operations at the requested read fraction.
+type Mix struct {
+	readFrac float64
+	r        *rand.Rand
+}
+
+// NewMix builds an operation mixer; readFrac 0.6 reproduces the paper's
+// 60/40 cluster.
+func NewMix(readFrac float64, seed int64) *Mix {
+	return &Mix{readFrac: readFrac, r: rand.New(rand.NewSource(seed))}
+}
+
+// Read reports whether the next operation is a read.
+func (m *Mix) Read() bool { return m.r.Float64() < m.readFrac }

@@ -1,0 +1,102 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestZipfianSkew(t *testing.T) {
+	z := NewZipfian(100, 0.99, 1)
+	counts := make([]int, 100)
+	for i := 0; i < 20000; i++ {
+		v := z.Next()
+		if v < 0 || v >= 100 {
+			t.Fatalf("out of range: %d", v)
+		}
+		counts[v]++
+	}
+	if counts[0] <= counts[50] {
+		t.Fatalf("no skew: head=%d mid=%d", counts[0], counts[50])
+	}
+	// head item should take a large share under s≈1
+	if counts[0] < 20000/20 {
+		t.Fatalf("head share too small: %d", counts[0])
+	}
+}
+
+func TestFastZipfianRangeAndSkew(t *testing.T) {
+	z := NewFastZipfian(1000, 0.99, 7)
+	counts := map[int]int{}
+	for i := 0; i < 50000; i++ {
+		v := z.Next()
+		if v < 0 || v >= 1000 {
+			t.Fatalf("out of range: %d", v)
+		}
+		counts[v]++
+	}
+	if counts[0] <= counts[500]*2 {
+		t.Fatalf("insufficient skew: head=%d mid=%d", counts[0], counts[500])
+	}
+}
+
+func TestUniformCoverage(t *testing.T) {
+	u := NewUniform(10, 3)
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		seen[u.Next()] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("covered %d/10", len(seen))
+	}
+}
+
+func TestKeyStable(t *testing.T) {
+	if !bytes.Equal(Key("s", 42), Key("s", 42)) {
+		t.Fatal("Key not deterministic")
+	}
+	if bytes.Equal(Key("s", 1), Key("s", 2)) {
+		t.Fatal("Key collision")
+	}
+}
+
+func TestValueSizeAndDeterminism(t *testing.T) {
+	v := Value(7, 1024)
+	if len(v) != 1024 {
+		t.Fatalf("len = %d", len(v))
+	}
+	if !bytes.Equal(v, Value(7, 1024)) {
+		t.Fatal("Value not deterministic")
+	}
+}
+
+func TestSizeZipfianBounds(t *testing.T) {
+	s := NewSizeZipfian(100, 10000, 0.9, 5)
+	sawSmall := false
+	for i := 0; i < 5000; i++ {
+		n := s.Next()
+		if n < 100 || n > 10000 {
+			t.Fatalf("size %d out of bounds", n)
+		}
+		if n < 200 {
+			sawSmall = true
+		}
+	}
+	if !sawSmall {
+		t.Fatal("no small values — distribution looks wrong")
+	}
+}
+
+func TestMixFraction(t *testing.T) {
+	m := NewMix(0.6, 11)
+	reads := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if m.Read() {
+			reads++
+		}
+	}
+	frac := float64(reads) / n
+	if frac < 0.57 || frac > 0.63 {
+		t.Fatalf("read fraction %.3f, want ~0.60", frac)
+	}
+}

@@ -1,0 +1,92 @@
+package zk
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestGetMissingNode(t *testing.T) {
+	s := NewServer()
+	sess := s.NewSession()
+	defer sess.Close()
+	if _, _, err := sess.Get("/nope"); !errors.Is(err, ErrNoNode) {
+		t.Fatalf("Get missing err = %v", err)
+	}
+	if err := sess.Delete("/nope", -1); !errors.Is(err, ErrNoNode) {
+		t.Fatalf("Delete missing err = %v", err)
+	}
+	if _, err := sess.Children("/nope"); !errors.Is(err, ErrNoNode) {
+		t.Fatalf("Children missing err = %v", err)
+	}
+	if _, err := sess.WatchData("/nope"); !errors.Is(err, ErrNoNode) {
+		t.Fatalf("WatchData missing err = %v", err)
+	}
+	if _, _, err := sess.WatchChildren("/nope"); !errors.Is(err, ErrNoNode) {
+		t.Fatalf("WatchChildren missing err = %v", err)
+	}
+}
+
+func TestSetMissingNode(t *testing.T) {
+	s := NewServer()
+	sess := s.NewSession()
+	defer sess.Close()
+	if _, err := sess.Set("/nope", []byte("x"), -1); !errors.Is(err, ErrNoNode) {
+		t.Fatalf("Set missing err = %v", err)
+	}
+}
+
+func TestStatReflectsChildren(t *testing.T) {
+	s := NewServer()
+	sess := s.NewSession()
+	defer sess.Close()
+	sess.CreateAll("/p/a", nil)
+	sess.Create("/p/b", nil, FlagPersistent)
+	_, stat, err := sess.Get("/p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stat.NumChildren != 2 {
+		t.Fatalf("NumChildren = %d", stat.NumChildren)
+	}
+	if stat.Ephemeral {
+		t.Fatal("persistent node marked ephemeral")
+	}
+	eph := s.NewSession()
+	defer eph.Close()
+	eph.Create("/p/e", nil, FlagEphemeral)
+	_, estat, _ := eph.Get("/p/e")
+	if !estat.Ephemeral {
+		t.Fatal("ephemeral node not marked")
+	}
+}
+
+func TestDeleteRootRejected(t *testing.T) {
+	s := NewServer()
+	sess := s.NewSession()
+	defer sess.Close()
+	if err := sess.Delete("/", -1); err == nil {
+		t.Fatal("root delete accepted")
+	}
+}
+
+func TestSequentialCounterPerParent(t *testing.T) {
+	s := NewServer()
+	sess := s.NewSession()
+	defer sess.Close()
+	sess.Create("/q1", nil, FlagPersistent)
+	sess.Create("/q2", nil, FlagPersistent)
+	a, _ := sess.Create("/q1/n-", nil, FlagSequential)
+	b, _ := sess.Create("/q2/n-", nil, FlagSequential)
+	// counters are per parent: both first children get suffix 0
+	if a[len(a)-1] != b[len(b)-1] {
+		t.Fatalf("per-parent counters diverged: %q vs %q", a, b)
+	}
+}
+
+func TestDoubleCloseSessionSafe(t *testing.T) {
+	s := NewServer()
+	sess := s.NewSession()
+	sess.Create("/x", nil, FlagEphemeral)
+	sess.Close()
+	sess.Close() // must not panic
+}

@@ -1,0 +1,262 @@
+package zk
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCreateGetSetDelete(t *testing.T) {
+	s := NewServer()
+	sess := s.NewSession()
+	defer sess.Close()
+
+	p, err := sess.Create("/a", []byte("1"), FlagPersistent)
+	if err != nil || p != "/a" {
+		t.Fatalf("Create = (%q, %v)", p, err)
+	}
+	data, stat, err := sess.Get("/a")
+	if err != nil || string(data) != "1" || stat.Version != 0 {
+		t.Fatalf("Get = (%q, %+v, %v)", data, stat, err)
+	}
+	if _, err := sess.Set("/a", []byte("2"), 0); err != nil {
+		t.Fatal(err)
+	}
+	data, stat, _ = sess.Get("/a")
+	if string(data) != "2" || stat.Version != 1 {
+		t.Fatalf("after Set: (%q, %+v)", data, stat)
+	}
+	if err := sess.Delete("/a", 1); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := sess.Exists("/a"); ok {
+		t.Fatal("node survived delete")
+	}
+}
+
+func TestCreateErrors(t *testing.T) {
+	s := NewServer()
+	sess := s.NewSession()
+	defer sess.Close()
+	if _, err := sess.Create("/a/b", nil, FlagPersistent); !errors.Is(err, ErrNoParent) {
+		t.Fatalf("missing parent err = %v", err)
+	}
+	if _, err := sess.Create("relative", nil, FlagPersistent); err == nil {
+		t.Fatal("relative path accepted")
+	}
+	if _, err := sess.Create("/a", nil, FlagPersistent); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Create("/a", nil, FlagPersistent); !errors.Is(err, ErrNodeExists) {
+		t.Fatalf("duplicate create err = %v", err)
+	}
+}
+
+func TestEphemeralUnderEphemeralRejected(t *testing.T) {
+	s := NewServer()
+	sess := s.NewSession()
+	defer sess.Close()
+	if _, err := sess.Create("/e", nil, FlagEphemeral); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Create("/e/child", nil, FlagPersistent); !errors.Is(err, ErrEphemeralChild) {
+		t.Fatalf("child of ephemeral err = %v", err)
+	}
+}
+
+func TestCASVersioning(t *testing.T) {
+	s := NewServer()
+	sess := s.NewSession()
+	defer sess.Close()
+	sess.Create("/a", []byte("x"), FlagPersistent)
+	if _, err := sess.Set("/a", []byte("y"), 5); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("stale version Set err = %v", err)
+	}
+	if _, err := sess.Set("/a", []byte("y"), -1); err != nil {
+		t.Fatalf("-1 version Set err = %v", err)
+	}
+	if err := sess.Delete("/a", 0); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("stale version Delete err = %v", err)
+	}
+}
+
+func TestDeleteNonEmpty(t *testing.T) {
+	s := NewServer()
+	sess := s.NewSession()
+	defer sess.Close()
+	sess.CreateAll("/a/b", nil)
+	if err := sess.Delete("/a", -1); !errors.Is(err, ErrNotEmpty) {
+		t.Fatalf("delete non-empty err = %v", err)
+	}
+}
+
+func TestSequentialNodes(t *testing.T) {
+	s := NewServer()
+	sess := s.NewSession()
+	defer sess.Close()
+	sess.Create("/queue", nil, FlagPersistent)
+	p1, _ := sess.Create("/queue/item-", nil, FlagSequential)
+	p2, _ := sess.Create("/queue/item-", nil, FlagSequential)
+	if p1 >= p2 {
+		t.Fatalf("sequential names not increasing: %q >= %q", p1, p2)
+	}
+	kids, _ := sess.Children("/queue")
+	if len(kids) != 2 {
+		t.Fatalf("children = %v", kids)
+	}
+}
+
+func TestEphemeralDiesWithSession(t *testing.T) {
+	s := NewServer()
+	owner := s.NewSession()
+	other := s.NewSession()
+	defer other.Close()
+	owner.Create("/members", nil, FlagPersistent)
+	owner.Create("/members/me", []byte("hi"), FlagEphemeral)
+	if ok, _ := other.Exists("/members/me"); !ok {
+		t.Fatal("ephemeral invisible to other session")
+	}
+	owner.Close()
+	if ok, _ := other.Exists("/members/me"); ok {
+		t.Fatal("ephemeral survived session close")
+	}
+	// session ops now fail
+	if _, err := owner.Create("/x", nil, FlagPersistent); !errors.Is(err, ErrSessionClosed) {
+		t.Fatalf("op on closed session err = %v", err)
+	}
+}
+
+func TestDataWatchFires(t *testing.T) {
+	s := NewServer()
+	sess := s.NewSession()
+	defer sess.Close()
+	sess.Create("/w", []byte("0"), FlagPersistent)
+	ch, err := sess.WatchData("/w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.Set("/w", []byte("1"), -1)
+	select {
+	case ev := <-ch:
+		if ev.Type != EventDataChanged || ev.Path != "/w" {
+			t.Fatalf("event = %+v", ev)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("data watch did not fire")
+	}
+	// one-shot: another set does not fire again
+	sess.Set("/w", []byte("2"), -1)
+	select {
+	case ev := <-ch:
+		t.Fatalf("one-shot watch fired twice: %+v", ev)
+	case <-time.After(20 * time.Millisecond):
+	}
+}
+
+func TestDeleteFiresDataWatch(t *testing.T) {
+	s := NewServer()
+	sess := s.NewSession()
+	defer sess.Close()
+	sess.Create("/w", nil, FlagPersistent)
+	ch, _ := sess.WatchData("/w")
+	sess.Delete("/w", -1)
+	select {
+	case ev := <-ch:
+		if ev.Type != EventDeleted {
+			t.Fatalf("event = %+v", ev)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("delete watch did not fire")
+	}
+}
+
+func TestChildWatchFiresOnCreateAndSessionDeath(t *testing.T) {
+	s := NewServer()
+	watcher := s.NewSession()
+	member := s.NewSession()
+	defer watcher.Close()
+	watcher.Create("/group", nil, FlagPersistent)
+
+	kids, ch, err := watcher.WatchChildren("/group")
+	if err != nil || len(kids) != 0 {
+		t.Fatalf("WatchChildren = (%v, %v)", kids, err)
+	}
+	member.Create("/group/m1", nil, FlagEphemeral)
+	select {
+	case ev := <-ch:
+		if ev.Type != EventChildrenChanged {
+			t.Fatalf("event = %+v", ev)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("child watch did not fire on create")
+	}
+	// re-arm and watch the member die with its session
+	kids, ch, _ = watcher.WatchChildren("/group")
+	if len(kids) != 1 {
+		t.Fatalf("children = %v", kids)
+	}
+	member.Close()
+	select {
+	case ev := <-ch:
+		if ev.Type != EventChildrenChanged {
+			t.Fatalf("event = %+v", ev)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("child watch did not fire on session death")
+	}
+	kids, _ = watcher.Children("/group")
+	if len(kids) != 0 {
+		t.Fatalf("children after death = %v", kids)
+	}
+}
+
+func TestCreateAllIdempotent(t *testing.T) {
+	s := NewServer()
+	sess := s.NewSession()
+	defer sess.Close()
+	if err := sess.CreateAll("/a/b/c", []byte("leaf")); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.CreateAll("/a/b/c", nil); err != nil {
+		t.Fatal(err)
+	}
+	data, _, err := sess.Get("/a/b/c")
+	if err != nil || string(data) != "leaf" {
+		t.Fatalf("leaf = (%q, %v)", data, err)
+	}
+}
+
+func TestConcurrentSessions(t *testing.T) {
+	s := NewServer()
+	root := s.NewSession()
+	defer root.Close()
+	root.Create("/c", nil, FlagPersistent)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			sess := s.NewSession()
+			defer sess.Close()
+			for i := 0; i < 100; i++ {
+				p := fmt.Sprintf("/c/n%d-%d", g, i)
+				if _, err := sess.Create(p, nil, FlagEphemeral); err != nil {
+					t.Errorf("create %s: %v", p, err)
+					return
+				}
+				if _, _, err := sess.Get(p); err != nil {
+					t.Errorf("get %s: %v", p, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// all ephemeral sessions closed: tree empty again
+	kids, _ := root.Children("/c")
+	if len(kids) != 0 {
+		t.Fatalf("%d ephemerals leaked", len(kids))
+	}
+}
