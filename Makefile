@@ -1,0 +1,37 @@
+# Build, vet and test the whole reproduction. Pure stdlib Go ≥ 1.22;
+# no external dependencies and nothing to install beyond the toolchain.
+
+GO ?= go
+
+# Packages whose concurrency-heavy paths (quorum fanout, hinted handoff,
+# retry/breaker, chaos fault injection, broker protocol) get an extra pass
+# under the race detector.
+RACE_PKGS = ./internal/resilience ./internal/failure ./internal/voldemort ./internal/kafka
+
+.PHONY: all build vet test check test-race bench clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The tier-1 gate: everything must build, vet clean and pass.
+check: build vet test
+
+# Race pass over the resilience/chaos surface. The chaos suites use fixed
+# seeds, so failures here are real interleaving bugs, not flaky schedules.
+test-race:
+	$(GO) test -race -count=1 $(RACE_PKGS)
+
+# The experiment harness (root package) — see EXPERIMENTS.md.
+bench:
+	$(GO) test -bench=. -benchtime=1x .
+
+clean:
+	$(GO) clean ./...

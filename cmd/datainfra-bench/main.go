@@ -26,6 +26,7 @@ import (
 	"datainfra/internal/databus"
 	"datainfra/internal/kafka"
 	"datainfra/internal/metrics"
+	"datainfra/internal/resilience"
 	"datainfra/internal/ring"
 	"datainfra/internal/roexport"
 	"datainfra/internal/storage"
@@ -96,6 +97,22 @@ func main() {
 	if wants("e17") {
 		e17()
 	}
+	resilienceReport()
+}
+
+// resilienceReport prints the process-wide retry/breaker/fault-injection
+// counters accumulated across every experiment: how often transports retried,
+// exhausted their budgets, tripped breakers or probed half-open ones. All
+// zeros on a healthy in-process run — the table earns its keep when
+// experiments run against flaky remote stores.
+func resilienceReport() {
+	snap := resilience.Snapshot()
+	t := metrics.Table{Title: "Resilience counters (process-wide retry/breaker/injection totals)",
+		Headers: []string{"counter", "value"}}
+	for _, k := range resilience.SnapshotOrder {
+		t.AddRow(k, snap[k])
+	}
+	t.Render(os.Stdout)
 }
 
 // rwClient builds the 3-node in-process read-write cluster.

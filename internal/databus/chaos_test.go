@@ -1,0 +1,210 @@
+package databus
+
+// Chaos tests for the client pull loop (§III.C) under a deterministic fault
+// schedule: a flaky relay transport and a flaky consumer must not break the
+// invariants — checkpoint SCNs strictly increase, delivery order never goes
+// backwards, every transaction is delivered at least once, and a hard relay
+// outage fails over to a standby relay without losing stream position.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"datainfra/internal/resilience"
+)
+
+// faultyReader routes relay reads through a fault injector.
+type faultyReader struct {
+	inner EventReader
+	inj   resilience.Injector
+	op    string
+}
+
+func (f *faultyReader) ReadBlocking(sinceSCN int64, maxEvents int, fil *Filter, timeout time.Duration) ([]Event, error) {
+	if err := f.inj.Inject(f.op); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadBlocking(sinceSCN, maxEvents, fil, timeout)
+}
+
+// chaosConsumer records delivery order and checkpoints; OnEvent optionally
+// flakes through the injector to exercise the client's redelivery budget.
+type chaosConsumer struct {
+	mu          sync.Mutex
+	seen        []int64 // event SCNs in delivery order
+	checkpoints []int64
+	flake       resilience.Injector
+}
+
+func (c *chaosConsumer) OnEvent(e Event) error {
+	if c.flake != nil {
+		if err := c.flake.Inject("consumer.onevent"); err != nil {
+			return err
+		}
+	}
+	c.mu.Lock()
+	c.seen = append(c.seen, e.SCN)
+	c.mu.Unlock()
+	return nil
+}
+
+func (c *chaosConsumer) OnCheckpoint(scn int64) {
+	c.mu.Lock()
+	c.checkpoints = append(c.checkpoints, scn)
+	c.mu.Unlock()
+}
+
+func (c *chaosConsumer) snapshot() (seen, checkpoints []int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]int64(nil), c.seen...), append([]int64(nil), c.checkpoints...)
+}
+
+func fillRelay(t *testing.T, r *Relay, txns, eventsPerTxn int) {
+	t.Helper()
+	for i := 1; i <= txns; i++ {
+		events := make([]Event, eventsPerTxn)
+		for j := range events {
+			events[j] = Event{
+				Source:  "chaos",
+				Key:     []byte(fmt.Sprintf("k%d-%d", i, j)),
+				Payload: []byte(fmt.Sprintf("v%d-%d", i, j)),
+			}
+		}
+		if err := r.Append(Txn{SCN: int64(i), Events: events}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func chaosPolicy() resilience.Policy {
+	return resilience.Policy{
+		MaxAttempts:    5,
+		InitialBackoff: 100 * time.Microsecond,
+		MaxBackoff:     2 * time.Millisecond,
+	}
+}
+
+// verifyStream asserts the paper's consumption invariants over a recorded
+// run: checkpoints strictly increase and cover every transaction, delivery
+// order is SCN-monotone (redelivery of an incomplete transaction after a
+// fault may repeat an SCN but never rewinds), and every event SCN was seen.
+func verifyStream(t *testing.T, seen, checkpoints []int64, txns, eventsPerTxn int) {
+	t.Helper()
+	if len(checkpoints) != txns {
+		t.Fatalf("%d checkpoints for %d transactions", len(checkpoints), txns)
+	}
+	for i, scn := range checkpoints {
+		if scn != int64(i+1) {
+			t.Fatalf("checkpoint %d = SCN %d, want %d: not strictly increasing txn boundaries", i, scn, i+1)
+		}
+	}
+	counts := make(map[int64]int)
+	prev := int64(0)
+	for i, scn := range seen {
+		if scn < prev {
+			t.Fatalf("delivery %d rewound: SCN %d after %d", i, scn, prev)
+		}
+		prev = scn
+		counts[scn]++
+	}
+	for i := 1; i <= txns; i++ {
+		if counts[int64(i)] < eventsPerTxn {
+			t.Fatalf("txn %d delivered %d of %d events: at-least-once violated", i, counts[int64(i)], eventsPerTxn)
+		}
+	}
+}
+
+func pumpUntilCaughtUp(t *testing.T, c *Client, lastSCN int64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for c.SCN() < lastSCN {
+		if _, err := c.Poll(); err != nil {
+			t.Fatalf("poll at SCN %d: %v", c.SCN(), err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stuck at SCN %d of %d", c.SCN(), lastSCN)
+		}
+	}
+}
+
+// TestChaosFlakyRelayAndConsumer drops ~30% of relay reads and fails ~20% of
+// first consumer deliveries; the pull loop must still deliver every
+// transaction with strictly increasing checkpoints.
+func TestChaosFlakyRelayAndConsumer(t *testing.T) {
+	const txns, perTxn = 100, 2
+	relay := NewRelay(RelayConfig{})
+	defer relay.Close()
+	fillRelay(t, relay, txns, perTxn)
+
+	inj := resilience.NewInjector(1)
+	inj.Plan("relay.read", resilience.FaultPlan{DropProb: 0.3})
+	inj.Plan("consumer.onevent", resilience.FaultPlan{ErrProb: 0.2})
+
+	cons := &chaosConsumer{flake: inj}
+	c, err := NewClient(ClientConfig{
+		Relay:      &faultyReader{inner: relay, inj: inj, op: "relay.read"},
+		Consumer:   cons,
+		BatchSize:  7, // deliberately splits transactions across batches
+		Retries:    10,
+		Retry:      chaosPolicy(),
+		PollExpiry: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	pumpUntilCaughtUp(t, c, txns)
+	if inj.Total() == 0 {
+		t.Fatal("no faults injected; chaos run is vacuous")
+	}
+	seen, checkpoints := cons.snapshot()
+	verifyStream(t, seen, checkpoints, txns, perTxn)
+}
+
+// TestChaosRelayFailoverMidStream hard-fails the primary relay halfway
+// through consumption; the client must switch to the standby and finish the
+// stream from its checkpoint — no lost or rewound transactions.
+func TestChaosRelayFailoverMidStream(t *testing.T) {
+	const txns, perTxn = 60, 2
+	primary := NewRelay(RelayConfig{})
+	standby := NewRelay(RelayConfig{})
+	defer primary.Close()
+	defer standby.Close()
+	fillRelay(t, primary, txns, perTxn)
+	fillRelay(t, standby, txns, perTxn)
+
+	inj := resilience.NewInjector(2)
+	inj.Plan("primary.read", resilience.FaultPlan{DropProb: 1})
+	inj.Disarm() // healthy until mid-stream
+
+	cons := &chaosConsumer{}
+	c, err := NewClient(ClientConfig{
+		Relay:      &faultyReader{inner: primary, inj: inj, op: "primary.read"},
+		Relays:     []EventReader{standby},
+		Consumer:   cons,
+		BatchSize:  8,
+		Retry:      chaosPolicy(),
+		PollExpiry: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	pumpUntilCaughtUp(t, c, txns/2)
+	if c.Failovers() != 0 {
+		t.Fatalf("failed over %d times while the primary was healthy", c.Failovers())
+	}
+	inj.Arm() // primary dies mid-stream
+	pumpUntilCaughtUp(t, c, txns)
+	if c.Failovers() == 0 {
+		t.Fatal("primary outage never triggered a relay failover")
+	}
+
+	seen, checkpoints := cons.snapshot()
+	verifyStream(t, seen, checkpoints, txns, perTxn)
+}

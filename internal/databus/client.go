@@ -1,11 +1,14 @@
 package databus
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"datainfra/internal/resilience"
 )
 
 // Consumer receives the Databus callbacks (push interface, §III.C). OnEvent
@@ -53,13 +56,19 @@ type BootstrapSource interface {
 
 // ClientConfig assembles a Databus client.
 type ClientConfig struct {
-	Relay      EventReader
-	Bootstrap  BootstrapSource // optional; without it ErrSCNTooOld is fatal
-	Consumer   Consumer
-	Filter     *Filter
-	FromSCN    int64         // resume point (0 = start of stream)
-	BatchSize  int           // events per poll; default 512
-	Retries    int           // per-event OnEvent retries; default 3
+	Relay     EventReader
+	Relays    []EventReader   // optional failover relays tried after Relay
+	Bootstrap BootstrapSource // optional; without it ErrSCNTooOld is fatal
+	Consumer  Consumer
+	Filter    *Filter
+	FromSCN   int64 // resume point (0 = start of stream)
+	BatchSize int   // events per poll; default 512
+	Retries   int   // per-event OnEvent retries; default 3
+	// Retry shapes the backoff used both between relay read attempts and
+	// between OnEvent retries (exponential + full jitter). Zero value =
+	// resilience defaults. Its MaxAttempts applies to relay reads; OnEvent
+	// attempts are governed by Retries.
+	Retry      resilience.Policy
 	PollExpiry time.Duration // blocking-read timeout; default 100ms
 }
 
@@ -68,16 +77,21 @@ type ClientConfig struct {
 // service, retries failing consumers and checkpoints at transaction
 // boundaries (§III.C).
 type Client struct {
-	cfg ClientConfig
+	cfg    ClientConfig
+	relays []EventReader // primary first, then failovers
+	active int           // index into relays; touched only by the poll loop
 
 	scn        atomic.Int64
 	bootstraps atomic.Int64
 	delivered  atomic.Int64
+	failovers  atomic.Int64
 
-	stop chan struct{}
-	once sync.Once
-	wg   sync.WaitGroup
-	err  atomic.Value // last fatal error
+	ctx    context.Context
+	cancel context.CancelFunc
+	stop   chan struct{}
+	once   sync.Once
+	wg     sync.WaitGroup
+	err    atomic.Value // last fatal error
 }
 
 // NewClient validates the configuration.
@@ -97,7 +111,12 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	if cfg.PollExpiry == 0 {
 		cfg.PollExpiry = 100 * time.Millisecond
 	}
-	c := &Client{cfg: cfg, stop: make(chan struct{})}
+	c := &Client{
+		cfg:    cfg,
+		relays: append([]EventReader{cfg.Relay}, cfg.Relays...),
+		stop:   make(chan struct{}),
+	}
+	c.ctx, c.cancel = context.WithCancel(context.Background())
 	c.scn.Store(cfg.FromSCN)
 	return c, nil
 }
@@ -111,6 +130,10 @@ func (c *Client) Delivered() int64 { return c.delivered.Load() }
 // Bootstraps returns how many times the client fell back to the bootstrap
 // service.
 func (c *Client) Bootstraps() int64 { return c.bootstraps.Load() }
+
+// Failovers returns how many times the client switched to another relay
+// after exhausting read retries against the current one.
+func (c *Client) Failovers() int64 { return c.failovers.Load() }
 
 // Err returns the fatal error that stopped the client, if any.
 func (c *Client) Err() error {
@@ -148,7 +171,7 @@ func (c *Client) run() {
 }
 
 func (c *Client) step() (int, error) {
-	events, err := c.cfg.Relay.ReadBlocking(c.scn.Load(), c.cfg.BatchSize, c.cfg.Filter, c.cfg.PollExpiry)
+	events, err := c.readBatch()
 	switch {
 	case errors.Is(err, ErrSCNTooOld):
 		return c.bootstrap()
@@ -158,6 +181,32 @@ func (c *Client) step() (int, error) {
 		return 0, fmt.Errorf("databus: relay read: %w", err)
 	}
 	return c.deliver(events)
+}
+
+// readBatch pulls the next batch from the active relay, retrying transient
+// failures with backoff + jitter instead of spinning, and failing over to
+// the next configured relay once the retry budget against the current one is
+// spent (§III.C: consumers pull, so switching relays is just pointing the
+// pull loop elsewhere — SCN progress carries over). Non-transient results
+// (ErrSCNTooOld, ErrClosed, application errors) surface immediately.
+func (c *Client) readBatch() ([]Event, error) {
+	var lastErr error
+	for i := 0; i < len(c.relays); i++ {
+		idx := (c.active + i) % len(c.relays)
+		relay := c.relays[idx]
+		events, err := resilience.RetryValue(c.ctx, c.cfg.Retry, func() ([]Event, error) {
+			return relay.ReadBlocking(c.scn.Load(), c.cfg.BatchSize, c.cfg.Filter, c.cfg.PollExpiry)
+		})
+		if err == nil || !resilience.IsTransient(err) {
+			if idx != c.active {
+				c.active = idx
+				c.failovers.Add(1)
+			}
+			return events, err
+		}
+		lastErr = err
+	}
+	return nil, lastErr
 }
 
 func (c *Client) bootstrap() (int, error) {
@@ -199,20 +248,30 @@ func (c *Client) deliver(events []Event) (int, error) {
 }
 
 func (c *Client) deliverOne(e Event) error {
-	var lastErr error
-	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
-		if err := c.cfg.Consumer.OnEvent(e); err != nil {
-			lastErr = err
-			continue
-		}
-		c.delivered.Add(1)
-		return nil
+	// Every OnEvent error is retryable up to the budget (the consumer asked
+	// for redelivery), but with jittered backoff instead of a tight loop.
+	p := c.cfg.Retry
+	p.MaxAttempts = c.cfg.Retries + 1
+	if p.InitialBackoff == 0 {
+		p.InitialBackoff = time.Millisecond
 	}
-	return fmt.Errorf("databus: consumer failed %d times on SCN %d: %w", c.cfg.Retries+1, e.SCN, lastErr)
+	if p.MaxBackoff == 0 {
+		p.MaxBackoff = 50 * time.Millisecond
+	}
+	p.Retryable = func(error) bool { return true }
+	err := resilience.Retry(c.ctx, p, func() error { return c.cfg.Consumer.OnEvent(e) })
+	if err != nil {
+		return fmt.Errorf("databus: consumer failed %d times on SCN %d: %w", c.cfg.Retries+1, e.SCN, err)
+	}
+	c.delivered.Add(1)
+	return nil
 }
 
-// Close stops the loop.
+// Close stops the loop (aborting any in-flight backoff sleeps).
 func (c *Client) Close() {
-	c.once.Do(func() { close(c.stop) })
+	c.once.Do(func() {
+		close(c.stop)
+		c.cancel()
+	})
 	c.wg.Wait()
 }

@@ -1,6 +1,7 @@
 package databus
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -9,6 +10,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"datainfra/internal/resilience"
 )
 
 // HTTP transport: relays and bootstrap servers serve their event streams
@@ -154,11 +157,34 @@ func (h *Handler) bootstrap(w http.ResponseWriter, r *http.Request) {
 	_ = writeTerminator(w)
 }
 
+// errServerStatus marks a 5xx from the remote end: the request was well-
+// formed but the server (or an intermediary) failed, so a retry may help.
+var errServerStatus = errors.New("databus: remote server error")
+
+// retryableHTTP classifies transport failures and 5xx responses as worth
+// retrying; 4xx (including 410 Gone = ErrSCNTooOld) surface immediately.
+func retryableHTTP(err error) bool {
+	return resilience.IsTransient(err) || errors.Is(err, errServerStatus)
+}
+
+// httpRetryDefaults is the transport-level policy for remote relays and
+// bootstrap servers: a couple of quick re-GETs with jitter. The Databus
+// client layers its own read retry/failover on top.
+var httpRetryDefaults = resilience.Policy{
+	MaxAttempts:    3,
+	InitialBackoff: 5 * time.Millisecond,
+	MaxBackoff:     200 * time.Millisecond,
+	Retryable:      retryableHTTP,
+}
+
 // HTTPReader is an EventReader over a remote relay's /stream endpoint, so
 // ClientConfig.Relay can point across the network.
 type HTTPReader struct {
 	BaseURL string // e.g. "http://relay-1:8600"
 	Client  *http.Client
+	// Retry overrides the transport retry policy; zero value = 3 attempts
+	// with jittered backoff.
+	Retry *resilience.Policy
 }
 
 func (h *HTTPReader) httpClient() *http.Client {
@@ -166,6 +192,17 @@ func (h *HTTPReader) httpClient() *http.Client {
 		return h.Client
 	}
 	return http.DefaultClient
+}
+
+func retryPolicy(override *resilience.Policy) resilience.Policy {
+	if override == nil {
+		return httpRetryDefaults
+	}
+	p := *override
+	if p.Retryable == nil {
+		p.Retryable = retryableHTTP
+	}
+	return p
 }
 
 func filterQuery(f *Filter) string {
@@ -217,60 +254,86 @@ func readEventFrames(r io.Reader) ([]Event, error) {
 
 // ReadBlocking implements EventReader against the remote relay. Blocking is
 // server-side (the relay holds the request until events arrive or its poll
-// expiry passes).
+// expiry passes). Connection failures and 5xx responses are retried with
+// backoff + jitter; events are only parsed from a successful response, so
+// retries never deliver a partial batch twice.
 func (h *HTTPReader) ReadBlocking(sinceSCN int64, maxEvents int, f *Filter, timeout time.Duration) ([]Event, error) {
 	url := fmt.Sprintf("%s%s?since=%d&max=%d%s", h.BaseURL, StreamPath, sinceSCN, maxEvents, filterQuery(f))
-	resp, err := h.httpClient().Get(url)
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	switch resp.StatusCode {
-	case http.StatusOK:
-		return readEventFrames(resp.Body)
-	case http.StatusGone:
-		msg, _ := io.ReadAll(resp.Body)
-		return nil, fmt.Errorf("%w: %s", ErrSCNTooOld, strings.TrimSpace(string(msg)))
-	default:
-		msg, _ := io.ReadAll(resp.Body)
-		return nil, fmt.Errorf("databus: remote relay: %s: %s", resp.Status, strings.TrimSpace(string(msg)))
-	}
+	return resilience.RetryValue(context.Background(), retryPolicy(h.Retry), func() ([]Event, error) {
+		resp, err := h.httpClient().Get(url)
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			return readEventFrames(resp.Body)
+		case resp.StatusCode == http.StatusGone:
+			msg, _ := io.ReadAll(resp.Body)
+			return nil, fmt.Errorf("%w: %s", ErrSCNTooOld, strings.TrimSpace(string(msg)))
+		case resp.StatusCode >= 500:
+			msg, _ := io.ReadAll(resp.Body)
+			return nil, fmt.Errorf("%w: remote relay: %s: %s", errServerStatus, resp.Status, strings.TrimSpace(string(msg)))
+		default:
+			msg, _ := io.ReadAll(resp.Body)
+			return nil, fmt.Errorf("databus: remote relay: %s: %s", resp.Status, strings.TrimSpace(string(msg)))
+		}
+	})
 }
 
 // HTTPBootstrap is a BootstrapSource over a remote /bootstrap endpoint.
 type HTTPBootstrap struct {
 	BaseURL string
 	Client  *http.Client
+	// Retry overrides the transport retry policy; zero value = 3 attempts
+	// with jittered backoff.
+	Retry *resilience.Policy
 }
 
-// Catchup implements BootstrapSource.
+// Catchup implements BootstrapSource. The fetch (request + full body read)
+// is retried as a unit and the callback only runs after a complete, healthy
+// response, so a mid-stream connection drop never double-delivers events.
 func (h *HTTPBootstrap) Catchup(sinceSCN int64, f *Filter, fn func(Event) error) (int64, error) {
 	client := h.Client
 	if client == nil {
 		client = http.DefaultClient
 	}
 	url := fmt.Sprintf("%s%s?since=%d%s", h.BaseURL, BootstrapPath, sinceSCN, filterQuery(f))
-	resp, err := client.Get(url)
+	type catchup struct {
+		resume int64
+		events []Event
+	}
+	got, err := resilience.RetryValue(context.Background(), retryPolicy(h.Retry), func() (catchup, error) {
+		resp, err := client.Get(url)
+		if err != nil {
+			return catchup{}, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			msg, _ := io.ReadAll(resp.Body)
+			status := errors.New("databus")
+			if resp.StatusCode >= 500 {
+				status = errServerStatus
+			}
+			return catchup{}, fmt.Errorf("%w: remote bootstrap: %s: %s", status, resp.Status, strings.TrimSpace(string(msg)))
+		}
+		resume, err := strconv.ParseInt(resp.Header.Get(resumeHeader), 10, 64)
+		if err != nil {
+			return catchup{}, fmt.Errorf("databus: remote bootstrap: bad resume header: %w", err)
+		}
+		events, err := readEventFrames(resp.Body)
+		if err != nil {
+			return catchup{}, err
+		}
+		return catchup{resume: resume, events: events}, nil
+	})
 	if err != nil {
 		return 0, err
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		msg, _ := io.ReadAll(resp.Body)
-		return 0, fmt.Errorf("databus: remote bootstrap: %s: %s", resp.Status, strings.TrimSpace(string(msg)))
-	}
-	resume, err := strconv.ParseInt(resp.Header.Get(resumeHeader), 10, 64)
-	if err != nil {
-		return 0, fmt.Errorf("databus: remote bootstrap: bad resume header: %w", err)
-	}
-	events, err := readEventFrames(resp.Body)
-	if err != nil {
-		return 0, err
-	}
-	for _, e := range events {
+	for _, e := range got.events {
 		if err := fn(e); err != nil {
 			return 0, err
 		}
 	}
-	return resume, nil
+	return got.resume, nil
 }

@@ -1,0 +1,235 @@
+package espresso
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"datainfra/internal/resilience"
+)
+
+// errRetryableStatus marks responses worth retrying: 5xx, and 503 in
+// particular, which the router returns while mastership is failing over
+// (§IV.B) — exactly the window a client should ride out with backoff.
+var errRetryableStatus = errors.New("espresso: retryable server status")
+
+// ClientDoc is a document as returned by the HTTP API.
+type ClientDoc struct {
+	URI           string         `json:"uri"`
+	Etag          string         `json:"etag"`
+	Timestamp     int64          `json:"timestamp"`
+	SchemaVersion int            `json:"schemaVersion"`
+	Doc           map[string]any `json:"doc"`
+}
+
+// HTTPClient is the client side of the Espresso HTTP API (the router tier of
+// Figure IV.1, consumed remotely): document gets/puts/deletes, secondary-
+// index queries and transactional POSTs, with transient failures and
+// failover 503s retried through the resilience layer behind a circuit
+// breaker. Application outcomes (404, 412 etag conflicts, 400) surface
+// immediately as the package's sentinel errors.
+type HTTPClient struct {
+	base    string
+	hc      *http.Client
+	retry   resilience.Policy
+	breaker *resilience.Breaker
+}
+
+// NewHTTPClient builds a client for baseURL (e.g. "http://router:8080").
+// httpClient may be nil for http.DefaultClient.
+func NewHTTPClient(baseURL string, httpClient *http.Client) *HTTPClient {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &HTTPClient{
+		base: strings.TrimRight(baseURL, "/"),
+		hc:   httpClient,
+		retry: resilience.Policy{
+			MaxAttempts:    4,
+			InitialBackoff: 5 * time.Millisecond,
+			MaxBackoff:     250 * time.Millisecond,
+			Retryable: func(err error) bool {
+				return resilience.IsTransient(err) || errors.Is(err, errRetryableStatus)
+			},
+		},
+		breaker: resilience.NewBreaker(resilience.BreakerConfig{
+			FailureThreshold: 8,
+			OpenTimeout:      250 * time.Millisecond,
+		}),
+	}
+}
+
+// SetRetryPolicy overrides the retry policy; call before first use.
+func (c *HTTPClient) SetRetryPolicy(p resilience.Policy) {
+	if p.Retryable == nil {
+		p.Retryable = func(err error) bool {
+			return resilience.IsTransient(err) || errors.Is(err, errRetryableStatus)
+		}
+	}
+	c.retry = p
+}
+
+func docURI(db, table string, parts []string) string {
+	segs := make([]string, 0, 2+len(parts))
+	segs = append(segs, db, table)
+	segs = append(segs, parts...)
+	for i, s := range segs {
+		segs[i] = url.PathEscape(s)
+	}
+	return "/" + strings.Join(segs, "/")
+}
+
+// statusErr maps an HTTP status to the package's sentinel errors so callers
+// keep using errors.Is exactly as against a local Node.
+func statusErr(status int, body []byte) error {
+	msg := strings.TrimSpace(string(body))
+	switch {
+	case status == http.StatusNotFound:
+		return fmt.Errorf("%w: %s", ErrNoSuchDocument, msg)
+	case status == http.StatusPreconditionFailed:
+		return fmt.Errorf("%w: %s", ErrEtagMismatch, msg)
+	case status == http.StatusBadRequest:
+		return fmt.Errorf("%w: %s", ErrBadURI, msg)
+	case status == http.StatusServiceUnavailable:
+		return fmt.Errorf("%w: %s: %s", errRetryableStatus, ErrNotMaster, msg)
+	case status >= 500:
+		return fmt.Errorf("%w: status %d: %s", errRetryableStatus, status, msg)
+	default:
+		return fmt.Errorf("espresso: status %d: %s", status, msg)
+	}
+}
+
+// do runs one HTTP exchange under retry + breaker. body is re-created per
+// attempt from the byte slice, so retries resend the full payload.
+func (c *HTTPClient) do(method, uri string, headers map[string]string, body []byte) (*http.Response, []byte, error) {
+	type result struct {
+		resp *http.Response
+		body []byte
+	}
+	r, err := resilience.RetryValue(context.Background(), c.retry, func() (result, error) {
+		if err := c.breaker.Allow(); err != nil {
+			return result{}, err
+		}
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequest(method, c.base+uri, rd)
+		if err != nil {
+			c.breaker.Record(nil) // our bug, not the server's
+			return result{}, err
+		}
+		for k, v := range headers {
+			req.Header.Set(k, v)
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			c.breaker.Record(err)
+			return result{}, err
+		}
+		defer resp.Body.Close()
+		payload, err := io.ReadAll(resp.Body)
+		if err != nil {
+			c.breaker.Record(err)
+			return result{}, err
+		}
+		if resp.StatusCode >= 500 {
+			c.breaker.Record(errRetryableStatus)
+		} else {
+			// Any complete response, including 4xx/503, proves the server is
+			// reachable: only transport-level failures feed the breaker.
+			c.breaker.Record(nil)
+		}
+		if resp.StatusCode >= 400 {
+			return result{}, statusErr(resp.StatusCode, payload)
+		}
+		return result{resp: resp, body: payload}, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return r.resp, r.body, nil
+}
+
+// Get fetches one document.
+func (c *HTTPClient) Get(db, table string, parts ...string) (*ClientDoc, error) {
+	_, body, err := c.do(http.MethodGet, docURI(db, table, parts), nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	var d ClientDoc
+	if err := json.Unmarshal(body, &d); err != nil {
+		return nil, fmt.Errorf("espresso: bad document response: %w", err)
+	}
+	return &d, nil
+}
+
+// Query runs a secondary-index query (?query=field:value) over the
+// collection at resource.
+func (c *HTTPClient) Query(db, table, resource, field, value string) ([]ClientDoc, error) {
+	uri := docURI(db, table, []string{resource}) + "?query=" + url.QueryEscape(field+":"+value)
+	_, body, err := c.do(http.MethodGet, uri, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	var out []ClientDoc
+	if err := json.Unmarshal(body, &out); err != nil {
+		return nil, fmt.Errorf("espresso: bad query response: %w", err)
+	}
+	return out, nil
+}
+
+// Put writes doc; ifMatch (optional) makes the write conditional on the
+// current etag. The new etag is returned.
+func (c *HTTPClient) Put(db, table string, parts []string, doc map[string]any, ifMatch string) (string, error) {
+	payload, err := json.Marshal(doc)
+	if err != nil {
+		return "", err
+	}
+	var headers map[string]string
+	if ifMatch != "" {
+		headers = map[string]string{"If-Match": ifMatch}
+	}
+	resp, _, err := c.do(http.MethodPut, docURI(db, table, parts), headers, payload)
+	if err != nil {
+		return "", err
+	}
+	return resp.Header.Get("ETag"), nil
+}
+
+// Delete removes a document; ifMatch (optional) guards on the etag.
+func (c *HTTPClient) Delete(db, table string, parts []string, ifMatch string) error {
+	var headers map[string]string
+	if ifMatch != "" {
+		headers = map[string]string{"If-Match": ifMatch}
+	}
+	_, _, err := c.do(http.MethodDelete, docURI(db, table, parts), headers, nil)
+	return err
+}
+
+// Commit posts a multi-table transaction for resource (§IV.A): all items
+// commit or none do. The per-row etags are returned in item order.
+func (c *HTTPClient) Commit(db, resource string, items []TxnItem) ([]string, error) {
+	payload, err := json.Marshal(items)
+	if err != nil {
+		return nil, err
+	}
+	_, body, err := c.do(http.MethodPost, docURI(db, "*", []string{resource}), nil, payload)
+	if err != nil {
+		return nil, err
+	}
+	var out struct {
+		Etags []string `json:"etags"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		return nil, fmt.Errorf("espresso: bad commit response: %w", err)
+	}
+	return out.Etags, nil
+}

@@ -150,10 +150,17 @@ func (d *SuccessRatio) RecordSuccess(node int) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	s := d.stats(node)
+	if s.banned {
+		// Recovery: clear the ban and start a fresh window so the pre-outage
+		// failure history cannot immediately re-ban a healthy node.
+		s.banned = false
+		s.bannedAt = time.Time{}
+		s.success, s.total = 0, 0
+		s.windowStart = d.cfg.Now()
+	}
 	d.roll(s)
 	s.total++
 	s.success++
-	s.banned = false
 }
 
 // RecordFailure counts a failure and bans the node if the windowed success
@@ -174,10 +181,19 @@ func (d *SuccessRatio) RecordFailure(node int) {
 }
 
 func (d *SuccessRatio) roll(s *nodeStats) {
-	if d.cfg.Now().Sub(s.windowStart) > d.cfg.Window {
-		s.windowStart = d.cfg.Now()
-		s.success, s.total = 0, 0
+	if d.cfg.Now().Sub(s.windowStart) <= d.cfg.Window {
+		return
 	}
+	// Banned nodes keep their window: ageing out the counters would leave
+	// the node banned-with-no-evidence (and a stale bannedAt), and worse, a
+	// subsequent re-ban would overwrite bannedAt as if the outage had just
+	// begun. The ban bookkeeping is cleared only by the paths that actually
+	// prove recovery — a successful operation, a probe, or MarkUp.
+	if s.banned {
+		return
+	}
+	s.windowStart = d.cfg.Now()
+	s.success, s.total = 0, 0
 }
 
 // MarkUp forcibly unbans a node (admin override / successful probe).
@@ -186,8 +202,21 @@ func (d *SuccessRatio) MarkUp(node int) {
 	defer d.mu.Unlock()
 	s := d.stats(node)
 	s.banned = false
+	s.bannedAt = time.Time{}
 	s.success, s.total = 0, 0
 	s.windowStart = d.cfg.Now()
+}
+
+// BannedSince reports when node was banned; ok is false when the node is not
+// currently banned.
+func (d *SuccessRatio) BannedSince(node int) (time.Time, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s, exists := d.nodes[node]
+	if !exists || !s.banned {
+		return time.Time{}, false
+	}
+	return s.bannedAt, true
 }
 
 // Banned returns the ids of currently banned nodes (diagnostics).

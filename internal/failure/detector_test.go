@@ -76,6 +76,56 @@ func TestWindowReset(t *testing.T) {
 	}
 }
 
+// Regression: a node banned just before the window expires used to have its
+// counters zeroed by roll() while staying banned with a stale bannedAt — and
+// a later below-threshold window would overwrite bannedAt as if the outage
+// had just begun. The window roll must not touch ban bookkeeping.
+func TestWindowRollPreservesBanBookkeeping(t *testing.T) {
+	now := time.Now()
+	clock := func() time.Time { return now }
+	d := NewSuccessRatio(SuccessRatioConfig{Threshold: 0.8, MinRequests: 4, Window: time.Second, Now: clock}, nil)
+	defer d.Close()
+
+	for i := 0; i < 4; i++ {
+		d.RecordFailure(1) // 0/4 < 0.8: banned now
+	}
+	bannedAt, ok := d.BannedSince(1)
+	if !ok || !bannedAt.Equal(now) {
+		t.Fatalf("BannedSince = (%v, %v), want (%v, true)", bannedAt, ok, now)
+	}
+
+	now = now.Add(2 * time.Second) // window expires while banned
+	d.RecordFailure(1)             // would roll+zero the window pre-fix
+	if d.Available(1) {
+		t.Fatal("window roll unbanned the node")
+	}
+	if got, ok := d.BannedSince(1); !ok || !got.Equal(bannedAt) {
+		t.Fatalf("bannedAt changed across window roll: got (%v, %v), want (%v, true)", got, ok, bannedAt)
+	}
+
+	// More failures in the "new" window must not restamp the ban time.
+	now = now.Add(3 * time.Second)
+	d.RecordFailure(1)
+	d.RecordFailure(1)
+	if got, _ := d.BannedSince(1); !got.Equal(bannedAt) {
+		t.Fatalf("bannedAt restamped by post-roll failures: got %v, want %v", got, bannedAt)
+	}
+
+	// Recovery clears the bookkeeping and starts a fresh window, so the
+	// pre-outage failure history cannot instantly re-ban the node.
+	d.RecordSuccess(1)
+	if !d.Available(1) {
+		t.Fatal("success did not unban")
+	}
+	if _, ok := d.BannedSince(1); ok {
+		t.Fatal("BannedSince still set after recovery")
+	}
+	d.RecordFailure(1) // 1 failure in a fresh window: nowhere near MinRequests
+	if !d.Available(1) {
+		t.Fatal("stale pre-outage history re-banned a recovered node")
+	}
+}
+
 func TestAsyncProbeRecovers(t *testing.T) {
 	var ok atomic.Bool
 	prober := ProberFunc(func(node int) error {

@@ -1,6 +1,7 @@
 package kafka
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -9,13 +10,22 @@ import (
 	"strconv"
 	"sync"
 	"time"
+
+	"datainfra/internal/resilience"
 )
 
 // RemoteBroker is a BrokerClient over the TCP protocol, with a small
-// connection pool.
+// connection pool. Transport failures (dead pooled connections, broker
+// restarts, timeouts) are retried through the resilience layer with
+// exponential backoff and full jitter, behind a circuit breaker that fails
+// fast while the broker stays unreachable — the §V story of producers and
+// consumers riding out broker reconnects. Application-level responses
+// (error frames such as offset-out-of-range) are never retried.
 type RemoteBroker struct {
 	addr    string
 	timeout time.Duration
+	retry   resilience.Policy
+	breaker *resilience.Breaker
 
 	mu     sync.Mutex
 	conns  []net.Conn
@@ -27,8 +37,24 @@ func DialBroker(addr string, timeout time.Duration) *RemoteBroker {
 	if timeout == 0 {
 		timeout = 5 * time.Second
 	}
-	return &RemoteBroker{addr: addr, timeout: timeout}
+	return &RemoteBroker{
+		addr:    addr,
+		timeout: timeout,
+		retry: resilience.Policy{
+			MaxAttempts:    4,
+			InitialBackoff: 2 * time.Millisecond,
+			MaxBackoff:     100 * time.Millisecond,
+		},
+		breaker: resilience.NewBreaker(resilience.BreakerConfig{
+			FailureThreshold: 8,
+			OpenTimeout:      250 * time.Millisecond,
+		}),
+	}
 }
+
+// SetRetryPolicy overrides the transport retry policy (tests, aggressive
+// clients). It must be called before the first request.
+func (r *RemoteBroker) SetRetryPolicy(p resilience.Policy) { r.retry = p }
 
 func (r *RemoteBroker) getConn() (net.Conn, error) {
 	r.mu.Lock()
@@ -56,13 +82,35 @@ func (r *RemoteBroker) putConn(c net.Conn) {
 	r.conns = append(r.conns, c)
 }
 
-// call sends one framed request and reads the framed response.
+// call sends one framed request and reads the framed response, retrying
+// transport failures (each retry on a fresh connection: callOnce discards
+// the connection on any error).
 func (r *RemoteBroker) call(req []byte) ([]byte, error) {
+	return resilience.RetryValue(context.Background(), r.retry, func() ([]byte, error) {
+		if err := r.breaker.Allow(); err != nil {
+			return nil, err
+		}
+		body, err := r.callOnce(req)
+		if err != nil && resilience.IsTransient(err) {
+			r.breaker.Record(err)
+		} else {
+			// Success, or an application error: the broker is reachable.
+			r.breaker.Record(nil)
+		}
+		return body, err
+	})
+}
+
+// callOnce performs one request/response exchange on one connection.
+func (r *RemoteBroker) callOnce(req []byte) ([]byte, error) {
 	conn, err := r.getConn()
 	if err != nil {
 		return nil, err
 	}
-	_ = conn.SetDeadline(time.Now().Add(r.timeout))
+	if err := conn.SetDeadline(time.Now().Add(r.timeout)); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("kafka: set deadline: %w", err)
+	}
 	hdr := make([]byte, 4)
 	binary.BigEndian.PutUint32(hdr, uint32(len(req)))
 	if _, err := conn.Write(hdr); err != nil {
@@ -87,7 +135,10 @@ func (r *RemoteBroker) call(req []byte) ([]byte, error) {
 		conn.Close()
 		return nil, err
 	}
-	_ = conn.SetDeadline(time.Time{})
+	if err := conn.SetDeadline(time.Time{}); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("kafka: clear deadline: %w", err)
+	}
 	r.putConn(conn)
 	if body[0] != 0 {
 		msg := string(body[1:])
@@ -119,7 +170,10 @@ func reqHeader(op byte, topic string) []byte {
 	return append(buf, topic...)
 }
 
-// Produce implements BrokerClient.
+// Produce implements BrokerClient. Transport retries make delivery
+// at-least-once: a produce whose connection died after the broker appended
+// but before the ack is re-sent, matching the paper's delivery guarantee
+// ("messages are guaranteed to be delivered at least once", §V.D).
 func (r *RemoteBroker) Produce(topic string, partition int, set MessageSet) (int64, error) {
 	req := reqHeader(brokerOpProduce, topic)
 	req = binary.BigEndian.AppendUint32(req, uint32(partition))

@@ -9,8 +9,28 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
+
+// Counter is a monotonically increasing event counter, safe for concurrent
+// use. The resilience layer uses counters to account retry attempts, breaker
+// opens and half-open probes so chaos runs can report them.
+type Counter struct {
+	n atomic.Int64
+}
+
+// NewCounter returns a zeroed counter.
+func NewCounter() *Counter { return &Counter{} }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.n.Add(1) }
+
+// Add counts n more events.
+func (c *Counter) Add(n int64) { c.n.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.n.Load() }
 
 // Histogram collects duration samples and reports percentiles.
 type Histogram struct {

@@ -1,0 +1,226 @@
+package resilience
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrBreakerOpen is returned by Allow while the breaker is rejecting
+// requests. It is deliberately not transient: retry loops fail fast on it.
+var ErrBreakerOpen = errors.New("resilience: circuit breaker open")
+
+// State is a breaker state.
+type State int
+
+// Breaker states.
+const (
+	Closed   State = iota // requests flow, failures are counted
+	Open                  // requests are rejected until OpenTimeout passes
+	HalfOpen              // a limited number of probes test recovery
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// BreakerConfig tunes a Breaker. The zero value means the defaults below.
+type BreakerConfig struct {
+	// FailureThreshold is how many consecutive failures open the breaker;
+	// default 5.
+	FailureThreshold int
+	// OpenTimeout is how long the breaker rejects before probing; default 1s.
+	OpenTimeout time.Duration
+	// HalfOpenProbes is how many trial requests are admitted (and must all
+	// succeed) to close again; default 1. A failure during half-open reopens.
+	HalfOpenProbes int
+	// Now is the clock; injectable for deterministic tests.
+	Now func() time.Time
+	// Counters receives open/probe accounting; nil means the package Metrics.
+	Counters *Counters
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 5
+	}
+	if c.OpenTimeout <= 0 {
+		c.OpenTimeout = time.Second
+	}
+	if c.HalfOpenProbes <= 0 {
+		c.HalfOpenProbes = 1
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	if c.Counters == nil {
+		c.Counters = Metrics
+	}
+	return c
+}
+
+// Breaker is a closed/open/half-open circuit breaker: consecutive failures
+// trip it open, open calls fail fast without touching the dependency, and
+// after a cooldown a bounded number of probes decide between closing and
+// reopening. It protects dependencies the way the Voldemort bannage detector
+// protects nodes — the BreakerSet below literally implements that package's
+// Detector interface.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu        sync.Mutex
+	state     State
+	failures  int       // consecutive failures while closed
+	openedAt  time.Time // when we last tripped
+	probes    int       // probes admitted this half-open round
+	successes int       // probe successes this half-open round
+}
+
+// NewBreaker builds a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults()}
+}
+
+// State reports the current state (advancing open -> half-open if the
+// cooldown has passed).
+func (b *Breaker) State() State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.advanceLocked()
+	return b.state
+}
+
+// advanceLocked moves open -> half-open once the cooldown elapses.
+func (b *Breaker) advanceLocked() {
+	if b.state == Open && b.cfg.Now().Sub(b.openedAt) >= b.cfg.OpenTimeout {
+		b.state = HalfOpen
+		b.probes, b.successes = 0, 0
+	}
+}
+
+// Allow asks to perform a request: nil means go ahead (and implies the
+// caller will Record the outcome), ErrBreakerOpen means fail fast. While
+// half-open only HalfOpenProbes callers are admitted per round.
+func (b *Breaker) Allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.advanceLocked()
+	switch b.state {
+	case Closed:
+		return nil
+	case HalfOpen:
+		if b.probes < b.cfg.HalfOpenProbes {
+			b.probes++
+			b.cfg.Counters.inc(b.cfg.Counters.HalfOpenProbes)
+			return nil
+		}
+		return ErrBreakerOpen
+	default:
+		return ErrBreakerOpen
+	}
+}
+
+// Record reports the outcome of an admitted request. Classification of err
+// is the caller's business: pass nil for success (application-level errors
+// that prove the dependency is reachable should be recorded as success).
+func (b *Breaker) Record(err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err == nil {
+		switch b.state {
+		case HalfOpen:
+			b.successes++
+			if b.successes >= b.cfg.HalfOpenProbes {
+				b.state = Closed
+				b.failures = 0
+			}
+		default:
+			b.failures = 0
+		}
+		return
+	}
+	switch b.state {
+	case HalfOpen:
+		b.trip()
+	case Closed:
+		b.failures++
+		if b.failures >= b.cfg.FailureThreshold {
+			b.trip()
+		}
+	}
+}
+
+// trip opens the breaker; callers hold b.mu.
+func (b *Breaker) trip() {
+	b.state = Open
+	b.openedAt = b.cfg.Now()
+	b.failures = 0
+	b.cfg.Counters.inc(b.cfg.Counters.BreakerOpens)
+}
+
+// Do runs fn under the breaker: Allow, run, Record. classify (optional)
+// downgrades application-level errors to successes for breaker accounting.
+func (b *Breaker) Do(fn func() error, classify func(error) bool) error {
+	if err := b.Allow(); err != nil {
+		return err
+	}
+	err := fn()
+	if err != nil && (classify == nil || classify(err)) {
+		b.Record(err)
+	} else {
+		b.Record(nil)
+	}
+	return err
+}
+
+// BreakerSet keys breakers by node id and implements the voldemort failure
+// detector contract (failure.Detector is structural — Available /
+// RecordSuccess / RecordFailure), so a routed store can use circuit breaking
+// as its bannage policy: threshold trips ban the node, the open timeout
+// plays the role of the async probe interval, and half-open probes are the
+// recovery pings.
+type BreakerSet struct {
+	cfg BreakerConfig
+
+	mu sync.Mutex
+	m  map[int]*Breaker
+}
+
+// NewBreakerSet builds an empty set; breakers are created on first use.
+func NewBreakerSet(cfg BreakerConfig) *BreakerSet {
+	return &BreakerSet{cfg: cfg, m: make(map[int]*Breaker)}
+}
+
+// Breaker returns the breaker for node, creating it if needed.
+func (s *BreakerSet) Breaker(node int) *Breaker {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.m[node]
+	if !ok {
+		b = NewBreaker(s.cfg)
+		s.m[node] = b
+	}
+	return b
+}
+
+// Available implements failure.Detector: a node is available when its
+// breaker admits a request (half-open admission consumes a probe slot, which
+// is exactly the single-inflight recovery semantics we want).
+func (s *BreakerSet) Available(node int) bool {
+	return s.Breaker(node).Allow() == nil
+}
+
+// RecordSuccess implements failure.Detector.
+func (s *BreakerSet) RecordSuccess(node int) { s.Breaker(node).Record(nil) }
+
+// RecordFailure implements failure.Detector.
+func (s *BreakerSet) RecordFailure(node int) { s.Breaker(node).Record(ErrBreakerOpen) }

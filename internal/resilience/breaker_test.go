@@ -1,0 +1,148 @@
+package resilience
+
+import (
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"datainfra/internal/failure"
+)
+
+// BreakerSet must satisfy the voldemort failure detector contract.
+var _ failure.Detector = (*BreakerSet)(nil)
+
+// fakeClock is a manual clock for breaker tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1_700_000_000, 0)} }
+func breakerCfg(c *fakeClock) BreakerConfig {
+	return BreakerConfig{FailureThreshold: 3, OpenTimeout: time.Second, Now: c.now, Counters: NewCounters()}
+}
+
+func TestBreakerOpensAfterConsecutiveFailures(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreaker(breakerCfg(clk))
+	for i := 0; i < 3; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatalf("allow %d: %v", i, err)
+		}
+		b.Record(io.EOF)
+	}
+	if b.State() != Open {
+		t.Fatalf("state = %v, want open", b.State())
+	}
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("allow while open = %v, want ErrBreakerOpen", err)
+	}
+}
+
+func TestBreakerSuccessResetsFailureStreak(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreaker(breakerCfg(clk))
+	b.Record(io.EOF)
+	b.Record(io.EOF)
+	b.Record(nil) // streak broken
+	b.Record(io.EOF)
+	b.Record(io.EOF)
+	if b.State() != Closed {
+		t.Fatalf("state = %v, want closed (streak reset by success)", b.State())
+	}
+}
+
+func TestBreakerHalfOpenProbeAndClose(t *testing.T) {
+	clk := newFakeClock()
+	cfg := breakerCfg(clk)
+	b := NewBreaker(cfg)
+	for i := 0; i < 3; i++ {
+		b.Record(io.EOF)
+	}
+	clk.advance(time.Second)
+	if b.State() != HalfOpen {
+		t.Fatalf("state = %v, want half-open after cooldown", b.State())
+	}
+	// One probe slot: first Allow admitted, second rejected.
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe not admitted: %v", err)
+	}
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("second concurrent probe admitted, want rejection")
+	}
+	b.Record(nil)
+	if b.State() != Closed {
+		t.Fatalf("state = %v, want closed after successful probe", b.State())
+	}
+	if got := cfg.Counters.HalfOpenProbes.Value(); got != 1 {
+		t.Fatalf("half-open probes = %d, want 1", got)
+	}
+	if got := cfg.Counters.BreakerOpens.Value(); got != 1 {
+		t.Fatalf("breaker opens = %d, want 1", got)
+	}
+}
+
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreaker(breakerCfg(clk))
+	for i := 0; i < 3; i++ {
+		b.Record(io.EOF)
+	}
+	clk.advance(time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe not admitted: %v", err)
+	}
+	b.Record(io.EOF)
+	if b.State() != Open {
+		t.Fatalf("state = %v, want re-opened after failed probe", b.State())
+	}
+	// And the cooldown starts over.
+	clk.advance(time.Second / 2)
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatal("admitted before the new cooldown elapsed")
+	}
+	clk.advance(time.Second / 2)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe after second cooldown: %v", err)
+	}
+}
+
+func TestBreakerDoClassifiesAppErrorsAsSuccess(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreaker(breakerCfg(clk))
+	appErr := errors.New("obsolete version")
+	for i := 0; i < 10; i++ {
+		err := b.Do(func() error { return appErr }, IsTransient)
+		if !errors.Is(err, appErr) {
+			t.Fatalf("Do = %v, want the app error surfaced", err)
+		}
+	}
+	if b.State() != Closed {
+		t.Fatalf("state = %v; app-level errors must not trip the breaker", b.State())
+	}
+}
+
+func TestBreakerSetImplementsDetectorSemantics(t *testing.T) {
+	clk := newFakeClock()
+	s := NewBreakerSet(breakerCfg(clk))
+	if !s.Available(7) {
+		t.Fatal("fresh node should be available")
+	}
+	for i := 0; i < 3; i++ {
+		s.RecordFailure(7)
+	}
+	if s.Available(7) {
+		t.Fatal("node should be banned after threshold failures")
+	}
+	if !s.Available(8) {
+		t.Fatal("other nodes unaffected")
+	}
+	clk.advance(time.Second)
+	if !s.Available(7) { // half-open probe slot
+		t.Fatal("cooldown elapsed: one probe should be admitted")
+	}
+	s.RecordSuccess(7)
+	if !s.Available(7) || !s.Available(7) {
+		t.Fatal("node should be fully available after successful probe")
+	}
+}

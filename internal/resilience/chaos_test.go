@@ -1,0 +1,199 @@
+package resilience
+
+// End-to-end chaos tests for the resilience layer itself: a fake service
+// behind injector + breaker + retry. Invariants: an operation acknowledged by
+// Retry was applied exactly once; a hard outage trips the breaker and fails
+// fast; healing plus the open timeout closes it again through a half-open
+// probe; and the whole run — fault schedule, ack set, counter values — is a
+// pure function of the seed.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// chaosService applies ops unless the injector faults first; it counts how
+// many times each op was applied so exactly-once claims are checkable.
+type chaosService struct {
+	inj     *DeterministicInjector
+	applied map[string]int
+}
+
+func (s *chaosService) do(op string) error {
+	if err := s.inj.Inject("svc"); err != nil {
+		return err
+	}
+	s.applied[op]++
+	return nil
+}
+
+// runChaosRound drives n ops through Retry against a freshly seeded
+// injector and returns the acked op names, the apply counts and the fault
+// schedule. Sleeping and jitter are pinned so the run is reproducible.
+func runChaosRound(seed int64, n int) (acked []string, applied map[string]int, faults map[string]int64) {
+	inj := NewInjector(seed)
+	inj.SetSleep(func(time.Duration) {})
+	inj.Plan("svc", FaultPlan{DropProb: 0.2, ErrProb: 0.15, LatencyProb: 0.1})
+	svc := &chaosService{inj: inj, applied: make(map[string]int)}
+
+	p := Policy{
+		MaxAttempts: 3,
+		Sleep:       func(context.Context, time.Duration) error { return nil },
+		Rand:        func() float64 { return 0.5 },
+		Counters:    NewCounters(),
+	}
+	for i := 0; i < n; i++ {
+		op := fmt.Sprintf("op%d", i)
+		if err := Retry(context.Background(), p, func() error { return svc.do(op) }); err == nil {
+			acked = append(acked, op)
+		}
+	}
+	return acked, svc.applied, inj.Counts()
+}
+
+// TestChaosAckedOpsApplyExactlyOnce: whatever the fault schedule does, an op
+// acknowledged by the retry layer was applied exactly once (faults strike
+// before the service mutates state, so retries of failed attempts never
+// double-apply), and an op never acked may have been applied at most... never
+// — this service faults before applying, so unacked ops with exhausted
+// budgets applied zero times only if every attempt faulted.
+func TestChaosAckedOpsApplyExactlyOnce(t *testing.T) {
+	acked, applied, faults := runChaosRound(11, 400)
+	if len(acked) == 0 || len(acked) == 400 {
+		t.Fatalf("%d/400 acked; chaos run is vacuous", len(acked))
+	}
+	var total int64
+	for _, v := range faults {
+		total += v
+	}
+	if total == 0 {
+		t.Fatal("no faults injected; chaos run is vacuous")
+	}
+	ackedSet := make(map[string]bool, len(acked))
+	for _, op := range acked {
+		if applied[op] != 1 {
+			t.Fatalf("acked op %s applied %d times, want exactly 1", op, applied[op])
+		}
+		ackedSet[op] = true
+	}
+	for op, n := range applied {
+		if !ackedSet[op] && n != 0 {
+			t.Fatalf("unacked op %s applied %d times; service faults before applying", op, n)
+		}
+	}
+}
+
+// TestChaosRunIsDeterministic: two rounds with the same seed agree on every
+// observable — acks, apply counts, and the per-kind fault tallies.
+func TestChaosRunIsDeterministic(t *testing.T) {
+	acked1, applied1, faults1 := runChaosRound(23, 300)
+	acked2, applied2, faults2 := runChaosRound(23, 300)
+	if len(acked1) != len(acked2) {
+		t.Fatalf("ack counts diverged: %d vs %d", len(acked1), len(acked2))
+	}
+	for i := range acked1 {
+		if acked1[i] != acked2[i] {
+			t.Fatalf("ack %d diverged: %s vs %s", i, acked1[i], acked2[i])
+		}
+	}
+	for op, n := range applied1 {
+		if applied2[op] != n {
+			t.Fatalf("apply count for %s diverged: %d vs %d", op, n, applied2[op])
+		}
+	}
+	for kind, n := range faults1 {
+		if faults2[kind] != n {
+			t.Fatalf("fault tally %s diverged: %d vs %d", kind, n, faults2[kind])
+		}
+	}
+	// And a different seed must actually reshuffle the schedule.
+	_, _, faults3 := runChaosRound(24, 300)
+	same := true
+	for kind, n := range faults1 {
+		if faults3[kind] != n {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical fault tallies; injector ignores the seed")
+	}
+}
+
+// TestChaosBreakerTripsAndRecovers: a hard outage behind breaker + retry
+// trips the breaker (subsequent calls fail fast with ErrBreakerOpen, no
+// attempts hitting the service); after the fault heals and the open timeout
+// elapses, a half-open probe closes the breaker and traffic flows again.
+func TestChaosBreakerTripsAndRecovers(t *testing.T) {
+	inj := NewInjector(31)
+	inj.SetSleep(func(time.Duration) {})
+	inj.Plan("svc", FaultPlan{DropProb: 1}) // total outage
+	svc := &chaosService{inj: inj, applied: make(map[string]int)}
+
+	now := time.Unix(0, 0)
+	ctr := NewCounters()
+	br := NewBreaker(BreakerConfig{
+		FailureThreshold: 5,
+		OpenTimeout:      time.Second,
+		Now:              func() time.Time { return now },
+		Counters:         ctr,
+	})
+	p := Policy{
+		MaxAttempts: 2,
+		Sleep:       func(context.Context, time.Duration) error { return nil },
+		Rand:        func() float64 { return 0.5 },
+		Counters:    ctr,
+	}
+	call := func(op string) error {
+		return Retry(context.Background(), p, func() error {
+			if err := br.Allow(); err != nil {
+				return err
+			}
+			err := svc.do(op)
+			br.Record(err)
+			return err
+		})
+	}
+
+	// Outage: enough calls to trip the threshold.
+	for i := 0; i < 5; i++ {
+		if err := call(fmt.Sprintf("down%d", i)); err == nil {
+			t.Fatalf("call %d succeeded during a total outage", i)
+		}
+	}
+	if br.State() != Open {
+		t.Fatalf("breaker %v after %d consecutive failures, want Open", br.State(), 5)
+	}
+	if err := call("fastfail"); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("open breaker returned %v, want ErrBreakerOpen", err)
+	}
+	faultsAtOpen := inj.Total()
+	if err := call("fastfail2"); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("open breaker returned %v, want ErrBreakerOpen", err)
+	}
+	if inj.Total() != faultsAtOpen {
+		t.Fatal("open breaker let attempts through to the service")
+	}
+
+	// Heal, let the open timeout pass: half-open probe closes the breaker.
+	inj.Disarm()
+	now = now.Add(2 * time.Second)
+	if err := call("probe"); err != nil {
+		t.Fatalf("probe after heal: %v", err)
+	}
+	if br.State() != Closed {
+		t.Fatalf("breaker %v after successful probe, want Closed", br.State())
+	}
+	if svc.applied["probe"] != 1 {
+		t.Fatalf("probe applied %d times, want 1", svc.applied["probe"])
+	}
+	if ctr.BreakerOpens.Value() == 0 || ctr.HalfOpenProbes.Value() == 0 {
+		t.Fatalf("counters missed the trip/probe: opens=%d probes=%d",
+			ctr.BreakerOpens.Value(), ctr.HalfOpenProbes.Value())
+	}
+	if err := call("after"); err != nil || svc.applied["after"] != 1 {
+		t.Fatalf("traffic after recovery: (%v, applied %d)", err, svc.applied["after"])
+	}
+}

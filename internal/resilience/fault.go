@@ -1,0 +1,289 @@
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the root of every injected fault; IsTransient treats it as
+// retryable, so wrapped stores and transports exercise the same recovery
+// paths a real network failure would.
+var ErrInjected = errors.New("resilience: injected fault")
+
+// ErrInjectedDrop marks an injected connection drop.
+var ErrInjectedDrop = fmt.Errorf("%w: connection dropped", ErrInjected)
+
+// Injector decides, per named operation, whether to fault. Implementations
+// may sleep to model latency spikes and return an error to model failures; a
+// nil return means proceed normally.
+type Injector interface {
+	Inject(op string) error
+}
+
+// NopInjector never faults.
+type NopInjector struct{}
+
+// Inject returns nil.
+func (NopInjector) Inject(string) error { return nil }
+
+// FaultPlan gives the per-operation fault probabilities. All probabilities
+// are rolled independently in a fixed order (latency, drop, error) so a
+// fixed seed yields a reproducible fault schedule.
+type FaultPlan struct {
+	// LatencyProb is the chance of stalling for Latency before the verdict.
+	LatencyProb float64
+	// Latency is the injected stall; default 2ms.
+	Latency time.Duration
+	// DropProb is the chance of returning ErrInjectedDrop (connection-level
+	// failure: the wrapped conn, if any, is also closed).
+	DropProb float64
+	// ErrProb is the chance of returning Err.
+	ErrProb float64
+	// Err is the injected error; default ErrInjected.
+	Err error
+	// ShortWriteProb is the chance a FaultyConn write is cut short (partial
+	// write followed by a dropped connection).
+	ShortWriteProb float64
+}
+
+// DeterministicInjector is the seeded Injector used by the chaos suites: one
+// PRNG behind a mutex, an injectable sleeper (virtual clocks in tests), and
+// per-operation fault plans. With a fixed seed and a fixed sequence of
+// Inject calls, the fault schedule is fully reproducible.
+type DeterministicInjector struct {
+	mu     sync.Mutex
+	rng    *rand.Rand
+	sleep  func(time.Duration)
+	plans  map[string]FaultPlan
+	def    FaultPlan
+	hasDef bool
+	counts map[string]int64 // fault kind -> occurrences
+	armed  bool
+
+	counters *Counters
+}
+
+// NewInjector seeds a deterministic injector. It starts armed with no plans,
+// i.e. faulting nothing.
+func NewInjector(seed int64) *DeterministicInjector {
+	return &DeterministicInjector{
+		rng:      rand.New(rand.NewSource(seed)),
+		sleep:    time.Sleep,
+		plans:    make(map[string]FaultPlan),
+		counts:   make(map[string]int64),
+		armed:    true,
+		counters: Metrics,
+	}
+}
+
+// SetSleep replaces the sleeper (virtual clock in tests).
+func (d *DeterministicInjector) SetSleep(fn func(time.Duration)) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.sleep = fn
+}
+
+// Plan sets the fault plan for op ("" is not special; use Default for the
+// catch-all).
+func (d *DeterministicInjector) Plan(op string, p FaultPlan) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.plans[op] = p
+}
+
+// Default sets the catch-all plan used for operations without their own.
+func (d *DeterministicInjector) Default(p FaultPlan) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.def, d.hasDef = p, true
+}
+
+// Disarm stops all fault injection (heal the network); Arm resumes it.
+func (d *DeterministicInjector) Disarm() { d.setArmed(false) }
+
+// Arm (re-)enables fault injection.
+func (d *DeterministicInjector) Arm() { d.setArmed(true) }
+
+func (d *DeterministicInjector) setArmed(v bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.armed = v
+}
+
+func (d *DeterministicInjector) plan(op string) (FaultPlan, bool) {
+	if p, ok := d.plans[op]; ok {
+		return p, true
+	}
+	if d.hasDef {
+		return d.def, true
+	}
+	return FaultPlan{}, false
+}
+
+func (d *DeterministicInjector) count(kind string) {
+	d.counts[kind]++
+	if d.counters != nil {
+		d.counters.inc(d.counters.Injected)
+	}
+}
+
+// Inject implements Injector: rolls latency, then drop, then error.
+func (d *DeterministicInjector) Inject(op string) error {
+	d.mu.Lock()
+	if !d.armed {
+		d.mu.Unlock()
+		return nil
+	}
+	p, ok := d.plan(op)
+	if !ok {
+		d.mu.Unlock()
+		return nil
+	}
+	var stall time.Duration
+	if p.LatencyProb > 0 && d.rng.Float64() < p.LatencyProb {
+		stall = p.Latency
+		if stall == 0 {
+			stall = 2 * time.Millisecond
+		}
+		d.count("latency")
+	}
+	var err error
+	if p.DropProb > 0 && d.rng.Float64() < p.DropProb {
+		err = ErrInjectedDrop
+		d.count("drop")
+	} else if p.ErrProb > 0 && d.rng.Float64() < p.ErrProb {
+		err = p.Err
+		if err == nil {
+			err = ErrInjected
+		}
+		d.count("error")
+	}
+	sleep := d.sleep
+	d.mu.Unlock()
+	if stall > 0 {
+		sleep(stall)
+	}
+	return err
+}
+
+// Counts returns a copy of the per-kind fault tallies
+// (latency/drop/error/shortwrite).
+func (d *DeterministicInjector) Counts() map[string]int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make(map[string]int64, len(d.counts))
+	for k, v := range d.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// Total returns how many faults have been injected.
+func (d *DeterministicInjector) Total() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var n int64
+	for _, v := range d.counts {
+		n += v
+	}
+	return n
+}
+
+// String renders the tallies in sorted order (diagnostics).
+func (d *DeterministicInjector) String() string {
+	c := d.Counts()
+	keys := make([]string, 0, len(c))
+	for k := range c {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	s := "faults{"
+	for i, k := range keys {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%s=%d", k, c[k])
+	}
+	return s + "}"
+}
+
+// shortWrite decides whether to cut a write of n bytes short; returns how
+// many bytes to let through and true when faulting.
+func (d *DeterministicInjector) shortWrite(op string, n int) (int, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.armed {
+		return n, false
+	}
+	p, ok := d.plan(op)
+	if !ok || p.ShortWriteProb <= 0 || d.rng.Float64() >= p.ShortWriteProb {
+		return n, false
+	}
+	d.count("shortwrite")
+	return n / 2, true
+}
+
+// FaultyConn wraps a net.Conn with injected connection faults: reads and
+// writes consult the injector (latency/drop/error) and writes may be cut
+// short — the partial bytes hit the wire, the connection is closed and the
+// caller sees an error, modelling a peer dying mid-frame.
+type FaultyConn struct {
+	net.Conn
+	inj *DeterministicInjector
+	op  string
+}
+
+// WrapConn wraps c so its reads/writes fault according to op's plan.
+func (d *DeterministicInjector) WrapConn(op string, c net.Conn) net.Conn {
+	return &FaultyConn{Conn: c, inj: d, op: op}
+}
+
+// Read injects before delegating; a drop closes the underlying conn.
+func (c *FaultyConn) Read(p []byte) (int, error) {
+	if err := c.inj.Inject(c.op + ".read"); err != nil {
+		c.Conn.Close()
+		return 0, err
+	}
+	return c.Conn.Read(p)
+}
+
+// Write injects (including short writes) before delegating.
+func (c *FaultyConn) Write(p []byte) (int, error) {
+	if err := c.inj.Inject(c.op + ".write"); err != nil {
+		c.Conn.Close()
+		return 0, err
+	}
+	if n, fault := c.inj.shortWrite(c.op+".write", len(p)); fault {
+		wrote, _ := c.Conn.Write(p[:n])
+		c.Conn.Close()
+		return wrote, fmt.Errorf("%w: short write (%d of %d bytes)", ErrInjected, wrote, len(p))
+	}
+	return c.Conn.Write(p)
+}
+
+// FaultyListener wraps a listener so accepted connections carry op's fault
+// plan — the server-side counterpart of WrapConn.
+type FaultyListener struct {
+	net.Listener
+	inj *DeterministicInjector
+	op  string
+}
+
+// WrapListener wraps ln; every accepted conn is a FaultyConn for op.
+func (d *DeterministicInjector) WrapListener(op string, ln net.Listener) net.Listener {
+	return &FaultyListener{Listener: ln, inj: d, op: op}
+}
+
+// Accept wraps the accepted connection.
+func (l *FaultyListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return l.inj.WrapConn(l.op, c), nil
+}

@@ -1,0 +1,109 @@
+package resilience
+
+import (
+	"errors"
+	"io"
+	"net"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestInjectorDeterministicSchedule(t *testing.T) {
+	run := func() ([]error, map[string]int64) {
+		inj := NewInjector(42)
+		inj.SetSleep(func(time.Duration) {})
+		inj.Plan("op", FaultPlan{DropProb: 0.3, ErrProb: 0.3, LatencyProb: 0.2})
+		var errs []error
+		for i := 0; i < 200; i++ {
+			errs = append(errs, inj.Inject("op"))
+		}
+		return errs, inj.Counts()
+	}
+	e1, c1 := run()
+	e2, c2 := run()
+	for i := range e1 {
+		if (e1[i] == nil) != (e2[i] == nil) || (e1[i] != nil && !errors.Is(e2[i], e1[i])) {
+			t.Fatalf("schedule diverged at %d: %v vs %v", i, e1[i], e2[i])
+		}
+	}
+	if !reflect.DeepEqual(c1, c2) {
+		t.Fatalf("counts diverged: %v vs %v", c1, c2)
+	}
+	if c1["drop"] == 0 || c1["error"] == 0 || c1["latency"] == 0 {
+		t.Fatalf("expected every fault kind to fire over 200 rolls, got %v", c1)
+	}
+}
+
+func TestInjectorDisarmHealsEverything(t *testing.T) {
+	inj := NewInjector(1)
+	inj.Default(FaultPlan{DropProb: 1})
+	if err := inj.Inject("x"); !errors.Is(err, ErrInjectedDrop) {
+		t.Fatalf("armed injector with DropProb=1 returned %v", err)
+	}
+	inj.Disarm()
+	for i := 0; i < 50; i++ {
+		if err := inj.Inject("x"); err != nil {
+			t.Fatalf("disarmed injector faulted: %v", err)
+		}
+	}
+	inj.Arm()
+	if err := inj.Inject("x"); err == nil {
+		t.Fatal("re-armed injector did not fault")
+	}
+}
+
+func TestInjectorUnplannedOpNeverFaults(t *testing.T) {
+	inj := NewInjector(1)
+	inj.Plan("risky", FaultPlan{ErrProb: 1})
+	for i := 0; i < 20; i++ {
+		if err := inj.Inject("safe"); err != nil {
+			t.Fatalf("op without a plan faulted: %v", err)
+		}
+	}
+}
+
+func TestFaultyConnShortWriteAndDrop(t *testing.T) {
+	client, server := net.Pipe()
+	defer server.Close()
+	inj := NewInjector(7)
+	inj.Plan("conn.write", FaultPlan{ShortWriteProb: 1})
+	fc := inj.WrapConn("conn", client)
+
+	done := make(chan []byte, 1)
+	go func() {
+		buf := make([]byte, 64)
+		n, _ := server.Read(buf)
+		done <- buf[:n]
+	}()
+	payload := []byte("0123456789abcdef")
+	n, err := fc.Write(payload)
+	if err == nil || !errors.Is(err, ErrInjected) {
+		t.Fatalf("short write not reported: n=%d err=%v", n, err)
+	}
+	if n >= len(payload) {
+		t.Fatalf("wrote %d bytes, want a partial write", n)
+	}
+	got := <-done
+	if len(got) != n {
+		t.Fatalf("peer saw %d bytes, writer reported %d", len(got), n)
+	}
+	// The connection is dead after the fault.
+	if _, err := fc.Write(payload); err == nil {
+		t.Fatal("write on dropped connection succeeded")
+	}
+}
+
+func TestFaultyConnReadDrop(t *testing.T) {
+	client, server := net.Pipe()
+	defer server.Close()
+	inj := NewInjector(3)
+	inj.Plan("conn.read", FaultPlan{DropProb: 1})
+	fc := inj.WrapConn("conn", client)
+	if _, err := fc.Read(make([]byte, 8)); !errors.Is(err, ErrInjectedDrop) {
+		t.Fatalf("read = %v, want injected drop", err)
+	}
+	if !IsTransient(errors.Join(io.EOF)) {
+		t.Fatal("sanity: wrapped EOF should stay transient")
+	}
+}

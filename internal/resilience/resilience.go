@@ -1,0 +1,101 @@
+// Package resilience is the shared failure-handling layer for every
+// cross-node path in the repository: context-aware retries with exponential
+// backoff and full jitter, a closed/open/half-open circuit breaker that
+// cooperates with the voldemort failure detector, and a deterministic fault
+// injector used by the chaos test suites to prove the paper's recovery
+// stories (Voldemort bannage + hinted handoff §II.B, Databus pull-and-retry
+// consumers §III.C, Kafka broker reconnects §V) actually hold under
+// connection drops, latency spikes, error returns and short writes.
+package resilience
+
+import (
+	"errors"
+	"io"
+	"net"
+
+	"datainfra/internal/metrics"
+)
+
+// Counters aggregates the resilience-layer event counters. A nil field is
+// never written, so callers may populate only what they report.
+type Counters struct {
+	// Attempts counts every operation attempt made under Retry.
+	Attempts *metrics.Counter
+	// Retries counts attempts beyond the first (i.e. actual re-tries).
+	Retries *metrics.Counter
+	// Exhausted counts Retry calls that ran out of attempts.
+	Exhausted *metrics.Counter
+	// BreakerOpens counts closed/half-open -> open transitions.
+	BreakerOpens *metrics.Counter
+	// HalfOpenProbes counts trial requests admitted while half-open.
+	HalfOpenProbes *metrics.Counter
+	// Injected counts faults delivered by injectors wired to these counters.
+	Injected *metrics.Counter
+}
+
+// NewCounters returns a fully populated counter set.
+func NewCounters() *Counters {
+	return &Counters{
+		Attempts:       metrics.NewCounter(),
+		Retries:        metrics.NewCounter(),
+		Exhausted:      metrics.NewCounter(),
+		BreakerOpens:   metrics.NewCounter(),
+		HalfOpenProbes: metrics.NewCounter(),
+		Injected:       metrics.NewCounter(),
+	}
+}
+
+// Metrics is the process-wide default counter set; policies and breakers
+// built with a nil Counters field record here, and cmd/datainfra-bench
+// prints it after chaos runs.
+var Metrics = NewCounters()
+
+// Snapshot returns the default counter values keyed by name, in a stable
+// order useful for table rendering: see SnapshotOrder.
+func Snapshot() map[string]int64 {
+	return map[string]int64{
+		"attempts":         Metrics.Attempts.Value(),
+		"retries":          Metrics.Retries.Value(),
+		"exhausted":        Metrics.Exhausted.Value(),
+		"breaker_opens":    Metrics.BreakerOpens.Value(),
+		"half_open_probes": Metrics.HalfOpenProbes.Value(),
+		"injected_faults":  Metrics.Injected.Value(),
+	}
+}
+
+// SnapshotOrder is the display order for Snapshot keys.
+var SnapshotOrder = []string{
+	"attempts", "retries", "exhausted",
+	"breaker_opens", "half_open_probes", "injected_faults",
+}
+
+func (c *Counters) inc(ctr *metrics.Counter) {
+	if c != nil && ctr != nil {
+		ctr.Inc()
+	}
+}
+
+// IsTransient is the default retryability classifier: network/transport
+// failures (timeouts, resets, unexpected EOFs) and injected faults are
+// transient; anything else — application-level errors such as obsolete
+// versions, unknown stores or out-of-range offsets — is permanent and must
+// surface to the caller unchanged.
+func IsTransient(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, ErrBreakerOpen) {
+		// The breaker said stop; spinning on it within one Retry call cannot
+		// help and defeats the fail-fast purpose.
+		return false
+	}
+	var ne net.Error
+	if errors.As(err, &ne) {
+		return true
+	}
+	return errors.Is(err, io.EOF) ||
+		errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, io.ErrClosedPipe) ||
+		errors.Is(err, net.ErrClosed) ||
+		errors.Is(err, ErrInjected)
+}

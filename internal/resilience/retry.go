@@ -1,0 +1,145 @@
+package resilience
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Policy describes a bounded retry loop with exponential backoff and full
+// jitter (each pause is uniform in [0, cap], the AWS "full jitter" variant,
+// which decorrelates competing clients after a shared failure). The zero
+// value is usable and means "the defaults below".
+type Policy struct {
+	// MaxAttempts bounds total attempts including the first; default 4.
+	// A value of 1 disables retries.
+	MaxAttempts int
+	// InitialBackoff caps the first pause; default 5ms.
+	InitialBackoff time.Duration
+	// MaxBackoff caps every pause; default 500ms.
+	MaxBackoff time.Duration
+	// Multiplier grows the cap per attempt; default 2.
+	Multiplier float64
+	// Retryable classifies errors; nil means IsTransient. A non-retryable
+	// error aborts the loop and is returned unchanged, preserving the
+	// caller's errors.Is matching.
+	Retryable func(error) bool
+	// Sleep pauses between attempts; nil means a context-aware sleep.
+	// Injectable so chaos tests can run on a virtual clock.
+	Sleep func(ctx context.Context, d time.Duration) error
+	// Rand yields uniform samples in [0,1) for jitter; nil uses a process
+	// -wide locked source. Injectable for deterministic tests.
+	Rand func() float64
+	// Counters receives attempt accounting; nil means the package Metrics.
+	Counters *Counters
+}
+
+var (
+	jitterMu  sync.Mutex
+	jitterRng = rand.New(rand.NewSource(1))
+)
+
+func defaultRand() float64 {
+	jitterMu.Lock()
+	defer jitterMu.Unlock()
+	return jitterRng.Float64()
+}
+
+func ctxSleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.InitialBackoff <= 0 {
+		p.InitialBackoff = 5 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 500 * time.Millisecond
+	}
+	if p.Multiplier <= 1 {
+		p.Multiplier = 2
+	}
+	if p.Retryable == nil {
+		p.Retryable = IsTransient
+	}
+	if p.Sleep == nil {
+		p.Sleep = ctxSleep
+	}
+	if p.Rand == nil {
+		p.Rand = defaultRand
+	}
+	if p.Counters == nil {
+		p.Counters = Metrics
+	}
+	return p
+}
+
+// backoff returns the jittered pause before retry number n (n >= 1).
+func (p Policy) backoff(n int) time.Duration {
+	cap := float64(p.InitialBackoff)
+	for i := 1; i < n; i++ {
+		cap *= p.Multiplier
+		if cap >= float64(p.MaxBackoff) {
+			cap = float64(p.MaxBackoff)
+			break
+		}
+	}
+	return time.Duration(p.Rand() * cap)
+}
+
+// Retry runs fn until it succeeds, returns a non-retryable error, the policy
+// is exhausted, or ctx is done. The last error is returned unchanged so
+// errors.Is/As matching at call sites keeps working.
+func Retry(ctx context.Context, p Policy, fn func() error) error {
+	_, err := RetryValue(ctx, p, func() (struct{}, error) { return struct{}{}, fn() })
+	return err
+}
+
+// RetryValue is Retry for functions that produce a value.
+func RetryValue[T any](ctx context.Context, p Policy, fn func() (T, error)) (T, error) {
+	p = p.withDefaults()
+	var zero T
+	var lastErr error
+	for attempt := 1; attempt <= p.MaxAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			if lastErr != nil {
+				return zero, lastErr
+			}
+			return zero, err
+		}
+		p.Counters.inc(p.Counters.Attempts)
+		if attempt > 1 {
+			p.Counters.inc(p.Counters.Retries)
+		}
+		v, err := fn()
+		if err == nil {
+			return v, nil
+		}
+		lastErr = err
+		if !p.Retryable(err) {
+			return zero, err
+		}
+		if attempt == p.MaxAttempts {
+			break
+		}
+		if err := p.Sleep(ctx, p.backoff(attempt)); err != nil {
+			return zero, lastErr
+		}
+	}
+	p.Counters.inc(p.Counters.Exhausted)
+	return zero, lastErr
+}

@@ -1,0 +1,158 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// virtualSleep collects requested pauses without actually sleeping.
+type virtualSleep struct {
+	pauses []time.Duration
+}
+
+func (v *virtualSleep) sleep(_ context.Context, d time.Duration) error {
+	v.pauses = append(v.pauses, d)
+	return nil
+}
+
+func TestRetrySucceedsAfterTransientFailures(t *testing.T) {
+	vs := &virtualSleep{}
+	calls := 0
+	err := Retry(context.Background(), Policy{
+		MaxAttempts:    5,
+		InitialBackoff: 10 * time.Millisecond,
+		Sleep:          vs.sleep,
+		Rand:           func() float64 { return 0.5 },
+	}, func() error {
+		calls++
+		if calls < 3 {
+			return io.ErrUnexpectedEOF
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("retry: %v", err)
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+	if len(vs.pauses) != 2 {
+		t.Fatalf("pauses = %v, want 2 entries", vs.pauses)
+	}
+	// Full jitter with Rand=0.5: half of 10ms, then half of 20ms.
+	if vs.pauses[0] != 5*time.Millisecond || vs.pauses[1] != 10*time.Millisecond {
+		t.Fatalf("pauses = %v, want [5ms 10ms]", vs.pauses)
+	}
+}
+
+func TestRetryStopsOnPermanentError(t *testing.T) {
+	perm := errors.New("application says no")
+	calls := 0
+	err := Retry(context.Background(), Policy{MaxAttempts: 5, Sleep: (&virtualSleep{}).sleep}, func() error {
+		calls++
+		return perm
+	})
+	if !errors.Is(err, perm) {
+		t.Fatalf("err = %v, want the permanent error unchanged", err)
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1", calls)
+	}
+}
+
+func TestRetryExhaustsAndReturnsLastError(t *testing.T) {
+	last := fmt.Errorf("boom: %w", io.EOF)
+	calls := 0
+	err := Retry(context.Background(), Policy{MaxAttempts: 3, Sleep: (&virtualSleep{}).sleep}, func() error {
+		calls++
+		return last
+	})
+	if !errors.Is(err, io.EOF) || err.Error() != last.Error() {
+		t.Fatalf("err = %v, want last error", err)
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+}
+
+func TestRetryHonoursContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	err := Retry(ctx, Policy{MaxAttempts: 10}, func() error {
+		calls++
+		cancel() // cancel mid-flight: the sleep must abort the loop
+		return io.EOF
+	})
+	if err == nil {
+		t.Fatal("want error after cancellation")
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1 (no attempts after cancel)", calls)
+	}
+}
+
+func TestRetryValueReturnsValue(t *testing.T) {
+	attempts := 0
+	v, err := RetryValue(context.Background(), Policy{Sleep: (&virtualSleep{}).sleep}, func() (string, error) {
+		attempts++
+		if attempts == 1 {
+			return "", io.ErrUnexpectedEOF
+		}
+		return "ok", nil
+	})
+	if err != nil || v != "ok" {
+		t.Fatalf("got (%q, %v), want (ok, nil)", v, err)
+	}
+}
+
+func TestBackoffIsCappedAtMax(t *testing.T) {
+	p := Policy{InitialBackoff: 10 * time.Millisecond, MaxBackoff: 25 * time.Millisecond,
+		Rand: func() float64 { return 1 }}.withDefaults()
+	if got := p.backoff(10); got > 25*time.Millisecond {
+		t.Fatalf("backoff(10) = %v, want <= 25ms", got)
+	}
+}
+
+type fakeNetErr struct{}
+
+func (fakeNetErr) Error() string   { return "fake net error" }
+func (fakeNetErr) Timeout() bool   { return true }
+func (fakeNetErr) Temporary() bool { return true }
+
+func TestIsTransientClassification(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{io.EOF, true},
+		{io.ErrUnexpectedEOF, true},
+		{net.ErrClosed, true},
+		{fakeNetErr{}, true},
+		{fmt.Errorf("wrap: %w", fakeNetErr{}), true},
+		{ErrInjected, true},
+		{ErrInjectedDrop, true},
+		{ErrBreakerOpen, false},
+		{errors.New("unknown store"), false},
+	}
+	for _, c := range cases {
+		if got := IsTransient(c.err); got != c.want {
+			t.Errorf("IsTransient(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}
+
+func TestRetryCounters(t *testing.T) {
+	ctr := NewCounters()
+	_ = Retry(context.Background(), Policy{MaxAttempts: 3, Counters: ctr, Sleep: (&virtualSleep{}).sleep},
+		func() error { return io.EOF })
+	if ctr.Attempts.Value() != 3 || ctr.Retries.Value() != 2 || ctr.Exhausted.Value() != 1 {
+		t.Fatalf("counters attempts=%d retries=%d exhausted=%d, want 3/2/1",
+			ctr.Attempts.Value(), ctr.Retries.Value(), ctr.Exhausted.Value())
+	}
+}

@@ -2,6 +2,7 @@ package voldemort
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"datainfra/internal/cluster"
@@ -135,6 +136,15 @@ func (s *RoutedStore) fanout(nodes []*cluster.Node, want int,
 				return results
 			}
 		case <-deadline.C:
+			// Timed-out stragglers are still drained so their outcomes feed
+			// the detector and the hint queue instead of vanishing.
+			if remaining := want - len(results); remaining > 0 && drain != nil {
+				go func() {
+					for i := 0; i < remaining; i++ {
+						drain(<-ch)
+					}
+				}()
+			}
 			return results
 		}
 	}
@@ -180,7 +190,29 @@ func (s *RoutedStore) Get(key []byte, tr *Transform) ([]*versioned.Versioned, er
 		}
 		return s.def.ZoneCountReads == 0 || zonesIn(rs) >= s.def.ZoneCountReads
 	}
-	results := s.fanout(nodes, s.def.PreferredReads, op, quorumMet, s.record)
+	// Straggler reads arriving after the quorum early-exit still participate
+	// in read repair: until the winning versions are known their results are
+	// parked, afterwards each is repaired as it drains.
+	var repairMu sync.Mutex
+	var repairReady bool
+	var repairVersions []*versioned.Versioned
+	var lateReads []nodeResult
+	drain := func(r nodeResult) {
+		s.record(r)
+		if !s.def.ReadRepair || tr != nil || r.err != nil {
+			return
+		}
+		repairMu.Lock()
+		if !repairReady {
+			lateReads = append(lateReads, r)
+			repairMu.Unlock()
+			return
+		}
+		maximal := repairVersions
+		repairMu.Unlock()
+		s.readRepair(key, []nodeResult{r}, maximal)
+	}
+	results := s.fanout(nodes, s.def.PreferredReads, op, quorumMet, drain)
 	for _, r := range results {
 		s.record(r)
 	}
@@ -206,7 +238,13 @@ func (s *RoutedStore) Get(key []byte, tr *Transform) ([]*versioned.Versioned, er
 	}
 	resolved := versioned.Resolve(all)
 	if s.def.ReadRepair && tr == nil {
-		s.readRepair(key, good, resolved)
+		repairMu.Lock()
+		repairReady = true
+		repairVersions = resolved
+		late := lateReads
+		lateReads = nil
+		repairMu.Unlock()
+		s.readRepair(key, append(append([]nodeResult{}, good...), late...), resolved)
 	}
 	return resolved, nil
 }
@@ -300,6 +338,20 @@ func (s *RoutedStore) Put(key []byte, v *versioned.Versioned, tr *Transform) err
 		}
 		return s.def.ZoneCountWrites == 0 || zonesIn(append(rs, results...)) >= s.def.ZoneCountWrites
 	}
+	// Launched replicas whose results haven't arrived are owned by drain():
+	// it hints them if they ultimately fail. Hinting them here as well would
+	// park a duplicate (or spurious, if the straggler succeeds) hint.
+	launched := make(map[int]bool, len(nodes))
+	if len(live) > 0 {
+		launched[nodes[0].ID] = true
+	}
+	fanWant := s.def.PreferredWrites - len(results)
+	if fanWant > len(rest) {
+		fanWant = len(rest)
+	}
+	for _, n := range rest[:fanWant] {
+		launched[n.ID] = true
+	}
 	fanned := s.fanout(rest, s.def.PreferredWrites-len(results), op, quorumMet, drain)
 	var acks int
 	var obsolete error
@@ -321,16 +373,24 @@ func (s *RoutedStore) Put(key []byte, v *versioned.Versioned, tr *Transform) err
 	if obsolete != nil && len(results) > 0 && occurredErr(results[0].err) {
 		return obsolete
 	}
-	// Hand failed/missed replicas to the slop pusher.
+	// Hand failed and never-attempted replicas to the slop pusher. Launched
+	// replicas with no result yet are skipped — drain() hints those on
+	// failure; replicas that rejected the write as obsolete already hold it.
 	if s.slop != nil && s.def.HintedHandoff {
 		for _, n := range nodes {
-			ok := false
-			for _, r := range results {
-				if r.node == n.ID && r.err == nil {
-					ok = true
+			var res *nodeResult
+			for i := range results {
+				if results[i].node == n.ID {
+					res = &results[i]
+					break
 				}
 			}
-			if !ok {
+			switch {
+			case res != nil && (res.err == nil || occurredErr(res.err)):
+				// applied (or already newer) on this replica
+			case res == nil && launched[n.ID]:
+				// still in flight; drain() owns the hint decision
+			default:
 				s.slop.Add(Hint{Store: s.def.Name, Node: n.ID, Key: key, Value: v.Clone()})
 			}
 		}

@@ -1,10 +1,12 @@
 package voldemort
 
 import (
+	"context"
 	"sync"
 	"time"
 
 	"datainfra/internal/failure"
+	"datainfra/internal/resilience"
 	"datainfra/internal/vclock"
 	"datainfra/internal/versioned"
 )
@@ -34,6 +36,7 @@ type SlopPusher struct {
 	resolve  StoreResolver
 	detector failure.Detector
 	interval time.Duration
+	retry    resilience.Policy
 	stop     chan struct{}
 	wg       sync.WaitGroup
 	started  bool
@@ -52,8 +55,23 @@ func NewSlopPusher(resolve StoreResolver, detector failure.Detector, interval ti
 		resolve:  resolve,
 		detector: detector,
 		interval: interval,
-		stop:     make(chan struct{}),
+		// Per-hint delivery budget: a couple of quick jittered retries, then
+		// the hint goes back in the queue until the next delivery round, so
+		// one flapping node cannot stall the drain.
+		retry: resilience.Policy{
+			MaxAttempts:    2,
+			InitialBackoff: time.Millisecond,
+			MaxBackoff:     20 * time.Millisecond,
+		},
+		stop: make(chan struct{}),
 	}
+}
+
+// SetRetryPolicy overrides the per-hint delivery retry policy.
+func (p *SlopPusher) SetRetryPolicy(pol resilience.Policy) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.retry = pol
 }
 
 // Add parks a hint.
@@ -79,6 +97,10 @@ func (p *SlopPusher) DeliverOnce() int {
 	p.queue = nil
 	p.mu.Unlock()
 
+	p.mu.Lock()
+	retry := p.retry
+	p.mu.Unlock()
+
 	delivered := 0
 	var remaining []Hint
 	for _, h := range pending {
@@ -91,14 +113,20 @@ func (p *SlopPusher) DeliverOnce() int {
 			remaining = append(remaining, h)
 			continue
 		}
-		var err error
-		if h.Delete {
-			_, err = st.Delete(h.Key, h.Clock)
-		} else {
-			err = st.Put(h.Key, h.Value, nil)
-		}
+		// Bounded jittered retries before giving the hint back to the queue:
+		// a transient blip on a freshly recovered node shouldn't cost a full
+		// delivery interval.
+		err := resilience.Retry(context.Background(), retry, func() error {
+			if h.Delete {
+				_, err := st.Delete(h.Key, h.Clock)
+				return err
+			}
+			return st.Put(h.Key, h.Value, nil)
+		})
 		switch {
 		case err == nil, occurredErr(err):
+			// Obsolete means the replica already has this write or newer —
+			// the hint is moot, count it drained.
 			delivered++
 			p.detector.RecordSuccess(h.Node)
 		default:

@@ -1,22 +1,30 @@
 package voldemort
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"sync"
 	"time"
 
+	"datainfra/internal/resilience"
 	"datainfra/internal/vclock"
 	"datainfra/internal/versioned"
 )
 
 // SocketStore is the client side of the binary protocol: a Store backed by a
 // remote node, with a small connection pool. It is what the routed store
-// uses for client-side routing.
+// uses for client-side routing. Transport failures (a dead pooled
+// connection, a node restarting mid-request) are retried a bounded number of
+// times with jittered backoff before the error escapes to the routed store's
+// quorum accounting — so a blip costs a few milliseconds, not a failed
+// replica, while genuine outages still surface fast enough for the failure
+// detector to ban the node (§II.B).
 type SocketStore struct {
 	storeName string
 	addr      string
 	timeout   time.Duration
+	retry     resilience.Policy
 
 	mu     sync.Mutex
 	conns  []net.Conn
@@ -28,8 +36,20 @@ func DialStore(storeName, addr string, timeout time.Duration) *SocketStore {
 	if timeout == 0 {
 		timeout = 2 * time.Second
 	}
-	return &SocketStore{storeName: storeName, addr: addr, timeout: timeout}
+	return &SocketStore{
+		storeName: storeName,
+		addr:      addr,
+		timeout:   timeout,
+		retry: resilience.Policy{
+			MaxAttempts:    3,
+			InitialBackoff: 2 * time.Millisecond,
+			MaxBackoff:     50 * time.Millisecond,
+		},
+	}
 }
+
+// SetRetryPolicy overrides the transport retry policy; call before first use.
+func (s *SocketStore) SetRetryPolicy(p resilience.Policy) { s.retry = p }
 
 // Name returns the store name.
 func (s *SocketStore) Name() string { return s.storeName }
@@ -60,15 +80,27 @@ func (s *SocketStore) putConn(c net.Conn) {
 	s.conns = append(s.conns, c)
 }
 
-// call sends one request and reads one response, discarding the connection
-// on any transport error.
+// call sends one request and reads one response, retrying transport
+// failures on a fresh connection (callOnce discards the connection on any
+// error). Retrying a put that actually landed is safe: the replica answers
+// the replay with an obsolete-version conflict, which the quorum layer
+// already counts as applied.
 func (s *SocketStore) call(req *request) (*response, error) {
+	return resilience.RetryValue(context.Background(), s.retry, func() (*response, error) {
+		return s.callOnce(req)
+	})
+}
+
+// callOnce performs one request/response exchange on one connection.
+func (s *SocketStore) callOnce(req *request) (*response, error) {
 	conn, err := s.getConn()
 	if err != nil {
 		return nil, err
 	}
-	deadline := time.Now().Add(s.timeout)
-	_ = conn.SetDeadline(deadline)
+	if err := conn.SetDeadline(time.Now().Add(s.timeout)); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("voldemort: set deadline: %w", err)
+	}
 	if err := writeFrame(conn, req.encode()); err != nil {
 		conn.Close()
 		return nil, err
@@ -78,7 +110,10 @@ func (s *SocketStore) call(req *request) (*response, error) {
 		conn.Close()
 		return nil, err
 	}
-	_ = conn.SetDeadline(time.Time{})
+	if err := conn.SetDeadline(time.Time{}); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("voldemort: clear deadline: %w", err)
+	}
 	s.putConn(conn)
 	return decodeResponse(frame)
 }

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"datainfra/internal/resilience"
 	"datainfra/internal/vclock"
 	"datainfra/internal/versioned"
 )
@@ -86,3 +87,52 @@ func (s *FlakyStore) Delete(key []byte, clock *vclock.Clock) (bool, error) {
 
 // Close delegates.
 func (s *FlakyStore) Close() error { return s.Inner.Close() }
+
+// FaultStore routes every operation through a resilience fault injector
+// before delegating — the chaos suites wrap per-node stores with it to model
+// connection drops, latency spikes and error returns on the replica paths.
+// Operations are named "<op>.get" / ".put" / ".delete" against the
+// injector's plans, where <op> is Op (default "store").
+type FaultStore struct {
+	Inner    Store
+	Injector resilience.Injector
+	Op       string
+}
+
+func (s *FaultStore) op(suffix string) string {
+	if s.Op == "" {
+		return "store." + suffix
+	}
+	return s.Op + "." + suffix
+}
+
+// Name delegates to the inner store.
+func (s *FaultStore) Name() string { return s.Inner.Name() }
+
+// Get consults the injector then delegates.
+func (s *FaultStore) Get(key []byte, tr *Transform) ([]*versioned.Versioned, error) {
+	if err := s.Injector.Inject(s.op("get")); err != nil {
+		return nil, err
+	}
+	return s.Inner.Get(key, tr)
+}
+
+// Put consults the injector then delegates. A fault injected here models the
+// request lost before reaching the replica: the write does not land.
+func (s *FaultStore) Put(key []byte, v *versioned.Versioned, tr *Transform) error {
+	if err := s.Injector.Inject(s.op("put")); err != nil {
+		return err
+	}
+	return s.Inner.Put(key, v, tr)
+}
+
+// Delete consults the injector then delegates.
+func (s *FaultStore) Delete(key []byte, clock *vclock.Clock) (bool, error) {
+	if err := s.Injector.Inject(s.op("delete")); err != nil {
+		return false, err
+	}
+	return s.Inner.Delete(key, clock)
+}
+
+// Close delegates.
+func (s *FaultStore) Close() error { return s.Inner.Close() }
