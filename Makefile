@@ -4,9 +4,9 @@
 GO ?= go
 
 # Packages whose concurrency-heavy paths (quorum fanout, hinted handoff,
-# retry/breaker, chaos fault injection, broker protocol) get an extra pass
-# under the race detector.
-RACE_PKGS = ./internal/resilience ./internal/failure ./internal/voldemort ./internal/kafka
+# retry/breaker, chaos fault injection, broker protocol, metrics registry)
+# get an extra pass under the race detector.
+RACE_PKGS = ./internal/resilience ./internal/failure ./internal/voldemort ./internal/kafka ./internal/metrics
 
 .PHONY: all build vet test check test-race bench clean
 
@@ -15,8 +15,12 @@ all: check
 build:
 	$(GO) build ./...
 
+# vet also enforces the observability conventions: metric names follow
+# subsystem_signal_unit and every registered metric is documented in
+# OPERATIONS.md.
 vet:
 	$(GO) vet ./...
+	$(GO) run ./cmd/metriclint
 
 test:
 	$(GO) test ./...

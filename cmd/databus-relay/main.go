@@ -18,11 +18,14 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"os"
 	"strconv"
 	"time"
 
 	"datainfra/internal/bootstrap"
 	"datainfra/internal/databus"
+	"datainfra/internal/metrics"
+	"datainfra/internal/trace"
 )
 
 type commitItem struct {
@@ -52,12 +55,16 @@ func toWire(e databus.Event) wireEvent {
 
 func main() {
 	var (
-		listen     = flag.String("listen", "127.0.0.1:8600", "listen address")
-		maxEvents  = flag.Int("buffer-events", 1<<20, "relay buffer capacity (events)")
-		maxBytes   = flag.Int("buffer-bytes", 256<<20, "relay buffer capacity (bytes)")
-		partitions = flag.Int("partitions", 16, "partitioning for server-side filters")
+		listen      = flag.String("listen", "127.0.0.1:8600", "listen address")
+		metricsAddr = flag.String("metrics", "127.0.0.1:8601", "observability HTTP address (/metrics, /debug/pprof); empty disables")
+		maxEvents   = flag.Int("buffer-events", 1<<20, "relay buffer capacity (events)")
+		maxBytes    = flag.Int("buffer-bytes", 256<<20, "relay buffer capacity (bytes)")
+		partitions  = flag.Int("partitions", 16, "partitioning for server-side filters")
 	)
 	flag.Parse()
+	if os.Getenv("DATAINFRA_TRACE") != "" {
+		trace.Enable(os.Stderr)
+	}
 
 	source := databus.NewLogSource()
 	relay := databus.NewRelay(databus.RelayConfig{MaxEvents: *maxEvents, MaxBytes: *maxBytes})
@@ -160,6 +167,41 @@ func main() {
 		})
 	})
 
+	// The bootstrap consumer trails the relay head by design; its distance is
+	// the canonical "consumer lag" an operator reads off this process.
+	metrics.RegisterGaugeFunc("databus_client_lag_scn",
+		"SCN distance between the relay head and the bootstrap consumer",
+		func() int64 {
+			lag := relay.LastSCN() - bootClient.SCN()
+			if lag < 0 {
+				return 0
+			}
+			return lag
+		})
+	if *metricsAddr != "" {
+		obsAddr, stopObs, err := metrics.Serve(*metricsAddr, metrics.Default)
+		if err != nil {
+			log.Fatalf("metrics listener: %v", err)
+		}
+		defer stopObs()
+		fmt.Printf("observability on http://%s/metrics (pprof at /debug/pprof/)\n", obsAddr)
+	}
 	fmt.Printf("databus relay listening on http://%s\n", *listen)
-	log.Fatal(http.ListenAndServe(*listen, mux))
+	log.Fatal(http.ListenAndServe(*listen, withTrace(mux)))
+}
+
+// withTrace tags every API request with a trace ID — the caller's
+// X-Datainfra-Trace header when present, a fresh one otherwise — echoes it
+// on the response, and logs it when DATAINFRA_TRACE is set.
+func withTrace(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get(trace.Header)
+		if id == "" {
+			id = trace.NewID()
+		}
+		w.Header().Set(trace.Header, id)
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		trace.Logf(id, "databus-relay %s %s (%v)", r.Method, r.URL.Path, time.Since(start).Round(time.Microsecond))
+	})
 }

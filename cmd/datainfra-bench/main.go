@@ -26,7 +26,6 @@ import (
 	"datainfra/internal/databus"
 	"datainfra/internal/kafka"
 	"datainfra/internal/metrics"
-	"datainfra/internal/resilience"
 	"datainfra/internal/ring"
 	"datainfra/internal/roexport"
 	"datainfra/internal/storage"
@@ -104,13 +103,16 @@ func main() {
 // counters accumulated across every experiment: how often transports retried,
 // exhausted their budgets, tripped breakers or probed half-open ones. All
 // zeros on a healthy in-process run — the table earns its keep when
-// experiments run against flaky remote stores.
+// experiments run against flaky remote stores. The values come out of the
+// metrics registry — the same numbers a /metrics scrape of this process
+// would report — rather than any bench-private accounting.
 func resilienceReport() {
-	snap := resilience.Snapshot()
 	t := metrics.Table{Title: "Resilience counters (process-wide retry/breaker/injection totals)",
 		Headers: []string{"counter", "value"}}
-	for _, k := range resilience.SnapshotOrder {
-		t.AddRow(k, snap[k])
+	for _, s := range metrics.Default.Snapshot() {
+		if strings.HasPrefix(s.Name, "resilience_") && s.Value != nil {
+			t.AddRow(s.Name, *s.Value)
+		}
 	}
 	t.Render(os.Stdout)
 }

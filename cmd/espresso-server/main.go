@@ -17,9 +17,12 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"os"
 
 	"datainfra/internal/espresso"
+	"datainfra/internal/metrics"
 	"datainfra/internal/schema"
+	"datainfra/internal/trace"
 )
 
 func musicDatabase(partitions, replicas int) (*espresso.Database, error) {
@@ -56,12 +59,16 @@ func musicDatabase(partitions, replicas int) (*espresso.Database, error) {
 
 func main() {
 	var (
-		listen     = flag.String("listen", "127.0.0.1:8700", "HTTP listen address")
-		nodes      = flag.Int("nodes", 3, "storage nodes")
-		partitions = flag.Int("partitions", 8, "database partitions")
-		replicas   = flag.Int("replicas", 2, "replicas per partition")
+		listen      = flag.String("listen", "127.0.0.1:8700", "HTTP listen address")
+		metricsAddr = flag.String("metrics", "127.0.0.1:8701", "observability HTTP address (/metrics, /debug/pprof); empty disables")
+		nodes       = flag.Int("nodes", 3, "storage nodes")
+		partitions  = flag.Int("partitions", 8, "database partitions")
+		replicas    = flag.Int("replicas", 2, "replicas per partition")
 	)
 	flag.Parse()
+	if os.Getenv("DATAINFRA_TRACE") != "" {
+		trace.Enable(os.Stderr)
+	}
 
 	db, err := musicDatabase(*partitions, *replicas)
 	if err != nil {
@@ -80,6 +87,14 @@ func main() {
 	log.Printf("waiting for %d partitions to master across %d nodes...", *partitions, *nodes)
 	if err := c.WaitForMasters(30e9); err != nil {
 		log.Fatal(err)
+	}
+	if *metricsAddr != "" {
+		obsAddr, stopObs, err := metrics.Serve(*metricsAddr, metrics.Default)
+		if err != nil {
+			log.Fatalf("metrics listener: %v", err)
+		}
+		defer stopObs()
+		fmt.Printf("observability on http://%s/metrics (pprof at /debug/pprof/)\n", obsAddr)
 	}
 	fmt.Printf("espresso serving database %q on http://%s\n", db.Schema.Name, *listen)
 	log.Fatal(http.ListenAndServe(*listen, espresso.NewHandler(c)))

@@ -17,20 +17,26 @@ import (
 	"time"
 
 	"datainfra/internal/kafka"
+	"datainfra/internal/metrics"
+	"datainfra/internal/trace"
 )
 
 func main() {
 	var (
-		id         = flag.Int("id", 0, "broker id")
-		dataDir    = flag.String("data", "kafka-data", "log directory")
-		listen     = flag.String("listen", "127.0.0.1:9092", "listen address")
-		partitions = flag.Int("partitions", 4, "partitions per topic")
-		segment    = flag.Int64("segment-bytes", 64<<20, "segment roll size")
-		flushN     = flag.Int("flush-messages", 100, "flush after N messages")
-		flushMs    = flag.Duration("flush-interval", 50*time.Millisecond, "flush interval")
-		retention  = flag.Duration("retention", 7*24*time.Hour, "segment retention (the paper's 7-day SLA)")
+		id          = flag.Int("id", 0, "broker id")
+		dataDir     = flag.String("data", "kafka-data", "log directory")
+		listen      = flag.String("listen", "127.0.0.1:9092", "listen address")
+		metricsAddr = flag.String("metrics", "127.0.0.1:9192", "observability HTTP address (/metrics, /debug/pprof); empty disables")
+		partitions  = flag.Int("partitions", 4, "partitions per topic")
+		segment     = flag.Int64("segment-bytes", 64<<20, "segment roll size")
+		flushN      = flag.Int("flush-messages", 100, "flush after N messages")
+		flushMs     = flag.Duration("flush-interval", 50*time.Millisecond, "flush interval")
+		retention   = flag.Duration("retention", 7*24*time.Hour, "segment retention (the paper's 7-day SLA)")
 	)
 	flag.Parse()
+	if os.Getenv("DATAINFRA_TRACE") != "" {
+		trace.Enable(os.Stderr)
+	}
 
 	b, err := kafka.NewBroker(*id, *dataDir, kafka.BrokerConfig{
 		PartitionsPerTopic: *partitions,
@@ -49,6 +55,14 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("kafka broker %d listening on %s (data: %s, retention: %v)\n", *id, addr, *dataDir, *retention)
+	if *metricsAddr != "" {
+		obsAddr, stopObs, err := metrics.Serve(*metricsAddr, metrics.Default)
+		if err != nil {
+			log.Fatalf("metrics listener: %v", err)
+		}
+		defer stopObs()
+		fmt.Printf("observability on http://%s/metrics (pprof at /debug/pprof/)\n", obsAddr)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -1,0 +1,119 @@
+// Command metriclint enforces the observability conventions of this repo
+// (run by `make vet`):
+//
+//   - every name passed to a metrics.Register* call matches the
+//     subsystem_signal_unit convention (lowercase, underscore-separated,
+//     at least two segments),
+//   - the final segment is a recognised unit suffix,
+//   - the name is documented in OPERATIONS.md.
+//
+// It scans Go source literally (string literals in Register* calls), so
+// dynamically built names are invisible to it — by design, the repo only
+// registers compile-time constant names. Test files are skipped: tests may
+// register throwaway instruments.
+//
+// Usage: metriclint [repo root]   (defaults to the current directory)
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+var (
+	registerRE = regexp.MustCompile(`metrics\.Register(?:Counter|Gauge|Histogram|CounterVec|GaugeVec|GaugeFunc)\(\s*"([^"]+)"`)
+	nameRE     = regexp.MustCompile(`^[a-z][a-z0-9]*(_[a-z0-9]+)+$`)
+)
+
+// unitSuffixes is the closed list of allowed trailing units; keep in sync
+// with the "Naming convention" section of OPERATIONS.md.
+var unitSuffixes = []string{
+	"_total", "_bytes", "_seconds", "_events", "_messages",
+	"_hints", "_scn", "_rows", "_state", "_nodes",
+}
+
+func hasUnitSuffix(name string) bool {
+	for _, s := range unitSuffixes {
+		if strings.HasSuffix(name, s) {
+			return true
+		}
+	}
+	return false
+}
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	opsPath := filepath.Join(root, "OPERATIONS.md")
+	ops, err := os.ReadFile(opsPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "metriclint: %v\n", err)
+		os.Exit(1)
+	}
+	opsText := string(ops)
+
+	type site struct{ file, name string }
+	var sites []site
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if path == root {
+				return nil
+			}
+			if name := d.Name(); name == "testdata" || strings.HasPrefix(name, ".") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, _ := filepath.Rel(root, path)
+		for _, m := range registerRE.FindAllStringSubmatch(string(src), -1) {
+			sites = append(sites, site{file: rel, name: m[1]})
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "metriclint: %v\n", err)
+		os.Exit(1)
+	}
+
+	bad := 0
+	seen := map[string]bool{}
+	for _, s := range sites {
+		if !nameRE.MatchString(s.name) {
+			fmt.Fprintf(os.Stderr, "metriclint: %s: %q violates subsystem_signal_unit naming\n", s.file, s.name)
+			bad++
+			continue
+		}
+		if !hasUnitSuffix(s.name) {
+			fmt.Fprintf(os.Stderr, "metriclint: %s: %q lacks a unit suffix (one of %s)\n",
+				s.file, s.name, strings.Join(unitSuffixes, " "))
+			bad++
+			continue
+		}
+		if !seen[s.name] && !strings.Contains(opsText, "`"+s.name) {
+			fmt.Fprintf(os.Stderr, "metriclint: %s: %q is not documented in OPERATIONS.md\n", s.file, s.name)
+			bad++
+		}
+		seen[s.name] = true
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "metriclint: %d problem(s) across %d registration site(s)\n", bad, len(sites))
+		os.Exit(1)
+	}
+	fmt.Printf("metriclint: %d registration sites, %d distinct metrics, all named and documented\n", len(sites), len(seen))
+}

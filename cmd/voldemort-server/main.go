@@ -20,6 +20,8 @@ import (
 	"syscall"
 
 	"datainfra/internal/cluster"
+	"datainfra/internal/metrics"
+	"datainfra/internal/trace"
 	"datainfra/internal/voldemort"
 )
 
@@ -30,9 +32,13 @@ func main() {
 		storesFile  = flag.String("stores", "", "store definitions JSON")
 		dataDir     = flag.String("data", "voldemort-data", "data directory")
 		listen      = flag.String("listen", "", "listen address (default: the node's address from the cluster file)")
+		metricsAddr = flag.String("metrics", "127.0.0.1:6676", "observability HTTP address (/metrics, /debug/pprof); empty disables")
 		demo        = flag.Bool("demo", false, "run a single-node demo cluster with a memory store named 'demo'")
 	)
 	flag.Parse()
+	if os.Getenv("DATAINFRA_TRACE") != "" {
+		trace.Enable(os.Stderr)
+	}
 
 	var clus *cluster.Cluster
 	var defs []*cluster.StoreDef
@@ -86,6 +92,14 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("voldemort node %d listening on %s (stores: %v)\n", *nodeID, bound, srv.StoreNames())
+	if *metricsAddr != "" {
+		obsAddr, stopObs, err := metrics.Serve(*metricsAddr, metrics.Default)
+		if err != nil {
+			log.Fatalf("metrics listener: %v", err)
+		}
+		defer stopObs()
+		fmt.Printf("observability on http://%s/metrics (pprof at /debug/pprof/)\n", obsAddr)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -157,6 +157,8 @@ func (c *Client) Poll() (int, error) {
 
 func (c *Client) run() {
 	defer c.wg.Done()
+	mClientPullState.Set(pullStreaming)
+	defer mClientPullState.Set(pullStopped)
 	for {
 		select {
 		case <-c.stop:
@@ -201,6 +203,7 @@ func (c *Client) readBatch() ([]Event, error) {
 			if idx != c.active {
 				c.active = idx
 				c.failovers.Add(1)
+				mClientFailovers.Inc()
 			}
 			return events, err
 		}
@@ -214,6 +217,9 @@ func (c *Client) bootstrap() (int, error) {
 		return 0, fmt.Errorf("databus: fell off relay buffer at SCN %d and no bootstrap server configured", c.scn.Load())
 	}
 	c.bootstraps.Add(1)
+	mClientBootstraps.Inc()
+	mClientPullState.Set(pullBootstrapped)
+	defer mClientPullState.Set(pullStreaming)
 	n := 0
 	resume, err := c.cfg.Bootstrap.Catchup(c.scn.Load(), c.cfg.Filter, func(e Event) error {
 		if err := c.deliverOne(e); err != nil {
@@ -226,6 +232,7 @@ func (c *Client) bootstrap() (int, error) {
 		return n, fmt.Errorf("databus: bootstrap catchup: %w", err)
 	}
 	c.scn.Store(resume)
+	mClientSCN.Set(resume)
 	c.cfg.Consumer.OnCheckpoint(resume)
 	return n, nil
 }
@@ -241,6 +248,7 @@ func (c *Client) deliver(events []Event) (int, error) {
 			// Checkpoint at transaction boundaries: at-least-once with
 			// transactional semantics.
 			c.scn.Store(e.SCN)
+			mClientSCN.Set(e.SCN)
 			c.cfg.Consumer.OnCheckpoint(e.SCN)
 		}
 	}
@@ -264,6 +272,7 @@ func (c *Client) deliverOne(e Event) error {
 		return fmt.Errorf("databus: consumer failed %d times on SCN %d: %w", c.cfg.Retries+1, e.SCN, err)
 	}
 	c.delivered.Add(1)
+	mClientDelivered.Inc()
 	return nil
 }
 

@@ -5,6 +5,12 @@
 // transactional semantics, at-least-once delivery and automatic switchover
 // to a bootstrap server (package bootstrap) when they fall behind the
 // relay's memory.
+//
+// Observability: the relay's buffer window and SCN positions, and the
+// client's delivery/bootstrap/failover activity and pull-loop state, are
+// exported through internal/metrics (names under databus_*, catalogued in
+// OPERATIONS.md) — subtracting a client's checkpoint gauge from the relay
+// head gauge is how an operator reads replication lag.
 package databus
 
 import (

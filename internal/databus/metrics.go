@@ -1,0 +1,42 @@
+package databus
+
+import "datainfra/internal/metrics"
+
+// Process-wide instruments for the Databus hot paths (documented in
+// OPERATIONS.md, checked by cmd/metriclint). The relay exposes its buffer
+// window and SCN positions — the numbers an operator compares against a
+// consumer's checkpoint to read replication lag (§III.C). The client counts
+// delivery, bootstrap handoffs and relay failovers, and reports which mode
+// its pull loop is in. Gauges are last-writer-wins when several relays or
+// clients share a process (tests); production runs one per process.
+var (
+	mRelayAppended = metrics.RegisterCounter("databus_relay_appended_events_total",
+		"change events buffered from sources (after SCN stamping)")
+	mRelayServed = metrics.RegisterCounter("databus_relay_served_events_total",
+		"events streamed to pulling clients")
+	mRelayBufferedEvents = metrics.RegisterGauge("databus_relay_buffered_events",
+		"events currently held in the relay window")
+	mRelayBufferedBytes = metrics.RegisterGauge("databus_relay_buffered_bytes",
+		"bytes currently held in the relay window")
+	mRelayLastSCN = metrics.RegisterGauge("databus_relay_last_scn",
+		"highest SCN buffered by the relay (the stream head)")
+	mRelayMinSCN = metrics.RegisterGauge("databus_relay_min_scn",
+		"oldest SCN still buffered; consumers behind this must bootstrap")
+	mClientDelivered = metrics.RegisterCounter("databus_client_delivered_events_total",
+		"events delivered to consumer callbacks (after retries)")
+	mClientBootstraps = metrics.RegisterCounter("databus_client_bootstraps_total",
+		"falls off the relay window into the bootstrap service")
+	mClientFailovers = metrics.RegisterCounter("databus_client_failovers_total",
+		"pull-loop switches to another configured relay")
+	mClientSCN = metrics.RegisterGauge("databus_client_scn",
+		"latest transaction-boundary checkpoint reached by a client")
+	mClientPullState = metrics.RegisterGauge("databus_client_pull_state",
+		"pull-loop mode: 0 stopped, 1 streaming from relay, 2 bootstrapping")
+)
+
+// Pull-loop states exported by databus_client_pull_state.
+const (
+	pullStopped      = 0
+	pullStreaming    = 1
+	pullBootstrapped = 2
+)

@@ -137,6 +137,11 @@ func (r *Relay) Append(txn Txn) error {
 		r.minSCN = txn.SCN
 	}
 	r.evictLocked()
+	mRelayAppended.Add(int64(len(txn.Events)))
+	mRelayBufferedEvents.Set(int64(len(r.events)))
+	mRelayBufferedBytes.Set(int64(r.bytes))
+	mRelayLastSCN.Set(r.lastSCN)
+	mRelayMinSCN.Set(r.minSCN)
 	r.mu.Unlock()
 	r.wake()
 	return nil
@@ -242,6 +247,7 @@ func (r *Relay) Read(sinceSCN int64, maxEvents int, f *Filter) ([]Event, error) 
 		}
 	}
 	r.served.Add(int64(len(out)))
+	mRelayServed.Add(int64(len(out)))
 	return out, nil
 }
 

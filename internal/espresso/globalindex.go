@@ -6,6 +6,7 @@ import (
 
 	"datainfra/internal/databus"
 	"datainfra/internal/docindex"
+	"datainfra/internal/metrics"
 	"datainfra/internal/schema"
 )
 
@@ -36,6 +37,20 @@ func NewGlobalIndex(c *Cluster) (*GlobalIndex, error) {
 	}
 	g.client = client
 	client.Start()
+	// Index lag is the distance between the relay head and the position the
+	// listener has absorbed — the "asynchronous freshness" cost of a global
+	// index, computed at scrape time. Re-registering rebinds the gauge to the
+	// newest index (last instance wins).
+	relay := c.Relay
+	metrics.RegisterGaugeFunc("espresso_index_lag_scn",
+		"SCN distance between the relay head and the global index listener",
+		func() int64 {
+			lag := relay.LastSCN() - g.client.SCN()
+			if lag < 0 {
+				return 0
+			}
+			return lag
+		})
 	return g, nil
 }
 

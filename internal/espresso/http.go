@@ -7,8 +7,10 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"time"
 
 	"datainfra/internal/schema"
+	"datainfra/internal/trace"
 )
 
 // Handler exposes the cluster over HTTP — the router tier of Figure IV.1.
@@ -22,16 +24,21 @@ import (
 // multi-table transaction.
 type Handler struct {
 	clusters map[string]*Cluster
+	traces   *trace.Ring
 }
 
 // NewHandler serves the given databases.
 func NewHandler(clusters ...*Cluster) *Handler {
-	h := &Handler{clusters: map[string]*Cluster{}}
+	h := &Handler{clusters: map[string]*Cluster{}, traces: trace.NewRing(64)}
 	for _, c := range clusters {
 		h.clusters[c.DB.Schema.Name] = c
 	}
 	return h
 }
+
+// SawTrace reports whether the handler recently served a request carrying
+// the trace ID (tests and debugging).
+func (h *Handler) SawTrace(id string) bool { return h.traces.Contains(id) }
 
 // TxnItem is one write inside a transactional POST body.
 type TxnItem struct {
@@ -66,7 +73,23 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 // ServeHTTP routes the request to the master storage node for the resource.
+// Every request is counted, timed, and tagged with a trace ID: the caller's
+// X-Datainfra-Trace header when present, a fresh ID otherwise. The ID is
+// echoed on the response so clients can correlate failures.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	id := r.Header.Get(trace.Header)
+	if id == "" {
+		id = trace.NewID()
+	}
+	h.traces.Add(id)
+	w.Header().Set(trace.Header, id)
+	mRequests.With(r.Method).Inc()
+	start := time.Now()
+	defer func() {
+		mRequestLatency.Observe(time.Since(start))
+		trace.Logf(id, "espresso %s %s (%v)", r.Method, r.URL.Path, time.Since(start).Round(time.Microsecond))
+	}()
+
 	dbName, key, err := ParseURI(r.URL.Path)
 	if err != nil {
 		writeErr(w, err)

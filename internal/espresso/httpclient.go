@@ -10,9 +10,11 @@ import (
 	"net/http"
 	"net/url"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"datainfra/internal/resilience"
+	"datainfra/internal/trace"
 )
 
 // errRetryableStatus marks responses worth retrying: 5xx, and 503 in
@@ -40,6 +42,7 @@ type HTTPClient struct {
 	hc      *http.Client
 	retry   resilience.Policy
 	breaker *resilience.Breaker
+	trace   atomic.Value // string: session trace ID; "" = fresh ID per request
 }
 
 // NewHTTPClient builds a client for baseURL (e.g. "http://router:8080").
@@ -64,6 +67,19 @@ func NewHTTPClient(baseURL string, httpClient *http.Client) *HTTPClient {
 			OpenTimeout:      250 * time.Millisecond,
 		}),
 	}
+}
+
+// SetTrace pins a trace ID on every subsequent request (sent as the
+// X-Datainfra-Trace header). With no pinned ID each request gets a fresh
+// one, so server-side logs are always correlatable.
+func (c *HTTPClient) SetTrace(id string) { c.trace.Store(id) }
+
+// Trace returns the pinned trace ID, if any.
+func (c *HTTPClient) Trace() string {
+	if v, ok := c.trace.Load().(string); ok {
+		return v
+	}
+	return ""
 }
 
 // SetRetryPolicy overrides the retry policy; call before first use.
@@ -113,6 +129,13 @@ func (c *HTTPClient) do(method, uri string, headers map[string]string, body []by
 		resp *http.Response
 		body []byte
 	}
+	// Trace IDs are generated at the client edge (§ tracing): one ID covers
+	// all retry attempts of this logical request, so the server sees every
+	// attempt under the same correlation key.
+	tid := c.Trace()
+	if tid == "" {
+		tid = trace.NewID()
+	}
 	r, err := resilience.RetryValue(context.Background(), c.retry, func() (result, error) {
 		if err := c.breaker.Allow(); err != nil {
 			return result{}, err
@@ -129,6 +152,7 @@ func (c *HTTPClient) do(method, uri string, headers map[string]string, body []by
 		for k, v := range headers {
 			req.Header.Set(k, v)
 		}
+		req.Header.Set(trace.Header, tid)
 		resp, err := c.hc.Do(req)
 		if err != nil {
 			c.breaker.Record(err)
@@ -153,7 +177,7 @@ func (c *HTTPClient) do(method, uri string, headers map[string]string, body []by
 		return result{resp: resp, body: payload}, nil
 	})
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, trace.Annotate(tid, err)
 	}
 	return r.resp, r.body, nil
 }

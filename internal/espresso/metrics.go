@@ -1,0 +1,28 @@
+package espresso
+
+import "datainfra/internal/metrics"
+
+// Process-wide instruments for the Espresso hot paths (documented in
+// OPERATIONS.md, checked by cmd/metriclint). The router tier counts and
+// times requests; the storage tier counts document ops and commits and
+// tracks replication/index SCN positions so operators can read index lag.
+var (
+	mRequests = metrics.RegisterCounterVec("espresso_requests_total",
+		"HTTP API requests served by the router tier, by method", "method")
+	mRequestLatency = metrics.RegisterHistogram("espresso_request_latency_seconds",
+		"end-to-end router request latency")
+	mGets = metrics.RegisterCounter("espresso_get_total",
+		"document reads served by storage nodes")
+	mPuts = metrics.RegisterCounter("espresso_put_total",
+		"single-document writes applied by master partitions")
+	mCommits = metrics.RegisterCounter("espresso_commit_txn_total",
+		"multi-write transactions committed (binlog + local apply)")
+	mCommitLatency = metrics.RegisterHistogram("espresso_commit_latency_seconds",
+		"storage-node commit latency (encode + binlog + index)")
+	mAppliedSCN = metrics.RegisterGauge("espresso_replica_applied_scn",
+		"highest SCN applied from the replication stream by any slave partition")
+)
+
+// The global index registers "espresso_index_lag_scn" as a gauge func in
+// NewGlobalIndex — its value (relay last SCN minus index consumer SCN) is
+// computed at scrape time against the live relay.

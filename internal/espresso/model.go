@@ -5,6 +5,13 @@
 // transactions across tables sharing a resource_id, master/slave partitions
 // managed by Helix, and internal replication through Databus — which also
 // gives downstream consumers a change-capture stream for free.
+//
+// Observability: router requests, storage-node document ops, commit latency
+// and the SCN positions of replication and the global index are exported
+// through internal/metrics (names under espresso_*, catalogued in
+// OPERATIONS.md). The HTTP surfaces propagate X-Datainfra-Trace IDs
+// (internal/trace) end to end: Handler echoes and records them, HTTPClient
+// mints them at the client edge.
 package espresso
 
 import (

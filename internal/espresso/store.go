@@ -140,6 +140,7 @@ func (n *Node) Put(key DocKey, doc map[string]any, ifMatch string) (*Row, error)
 	if err != nil {
 		return nil, err
 	}
+	mPuts.Inc()
 	return rows[0], nil
 }
 
@@ -155,6 +156,9 @@ type Write struct {
 // indexed by the same resource_id partition identically, so a new album and
 // its songs commit together or not at all.
 func (n *Node) Commit(writes []Write) ([]*Row, error) {
+	defer func(start time.Time) {
+		mCommitLatency.Observe(time.Since(start))
+	}(time.Now())
 	if len(writes) == 0 {
 		return nil, fmt.Errorf("espresso: empty transaction")
 	}
@@ -247,6 +251,7 @@ func (n *Node) Commit(writes []Write) ([]*Row, error) {
 		rows = append(rows, st.row)
 	}
 	ps.appliedSCN = scn
+	mCommits.Inc()
 	return rows, nil
 }
 
@@ -300,6 +305,7 @@ func (n *Node) Get(key DocKey) (*Row, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrNoSuchDocument, key)
 	}
+	mGets.Inc()
 	return row, nil
 }
 
@@ -409,6 +415,7 @@ func (n *Node) ApplyReplicated(e databus.Event) error {
 	ps.applyLocked(n.db, row, nil, cr.Delete)
 	if e.EndOfTxn {
 		ps.appliedSCN = e.SCN
+		mAppliedSCN.Set(e.SCN)
 	}
 	return nil
 }

@@ -157,6 +157,8 @@ func (d *SuccessRatio) RecordSuccess(node int) {
 		s.bannedAt = time.Time{}
 		s.success, s.total = 0, 0
 		s.windowStart = d.cfg.Now()
+		mRecoveries.Inc()
+		mBannedNodes.Dec()
 	}
 	d.roll(s)
 	s.total++
@@ -176,6 +178,8 @@ func (d *SuccessRatio) RecordFailure(node int) {
 		if ratio < d.cfg.Threshold && !s.banned {
 			s.banned = true
 			s.bannedAt = d.cfg.Now()
+			mBans.Inc()
+			mBannedNodes.Inc()
 		}
 	}
 }
@@ -201,6 +205,10 @@ func (d *SuccessRatio) MarkUp(node int) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	s := d.stats(node)
+	if s.banned {
+		mRecoveries.Inc()
+		mBannedNodes.Dec()
+	}
 	s.banned = false
 	s.bannedAt = time.Time{}
 	s.success, s.total = 0, 0

@@ -1,0 +1,16 @@
+package failure
+
+import "datainfra/internal/metrics"
+
+// Process-wide instruments for the bannage detector (documented in
+// OPERATIONS.md, checked by cmd/metriclint). The banned-node gauge moves by
+// deltas (ban +1, recovery -1) so several detectors in one process — routed
+// stores each own one — aggregate naturally.
+var (
+	mBans = metrics.RegisterCounter("failure_node_bans_total",
+		"nodes banned after the windowed success ratio fell below threshold")
+	mRecoveries = metrics.RegisterCounter("failure_node_recoveries_total",
+		"banned nodes recovered via successful operation, probe, or MarkUp")
+	mBannedNodes = metrics.RegisterGauge("failure_banned_nodes",
+		"nodes currently banned across all detectors in this process")
+)

@@ -182,6 +182,8 @@ func (b *Broker) Produce(topic string, partition int, set MessageSet) (int64, er
 	if err != nil {
 		return 0, err
 	}
+	mProduceRequests.Inc()
+	mProduceBytes.Add(int64(set.Len()))
 	if !known {
 		_ = b.announceTopic(topic)
 	}
@@ -195,7 +197,12 @@ func (b *Broker) Fetch(topic string, partition int, offset int64, maxBytes int) 
 	if err != nil {
 		return nil, err
 	}
-	return l.Read(offset, maxBytes)
+	chunk, err := l.Read(offset, maxBytes)
+	if err == nil {
+		mFetchRequests.Inc()
+		mFetchBytes.Add(int64(len(chunk)))
+	}
+	return chunk, err
 }
 
 // Offsets returns the earliest and latest valid offsets of a partition.
@@ -441,6 +448,8 @@ func (b *Broker) handleRequest(conn net.Conn, body []byte) error {
 		if err != nil {
 			return respondErr(conn, err)
 		}
+		mFetchRequests.Inc()
+		mFetchBytes.Add(n)
 		// Zero-copy-style path: header, then stream the file section.
 		hdr := make([]byte, 5)
 		binary.BigEndian.PutUint32(hdr, uint32(1+n))

@@ -32,7 +32,11 @@ func (c *SimpleConsumer) Consume(topic string, partition int, offset int64) ([]M
 	if len(chunk) == 0 {
 		return nil, nil
 	}
-	return Decode(chunk, offset)
+	msgs, err := Decode(chunk, offset)
+	if err == nil {
+		mConsumerMessages.Add(int64(len(msgs)))
+	}
+	return msgs, err
 }
 
 // EarliestOffset returns the first valid offset of the partition.

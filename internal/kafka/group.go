@@ -239,6 +239,7 @@ func (g *GroupConsumer) rebalance(members []string) {
 		g.mu.Lock()
 		g.rebalances++
 		g.mu.Unlock()
+		mGroupRebalances.Inc()
 	}
 }
 
@@ -291,8 +292,17 @@ func (g *GroupConsumer) fetchLoop(topic string, p PartitionID, f *fetcher) {
 		}
 	}
 	lastCommit := time.Now()
+	// Consumer lag — the gap between the partition head and our committed
+	// position — refreshes at commit cadence so the extra LatestOffset
+	// round-trip stays off the per-message path.
+	lagGauge := mGroupLag.With(topic + "/" + p.String())
 	commit := func() {
 		g.storeOffset(topic, p, offset)
+		if latest, err := sc.LatestOffset(topic, p.Partition); err == nil {
+			if lag := latest - offset; lag >= 0 {
+				lagGauge.Set(lag)
+			}
+		}
 		lastCommit = time.Now()
 	}
 	defer commit()

@@ -1,0 +1,36 @@
+package kafka
+
+import "datainfra/internal/metrics"
+
+// Process-wide instruments for the Kafka hot paths (documented in
+// OPERATIONS.md, checked by cmd/metriclint). Brokers count requests and
+// bytes through the log; producers and consumers count message flow; the
+// group consumer and replica fetcher expose lag, the operational signal the
+// paper's audit pipeline (§V.C) exists to watch. Offsets in this Kafka
+// generation are byte positions in the partition log, so lag is measured in
+// bytes.
+var (
+	mProduceRequests = metrics.RegisterCounter("kafka_produce_requests_total",
+		"produce requests handled by brokers")
+	mProduceBytes = metrics.RegisterCounter("kafka_produce_bytes_total",
+		"message-set bytes appended to broker logs")
+	mFetchRequests = metrics.RegisterCounter("kafka_fetch_requests_total",
+		"fetch requests handled by brokers")
+	mFetchBytes = metrics.RegisterCounter("kafka_fetch_bytes_total",
+		"raw log bytes returned to fetchers")
+	mProducerMessages = metrics.RegisterCounter("kafka_producer_messages_total",
+		"messages accepted by producers (batched, not yet necessarily shipped)")
+	mProducerBytes = metrics.RegisterCounter("kafka_producer_wire_bytes_total",
+		"batch bytes shipped to brokers (after optional compression)")
+	mConsumerMessages = metrics.RegisterCounter("kafka_consumer_messages_total",
+		"messages decoded by simple consumers (includes group fetchers)")
+	mGroupRebalances = metrics.RegisterCounter("kafka_group_rebalances_total",
+		"consumer-group rebalances executed")
+	mGroupLag = metrics.RegisterGaugeVec("kafka_group_lag_bytes",
+		"byte distance between the partition head and a group's committed position",
+		"partition")
+	mReplicaMessages = metrics.RegisterCounter("kafka_replica_messages_total",
+		"messages republished by the intra-cluster replica fetcher")
+	mReplicaLag = metrics.RegisterGauge("kafka_replica_lag_bytes",
+		"byte distance between the leader log head and the replica fetcher")
+)

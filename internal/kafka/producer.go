@@ -123,6 +123,7 @@ func (p *Producer) SendTo(topic string, partition int, payload []byte) error {
 	b.set.Append(NewMessage(payload))
 	b.count++
 	p.sent++
+	mProducerMessages.Inc()
 	if p.audit != nil {
 		p.audit.Count(topic)
 	}
@@ -150,6 +151,7 @@ func (p *Producer) ship(b *batch) error {
 	p.mu.Lock()
 	p.bytesOnWire += int64(set.Len())
 	p.mu.Unlock()
+	mProducerBytes.Add(int64(set.Len()))
 	_, err := p.broker.Produce(b.topic, b.partition, set)
 	return err
 }

@@ -95,6 +95,9 @@ func (rs *ReplicaSet) replicate(topic string, partition int, stop chan struct{})
 		}
 		msgs, err := sc.Consume(topic, partition, offset)
 		if err != nil || len(msgs) == 0 {
+			if err == nil {
+				mReplicaLag.Set(0) // caught up with the leader's head
+			}
 			select {
 			case <-stop:
 				return
@@ -108,6 +111,12 @@ func (rs *ReplicaSet) replicate(topic string, partition int, stop chan struct{})
 			}
 			offset = m.NextOffset
 			rs.replicated.Add(1)
+			mReplicaMessages.Inc()
+		}
+		if _, latest, err := rs.leader.Offsets(topic, partition); err == nil {
+			if lag := latest - offset; lag >= 0 {
+				mReplicaLag.Set(lag)
+			}
 		}
 	}
 }

@@ -1,0 +1,68 @@
+package metrics
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+)
+
+// Handler serves the registry as text (Prometheus exposition style) or, when
+// the request asks for JSON (?format=json or Accept: application/json), as a
+// JSON snapshot.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Query().Get("format") == "json" ||
+			strings.Contains(req.Header.Get("Accept"), "application/json") {
+			w.Header().Set("Content-Type", "application/json")
+			_ = r.WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WriteText(w)
+	})
+}
+
+// JSONHandler always serves the JSON snapshot.
+func JSONHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = r.WriteJSON(w)
+	})
+}
+
+// NewDebugMux builds the standard operator mux every cmd/* server mounts:
+//
+//	/metrics        text exposition (add ?format=json for the JSON snapshot)
+//	/metrics.json   JSON snapshot
+//	/healthz        liveness probe (200 "ok")
+//	/debug/pprof/*  CPU, heap, goroutine, block and mutex profiles
+//
+// See OPERATIONS.md for scrape and profiling examples.
+func NewDebugMux(r *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler(r))
+	mux.Handle("/metrics.json", JSONHandler(r))
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts the debug mux for r on addr in a background goroutine and
+// returns the bound address and a shutdown func. Commands use it so the
+// observability plane never blocks the data plane's startup path.
+func Serve(addr string, r *Registry) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: NewDebugMux(r)}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), srv.Close, nil
+}

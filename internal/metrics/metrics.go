@@ -1,11 +1,23 @@
-// Package metrics provides the latency histograms, throughput meters and
-// table rendering the benchmark harness uses to print paper-versus-measured
-// rows.
+// Package metrics is the repository's observability plane. It has two
+// halves:
+//
+//   - Bench instruments: the unbounded sample-slice Histogram, the Meter and
+//     the Table renderer the benchmark harness uses to print
+//     paper-versus-measured rows (this file).
+//   - The Registry (registry.go): named counters, gauges, lag gauge funcs
+//     and bounded fixed-bucket histograms shared process-wide, scraped over
+//     HTTP via the /metrics + /debug/pprof mux in http.go. Every production
+//     hot path (Voldemort routed quorum ops, Espresso request/commit, the
+//     Databus relay and client, Kafka produce/consume/replication, the
+//     resilience layer's retries and breakers) registers its instruments
+//     here under the subsystem_signal_unit naming convention enforced by
+//     cmd/metriclint and documented metric-by-metric in OPERATIONS.md.
 package metrics
 
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strings"
 	"sync"
@@ -71,15 +83,25 @@ func (h *Histogram) sortLocked() {
 	}
 }
 
-// Percentile returns the p-th percentile (0 < p <= 100).
+// Percentile returns the p-th percentile (0 < p <= 100) using a ceil-style
+// rank: the smallest sample such that at least p% of samples are <= it.
+// (A truncating index would report p99 of a 10-sample run as the 89th
+// percentile sample.)
 func (h *Histogram) Percentile(p float64) time.Duration {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if len(h.samples) == 0 {
+	n := len(h.samples)
+	if n == 0 {
 		return 0
 	}
 	h.sortLocked()
-	idx := int(p / 100 * float64(len(h.samples)-1))
+	idx := int(math.Ceil(p/100*float64(n))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
 	return h.samples[idx]
 }
 
@@ -117,7 +139,12 @@ func (h *Histogram) Summary() string {
 		h.Max().Round(time.Microsecond))
 }
 
-// Meter measures throughput over a run.
+// Meter measures throughput over a run. It is monotonic-clock safe: the
+// start instant is taken from time.Now (which carries Go's monotonic
+// reading), a zero-value Meter lazily starts at its first use instead of
+// measuring against the wall-clock epoch, and a start instant that lost its
+// monotonic reading (deep-copied, round-tripped through encoding) can never
+// produce a negative rate.
 type Meter struct {
 	mu    sync.Mutex
 	count int64
@@ -127,22 +154,43 @@ type Meter struct {
 // NewMeter starts counting now.
 func NewMeter() *Meter { return &Meter{start: time.Now()} }
 
+// startLocked lazily initializes the start instant (zero-value Meters).
+func (m *Meter) startLocked() {
+	if m.start.IsZero() {
+		m.start = time.Now()
+	}
+}
+
 // Add counts n operations.
 func (m *Meter) Add(n int64) {
 	m.mu.Lock()
+	m.startLocked()
 	m.count += n
 	m.mu.Unlock()
 }
 
-// Rate returns operations per second since start.
-func (m *Meter) Rate() float64 {
+// Elapsed returns the (non-negative) time since the meter started.
+func (m *Meter) Elapsed() time.Duration {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	el := time.Since(m.start).Seconds()
+	m.startLocked()
+	el := time.Since(m.start)
+	if el < 0 {
+		return 0
+	}
+	return el
+}
+
+// Rate returns operations per second since start.
+func (m *Meter) Rate() float64 {
+	el := m.Elapsed().Seconds()
+	m.mu.Lock()
+	count := m.count
+	m.mu.Unlock()
 	if el <= 0 {
 		return 0
 	}
-	return float64(m.count) / el
+	return float64(count) / el
 }
 
 // Count returns the total.

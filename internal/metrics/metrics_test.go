@@ -55,6 +55,53 @@ func TestHistogramConcurrent(t *testing.T) {
 	}
 }
 
+// TestHistogramPercentileCeilRank pins the ceil-style rank: p99 of a small
+// sample count must return the top sample, not truncate toward p98.
+func TestHistogramPercentileCeilRank(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 10; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	// rank = ceil(0.99*10) = 10 -> the 10 ms sample. The old truncating
+	// index returned samples[int(0.99*9)] = samples[8] = 9 ms.
+	if p := h.Percentile(99); p != 10*time.Millisecond {
+		t.Fatalf("p99 of 10 samples = %v, want 10ms", p)
+	}
+	if p := h.Percentile(50); p != 5*time.Millisecond {
+		t.Fatalf("p50 of 10 samples = %v, want 5ms (ceil(0.5*10)=5th)", p)
+	}
+	if p := h.Percentile(100); p != 10*time.Millisecond {
+		t.Fatalf("p100 = %v, want max", p)
+	}
+	one := NewHistogram()
+	one.Observe(time.Second)
+	if p := one.Percentile(1); p != time.Second {
+		t.Fatalf("p1 of a single sample = %v, want that sample", p)
+	}
+}
+
+func TestMeterZeroValueAndMonotonic(t *testing.T) {
+	// Zero-value Meter must lazily start at first use, not at the wall-clock
+	// epoch (which would make every rate ~0).
+	var m Meter
+	m.Add(1000)
+	time.Sleep(2 * time.Millisecond)
+	if r := m.Rate(); r <= 0 || r > 1e9 {
+		t.Fatalf("zero-value meter rate = %v, want sane positive value", r)
+	}
+	// A start instant in the wall-clock future (monotonic reading stripped,
+	// clock stepped) must clamp to zero elapsed/rate, never go negative.
+	bad := &Meter{start: time.Now().Round(0).Add(time.Hour)}
+	bad.Add(50)
+	// Add lazily initializes only zero starts, so the bogus start survives.
+	if el := bad.Elapsed(); el != 0 {
+		t.Fatalf("future-start meter elapsed = %v, want 0", el)
+	}
+	if r := bad.Rate(); r != 0 {
+		t.Fatalf("future-start meter rate = %v, want 0", r)
+	}
+}
+
 func TestMeter(t *testing.T) {
 	m := NewMeter()
 	m.Add(100)

@@ -1,0 +1,565 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The observability plane: a named Registry holding counters, gauges and
+// bounded fixed-bucket histograms, scraped over HTTP by operators (see
+// OPERATIONS.md). Instruments are registered once by name and shared
+// process-wide; registration is idempotent so a package can hold its
+// instruments in vars and tests can spin up many servers without collisions.
+
+// nameRE is the subsystem_signal_unit convention: lowercase snake_case with
+// at least two segments. cmd/metriclint additionally checks the final
+// segment against the documented unit list.
+var nameRE = regexp.MustCompile(`^[a-z][a-z0-9]*(_[a-z0-9]+)+$`)
+
+// Kind tags what an instrument measures.
+type Kind string
+
+// Instrument kinds.
+const (
+	KindCounter   Kind = "counter"
+	KindGauge     Kind = "gauge"
+	KindHistogram Kind = "histogram"
+)
+
+// Gauge is a settable instantaneous value (queue depth, lag, current SCN),
+// safe for concurrent use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// NewGauge returns a zeroed gauge.
+func NewGauge() *Gauge { return &Gauge{} }
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the value by delta.
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// DefaultLatencyBuckets spans 25µs to 10s exponentially — wide enough for
+// an in-memory get and a timed-out cross-node quorum write alike.
+var DefaultLatencyBuckets = []time.Duration{
+	25 * time.Microsecond, 50 * time.Microsecond, 100 * time.Microsecond,
+	250 * time.Microsecond, 500 * time.Microsecond,
+	time.Millisecond, 2500 * time.Microsecond, 5 * time.Millisecond,
+	10 * time.Millisecond, 25 * time.Millisecond, 50 * time.Millisecond,
+	100 * time.Millisecond, 250 * time.Millisecond, 500 * time.Millisecond,
+	time.Second, 2500 * time.Millisecond, 5 * time.Second, 10 * time.Second,
+}
+
+// FixedHistogram is a bounded-memory latency histogram: samples land in
+// fixed buckets (plus an implicit +Inf bucket), so unlike the sample-slice
+// Histogram its footprint does not grow with traffic. Percentiles are
+// estimated as the upper bound of the bucket containing the rank.
+type FixedHistogram struct {
+	bounds []time.Duration // ascending upper bounds
+	counts []atomic.Int64  // len(bounds)+1; last is +Inf
+	count  atomic.Int64
+	sum    atomic.Int64 // nanoseconds
+	max    atomic.Int64 // nanoseconds
+}
+
+// NewFixedHistogram builds a histogram over the given ascending bucket upper
+// bounds (DefaultLatencyBuckets when none are given).
+func NewFixedHistogram(bounds ...time.Duration) *FixedHistogram {
+	if len(bounds) == 0 {
+		bounds = DefaultLatencyBuckets
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("metrics: histogram buckets not ascending at %d", i))
+		}
+	}
+	return &FixedHistogram{
+		bounds: bounds,
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
+// Observe records one sample.
+func (h *FixedHistogram) Observe(d time.Duration) {
+	// Binary search for the first bound >= d.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.bounds[mid] < d {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	h.counts[lo].Add(1)
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+	for {
+		cur := h.max.Load()
+		if int64(d) <= cur || h.max.CompareAndSwap(cur, int64(d)) {
+			break
+		}
+	}
+}
+
+// Time runs fn and records its latency.
+func (h *FixedHistogram) Time(fn func()) {
+	start := time.Now()
+	fn()
+	h.Observe(time.Since(start))
+}
+
+// Count returns the number of samples.
+func (h *FixedHistogram) Count() int64 { return h.count.Load() }
+
+// Mean returns the average sample.
+func (h *FixedHistogram) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / n)
+}
+
+// Max returns the largest observed sample.
+func (h *FixedHistogram) Max() time.Duration { return time.Duration(h.max.Load()) }
+
+// Sum returns the total of all observed samples.
+func (h *FixedHistogram) Sum() time.Duration { return time.Duration(h.sum.Load()) }
+
+// Percentile estimates the p-th percentile (0 < p <= 100) using a
+// ceil-style rank over cumulative bucket counts; the answer is the upper
+// bound of the bucket holding that rank (the true max for the +Inf bucket).
+func (h *FixedHistogram) Percentile(p float64) time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(p / 100 * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		if cum >= rank {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			return h.Max()
+		}
+	}
+	return h.Max()
+}
+
+// Buckets returns (upper bound, cumulative count) pairs including +Inf.
+func (h *FixedHistogram) Buckets() []BucketCount {
+	out := make([]BucketCount, 0, len(h.counts))
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		b := BucketCount{Count: cum}
+		if i < len(h.bounds) {
+			b.UpperBound = h.bounds[i]
+		} else {
+			b.Inf = true
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// BucketCount is one cumulative histogram bucket.
+type BucketCount struct {
+	UpperBound time.Duration
+	Inf        bool
+	Count      int64
+}
+
+// Summary renders "count=… mean=… p50=… p99=… max=…".
+func (h *FixedHistogram) Summary() string {
+	return fmt.Sprintf("count=%d mean=%v p50=%v p99=%v max=%v",
+		h.Count(),
+		h.Mean().Round(time.Microsecond),
+		h.Percentile(50).Round(time.Microsecond),
+		h.Percentile(99).Round(time.Microsecond),
+		h.Max().Round(time.Microsecond))
+}
+
+// CounterVec is a set of counters sharing one name, split by a single label
+// (e.g. per-partition, per-opcode). Children are created on first use.
+type CounterVec struct {
+	label string
+	mu    sync.RWMutex
+	m     map[string]*Counter
+}
+
+// With returns the child counter for the label value.
+func (v *CounterVec) With(value string) *Counter {
+	v.mu.RLock()
+	c, ok := v.m[value]
+	v.mu.RUnlock()
+	if ok {
+		return c
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c, ok = v.m[value]; ok {
+		return c
+	}
+	c = NewCounter()
+	v.m[value] = c
+	return c
+}
+
+// GaugeVec is a set of gauges sharing one name, split by a single label.
+type GaugeVec struct {
+	label string
+	mu    sync.RWMutex
+	m     map[string]*Gauge
+}
+
+// With returns the child gauge for the label value.
+func (v *GaugeVec) With(value string) *Gauge {
+	v.mu.RLock()
+	g, ok := v.m[value]
+	v.mu.RUnlock()
+	if ok {
+		return g
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if g, ok = v.m[value]; ok {
+		return g
+	}
+	g = NewGauge()
+	v.m[value] = g
+	return g
+}
+
+func sortedLabels[T any](m map[string]T, mu *sync.RWMutex) []string {
+	mu.RLock()
+	defer mu.RUnlock()
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// entry is one registered instrument.
+type entry struct {
+	name, help string
+	kind       Kind
+
+	counter    *Counter
+	gauge      *Gauge
+	gaugeFn    func() int64
+	hist       *FixedHistogram
+	counterVec *CounterVec
+	gaugeVec   *GaugeVec
+}
+
+// Registry holds named instruments and renders snapshots. The zero value is
+// not usable; call NewRegistry (or use Default).
+type Registry struct {
+	mu      sync.RWMutex
+	order   []string
+	entries map[string]*entry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: map[string]*entry{}}
+}
+
+// Default is the process-wide registry: package-level Register* helpers and
+// every cmd/* server's /metrics endpoint use it.
+var Default = NewRegistry()
+
+func (r *Registry) register(name, help string, kind Kind, build func() *entry) *entry {
+	if !nameRE.MatchString(name) {
+		panic(fmt.Sprintf("metrics: name %q violates the subsystem_signal_unit convention", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[name]; ok {
+		if e.kind != kind {
+			panic(fmt.Sprintf("metrics: %q re-registered as %s (was %s)", name, kind, e.kind))
+		}
+		return e
+	}
+	e := build()
+	e.name, e.help, e.kind = name, help, kind
+	r.entries[name] = e
+	r.order = append(r.order, name)
+	return e
+}
+
+// RegisterCounter returns the named counter, creating it on first call.
+func (r *Registry) RegisterCounter(name, help string) *Counter {
+	e := r.register(name, help, KindCounter, func() *entry {
+		return &entry{counter: NewCounter()}
+	})
+	if e.counter == nil {
+		panic(fmt.Sprintf("metrics: %q is a counter vec, not a counter", name))
+	}
+	return e.counter
+}
+
+// RegisterGauge returns the named gauge, creating it on first call.
+func (r *Registry) RegisterGauge(name, help string) *Gauge {
+	e := r.register(name, help, KindGauge, func() *entry {
+		return &entry{gauge: NewGauge()}
+	})
+	if e.gauge == nil {
+		panic(fmt.Sprintf("metrics: %q is not a plain gauge", name))
+	}
+	return e.gauge
+}
+
+// RegisterGaugeFunc registers a gauge whose value is computed at scrape
+// time (lag gauges: relay SCN minus consumer SCN). Re-registering replaces
+// the function — the latest instance wins, which lets tests and restarted
+// components rebind the name.
+func (r *Registry) RegisterGaugeFunc(name, help string, fn func() int64) {
+	e := r.register(name, help, KindGauge, func() *entry {
+		return &entry{}
+	})
+	r.mu.Lock()
+	e.gauge = nil
+	e.gaugeFn = fn
+	r.mu.Unlock()
+}
+
+// RegisterHistogram returns the named fixed-bucket histogram, creating it
+// (with DefaultLatencyBuckets) on first call.
+func (r *Registry) RegisterHistogram(name, help string) *FixedHistogram {
+	e := r.register(name, help, KindHistogram, func() *entry {
+		return &entry{hist: NewFixedHistogram()}
+	})
+	return e.hist
+}
+
+// RegisterCounterVec returns the named label-split counter family.
+func (r *Registry) RegisterCounterVec(name, help, label string) *CounterVec {
+	e := r.register(name, help, KindCounter, func() *entry {
+		return &entry{counterVec: &CounterVec{label: label, m: map[string]*Counter{}}}
+	})
+	if e.counterVec == nil {
+		panic(fmt.Sprintf("metrics: %q is a plain counter, not a vec", name))
+	}
+	return e.counterVec
+}
+
+// RegisterGaugeVec returns the named label-split gauge family.
+func (r *Registry) RegisterGaugeVec(name, help, label string) *GaugeVec {
+	e := r.register(name, help, KindGauge, func() *entry {
+		return &entry{gaugeVec: &GaugeVec{label: label, m: map[string]*Gauge{}}}
+	})
+	if e.gaugeVec == nil {
+		panic(fmt.Sprintf("metrics: %q is a plain gauge, not a vec", name))
+	}
+	return e.gaugeVec
+}
+
+// Package-level helpers registering on Default -------------------------------
+
+// RegisterCounter registers name on the Default registry.
+func RegisterCounter(name, help string) *Counter { return Default.RegisterCounter(name, help) }
+
+// RegisterGauge registers name on the Default registry.
+func RegisterGauge(name, help string) *Gauge { return Default.RegisterGauge(name, help) }
+
+// RegisterGaugeFunc registers name on the Default registry.
+func RegisterGaugeFunc(name, help string, fn func() int64) {
+	Default.RegisterGaugeFunc(name, help, fn)
+}
+
+// RegisterHistogram registers name on the Default registry.
+func RegisterHistogram(name, help string) *FixedHistogram {
+	return Default.RegisterHistogram(name, help)
+}
+
+// RegisterCounterVec registers name on the Default registry.
+func RegisterCounterVec(name, help, label string) *CounterVec {
+	return Default.RegisterCounterVec(name, help, label)
+}
+
+// RegisterGaugeVec registers name on the Default registry.
+func RegisterGaugeVec(name, help, label string) *GaugeVec {
+	return Default.RegisterGaugeVec(name, help, label)
+}
+
+// Snapshot ----------------------------------------------------------------
+
+// LabelValue is one (label value, number) pair of a vec sample.
+type LabelValue struct {
+	Label string `json:"label"`
+	Value int64  `json:"value"`
+}
+
+// HistogramSnapshot is the JSON shape of a histogram sample.
+type HistogramSnapshot struct {
+	Count   int64   `json:"count"`
+	SumNs   int64   `json:"sum_ns"`
+	MeanNs  int64   `json:"mean_ns"`
+	P50Ns   int64   `json:"p50_ns"`
+	P99Ns   int64   `json:"p99_ns"`
+	MaxNs   int64   `json:"max_ns"`
+	Buckets []struct {
+		LeNs  int64 `json:"le_ns"` // -1 means +Inf
+		Count int64 `json:"count"`
+	} `json:"buckets"`
+}
+
+// Sample is one metric in a snapshot.
+type Sample struct {
+	Name      string             `json:"name"`
+	Kind      Kind               `json:"kind"`
+	Help      string             `json:"help,omitempty"`
+	Value     *int64             `json:"value,omitempty"`
+	Label     string             `json:"label,omitempty"`
+	Values    []LabelValue       `json:"values,omitempty"`
+	Histogram *HistogramSnapshot `json:"histogram,omitempty"`
+}
+
+// Snapshot captures every instrument in registration order.
+func (r *Registry) Snapshot() []Sample {
+	r.mu.RLock()
+	names := append([]string(nil), r.order...)
+	entries := make([]*entry, len(names))
+	for i, n := range names {
+		entries[i] = r.entries[n]
+	}
+	r.mu.RUnlock()
+
+	out := make([]Sample, 0, len(entries))
+	for _, e := range entries {
+		s := Sample{Name: e.name, Kind: e.kind, Help: e.help}
+		switch {
+		case e.counter != nil:
+			v := e.counter.Value()
+			s.Value = &v
+		case e.gauge != nil:
+			v := e.gauge.Value()
+			s.Value = &v
+		case e.gaugeFn != nil:
+			v := e.gaugeFn()
+			s.Value = &v
+		case e.hist != nil:
+			h := e.hist
+			hs := &HistogramSnapshot{
+				Count:  h.Count(),
+				SumNs:  int64(h.Sum()),
+				MeanNs: int64(h.Mean()),
+				P50Ns:  int64(h.Percentile(50)),
+				P99Ns:  int64(h.Percentile(99)),
+				MaxNs:  int64(h.Max()),
+			}
+			for _, b := range h.Buckets() {
+				le := int64(b.UpperBound)
+				if b.Inf {
+					le = -1
+				}
+				hs.Buckets = append(hs.Buckets, struct {
+					LeNs  int64 `json:"le_ns"`
+					Count int64 `json:"count"`
+				}{le, b.Count})
+			}
+			s.Histogram = hs
+		case e.counterVec != nil:
+			s.Label = e.counterVec.label
+			for _, k := range sortedLabels(e.counterVec.m, &e.counterVec.mu) {
+				s.Values = append(s.Values, LabelValue{Label: k, Value: e.counterVec.With(k).Value()})
+			}
+		case e.gaugeVec != nil:
+			s.Label = e.gaugeVec.label
+			for _, k := range sortedLabels(e.gaugeVec.m, &e.gaugeVec.mu) {
+				s.Values = append(s.Values, LabelValue{Label: k, Value: e.gaugeVec.With(k).Value()})
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// WriteText renders the snapshot in the Prometheus text exposition style:
+// HELP/TYPE comments, `name value` lines, `name{label="v"} value` for vecs,
+// and cumulative `_bucket`/`_count`/`_sum` lines for histograms (durations
+// in seconds).
+func (r *Registry) WriteText(w io.Writer) error {
+	for _, s := range r.Snapshot() {
+		if s.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", s.Name, s.Help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", s.Name, s.Kind); err != nil {
+			return err
+		}
+		switch {
+		case s.Value != nil:
+			if _, err := fmt.Fprintf(w, "%s %d\n", s.Name, *s.Value); err != nil {
+				return err
+			}
+		case s.Histogram != nil:
+			h := s.Histogram
+			for _, b := range h.Buckets {
+				le := "+Inf"
+				if b.LeNs >= 0 {
+					le = formatSeconds(b.LeNs)
+				}
+				if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", s.Name, le, b.Count); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_count %d\n", s.Name, h.Count); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum %s\n", s.Name, formatSeconds(h.SumNs)); err != nil {
+				return err
+			}
+		default:
+			for _, lv := range s.Values {
+				if _, err := fmt.Fprintf(w, "%s{%s=%q} %d\n", s.Name, s.Label, lv.Label, lv.Value); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// formatSeconds renders nanoseconds as a decimal seconds string without
+// trailing zeros (0.0025, 1, 0.000025).
+func formatSeconds(ns int64) string {
+	f := float64(ns) / 1e9
+	return fmt.Sprintf("%g", f)
+}
+
+// WriteJSON renders the snapshot as a JSON document {"metrics": [...]}.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(map[string]any{"metrics": r.Snapshot()})
+}

@@ -1,0 +1,243 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.RegisterCounter("test_registry_hits_total", "hits")
+	b := r.RegisterCounter("test_registry_hits_total", "hits")
+	if a != b {
+		t.Fatal("re-registration should return the same counter")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Fatalf("shared counter value = %d, want 1", b.Value())
+	}
+}
+
+func TestRegistryNameConvention(t *testing.T) {
+	r := NewRegistry()
+	for _, bad := range []string{"NoCaps", "single", "trailing_", "_leading", "dash-name"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("name %q should have panicked", bad)
+				}
+			}()
+			r.RegisterCounter(bad, "")
+		}()
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.RegisterCounter("test_kind_events_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering a gauge under a counter name should panic")
+		}
+	}()
+	r.RegisterGauge("test_kind_events_total", "")
+}
+
+// TestRegistryConcurrency exercises registration, increments, vec children
+// and snapshots from many goroutines; run under -race (Makefile test-race).
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				r.RegisterCounter("test_conc_ops_total", "ops").Inc()
+				r.RegisterGauge("test_conc_depth_events", "depth").Set(int64(j))
+				r.RegisterHistogram("test_conc_latency_seconds", "lat").Observe(time.Duration(j) * time.Microsecond)
+				r.RegisterCounterVec("test_conc_vec_ops_total", "ops", "op").With(fmt.Sprintf("op%d", j%3)).Inc()
+				r.RegisterGaugeVec("test_conc_lag_events", "lag", "partition").With(fmt.Sprintf("%d", i)).Set(int64(j))
+				r.RegisterGaugeFunc("test_conc_fn_events", "fn", func() int64 { return int64(j) })
+				if j%50 == 0 {
+					_ = r.Snapshot()
+					var buf bytes.Buffer
+					_ = r.WriteText(&buf)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := r.RegisterCounter("test_conc_ops_total", "ops").Value(); got != 8*200 {
+		t.Fatalf("counter = %d, want %d", got, 8*200)
+	}
+	var total int64
+	vec := r.RegisterCounterVec("test_conc_vec_ops_total", "ops", "op")
+	for _, op := range []string{"op0", "op1", "op2"} {
+		total += vec.With(op).Value()
+	}
+	if total != 8*200 {
+		t.Fatalf("vec total = %d, want %d", total, 8*200)
+	}
+}
+
+// TestSnapshotGolden pins the exact text exposition format.
+func TestSnapshotGolden(t *testing.T) {
+	r := NewRegistry()
+	r.RegisterCounter("demo_requests_total", "requests served").Add(42)
+	r.RegisterGauge("demo_queue_events", "queued events").Set(7)
+	r.RegisterGaugeFunc("demo_lag_scn", "relay minus consumer SCN", func() int64 { return 3 })
+	h := r.RegisterHistogram("demo_latency_seconds", "request latency")
+	h.Observe(30 * time.Microsecond) // bucket le=50µs
+	h.Observe(40 * time.Microsecond) // bucket le=50µs
+	h.Observe(2 * time.Millisecond)  // bucket le=2.5ms
+	v := r.RegisterCounterVec("demo_ops_total", "ops by kind", "op")
+	v.With("get").Add(5)
+	v.With("put").Add(9)
+
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		"# HELP demo_requests_total requests served",
+		"# TYPE demo_requests_total counter",
+		"demo_requests_total 42",
+		"# HELP demo_queue_events queued events",
+		"# TYPE demo_queue_events gauge",
+		"demo_queue_events 7",
+		"# HELP demo_lag_scn relay minus consumer SCN",
+		"# TYPE demo_lag_scn gauge",
+		"demo_lag_scn 3",
+		"# HELP demo_latency_seconds request latency",
+		"# TYPE demo_latency_seconds histogram",
+		`demo_latency_seconds_bucket{le="2.5e-05"} 0`,
+		`demo_latency_seconds_bucket{le="5e-05"} 2`,
+		`demo_latency_seconds_bucket{le="0.0001"} 2`,
+		`demo_latency_seconds_bucket{le="0.00025"} 2`,
+		`demo_latency_seconds_bucket{le="0.0005"} 2`,
+		`demo_latency_seconds_bucket{le="0.001"} 2`,
+		`demo_latency_seconds_bucket{le="0.0025"} 3`,
+		`demo_latency_seconds_bucket{le="0.005"} 3`,
+		`demo_latency_seconds_bucket{le="0.01"} 3`,
+		`demo_latency_seconds_bucket{le="0.025"} 3`,
+		`demo_latency_seconds_bucket{le="0.05"} 3`,
+		`demo_latency_seconds_bucket{le="0.1"} 3`,
+		`demo_latency_seconds_bucket{le="0.25"} 3`,
+		`demo_latency_seconds_bucket{le="0.5"} 3`,
+		`demo_latency_seconds_bucket{le="1"} 3`,
+		`demo_latency_seconds_bucket{le="2.5"} 3`,
+		`demo_latency_seconds_bucket{le="5"} 3`,
+		`demo_latency_seconds_bucket{le="10"} 3`,
+		`demo_latency_seconds_bucket{le="+Inf"} 3`,
+		"demo_latency_seconds_count 3",
+		"demo_latency_seconds_sum 0.00207",
+		"# HELP demo_ops_total ops by kind",
+		"# TYPE demo_ops_total counter",
+		`demo_ops_total{op="get"} 5`,
+		`demo_ops_total{op="put"} 9`,
+		"",
+	}, "\n")
+	if buf.String() != want {
+		t.Fatalf("text exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", buf.String(), want)
+	}
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	r := NewRegistry()
+	r.RegisterCounter("demo_requests_total", "requests").Add(5)
+	r.RegisterHistogram("demo_latency_seconds", "lat").Observe(time.Millisecond)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Metrics []Sample `json:"metrics"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("JSON snapshot does not parse: %v", err)
+	}
+	if len(doc.Metrics) != 2 {
+		t.Fatalf("got %d metrics, want 2", len(doc.Metrics))
+	}
+	if doc.Metrics[0].Name != "demo_requests_total" || *doc.Metrics[0].Value != 5 {
+		t.Fatalf("bad counter sample: %+v", doc.Metrics[0])
+	}
+	if doc.Metrics[1].Histogram == nil || doc.Metrics[1].Histogram.Count != 1 {
+		t.Fatalf("bad histogram sample: %+v", doc.Metrics[1])
+	}
+}
+
+func TestFixedHistogramPercentile(t *testing.T) {
+	h := NewFixedHistogram()
+	for i := 0; i < 99; i++ {
+		h.Observe(40 * time.Microsecond)
+	}
+	h.Observe(4 * time.Second)
+	if got := h.Percentile(50); got != 50*time.Microsecond {
+		t.Fatalf("p50 = %v, want 50µs bucket bound", got)
+	}
+	// The single outlier is the 100th of 100 samples: p100 (and p99.5)
+	// must land in its bucket, p99 in the dense one.
+	if got := h.Percentile(100); got != 5*time.Second {
+		t.Fatalf("p100 = %v, want 5s bucket bound", got)
+	}
+	if got := h.Percentile(99); got != 50*time.Microsecond {
+		t.Fatalf("p99 = %v, want 50µs bucket bound", got)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Max() != 4*time.Second {
+		t.Fatalf("max = %v", h.Max())
+	}
+}
+
+func TestFixedHistogramOverflowBucket(t *testing.T) {
+	h := NewFixedHistogram(time.Millisecond)
+	h.Observe(30 * time.Second) // beyond every bound -> +Inf bucket
+	if got := h.Percentile(99); got != 30*time.Second {
+		t.Fatalf("+Inf bucket percentile should report the true max, got %v", got)
+	}
+}
+
+func TestDebugMux(t *testing.T) {
+	r := NewRegistry()
+	r.RegisterCounter("demo_requests_total", "").Add(3)
+	srv := httptest.NewServer(NewDebugMux(r))
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		_, _ = buf.ReadFrom(resp.Body)
+		return resp.StatusCode, buf.String()
+	}
+
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "demo_requests_total 3") {
+		t.Fatalf("/metrics: code=%d body=%q", code, body)
+	}
+	if code, body := get("/metrics?format=json"); code != 200 || !strings.Contains(body, `"demo_requests_total"`) {
+		t.Fatalf("/metrics?format=json: code=%d body=%q", code, body)
+	}
+	if code, _ := get("/metrics.json"); code != 200 {
+		t.Fatalf("/metrics.json: code=%d", code)
+	}
+	if code, _ := get("/healthz"); code != 200 {
+		t.Fatalf("/healthz: code=%d", code)
+	}
+	if code, body := get("/debug/pprof/"); code != 200 || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/: code=%d", code)
+	}
+}

@@ -47,8 +47,23 @@ func NewCounters() *Counters {
 
 // Metrics is the process-wide default counter set; policies and breakers
 // built with a nil Counters field record here, and cmd/datainfra-bench
-// prints it after chaos runs.
-var Metrics = NewCounters()
+// prints it after chaos runs. Its counters are registered in the metrics
+// registry, so every server's /metrics endpoint exports them alongside the
+// system instruments (documented in OPERATIONS.md).
+var Metrics = &Counters{
+	Attempts: metrics.RegisterCounter("resilience_retry_attempts_total",
+		"operation attempts made under Retry (first tries included)"),
+	Retries: metrics.RegisterCounter("resilience_retry_retries_total",
+		"attempts beyond the first — actual re-tries"),
+	Exhausted: metrics.RegisterCounter("resilience_retry_exhausted_total",
+		"Retry calls that ran out of attempts and surfaced the error"),
+	BreakerOpens: metrics.RegisterCounter("resilience_breaker_opens_total",
+		"circuit-breaker transitions to open (closed or half-open origin)"),
+	HalfOpenProbes: metrics.RegisterCounter("resilience_breaker_half_open_probes_total",
+		"trial requests admitted through a half-open breaker"),
+	Injected: metrics.RegisterCounter("resilience_injected_faults_total",
+		"faults delivered by injectors wired to the default counters"),
+}
 
 // Snapshot returns the default counter values keyed by name, in a stable
 // order useful for table rendering: see SnapshotOrder.

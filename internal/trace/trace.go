@@ -1,0 +1,164 @@
+// Package trace provides the lightweight request/trace IDs that let an
+// operator follow one logical operation across process and system
+// boundaries: a write entering an Espresso front end, the Databus event it
+// commits, and the Voldemort replicas a quorum put fans out to all carry the
+// same 16-hex-character ID. IDs are generated at the client edge (Voldemort
+// SocketStore, Espresso HTTPClient, or any HTTP caller setting the Header),
+// propagated through HTTP headers and the Voldemort socket protocol's
+// trailing trace field, surfaced in error strings as a "[trace=…]" prefix,
+// and optionally logged per request (see Enable / OPERATIONS.md).
+package trace
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"log"
+	"sync"
+	"sync/atomic"
+)
+
+// Header is the HTTP header carrying the trace ID across the Espresso and
+// Databus HTTP surfaces.
+const Header = "X-Datainfra-Trace"
+
+// NewID returns a fresh 16-hex-char trace ID.
+func NewID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is unheard of; fall back to a counter so the
+		// data plane never stalls on the observability plane.
+		return fmt.Sprintf("fallback%08x", fallback.Add(1))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+var fallback atomic.Uint64
+
+type ctxKey struct{}
+
+// With returns ctx carrying the trace ID.
+func With(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, ctxKey{}, id)
+}
+
+// ID returns the trace ID carried by ctx, or "".
+func ID(ctx context.Context) string {
+	id, _ := ctx.Value(ctxKey{}).(string)
+	return id
+}
+
+// Ensure returns ctx carrying a trace ID, generating one when absent.
+func Ensure(ctx context.Context) (context.Context, string) {
+	if id := ID(ctx); id != "" {
+		return ctx, id
+	}
+	id := NewID()
+	return With(ctx, id), id
+}
+
+// Annotate prefixes err with the trace ID so the ID survives error
+// propagation across layers that drop context values. A nil error or empty
+// ID passes through unchanged.
+func Annotate(id string, err error) error {
+	if err == nil || id == "" {
+		return err
+	}
+	return fmt.Errorf("[trace=%s] %w", id, err)
+}
+
+// Optional per-request logging -----------------------------------------------
+
+var (
+	logMu  sync.RWMutex
+	logger *log.Logger
+)
+
+// Enable turns on per-request trace logging to w (operators pass os.Stderr
+// or a file; cmd/* servers enable it when DATAINFRA_TRACE=1). Pass nil to
+// disable again.
+func Enable(w io.Writer) {
+	logMu.Lock()
+	defer logMu.Unlock()
+	if w == nil {
+		logger = nil
+		return
+	}
+	logger = log.New(w, "trace ", log.LstdFlags|log.Lmicroseconds)
+}
+
+// Enabled reports whether per-request logging is on.
+func Enabled() bool {
+	logMu.RLock()
+	defer logMu.RUnlock()
+	return logger != nil
+}
+
+// Logf emits one per-request log line tagged with the trace ID when logging
+// is enabled; otherwise it is a no-op costing one RLock.
+func Logf(id, format string, args ...any) {
+	logMu.RLock()
+	l := logger
+	logMu.RUnlock()
+	if l == nil || id == "" {
+		return
+	}
+	l.Printf("[%s] %s", id, fmt.Sprintf(format, args...))
+}
+
+// Ring is a small fixed-size ring of recently seen trace IDs that servers
+// expose for tests and debugging ("did my request reach this node?").
+type Ring struct {
+	mu   sync.Mutex
+	ids  []string
+	next int
+	full bool
+}
+
+// NewRing returns a ring holding up to n IDs (n <= 0 means 16).
+func NewRing(n int) *Ring {
+	if n <= 0 {
+		n = 16
+	}
+	return &Ring{ids: make([]string, n)}
+}
+
+// Add records an ID (empty IDs are ignored).
+func (r *Ring) Add(id string) {
+	if id == "" {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.ids[r.next] = id
+	r.next = (r.next + 1) % len(r.ids)
+	if r.next == 0 {
+		r.full = true
+	}
+}
+
+// Recent returns the recorded IDs, oldest first.
+func (r *Ring) Recent() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []string
+	if r.full {
+		out = append(out, r.ids[r.next:]...)
+	}
+	out = append(out, r.ids[:r.next]...)
+	return out
+}
+
+// Contains reports whether id is among the recorded IDs.
+func (r *Ring) Contains(id string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, v := range r.ids {
+		if v == id {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,110 @@
+package trace
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNewIDUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 1000; i++ {
+		id := NewID()
+		if len(id) != 16 {
+			t.Fatalf("id %q has length %d, want 16", id, len(id))
+		}
+		if seen[id] {
+			t.Fatalf("duplicate id %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	if ID(ctx) != "" {
+		t.Fatal("empty context should carry no ID")
+	}
+	ctx2, id := Ensure(ctx)
+	if id == "" || ID(ctx2) != id {
+		t.Fatalf("Ensure: id=%q ctx id=%q", id, ID(ctx2))
+	}
+	ctx3, id2 := Ensure(ctx2)
+	if id2 != id || ctx3 != ctx2 {
+		t.Fatal("Ensure on a carrying context must be a no-op")
+	}
+}
+
+func TestAnnotate(t *testing.T) {
+	base := errors.New("boom")
+	err := Annotate("abcd1234abcd1234", base)
+	if !errors.Is(err, base) {
+		t.Fatal("annotated error must unwrap to the base error")
+	}
+	if !strings.Contains(err.Error(), "[trace=abcd1234abcd1234]") {
+		t.Fatalf("annotated error %q missing trace prefix", err)
+	}
+	if Annotate("", base) != base || Annotate("x", nil) != nil {
+		t.Fatal("empty id / nil error must pass through")
+	}
+}
+
+func TestLogging(t *testing.T) {
+	var buf bytes.Buffer
+	Enable(&buf)
+	defer Enable(nil)
+	if !Enabled() {
+		t.Fatal("Enabled() = false after Enable")
+	}
+	Logf("deadbeef00000000", "put key=%s", "k1")
+	if got := buf.String(); !strings.Contains(got, "[deadbeef00000000] put key=k1") {
+		t.Fatalf("log line %q missing trace tag", got)
+	}
+	Enable(nil)
+	n := buf.Len()
+	Logf("deadbeef00000000", "dropped")
+	if buf.Len() != n {
+		t.Fatal("Logf wrote while disabled")
+	}
+}
+
+func TestRing(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 6; i++ {
+		r.Add(fmt.Sprintf("id-%d", i))
+	}
+	recent := r.Recent()
+	if len(recent) != 4 {
+		t.Fatalf("recent = %v, want 4 entries", recent)
+	}
+	if recent[0] != "id-2" || recent[3] != "id-5" {
+		t.Fatalf("recent order wrong: %v", recent)
+	}
+	if r.Contains("id-1") || !r.Contains("id-5") {
+		t.Fatal("Contains disagrees with eviction")
+	}
+	r.Add("")
+	if r.Contains("") {
+		t.Fatal("empty IDs must be ignored")
+	}
+}
+
+func TestRingConcurrent(t *testing.T) {
+	r := NewRing(8)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				r.Add(fmt.Sprintf("%d-%d", i, j))
+				_ = r.Recent()
+			}
+		}(i)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,69 @@
+package voldemort
+
+import "datainfra/internal/metrics"
+
+// Process-wide instruments for the Voldemort hot paths, registered on the
+// default registry and served by every /metrics endpoint. Counters and
+// histograms aggregate across all in-process stores/servers (one per process
+// in production; tests share them, asserting deltas). Every name is
+// documented in OPERATIONS.md and checked by cmd/metriclint.
+var (
+	mRoutedGets = metrics.RegisterCounter("voldemort_routed_get_total",
+		"quorum reads issued through RoutedStore.Get")
+	mRoutedGetErrors = metrics.RegisterCounter("voldemort_routed_get_errors_total",
+		"quorum reads that failed (insufficient reads/zones or store errors)")
+	mRoutedGetLatency = metrics.RegisterHistogram("voldemort_routed_get_latency_seconds",
+		"end-to-end quorum read latency")
+	mRoutedPuts = metrics.RegisterCounter("voldemort_routed_put_total",
+		"quorum writes issued through RoutedStore.Put")
+	mRoutedPutErrors = metrics.RegisterCounter("voldemort_routed_put_errors_total",
+		"quorum writes that failed (insufficient writes/zones or store errors)")
+	mRoutedPutLatency = metrics.RegisterHistogram("voldemort_routed_put_latency_seconds",
+		"end-to-end quorum write latency")
+	mRoutedDeletes = metrics.RegisterCounter("voldemort_routed_delete_total",
+		"quorum deletes issued through RoutedStore.Delete")
+	mServerRequests = metrics.RegisterCounterVec("voldemort_server_requests_total",
+		"socket-protocol requests served, by opcode", "op")
+	mSlopQueued = metrics.RegisterCounter("voldemort_slop_queued_hints_total",
+		"hints parked by failed or unreached replicas (hinted handoff)")
+	mSlopDelivered = metrics.RegisterCounter("voldemort_slop_delivered_hints_total",
+		"hints delivered (or dropped as obsolete) to recovered replicas")
+	mSlopQueueDepth = metrics.RegisterGauge("voldemort_slop_queue_hints",
+		"hints currently parked awaiting replica recovery")
+)
+
+// opName labels socket-protocol opcodes for the per-op request counter.
+func opName(op byte) string {
+	switch op {
+	case opPing:
+		return "ping"
+	case opGet:
+		return "get"
+	case opGetAll:
+		return "getall"
+	case opPut:
+		return "put"
+	case opDelete:
+		return "delete"
+	case opAddStore:
+		return "addstore"
+	case opDeleteStore:
+		return "deletestore"
+	case opGetCluster:
+		return "getcluster"
+	case opUpdateCluster:
+		return "updatecluster"
+	case opFetchPartitions:
+		return "fetchpartitions"
+	case opDeletePartition:
+		return "deletepartition"
+	case opListStores:
+		return "liststores"
+	case opSwapReadOnly:
+		return "swapro"
+	case opRollbackRO:
+		return "rollbackro"
+	default:
+		return "unknown"
+	}
+}

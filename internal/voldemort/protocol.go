@@ -148,6 +148,7 @@ type request struct {
 	Body   []byte
 	TrName string
 	TrArg  []byte
+	Trace  string // optional trace ID, trailing field on the wire
 }
 
 func (q *request) encode() []byte {
@@ -158,6 +159,11 @@ func (q *request) encode() []byte {
 	w.bytes32(q.Body)
 	w.bytes16([]byte(q.TrName))
 	w.bytes32(q.TrArg)
+	if q.Trace != "" {
+		// Trailing optional field: absent frames decode with Trace == "",
+		// and pre-trace decoders ignore trailing bytes — compatible both ways.
+		w.bytes16([]byte(q.Trace))
+	}
 	return w.b
 }
 
@@ -185,6 +191,12 @@ func decodeRequest(data []byte) (*request, error) {
 	q.TrName = string(s)
 	if q.TrArg, err = r.bytes32(); err != nil {
 		return nil, err
+	}
+	if len(r.b) > 0 {
+		if s, err = r.bytes16(); err != nil {
+			return nil, err
+		}
+		q.Trace = string(s)
 	}
 	return &q, nil
 }

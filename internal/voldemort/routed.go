@@ -169,8 +169,26 @@ func zonesIn(results []nodeResult) int {
 	return len(set)
 }
 
+// SetTrace forwards the trace ID to every per-node store that can carry
+// one (SocketStores), so a quorum operation entering this routed store is
+// observable at each replica it fans out to.
+func (s *RoutedStore) SetTrace(id string) {
+	for _, st := range s.stores {
+		if tc, ok := st.(interface{ SetTrace(string) }); ok {
+			tc.SetTrace(id)
+		}
+	}
+}
+
 // Get performs a quorum read with read repair.
-func (s *RoutedStore) Get(key []byte, tr *Transform) ([]*versioned.Versioned, error) {
+func (s *RoutedStore) Get(key []byte, tr *Transform) (_ []*versioned.Versioned, err error) {
+	mRoutedGets.Inc()
+	defer func(start time.Time) {
+		mRoutedGetLatency.Observe(time.Since(start))
+		if err != nil {
+			mRoutedGetErrors.Inc()
+		}
+	}(time.Now())
 	live, banned := s.liveNodes(key)
 	nodes := append(append([]*cluster.Node{}, live...), banned...)
 	if len(nodes) == 0 {
@@ -286,7 +304,14 @@ func (s *RoutedStore) readRepair(key []byte, responded []nodeResult, maximal []*
 // Put performs a quorum write. Failed replicas are handed to the slop pusher
 // when hinted handoff is enabled, but the write still fails if fewer than W
 // replicas acked.
-func (s *RoutedStore) Put(key []byte, v *versioned.Versioned, tr *Transform) error {
+func (s *RoutedStore) Put(key []byte, v *versioned.Versioned, tr *Transform) (err error) {
+	mRoutedPuts.Inc()
+	defer func(start time.Time) {
+		mRoutedPutLatency.Observe(time.Since(start))
+		if err != nil && !occurredErr(err) {
+			mRoutedPutErrors.Inc()
+		}
+	}(time.Now())
 	live, banned := s.liveNodes(key)
 	nodes := append(append([]*cluster.Node{}, live...), banned...)
 	if len(nodes) == 0 {
@@ -406,6 +431,7 @@ func (s *RoutedStore) Put(key []byte, v *versioned.Versioned, tr *Transform) err
 
 // Delete performs a quorum delete.
 func (s *RoutedStore) Delete(key []byte, clock *vclock.Clock) (bool, error) {
+	mRoutedDeletes.Inc()
 	live, banned := s.liveNodes(key)
 	nodes := append(append([]*cluster.Node{}, live...), banned...)
 	if len(nodes) == 0 {

@@ -12,6 +12,7 @@ import (
 	"datainfra/internal/cluster"
 	"datainfra/internal/ring"
 	"datainfra/internal/storage"
+	"datainfra/internal/trace"
 	"datainfra/internal/vclock"
 	"datainfra/internal/versioned"
 )
@@ -34,6 +35,8 @@ type Server struct {
 	conns      map[net.Conn]bool
 	wg         sync.WaitGroup
 	closed     bool
+
+	traces *trace.Ring // trace IDs recently seen on the socket protocol
 }
 
 // ServerConfig configures a node.
@@ -61,8 +64,16 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		defs:       make(map[string]*cluster.StoreDef),
 		conns:      make(map[net.Conn]bool),
 		transforms: tr,
+		traces:     trace.NewRing(64),
 	}, nil
 }
+
+// RecentTraces returns the trace IDs recently observed on incoming
+// requests, oldest first — the server end of trace propagation.
+func (s *Server) RecentTraces() []string { return s.traces.Recent() }
+
+// SawTrace reports whether the server recently served a request carrying id.
+func (s *Server) SawTrace(id string) bool { return s.traces.Contains(id) }
 
 // NodeID returns this server's node id.
 func (s *Server) NodeID() int { return s.nodeID }
@@ -197,6 +208,12 @@ func (s *Server) serveConn(conn net.Conn) {
 			_ = writeFrame(conn, (&response{Status: statusError, Message: err.Error()}).encode())
 			return
 		}
+		mServerRequests.With(opName(req.Op)).Inc()
+		if req.Trace != "" {
+			s.traces.Add(req.Trace)
+			trace.Logf(req.Trace, "voldemort node %d: %s store=%s keylen=%d",
+				s.nodeID, opName(req.Op), req.Store, len(req.Key))
+		}
 		if req.Op == opFetchPartitions {
 			if err := s.streamPartitions(conn, req); err != nil {
 				return
@@ -204,6 +221,11 @@ func (s *Server) serveConn(conn net.Conn) {
 			continue
 		}
 		resp := s.dispatch(req)
+		if resp.Status != statusOK && req.Trace != "" {
+			// Surface the trace in the error string so the failing replica
+			// can be found from the client-side error alone.
+			resp.Message = "[trace=" + req.Trace + "] " + resp.Message
+		}
 		if err := writeFrame(conn, resp.encode()); err != nil {
 			return
 		}

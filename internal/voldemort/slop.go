@@ -77,8 +77,11 @@ func (p *SlopPusher) SetRetryPolicy(pol resilience.Policy) {
 // Add parks a hint.
 func (p *SlopPusher) Add(h Hint) {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	p.queue = append(p.queue, h)
+	depth := len(p.queue)
+	p.mu.Unlock()
+	mSlopQueued.Inc()
+	mSlopQueueDepth.Set(int64(depth))
 }
 
 // Pending returns the number of undelivered hints.
@@ -134,11 +137,14 @@ func (p *SlopPusher) DeliverOnce() int {
 			remaining = append(remaining, h)
 		}
 	}
+	p.mu.Lock()
 	if len(remaining) > 0 {
-		p.mu.Lock()
 		p.queue = append(remaining, p.queue...)
-		p.mu.Unlock()
 	}
+	depth := len(p.queue)
+	p.mu.Unlock()
+	mSlopDelivered.Add(int64(delivered))
+	mSlopQueueDepth.Set(int64(depth))
 	return delivered
 }
 

@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"datainfra/internal/resilience"
+	"datainfra/internal/trace"
 	"datainfra/internal/vclock"
 	"datainfra/internal/versioned"
 )
@@ -25,6 +27,7 @@ type SocketStore struct {
 	addr      string
 	timeout   time.Duration
 	retry     resilience.Policy
+	trace     atomic.Value // string; stamped on every outgoing request
 
 	mu     sync.Mutex
 	conns  []net.Conn
@@ -50,6 +53,18 @@ func DialStore(storeName, addr string, timeout time.Duration) *SocketStore {
 
 // SetRetryPolicy overrides the transport retry policy; call before first use.
 func (s *SocketStore) SetRetryPolicy(p resilience.Policy) { s.retry = p }
+
+// SetTrace stamps every subsequent request from this store with the trace
+// ID (the client edge of trace propagation — see internal/trace). Pass ""
+// to stop tracing. Safe for concurrent use; in-flight calls keep the ID
+// they started with.
+func (s *SocketStore) SetTrace(id string) { s.trace.Store(id) }
+
+// Trace returns the currently stamped trace ID, if any.
+func (s *SocketStore) Trace() string {
+	id, _ := s.trace.Load().(string)
+	return id
+}
 
 // Name returns the store name.
 func (s *SocketStore) Name() string { return s.storeName }
@@ -86,9 +101,13 @@ func (s *SocketStore) putConn(c net.Conn) {
 // the replay with an obsolete-version conflict, which the quorum layer
 // already counts as applied.
 func (s *SocketStore) call(req *request) (*response, error) {
-	return resilience.RetryValue(context.Background(), s.retry, func() (*response, error) {
+	if req.Trace == "" {
+		req.Trace = s.Trace()
+	}
+	resp, err := resilience.RetryValue(context.Background(), s.retry, func() (*response, error) {
 		return s.callOnce(req)
 	})
+	return resp, trace.Annotate(req.Trace, err)
 }
 
 // callOnce performs one request/response exchange on one connection.

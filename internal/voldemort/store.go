@@ -4,6 +4,12 @@
 // and hinted handoff, pluggable per-node storage engines, client- and
 // server-side routing over a binary socket protocol, an admin service with
 // no-downtime rebalancing, and the read-only data cycle of Figure II.3.
+//
+// Observability: routed-store traffic, per-opcode server requests and the
+// hinted-handoff queue are exported through internal/metrics (names under
+// voldemort_*, catalogued in OPERATIONS.md), and every socket request can
+// carry a client-minted trace ID (internal/trace) as an optional trailing
+// protocol field — see SocketStore.SetTrace and Server.RecentTraces.
 package voldemort
 
 import (

@@ -1,0 +1,123 @@
+package voldemort
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"datainfra/internal/cluster"
+	"datainfra/internal/ring"
+	"datainfra/internal/trace"
+	"datainfra/internal/versioned"
+)
+
+// startTraceServer spins up a one-node demo server with a memory store and
+// returns (server, bound address).
+func startTraceServer(t *testing.T) (*Server, string) {
+	t.Helper()
+	clus := cluster.Uniform("trace-test", 1, 8, 0)
+	srv, err := NewServer(ServerConfig{NodeID: 0, Cluster: clus})
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := (&cluster.StoreDef{
+		Name: "t", Replication: 1, RequiredReads: 1, RequiredWrites: 1,
+	}).WithDefaults()
+	if err := srv.AddStore(def); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, addr
+}
+
+// TestTracePropagatesClientToStore asserts the acceptance criterion: a trace
+// ID injected at the client edge is observable at the serving store.
+func TestTracePropagatesClientToStore(t *testing.T) {
+	srv, addr := startTraceServer(t)
+	st := DialStore("t", addr, time.Second)
+	defer st.Close()
+
+	id := trace.NewID()
+	st.SetTrace(id)
+	v := versioned.New([]byte("v"))
+	if err := st.Put([]byte("k"), v, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Get([]byte("k"), nil); err != nil {
+		t.Fatal(err)
+	}
+	if !srv.SawTrace(id) {
+		t.Fatalf("server never saw trace %q; recent: %v", id, srv.RecentTraces())
+	}
+}
+
+// TestTraceSurfacesInErrorStrings asserts server-side failures carry the
+// trace ID back to the caller in the error text.
+func TestTraceSurfacesInErrorStrings(t *testing.T) {
+	_, addr := startTraceServer(t)
+	st := DialStore("no-such-store", addr, time.Second)
+	defer st.Close()
+
+	id := trace.NewID()
+	st.SetTrace(id)
+	_, err := st.Get([]byte("k"), nil)
+	if err == nil {
+		t.Fatal("expected unknown-store error")
+	}
+	if !strings.Contains(err.Error(), "[trace="+id+"]") {
+		t.Fatalf("error %q does not surface trace %q", err, id)
+	}
+}
+
+// TestTraceWireOptional pins backward compatibility of the trailing trace
+// field: requests without a trace decode to an empty one, requests with it
+// round-trip.
+func TestTraceWireOptional(t *testing.T) {
+	without := (&request{Op: opGet, Store: "s", Key: []byte("k")}).encode()
+	q, err := decodeRequest(without)
+	if err != nil || q.Trace != "" {
+		t.Fatalf("decode without trace: q=%+v err=%v", q, err)
+	}
+	with := (&request{Op: opPut, Store: "s", Key: []byte("k"), Trace: "abc123"}).encode()
+	q, err = decodeRequest(with)
+	if err != nil || q.Trace != "abc123" {
+		t.Fatalf("decode with trace: q=%+v err=%v", q, err)
+	}
+}
+
+// TestRoutedStoreForwardsTrace asserts SetTrace on a routed store reaches
+// the socket stores underneath it.
+func TestRoutedStoreForwardsTrace(t *testing.T) {
+	srv, addr := startTraceServer(t)
+	sock := DialStore("t", addr, time.Second)
+	defer sock.Close()
+	def := (&cluster.StoreDef{
+		Name: "t", Replication: 1, RequiredReads: 1, RequiredWrites: 1,
+	}).WithDefaults()
+	strategy, err := ring.NewConsistent(srv.Cluster(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	routed, err := NewRouted(RoutedConfig{
+		Def:      def,
+		Cluster:  srv.Cluster(),
+		Strategy: strategy,
+		Stores:   map[int]Store{0: sock},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := trace.NewID()
+	routed.SetTrace(id)
+	v := versioned.New([]byte("v"))
+	if err := routed.Put([]byte("k"), v, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !srv.SawTrace(id) {
+		t.Fatalf("trace %q did not propagate through the routed store", id)
+	}
+}
