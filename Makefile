@@ -4,11 +4,16 @@
 GO ?= go
 
 # Packages whose concurrency-heavy paths (quorum fanout, hinted handoff,
-# retry/breaker, chaos fault injection, broker protocol, metrics registry)
-# get an extra pass under the race detector.
-RACE_PKGS = ./internal/resilience ./internal/failure ./internal/voldemort ./internal/kafka ./internal/metrics
+# retry/breaker, chaos fault injection, broker protocol, metrics registry,
+# replication/apply loops, watch dispatch, history recording) get an extra
+# pass under the race detector.
+RACE_PKGS = ./internal/resilience ./internal/failure ./internal/voldemort ./internal/kafka ./internal/metrics ./internal/espresso ./internal/databus ./internal/helix ./internal/zk ./internal/consistency
 
-.PHONY: all build vet test check test-race bench clean
+# Fuzz targets with checked-in seed corpora: binary decoders that must never
+# panic on arbitrary bytes.
+FUZZ_TARGETS = FuzzUnmarshal/internal/schema FuzzResolve/internal/schema FuzzDecode/internal/kafka
+
+.PHONY: all build vet test check test-race bench verify fuzz-smoke clean
 
 all: check
 
@@ -36,6 +41,22 @@ test-race:
 # The experiment harness (root package) — see EXPERIMENTS.md.
 bench:
 	$(GO) test -bench=. -benchtime=1x .
+
+# Generator-driven consistency verification: seeded concurrent workloads
+# against all four systems under fault injection, histories checked against
+# the formal models in internal/consistency. Override the workload with
+# VERIFY_SEED=n. See EXPERIMENTS.md.
+verify:
+	$(GO) test -run 'TestVerify' -count=1 -v .
+
+# A short fuzzing pass over every fuzz target (3s each) — enough to replay
+# the seed corpus plus a burst of mutated inputs in CI.
+fuzz-smoke:
+	@for t in $(FUZZ_TARGETS); do \
+		name=$${t%%/*}; pkg=$${t#*/}; \
+		echo "fuzz $$name ./$$pkg"; \
+		$(GO) test -run '^$$' -fuzz "^$$name\$$" -fuzztime=3s "./$$pkg" || exit 1; \
+	done
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,695 @@
+// Generator-driven consistency verification (`make verify`): seeded workloads
+// drive concurrent clients against each of the four systems under PR 1's
+// deterministic fault injector, every invocation and response is recorded
+// into a concurrent history, and the history is checked against the system's
+// formal model from internal/consistency — linearizability and the
+// eventual+causal relaxation for Voldemort, per-key timeline consistency for
+// Espresso, offset contiguity/ordering for Kafka, windowed SCN monotonicity
+// for Databus. The scripts are deterministic per seed; only the interleaving
+// is not, and the checkers accept any legal interleaving — so a failure here
+// is a real consistency violation, not a flaky schedule. See DESIGN.md §7.
+//
+// Change the workload with VERIFY_SEED (default 1): VERIFY_SEED=42 make verify
+package datainfra
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"datainfra/internal/cluster"
+	"datainfra/internal/consistency"
+	"datainfra/internal/consistency/gen"
+	"datainfra/internal/databus"
+	"datainfra/internal/espresso"
+	"datainfra/internal/failure"
+	"datainfra/internal/kafka"
+	"datainfra/internal/resilience"
+	"datainfra/internal/ring"
+	"datainfra/internal/schema"
+	"datainfra/internal/storage"
+	"datainfra/internal/versioned"
+	"datainfra/internal/voldemort"
+)
+
+func verifySeed(t testing.TB) int64 {
+	t.Helper()
+	s := os.Getenv("VERIFY_SEED")
+	if s == "" {
+		return 1
+	}
+	seed, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		t.Fatalf("VERIFY_SEED=%q is not an integer: %v", s, err)
+	}
+	return seed
+}
+
+func verifyRetryPolicy() resilience.Policy {
+	return resilience.Policy{
+		MaxAttempts:    12,
+		InitialBackoff: 100 * time.Microsecond,
+		MaxBackoff:     2 * time.Millisecond,
+	}
+}
+
+// --- Voldemort ---------------------------------------------------------------
+
+// voldemortRig is a 3-node N=3/R=2/W=2 quorum cluster whose per-node engine
+// stores fault according to the injector's plan, with hinted handoff, read
+// repair and a bannage detector probing through the same faulty path.
+type voldemortRig struct {
+	stores   map[int]voldemort.Store
+	detector *failure.SuccessRatio
+	slop     *voldemort.SlopPusher
+	routed   *voldemort.RoutedStore
+	inj      *resilience.DeterministicInjector
+}
+
+func newVoldemortRig(t *testing.T, seed int64, plan resilience.FaultPlan) *voldemortRig {
+	t.Helper()
+	clus := cluster.Uniform("verify", 3, 12, 9100)
+	def := (&cluster.StoreDef{
+		Name: "verify", Replication: 3, RequiredReads: 2, RequiredWrites: 2,
+		ReadRepair: true, HintedHandoff: true,
+	}).WithDefaults()
+	strategy, err := ring.NewConsistent(clus, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	inj := resilience.NewInjector(seed)
+	inj.Default(plan)
+
+	rig := &voldemortRig{stores: make(map[int]voldemort.Store), inj: inj}
+	for _, node := range clus.Nodes {
+		es := voldemort.NewEngineStore(storage.NewMemory("verify"), node.ID, nil)
+		rig.stores[node.ID] = &voldemort.FaultStore{
+			Inner: es, Injector: inj, Op: fmt.Sprintf("node%d", node.ID),
+		}
+	}
+
+	prober := failure.ProberFunc(func(node int) error {
+		_, err := rig.stores[node].Get([]byte("__probe__"), nil)
+		return err
+	})
+	rig.detector = failure.NewSuccessRatio(failure.SuccessRatioConfig{
+		Threshold: 0.6, MinRequests: 10, Window: time.Second,
+		ProbeInterval: 2 * time.Millisecond,
+	}, prober)
+	t.Cleanup(rig.detector.Close)
+
+	rig.slop = voldemort.NewSlopPusher(func(node int, store string) (voldemort.Store, bool) {
+		s, ok := rig.stores[node]
+		return s, ok
+	}, rig.detector, 0)
+
+	rig.routed, err = voldemort.NewRouted(voldemort.RoutedConfig{
+		Def: def, Cluster: clus, Strategy: strategy,
+		Detector: rig.detector, Stores: rig.stores, Slop: rig.slop,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rig
+}
+
+// heal disarms the injector, waits for banned nodes to recover through the
+// async probe and drains the hint queue, so post-heal reads see a converged
+// cluster.
+func (rig *voldemortRig) heal(t *testing.T) {
+	t.Helper()
+	rig.inj.Disarm()
+	deadline := time.Now().Add(10 * time.Second)
+	for len(rig.detector.Banned()) > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("banned nodes did not recover via probe: %v", rig.detector.Banned())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	deadline = time.Now().Add(10 * time.Second)
+	for rig.slop.Pending() > 0 {
+		rig.slop.DeliverOnce()
+		if time.Now().After(deadline) {
+			t.Fatalf("%d slops stuck in queue", rig.slop.Pending())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// quorumClient adapts the routed store to the generator's Client interface,
+// classifying outcomes the way the checkers require: a failed pre-put read
+// means the write was provably never issued (OutcomeFailed); a failed quorum
+// put may still have reached some replicas (OutcomeUnknown) — partial writes
+// surfacing later is Dynamo behaviour, not a violation.
+type quorumClient struct {
+	routed *voldemort.RoutedStore
+	ts     *atomic.Int64 // clock-entry timestamps (logical, shared)
+	acks   *atomic.Int64
+}
+
+func (q quorumClient) Read(key string) ([]consistency.Observed, bool, consistency.Outcome) {
+	vs, err := q.routed.Get([]byte(key), nil)
+	if err != nil {
+		return nil, false, consistency.OutcomeUnknown
+	}
+	obs := make([]consistency.Observed, 0, len(vs))
+	for _, v := range vs {
+		obs = append(obs, consistency.Observed{Value: string(v.Value), Clock: v.Clock})
+	}
+	return obs, len(obs) > 0, consistency.OutcomeOK
+}
+
+func (q quorumClient) Write(op *consistency.PendingOp, key, value string) consistency.Outcome {
+	k := []byte(key)
+	vs, err := q.routed.Get(k, nil)
+	if err != nil {
+		return consistency.OutcomeFailed // nothing was sent to any replica
+	}
+	v := versioned.New([]byte(value))
+	for _, old := range vs {
+		v.Clock = v.Clock.Merge(old.Clock)
+	}
+	v.Clock = v.Clock.Incremented(q.routed.MasterNode(k), q.ts.Add(1))
+	op.SetClock(v.Clock)
+	if err := q.routed.Put(k, v, nil); err != nil {
+		return consistency.OutcomeUnknown
+	}
+	q.acks.Add(1)
+	return consistency.OutcomeOK
+}
+
+// TestVerifyVoldemortLinearizable runs single-writer-per-key workloads under
+// latency-only faults. Without drops a quorum write is fully acknowledged or
+// not issued, read repair is reliable, and single-writer keys never fork
+// siblings — each key behaves as a linearizable register, which the Wing &
+// Gong checker verifies.
+func TestVerifyVoldemortLinearizable(t *testing.T) {
+	seed := verifySeed(t)
+	rig := newVoldemortRig(t, seed, resilience.FaultPlan{
+		LatencyProb: 0.3, Latency: 200 * time.Microsecond,
+	})
+	rec := consistency.NewRecorder()
+	var ts, acks atomic.Int64
+	cfg := gen.Config{Seed: seed, Clients: 4, Ops: 60, Keys: 8, SingleWriterKeys: 8}
+	gen.Run(rec, cfg, func(i int) gen.Client {
+		return quorumClient{routed: rig.routed, ts: &ts, acks: &acks}
+	})
+	if rig.inj.Total() == 0 {
+		t.Fatal("no faults injected; verify run is vacuous")
+	}
+	if acks.Load() == 0 {
+		t.Fatal("no write ever acknowledged; verify run is vacuous")
+	}
+	h := rec.History()
+	if err := consistency.CheckLinearizable(h); err != nil {
+		t.Fatalf("voldemort history not linearizable: %v", err)
+	}
+	if err := consistency.CheckCausalEventual(h); err != nil {
+		t.Fatalf("voldemort history failed the causal relaxation: %v", err)
+	}
+	t.Logf("linearizable: %d ops, %d acked writes under %s", rec.Len(), acks.Load(), rig.inj)
+}
+
+// TestVerifyVoldemortCausalEventual runs mixed shared-key workloads under
+// drops and errors — the regime where Voldemort is not a linearizable
+// register (partial writes flicker, concurrent writers fork siblings) but
+// the R+W>N contract still promises no phantoms, acked-write visibility and
+// sibling maximality. After healing, a final read of every key is appended
+// to the history and checked with everything else.
+func TestVerifyVoldemortCausalEventual(t *testing.T) {
+	seed := verifySeed(t)
+	rig := newVoldemortRig(t, seed, resilience.FaultPlan{
+		DropProb: 0.12, ErrProb: 0.08,
+		LatencyProb: 0.05, Latency: 200 * time.Microsecond,
+	})
+	rec := consistency.NewRecorder()
+	var ts, acks atomic.Int64
+	cfg := gen.Config{Seed: seed, Clients: 4, Ops: 60, Keys: 6, SingleWriterKeys: 2}
+	gen.Run(rec, cfg, func(i int) gen.Client {
+		return quorumClient{routed: rig.routed, ts: &ts, acks: &acks}
+	})
+	if rig.inj.Total() == 0 {
+		t.Fatal("no faults injected; verify run is vacuous")
+	}
+	if acks.Load() == 0 {
+		t.Fatal("no write ever acknowledged; verify run is vacuous")
+	}
+
+	rig.heal(t)
+	q := quorumClient{routed: rig.routed, ts: &ts, acks: &acks}
+	for key := range rec.History().PerKey() {
+		p := rec.Invoke(cfg.Clients, consistency.KindRead, key, "")
+		obs, found, outcome := q.Read(key)
+		p.Return(outcome, found, obs...)
+	}
+
+	h := rec.History()
+	if err := consistency.CheckCausalEventual(h); err != nil {
+		t.Fatalf("voldemort history violated the eventual+causal model: %v", err)
+	}
+	t.Logf("causal: %d ops, %d acked writes under %s", rec.Len(), acks.Load(), rig.inj)
+}
+
+// --- Espresso ----------------------------------------------------------------
+
+// espressoTimelineConsumer applies the relay stream to a slave node and
+// records the apply order per partition; OnEvent flakes through the injector
+// to exercise the client's redelivery path.
+type espressoTimelineConsumer struct {
+	slave *espresso.Node
+	inj   *resilience.DeterministicInjector
+
+	mu      sync.Mutex
+	applied map[int][]consistency.TimelineEntry
+}
+
+func timelineEtag(payload []byte) (string, error) {
+	var cr struct {
+		Etag string `json:"etag"`
+	}
+	if err := json.Unmarshal(payload, &cr); err != nil {
+		return "", err
+	}
+	return cr.Etag, nil
+}
+
+func (c *espressoTimelineConsumer) OnEvent(e databus.Event) error {
+	if err := c.inj.Inject("espresso.consumer"); err != nil {
+		return err
+	}
+	if err := c.slave.ApplyReplicated(e); err != nil {
+		return err
+	}
+	etag, err := timelineEtag(e.Payload)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.applied[e.Partition] = append(c.applied[e.Partition], consistency.TimelineEntry{
+		SCN: e.SCN, Key: string(e.Key), Etag: etag,
+	})
+	c.mu.Unlock()
+	return nil
+}
+
+func (c *espressoTimelineConsumer) OnCheckpoint(int64) {}
+
+// flakyEventReader routes relay reads through the fault injector.
+type flakyEventReader struct {
+	inner databus.EventReader
+	inj   *resilience.DeterministicInjector
+	op    string
+}
+
+func (f *flakyEventReader) ReadBlocking(sinceSCN int64, maxEvents int, fil *databus.Filter, timeout time.Duration) ([]databus.Event, error) {
+	if err := f.inj.Inject(f.op); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadBlocking(sinceSCN, maxEvents, fil, timeout)
+}
+
+// TestVerifyEspressoTimeline drives concurrent writers against a master
+// node, replicates its binlog through a relay and a flaky Databus client
+// into a slave, and checks the per-partition timelines: commit order on the
+// master, no invented rows, per-key monotonicity and completeness on the
+// slave — then master/slave row equivalence once the slave caught up.
+func TestVerifyEspressoTimeline(t *testing.T) {
+	seed := verifySeed(t)
+	const partitions = 4
+	db, err := espresso.NewDatabase(
+		espresso.DatabaseSchema{Name: "Verify", NumPartitions: partitions, Replicas: 2},
+		[]*espresso.TableSchema{{Name: "Doc", KeyParts: []string{"id"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.SetDocumentSchema("Doc", schema.MustParse(
+		`{"name":"Doc","fields":[{"name":"val","type":"string"}]}`)); err != nil {
+		t.Fatal(err)
+	}
+
+	binlog := databus.NewLogSource()
+	master := espresso.NewNode("master", db, binlog)
+	for p := 0; p < partitions; p++ {
+		master.SetRole(p, true)
+	}
+	slave := espresso.NewNode("slave", db, databus.NewLogSource())
+
+	// Concurrent writers: unique values over a small key space, so keys are
+	// rewritten and per-key ordering is actually exercised.
+	const writers, writesPer, docs = 4, 40, 10
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < writesPer; i++ {
+				key := espresso.DocKey{Table: "Doc", Parts: []string{fmt.Sprintf("d%d", (w*writesPer+i)%docs)}}
+				if _, err := master.Put(key, map[string]any{"val": fmt.Sprintf("w%d-%d", w, i)}, ""); err != nil {
+					t.Errorf("master put: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	relay := databus.NewRelay(databus.RelayConfig{})
+	defer relay.Close()
+	relay.AttachSource(binlog, time.Millisecond)
+
+	inj := resilience.NewInjector(seed)
+	inj.Plan("relay.read", resilience.FaultPlan{DropProb: 0.3})
+	inj.Plan("espresso.consumer", resilience.FaultPlan{ErrProb: 0.15})
+
+	cons := &espressoTimelineConsumer{
+		slave: slave, inj: inj,
+		applied: make(map[int][]consistency.TimelineEntry),
+	}
+	client, err := databus.NewClient(databus.ClientConfig{
+		Relay:      &flakyEventReader{inner: relay, inj: inj, op: "relay.read"},
+		Consumer:   cons,
+		BatchSize:  7,
+		Retries:    20,
+		Retry:      verifyRetryPolicy(),
+		PollExpiry: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	last := binlog.LastSCN()
+	deadline := time.Now().Add(10 * time.Second)
+	for client.SCN() < last {
+		if _, err := client.Poll(); err != nil {
+			t.Fatalf("poll at SCN %d: %v", client.SCN(), err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("slave stuck at SCN %d of %d", client.SCN(), last)
+		}
+	}
+	if inj.Total() == 0 {
+		t.Fatal("no faults injected; verify run is vacuous")
+	}
+
+	// Master commit order straight from the binlog.
+	txns, err := binlog.Pull(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	masterTimeline := make(map[int][]consistency.TimelineEntry)
+	for _, txn := range txns {
+		for _, e := range txn.Events {
+			etag, err := timelineEtag(e.Payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			masterTimeline[e.Partition] = append(masterTimeline[e.Partition], consistency.TimelineEntry{
+				SCN: e.SCN, Key: string(e.Key), Etag: etag,
+			})
+		}
+	}
+
+	cons.mu.Lock()
+	defer cons.mu.Unlock()
+	total := 0
+	for p := 0; p < partitions; p++ {
+		tl := consistency.Timeline{Partition: p, Master: masterTimeline[p], Replica: cons.applied[p]}
+		if err := consistency.CheckEspressoTimeline(tl); err != nil {
+			t.Fatal(err)
+		}
+		total += len(cons.applied[p])
+
+		mRows, sRows := master.PartitionRows(p), slave.PartitionRows(p)
+		if len(mRows) != len(sRows) {
+			t.Fatalf("partition %d: master has %d rows, slave %d", p, len(mRows), len(sRows))
+		}
+		for k, mv := range mRows {
+			sv, ok := sRows[k]
+			if !ok || mv.Etag != sv.Etag || string(mv.Val) != string(sv.Val) {
+				t.Fatalf("partition %d: row %q diverged between master and slave", p, k)
+			}
+		}
+	}
+	if total < writers*writesPer {
+		t.Fatalf("slave applied %d events, master committed %d", total, writers*writesPer)
+	}
+	t.Logf("timeline: %d commits replicated under %s", writers*writesPer, inj)
+}
+
+// --- Kafka -------------------------------------------------------------------
+
+// startVerifyProxy forwards TCP connections to target, dropping some at
+// accept time. Drops land before a complete request is forwarded — the
+// broker only acts on full length-prefixed frames — so retries through the
+// proxy stay duplicate-free and the log must equal the produce sequence
+// exactly.
+func startVerifyProxy(t *testing.T, target string, inj *resilience.DeterministicInjector) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			if inj.Inject("proxy.accept") != nil {
+				c.Close()
+				continue
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				up, err := net.Dial("tcp", target)
+				if err != nil {
+					return
+				}
+				defer up.Close()
+				go func() { _, _ = io.Copy(up, c) }()
+				_, _ = io.Copy(c, up)
+			}(c)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestVerifyKafkaLog produces a seeded payload sequence from concurrent
+// producers through a connection-dropping proxy, consumes the partition back
+// sequentially, and checks the log contract: unique acked offsets,
+// monotone consumption, and consumption equal to the produce order with no
+// gap at the tail.
+func TestVerifyKafkaLog(t *testing.T) {
+	seed := verifySeed(t)
+	b, err := kafka.NewBroker(0, t.TempDir(), kafka.BrokerConfig{PartitionsPerTopic: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { b.Close() })
+	addr, err := b.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	inj := resilience.NewInjector(seed)
+	inj.Plan("proxy.accept", resilience.FaultPlan{DropProb: 0.4})
+	proxyAddr := startVerifyProxy(t, addr, inj)
+
+	payloads := gen.Payloads(seed, "kafka", 60)
+	const producers = 3
+	var mu sync.Mutex
+	var produced []consistency.ProducedMsg
+	var wg sync.WaitGroup
+	for g := 0; g < producers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g; i < len(payloads); i += producers {
+				// A fresh connection per produce: every message rolls the
+				// accept-drop fault, and the retry layer re-dials through it.
+				// An accept-dropped request provably never reached the broker,
+				// so re-producing after an exhausted retry budget (or an open
+				// circuit breaker) cannot duplicate.
+				deadline := time.Now().Add(10 * time.Second)
+				for {
+					rb := kafka.DialBroker(proxyAddr, time.Second)
+					rb.SetRetryPolicy(verifyRetryPolicy())
+					off, err := rb.Produce("verify", 0, kafka.NewMessageSet([]byte(payloads[i])))
+					rb.Close()
+					if err == nil {
+						mu.Lock()
+						produced = append(produced, consistency.ProducedMsg{Offset: off, Payload: payloads[i]})
+						mu.Unlock()
+						break
+					}
+					if time.Now().After(deadline) {
+						t.Errorf("produce %d never acknowledged through drops: %v", i, err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	if inj.Total() == 0 {
+		t.Fatal("no connections dropped; verify run is vacuous")
+	}
+
+	rb := kafka.DialBroker(proxyAddr, time.Second)
+	defer rb.Close()
+	rb.SetRetryPolicy(verifyRetryPolicy())
+	var earliest, latest int64
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		earliest, latest, err = rb.Offsets("verify", 0)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("offsets through drops: %v", err)
+		}
+	}
+
+	var consumed []consistency.ConsumedMsg
+	offset := earliest
+	for offset < latest {
+		if time.Now().After(deadline) {
+			t.Fatalf("consumed %d messages, stuck at offset %d of %d", len(consumed), offset, latest)
+		}
+		chunk, err := rb.Fetch("verify", 0, offset, 1<<20)
+		if err != nil {
+			continue // dropped connection; the deadline bounds the retries
+		}
+		msgs, err := kafka.Decode(chunk, offset)
+		if err != nil {
+			t.Fatalf("decode at offset %d: %v", offset, err)
+		}
+		for _, m := range msgs {
+			consumed = append(consumed, consistency.ConsumedMsg{NextOffset: m.NextOffset, Payload: string(m.Payload)})
+			offset = m.NextOffset
+		}
+	}
+
+	err = consistency.CheckKafkaLog(consistency.KafkaPartition{
+		Topic: "verify", Partition: 0,
+		Earliest: earliest, Latest: latest,
+		Produced: produced, Consumed: consumed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("kafka log: %d messages through %s", len(payloads), inj)
+}
+
+// --- Databus -----------------------------------------------------------------
+
+// streamObsConsumer records the full delivery/checkpoint observation stream.
+type streamObsConsumer struct {
+	inj *resilience.DeterministicInjector
+
+	mu     sync.Mutex
+	stream []consistency.StreamObs
+}
+
+func (c *streamObsConsumer) OnEvent(e databus.Event) error {
+	if err := c.inj.Inject("consumer.onevent"); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.stream = append(c.stream, consistency.StreamObs{SCN: e.SCN, EndOfTxn: e.EndOfTxn})
+	c.mu.Unlock()
+	return nil
+}
+
+func (c *streamObsConsumer) OnCheckpoint(scn int64) {
+	c.mu.Lock()
+	c.stream = append(c.stream, consistency.StreamObs{SCN: scn, Checkpoint: true})
+	c.mu.Unlock()
+}
+
+// TestVerifyDatabusStream commits seeded multi-event transactions to a
+// source, pulls them through a relay and a flaky client (dropped relay
+// reads, failed first deliveries), and checks windowed SCN monotonicity of
+// the whole observation stream: no rewinds, no phantom SCNs, checkpoints
+// only on window boundaries, full delivery below the final checkpoint.
+func TestVerifyDatabusStream(t *testing.T) {
+	seed := verifySeed(t)
+	src := databus.NewLogSource()
+
+	const txns = 80
+	payloads := gen.Payloads(seed, "databus", 3*txns)
+	committed := make(map[int64]int, txns)
+	var commitOrder []int64
+	pi := 0
+	for i := 0; i < txns; i++ {
+		nEvents := 1 + (int(seed)+i)%3
+		events := make([]databus.Event, nEvents)
+		for j := range events {
+			events[j] = databus.Event{
+				Source:  "verify",
+				Key:     []byte(fmt.Sprintf("k%d-%d", i, j)),
+				Payload: []byte(payloads[pi]),
+			}
+			pi++
+		}
+		scn := src.Commit(events...)
+		committed[scn] = nEvents
+		commitOrder = append(commitOrder, scn)
+	}
+
+	relay := databus.NewRelay(databus.RelayConfig{})
+	defer relay.Close()
+	relay.AttachSource(src, time.Millisecond)
+
+	inj := resilience.NewInjector(seed)
+	inj.Plan("relay.read", resilience.FaultPlan{DropProb: 0.3})
+	inj.Plan("consumer.onevent", resilience.FaultPlan{ErrProb: 0.2})
+
+	cons := &streamObsConsumer{inj: inj}
+	client, err := databus.NewClient(databus.ClientConfig{
+		Relay:      &flakyEventReader{inner: relay, inj: inj, op: "relay.read"},
+		Consumer:   cons,
+		BatchSize:  7, // deliberately splits transactions across batches
+		Retries:    20,
+		Retry:      verifyRetryPolicy(),
+		PollExpiry: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for client.SCN() < int64(txns) {
+		if _, err := client.Poll(); err != nil {
+			t.Fatalf("poll at SCN %d: %v", client.SCN(), err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("client stuck at SCN %d of %d", client.SCN(), txns)
+		}
+	}
+	if inj.Total() == 0 {
+		t.Fatal("no faults injected; verify run is vacuous")
+	}
+
+	cons.mu.Lock()
+	stream := append([]consistency.StreamObs(nil), cons.stream...)
+	cons.mu.Unlock()
+	if err := consistency.CheckSCNStream(committed, commitOrder, stream); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("databus stream: %d txns, %d observations under %s", txns, len(stream), inj)
+}

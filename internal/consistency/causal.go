@@ -1,0 +1,116 @@
+package consistency
+
+import (
+	"errors"
+	"fmt"
+
+	"datainfra/internal/vclock"
+)
+
+// Eventual + causal checking for Voldemort's model (§II.B): the store is not
+// a linearizable register — concurrent writers fork sibling versions and
+// reads return every maximal version — but the R+W>N quorum contract still
+// pins down three checkable promises over a recorded history:
+//
+//  1. No phantoms: every version a read returns was actually written, and
+//     the write had been invoked before the read returned.
+//  2. Acked visibility (the quorum-intersection rule): a successful read
+//     invoked after an acknowledged write returned must observe that write's
+//     version or a causal descendant of it — read quorums intersect write
+//     quorums, so an acked write can be overwritten but never missed.
+//  3. Sibling maximality: the versions one read returns are pairwise
+//     concurrent under their vector clocks; returning a version together
+//     with its own ancestor means conflict resolution is broken.
+//
+// Writes with OutcomeUnknown are exempt from rule 2 (they may have reached
+// any subset of replicas) but still count as legitimate sources for rule 1 —
+// partial writes surfacing later is Dynamo behaviour, not a violation.
+
+// ErrCausalViolation is wrapped by every eventual+causal violation.
+var ErrCausalViolation = errors.New("consistency: eventual+causal violation")
+
+// CheckCausalEventual verifies rules 1–3 for every key's sub-history.
+func CheckCausalEventual(h History) error {
+	for key, ops := range h.PerKey() {
+		if err := checkCausalKey(key, ops); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func checkCausalKey(key string, ops History) error {
+	// Index the writes: which values exist, and when each was invoked.
+	type writeInfo struct{ op *Op }
+	writes := map[string]writeInfo{}
+	for _, op := range ops {
+		if op.Kind != KindWrite {
+			continue
+		}
+		if _, dup := writes[op.Input]; dup {
+			return fmt.Errorf("%w: key %q: value %q written twice; the generator must write unique values", ErrCausalViolation, key, op.Input)
+		}
+		writes[op.Input] = writeInfo{op: op}
+	}
+
+	for _, r := range ops {
+		if r.Kind != KindRead || r.Outcome != OutcomeOK {
+			continue
+		}
+		// Rule 1: no phantoms.
+		for _, ob := range r.Output {
+			w, known := writes[ob.Value]
+			if !known {
+				return fmt.Errorf("%w: key %q: %s observed value %q that no write produced", ErrCausalViolation, key, r, ob.Value)
+			}
+			if w.op.Outcome == OutcomeFailed {
+				return fmt.Errorf("%w: key %q: %s observed value %q from a definitely-rejected write", ErrCausalViolation, key, r, ob.Value)
+			}
+			if w.op.Call >= r.Return {
+				return fmt.Errorf("%w: key %q: %s observed value %q before its write was invoked", ErrCausalViolation, key, r, ob.Value)
+			}
+		}
+		// Rule 3: siblings must be pairwise concurrent.
+		for i := 0; i < len(r.Output); i++ {
+			for j := i + 1; j < len(r.Output); j++ {
+				ci, cj := r.Output[i].Clock, r.Output[j].Clock
+				if ci == nil || cj == nil {
+					continue
+				}
+				if rel := ci.Compare(cj); rel != vclock.Concurrent {
+					return fmt.Errorf("%w: key %q: %s returned non-concurrent siblings %q %s %q",
+						ErrCausalViolation, key, r, r.Output[i].Value, rel, r.Output[j].Value)
+				}
+			}
+		}
+		// Rule 2: every acked write that completed before this read began
+		// must be covered by some observed version's clock.
+		for _, op := range ops {
+			if op.Kind != KindWrite || op.Outcome != OutcomeOK || op.Clock == nil {
+				continue
+			}
+			if op.Return >= r.Call {
+				continue // concurrent with, or after, the read
+			}
+			if !covered(op.Clock, r.Output) {
+				return fmt.Errorf("%w: key %q: %s missed acked write %s (clock %s): quorum intersection violated",
+					ErrCausalViolation, key, r, op, op.Clock)
+			}
+		}
+	}
+	return nil
+}
+
+// covered reports whether some observed version's clock equals or dominates
+// c.
+func covered(c *vclock.Clock, observed []Observed) bool {
+	for _, ob := range observed {
+		if ob.Clock == nil {
+			continue
+		}
+		if rel := ob.Clock.Compare(c); rel == vclock.Equal || rel == vclock.After {
+			return true
+		}
+	}
+	return false
+}

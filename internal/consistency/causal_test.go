@@ -1,0 +1,135 @@
+package consistency
+
+import (
+	"errors"
+	"testing"
+
+	"datainfra/internal/vclock"
+)
+
+func clockOf(pairs ...uint64) *vclock.Clock {
+	c := vclock.New()
+	for i := 0; i+1 < len(pairs); i += 2 {
+		for v := uint64(0); v < pairs[i+1]; v++ {
+			c.Increment(int32(pairs[i]), 0)
+		}
+	}
+	return c
+}
+
+func ackedWrite(client int, key, val string, c *vclock.Clock, call, ret int64) *Op {
+	return &Op{Client: client, Kind: KindWrite, Key: key, Input: val, Clock: c, Call: call, Return: ret, Outcome: OutcomeOK}
+}
+
+func okRead(client int, key string, call, ret int64, obs ...Observed) *Op {
+	return &Op{Client: client, Kind: KindRead, Key: key, Found: len(obs) > 0, Output: obs,
+		Call: call, Return: ret, Outcome: OutcomeOK}
+}
+
+func TestCausalAcceptsQuorumHistory(t *testing.T) {
+	c1 := clockOf(0, 1)
+	c2 := clockOf(0, 2)
+	h := History{
+		ackedWrite(0, "k", "a", c1, 1, 2),
+		okRead(1, "k", 3, 4, Observed{Value: "a", Clock: c1}),
+		ackedWrite(0, "k", "b", c2, 5, 6),
+		okRead(1, "k", 7, 8, Observed{Value: "b", Clock: c2}),
+	}
+	if err := CheckCausalEventual(h); err != nil {
+		t.Fatalf("valid quorum history rejected: %v", err)
+	}
+}
+
+func TestCausalAcceptsConcurrentSiblings(t *testing.T) {
+	ca := clockOf(0, 1)
+	cb := clockOf(1, 1)
+	h := History{
+		ackedWrite(0, "k", "a", ca, 1, 4),
+		ackedWrite(1, "k", "b", cb, 2, 5),
+		okRead(2, "k", 6, 7, Observed{Value: "a", Clock: ca}, Observed{Value: "b", Clock: cb}),
+	}
+	if err := CheckCausalEventual(h); err != nil {
+		t.Fatalf("sibling read rejected: %v", err)
+	}
+}
+
+func TestCausalRejectsPhantomValue(t *testing.T) {
+	h := History{
+		ackedWrite(0, "k", "a", clockOf(0, 1), 1, 2),
+		okRead(1, "k", 3, 4, Observed{Value: "never-written", Clock: clockOf(0, 1)}),
+	}
+	if err := CheckCausalEventual(h); !errors.Is(err, ErrCausalViolation) {
+		t.Fatalf("phantom accepted: err=%v", err)
+	}
+}
+
+func TestCausalRejectsMissedAckedWrite(t *testing.T) {
+	c1 := clockOf(0, 1)
+	c2 := clockOf(0, 2)
+	h := History{
+		ackedWrite(0, "k", "a", c1, 1, 2),
+		ackedWrite(0, "k", "b", c2, 3, 4),
+		// Read begins after b's ack but observes only the older a: the read
+		// quorum failed to intersect the write quorum.
+		okRead(1, "k", 5, 6, Observed{Value: "a", Clock: c1}),
+	}
+	if err := CheckCausalEventual(h); !errors.Is(err, ErrCausalViolation) {
+		t.Fatalf("stale quorum read accepted: err=%v", err)
+	}
+}
+
+func TestCausalRejectsEmptyReadAfterAck(t *testing.T) {
+	h := History{
+		ackedWrite(0, "k", "a", clockOf(0, 1), 1, 2),
+		okRead(1, "k", 3, 4), // not found, yet a was acked before
+	}
+	if err := CheckCausalEventual(h); !errors.Is(err, ErrCausalViolation) {
+		t.Fatalf("lost acked write accepted: err=%v", err)
+	}
+}
+
+func TestCausalAllowsUnknownWriteToVanish(t *testing.T) {
+	c1 := clockOf(0, 1)
+	c2 := clockOf(0, 2)
+	h := History{
+		ackedWrite(0, "k", "a", c1, 1, 2),
+		{Client: 0, Kind: KindWrite, Key: "k", Input: "b", Clock: c2, Call: 3, Return: 4, Outcome: OutcomeUnknown},
+		okRead(1, "k", 5, 6, Observed{Value: "a", Clock: c1}),
+	}
+	if err := CheckCausalEventual(h); err != nil {
+		t.Fatalf("vanished unknown write rejected: %v", err)
+	}
+	// ... and to surface.
+	h2 := History{
+		ackedWrite(0, "k", "a", c1, 1, 2),
+		{Client: 0, Kind: KindWrite, Key: "k", Input: "b", Clock: c2, Call: 3, Return: 4, Outcome: OutcomeUnknown},
+		okRead(1, "k", 5, 6, Observed{Value: "b", Clock: c2}),
+	}
+	if err := CheckCausalEventual(h2); err != nil {
+		t.Fatalf("surfaced unknown write rejected: %v", err)
+	}
+}
+
+func TestCausalRejectsDominatedSiblings(t *testing.T) {
+	c1 := clockOf(0, 1)
+	c2 := clockOf(0, 2) // descendant of c1
+	h := History{
+		ackedWrite(0, "k", "a", c1, 1, 2),
+		ackedWrite(0, "k", "b", c2, 3, 4),
+		okRead(1, "k", 5, 6, Observed{Value: "b", Clock: c2}, Observed{Value: "a", Clock: c1}),
+	}
+	if err := CheckCausalEventual(h); !errors.Is(err, ErrCausalViolation) {
+		t.Fatalf("dominated sibling accepted: err=%v", err)
+	}
+}
+
+func TestCausalRejectsObservedRejectedWrite(t *testing.T) {
+	c1 := clockOf(0, 1)
+	h := History{
+		{Client: 0, Kind: KindWrite, Key: "k", Input: "a", Clock: c1, Call: 1, Return: 2, Outcome: OutcomeFailed},
+		okRead(1, "k", 3, 4, Observed{Value: "a", Clock: c1}),
+	}
+	if err := CheckCausalEventual(h); !errors.Is(err, ErrCausalViolation) {
+		t.Fatalf("observed definitely-rejected write accepted: err=%v", err)
+	}
+}

@@ -1,0 +1,152 @@
+// Package gen is the seeded, generator-driven workload harness behind `make
+// verify`: it deterministically plans per-client operation scripts from a
+// seed, runs them concurrently against a system adapter while recording
+// every invocation and response into a consistency.Recorder, and leaves the
+// interleaving — the only nondeterministic part — to the scheduler and the
+// fault injector. The checkers then accept any legal interleaving, so a
+// failure is a real consistency violation, not a flaky schedule.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"datainfra/internal/consistency"
+)
+
+// Config plans a register workload.
+type Config struct {
+	Seed    int64
+	Clients int     // concurrent clients; default 4
+	Ops     int     // operations per client; default 100
+	Keys    int     // distinct keys; default 8
+	ReadPct float64 // fraction of reads; default 0.5
+	// SingleWriterKeys reserves this many of the keys for exclusive writers
+	// (key i is written only by client i%Clients). Reads remain unrestricted.
+	// Single-writer keys keep a vector-clocked store's per-key history free
+	// of sibling forks, which is what makes the register linearizability
+	// checker applicable to it.
+	SingleWriterKeys int
+}
+
+func (c *Config) withDefaults() {
+	if c.Clients == 0 {
+		c.Clients = 4
+	}
+	if c.Ops == 0 {
+		c.Ops = 100
+	}
+	if c.Keys == 0 {
+		c.Keys = 8
+	}
+	if c.ReadPct == 0 {
+		c.ReadPct = 0.5
+	}
+	if c.SingleWriterKeys > c.Keys {
+		c.SingleWriterKeys = c.Keys
+	}
+}
+
+// PlannedOp is one scripted operation.
+type PlannedOp struct {
+	Read  bool
+	Key   string
+	Value string // writes only; globally unique
+}
+
+// Key names key i; single-writer keys sort first.
+func (c Config) keyName(i int) string {
+	if i < c.SingleWriterKeys {
+		return fmt.Sprintf("sw%d", i)
+	}
+	return fmt.Sprintf("k%d", i)
+}
+
+// Plan deterministically expands the config into one op script per client:
+// the same seed always yields the same scripts. Written values are unique
+// across the whole plan (client c's i-th write is "c<c>-<i>"), which the
+// checkers rely on to map observations back to writes.
+func Plan(cfg Config) [][]PlannedOp {
+	cfg.withDefaults()
+	plans := make([][]PlannedOp, cfg.Clients)
+	for c := 0; c < cfg.Clients; c++ {
+		rng := rand.New(rand.NewSource(cfg.Seed*1_000_003 + int64(c)))
+		script := make([]PlannedOp, 0, cfg.Ops)
+		for i := 0; i < cfg.Ops; i++ {
+			ki := rng.Intn(cfg.Keys)
+			if rng.Float64() < cfg.ReadPct {
+				script = append(script, PlannedOp{Read: true, Key: cfg.keyName(ki)})
+				continue
+			}
+			// Writes to a single-writer key must come from its owner
+			// (the owner of key i is client i % Clients).
+			if ki < cfg.SingleWriterKeys && ki%cfg.Clients != c {
+				if cfg.Keys > cfg.SingleWriterKeys {
+					ki = cfg.SingleWriterKeys + rng.Intn(cfg.Keys-cfg.SingleWriterKeys)
+				} else if c < cfg.Keys {
+					ki = c // client's own single-writer key
+				} else {
+					// Client owns no key at all: read instead.
+					script = append(script, PlannedOp{Read: true, Key: cfg.keyName(ki)})
+					continue
+				}
+			}
+			script = append(script, PlannedOp{
+				Key:   cfg.keyName(ki),
+				Value: fmt.Sprintf("c%d-%d", c, i),
+			})
+		}
+		plans[c] = script
+	}
+	return plans
+}
+
+// Client is the system adapter one concurrent worker drives. Read returns
+// the observed versions (empty + found=false when absent); Write returns
+// how the write concluded. Implementations classify their own errors:
+// OutcomeFailed only when the write provably left no trace.
+type Client interface {
+	Read(key string) (obs []consistency.Observed, found bool, outcome consistency.Outcome)
+	Write(op *consistency.PendingOp, key, value string) consistency.Outcome
+}
+
+// Run executes the planned scripts concurrently, one goroutine per client,
+// recording every operation into rec. newClient builds the per-worker
+// adapter (a socket client, a routed store handle, ...).
+func Run(rec *consistency.Recorder, cfg Config, newClient func(i int) Client) {
+	cfg.withDefaults()
+	plans := Plan(cfg)
+	var wg sync.WaitGroup
+	for c := range plans {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl := newClient(c)
+			for _, op := range plans[c] {
+				if op.Read {
+					p := rec.Invoke(c, consistency.KindRead, op.Key, "")
+					obs, found, outcome := cl.Read(op.Key)
+					p.Return(outcome, found, obs...)
+				} else {
+					p := rec.Invoke(c, consistency.KindWrite, op.Key, op.Value)
+					outcome := cl.Write(p, op.Key, op.Value)
+					p.Return(outcome, true)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+}
+
+// Payloads deterministically generates n unique payload strings for the
+// log-shaped harnesses (kafka, databus): seed-stable content with enough
+// entropy to catch reordering and truncation.
+func Payloads(seed int64, prefix string, n int) []string {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("%s-%d-%08x", prefix, i, rng.Uint32())
+	}
+	return out
+}

@@ -1,0 +1,227 @@
+// Package consistency implements history-based consistency checking: a
+// concurrent-history recorder (invocation/response events stamped with
+// logical timestamps) plus checkers that decide whether a recorded history
+// satisfies a formal model — Wing & Gong linearizability for read/write
+// registers, a vector-clock-aware "eventual + causal" relaxation matching
+// Voldemort's R+W>N quorum semantics, and declarative timeline models for
+// Espresso per-key SCN order, Kafka partition offset contiguity and Databus
+// windowed SCN monotonicity.
+//
+// The chaos suites of internal/resilience assert hand-picked invariants per
+// scenario; this package instead records everything concurrent clients did
+// and observed, and checks the whole history against the model the paper
+// promises. See DESIGN.md §7 and the generator-driven harness in
+// consistency_e2e_test.go (`make verify`).
+package consistency
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"datainfra/internal/vclock"
+)
+
+// Kind is the operation type of a recorded op.
+type Kind uint8
+
+// Operation kinds.
+const (
+	KindRead Kind = iota
+	KindWrite
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindRead:
+		return "read"
+	case KindWrite:
+		return "write"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Outcome classifies how an operation completed. The distinction matters for
+// writes: a failed quorum write may still have reached some replicas, so the
+// checkers must consider both possibilities, while a definitely-rejected
+// write (e.g. an optimistic-lock conflict) provably left no trace.
+type Outcome uint8
+
+// Outcomes.
+const (
+	// OutcomeOK: the operation was acknowledged.
+	OutcomeOK Outcome = iota
+	// OutcomeUnknown: the operation failed in a way that may or may not have
+	// taken effect (timeout, partial quorum, dropped connection).
+	OutcomeUnknown
+	// OutcomeFailed: the operation definitely did not take effect.
+	OutcomeFailed
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeOK:
+		return "ok"
+	case OutcomeUnknown:
+		return "unknown"
+	case OutcomeFailed:
+		return "failed"
+	default:
+		return fmt.Sprintf("Outcome(%d)", uint8(o))
+	}
+}
+
+// Observed is one version a read returned. Voldemort reads may return
+// several concurrent versions, each carrying its vector clock; single-valued
+// systems leave Clock nil and return at most one Observed.
+type Observed struct {
+	Value string
+	Clock *vclock.Clock // nil when the system has no version vector
+}
+
+// Op is one completed (or still pending, until Finalize) operation in a
+// history: who did what to which key, what came back, and the logical
+// invocation/response timestamps that define the real-time partial order.
+type Op struct {
+	Client int
+	Kind   Kind
+	Key    string
+	// Input is the written value (writes only).
+	Input string
+	// Clock is the version vector the write was issued with (writes against
+	// vector-clocked stores; nil elsewhere).
+	Clock *vclock.Clock
+	// Output holds the versions a read returned (empty for not-found).
+	Output []Observed
+	// Found reports whether a read found the key at all.
+	Found bool
+	// Call and Return are logical timestamps from the recorder's global
+	// counter: Call < Return always, and op A precedes op B in real time iff
+	// A.Return < B.Call. A pending op keeps Return == PendingReturn.
+	Call, Return int64
+	Outcome      Outcome
+}
+
+// PendingReturn marks an operation whose response never arrived; it is
+// ordered after every completed operation.
+const PendingReturn = int64(1) << 62
+
+// String renders the op for failure messages.
+func (o *Op) String() string {
+	switch o.Kind {
+	case KindWrite:
+		return fmt.Sprintf("client %d write(%s=%q) [%d,%d] %s", o.Client, o.Key, o.Input, o.Call, o.Return, o.Outcome)
+	default:
+		vals := make([]string, 0, len(o.Output))
+		for _, ob := range o.Output {
+			vals = append(vals, ob.Value)
+		}
+		return fmt.Sprintf("client %d read(%s)=%q [%d,%d] %s", o.Client, o.Key, vals, o.Call, o.Return, o.Outcome)
+	}
+}
+
+// History is a set of recorded operations. It is not ordered beyond the
+// Call/Return timestamps carried by each op.
+type History []*Op
+
+// PerKey partitions the history by key — read/write register models treat
+// keys as independent registers.
+func (h History) PerKey() map[string]History {
+	out := map[string]History{}
+	for _, op := range h {
+		out[op.Key] = append(out[op.Key], op)
+	}
+	return out
+}
+
+// Writes returns the write ops of the history.
+func (h History) Writes() History {
+	var out History
+	for _, op := range h {
+		if op.Kind == KindWrite {
+			out = append(out, op)
+		}
+	}
+	return out
+}
+
+// Recorder collects a concurrent history. Invoke stamps the invocation with
+// the next logical timestamp; the returned PendingOp's Return stamps the
+// response. Both are safe for concurrent use by many client goroutines.
+type Recorder struct {
+	clock atomic.Int64
+
+	mu  sync.Mutex
+	ops []*Op
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// PendingOp is an invoked-but-unanswered operation.
+type PendingOp struct {
+	rec  *Recorder
+	op   *Op
+	done atomic.Bool
+}
+
+// Invoke records the invocation of an operation and returns its pending
+// handle. For writes, input is the value being written (ignored for reads).
+func (r *Recorder) Invoke(client int, kind Kind, key, input string) *PendingOp {
+	op := &Op{
+		Client:  client,
+		Kind:    kind,
+		Key:     key,
+		Input:   input,
+		Call:    r.clock.Add(1),
+		Return:  PendingReturn,
+		Outcome: OutcomeUnknown,
+	}
+	r.mu.Lock()
+	r.ops = append(r.ops, op)
+	r.mu.Unlock()
+	return &PendingOp{rec: r, op: op}
+}
+
+// SetClock attaches the version vector a write was issued with (call before
+// Return so checkers never observe a half-recorded op).
+func (p *PendingOp) SetClock(c *vclock.Clock) {
+	if c != nil {
+		p.op.Clock = c.Clone()
+	}
+}
+
+// Return records the response: the outcome, and for reads the observed
+// versions. Calling Return twice is a bug in the harness and panics.
+func (p *PendingOp) Return(outcome Outcome, found bool, observed ...Observed) {
+	if !p.done.CompareAndSwap(false, true) {
+		panic("consistency: PendingOp.Return called twice")
+	}
+	// Copy the observations before publishing the response timestamp.
+	p.op.Output = append([]Observed(nil), observed...)
+	p.op.Found = found
+	p.op.Outcome = outcome
+	p.op.Return = p.rec.clock.Add(1)
+}
+
+// History snapshots the recorded history. Operations still pending keep
+// Return == PendingReturn and Outcome == OutcomeUnknown, i.e. "may have
+// taken effect at any later time" — exactly how the checkers treat an op
+// whose response was lost.
+func (r *Recorder) History() History {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(History, len(r.ops))
+	copy(out, r.ops)
+	return out
+}
+
+// Len reports how many operations have been invoked.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.ops)
+}

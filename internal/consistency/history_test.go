@@ -1,0 +1,102 @@
+package consistency
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRecorderTimestamps(t *testing.T) {
+	rec := NewRecorder()
+	p1 := rec.Invoke(0, KindWrite, "k", "a")
+	p1.Return(OutcomeOK, true)
+	p2 := rec.Invoke(1, KindRead, "k", "")
+	p2.Return(OutcomeOK, true, Observed{Value: "a"})
+	h := rec.History()
+	if len(h) != 2 {
+		t.Fatalf("recorded %d ops", len(h))
+	}
+	w, r := h[0], h[1]
+	if w.Call >= w.Return {
+		t.Fatalf("write call %d !< return %d", w.Call, w.Return)
+	}
+	if w.Return >= r.Call {
+		t.Fatalf("sequential ops not ordered: write return %d, read call %d", w.Return, r.Call)
+	}
+	if r.Output[0].Value != "a" || !r.Found {
+		t.Fatalf("read observation lost: %+v", r)
+	}
+}
+
+func TestRecorderPendingOps(t *testing.T) {
+	rec := NewRecorder()
+	rec.Invoke(0, KindWrite, "k", "lost") // response never arrives
+	h := rec.History()
+	if h[0].Return != PendingReturn {
+		t.Fatalf("pending op return = %d", h[0].Return)
+	}
+	if h[0].Outcome != OutcomeUnknown {
+		t.Fatalf("pending op outcome = %v", h[0].Outcome)
+	}
+	// A pending write is an unknown write: it may surface.
+	h = append(h, mkRead(1, "k", "lost", true, h[0].Call+1, h[0].Call+2))
+	if err := CheckLinearizable(h); err != nil {
+		t.Fatalf("pending write surfacing rejected: %v", err)
+	}
+}
+
+func TestRecorderDoubleReturnPanics(t *testing.T) {
+	rec := NewRecorder()
+	p := rec.Invoke(0, KindWrite, "k", "a")
+	p.Return(OutcomeOK, true)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Return did not panic")
+		}
+	}()
+	p.Return(OutcomeOK, true)
+}
+
+func TestRecorderConcurrentUse(t *testing.T) {
+	rec := NewRecorder()
+	var wg sync.WaitGroup
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				p := rec.Invoke(c, KindWrite, "k", "v")
+				p.Return(OutcomeOK, true)
+			}
+		}(c)
+	}
+	wg.Wait()
+	h := rec.History()
+	if len(h) != 8*200 {
+		t.Fatalf("lost ops: %d", len(h))
+	}
+	seen := map[int64]bool{}
+	for _, op := range h {
+		if seen[op.Call] || seen[op.Return] {
+			t.Fatal("duplicate logical timestamp")
+		}
+		seen[op.Call], seen[op.Return] = true, true
+		if op.Call >= op.Return {
+			t.Fatalf("call %d !< return %d", op.Call, op.Return)
+		}
+	}
+}
+
+func TestHistoryPerKey(t *testing.T) {
+	h := History{
+		mkWrite(0, "a", "1", 1, 2, OutcomeOK),
+		mkWrite(0, "b", "2", 3, 4, OutcomeOK),
+		mkRead(0, "a", "1", true, 5, 6),
+	}
+	byKey := h.PerKey()
+	if len(byKey) != 2 || len(byKey["a"]) != 2 || len(byKey["b"]) != 1 {
+		t.Fatalf("PerKey split wrong: %v", byKey)
+	}
+	if got := len(h.Writes()); got != 2 {
+		t.Fatalf("Writes() = %d", got)
+	}
+}

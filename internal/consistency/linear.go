@@ -1,0 +1,280 @@
+package consistency
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Linearizability checking for read/write registers, in the style of Wing &
+// Gong [WG93] with Lowe's linked-list + memoization refinements (the
+// algorithm behind Knossos and Porcupine): search for a total order of the
+// operations that (a) respects the real-time partial order — if op A
+// returned before op B was invoked, A comes first — and (b) is legal for a
+// sequential register — every read returns the most recently written value.
+//
+// Operations with OutcomeUnknown are kept: a write whose ack was lost may
+// have taken effect at any later point (its response timestamp is treated as
+// infinity), and "never took effect" is subsumed by linearizing it after
+// every read. Operations with OutcomeFailed provably left no trace and are
+// dropped before the search — which is precisely what makes a read observing
+// such a value a checkable violation.
+
+// ErrNotLinearizable is wrapped by every linearizability violation.
+var ErrNotLinearizable = errors.New("consistency: history not linearizable")
+
+// ErrSearchBudget means the checker gave up before deciding; histories this
+// adversarial should be split or shrunk.
+var ErrSearchBudget = errors.New("consistency: linearizability search budget exhausted")
+
+// LinearConfig tunes the checker.
+type LinearConfig struct {
+	// MaxSteps bounds the backtracking search per key (default 5e6).
+	MaxSteps int
+}
+
+// CheckLinearizable verifies that each key's sub-history is linearizable
+// with respect to a read/write register. It returns nil when a legal
+// linearization exists for every key.
+func CheckLinearizable(h History) error {
+	return CheckLinearizableCfg(h, LinearConfig{})
+}
+
+// CheckLinearizableCfg is CheckLinearizable with an explicit config.
+func CheckLinearizableCfg(h History, cfg LinearConfig) error {
+	if cfg.MaxSteps == 0 {
+		cfg.MaxSteps = 5_000_000
+	}
+	for key, ops := range h.PerKey() {
+		if err := checkRegister(key, ops, cfg.MaxSteps); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// regState is the sequential register: a value and whether any write has
+// been applied yet (reads before the first write must report not-found).
+type regState struct {
+	value  string
+	exists bool
+}
+
+// step applies op to the register; ok reports whether the op's recorded
+// response is legal in this state.
+func (s regState) step(op *Op) (regState, bool) {
+	switch op.Kind {
+	case KindWrite:
+		return regState{value: op.Input, exists: true}, true
+	default:
+		if op.Found != s.exists {
+			return s, false
+		}
+		if !op.Found {
+			return s, true
+		}
+		return s, len(op.Output) == 1 && op.Output[0].Value == s.value
+	}
+}
+
+// entry is one event (invocation or response) in the time-ordered,
+// doubly-linked event list the search walks. A call entry points at its
+// response via match; response entries carry match == nil.
+type entry struct {
+	op         *Op
+	id         int
+	match      *entry // response entry for calls, nil for responses
+	prev, next *entry
+}
+
+// lift removes a call entry and its response from the list (the op has been
+// provisionally linearized); unlift reinserts them on backtrack.
+func (e *entry) lift() {
+	e.prev.next = e.next
+	e.next.prev = e.prev
+	e.match.prev.next = e.match.next
+	if e.match.next != nil {
+		e.match.next.prev = e.match.prev
+	}
+}
+
+func (e *entry) unlift() {
+	e.match.prev.next = e.match
+	if e.match.next != nil {
+		e.match.next.prev = e.match
+	}
+	e.prev.next = e
+	e.next.prev = e
+}
+
+// checkRegister runs the search for one key.
+func checkRegister(key string, ops History, maxSteps int) error {
+	// Keep only ops that could have left a trace or made an observation.
+	var live History
+	for _, op := range ops {
+		if op.Outcome == OutcomeFailed {
+			continue
+		}
+		if op.Kind == KindRead && op.Outcome != OutcomeOK {
+			continue // a failed read observed nothing
+		}
+		if op.Kind == KindRead && len(op.Output) > 1 {
+			return fmt.Errorf("%w: key %q: read returned %d concurrent versions; a register read is single-valued (%s)",
+				ErrNotLinearizable, key, len(op.Output), op)
+		}
+		live = append(live, op)
+	}
+	if len(live) == 0 {
+		return nil
+	}
+	if len(live) > 4096 {
+		return fmt.Errorf("%w: key %q: %d ops", ErrSearchBudget, key, len(live))
+	}
+
+	head := buildEntries(live)
+	n := len(live)
+	linearized := newBitset(n)
+	cache := map[string]bool{}
+	type frame struct {
+		e     *entry
+		state regState
+	}
+	var stack []frame
+	var state regState
+	steps := 0
+
+	ent := head.next // first real entry
+	for head.next != nil {
+		steps++
+		if steps > maxSteps {
+			return fmt.Errorf("%w: key %q after %d steps", ErrSearchBudget, key, steps)
+		}
+		if ent.match != nil {
+			// Call entry: try to linearize this op now.
+			newState, ok := state.step(ent.op)
+			cacheKey := ""
+			if ok {
+				linearized.set(ent.id)
+				cacheKey = cacheKeyFor(linearized, newState)
+				if cache[cacheKey] {
+					ok = false
+				}
+				if !ok {
+					linearized.clear(ent.id)
+				}
+			}
+			if ok {
+				cache[cacheKey] = true
+				stack = append(stack, frame{e: ent, state: state})
+				state = newState
+				ent.lift()
+				ent = head.next
+			} else {
+				ent = ent.next
+			}
+		} else {
+			// Response entry: every linearization must place the matching op
+			// before this point, so backtrack.
+			if len(stack) == 0 {
+				return explainRegister(key, live)
+			}
+			f := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			state = f.state
+			linearized.clear(f.e.id)
+			f.e.unlift()
+			ent = f.e.next
+		}
+	}
+	return nil
+}
+
+// buildEntries lays out call/response events in timestamp order behind a
+// sentinel head node.
+func buildEntries(ops History) *entry {
+	type event struct {
+		t    int64
+		call bool
+		op   *Op
+		id   int
+	}
+	events := make([]event, 0, 2*len(ops))
+	for i, op := range ops {
+		ret := op.Return
+		if op.Kind == KindWrite && op.Outcome == OutcomeUnknown {
+			// An unacknowledged write may take effect after its error came
+			// back (hinted handoff, a straggling replica), so its response
+			// is pushed past every completed operation.
+			ret = PendingReturn
+		}
+		events = append(events, event{t: op.Call, call: true, op: op, id: i})
+		events = append(events, event{t: ret, call: false, op: op, id: i})
+	}
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].t != events[j].t {
+			return events[i].t < events[j].t
+		}
+		// Ties only occur among PendingReturn responses; order them after
+		// calls and deterministically by id.
+		if events[i].call != events[j].call {
+			return events[i].call
+		}
+		return events[i].id < events[j].id
+	})
+	head := &entry{}
+	calls := make(map[int]*entry, len(ops))
+	cur := head
+	for _, ev := range events {
+		e := &entry{op: ev.op, id: ev.id, prev: cur}
+		cur.next = e
+		cur = e
+		if ev.call {
+			calls[ev.id] = e
+		} else {
+			calls[ev.id].match = e
+		}
+	}
+	return head
+}
+
+// explainRegister builds the violation error with the smallest useful
+// context: the reads whose values are impossible.
+func explainRegister(key string, ops History) error {
+	written := map[string]bool{}
+	for _, op := range ops {
+		if op.Kind == KindWrite {
+			written[op.Input] = true
+		}
+	}
+	for _, op := range ops {
+		if op.Kind == KindRead && op.Found && len(op.Output) == 1 && !written[op.Output[0].Value] {
+			return fmt.Errorf("%w: key %q: %s observed a value never written", ErrNotLinearizable, key, op)
+		}
+	}
+	return fmt.Errorf("%w: key %q: no legal ordering of %d ops", ErrNotLinearizable, key, len(ops))
+}
+
+// bitset is a fixed-capacity bitmask over op ids.
+type bitset []uint64
+
+func newBitset(n int) bitset    { return make(bitset, (n+63)/64) }
+func (b bitset) set(i int)      { b[i/64] |= 1 << (i % 64) }
+func (b bitset) clear(i int)    { b[i/64] &^= 1 << (i % 64) }
+func (b bitset) has(i int) bool { return b[i/64]&(1<<(i%64)) != 0 }
+
+// cacheKeyFor packs (linearized-set, state) into a map key.
+func cacheKeyFor(b bitset, s regState) string {
+	buf := make([]byte, 0, len(b)*8+len(s.value)+2)
+	for _, w := range b {
+		for k := 0; k < 8; k++ {
+			buf = append(buf, byte(w>>(8*k)))
+		}
+	}
+	if s.exists {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = append(buf, s.value...)
+	return string(buf)
+}

@@ -1,0 +1,225 @@
+package consistency
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// mkOp builds a completed op with explicit timestamps.
+func mkWrite(client int, key, val string, call, ret int64, out Outcome) *Op {
+	return &Op{Client: client, Kind: KindWrite, Key: key, Input: val, Call: call, Return: ret, Outcome: out}
+}
+
+func mkRead(client int, key, val string, found bool, call, ret int64) *Op {
+	op := &Op{Client: client, Kind: KindRead, Key: key, Found: found, Call: call, Return: ret, Outcome: OutcomeOK}
+	if found {
+		op.Output = []Observed{{Value: val}}
+	}
+	return op
+}
+
+func TestLinearizableSequentialHistory(t *testing.T) {
+	h := History{
+		mkWrite(0, "k", "a", 1, 2, OutcomeOK),
+		mkRead(0, "k", "a", true, 3, 4),
+		mkWrite(0, "k", "b", 5, 6, OutcomeOK),
+		mkRead(0, "k", "b", true, 7, 8),
+	}
+	if err := CheckLinearizable(h); err != nil {
+		t.Fatalf("sequential history rejected: %v", err)
+	}
+}
+
+func TestLinearizableReadBeforeAnyWrite(t *testing.T) {
+	h := History{
+		mkRead(0, "k", "", false, 1, 2),
+		mkWrite(0, "k", "a", 3, 4, OutcomeOK),
+	}
+	if err := CheckLinearizable(h); err != nil {
+		t.Fatalf("not-found read before first write rejected: %v", err)
+	}
+	// Corrupted: the read claims the key exists before any write.
+	bad := History{
+		mkRead(0, "k", "a", true, 1, 2),
+		mkWrite(0, "k", "a", 3, 4, OutcomeOK),
+	}
+	if err := CheckLinearizable(bad); !errors.Is(err, ErrNotLinearizable) {
+		t.Fatalf("phantom early read accepted: %v", err)
+	}
+}
+
+// The classic concurrency case: a read overlapping a write may return either
+// the old or the new value.
+func TestLinearizableOverlappingWriteRead(t *testing.T) {
+	for _, val := range []string{"a", "b"} {
+		h := History{
+			mkWrite(0, "k", "a", 1, 2, OutcomeOK),
+			mkWrite(1, "k", "b", 3, 7, OutcomeOK), // overlaps the read
+			mkRead(2, "k", val, true, 4, 6),
+		}
+		if err := CheckLinearizable(h); err != nil {
+			t.Fatalf("read of %q during overlapping write rejected: %v", val, err)
+		}
+	}
+}
+
+// A stale read after a write completed is the canonical violation.
+func TestLinearizableRejectsStaleRead(t *testing.T) {
+	h := History{
+		mkWrite(0, "k", "a", 1, 2, OutcomeOK),
+		mkWrite(0, "k", "b", 3, 4, OutcomeOK),
+		mkRead(1, "k", "a", true, 5, 6), // b's write returned before this read began
+	}
+	if err := CheckLinearizable(h); !errors.Is(err, ErrNotLinearizable) {
+		t.Fatalf("stale read accepted: err=%v", err)
+	}
+}
+
+// Values never written must be rejected.
+func TestLinearizableRejectsPhantomValue(t *testing.T) {
+	h := History{
+		mkWrite(0, "k", "a", 1, 2, OutcomeOK),
+		mkRead(1, "k", "zzz", true, 3, 4),
+	}
+	if err := CheckLinearizable(h); !errors.Is(err, ErrNotLinearizable) {
+		t.Fatalf("phantom value accepted: err=%v", err)
+	}
+}
+
+// An unacknowledged write may surface later (took effect) or never — both
+// must be accepted; but the system may not resurrect the old value after the
+// unknown write's value has been observed.
+func TestLinearizableUnknownWriteMayTakeEffect(t *testing.T) {
+	base := History{
+		mkWrite(0, "k", "a", 1, 2, OutcomeOK),
+		mkWrite(1, "k", "b", 3, 4, OutcomeUnknown), // ack lost
+	}
+	surfaced := append(append(History{}, base...), mkRead(2, "k", "b", true, 5, 6))
+	if err := CheckLinearizable(surfaced); err != nil {
+		t.Fatalf("unknown write surfacing rejected: %v", err)
+	}
+	never := append(append(History{}, base...), mkRead(2, "k", "a", true, 5, 6))
+	if err := CheckLinearizable(never); err != nil {
+		t.Fatalf("unknown write never surfacing rejected: %v", err)
+	}
+	// Corrupted: b observed, then the register rewinds to a, then b again —
+	// no register order explains a flip-flop around a completed observation.
+	flip := append(append(History{}, base...),
+		mkRead(2, "k", "b", true, 5, 6),
+		mkRead(2, "k", "a", true, 7, 8),
+	)
+	if err := CheckLinearizable(flip); !errors.Is(err, ErrNotLinearizable) {
+		t.Fatalf("value flip-flop accepted: err=%v", err)
+	}
+}
+
+// A definitely-failed write must never be observed.
+func TestLinearizableRejectsObservedFailedWrite(t *testing.T) {
+	h := History{
+		mkWrite(0, "k", "a", 1, 2, OutcomeOK),
+		mkWrite(1, "k", "b", 3, 4, OutcomeFailed),
+		mkRead(2, "k", "b", true, 5, 6),
+	}
+	if err := CheckLinearizable(h); !errors.Is(err, ErrNotLinearizable) {
+		t.Fatalf("observed rejected write accepted: err=%v", err)
+	}
+}
+
+// A pending write (no response ever recorded) behaves like an unknown write.
+func TestLinearizablePendingWrite(t *testing.T) {
+	h := History{
+		mkWrite(0, "k", "a", 1, 2, OutcomeOK),
+		mkWrite(1, "k", "b", 3, PendingReturn, OutcomeUnknown),
+		mkRead(2, "k", "b", true, 5, 6),
+		mkRead(2, "k", "b", true, 7, 8),
+	}
+	if err := CheckLinearizable(h); err != nil {
+		t.Fatalf("pending write surfacing rejected: %v", err)
+	}
+}
+
+// Keys are independent registers: a violation on one key is pinpointed even
+// in a big multi-key history.
+func TestLinearizablePerKeyIsolation(t *testing.T) {
+	h := History{
+		mkWrite(0, "good", "x", 1, 2, OutcomeOK),
+		mkRead(1, "good", "x", true, 3, 4),
+		mkWrite(0, "bad", "x", 5, 6, OutcomeOK),
+		mkWrite(0, "bad", "y", 7, 8, OutcomeOK),
+		mkRead(1, "bad", "x", true, 9, 10),
+	}
+	err := CheckLinearizable(h)
+	if !errors.Is(err, ErrNotLinearizable) {
+		t.Fatalf("want violation, got %v", err)
+	}
+	if got := err.Error(); !contains(got, `"bad"`) {
+		t.Fatalf("violation does not name the bad key: %v", got)
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// Reads returning sibling versions are not register reads.
+func TestLinearizableRejectsMultiVersionRead(t *testing.T) {
+	h := History{
+		mkWrite(0, "k", "a", 1, 2, OutcomeOK),
+		{Client: 1, Kind: KindRead, Key: "k", Found: true, Call: 3, Return: 4, Outcome: OutcomeOK,
+			Output: []Observed{{Value: "a"}, {Value: "b"}}},
+	}
+	if err := CheckLinearizable(h); !errors.Is(err, ErrNotLinearizable) {
+		t.Fatalf("multi-version read accepted: err=%v", err)
+	}
+}
+
+// A randomized smoke: histories generated by actually running a mutex-guarded
+// register must always check out, at any interleaving.
+func TestLinearizableAcceptsRealConcurrentRegister(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		rec := NewRecorder()
+		var mu sync.Mutex
+		state := map[string]string{}
+		var wg sync.WaitGroup
+		for c := 0; c < 4; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed*31 + int64(c)))
+				for i := 0; i < 50; i++ {
+					key := fmt.Sprintf("k%d", rng.Intn(3))
+					if rng.Intn(2) == 0 {
+						val := fmt.Sprintf("c%d-%d", c, i)
+						p := rec.Invoke(c, KindWrite, key, val)
+						mu.Lock()
+						state[key] = val
+						mu.Unlock()
+						p.Return(OutcomeOK, true)
+					} else {
+						p := rec.Invoke(c, KindRead, key, "")
+						mu.Lock()
+						v, ok := state[key]
+						mu.Unlock()
+						if ok {
+							p.Return(OutcomeOK, true, Observed{Value: v})
+						} else {
+							p.Return(OutcomeOK, false)
+						}
+					}
+				}
+			}(c)
+		}
+		wg.Wait()
+		if err := CheckLinearizable(rec.History()); err != nil {
+			t.Fatalf("seed %d: real register history rejected: %v", seed, err)
+		}
+	}
+}

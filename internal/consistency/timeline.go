@@ -1,0 +1,240 @@
+package consistency
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Declarative timeline checkers for the three log-shaped contracts of the
+// paper: Espresso's per-key timeline consistency (§IV.B — a slave applies
+// the master's commit stream in commit order and never shows a key going
+// backwards), Kafka's partition log contiguity and ordering (§V.B — offsets
+// are byte positions, increasing and gapless, and consumption replays the
+// produce order exactly), and Databus's windowed SCN monotonicity (§III.C —
+// delivery never rewinds, checkpoints advance only at transaction
+// boundaries, and every committed transaction at or below the checkpoint was
+// delivered).
+
+// Timeline errors.
+var (
+	ErrTimelineViolation = errors.New("consistency: espresso timeline violation")
+	ErrLogViolation      = errors.New("consistency: kafka log violation")
+	ErrStreamViolation   = errors.New("consistency: databus stream violation")
+)
+
+// --- Espresso: per-key SCN timeline -----------------------------------------
+
+// TimelineEntry is one applied change: the commit SCN, the document key and
+// the etag identifying the exact version.
+type TimelineEntry struct {
+	SCN  int64
+	Key  string
+	Etag string
+}
+
+// Timeline pairs a master's commit order with the apply order observed on a
+// replica of the same partition.
+type Timeline struct {
+	Partition int
+	Master    []TimelineEntry // commit order on the master
+	Replica   []TimelineEntry // apply order on the slave
+}
+
+// CheckEspressoTimeline verifies timeline consistency for one partition:
+//
+//  1. The master's commit stream is SCN-ordered (non-decreasing; one
+//     transaction's rows share an SCN).
+//  2. Every replica apply corresponds to a master commit (no invented rows).
+//  3. Per key, the replica applies versions in master commit order — a
+//     key never goes backwards on a slave (duplicates from idempotent
+//     redelivery are legal, rewinds are not).
+//  4. Completeness below the replica head: every master commit with SCN
+//     strictly below the replica's highest applied SCN was applied at least
+//     once (the partially-applied head transaction may still be in flight).
+func CheckEspressoTimeline(t Timeline) error {
+	for i := 1; i < len(t.Master); i++ {
+		if t.Master[i].SCN < t.Master[i-1].SCN {
+			return fmt.Errorf("%w: partition %d: master commit order rewound: SCN %d after %d",
+				ErrTimelineViolation, t.Partition, t.Master[i].SCN, t.Master[i-1].SCN)
+		}
+	}
+	type ident struct {
+		scn  int64
+		key  string
+		etag string
+	}
+	pos := map[ident]int{} // master position of each committed version
+	for i, e := range t.Master {
+		pos[ident{e.SCN, e.Key, e.Etag}] = i
+	}
+	lastPerKey := map[string]int{}
+	var maxApplied int64
+	for _, e := range t.Replica {
+		p, ok := pos[ident{e.SCN, e.Key, e.Etag}]
+		if !ok {
+			return fmt.Errorf("%w: partition %d: replica applied SCN %d key %q etag %q that the master never committed",
+				ErrTimelineViolation, t.Partition, e.SCN, e.Key, e.Etag)
+		}
+		if prev, seen := lastPerKey[e.Key]; seen && p < prev {
+			return fmt.Errorf("%w: partition %d: key %q went backwards on the replica: master position %d after %d",
+				ErrTimelineViolation, t.Partition, e.Key, p, prev)
+		}
+		lastPerKey[e.Key] = p
+		if e.SCN > maxApplied {
+			maxApplied = e.SCN
+		}
+	}
+	applied := map[ident]bool{}
+	for _, e := range t.Replica {
+		applied[ident{e.SCN, e.Key, e.Etag}] = true
+	}
+	for _, e := range t.Master {
+		if e.SCN < maxApplied && !applied[ident{e.SCN, e.Key, e.Etag}] {
+			return fmt.Errorf("%w: partition %d: master commit SCN %d key %q never applied though replica reached SCN %d",
+				ErrTimelineViolation, t.Partition, e.SCN, e.Key, maxApplied)
+		}
+	}
+	return nil
+}
+
+// --- Kafka: partition offset contiguity and ordering ------------------------
+
+// ProducedMsg is one acknowledged produce: the offset the broker assigned
+// and the payload.
+type ProducedMsg struct {
+	Offset  int64
+	Payload string
+}
+
+// ConsumedMsg is one delivered message with the offset to resume from.
+type ConsumedMsg struct {
+	NextOffset int64
+	Payload    string
+}
+
+// KafkaPartition pairs a partition's acknowledged produces with a full
+// sequential consumption of the log.
+type KafkaPartition struct {
+	Topic     string
+	Partition int
+	Earliest  int64 // first valid offset when consumption started
+	Latest    int64 // log end offset when consumption finished
+	Produced  []ProducedMsg
+	Consumed  []ConsumedMsg // in consumption order
+}
+
+// CheckKafkaLog verifies the partition log contract:
+//
+//  1. Acked offsets are unique and within [Earliest, Latest) — two produces
+//     can never be acknowledged at the same log position.
+//  2. Consumption is offset-monotone: NextOffset strictly increases.
+//  3. Consumption is complete and in produce order: the consumed payload
+//     sequence equals the produced payloads sorted by acked offset, and the
+//     final NextOffset reaches the log end — no gaps, no duplicates, no
+//     reordering, no invented messages.
+func CheckKafkaLog(p KafkaPartition) error {
+	where := fmt.Sprintf("%s/%d", p.Topic, p.Partition)
+	prod := append([]ProducedMsg(nil), p.Produced...)
+	sort.Slice(prod, func(i, j int) bool { return prod[i].Offset < prod[j].Offset })
+	for i := range prod {
+		if i > 0 && prod[i].Offset == prod[i-1].Offset {
+			return fmt.Errorf("%w: %s: two produces acked at offset %d (%q and %q)",
+				ErrLogViolation, where, prod[i].Offset, prod[i-1].Payload, prod[i].Payload)
+		}
+		if prod[i].Offset < p.Earliest || prod[i].Offset >= p.Latest {
+			return fmt.Errorf("%w: %s: acked offset %d outside the log [%d,%d)",
+				ErrLogViolation, where, prod[i].Offset, p.Earliest, p.Latest)
+		}
+	}
+	last := p.Earliest
+	for _, c := range p.Consumed {
+		if c.NextOffset <= last {
+			return fmt.Errorf("%w: %s: consumption rewound: NextOffset %d after %d",
+				ErrLogViolation, where, c.NextOffset, last)
+		}
+		last = c.NextOffset
+	}
+	if len(p.Consumed) != len(prod) {
+		return fmt.Errorf("%w: %s: consumed %d messages, produced %d",
+			ErrLogViolation, where, len(p.Consumed), len(prod))
+	}
+	for i := range prod {
+		if p.Consumed[i].Payload != prod[i].Payload {
+			return fmt.Errorf("%w: %s: message %d out of order: consumed %q, produce order says %q",
+				ErrLogViolation, where, i, p.Consumed[i].Payload, prod[i].Payload)
+		}
+	}
+	if len(p.Consumed) > 0 && p.Consumed[len(p.Consumed)-1].NextOffset != p.Latest {
+		return fmt.Errorf("%w: %s: consumption stopped at %d, log end is %d: gap in the log",
+			ErrLogViolation, where, p.Consumed[len(p.Consumed)-1].NextOffset, p.Latest)
+	}
+	return nil
+}
+
+// --- Databus: windowed SCN monotonicity -------------------------------------
+
+// StreamObs is one observation in a Databus client's delivery stream: either
+// a delivered event or a checkpoint callback, in the order the consumer saw
+// them.
+type StreamObs struct {
+	SCN        int64
+	Checkpoint bool // a checkpoint callback rather than an event delivery
+	EndOfTxn   bool // event closes its transaction window
+}
+
+// CheckSCNStream verifies windowed SCN monotonicity of a consumption run:
+//
+//  1. Committed SCNs (the source's commit order) strictly increase.
+//  2. Delivered SCNs never decrease — redelivery of an incomplete window may
+//     repeat an SCN, but the stream never rewinds past it.
+//  3. Every delivered SCN was actually committed (no phantom events).
+//  4. Checkpoints strictly increase and land only on window boundaries: a
+//     checkpoint at SCN s immediately follows a delivered event with SCN s
+//     and EndOfTxn set.
+//  5. At-least-once below the checkpoint: every committed transaction with
+//     SCN at or below the final checkpoint was delivered with its full event
+//     count.
+func CheckSCNStream(committed map[int64]int, commitOrder []int64, stream []StreamObs) error {
+	for i := 1; i < len(commitOrder); i++ {
+		if commitOrder[i] <= commitOrder[i-1] {
+			return fmt.Errorf("%w: source commit order not strictly increasing: SCN %d after %d",
+				ErrStreamViolation, commitOrder[i], commitOrder[i-1])
+		}
+	}
+	var lastDelivered, lastCheckpoint int64
+	lastWasWindowEnd := false
+	delivered := map[int64]int{}
+	for i, obs := range stream {
+		if obs.Checkpoint {
+			if obs.SCN <= lastCheckpoint {
+				return fmt.Errorf("%w: checkpoint rewound: SCN %d after %d", ErrStreamViolation, obs.SCN, lastCheckpoint)
+			}
+			if !lastWasWindowEnd || obs.SCN != lastDelivered {
+				return fmt.Errorf("%w: checkpoint at SCN %d not on a window boundary (last delivery SCN %d, endOfTxn=%v)",
+					ErrStreamViolation, obs.SCN, lastDelivered, lastWasWindowEnd)
+			}
+			lastCheckpoint = obs.SCN
+			continue
+		}
+		if _, ok := committed[obs.SCN]; !ok {
+			return fmt.Errorf("%w: delivery %d carries SCN %d that was never committed", ErrStreamViolation, i, obs.SCN)
+		}
+		if obs.SCN < lastDelivered {
+			return fmt.Errorf("%w: delivery rewound: SCN %d after %d", ErrStreamViolation, obs.SCN, lastDelivered)
+		}
+		lastDelivered = obs.SCN
+		lastWasWindowEnd = obs.EndOfTxn
+		delivered[obs.SCN]++
+	}
+	for scn, want := range committed {
+		if scn > lastCheckpoint {
+			continue
+		}
+		if delivered[scn] < want {
+			return fmt.Errorf("%w: txn SCN %d delivered %d of %d events though checkpoint reached %d",
+				ErrStreamViolation, scn, delivered[scn], want, lastCheckpoint)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,218 @@
+package consistency
+
+import (
+	"errors"
+	"testing"
+)
+
+// --- Espresso ---------------------------------------------------------------
+
+func goodTimeline() Timeline {
+	master := []TimelineEntry{
+		{SCN: 1, Key: "a", Etag: "e1"},
+		{SCN: 2, Key: "b", Etag: "e2"},
+		{SCN: 2, Key: "a", Etag: "e3"}, // txn 2 touches two rows
+		{SCN: 3, Key: "b", Etag: "e4"},
+	}
+	return Timeline{
+		Partition: 0,
+		Master:    master,
+		Replica:   append([]TimelineEntry(nil), master...),
+	}
+}
+
+func TestEspressoTimelineAccepts(t *testing.T) {
+	if err := CheckEspressoTimeline(goodTimeline()); err != nil {
+		t.Fatalf("clean timeline rejected: %v", err)
+	}
+	// Idempotent redelivery of the head transaction is legal.
+	tl := goodTimeline()
+	tl.Replica = append(tl.Replica[:3:3], tl.Replica[2], tl.Replica[3])
+	if err := CheckEspressoTimeline(tl); err != nil {
+		t.Fatalf("redelivered head rejected: %v", err)
+	}
+	// A replica mid-transaction (partial head) is legal.
+	tl = goodTimeline()
+	tl.Replica = tl.Replica[:2]
+	if err := CheckEspressoTimeline(tl); err != nil {
+		t.Fatalf("partial head rejected: %v", err)
+	}
+}
+
+func TestEspressoTimelineRejectsRewind(t *testing.T) {
+	tl := goodTimeline()
+	// Key "a" applied at SCN 2 then rewound to SCN 1.
+	tl.Replica = []TimelineEntry{
+		{SCN: 2, Key: "a", Etag: "e3"},
+		{SCN: 1, Key: "a", Etag: "e1"},
+	}
+	if err := CheckEspressoTimeline(tl); !errors.Is(err, ErrTimelineViolation) {
+		t.Fatalf("key rewind accepted: err=%v", err)
+	}
+}
+
+func TestEspressoTimelineRejectsInventedRow(t *testing.T) {
+	tl := goodTimeline()
+	tl.Replica = append(tl.Replica, TimelineEntry{SCN: 9, Key: "z", Etag: "zz"})
+	if err := CheckEspressoTimeline(tl); !errors.Is(err, ErrTimelineViolation) {
+		t.Fatalf("invented row accepted: err=%v", err)
+	}
+}
+
+func TestEspressoTimelineRejectsSkippedCommit(t *testing.T) {
+	tl := goodTimeline()
+	// SCN 2's rows never applied though the replica reached SCN 3.
+	tl.Replica = []TimelineEntry{
+		{SCN: 1, Key: "a", Etag: "e1"},
+		{SCN: 3, Key: "b", Etag: "e4"},
+	}
+	if err := CheckEspressoTimeline(tl); !errors.Is(err, ErrTimelineViolation) {
+		t.Fatalf("skipped commit accepted: err=%v", err)
+	}
+}
+
+func TestEspressoTimelineRejectsMasterRewind(t *testing.T) {
+	tl := goodTimeline()
+	tl.Master[3].SCN = 1
+	if err := CheckEspressoTimeline(tl); !errors.Is(err, ErrTimelineViolation) {
+		t.Fatalf("master SCN rewind accepted: err=%v", err)
+	}
+}
+
+// --- Kafka ------------------------------------------------------------------
+
+func goodKafka() KafkaPartition {
+	return KafkaPartition{
+		Topic: "t", Partition: 0,
+		Earliest: 0, Latest: 30,
+		Produced: []ProducedMsg{{Offset: 0, Payload: "m0"}, {Offset: 10, Payload: "m1"}, {Offset: 20, Payload: "m2"}},
+		Consumed: []ConsumedMsg{{NextOffset: 10, Payload: "m0"}, {NextOffset: 20, Payload: "m1"}, {NextOffset: 30, Payload: "m2"}},
+	}
+}
+
+func TestKafkaLogAccepts(t *testing.T) {
+	if err := CheckKafkaLog(goodKafka()); err != nil {
+		t.Fatalf("clean log rejected: %v", err)
+	}
+}
+
+func TestKafkaLogRejectsDuplicateAck(t *testing.T) {
+	p := goodKafka()
+	p.Produced[1].Offset = 0 // two produces acked at the same position
+	if err := CheckKafkaLog(p); !errors.Is(err, ErrLogViolation) {
+		t.Fatalf("duplicate ack accepted: err=%v", err)
+	}
+}
+
+func TestKafkaLogRejectsReorder(t *testing.T) {
+	p := goodKafka()
+	p.Consumed[0].Payload, p.Consumed[1].Payload = p.Consumed[1].Payload, p.Consumed[0].Payload
+	if err := CheckKafkaLog(p); !errors.Is(err, ErrLogViolation) {
+		t.Fatalf("reordered consumption accepted: err=%v", err)
+	}
+}
+
+func TestKafkaLogRejectsLoss(t *testing.T) {
+	p := goodKafka()
+	p.Consumed = p.Consumed[:2] // m2 acked but never consumed
+	if err := CheckKafkaLog(p); !errors.Is(err, ErrLogViolation) {
+		t.Fatalf("lost message accepted: err=%v", err)
+	}
+}
+
+func TestKafkaLogRejectsOffsetRewind(t *testing.T) {
+	p := goodKafka()
+	p.Consumed[2].NextOffset = 15
+	if err := CheckKafkaLog(p); !errors.Is(err, ErrLogViolation) {
+		t.Fatalf("offset rewind accepted: err=%v", err)
+	}
+}
+
+func TestKafkaLogRejectsGapAtEnd(t *testing.T) {
+	p := goodKafka()
+	p.Latest = 40 // log end beyond the last consumed position
+	if err := CheckKafkaLog(p); !errors.Is(err, ErrLogViolation) {
+		t.Fatalf("tail gap accepted: err=%v", err)
+	}
+}
+
+// --- Databus ----------------------------------------------------------------
+
+func goodStream() (map[int64]int, []int64, []StreamObs) {
+	committed := map[int64]int{1: 2, 2: 1, 3: 2}
+	order := []int64{1, 2, 3}
+	stream := []StreamObs{
+		{SCN: 1}, {SCN: 1, EndOfTxn: true}, {SCN: 1, Checkpoint: true},
+		{SCN: 2, EndOfTxn: true}, {SCN: 2, Checkpoint: true},
+		{SCN: 3}, {SCN: 3, EndOfTxn: true}, {SCN: 3, Checkpoint: true},
+	}
+	return committed, order, stream
+}
+
+func TestSCNStreamAccepts(t *testing.T) {
+	committed, order, stream := goodStream()
+	if err := CheckSCNStream(committed, order, stream); err != nil {
+		t.Fatalf("clean stream rejected: %v", err)
+	}
+}
+
+func TestSCNStreamAcceptsWindowRedelivery(t *testing.T) {
+	committed, order, _ := goodStream()
+	// Txn 3's window is redelivered from its start after a consumer fault.
+	stream := []StreamObs{
+		{SCN: 1}, {SCN: 1, EndOfTxn: true}, {SCN: 1, Checkpoint: true},
+		{SCN: 2, EndOfTxn: true}, {SCN: 2, Checkpoint: true},
+		{SCN: 3}, {SCN: 3}, {SCN: 3, EndOfTxn: true}, {SCN: 3, Checkpoint: true},
+	}
+	if err := CheckSCNStream(committed, order, stream); err != nil {
+		t.Fatalf("window redelivery rejected: %v", err)
+	}
+}
+
+func TestSCNStreamRejectsRewind(t *testing.T) {
+	committed, order, stream := goodStream()
+	stream = append(stream, StreamObs{SCN: 1}) // delivery rewinds past checkpoint 3
+	if err := CheckSCNStream(committed, order, stream); !errors.Is(err, ErrStreamViolation) {
+		t.Fatalf("SCN rewind accepted: err=%v", err)
+	}
+}
+
+func TestSCNStreamRejectsPhantomSCN(t *testing.T) {
+	committed, order, stream := goodStream()
+	stream = append(stream, StreamObs{SCN: 99})
+	if err := CheckSCNStream(committed, order, stream); !errors.Is(err, ErrStreamViolation) {
+		t.Fatalf("phantom SCN accepted: err=%v", err)
+	}
+}
+
+func TestSCNStreamRejectsSkippedTxn(t *testing.T) {
+	committed, order, _ := goodStream()
+	stream := []StreamObs{
+		{SCN: 1}, {SCN: 1, EndOfTxn: true}, {SCN: 1, Checkpoint: true},
+		// txn 2 skipped entirely
+		{SCN: 3}, {SCN: 3, EndOfTxn: true}, {SCN: 3, Checkpoint: true},
+	}
+	if err := CheckSCNStream(committed, order, stream); !errors.Is(err, ErrStreamViolation) {
+		t.Fatalf("skipped txn accepted: err=%v", err)
+	}
+}
+
+func TestSCNStreamRejectsMidWindowCheckpoint(t *testing.T) {
+	committed, order, _ := goodStream()
+	stream := []StreamObs{
+		{SCN: 1}, {SCN: 1, Checkpoint: true}, // checkpoint before EndOfTxn
+	}
+	if err := CheckSCNStream(committed, order, stream); !errors.Is(err, ErrStreamViolation) {
+		t.Fatalf("mid-window checkpoint accepted: err=%v", err)
+	}
+}
+
+func TestSCNStreamRejectsPartialWindowBelowCheckpoint(t *testing.T) {
+	committed, order, _ := goodStream()
+	stream := []StreamObs{
+		{SCN: 1, EndOfTxn: true}, {SCN: 1, Checkpoint: true}, // txn 1 has 2 events; only 1 delivered
+	}
+	if err := CheckSCNStream(committed, order, stream); !errors.Is(err, ErrStreamViolation) {
+		t.Fatalf("partial window below checkpoint accepted: err=%v", err)
+	}
+}

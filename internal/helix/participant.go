@@ -53,13 +53,22 @@ func NewParticipant(srv *zk.Server, clusterName, instance string, model StateMod
 		states:      map[string]map[int]State{},
 		stop:        make(chan struct{}),
 	}
-	if err := sess.CreateAll(base(clusterName)+"/currentstate/"+instance, nil); err != nil {
-		sess.Close()
-		return nil, err
-	}
-	if err := sess.CreateAll(messagesDir(clusterName, instance), nil); err != nil {
-		sess.Close()
-		return nil, err
+	// A restarting instance comes back OFFLINE: wipe whatever a previous
+	// incarnation under the same name reported (and any transitions still
+	// queued for it), so the controller never trusts a dead session's claims.
+	for _, dir := range []string{
+		base(clusterName) + "/currentstate/" + instance,
+		messagesDir(clusterName, instance),
+	} {
+		if err := sess.CreateAll(dir, nil); err != nil {
+			sess.Close()
+			return nil, err
+		}
+		if kids, err := sess.Children(dir); err == nil {
+			for _, k := range kids {
+				_ = sess.Delete(dir+"/"+k, -1)
+			}
+		}
 	}
 	if _, err := sess.Create(base(clusterName)+"/instances/"+instance, nil, zk.FlagEphemeral); err != nil {
 		sess.Close()

@@ -1,0 +1,194 @@
+package helix
+
+// Re-convergence coverage: the controller must restore full master coverage
+// when a node dies in the middle of a transition (its ephemeral vanishes with
+// a SLAVE->MASTER it never completed still in flight), and drive the cluster
+// back to the sticky ideal when the same instance later rejoins.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"datainfra/internal/zk"
+)
+
+// crashingModel refuses every promotion and reports the first attempt, so a
+// test can kill the node at exactly the moment a SLAVE->MASTER is in flight.
+type crashingModel struct {
+	once sync.Once
+	hit  chan struct{}
+}
+
+func newCrashingModel() *crashingModel {
+	return &crashingModel{hit: make(chan struct{})}
+}
+
+func (m *crashingModel) Apply(t Transition) error {
+	if t.To == StateMaster {
+		m.once.Do(func() { close(m.hit) })
+		return errors.New("node crashed mid-transition")
+	}
+	return nil
+}
+
+func TestReconvergenceAfterDeathMidTransition(t *testing.T) {
+	srv := zk.NewServer()
+	ctrl, err := NewController(srv, "mid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.Close()
+
+	crash := newCrashingModel()
+	victim, err := NewParticipant(srv, "mid", "node-0", crash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	survivors := make([]*Participant, 2)
+	for i := range survivors {
+		p, err := NewParticipant(srv, "mid", fmt.Sprintf("node-%d", i+1), &tracker{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		survivors[i] = p
+		defer p.Close()
+	}
+	res := &Resource{Name: "db", NumPartitions: 4, Replicas: 2}
+	if err := ctrl.AddResource(res); err != nil {
+		t.Fatal(err)
+	}
+	ctrl.Start()
+
+	// Wait until the victim is mid-transition — a promotion reached it and
+	// failed, so it sits at SLAVE with the master handoff incomplete.
+	select {
+	case <-crash.hit:
+	case <-time.After(5 * time.Second):
+		t.Fatal("no promotion ever reached the victim")
+	}
+	victim.Close()
+
+	waitFor(t, "re-convergence on survivors", 5*time.Second, func() bool {
+		masterOf := map[int]string{}
+		for _, p := range survivors {
+			for part, st := range p.States("db") {
+				if st != StateMaster {
+					continue
+				}
+				if _, dup := masterOf[part]; dup {
+					return false
+				}
+				masterOf[part] = p.Instance()
+			}
+		}
+		return len(masterOf) == res.NumPartitions
+	})
+
+	// The routable view must agree: every partition mastered by a survivor.
+	spec := NewSpectator(srv, "mid")
+	defer spec.Close()
+	waitFor(t, "external view routes around the dead node", 5*time.Second, func() bool {
+		for part := 0; part < res.NumPartitions; part++ {
+			inst, err := spec.MasterOf("db", part)
+			if err != nil || inst == "node-0" {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+func TestReconvergenceAfterRestart(t *testing.T) {
+	srv := zk.NewServer()
+	ctrl, err := NewController(srv, "restart")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.Close()
+
+	parts := make([]*Participant, 3)
+	for i := range parts {
+		p, err := NewParticipant(srv, "restart", fmt.Sprintf("node-%d", i), &tracker{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts[i] = p
+	}
+	defer func() {
+		for _, p := range parts {
+			if p != nil {
+				p.Close()
+			}
+		}
+	}()
+	res := &Resource{Name: "db", NumPartitions: 4, Replicas: 2}
+	if err := ctrl.AddResource(res); err != nil {
+		t.Fatal(err)
+	}
+	ctrl.Start()
+
+	countMasters := func(ps []*Participant) int {
+		n := 0
+		for _, p := range ps {
+			if p == nil {
+				continue
+			}
+			for _, st := range p.States("db") {
+				if st == StateMaster {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	waitFor(t, "initial convergence", 5*time.Second, func() bool {
+		return countMasters(parts) == res.NumPartitions
+	})
+
+	// Kill node-0 while it holds masters, then wait for failover.
+	victim := parts[0]
+	parts[0] = nil
+	victim.Close()
+	waitFor(t, "failover to survivors", 5*time.Second, func() bool {
+		return countMasters(parts) == res.NumPartitions
+	})
+
+	// Restart the same instance name on a fresh session. Its previous
+	// incarnation's CURRENTSTATE claims must be wiped on startup, or the
+	// controller would issue transitions from states the new (OFFLINE)
+	// participant never held and the partition would stay masterless.
+	reborn, err := NewParticipant(srv, "restart", "node-0", &tracker{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts[0] = reborn
+
+	// Sticky ideal: the controller drives the cluster back to the original
+	// layout, so the reborn node reclaims its share of masters.
+	waitFor(t, "re-convergence after rejoin", 5*time.Second, func() bool {
+		masterOf := map[int]string{}
+		for _, p := range parts {
+			for part, st := range p.States("db") {
+				if st != StateMaster {
+					continue
+				}
+				if _, dup := masterOf[part]; dup {
+					return false
+				}
+				masterOf[part] = p.Instance()
+			}
+		}
+		if len(masterOf) != res.NumPartitions {
+			return false
+		}
+		for _, inst := range masterOf {
+			if inst == "node-0" {
+				return true
+			}
+		}
+		return false
+	})
+}

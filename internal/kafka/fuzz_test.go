@@ -1,0 +1,49 @@
+package kafka
+
+// Fuzz target for message-set parsing: Decode consumes fetch chunks straight
+// off the wire (and, for compressed wrappers, gunzipped bytes), so it must
+// reject arbitrary corruption with an error — never a panic — and the
+// offsets it reports must never go backwards.
+
+import (
+	"testing"
+)
+
+func FuzzDecode(f *testing.F) {
+	plain := NewMessageSet([]byte("hello"), []byte("world"))
+	f.Add(plain.Bytes(), int64(0))
+
+	compressed, err := plain.Compress()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(compressed.Bytes(), int64(100))
+
+	// A valid set followed by a partial tail — the normal fetch-boundary case.
+	tail := append(append([]byte(nil), plain.Bytes()...), 0, 0, 0, 42, 1)
+	f.Add(tail, int64(7))
+
+	corrupt := append([]byte(nil), plain.Bytes()...)
+	corrupt[len(corrupt)/2] ^= 0xff
+	f.Add(corrupt, int64(0))
+
+	f.Add([]byte{0, 0, 0, 0}, int64(0))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1, 0}, int64(0))
+
+	f.Fuzz(func(t *testing.T, chunk []byte, base int64) {
+		if n := validPrefix(chunk); n < 0 || n > len(chunk) {
+			t.Fatalf("validPrefix = %d of %d bytes", n, len(chunk))
+		}
+		msgs, err := Decode(chunk, base)
+		if err != nil {
+			return // rejected cleanly
+		}
+		last := base
+		for _, m := range msgs {
+			if m.NextOffset < last {
+				t.Fatalf("offsets rewound: %d after %d", m.NextOffset, last)
+			}
+			last = m.NextOffset
+		}
+	})
+}

@@ -296,6 +296,12 @@ func skipField(d *decoder, f *Field) error {
 		if err != nil {
 			return err
 		}
+		// Bound the loop like decodeField does: zero-width items (nulls,
+		// empty records) would otherwise let a corrupt count spin for up to
+		// 2^63 iterations.
+		if n < 0 || n > int64(len(d.b))+1 {
+			return ErrTruncated
+		}
 		for i := int64(0); i < n; i++ {
 			if err := skipField(d, f.Items); err != nil {
 				return err
@@ -306,6 +312,9 @@ func skipField(d *decoder, f *Field) error {
 		n, err := d.long()
 		if err != nil {
 			return err
+		}
+		if n < 0 || n > int64(len(d.b))+1 {
+			return ErrTruncated
 		}
 		for i := int64(0); i < n; i++ {
 			if _, err := d.bytes(); err != nil {

@@ -1,0 +1,176 @@
+package schema
+
+// Fuzz targets for the binary decode paths: Unmarshal and Resolve consume
+// untrusted bytes (Databus payloads, Espresso documents, registry data) and
+// must reject corrupt input with an error — never a panic, a huge
+// allocation, or a near-infinite skip loop. The seed corpus covers valid
+// encodings, truncations, and the historical crashers: negative and
+// absurdly large collection counts in front of zero-width items.
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// fuzzReader exercises every wire type, with the zero-width hazards (null
+// items, empty nested records) included deliberately.
+var fuzzReader = MustParse(`{
+	"name": "Fuzz",
+	"fields": [
+		{"name": "nulls", "type": "array", "items": {"name": "n", "type": "null"}},
+		{"name": "id", "type": "long"},
+		{"name": "name", "type": "string"},
+		{"name": "ratio", "type": "double", "optional": true},
+		{"name": "flags", "type": "array", "items": {"name": "flag", "type": "boolean"}},
+		{"name": "counts", "type": "map", "items": {"name": "c", "type": "long"}},
+		{"name": "nested", "type": "record", "record": {
+			"name": "Inner",
+			"fields": [
+				{"name": "a", "type": "int"},
+				{"name": "b", "type": "bytes"}
+			]}}
+	]}`)
+
+// fuzzWriter is fuzzReader plus fields the reader dropped — they route
+// through skipField, including the unbounded-loop shapes (arrays and maps of
+// zero-width items).
+var fuzzWriter = MustParse(`{
+	"name": "Fuzz",
+	"fields": [
+		{"name": "droppedNulls", "type": "array", "items": {"name": "n", "type": "null"}},
+		{"name": "droppedEmpties", "type": "array", "items": {"name": "e", "type": "record", "record": {"name": "Empty", "fields": []}}},
+		{"name": "droppedMap", "type": "map", "items": {"name": "v", "type": "null"}},
+		{"name": "nulls", "type": "array", "items": {"name": "n", "type": "null"}},
+		{"name": "id", "type": "int"},
+		{"name": "name", "type": "string"},
+		{"name": "ratio", "type": "double", "optional": true},
+		{"name": "flags", "type": "array", "items": {"name": "flag", "type": "boolean"}},
+		{"name": "counts", "type": "map", "items": {"name": "c", "type": "long"}},
+		{"name": "nested", "type": "record", "record": {
+			"name": "Inner",
+			"fields": [
+				{"name": "a", "type": "int"},
+				{"name": "b", "type": "bytes"}
+			]}}
+	]}`)
+
+func fuzzValue(t testing.TB) map[string]any {
+	t.Helper()
+	return map[string]any{
+		"nulls": []any{nil, nil},
+		"id":    int64(42),
+		"name":  "espresso",
+		"ratio": 0.5,
+		"flags": []any{true, false, true},
+		"counts": map[string]any{
+			"a": int64(1),
+			"b": int64(-7),
+		},
+		"nested": map[string]any{"a": int64(9), "b": []byte{0xde, 0xad}},
+	}
+}
+
+func fuzzSeeds(t testing.TB, r *Record) [][]byte {
+	t.Helper()
+	valid, err := Marshal(r, fuzzValue(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := append([]byte(nil), valid...)
+	corrupt[len(corrupt)/2] ^= 0xff
+	return [][]byte{
+		valid,
+		valid[:len(valid)/2],
+		corrupt,
+		{},
+		// The historical crashers: collection counts that cannot fit the
+		// remaining bytes, in front of zero-width items. A negative count
+		// used to panic make([]any, 0, n); a huge one used to spin the skip
+		// loop for up to 2^63 iterations or attempt the allocation.
+		binary.AppendVarint(nil, 1<<40),
+		binary.AppendVarint(nil, -5),
+	}
+}
+
+func FuzzUnmarshal(f *testing.F) {
+	for _, seed := range fuzzSeeds(f, fuzzReader) {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, err := Unmarshal(fuzzReader, data)
+		if err != nil {
+			return // rejected cleanly
+		}
+		// Anything the decoder accepts must re-encode.
+		if _, err := Marshal(fuzzReader, v); err != nil {
+			t.Fatalf("decoded value does not re-encode: %v", err)
+		}
+	})
+}
+
+func FuzzResolve(f *testing.F) {
+	for _, seed := range fuzzSeeds(f, fuzzWriter) {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, err := Resolve(fuzzWriter, fuzzReader, data)
+		if err != nil {
+			return
+		}
+		if _, err := Marshal(fuzzReader, v); err != nil {
+			t.Fatalf("resolved value does not re-encode under the reader: %v", err)
+		}
+	})
+}
+
+// The crashers above, pinned as plain regression tests so `go test` (not
+// just -fuzz) guards them forever.
+
+func TestSkipFieldRejectsHugeCount(t *testing.T) {
+	// fuzzWriter's first field is a dropped array of nulls: a huge count
+	// must be rejected as truncated input, not skipped item by item.
+	data := binary.AppendVarint(nil, 1<<40)
+	if _, err := Resolve(fuzzWriter, fuzzReader, data); err == nil {
+		t.Fatal("huge zero-width array count accepted")
+	}
+}
+
+func TestResolveArrayRejectsNegativeCount(t *testing.T) {
+	// fuzzReader's first field is an array the reader keeps: resolveArray
+	// must guard the count before allocating.
+	data := binary.AppendVarint(nil, -3)
+	if _, err := Resolve(fuzzReader, fuzzReader, data); err == nil {
+		t.Fatal("negative array count accepted")
+	}
+	if _, err := Unmarshal(fuzzReader, data); err == nil {
+		t.Fatal("negative array count accepted by Unmarshal")
+	}
+}
+
+func TestResolveRoundTrip(t *testing.T) {
+	data, err := Marshal(fuzzWriter, map[string]any{
+		"droppedNulls":   []any{nil},
+		"droppedEmpties": []any{map[string]any{}, map[string]any{}},
+		"droppedMap":     map[string]any{"x": nil},
+		"nulls":          []any{nil, nil},
+		"id":             int64(7),
+		"name":           "roundtrip",
+		"ratio":          nil,
+		"flags":          []any{false},
+		"counts":         map[string]any{"k": int64(3)},
+		"nested":         map[string]any{"a": int64(1), "b": []byte("bb")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := Resolve(fuzzWriter, fuzzReader, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v["id"] != int64(7) || v["name"] != "roundtrip" {
+		t.Fatalf("resolved value corrupted: %v", v)
+	}
+	if _, dropped := v["droppedNulls"]; dropped {
+		t.Fatal("dropped writer field leaked into the reader value")
+	}
+}

@@ -157,6 +157,12 @@ func resolveArray(d *decoder, wf, rf *Field) (any, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Same sanity bound as decodeField: a count that cannot possibly fit in
+	// the remaining bytes is corrupt input, not a huge (or negative)
+	// allocation request.
+	if n < 0 || n > int64(len(d.b))+1 {
+		return nil, ErrTruncated
+	}
 	out := make([]any, 0, n)
 	for i := int64(0); i < n; i++ {
 		v, err := resolveField(d, wf.Items, rf.Items)

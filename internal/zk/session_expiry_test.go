@@ -1,0 +1,198 @@
+package zk
+
+// Session-expiry edge cases. The liveness signal Helix and the Kafka consumer
+// groups build on is "ephemeral disappears, watch fires" — these tests pin
+// the ordering half of that contract: by the time any watch event caused by
+// an expiry is delivered, the ephemeral (indeed, every ephemeral the session
+// owned) is already removed, so a watcher that re-reads the tree on wake-up
+// always sees the post-expiry state, never a half-dead session.
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func recvEvent(t *testing.T, ch <-chan Event, what string) Event {
+	t.Helper()
+	select {
+	case ev := <-ch:
+		return ev
+	case <-time.After(time.Second):
+		t.Fatalf("timed out waiting for %s", what)
+		return Event{}
+	}
+}
+
+func TestExpiryRemovesNodeBeforeWatchDelivery(t *testing.T) {
+	s := NewServer()
+	observer := s.NewSession()
+	defer observer.Close()
+	owner := s.NewSession()
+
+	if _, err := observer.Create("/live", nil, FlagPersistent); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := owner.Create("/live/e", []byte("owner"), FlagEphemeral); err != nil {
+		t.Fatal(err)
+	}
+	dataCh, err := observer.WatchData("/live/e")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kids, childCh, err := observer.WatchChildren("/live")
+	if err != nil || len(kids) != 1 {
+		t.Fatalf("WatchChildren = (%v, %v)", kids, err)
+	}
+
+	owner.Close()
+
+	ev := recvEvent(t, dataCh, "data watch on the ephemeral")
+	if ev.Type != EventDeleted || ev.Path != "/live/e" {
+		t.Fatalf("data event = %+v, want deleted /live/e", ev)
+	}
+	// Removal precedes delivery: re-reading on wake-up must miss the node.
+	if ok, _ := observer.Exists("/live/e"); ok {
+		t.Fatal("ephemeral still visible after its delete watch fired")
+	}
+	ev = recvEvent(t, childCh, "child watch on the parent")
+	if ev.Type != EventChildrenChanged || ev.Path != "/live" {
+		t.Fatalf("child event = %+v, want childrenChanged /live", ev)
+	}
+	if kids, _ := observer.Children("/live"); len(kids) != 0 {
+		t.Fatalf("children after expiry = %v", kids)
+	}
+}
+
+func TestExpiryRemovalAtomicAcrossDepths(t *testing.T) {
+	// Close removes every ephemeral (deepest first) under a single server
+	// lock hold, so no observer can catch the session half-expired: when the
+	// watch for ANY of its nodes is delivered, ALL of them are gone —
+	// including ones deleted later in Close's own ordering.
+	s := NewServer()
+	observer := s.NewSession()
+	defer observer.Close()
+	if err := observer.CreateAll("/a/b/c", nil); err != nil {
+		t.Fatal(err)
+	}
+
+	owner := s.NewSession()
+	if _, err := owner.Create("/a/b/c/deep", nil, FlagEphemeral); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := owner.Create("/a/shallow", nil, FlagEphemeral); err != nil {
+		t.Fatal(err)
+	}
+	deepCh, err := observer.WatchData("/a/b/c/deep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	shallowCh, err := observer.WatchData("/a/shallow")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	owner.Close()
+
+	// The deep node is deleted first; at the moment its event is delivered
+	// the shallow one (deleted after it) must already be gone too.
+	ev := recvEvent(t, deepCh, "deep delete watch")
+	if ev.Type != EventDeleted {
+		t.Fatalf("deep event = %+v", ev)
+	}
+	if ok, _ := observer.Exists("/a/shallow"); ok {
+		t.Fatal("shallow ephemeral observable after the deep watch fired")
+	}
+	ev = recvEvent(t, shallowCh, "shallow delete watch")
+	if ev.Type != EventDeleted || ev.Path != "/a/shallow" {
+		t.Fatalf("shallow event = %+v", ev)
+	}
+	// Persistent scaffolding survives the expiry untouched.
+	for _, p := range []string{"/a", "/a/b", "/a/b/c"} {
+		if ok, _ := observer.Exists(p); !ok {
+			t.Fatalf("persistent node %s removed by expiry", p)
+		}
+	}
+}
+
+func TestLeaderElectionHandoffOnExpiry(t *testing.T) {
+	// The classic herd-avoiding election: sequential ephemerals, each
+	// candidate watches its predecessor. When the leader's session expires
+	// the successor's watch fires and, re-listing, it finds itself lowest.
+	s := NewServer()
+	setup := s.NewSession()
+	defer setup.Close()
+	if _, err := setup.Create("/election", nil, FlagPersistent); err != nil {
+		t.Fatal(err)
+	}
+
+	leader := s.NewSession()
+	follower := s.NewSession()
+	defer follower.Close()
+	lp, err := leader.Create("/election/n-", nil, FlagEphemeral|FlagSequential)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := follower.Create("/election/n-", nil, FlagEphemeral|FlagSequential)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lp >= fp {
+		t.Fatalf("sequential order broken: leader %q, follower %q", lp, fp)
+	}
+	watch, err := follower.WatchData(lp)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	leader.Close()
+
+	ev := recvEvent(t, watch, "predecessor watch")
+	if ev.Type != EventDeleted || ev.Path != lp {
+		t.Fatalf("event = %+v, want deleted %s", ev, lp)
+	}
+	// On wake-up the follower is already the lowest candidate: leadership is
+	// decided by the re-read, not by a racing second event.
+	kids, err := follower.Children("/election")
+	if err != nil || len(kids) != 1 {
+		t.Fatalf("candidates after expiry = (%v, %v)", kids, err)
+	}
+	if "/election/"+kids[0] != fp {
+		t.Fatalf("new leader = %q, want %q", kids[0], fp)
+	}
+}
+
+func TestReregisterEphemeralAfterExpiry(t *testing.T) {
+	// Instance re-registration: the same path is claimable again the moment
+	// the old owner expires, and the old session's (idempotent) Close must
+	// not reap the new owner's node.
+	s := NewServer()
+	setup := s.NewSession()
+	defer setup.Close()
+	if _, err := setup.Create("/instances", nil, FlagPersistent); err != nil {
+		t.Fatal(err)
+	}
+
+	first := s.NewSession()
+	if _, err := first.Create("/instances/node-0", []byte("v1"), FlagEphemeral); err != nil {
+		t.Fatal(err)
+	}
+	second := s.NewSession()
+	defer second.Close()
+	if _, err := second.Create("/instances/node-0", []byte("v2"), FlagEphemeral); !errors.Is(err, ErrNodeExists) {
+		t.Fatalf("claim while owner alive err = %v, want ErrNodeExists", err)
+	}
+
+	first.Close()
+	if _, err := second.Create("/instances/node-0", []byte("v2"), FlagEphemeral); err != nil {
+		t.Fatalf("re-register after expiry: %v", err)
+	}
+
+	// A second Close of the dead session is a no-op — it must not delete the
+	// re-registered node it once owned the path of.
+	first.Close()
+	data, stat, err := second.Get("/instances/node-0")
+	if err != nil || string(data) != "v2" || !stat.Ephemeral {
+		t.Fatalf("re-registered node = (%q, %+v, %v)", data, stat, err)
+	}
+}
