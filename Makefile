@@ -7,13 +7,13 @@ GO ?= go
 # retry/breaker, chaos fault injection, broker protocol, metrics registry,
 # replication/apply loops, watch dispatch, history recording) get an extra
 # pass under the race detector.
-RACE_PKGS = ./internal/resilience ./internal/failure ./internal/voldemort ./internal/kafka ./internal/metrics ./internal/espresso ./internal/databus ./internal/helix ./internal/zk ./internal/consistency
+RACE_PKGS = ./internal/resilience ./internal/failure ./internal/voldemort ./internal/kafka ./internal/metrics ./internal/espresso ./internal/databus ./internal/helix ./internal/zk ./internal/consistency ./internal/storage ./internal/schema
 
 # Fuzz targets with checked-in seed corpora: binary decoders that must never
 # panic on arbitrary bytes.
 FUZZ_TARGETS = FuzzUnmarshal/internal/schema FuzzResolve/internal/schema FuzzDecode/internal/kafka
 
-.PHONY: all build vet test check test-race bench verify fuzz-smoke clean
+.PHONY: all build vet test check test-race bench bench-json bench-smoke verify fuzz-smoke clean
 
 all: check
 
@@ -41,6 +41,17 @@ test-race:
 # The experiment harness (root package) — see EXPERIMENTS.md.
 bench:
 	$(GO) test -bench=. -benchtime=1x .
+
+# Machine-readable benchmark results: runs the experiment (E*/Ablation) and
+# hot-path (storage, schema) benchmark suites with -benchmem and writes
+# BENCH_PR4.json — the perf trajectory future PRs are judged against. The
+# schema is documented in EXPERIMENTS.md.
+bench-json:
+	$(GO) run ./cmd/benchjson -out BENCH_PR4.json
+
+# Compile every benchmark and run each once — benchmarks can't silently rot.
+bench-smoke:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
 # Generator-driven consistency verification: seeded concurrent workloads
 # against all four systems under fault injection, histories checked against

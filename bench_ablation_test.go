@@ -6,6 +6,8 @@ package datainfra
 
 import (
 	"fmt"
+	"runtime"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -69,6 +71,39 @@ func BenchmarkAblationFsyncPolicy(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// BenchmarkAblationGroupCommit isolates the group-commit win: N concurrent
+// writers under the fsync-every-write policy. writers=1 is the degenerate
+// case (every Put pays its own fsync); higher writer counts should see
+// per-op cost fall as the commit loop folds their records into shared
+// fsyncs.
+func BenchmarkAblationGroupCommit(b *testing.B) {
+	for _, writers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("writers=%d", writers), func(b *testing.B) {
+			eng, err := storage.OpenBitcask("g", b.TempDir(), 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer eng.Close()
+			val := workload.Value(1, 512)
+			var seq atomic.Int64
+			b.SetBytes(512)
+			prev := runtime.GOMAXPROCS(writers)
+			defer runtime.GOMAXPROCS(prev)
+			b.SetParallelism(1) // GOMAXPROCS goroutines total
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					i := seq.Add(1)
+					c := vclock.New().Increment(0, i)
+					if err := eng.Put(workload.Key("k", int(i)), versioned.With(val, c)); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
 		})
 	}
 }

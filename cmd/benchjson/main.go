@@ -1,0 +1,166 @@
+// Command benchjson runs the repository's benchmark suites with -benchmem
+// and writes the results as JSON (BENCH_PR4.json et al.) so the performance
+// trajectory is machine-readable PR over PR. The output schema is documented
+// in EXPERIMENTS.md.
+//
+// Usage: go run ./cmd/benchjson [-out BENCH_PR4.json] [-benchtime 0.5s]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// suite is one `go test -bench` invocation.
+type suite struct {
+	Pkg       string // package path passed to go test
+	Bench     string // -bench regexp
+	Benchtime string // -benchtime value
+	Cpu       string // -cpu value ("" = default GOMAXPROCS)
+}
+
+// suites covers the experiment harness (E*/FII*, one iteration each — they
+// embed their own fixed workloads), the ablations with a real time budget,
+// and the hot-path micro-benchmarks (storage engine, schema codec). The
+// storage suite runs at -cpu=8 so the concurrent benchmarks actually
+// exercise 8 goroutines regardless of the host's core count. Later suites
+// override earlier results with the same benchmark name, so the ablation
+// re-run supersedes its single-iteration smoke numbers.
+var suites = []suite{
+	{Pkg: ".", Bench: ".", Benchtime: "1x"},
+	{Pkg: ".", Bench: "BenchmarkAblation", Benchtime: "0.3s"},
+	{Pkg: "./internal/storage", Bench: ".", Benchtime: "2s", Cpu: "8"},
+	{Pkg: "./internal/schema", Bench: ".", Benchtime: "0.5s"},
+}
+
+// result is one benchmark line. NsPerOp is always set; BytesPerOp and
+// AllocsPerOp come from -benchmem; Extra holds any custom b.ReportMetric
+// columns (e.g. "%-reclaimed", "MB/s") keyed by unit.
+type result struct {
+	Name        string             `json:"name"`
+	Pkg         string             `json:"pkg"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_PR4.json", "output JSON file")
+	benchtime := flag.String("benchtime", "", "override -benchtime for every suite")
+	flag.Parse()
+
+	var results []result
+	for _, s := range suites {
+		bt := s.Benchtime
+		if *benchtime != "" {
+			bt = *benchtime
+		}
+		args := []string{"test", "-run=NONE", "-bench=" + s.Bench, "-benchmem", "-benchtime=" + bt}
+		if s.Cpu != "" {
+			args = append(args, "-cpu="+s.Cpu)
+		}
+		args = append(args, s.Pkg)
+		fmt.Fprintf(os.Stderr, "benchjson: go %s\n", strings.Join(args, " "))
+		cmd := exec.Command("go", args...)
+		cmd.Stderr = os.Stderr
+		outBytes, err := cmd.Output()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n%s\n", s.Pkg, err, outBytes)
+			os.Exit(1)
+		}
+		results = append(results, parseBenchOutput(s.Pkg, s.Cpu, string(outBytes))...)
+	}
+
+	// Later suites supersede earlier results with the same (pkg, name).
+	seen := make(map[string]int)
+	deduped := results[:0]
+	for _, r := range results {
+		key := r.Pkg + " " + r.Name
+		if i, ok := seen[key]; ok {
+			deduped[i] = r
+			continue
+		}
+		seen[key] = len(deduped)
+		deduped = append(deduped, r)
+	}
+	results = deduped
+
+	doc := map[string]any{
+		"schema":  "benchjson/v1",
+		"results": results,
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(results), *out)
+}
+
+// parseBenchOutput extracts benchmark lines of the form
+//
+//	BenchmarkName-8   	 1000	 1234 ns/op	 56 B/op	 7 allocs/op	 3.2 extra/unit
+//
+// from go test output. cpu is the -cpu value the suite ran with ("" for the
+// default): go test appends "-<procs>" to names when procs != 1, and only
+// that exact suffix is stripped — sub-benchmark names like "every-1000"
+// must survive intact.
+func parseBenchOutput(pkg, cpu, out string) []result {
+	procsSuffix := ""
+	if cpu != "" {
+		procsSuffix = "-" + cpu
+	} else if n := runtime.GOMAXPROCS(0); n != 1 {
+		procsSuffix = "-" + strconv.Itoa(n)
+	}
+	var results []result
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		name := strings.TrimSuffix(fields[0], procsSuffix)
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		r := result{Name: name, Pkg: pkg, Iterations: iters}
+		// Remaining fields come in (value, unit) pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				r.NsPerOp = v
+			case "B/op":
+				r.BytesPerOp = int64(v)
+			case "allocs/op":
+				r.AllocsPerOp = int64(v)
+			default:
+				if r.Extra == nil {
+					r.Extra = map[string]float64{}
+				}
+				r.Extra[fields[i+1]] = v
+			}
+		}
+		results = append(results, r)
+	}
+	return results
+}

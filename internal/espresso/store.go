@@ -271,21 +271,16 @@ func (ps *partitionStore) applyLocked(db *Database, row *Row, rec *schema.Record
 			return
 		}
 	}
-	doc, err := schema.Unmarshal(rec, row.Val)
-	if err != nil {
-		return
-	}
-	for _, f := range rec.IndexedFields() {
-		v, ok := doc[f.Name].(string)
-		if !ok {
-			continue
-		}
+	// Only the indexed string fields matter here; walk them out of the
+	// encoded row directly instead of materializing the whole document.
+	_ = schema.IndexedStrings(rec, row.Val, func(f *schema.Field, v string) bool {
 		kind := docindex.Exact
 		if f.Index == schema.IndexText {
 			kind = docindex.Text
 		}
 		ps.index.Add(id, f.Name, v, kind)
-	}
+		return true
+	})
 }
 
 // Get returns the row for key from the local store (master or slave — the

@@ -1,0 +1,42 @@
+package kafka
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// TestRemoteBrokerPoolBounded proves the idle-connection cap: returning more
+// connections than maxIdleConns retains exactly maxIdleConns and closes the
+// overflow.
+func TestRemoteBrokerPoolBounded(t *testing.T) {
+	r := DialBroker("127.0.0.1:0", time.Second)
+	defer r.Close()
+
+	var client, server []net.Conn
+	for i := 0; i < maxIdleConns+3; i++ {
+		c, sv := net.Pipe()
+		client = append(client, c)
+		server = append(server, sv)
+		r.putConn(c)
+	}
+	r.mu.Lock()
+	pooled := len(r.conns)
+	r.mu.Unlock()
+	if pooled != maxIdleConns {
+		t.Fatalf("pooled %d idle conns, want %d", pooled, maxIdleConns)
+	}
+	for i := maxIdleConns; i < len(server); i++ {
+		sv := server[i]
+		sv.SetReadDeadline(time.Now().Add(time.Second))
+		if _, err := sv.Read(make([]byte, 1)); err == nil {
+			t.Fatalf("overflow conn %d still open after putConn", i)
+		}
+	}
+	for _, c := range client {
+		c.Close()
+	}
+	for _, sv := range server {
+		sv.Close()
+	}
+}

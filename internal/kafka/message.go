@@ -82,6 +82,10 @@ func (s *MessageSet) Append(m Message) { s.buf = m.appendTo(s.buf) }
 // Bytes returns the wire form.
 func (s *MessageSet) Bytes() []byte { return s.buf }
 
+// Reset empties the set, keeping its encode buffer for reuse — the producer
+// recycles batch sets so steady-state publishing reallocates nothing.
+func (s *MessageSet) Reset() { s.buf = s.buf[:0] }
+
 // Len returns the byte length of the set.
 func (s *MessageSet) Len() int { return len(s.buf) }
 

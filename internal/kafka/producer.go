@@ -47,7 +47,7 @@ type Producer struct {
 	cfg    ProducerConfig
 
 	mu      sync.Mutex
-	batches map[string]*batch // "topic/partition"
+	batches map[topicPartition]*batch
 	closed  bool
 
 	sent        int64 // messages produced
@@ -59,12 +59,34 @@ type Producer struct {
 	wg   sync.WaitGroup
 }
 
+// topicPartition keys the per-partition batch map; a struct key avoids the
+// per-send string formatting a "topic/partition" key would cost.
+type topicPartition struct {
+	topic     string
+	partition int
+}
+
 type batch struct {
 	topic     string
 	partition int
 	set       MessageSet
 	count     int
 	started   time.Time
+}
+
+// batchPool recycles batch structs (and their MessageSet encode buffers)
+// once shipped: the broker copies the set on Produce, so the buffer is free
+// for reuse the moment ship returns.
+var batchPool = sync.Pool{New: func() any { return new(batch) }}
+
+func newBatch(topic string, partition int) *batch {
+	b := batchPool.Get().(*batch)
+	b.topic = topic
+	b.partition = partition
+	b.set.Reset()
+	b.count = 0
+	b.started = time.Now()
+	return b
 }
 
 // NewProducer builds a producer over broker.
@@ -81,7 +103,7 @@ func NewProducer(broker BrokerClient, cfg ProducerConfig) *Producer {
 	p := &Producer{
 		broker:  broker,
 		cfg:     cfg,
-		batches: map[string]*batch{},
+		batches: map[topicPartition]*batch{},
 		stop:    make(chan struct{}),
 	}
 	p.wg.Add(1)
@@ -114,10 +136,10 @@ func (p *Producer) SendTo(topic string, partition int, payload []byte) error {
 		p.mu.Unlock()
 		return fmt.Errorf("kafka: producer closed")
 	}
-	k := fmt.Sprintf("%s/%d", topic, partition)
+	k := topicPartition{topic, partition}
 	b, ok := p.batches[k]
 	if !ok {
-		b = &batch{topic: topic, partition: partition, started: time.Now()}
+		b = newBatch(topic, partition)
 		p.batches[k] = b
 	}
 	b.set.Append(NewMessage(payload))
@@ -153,6 +175,9 @@ func (p *Producer) ship(b *batch) error {
 	p.mu.Unlock()
 	mProducerBytes.Add(int64(set.Len()))
 	_, err := p.broker.Produce(b.topic, b.partition, set)
+	// Produce has fully consumed the set (brokers copy it into the log or
+	// onto the wire), so the batch and its buffer can be recycled.
+	batchPool.Put(b)
 	return err
 }
 

@@ -72,10 +72,15 @@ func (r *RemoteBroker) getConn() (net.Conn, error) {
 	return net.DialTimeout("tcp", r.addr, r.timeout)
 }
 
+// maxIdleConns bounds the idle connection pool: bursts may dial beyond it,
+// but only this many connections are retained on return — the overflow is
+// closed so bursty producers cannot pin fds forever.
+const maxIdleConns = 4
+
 func (r *RemoteBroker) putConn(c net.Conn) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.closed || len(r.conns) >= 4 {
+	if r.closed || len(r.conns) >= maxIdleConns {
 		c.Close()
 		return
 	}

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
+	"sync"
 )
 
 // Binary encoding, Avro-shaped: longs are zig-zag varints; strings/bytes are
@@ -17,7 +19,10 @@ import (
 // ErrTruncated is returned for short input.
 var ErrTruncated = errors.New("schema: truncated input")
 
-type encoder struct{ b []byte }
+type encoder struct {
+	b    []byte
+	keys []string // map-key scratch, reused across encodes (one level deep)
+}
 
 func (e *encoder) long(v int64) {
 	e.b = binary.AppendVarint(e.b, v)
@@ -25,6 +30,10 @@ func (e *encoder) long(v int64) {
 func (e *encoder) bytes(p []byte) {
 	e.long(int64(len(p)))
 	e.b = append(e.b, p...)
+}
+func (e *encoder) str(s string) {
+	e.long(int64(len(s)))
+	e.b = append(e.b, s...)
 }
 func (e *encoder) double(f float64) {
 	e.b = binary.LittleEndian.AppendUint64(e.b, math.Float64bits(f))
@@ -37,7 +46,52 @@ func (e *encoder) bool(v bool) {
 	}
 }
 
-type decoder struct{ b []byte }
+// decoder walks the wire bytes. Decoded strings are written into one shared
+// arena (a strings.Builder, pre-grown to the input length) and returned as
+// zero-copy slices of its accumulated string — one allocation for all string
+// data per decode instead of one per string. Appending to the Builder never
+// mutates already-returned bytes, so earlier slices stay valid even if the
+// arena grows.
+type decoder struct {
+	b     []byte
+	arena strings.Builder
+	reuse *Decoder // non-nil when decoding through a reusable Decoder
+}
+
+// newMap and newSlice are the container allocation points of the decode
+// walk; a reusable Decoder satisfies them from its scratch pools.
+func (d *decoder) newMap(hint int) map[string]any {
+	if d.reuse != nil {
+		return d.reuse.nextMap(hint)
+	}
+	return make(map[string]any, hint)
+}
+
+// newSlice returns a slice to append into plus its scratch index (-1 when
+// not pooled); the caller hands the final slice back through putSlice so
+// capacity grown by append survives into the next Decode.
+func (d *decoder) newSlice(hint int) ([]any, int) {
+	if d.reuse != nil {
+		return d.reuse.nextSlice(hint)
+	}
+	return make([]any, 0, hint), -1
+}
+
+func (d *decoder) putSlice(idx int, s []any) {
+	if d.reuse != nil && idx >= 0 {
+		d.reuse.slices[idx] = s
+	}
+}
+
+// str copies p into the arena and returns it as a string view.
+func (d *decoder) str(p []byte) string {
+	if len(p) == 0 {
+		return ""
+	}
+	start := d.arena.Len()
+	d.arena.Write(p)
+	return d.arena.String()[start : start+len(p)]
+}
 
 func (d *decoder) long() (int64, error) {
 	v, n := binary.Varint(d.b)
@@ -76,19 +130,58 @@ func (d *decoder) bool() (bool, error) {
 	return v, nil
 }
 
+// encPool recycles encoders (buffer + map-key scratch) across Marshal calls:
+// steady-state encoding allocates only the exact-size result copy.
+var encPool = sync.Pool{
+	New: func() any { return &encoder{b: make([]byte, 0, 1024)} },
+}
+
 // Marshal encodes a record value (map[string]any) under r. Missing fields
 // take their defaults; unknown fields are rejected.
 func Marshal(r *Record, value map[string]any) ([]byte, error) {
-	for k := range value {
-		if _, ok := r.FieldByName(k); !ok {
-			return nil, fmt.Errorf("schema: record %q has no field %q", r.Name, k)
-		}
-	}
-	var e encoder
-	if err := encodeRecord(&e, r, value); err != nil {
+	if err := checkKnownFields(r, value); err != nil {
 		return nil, err
 	}
-	return e.b, nil
+	e := encPool.Get().(*encoder)
+	e.b = e.b[:0]
+	err := encodeRecord(e, r, value)
+	if err != nil {
+		encPool.Put(e)
+		return nil, err
+	}
+	out := make([]byte, len(e.b))
+	copy(out, e.b)
+	encPool.Put(e)
+	return out, nil
+}
+
+// AppendMarshal encodes value under r, appending to dst, and returns the
+// extended slice — the zero-copy variant for callers that own a reusable
+// buffer (the Espresso commit path, the Kafka producer).
+func AppendMarshal(dst []byte, r *Record, value map[string]any) ([]byte, error) {
+	if err := checkKnownFields(r, value); err != nil {
+		return dst, err
+	}
+	e := encPool.Get().(*encoder)
+	own := e.b
+	e.b = dst
+	err := encodeRecord(e, r, value)
+	out := e.b
+	e.b = own[:0]
+	encPool.Put(e)
+	if err != nil {
+		return dst, err
+	}
+	return out, nil
+}
+
+func checkKnownFields(r *Record, value map[string]any) error {
+	for k := range value {
+		if _, ok := r.FieldByName(k); !ok {
+			return fmt.Errorf("schema: record %q has no field %q", r.Name, k)
+		}
+	}
+	return nil
 }
 
 func encodeRecord(e *encoder, r *Record, value map[string]any) error {
@@ -118,13 +211,68 @@ func encodeField(e *encoder, f *Field, v any) error {
 	} else if v == nil && f.Type != TypeNull {
 		return fmt.Errorf("schema: nil for non-optional field %q", f.Name)
 	}
-	cv, err := coerceJSON(f, v)
-	if err != nil && f.Type != TypeNull {
-		return err
-	}
+	// Containers are walked in place when they already carry the right
+	// runtime type — the recursion coerces each element. coerceJSON (which
+	// rebuilds containers) is only the fallback for JSON-shaped input.
 	switch f.Type {
 	case TypeNull:
 		return nil
+	case TypeArray:
+		arr, ok := v.([]any)
+		if !ok {
+			cv, err := coerceJSON(f, v)
+			if err != nil {
+				return err
+			}
+			arr = cv.([]any)
+		}
+		e.long(int64(len(arr)))
+		for _, item := range arr {
+			if err := encodeField(e, f.Items, item); err != nil {
+				return err
+			}
+		}
+		return nil
+	case TypeMap:
+		m, ok := v.(map[string]any)
+		if !ok {
+			cv, err := coerceJSON(f, v)
+			if err != nil {
+				return err
+			}
+			m = cv.(map[string]any)
+		}
+		// Borrow the encoder's key scratch; nested maps (rare) fall back to
+		// a fresh allocation since the scratch is checked out until the loop
+		// below finishes.
+		keys := e.keys[:0]
+		e.keys = nil
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys) // deterministic wire form
+		e.long(int64(len(m)))
+		for _, k := range keys {
+			e.str(k)
+			if err := encodeField(e, f.Items, m[k]); err != nil {
+				e.keys = keys[:0]
+				return err
+			}
+		}
+		e.keys = keys[:0]
+		return nil
+	case TypeRecord:
+		m, ok := v.(map[string]any)
+		if !ok {
+			return fmt.Errorf("schema: field %q: record value must be a map, got %T", f.Name, v)
+		}
+		return encodeRecord(e, f.Record, m)
+	}
+	cv, err := coerceJSON(f, v)
+	if err != nil {
+		return err
+	}
+	switch f.Type {
 	case TypeBoolean:
 		e.bool(cv.(bool))
 	case TypeInt, TypeLong:
@@ -132,33 +280,9 @@ func encodeField(e *encoder, f *Field, v any) error {
 	case TypeFloat, TypeDouble:
 		e.double(cv.(float64))
 	case TypeString:
-		e.bytes([]byte(cv.(string)))
+		e.str(cv.(string))
 	case TypeBytes:
 		e.bytes(cv.([]byte))
-	case TypeArray:
-		arr := cv.([]any)
-		e.long(int64(len(arr)))
-		for _, item := range arr {
-			if err := encodeField(e, f.Items, item); err != nil {
-				return err
-			}
-		}
-	case TypeMap:
-		m := cv.(map[string]any)
-		keys := make([]string, 0, len(m))
-		for k := range m {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys) // deterministic wire form
-		e.long(int64(len(m)))
-		for _, k := range keys {
-			e.bytes([]byte(k))
-			if err := encodeField(e, f.Items, m[k]); err != nil {
-				return err
-			}
-		}
-	case TypeRecord:
-		return encodeRecord(e, f.Record, cv.(map[string]any))
 	default:
 		return fmt.Errorf("schema: cannot encode type %q", f.Type)
 	}
@@ -168,6 +292,9 @@ func encodeField(e *encoder, f *Field, v any) error {
 // Unmarshal decodes data written under r back into a map.
 func Unmarshal(r *Record, data []byte) (map[string]any, error) {
 	d := decoder{b: data}
+	// All string data combined cannot exceed the input length, so one grow
+	// makes the arena never reallocate.
+	d.arena.Grow(len(data))
 	v, err := decodeRecord(&d, r)
 	if err != nil {
 		return nil, err
@@ -179,7 +306,7 @@ func Unmarshal(r *Record, data []byte) (map[string]any, error) {
 }
 
 func decodeRecord(d *decoder, r *Record) (map[string]any, error) {
-	out := make(map[string]any, len(r.Fields))
+	out := d.newMap(len(r.Fields))
 	for _, f := range r.Fields {
 		v, err := decodeField(d, f)
 		if err != nil {
@@ -211,7 +338,10 @@ func decodeField(d *decoder, f *Field) (any, error) {
 		return d.double()
 	case TypeString:
 		b, err := d.bytes()
-		return string(b), err
+		if err != nil {
+			return nil, err
+		}
+		return d.str(b), nil
 	case TypeBytes:
 		b, err := d.bytes()
 		if err != nil {
@@ -228,7 +358,7 @@ func decodeField(d *decoder, f *Field) (any, error) {
 		if n < 0 || n > int64(len(d.b))+1 {
 			return nil, ErrTruncated
 		}
-		out := make([]any, 0, n)
+		out, sidx := d.newSlice(int(n))
 		for i := int64(0); i < n; i++ {
 			v, err := decodeField(d, f.Items)
 			if err != nil {
@@ -236,6 +366,7 @@ func decodeField(d *decoder, f *Field) (any, error) {
 			}
 			out = append(out, v)
 		}
+		d.putSlice(sidx, out)
 		return out, nil
 	case TypeMap:
 		n, err := d.long()
@@ -245,7 +376,7 @@ func decodeField(d *decoder, f *Field) (any, error) {
 		if n < 0 || n > int64(len(d.b))+1 {
 			return nil, ErrTruncated
 		}
-		out := make(map[string]any, n)
+		out := d.newMap(int(n))
 		for i := int64(0); i < n; i++ {
 			k, err := d.bytes()
 			if err != nil {
@@ -255,13 +386,109 @@ func decodeField(d *decoder, f *Field) (any, error) {
 			if err != nil {
 				return nil, err
 			}
-			out[string(k)] = v
+			out[d.str(k)] = v
 		}
 		return out, nil
 	case TypeRecord:
 		return decodeRecord(d, f.Record)
 	}
 	return nil, fmt.Errorf("schema: cannot decode type %q", f.Type)
+}
+
+// IndexedStrings walks data (written under r) and yields the value of each
+// top-level indexed string field, skipping everything else without
+// materializing it — the secondary-index maintenance path needs only these,
+// so it should not pay for a full decode. Yielded strings are copies (backed
+// by one shared arena per call), safe to retain. Returning false from fn
+// stops the walk.
+func IndexedStrings(r *Record, data []byte, fn func(f *Field, v string) bool) error {
+	d := decoder{b: data}
+	for _, f := range r.Fields {
+		if f.Index == IndexNone || f.Type != TypeString {
+			if err := skipField(&d, f); err != nil {
+				return err
+			}
+			continue
+		}
+		if f.Optional {
+			present, err := d.bool()
+			if err != nil {
+				return err
+			}
+			if !present {
+				continue
+			}
+		}
+		b, err := d.bytes()
+		if err != nil {
+			return err
+		}
+		if !fn(f, d.str(b)) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Decoder decodes values written under one schema while reusing its output
+// containers: the map returned by Decode (including nested maps and slices)
+// is cleared and refilled by the NEXT Decode call, so callers must finish
+// with (or deep-copy) one result before asking for another. In exchange,
+// steady-state decoding allocates only the per-call string arena and the
+// unavoidable interface boxing of scalar values — roughly half the
+// allocations of the one-shot Unmarshal. This is the right tool for hot
+// loops that inspect a record and move on (the Espresso apply path, the
+// Databus consumer), not for callers that retain decoded values.
+//
+// A Decoder is not safe for concurrent use.
+type Decoder struct {
+	r      *Record
+	maps   []map[string]any // visitation-ordered container scratch
+	slices [][]any
+	mi, si int
+}
+
+// NewDecoder returns a reusable decoder for records written under r.
+func NewDecoder(r *Record) *Decoder {
+	return &Decoder{r: r}
+}
+
+// Decode decodes data; the result is valid until the next Decode call.
+func (dec *Decoder) Decode(data []byte) (map[string]any, error) {
+	dec.mi, dec.si = 0, 0
+	d := decoder{b: data, reuse: dec}
+	d.arena.Grow(len(data))
+	v, err := decodeRecord(&d, dec.r)
+	if err != nil {
+		return nil, err
+	}
+	if len(d.b) != 0 {
+		return nil, fmt.Errorf("schema: %d trailing bytes", len(d.b))
+	}
+	return v, nil
+}
+
+func (dec *Decoder) nextMap(hint int) map[string]any {
+	if dec.mi < len(dec.maps) {
+		m := dec.maps[dec.mi]
+		dec.mi++
+		clear(m)
+		return m
+	}
+	m := make(map[string]any, hint)
+	dec.maps = append(dec.maps, m)
+	dec.mi++
+	return m
+}
+
+func (dec *Decoder) nextSlice(hint int) ([]any, int) {
+	idx := dec.si
+	dec.si++
+	if idx < len(dec.slices) {
+		return dec.slices[idx][:0], idx
+	}
+	dec.slices = append(dec.slices, nil)
+	return make([]any, 0, hint), idx
 }
 
 // skipField advances past a field without materializing it (used by

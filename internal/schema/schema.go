@@ -210,33 +210,33 @@ func coerceJSON(f *Field, v any) (any, error) {
 		case float64:
 			return int64(n), nil
 		case int64:
-			return n, nil
+			return v, nil // already the wire type: avoid re-boxing
 		case int:
 			return int64(n), nil
 		}
 	case TypeFloat, TypeDouble:
 		switch n := v.(type) {
 		case float64:
-			return n, nil
+			return v, nil // already the wire type: avoid re-boxing
 		case int64:
 			return float64(n), nil
 		case int:
 			return float64(n), nil
 		}
 	case TypeBoolean:
-		if b, ok := v.(bool); ok {
-			return b, nil
+		if _, ok := v.(bool); ok {
+			return v, nil
 		}
 	case TypeString:
-		if s, ok := v.(string); ok {
-			return s, nil
+		if _, ok := v.(string); ok {
+			return v, nil
 		}
 	case TypeBytes:
 		switch b := v.(type) {
 		case string:
 			return []byte(b), nil
 		case []byte:
-			return b, nil
+			return v, nil
 		}
 	case TypeArray:
 		if arr, ok := v.([]any); ok {

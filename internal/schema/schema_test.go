@@ -337,3 +337,110 @@ func BenchmarkUnmarshal(b *testing.B) {
 		}
 	}
 }
+
+func TestDecoderReuse(t *testing.T) {
+	r := MustParse(songSchema)
+	a := song()
+	b := song()
+	b["artist"] = "Aretha Franklin"
+	b["tags"] = []any{"soul", "gospel", "classic"}
+	b["plays"] = map[string]any{"fr": int64(7)}
+	da, err := Marshal(r, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := Marshal(r, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := NewDecoder(r)
+	// Alternate decodes through the same Decoder: each result must match
+	// its input exactly even though the containers are recycled.
+	for i := 0; i < 6; i++ {
+		data, want := da, a
+		if i%2 == 1 {
+			data, want = db, b
+		}
+		got, err := dec.Decode(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("iter %d: decode mismatch:\n got %#v\nwant %#v", i, got, want)
+		}
+	}
+	if _, err := dec.Decode(da[:len(da)-2]); err == nil {
+		t.Fatal("truncated input accepted")
+	}
+	got, err := dec.Decode(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, b) {
+		t.Fatal("decode after error mismatch")
+	}
+}
+
+func BenchmarkUnmarshalReuse(b *testing.B) {
+	r := MustParse(songSchema)
+	data, _ := Marshal(r, song())
+	dec := NewDecoder(r)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := dec.Decode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestIndexedStrings(t *testing.T) {
+	r := MustParse(songSchema)
+	data, err := Marshal(r, song())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]string{}
+	if err := IndexedStrings(r, data, func(f *Field, v string) bool {
+		got[f.Name] = v
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{
+		"artist": "Etta James",
+		"lyrics": "at last my love has come along",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("indexed strings = %#v, want %#v", got, want)
+	}
+
+	// Optional indexed strings honor the presence marker.
+	opt := MustParse(`{"name":"O","fields":[
+		{"name":"pad","type":"long"},
+		{"name":"a","type":"string","index":"exact","optional":true},
+		{"name":"b","type":"string","index":"text"}
+	]}`)
+	for _, val := range []map[string]any{
+		{"pad": int64(9), "a": "present", "b": "tail"},
+		{"pad": int64(9), "a": nil, "b": "tail"},
+	} {
+		data, err := Marshal(opt, val)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := map[string]string{}
+		if err := IndexedStrings(opt, data, func(f *Field, v string) bool {
+			seen[f.Name] = v
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		wantN := 2
+		if val["a"] == nil {
+			wantN = 1
+		}
+		if len(seen) != wantN || seen["b"] != "tail" {
+			t.Fatalf("val %v: seen %v", val, seen)
+		}
+	}
+}

@@ -5,10 +5,14 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"hash/fnv"
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"datainfra/internal/vclock"
 	"datainfra/internal/versioned"
@@ -19,19 +23,76 @@ import (
 // update an in-memory hash index; reads are a single ReadAt. Recovery scans
 // the log (last record for a key wins); Compact rewrites live records into a
 // fresh log and atomically swaps it in.
+//
+// The hot paths are built for concurrency:
+//
+//   - Group commit: concurrent Puts append to the shared bufio writer under
+//     a short critical section, publish their index entry, and park on the
+//     commit notifier. A dedicated commit goroutine flushes the buffer and
+//     (under the syncEvery==0 policy) issues ONE fsync for everything
+//     appended since the last cycle, then wakes every waiter — N concurrent
+//     writers pay one fsync instead of N, with unchanged durability: a Put
+//     returns only after its bytes are synced.
+//   - Sharded keydir: the index is split across 16 independently locked
+//     shards, so concurrent Gets and Puts on different keys never touch the
+//     same lock.
+//   - Lock-free reads: Gets resolve the record location from a shard and
+//     ReadAt a dedicated read-only fd — they take no writer lock. A read of
+//     a record still sitting in the write buffer (read-your-own-write inside
+//     the commit window) waits for the next flush instead of forcing one
+//     inline.
+//   - Incremental compaction: live records are copied shard by shard while
+//     writes continue; only the final delta re-copy and file swap runs under
+//     the engine-wide gate.
 type BitcaskEngine struct {
 	name string
 	dir  string
-
-	mu     sync.RWMutex
-	f      *os.File
-	w      *bufio.Writer
-	offset int64
-	index  map[string]recordLoc
-	closed bool
-	// syncEvery flushes+fsyncs after this many writes (0 = every write).
+	// syncEvery flushes after this many writes (0 = flush+fsync every
+	// commit cycle, i.e. every write is durable before its Put returns).
 	syncEvery int
-	unsynced  int
+
+	// gate: normal operations hold it for read; Compact's swap phase and
+	// Close hold it for write. closed is only written under gate (write).
+	gate   sync.RWMutex
+	closed bool
+
+	shards [numShards]indexShard
+
+	// writer state: the append path. wmu critical sections are short (no
+	// I/O beyond buffered writes) — that is what group commit buys.
+	wmu      sync.Mutex
+	f        *os.File
+	w        *bufio.Writer
+	offset   int64
+	pending  int // records appended since the last flush
+	unsynced int // records since the last flush trigger (syncEvery>0 policy)
+
+	// rf is the dedicated read fd; replaced only under gate (write).
+	rf *os.File
+
+	// commit notifier state. flushedAtomic mirrors flushedOff for the
+	// lock-free reader fast path.
+	waitMu        sync.Mutex
+	waitCond      *sync.Cond
+	flushedOff    int64
+	syncedOff     int64
+	commitErr     error
+	flushedAtomic atomic.Int64
+
+	// commitRunMu serializes commit cycles against each other and against
+	// Compact's swap phase (lock order: gate < commitRunMu < wmu).
+	commitRunMu sync.Mutex
+
+	kick chan struct{}
+	quit chan struct{}
+	done chan struct{}
+}
+
+const numShards = 16
+
+type indexShard struct {
+	mu sync.RWMutex
+	m  map[string]recordLoc
 }
 
 type recordLoc struct {
@@ -45,8 +106,19 @@ const (
 	logFileName   = "data.bitcask"
 )
 
+func shardIndex(key []byte) int {
+	h := fnv.New32a()
+	h.Write(key)
+	return int(h.Sum32() % numShards)
+}
+
+func (e *BitcaskEngine) shardOf(key []byte) *indexShard {
+	return &e.shards[shardIndex(key)]
+}
+
 // OpenBitcask opens (creating if needed) a bitcask store in dir. syncEvery
-// controls fsync batching: 0 syncs every write; n>0 syncs every n writes.
+// controls fsync batching: 0 syncs every write (group-committed across
+// concurrent writers); n>0 flushes every n writes without an explicit sync.
 func OpenBitcask(name, dir string, syncEvery int) (*BitcaskEngine, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("bitcask %s: %w", name, err)
@@ -60,8 +132,14 @@ func OpenBitcask(name, dir string, syncEvery int) (*BitcaskEngine, error) {
 		name:      name,
 		dir:       dir,
 		f:         f,
-		index:     make(map[string]recordLoc),
 		syncEvery: syncEvery,
+		kick:      make(chan struct{}, 1),
+		quit:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+	e.waitCond = sync.NewCond(&e.waitMu)
+	for i := range e.shards {
+		e.shards[i].m = make(map[string]recordLoc)
 	}
 	if err := e.recover(); err != nil {
 		f.Close()
@@ -75,7 +153,17 @@ func OpenBitcask(name, dir string, syncEvery int) (*BitcaskEngine, error) {
 		f.Close()
 		return nil, err
 	}
+	rf, err := os.Open(path)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("bitcask %s: read fd: %w", name, err)
+	}
+	e.rf = rf
 	e.w = bufio.NewWriter(f)
+	e.flushedOff = e.offset
+	e.syncedOff = e.offset
+	e.flushedAtomic.Store(e.offset)
+	go e.commitLoop()
 	return e, nil
 }
 
@@ -103,12 +191,13 @@ func (e *BitcaskEngine) recover() error {
 		if crc32.ChecksumIEEE(body) != crc {
 			break // corruption: stop at last valid record
 		}
-		key := string(body[:keyLen])
+		key := body[:keyLen]
 		size := int64(recHeaderSize) + int64(len(body))
+		sh := e.shardOf(key)
 		if flags&flagTombstone != 0 {
-			delete(e.index, key)
+			delete(sh.m, string(key))
 		} else {
-			e.index[key] = recordLoc{offset: off, size: size}
+			sh.m[string(key)] = recordLoc{offset: off, size: size}
 		}
 		off += size
 	}
@@ -119,19 +208,19 @@ func (e *BitcaskEngine) recover() error {
 // Name returns the store name.
 func (e *BitcaskEngine) Name() string { return e.name }
 
-func encodeVersions(vs []*versioned.Versioned) ([]byte, error) {
-	var out []byte
+// appendVersions encodes vs onto dst (length-prefixed version records).
+func appendVersions(dst []byte, vs []*versioned.Versioned) ([]byte, error) {
 	var lenBuf [4]byte
 	for _, v := range vs {
 		b, err := v.MarshalBinary()
 		if err != nil {
-			return nil, err
+			return dst, err
 		}
 		binary.BigEndian.PutUint32(lenBuf[:], uint32(len(b)))
-		out = append(out, lenBuf[:]...)
-		out = append(out, b...)
+		dst = append(dst, lenBuf[:]...)
+		dst = append(dst, b...)
 	}
-	return out, nil
+	return dst, nil
 }
 
 func decodeVersions(data []byte) ([]*versioned.Versioned, error) {
@@ -155,173 +244,367 @@ func decodeVersions(data []byte) ([]*versioned.Versioned, error) {
 	return out, nil
 }
 
-// appendRecord writes a record and returns its location. Caller holds mu.
-func (e *BitcaskEngine) appendRecord(key []byte, data []byte, flags byte) (recordLoc, error) {
-	body := make([]byte, 0, len(key)+len(data))
-	body = append(body, key...)
-	body = append(body, data...)
-	hdr := make([]byte, recHeaderSize)
-	binary.BigEndian.PutUint32(hdr[0:4], crc32.ChecksumIEEE(body))
+// scratchPool holds reusable encode/read buffers for the record hot path.
+var scratchPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+// append writes one record into the shared write buffer under a short
+// critical section and returns its location plus the end offset the caller
+// must wait on for durability. It does no disk I/O of its own — the commit
+// loop owns flush and fsync.
+func (e *BitcaskEngine) append(key, data []byte, flags byte) (recordLoc, int64, error) {
+	var hdr [recHeaderSize]byte
+	crc := crc32.Update(0, crc32.IEEETable, key)
+	crc = crc32.Update(crc, crc32.IEEETable, data)
+	binary.BigEndian.PutUint32(hdr[0:4], crc)
 	binary.BigEndian.PutUint32(hdr[4:8], uint32(len(key)))
 	binary.BigEndian.PutUint32(hdr[8:12], uint32(len(data)))
 	hdr[12] = flags
-	if _, err := e.w.Write(hdr); err != nil {
-		return recordLoc{}, err
+
+	e.wmu.Lock()
+	if e.commitErrSticky() != nil {
+		err := e.commitErrSticky()
+		e.wmu.Unlock()
+		return recordLoc{}, 0, err
 	}
-	if _, err := e.w.Write(body); err != nil {
-		return recordLoc{}, err
+	if _, err := e.w.Write(hdr[:]); err != nil {
+		e.wmu.Unlock()
+		return recordLoc{}, 0, err
 	}
-	loc := recordLoc{offset: e.offset, size: int64(len(hdr) + len(body))}
+	if _, err := e.w.Write(key); err != nil {
+		e.wmu.Unlock()
+		return recordLoc{}, 0, err
+	}
+	if _, err := e.w.Write(data); err != nil {
+		e.wmu.Unlock()
+		return recordLoc{}, 0, err
+	}
+	loc := recordLoc{offset: e.offset, size: int64(recHeaderSize + len(key) + len(data))}
 	e.offset += loc.size
+	end := e.offset
+	e.pending++
 	e.unsynced++
-	if e.syncEvery == 0 || e.unsynced >= e.syncEvery {
-		if err := e.w.Flush(); err != nil {
-			return recordLoc{}, err
-		}
-		if e.syncEvery == 0 {
-			if err := e.f.Sync(); err != nil {
-				return recordLoc{}, err
-			}
-		}
+	wantKick := e.syncEvery == 0 || e.unsynced >= e.syncEvery
+	if wantKick {
 		e.unsynced = 0
 	}
-	return loc, nil
+	e.wmu.Unlock()
+	if wantKick {
+		e.kickCommit()
+	}
+	return loc, end, nil
 }
 
-// readRecord loads and decodes the version set at loc. Caller holds mu (read).
+func (e *BitcaskEngine) commitErrSticky() error {
+	e.waitMu.Lock()
+	err := e.commitErr
+	e.waitMu.Unlock()
+	return err
+}
+
+func (e *BitcaskEngine) kickCommit() {
+	select {
+	case e.kick <- struct{}{}:
+	default:
+	}
+}
+
+// commitLoop is the group-commit goroutine: each cycle flushes everything
+// appended since the last one and, under the sync-every-write policy, issues
+// a single fsync on behalf of all of it.
+func (e *BitcaskEngine) commitLoop() {
+	defer close(e.done)
+	for {
+		select {
+		case <-e.quit:
+			return
+		case <-e.kick:
+			e.runCommit()
+		}
+	}
+}
+
+// maxAggregationYields bounds how long runCommit waits for a batch to stop
+// growing before committing it. Each step is a scheduler yield, so a lone
+// writer pays one no-op yield while a stampede of writers woken by the
+// previous cycle all land in the same batch.
+const maxAggregationYields = 8
+
+// runCommit performs one flush(+fsync) cycle and wakes the parked writers
+// and readers it made visible/durable.
+func (e *BitcaskEngine) runCommit() {
+	e.commitRunMu.Lock()
+	defer e.commitRunMu.Unlock()
+	start := time.Now()
+
+	if e.syncEvery == 0 {
+		// Aggregate: writers released by the previous cycle's broadcast
+		// re-append one at a time; yielding until pending stabilizes folds
+		// them into one fsync instead of letting the first re-arrival
+		// trigger a near-empty cycle.
+		e.wmu.Lock()
+		last := e.pending
+		e.wmu.Unlock()
+		for i := 0; i < maxAggregationYields; i++ {
+			runtime.Gosched()
+			e.wmu.Lock()
+			cur := e.pending
+			e.wmu.Unlock()
+			if cur == last {
+				break
+			}
+			last = cur
+		}
+	}
+
+	e.wmu.Lock()
+	batch := e.pending
+	if batch == 0 {
+		e.wmu.Unlock()
+		return
+	}
+	err := e.w.Flush()
+	end := e.offset
+	f := e.f
+	e.pending = 0
+	e.wmu.Unlock()
+
+	// fsync outside wmu: writers keep appending to the buffer while the
+	// disk syncs — the next batch forms during this one's fsync.
+	if err == nil && e.syncEvery == 0 {
+		err = f.Sync()
+	}
+
+	e.waitMu.Lock()
+	if err != nil {
+		e.commitErr = err
+	} else {
+		e.flushedOff = end
+		e.flushedAtomic.Store(end)
+		if e.syncEvery == 0 {
+			e.syncedOff = end
+		}
+	}
+	e.waitMu.Unlock()
+	e.waitCond.Broadcast()
+
+	mCommitBatch.Set(int64(batch))
+	mCommitLatency.Observe(time.Since(start))
+}
+
+// waitSynced parks until everything up to end is fsynced (or a commit error
+// surfaces). Callers must have kicked the committer.
+func (e *BitcaskEngine) waitSynced(end int64) error {
+	e.waitMu.Lock()
+	for e.commitErr == nil && e.syncedOff < end {
+		e.waitCond.Wait()
+	}
+	err := e.commitErr
+	e.waitMu.Unlock()
+	return err
+}
+
+// ensureFlushed makes the bytes up to end visible to the read fd, parking on
+// the commit notifier if they are still in the write buffer (the rare
+// read-your-own-write-inside-the-commit-window case).
+func (e *BitcaskEngine) ensureFlushed(end int64) error {
+	if e.flushedAtomic.Load() >= end {
+		return nil
+	}
+	e.kickCommit()
+	e.waitMu.Lock()
+	for e.commitErr == nil && e.flushedOff < end {
+		e.waitCond.Wait()
+	}
+	err := e.commitErr
+	e.waitMu.Unlock()
+	return err
+}
+
+// readRecord loads and decodes the version set at loc from the read fd. It
+// takes no writer lock; callers hold the gate for read.
 func (e *BitcaskEngine) readRecord(loc recordLoc) ([]*versioned.Versioned, error) {
-	buf := make([]byte, loc.size)
-	if _, err := e.f.ReadAt(buf, loc.offset); err != nil {
+	if err := e.ensureFlushed(loc.offset + loc.size); err != nil {
+		return nil, err
+	}
+	bp := scratchPool.Get().(*[]byte)
+	buf := (*bp)[:0]
+	if cap(buf) < int(loc.size) {
+		buf = make([]byte, loc.size)
+	} else {
+		buf = buf[:loc.size]
+	}
+	vs, err := e.readRecordInto(buf, loc)
+	*bp = buf[:0]
+	scratchPool.Put(bp)
+	return vs, err
+}
+
+func (e *BitcaskEngine) readRecordInto(buf []byte, loc recordLoc) ([]*versioned.Versioned, error) {
+	if _, err := e.rf.ReadAt(buf, loc.offset); err != nil {
 		return nil, err
 	}
 	keyLen := binary.BigEndian.Uint32(buf[4:8])
 	return decodeVersions(buf[recHeaderSize+int(keyLen):])
 }
 
-// Get returns the version set for key.
+// Get returns the version set for key. Reads contend with nothing: a shard
+// read-lock for the index lookup, then a positioned read on the read fd.
 func (e *BitcaskEngine) Get(key []byte) ([]*versioned.Versioned, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.gate.RLock()
+	defer e.gate.RUnlock()
 	if e.closed {
 		return nil, ErrClosed
 	}
-	loc, ok := e.index[string(key)]
+	sh := e.shardOf(key)
+	sh.mu.RLock()
+	loc, ok := sh.m[string(key)]
+	sh.mu.RUnlock()
 	if !ok {
 		return nil, nil
-	}
-	if err := e.w.Flush(); err != nil { // make buffered writes visible to ReadAt
-		return nil, err
 	}
 	return e.readRecord(loc)
 }
 
-// Put appends the updated version set for key.
+// Put appends the updated version set for key. The read-modify-write is
+// serialized per shard; the append itself is a short critical section on the
+// shared writer, and the durability wait (syncEvery==0) happens with no
+// locks held — that is the group-commit window.
 func (e *BitcaskEngine) Put(key []byte, v *versioned.Versioned) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.gate.RLock()
+	defer e.gate.RUnlock()
 	if e.closed {
 		return ErrClosed
 	}
+	sh := e.shardOf(key)
+	sh.mu.Lock()
 	k := string(key)
 	var current []*versioned.Versioned
-	if loc, ok := e.index[k]; ok {
-		if err := e.w.Flush(); err != nil {
-			return err
-		}
+	if loc, ok := sh.m[k]; ok {
 		var err error
 		current, err = e.readRecord(loc)
 		if err != nil {
+			sh.mu.Unlock()
 			return err
 		}
 	}
 	next, err := versioned.Add(current, v)
 	if err != nil {
+		sh.mu.Unlock()
 		return err
 	}
-	data, err := encodeVersions(next)
+	bp := scratchPool.Get().(*[]byte)
+	data, err := appendVersions((*bp)[:0], next)
 	if err != nil {
+		*bp = data[:0]
+		scratchPool.Put(bp)
+		sh.mu.Unlock()
 		return err
 	}
-	loc, err := e.appendRecord(key, data, 0)
+	loc, end, err := e.append(key, data, 0)
+	*bp = data[:0]
+	scratchPool.Put(bp)
 	if err != nil {
+		sh.mu.Unlock()
 		return err
 	}
-	e.index[k] = loc
+	sh.m[k] = loc
+	sh.mu.Unlock()
+	if e.syncEvery == 0 {
+		return e.waitSynced(end)
+	}
 	return nil
 }
 
 // Delete removes dominated versions; a full removal appends a tombstone.
 func (e *BitcaskEngine) Delete(key []byte, clock *vclock.Clock) (bool, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.gate.RLock()
+	defer e.gate.RUnlock()
 	if e.closed {
 		return false, ErrClosed
 	}
+	sh := e.shardOf(key)
+	sh.mu.Lock()
 	k := string(key)
-	loc, ok := e.index[k]
+	loc, ok := sh.m[k]
 	if !ok {
+		sh.mu.Unlock()
 		return false, nil
-	}
-	if err := e.w.Flush(); err != nil {
-		return false, err
 	}
 	current, err := e.readRecord(loc)
 	if err != nil {
+		sh.mu.Unlock()
 		return false, err
 	}
 	kept, removed := deleteVersions(current, clock)
 	if !removed {
+		sh.mu.Unlock()
 		return false, nil
 	}
+	var end int64
 	if len(kept) == 0 {
-		if _, err := e.appendRecord(key, nil, flagTombstone); err != nil {
+		if _, end, err = e.append(key, nil, flagTombstone); err != nil {
+			sh.mu.Unlock()
 			return false, err
 		}
-		delete(e.index, k)
-		return true, nil
+		delete(sh.m, k)
+	} else {
+		bp := scratchPool.Get().(*[]byte)
+		data, err := appendVersions((*bp)[:0], kept)
+		if err != nil {
+			*bp = data[:0]
+			scratchPool.Put(bp)
+			sh.mu.Unlock()
+			return false, err
+		}
+		var newLoc recordLoc
+		newLoc, end, err = e.append(key, data, 0)
+		*bp = data[:0]
+		scratchPool.Put(bp)
+		if err != nil {
+			sh.mu.Unlock()
+			return false, err
+		}
+		sh.m[k] = newLoc
 	}
-	data, err := encodeVersions(kept)
-	if err != nil {
-		return false, err
+	sh.mu.Unlock()
+	if e.syncEvery == 0 {
+		if err := e.waitSynced(end); err != nil {
+			return false, err
+		}
 	}
-	newLoc, err := e.appendRecord(key, data, 0)
-	if err != nil {
-		return false, err
-	}
-	e.index[k] = newLoc
 	return true, nil
 }
 
 // Entries iterates all live keys.
 func (e *BitcaskEngine) Entries(fn func(key []byte, versions []*versioned.Versioned) bool) error {
-	e.mu.Lock()
+	e.gate.RLock()
+	defer e.gate.RUnlock()
 	if e.closed {
-		e.mu.Unlock()
 		return ErrClosed
 	}
-	if err := e.w.Flush(); err != nil {
-		e.mu.Unlock()
-		return err
-	}
-	keys := make([]string, 0, len(e.index))
-	for k := range e.index {
-		keys = append(keys, k)
-	}
-	e.mu.Unlock()
-
-	for _, k := range keys {
-		e.mu.Lock()
-		loc, ok := e.index[k]
-		if !ok {
-			e.mu.Unlock()
-			continue
+	var keys []string
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.mu.RLock()
+		for k := range sh.m {
+			keys = append(keys, k)
 		}
-		if err := e.w.Flush(); err != nil {
-			e.mu.Unlock()
-			return err
+		sh.mu.RUnlock()
+	}
+	for _, k := range keys {
+		sh := e.shardOf([]byte(k))
+		sh.mu.RLock()
+		loc, ok := sh.m[k]
+		sh.mu.RUnlock()
+		if !ok {
+			continue // deleted mid-iteration
 		}
 		vs, err := e.readRecord(loc)
-		e.mu.Unlock()
 		if err != nil {
 			return err
 		}
@@ -334,88 +617,180 @@ func (e *BitcaskEngine) Entries(fn func(key []byte, versions []*versioned.Versio
 
 // Len returns the number of live keys.
 func (e *BitcaskEngine) Len() int {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return len(e.index)
+	e.gate.RLock()
+	defer e.gate.RUnlock()
+	n := 0
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.mu.RLock()
+		n += len(sh.m)
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 // Compact rewrites live records into a new log, dropping superseded records
-// and tombstones, then atomically replaces the old log.
+// and tombstones, then atomically replaces the old log. It is incremental:
+// the bulk copy proceeds shard by shard with writes still flowing; only the
+// delta re-copy (keys updated during the bulk phase) and the file swap stall
+// the engine.
 func (e *BitcaskEngine) Compact() error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	// Bulk phase: snapshot shard by shard and copy live records. Writers
+	// and readers are unaffected (we hold the gate for read like they do).
+	e.gate.RLock()
 	if e.closed {
+		e.gate.RUnlock()
 		return ErrClosed
 	}
-	if err := e.w.Flush(); err != nil {
-		return err
-	}
+
 	tmpPath := filepath.Join(e.dir, logFileName+".compact")
 	tmp, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_RDWR|os.O_TRUNC, 0o644)
 	if err != nil {
+		e.gate.RUnlock()
+		return err
+	}
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpPath)
 		return err
 	}
 	tw := bufio.NewWriter(tmp)
-	newIndex := make(map[string]recordLoc, len(e.index))
+	copied := make(map[string]struct{ old, new recordLoc })
 	var off int64
-	for k, loc := range e.index {
+	copyRecord := func(k string, loc recordLoc) error {
 		buf := make([]byte, loc.size)
-		if _, err := e.f.ReadAt(buf, loc.offset); err != nil {
-			tmp.Close()
-			os.Remove(tmpPath)
+		if err := e.ensureFlushed(loc.offset + loc.size); err != nil {
+			return err
+		}
+		if _, err := e.rf.ReadAt(buf, loc.offset); err != nil {
 			return err
 		}
 		if _, err := tw.Write(buf); err != nil {
-			tmp.Close()
-			os.Remove(tmpPath)
 			return err
 		}
-		newIndex[k] = recordLoc{offset: off, size: loc.size}
+		copied[k] = struct{ old, new recordLoc }{loc, recordLoc{offset: off, size: loc.size}}
 		off += loc.size
+		return nil
+	}
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.mu.RLock()
+		snap := make(map[string]recordLoc, len(sh.m))
+		for k, loc := range sh.m {
+			snap[k] = loc
+		}
+		sh.mu.RUnlock()
+		for k, loc := range snap {
+			if err := copyRecord(k, loc); err != nil {
+				e.gate.RUnlock()
+				return fail(err)
+			}
+		}
+	}
+	e.gate.RUnlock()
+
+	// Swap phase: stop the world briefly — re-copy only the records that
+	// changed during the bulk phase, then swap the log.
+	e.gate.Lock()
+	defer e.gate.Unlock()
+	if e.closed {
+		return fail(ErrClosed)
+	}
+	e.commitRunMu.Lock()
+	defer e.commitRunMu.Unlock()
+
+	e.wmu.Lock()
+	flushErr := e.w.Flush()
+	e.pending = 0
+	e.unsynced = 0
+	e.wmu.Unlock()
+	if flushErr != nil {
+		return fail(flushErr)
+	}
+	e.waitMu.Lock()
+	e.flushedOff = e.offset
+	e.flushedAtomic.Store(e.offset)
+	e.waitMu.Unlock()
+
+	newIndex := make([]map[string]recordLoc, numShards)
+	for i := range newIndex {
+		newIndex[i] = make(map[string]recordLoc)
+	}
+	for i := range e.shards {
+		sh := &e.shards[i]
+		for k, loc := range sh.m {
+			if c, ok := copied[k]; ok && c.old == loc {
+				newIndex[i][k] = c.new
+				continue
+			}
+			// Updated (or created) during the bulk phase: re-copy its
+			// current record.
+			buf := make([]byte, loc.size)
+			if _, err := e.rf.ReadAt(buf, loc.offset); err != nil {
+				return fail(err)
+			}
+			if _, err := tw.Write(buf); err != nil {
+				return fail(err)
+			}
+			newIndex[i][k] = recordLoc{offset: off, size: loc.size}
+			off += loc.size
+		}
 	}
 	if err := tw.Flush(); err != nil {
-		tmp.Close()
-		os.Remove(tmpPath)
-		return err
+		return fail(err)
 	}
 	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		os.Remove(tmpPath)
-		return err
+		return fail(err)
 	}
 	path := filepath.Join(e.dir, logFileName)
 	if err := os.Rename(tmpPath, path); err != nil {
-		tmp.Close()
-		os.Remove(tmpPath)
+		return fail(err)
+	}
+	rf, err := os.Open(path)
+	if err != nil {
 		return err
 	}
 	e.f.Close()
+	e.rf.Close()
 	e.f = tmp
+	e.rf = rf
 	e.w = bufio.NewWriter(tmp)
 	if _, err := tmp.Seek(off, io.SeekStart); err != nil {
 		return err
 	}
-	e.index = newIndex
+	for i := range e.shards {
+		e.shards[i].m = newIndex[i]
+	}
 	e.offset = off
-	e.unsynced = 0
+	e.waitMu.Lock()
+	e.flushedOff = off
+	e.syncedOff = off
+	e.flushedAtomic.Store(off)
+	e.waitMu.Unlock()
+	e.waitCond.Broadcast()
 	return nil
 }
 
 // Size returns the current log size in bytes (garbage included).
 func (e *BitcaskEngine) Size() int64 {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
+	e.wmu.Lock()
+	defer e.wmu.Unlock()
 	return e.offset
 }
 
 // Close flushes, syncs and closes the log.
 func (e *BitcaskEngine) Close() error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.gate.Lock()
+	defer e.gate.Unlock()
 	if e.closed {
 		return nil
 	}
 	e.closed = true
+	close(e.quit)
+	<-e.done
+	e.commitRunMu.Lock()
+	defer e.commitRunMu.Unlock()
+	e.rf.Close()
 	if err := e.w.Flush(); err != nil {
 		e.f.Close()
 		return err

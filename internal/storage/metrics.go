@@ -1,0 +1,14 @@
+package storage
+
+import "datainfra/internal/metrics"
+
+// Instruments for the bitcask group-commit loop (documented in OPERATIONS.md,
+// checked by cmd/metriclint). Batch size is the group-commit win made
+// visible: under concurrent writers it should sit well above 1, meaning N
+// Puts shared one fsync.
+var (
+	mCommitBatch = metrics.RegisterGauge("storage_commit_batch_events",
+		"records flushed by the most recent group-commit cycle")
+	mCommitLatency = metrics.RegisterHistogram("storage_commit_latency_seconds",
+		"group-commit cycle latency (flush + fsync + waiter wakeup)")
+)

@@ -1,0 +1,44 @@
+package voldemort
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// TestSocketStorePoolBounded proves the idle-connection cap: returning more
+// connections than maxIdleConns keeps exactly maxIdleConns and closes the
+// overflow, so a burst cannot pin fds forever.
+func TestSocketStorePoolBounded(t *testing.T) {
+	s := DialStore("s", "127.0.0.1:0", time.Second)
+	defer s.Close()
+
+	var client, server []net.Conn
+	for i := 0; i < maxIdleConns+3; i++ {
+		c, sv := net.Pipe()
+		client = append(client, c)
+		server = append(server, sv)
+		s.putConn(c)
+	}
+	s.mu.Lock()
+	pooled := len(s.conns)
+	s.mu.Unlock()
+	if pooled != maxIdleConns {
+		t.Fatalf("pooled %d idle conns, want %d", pooled, maxIdleConns)
+	}
+	// The overflow connections must have been closed: their peer reads
+	// should fail immediately rather than block.
+	for i := maxIdleConns; i < len(server); i++ {
+		sv := server[i]
+		sv.SetReadDeadline(time.Now().Add(time.Second))
+		if _, err := sv.Read(make([]byte, 1)); err == nil {
+			t.Fatalf("overflow conn %d still open after putConn", i)
+		}
+	}
+	for _, c := range client {
+		c.Close()
+	}
+	for _, sv := range server {
+		sv.Close()
+	}
+}

@@ -55,6 +55,13 @@ func writeFrame(w io.Writer, payload []byte) error {
 }
 
 func readFrame(r io.Reader) ([]byte, error) {
+	return readFrameInto(r, nil)
+}
+
+// readFrameInto reads one frame, reusing buf's backing array when it is
+// large enough — the steady-state request loop reads into one per-connection
+// buffer instead of allocating per frame. The returned slice aliases buf.
+func readFrameInto(r io.Reader, buf []byte) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
@@ -63,11 +70,27 @@ func readFrame(r io.Reader) ([]byte, error) {
 	if n > maxFrame {
 		return nil, errFrameTooLarge
 	}
-	payload := make([]byte, n)
+	var payload []byte
+	if uint32(cap(buf)) >= n {
+		payload = buf[:n]
+	} else {
+		payload = make([]byte, n)
+	}
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return nil, err
 	}
 	return payload, nil
+}
+
+// appendFramed appends a length-prefixed frame holding the encoding produced
+// by fill to dst and returns it. Combined with a single Write this halves
+// the syscalls of the header-then-payload path and reuses dst's capacity.
+func appendFramed(dst []byte, fill func([]byte) []byte) []byte {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0)
+	dst = fill(dst)
+	binary.BigEndian.PutUint32(dst[start:start+4], uint32(len(dst)-start-4))
+	return dst
 }
 
 // buffer helpers ------------------------------------------------------------
@@ -80,6 +103,10 @@ func (w *wbuf) u32(v int) { w.b = binary.BigEndian.AppendUint32(w.b, uint32(v)) 
 func (w *wbuf) bytes16(p []byte) {
 	w.u16(len(p))
 	w.b = append(w.b, p...)
+}
+func (w *wbuf) str16(s string) {
+	w.u16(len(s))
+	w.b = append(w.b, s...)
 }
 func (w *wbuf) bytes32(p []byte) {
 	w.u32(len(p))
@@ -152,17 +179,21 @@ type request struct {
 }
 
 func (q *request) encode() []byte {
-	var w wbuf
+	return q.appendTo(nil)
+}
+
+func (q *request) appendTo(b []byte) []byte {
+	w := wbuf{b: b}
 	w.u8(q.Op)
-	w.bytes16([]byte(q.Store))
+	w.str16(q.Store)
 	w.bytes32(q.Key)
 	w.bytes32(q.Body)
-	w.bytes16([]byte(q.TrName))
+	w.str16(q.TrName)
 	w.bytes32(q.TrArg)
 	if q.Trace != "" {
 		// Trailing optional field: absent frames decode with Trace == "",
 		// and pre-trace decoders ignore trailing bytes — compatible both ways.
-		w.bytes16([]byte(q.Trace))
+		w.str16(q.Trace)
 	}
 	return w.b
 }
@@ -210,9 +241,13 @@ type response struct {
 }
 
 func (p *response) encode() []byte {
-	var w wbuf
+	return p.appendTo(nil)
+}
+
+func (p *response) appendTo(b []byte) []byte {
+	w := wbuf{b: b}
 	w.u8(p.Status)
-	w.bytes16([]byte(p.Message))
+	w.str16(p.Message)
 	w.bytes32(p.Payload)
 	return w.b
 }

@@ -198,14 +198,24 @@ func (s *Server) acceptLoop(ln net.Listener) {
 }
 
 func (s *Server) serveConn(conn net.Conn) {
+	// Per-connection frame buffers: dispatch fully consumes a request before
+	// the next frame is read, and a response is written before the buffer is
+	// reused, so steady-state request handling allocates no frame memory.
+	var rb, wb []byte
+	respond := func(resp *response) error {
+		wb = appendFramed(wb[:0], resp.appendTo)
+		_, err := conn.Write(wb)
+		return err
+	}
 	for {
-		frame, err := readFrame(conn)
+		frame, err := readFrameInto(conn, rb)
 		if err != nil {
 			return
 		}
+		rb = frame[:0]
 		req, err := decodeRequest(frame)
 		if err != nil {
-			_ = writeFrame(conn, (&response{Status: statusError, Message: err.Error()}).encode())
+			_ = respond(&response{Status: statusError, Message: err.Error()})
 			return
 		}
 		mServerRequests.With(opName(req.Op)).Inc()
@@ -226,7 +236,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			// can be found from the client-side error alone.
 			resp.Message = "[trace=" + req.Trace + "] " + resp.Message
 		}
-		if err := writeFrame(conn, resp.encode()); err != nil {
+		if err := respond(resp); err != nil {
 			return
 		}
 	}

@@ -85,14 +85,30 @@ func (s *SocketStore) getConn() (net.Conn, error) {
 	return net.DialTimeout("tcp", s.addr, s.timeout)
 }
 
+// maxIdleConns bounds the per-store idle connection pool: a burst may dial
+// more connections than this, but only this many are retained when they come
+// back — the rest are closed so bursty load cannot pin fds forever.
+const maxIdleConns = 4
+
 func (s *SocketStore) putConn(c net.Conn) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed || len(s.conns) >= 4 {
+	if s.closed || len(s.conns) >= maxIdleConns {
 		c.Close()
 		return
 	}
 	s.conns = append(s.conns, c)
+}
+
+// reqFramePool recycles request-encode buffers across calls: the frame is
+// fully written to the socket before the buffer returns to the pool, so the
+// encode side of a client call allocates nothing in steady state. (Response
+// frames are not pooled — their payloads escape into decoded results.)
+var reqFramePool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 512)
+		return &b
+	},
 }
 
 // call sends one request and reads one response, retrying transport
@@ -120,7 +136,12 @@ func (s *SocketStore) callOnce(req *request) (*response, error) {
 		conn.Close()
 		return nil, fmt.Errorf("voldemort: set deadline: %w", err)
 	}
-	if err := writeFrame(conn, req.encode()); err != nil {
+	bp := reqFramePool.Get().(*[]byte)
+	buf := appendFramed((*bp)[:0], req.appendTo)
+	_, err = conn.Write(buf) // one write: header + payload
+	*bp = buf[:0]
+	reqFramePool.Put(bp)
+	if err != nil {
 		conn.Close()
 		return nil, err
 	}
