@@ -7,7 +7,7 @@ GO ?= go
 # retry/breaker, chaos fault injection, broker protocol, metrics registry,
 # replication/apply loops, watch dispatch, history recording) get an extra
 # pass under the race detector.
-RACE_PKGS = ./internal/resilience ./internal/failure ./internal/voldemort ./internal/kafka ./internal/metrics ./internal/espresso ./internal/databus ./internal/helix ./internal/zk ./internal/consistency ./internal/storage ./internal/schema
+RACE_PKGS = ./internal/rpc ./internal/resilience ./internal/failure ./internal/voldemort ./internal/kafka ./internal/metrics ./internal/espresso ./internal/databus ./internal/helix ./internal/zk ./internal/consistency ./internal/storage ./internal/schema
 
 # Fuzz targets with checked-in seed corpora: binary decoders that must never
 # panic on arbitrary bytes.
@@ -42,12 +42,13 @@ test-race:
 bench:
 	$(GO) test -bench=. -benchtime=1x .
 
-# Machine-readable benchmark results: runs the experiment (E*/Ablation) and
-# hot-path (storage, schema) benchmark suites with -benchmem and writes
-# BENCH_PR4.json — the perf trajectory future PRs are judged against. The
-# schema is documented in EXPERIMENTS.md.
+# Machine-readable benchmark results: runs the experiment (E*/Ablation),
+# hot-path (storage, schema) and transport-pipelining (voldemort, kafka,
+# databus) benchmark suites with -benchmem and writes BENCH_PR5.json — the
+# perf trajectory future PRs are judged against. The schema is documented in
+# EXPERIMENTS.md.
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_PR4.json
+	$(GO) run ./cmd/benchjson -out BENCH_PR5.json
 
 # Compile every benchmark and run each once — benchmarks can't silently rot.
 bench-smoke:

@@ -1,9 +1,9 @@
 // Command benchjson runs the repository's benchmark suites with -benchmem
-// and writes the results as JSON (BENCH_PR4.json et al.) so the performance
+// and writes the results as JSON (BENCH_PR5.json et al.) so the performance
 // trajectory is machine-readable PR over PR. The output schema is documented
 // in EXPERIMENTS.md.
 //
-// Usage: go run ./cmd/benchjson [-out BENCH_PR4.json] [-benchtime 0.5s]
+// Usage: go run ./cmd/benchjson [-out BENCH_PR5.json] [-benchtime 0.5s]
 package main
 
 import (
@@ -32,11 +32,18 @@ type suite struct {
 // exercise 8 goroutines regardless of the host's core count. Later suites
 // override earlier results with the same benchmark name, so the ablation
 // re-run supersedes its single-iteration smoke numbers.
+// The transport suites (voldemort/kafka mux-vs-pool, databus blocking-read
+// wake) measure the RPC pipelining introduced with internal/rpc; their
+// headline rows run behind a simulated 1ms-RTT link where head-of-line
+// blocking dominates.
 var suites = []suite{
 	{Pkg: ".", Bench: ".", Benchtime: "1x"},
 	{Pkg: ".", Bench: "BenchmarkAblation", Benchtime: "0.3s"},
 	{Pkg: "./internal/storage", Bench: ".", Benchtime: "2s", Cpu: "8"},
 	{Pkg: "./internal/schema", Bench: ".", Benchtime: "0.5s"},
+	{Pkg: "./internal/voldemort", Bench: "BenchmarkSocketStoreParallel", Benchtime: "0.3s"},
+	{Pkg: "./internal/kafka", Bench: "BenchmarkRemoteBrokerProduceFetchParallel", Benchtime: "0.3s"},
+	{Pkg: "./internal/databus", Bench: "BenchmarkRelay", Benchtime: "0.3s"},
 }
 
 // result is one benchmark line. NsPerOp is always set; BytesPerOp and
@@ -53,7 +60,7 @@ type result struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR4.json", "output JSON file")
+	out := flag.String("out", "BENCH_PR5.json", "output JSON file")
 	benchtime := flag.String("benchtime", "", "override -benchtime for every suite")
 	flag.Parse()
 

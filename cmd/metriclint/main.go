@@ -25,7 +25,7 @@ import (
 )
 
 var (
-	registerRE = regexp.MustCompile(`metrics\.Register(?:Counter|Gauge|Histogram|CounterVec|GaugeVec|GaugeFunc)\(\s*"([^"]+)"`)
+	registerRE = regexp.MustCompile(`metrics\.Register(?:Counter|Gauge|Histogram|HistogramBuckets|CounterVec|GaugeVec|GaugeFunc)\(\s*"([^"]+)"`)
 	nameRE     = regexp.MustCompile(`^[a-z][a-z0-9]*(_[a-z0-9]+)+$`)
 )
 
@@ -33,7 +33,7 @@ var (
 // with the "Naming convention" section of OPERATIONS.md.
 var unitSuffixes = []string{
 	"_total", "_bytes", "_seconds", "_events", "_messages",
-	"_hints", "_scn", "_rows", "_state", "_nodes",
+	"_hints", "_scn", "_rows", "_state", "_nodes", "_requests",
 }
 
 func hasUnitSuffix(name string) bool {

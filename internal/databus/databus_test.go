@@ -474,3 +474,38 @@ func BenchmarkRelayRead(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkRelayReadBlocking measures the parked-reader wake path: a reader
+// blocked at the relay tail, an append arriving, and the read returning. The
+// reported wake-ns/op is the latency from append completion to read return
+// (the fixed pre-append sleep that lets the reader park is excluded).
+func BenchmarkRelayReadBlocking(b *testing.B) {
+	r := NewRelay(RelayConfig{})
+	defer r.Close()
+	payload := make([]byte, 256)
+	appended := make(chan time.Time, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wake time.Duration
+	for i := 0; i < b.N; i++ {
+		scn := int64(i + 1)
+		go func() {
+			time.Sleep(20 * time.Microsecond) // let the reader park first
+			r.Append(Txn{SCN: scn, Events: []Event{{Source: "s", Key: []byte("k"), Payload: payload}}})
+			appended <- time.Now()
+		}()
+		evs, err := r.ReadBlocking(scn-1, 10, nil, time.Second)
+		readDone := time.Now()
+		appendDone := <-appended
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(evs) != 1 {
+			b.Fatalf("read %d events at scn %d", len(evs), scn)
+		}
+		if d := readDone.Sub(appendDone); d > 0 {
+			wake += d
+		}
+	}
+	b.ReportMetric(float64(wake.Nanoseconds())/float64(b.N), "wake-ns/op")
+}

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"datainfra/internal/rpc"
 	"datainfra/internal/zk"
 )
 
@@ -205,6 +206,35 @@ func (b *Broker) Fetch(topic string, partition int, offset int64, maxBytes int) 
 	return chunk, err
 }
 
+// FetchWait is Fetch with a long poll: when the partition is caught up at
+// offset it blocks until new flushed data arrives, wait elapses, or the
+// broker shuts down — an empty result then means "still caught up". Consumers
+// use it (via BlockingFetcher) to sit at the log tail without sleep-polling.
+func (b *Broker) FetchWait(topic string, partition int, offset int64, maxBytes int, wait time.Duration) ([]byte, error) {
+	l, err := b.log(topic, partition)
+	if err != nil {
+		return nil, err
+	}
+	chunk, err := l.Read(offset, maxBytes)
+	if err != nil || len(chunk) > 0 {
+		if err == nil {
+			mFetchRequests.Inc()
+			mFetchBytes.Add(int64(len(chunk)))
+		}
+		return chunk, err
+	}
+	if !l.WaitForData(offset, wait, b.stop) {
+		mFetchRequests.Inc()
+		return nil, nil
+	}
+	chunk, err = l.Read(offset, maxBytes)
+	if err == nil {
+		mFetchRequests.Inc()
+		mFetchBytes.Add(int64(len(chunk)))
+	}
+	return chunk, err
+}
+
 // Offsets returns the earliest and latest valid offsets of a partition.
 func (b *Broker) Offsets(topic string, partition int) (earliest, latest int64, err error) {
 	l, err := b.log(topic, partition)
@@ -296,12 +326,20 @@ func (b *Broker) CleanNow(now time.Time) int {
 
 // --- TCP transport -----------------------------------------------------------
 //
-// Frame: u32 len | u8 op | body. Ops:
-//   1 produce: topicLen u16 topic | partition u32 | set bytes  -> i64 offset
-//   2 fetch:   topicLen u16 topic | partition u32 | offset i64 | max u32
-//              -> raw chunk (served via io.CopyN from the segment file)
-//   3 offsets: topicLen u16 topic | partition u32 -> i64 earliest, i64 latest
+// Two framings share the listen port. Legacy (lock-step): u32 len | u8 op |
+// body, one request in flight per connection. Multiplexed: connections that
+// open with the internal/rpc magic carry the same op|body payloads inside
+// correlation-id frames, so many requests share one connection and responses
+// may return out of order. Ops (identical under both framings):
+//   1 produce:    topicLen u16 topic | partition u32 | set bytes  -> i64 offset
+//   2 fetch:      topicLen u16 topic | partition u32 | offset i64 | max u32
+//                 -> raw chunk (streamed from the segment file)
+//   3 offsets:    topicLen u16 topic | partition u32 -> i64 earliest, i64 latest
 //   4 partitions: topicLen u16 topic -> u32 count
+//   5 fetch-wait: topicLen u16 topic | partition u32 | offset i64 | max u32 |
+//                 waitMs u32 -> raw chunk; blocks server-side until data or
+//                 waitMs (the long-poll fetch — under the mux it parks one
+//                 worker, not the whole connection)
 
 // Broker protocol opcodes.
 const (
@@ -309,7 +347,11 @@ const (
 	brokerOpFetch      = 2
 	brokerOpOffsets    = 3
 	brokerOpPartitions = 4
+	brokerOpFetchWait  = 5
 )
+
+// maxFetchWait caps how long a fetch-wait request may park a server worker.
+const maxFetchWait = 30 * time.Second
 
 // Listen starts serving the broker protocol; returns the bound address.
 func (b *Broker) Listen(addr string) (string, error) {
@@ -345,7 +387,17 @@ func (b *Broker) Listen(addr string) (string, error) {
 					delete(b.conns, conn)
 					b.mu.Unlock()
 				}()
-				b.serveConn(conn)
+				// Route by preamble: mux connections announce themselves
+				// with the rpc magic, everything else gets the legacy loop.
+				nc, muxed, err := rpc.Sniff(conn)
+				if err != nil {
+					return
+				}
+				if muxed {
+					_ = rpc.ServeConn(nc, b.handle, rpc.ServeOptions{})
+					return
+				}
+				b.serveConn(nc)
 			}()
 		}
 	}()
@@ -366,38 +418,50 @@ func (b *Broker) serveConn(conn net.Conn) {
 		if _, err := io.ReadFull(conn, body); err != nil {
 			return
 		}
-		if err := b.handleRequest(conn, body); err != nil {
+		if err := writeLegacyResponse(conn, b.handle(body)); err != nil {
 			return
 		}
 	}
 }
 
-func respondErr(conn net.Conn, err error) error {
-	msg := []byte(err.Error())
-	hdr := make([]byte, 5)
-	binary.BigEndian.PutUint32(hdr, uint32(1+len(msg)))
-	hdr[4] = 1 // error flag
-	if _, werr := conn.Write(hdr); werr != nil {
-		return werr
-	}
-	_, werr := conn.Write(msg)
-	return werr
-}
-
-func respondOK(conn net.Conn, payload []byte) error {
-	hdr := make([]byte, 5)
-	binary.BigEndian.PutUint32(hdr, uint32(1+len(payload)))
-	hdr[4] = 0
+// writeLegacyResponse frames one handler result for the lock-step protocol:
+// u32 length | payload | streamed body.
+func writeLegacyResponse(conn net.Conn, resp rpc.Response) error {
+	hdr := make([]byte, 4)
+	binary.BigEndian.PutUint32(hdr, uint32(int64(len(resp.Payload))+resp.StreamLen))
 	if _, err := conn.Write(hdr); err != nil {
 		return err
 	}
-	_, err := conn.Write(payload)
-	return err
+	if _, err := conn.Write(resp.Payload); err != nil {
+		return err
+	}
+	if resp.Stream != nil && resp.StreamLen > 0 {
+		copied, err := io.Copy(conn, io.LimitReader(resp.Stream, resp.StreamLen))
+		if err == nil && copied != resp.StreamLen {
+			err = fmt.Errorf("kafka: streamed response short: %d of %d bytes", copied, resp.StreamLen)
+		}
+		return err
+	}
+	return nil
 }
 
-func (b *Broker) handleRequest(conn net.Conn, body []byte) error {
+func respErr(err error) rpc.Response {
+	return rpc.Response{Payload: append([]byte{1}, err.Error()...)}
+}
+
+func respOK(payload []byte) rpc.Response {
+	return rpc.Response{Payload: append([]byte{0}, payload...)}
+}
+
+// handle serves one op|body request payload, shared by the legacy lock-step
+// loop and the multiplexed transport (where it runs on the per-connection
+// worker pool, so it must be — and is — safe for concurrent use). The first
+// response byte is the status flag; fetches return the chunk as a stream
+// straight from the segment file (the §V.B sendfile-style path under either
+// framing).
+func (b *Broker) handle(body []byte) rpc.Response {
 	if len(body) < 1 {
-		return fmt.Errorf("empty request")
+		return respErr(fmt.Errorf("empty request"))
 	}
 	op := body[0]
 	body = body[1:]
@@ -415,83 +479,96 @@ func (b *Broker) handleRequest(conn net.Conn, body []byte) error {
 	case brokerOpProduce:
 		topic, rest, err := readTopic()
 		if err != nil {
-			return respondErr(conn, err)
+			return respErr(err)
 		}
 		if len(rest) < 4 {
-			return respondErr(conn, fmt.Errorf("short produce"))
+			return respErr(fmt.Errorf("short produce"))
 		}
 		partition := int(binary.BigEndian.Uint32(rest))
 		off, err := b.Produce(topic, partition, MessageSet{buf: rest[4:]})
 		if err != nil {
-			return respondErr(conn, err)
+			return respErr(err)
 		}
 		var out [8]byte
 		binary.BigEndian.PutUint64(out[:], uint64(off))
-		return respondOK(conn, out[:])
+		return respOK(out[:])
 
 	case brokerOpFetch:
 		topic, rest, err := readTopic()
 		if err != nil {
-			return respondErr(conn, err)
+			return respErr(err)
 		}
 		if len(rest) < 16 {
-			return respondErr(conn, fmt.Errorf("short fetch"))
+			return respErr(fmt.Errorf("short fetch"))
 		}
 		partition := int(binary.BigEndian.Uint32(rest))
 		offset := int64(binary.BigEndian.Uint64(rest[4:12]))
 		maxBytes := int(binary.BigEndian.Uint32(rest[12:16]))
 		l, err := b.log(topic, partition)
 		if err != nil {
-			return respondErr(conn, err)
+			return respErr(err)
 		}
 		f, pos, n, err := l.SectionReader(offset, maxBytes)
 		if err != nil {
-			return respondErr(conn, err)
+			return respErr(err)
 		}
 		mFetchRequests.Inc()
 		mFetchBytes.Add(n)
-		// Zero-copy-style path: header, then stream the file section.
-		hdr := make([]byte, 5)
-		binary.BigEndian.PutUint32(hdr, uint32(1+n))
-		hdr[4] = 0
-		if _, err := conn.Write(hdr); err != nil {
-			return err
+		return rpc.Response{Payload: []byte{0}, Stream: io.NewSectionReader(f, pos, n), StreamLen: n}
+
+	case brokerOpFetchWait:
+		topic, rest, err := readTopic()
+		if err != nil {
+			return respErr(err)
 		}
-		_, err = io.Copy(conn, io.NewSectionReader(f, pos, n))
-		return err
+		if len(rest) < 20 {
+			return respErr(fmt.Errorf("short fetch-wait"))
+		}
+		partition := int(binary.BigEndian.Uint32(rest))
+		offset := int64(binary.BigEndian.Uint64(rest[4:12]))
+		maxBytes := int(binary.BigEndian.Uint32(rest[12:16]))
+		wait := time.Duration(binary.BigEndian.Uint32(rest[16:20])) * time.Millisecond
+		if wait > maxFetchWait {
+			wait = maxFetchWait
+		}
+		chunk, err := b.FetchWait(topic, partition, offset, maxBytes, wait)
+		if err != nil {
+			return respErr(err)
+		}
+		return respOK(chunk)
 
 	case brokerOpOffsets:
 		topic, rest, err := readTopic()
 		if err != nil {
-			return respondErr(conn, err)
+			return respErr(err)
 		}
 		if len(rest) < 4 {
-			return respondErr(conn, fmt.Errorf("short offsets"))
+			return respErr(fmt.Errorf("short offsets"))
 		}
 		partition := int(binary.BigEndian.Uint32(rest))
 		earliest, latest, err := b.Offsets(topic, partition)
 		if err != nil {
-			return respondErr(conn, err)
+			return respErr(err)
 		}
 		var out [16]byte
 		binary.BigEndian.PutUint64(out[0:8], uint64(earliest))
 		binary.BigEndian.PutUint64(out[8:16], uint64(latest))
-		return respondOK(conn, out[:])
+		return respOK(out[:])
 
 	case brokerOpPartitions:
 		topic, _, err := readTopic()
 		if err != nil {
-			return respondErr(conn, err)
+			return respErr(err)
 		}
 		n, err := b.Partitions(topic)
 		if err != nil {
-			return respondErr(conn, err)
+			return respErr(err)
 		}
 		out, _ := json.Marshal(n)
-		return respondOK(conn, out)
+		return respOK(out)
 
 	default:
-		return respondErr(conn, fmt.Errorf("unknown op %d", op))
+		return respErr(fmt.Errorf("unknown op %d", op))
 	}
 }
 

@@ -7,9 +7,11 @@ package kafka
 // never lost, and the log remains contiguous and in order.
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"net"
+	"sync"
 	"testing"
 	"time"
 
@@ -158,4 +160,158 @@ func TestChaosRemoteBrokerRidesOutConnectionDrops(t *testing.T) {
 			t.Fatalf("acknowledged message %q lost", payload)
 		}
 	}
+}
+
+// TestChaosMuxConcurrentProduceFetchNoCrossing runs one producer per
+// partition plus long-poll fetches, all multiplexed over the single shared
+// connection, through a proxy injecting latency and mid-flight kills. The
+// correlation invariant: every message fetched from partition p must have
+// been produced by partition p's producer, in order (modulo adjacent
+// at-least-once duplicates) — responses crossing correlation ids would
+// surface as foreign payloads, disorder, or malformed fixed-size responses.
+// Every request must resolve; none may hang on an abandoned slot.
+func TestChaosMuxConcurrentProduceFetchNoCrossing(t *testing.T) {
+	b := newTestBroker(t)
+	addr, err := b.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	inj := resilience.NewInjector(23)
+	inj.Plan("proxy.conn.read", resilience.FaultPlan{
+		DropProb: 0.02, LatencyProb: 0.10, Latency: 300 * time.Microsecond,
+	})
+	proxyAddr := startDropProxy(t, addr, inj)
+
+	rb := DialBroker(proxyAddr, time.Second)
+	defer rb.Close()
+	rb.SetRetryPolicy(resilience.Policy{
+		MaxAttempts:    12,
+		InitialBackoff: 200 * time.Microsecond,
+		MaxBackoff:     5 * time.Millisecond,
+	})
+
+	// One dropped connection fails every request in flight on the shared mux
+	// conn at once, which can trip the circuit breaker — a deliberate
+	// fail-fast, not a hang. Requests ride out open windows here the way a
+	// real client would: back off briefly and reissue.
+	rideBreaker := func(f func() error) error {
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			err := f()
+			if err == nil || !errors.Is(err, resilience.ErrBreakerOpen) || time.Now().After(deadline) {
+				return err
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	const producers, msgs = 2, 60 // one producer per partition (test brokers have 2)
+	// Prime every partition with its first message up front: partitions
+	// materialize on first produce, and a long-poll fetch against a
+	// not-yet-created partition is an application error, not a retryable one.
+	for p := 0; p < producers; p++ {
+		if _, err := rb.Produce("crossing", p, NewMessageSet([]byte(fmt.Sprintf("p%d-m0", p)))); err != nil {
+			t.Fatalf("prime partition %d: %v", p, err)
+		}
+	}
+	errCh := make(chan error, producers*2)
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			var lastOff int64 = -1
+			for i := 1; i < msgs; i++ {
+				payload := fmt.Sprintf("p%d-m%d", p, i)
+				var off int64
+				err := rideBreaker(func() (err error) {
+					off, err = rb.Produce("crossing", p, NewMessageSet([]byte(payload)))
+					return err
+				})
+				if err != nil {
+					errCh <- fmt.Errorf("p%d produce %d never resolved: %v", p, i, err)
+					return
+				}
+				if off <= lastOff {
+					errCh <- fmt.Errorf("p%d produce %d: offset %d after %d — response crossed?", p, i, off, lastOff)
+					return
+				}
+				lastOff = off
+				if i%8 == 0 { // interleave fixed-shape requests on the same conn
+					if err := rideBreaker(func() error {
+						_, _, err := rb.Offsets("crossing", p)
+						return err
+					}); err != nil {
+						errCh <- fmt.Errorf("p%d offsets never resolved: %v", p, err)
+						return
+					}
+				}
+			}
+		}(p)
+		// A concurrent long-poll reader per partition: FetchWait requests park
+		// server-side on the shared mux conn while produces keep flowing.
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			var offset int64
+			var got []string
+			deadline := time.Now().Add(45 * time.Second)
+			for len(got) < msgs {
+				if time.Now().After(deadline) {
+					errCh <- fmt.Errorf("p%d reader: only %d/%d messages before deadline", p, len(got), msgs)
+					return
+				}
+				var chunk []byte
+				err := rideBreaker(func() (err error) {
+					chunk, err = rb.FetchWait("crossing", p, offset, 1<<20, 50*time.Millisecond)
+					return err
+				})
+				if err != nil {
+					errCh <- fmt.Errorf("p%d fetch-wait at %d never resolved: %v", p, offset, err)
+					return
+				}
+				if len(chunk) == 0 {
+					continue // long-poll timed out; producer still working
+				}
+				decoded, err := Decode(chunk, offset)
+				if err != nil {
+					errCh <- fmt.Errorf("p%d decode at %d: %v", p, offset, err)
+					return
+				}
+				for _, m := range decoded {
+					offset = m.NextOffset
+					s := string(m.Payload)
+					var mp, mi int
+					if _, err := fmt.Sscanf(s, "p%d-m%d", &mp, &mi); err != nil || mp != p {
+						errCh <- fmt.Errorf("partition %d holds foreign payload %q: responses crossed correlation ids", p, s)
+						return
+					}
+					if len(got) > 0 && got[len(got)-1] == s {
+						continue // adjacent at-least-once duplicate
+					}
+					if mi != len(got) {
+						errCh <- fmt.Errorf("partition %d: message %q at position %d — order violated", p, s, len(got))
+						return
+					}
+					got = append(got, s)
+				}
+			}
+		}(p)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("chaos workload hung: an in-flight mux request never resolved")
+	}
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	if inj.Total() == 0 {
+		t.Fatal("no faults injected; chaos run is vacuous")
+	}
+	t.Logf("mux produce/fetch-wait survived %s", inj)
 }

@@ -2,8 +2,18 @@ package kafka
 
 import (
 	"errors"
+	"math/rand"
 	"time"
 )
+
+// BlockingFetcher is the optional long-poll extension of BrokerClient:
+// FetchWait blocks server-side until data is available at offset or wait
+// elapses, returning an empty chunk on timeout. *Broker (in-process) and
+// *RemoteBroker (TCP, over the mux) both implement it; consumers probe for
+// it so a caught-up stream parks on the broker instead of sleep-polling.
+type BlockingFetcher interface {
+	FetchWait(topic string, partition int, offset int64, maxBytes int, wait time.Duration) ([]byte, error)
+}
 
 // SimpleConsumer pulls raw chunks from one broker and decodes them — the
 // low-level consumption primitive. The consumer, not the broker, tracks how
@@ -53,15 +63,29 @@ func (c *SimpleConsumer) LatestOffset(topic string, partition int) (int64, error
 
 // Stream is the never-terminating message iterator of §V.A: Next blocks
 // until a message is published or the stream is closed. Under the covers it
-// issues pull requests keeping a buffer of decoded messages ready.
+// issues pull requests keeping a buffer of decoded messages ready, and
+// pipelines the fetch of the next chunk while the current one drains — the
+// network round trip hides behind decode-and-deliver. At the log tail it
+// long-polls brokers that support it (BlockingFetcher) and falls back to a
+// jittered, capped backoff otherwise, so an idle consumer never busy-spins.
 type Stream struct {
 	consumer  *SimpleConsumer
 	topic     string
 	partition int
-	offset    int64
+	offset    int64 // next offset the caller has not yet consumed
+	fetchAt   int64 // next offset to fetch (past the buffer and any prefetch)
 	buf       []MessageAndOffset
 	closed    chan struct{}
-	poll      time.Duration
+	poll      time.Duration // base backoff for the non-blocking fallback
+	maxWait   time.Duration // server-side long-poll budget per fetch
+
+	pre      chan fetchResult // one-slot prefetch pipeline
+	inflight bool
+}
+
+type fetchResult struct {
+	msgs []MessageAndOffset
+	err  error
 }
 
 // StreamFrom opens a blocking iterator over (topic, partition) starting at
@@ -73,8 +97,11 @@ func (c *SimpleConsumer) StreamFrom(topic string, partition int, offset int64) *
 		topic:     topic,
 		partition: partition,
 		offset:    offset,
+		fetchAt:   offset,
 		closed:    make(chan struct{}),
 		poll:      2 * time.Millisecond,
+		maxWait:   250 * time.Millisecond,
+		pre:       make(chan fetchResult, 1),
 	}
 }
 
@@ -84,6 +111,7 @@ var ErrStreamClosed = errors.New("kafka: stream closed")
 // Next returns the next message, blocking until one is available. It only
 // fails when the stream is closed or the log rejects our offset.
 func (s *Stream) Next() (MessageAndOffset, error) {
+	backoff := s.poll
 	for {
 		if len(s.buf) > 0 {
 			m := s.buf[0]
@@ -96,23 +124,82 @@ func (s *Stream) Next() (MessageAndOffset, error) {
 			return MessageAndOffset{}, ErrStreamClosed
 		default:
 		}
-		msgs, err := s.consumer.Consume(s.topic, s.partition, s.offset)
+		// Harvest the pipelined fetch first: it was issued when the previous
+		// buffer loaded, so by now it has usually already landed.
+		if s.inflight {
+			var r fetchResult
+			select {
+			case r = <-s.pre:
+			case <-s.closed:
+				return MessageAndOffset{}, ErrStreamClosed
+			}
+			s.inflight = false
+			if r.err != nil {
+				return MessageAndOffset{}, r.err
+			}
+			if len(r.msgs) > 0 {
+				s.load(r.msgs)
+				continue
+			}
+			// The prefetch found nothing: we are at the tail.
+		}
+		msgs, err := s.fetchTail(&backoff)
 		if err != nil {
 			return MessageAndOffset{}, err
 		}
-		if len(msgs) == 0 {
-			select {
-			case <-s.closed:
-				return MessageAndOffset{}, ErrStreamClosed
-			case <-time.After(s.poll):
-			}
-			continue
+		if len(msgs) > 0 {
+			s.load(msgs)
 		}
-		s.buf = msgs
 	}
 }
 
-// Offset returns the next offset the stream will fetch.
+// load installs a fetched batch and pipelines the fetch of the chunk after
+// it, overlapping the next network round trip with consumption of this one.
+func (s *Stream) load(msgs []MessageAndOffset) {
+	s.buf = msgs
+	s.fetchAt = msgs[len(msgs)-1].NextOffset
+	s.inflight = true
+	off := s.fetchAt
+	go func() {
+		msgs, err := s.consumer.Consume(s.topic, s.partition, off)
+		s.pre <- fetchResult{msgs: msgs, err: err}
+	}()
+}
+
+// fetchTail fetches when the stream is (or may be) caught up: a long poll
+// when the broker supports it, otherwise a plain fetch followed by a
+// jittered backoff sleep that doubles to a cap — never the fixed-interval
+// busy-poll. A nil, nil return means still caught up; the caller loops.
+func (s *Stream) fetchTail(backoff *time.Duration) ([]MessageAndOffset, error) {
+	if bf, ok := s.consumer.broker.(BlockingFetcher); ok {
+		chunk, err := bf.FetchWait(s.topic, s.partition, s.fetchAt, s.consumer.maxBytes, s.maxWait)
+		if err != nil || len(chunk) == 0 {
+			return nil, err
+		}
+		msgs, err := Decode(chunk, s.fetchAt)
+		if err == nil {
+			mConsumerMessages.Add(int64(len(msgs)))
+		}
+		return msgs, err
+	}
+	msgs, err := s.consumer.Consume(s.topic, s.partition, s.fetchAt)
+	if err != nil || len(msgs) > 0 {
+		return msgs, err
+	}
+	d := *backoff + time.Duration(rand.Int63n(int64(*backoff)+1))
+	select {
+	case <-s.closed:
+		return nil, ErrStreamClosed
+	case <-time.After(d):
+	}
+	if *backoff < 50*time.Millisecond {
+		*backoff *= 2
+	}
+	return nil, nil
+}
+
+// Offset returns the offset of the next message Next will return — the
+// caller's resume point.
 func (s *Stream) Offset() int64 { return s.offset }
 
 // Close unblocks Next.

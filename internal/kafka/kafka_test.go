@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -538,4 +539,139 @@ func BenchmarkProduceConsume(b *testing.B) {
 	p.Flush()
 	br.FlushAll()
 	b.StopTimer()
+}
+
+// countingBroker wraps an in-process broker and counts fetch-path calls. It
+// implements BrokerClient only — no FetchWait — so streams over it take the
+// jittered-backoff fallback at the tail.
+type countingBroker struct {
+	b          *Broker
+	fetches    atomic.Int64
+	fetchWaits atomic.Int64
+}
+
+func (c *countingBroker) Produce(topic string, partition int, set MessageSet) (int64, error) {
+	return c.b.Produce(topic, partition, set)
+}
+
+func (c *countingBroker) Fetch(topic string, partition int, offset int64, maxBytes int) ([]byte, error) {
+	c.fetches.Add(1)
+	return c.b.Fetch(topic, partition, offset, maxBytes)
+}
+
+func (c *countingBroker) Offsets(topic string, partition int) (int64, int64, error) {
+	return c.b.Offsets(topic, partition)
+}
+
+func (c *countingBroker) Partitions(topic string) (int, error) {
+	return c.b.Partitions(topic)
+}
+
+// countingBlockingBroker additionally implements BlockingFetcher, steering
+// streams onto the long-poll path.
+type countingBlockingBroker struct {
+	countingBroker
+}
+
+func (c *countingBlockingBroker) FetchWait(topic string, partition int, offset int64, maxBytes int, wait time.Duration) ([]byte, error) {
+	c.fetchWaits.Add(1)
+	return c.b.FetchWait(topic, partition, offset, maxBytes, wait)
+}
+
+// TestStreamTailLongPollNoBusySpin: a stream parked at the tail of an idle
+// partition must issue only a handful of long-poll fetches (each parks
+// server-side for maxWait), not a fixed-interval poll, and must still wake
+// promptly when a message is finally produced.
+func TestStreamTailLongPollNoBusySpin(t *testing.T) {
+	cb := &countingBlockingBroker{countingBroker{b: newTestBroker(t)}}
+	sc := NewSimpleConsumer(cb, 1<<20)
+	st := sc.StreamFrom("idle", 0, 0)
+	defer st.Close()
+
+	got := make(chan string, 1)
+	go func() {
+		m, err := st.Next()
+		if err != nil {
+			got <- "err:" + err.Error()
+			return
+		}
+		got <- string(m.Payload)
+	}()
+
+	idle := 500 * time.Millisecond
+	select {
+	case v := <-got:
+		t.Fatalf("Next returned %q on an idle partition", v)
+	case <-time.After(idle):
+	}
+	// The old implementation polled every 2ms: ~250 fetches in this window.
+	// Long-polling parks 250ms per call, so a parked stream issues ~2.
+	if n := cb.fetchWaits.Load(); n > 8 {
+		t.Fatalf("%d long-poll fetches in %v — stream is busy-spinning", n, idle)
+	}
+	if n := cb.fetches.Load(); n > 2 {
+		t.Fatalf("%d plain fetches on the long-poll path", n)
+	}
+
+	start := time.Now()
+	if _, err := cb.b.Produce("idle", 0, NewMessageSet([]byte("wake"))); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case v := <-got:
+		if v != "wake" {
+			t.Fatalf("got %q", v)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("parked stream never woke after produce")
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("wake took %v — long poll is not watching the flush point", d)
+	}
+	t.Logf("idle %v cost %d long-polls; wake latency %v", idle, cb.fetchWaits.Load(), time.Since(start))
+}
+
+// TestStreamTailBackoffNoBusySpin: against a broker with no long-poll
+// support, the tail fallback must back off (jittered, doubling to a cap)
+// rather than poll at a fixed 2ms — an idle consumer issues an order of
+// magnitude fewer fetches than the old busy-poll.
+func TestStreamTailBackoffNoBusySpin(t *testing.T) {
+	cb := &countingBroker{b: newTestBroker(t)}
+	sc := NewSimpleConsumer(cb, 1<<20)
+	st := sc.StreamFrom("idle", 0, 0)
+	defer st.Close()
+
+	got := make(chan string, 1)
+	go func() {
+		m, err := st.Next()
+		if err != nil {
+			got <- "err:" + err.Error()
+			return
+		}
+		got <- string(m.Payload)
+	}()
+
+	idle := 400 * time.Millisecond
+	select {
+	case v := <-got:
+		t.Fatalf("Next returned %q on an idle partition", v)
+	case <-time.After(idle):
+	}
+	// Fixed 2ms polling would issue ~200 fetches here; doubling backoff
+	// (2,4,8,...,50ms cap, plus jitter) issues roughly a dozen.
+	if n := cb.fetches.Load(); n > 40 {
+		t.Fatalf("%d fetches in %v — tail fallback is busy-spinning", n, idle)
+	}
+	if _, err := cb.b.Produce("idle", 0, NewMessageSet([]byte("wake"))); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case v := <-got:
+		if v != "wake" {
+			t.Fatalf("got %q", v)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("backoff stream never woke after produce")
+	}
+	t.Logf("idle %v cost %d fetches on the backoff fallback", idle, cb.fetches.Load())
 }

@@ -27,6 +27,11 @@ type Log struct {
 	unflushedCount int
 	lastFlush      time.Time
 	flushedTo      int64 // messages below this offset are consumer-visible
+
+	// watch is closed and replaced whenever flushedTo advances, waking
+	// long-poll fetches parked in WaitForData. Visibility — not the append —
+	// is the wake point, because consumers only see flushed data.
+	watch chan struct{}
 }
 
 type segment struct {
@@ -62,7 +67,7 @@ func OpenLog(dir string, cfg LogConfig) (*Log, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	l := &Log{dir: dir, cfg: cfg, lastFlush: time.Now()}
+	l := &Log{dir: dir, cfg: cfg, lastFlush: time.Now(), watch: make(chan struct{})}
 	ents, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
@@ -170,8 +175,38 @@ func (l *Log) flushLocked() error {
 	}
 	l.unflushedCount = 0
 	l.lastFlush = time.Now()
-	l.flushedTo = l.endOffsetLocked()
+	if end := l.endOffsetLocked(); end != l.flushedTo {
+		l.flushedTo = end
+		close(l.watch) // wake long-poll fetches; see WaitForData
+		l.watch = make(chan struct{})
+	}
 	return nil
+}
+
+// WaitForData blocks until the consumer-visible end of the log moves past
+// offset, wait elapses, or stop closes; it reports whether data is now
+// readable at offset. This is the broker half of long-poll fetches: a
+// caught-up consumer parks here instead of sleep-polling.
+func (l *Log) WaitForData(offset int64, wait time.Duration, stop <-chan struct{}) bool {
+	deadline := time.NewTimer(wait)
+	defer deadline.Stop()
+	for {
+		l.mu.Lock()
+		visible := l.flushedTo > offset
+		w := l.watch
+		l.mu.Unlock()
+		if visible {
+			return true
+		}
+		select {
+		case <-w:
+			// flushedTo advanced; recheck against our offset.
+		case <-deadline.C:
+			return false
+		case <-stop:
+			return false
+		}
+	}
 }
 
 // Flush forces durability and visibility of everything appended.

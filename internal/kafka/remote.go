@@ -12,28 +12,54 @@ import (
 	"time"
 
 	"datainfra/internal/resilience"
+	"datainfra/internal/rpc"
 )
 
-// RemoteBroker is a BrokerClient over the TCP protocol, with a small
-// connection pool. Transport failures (dead pooled connections, broker
-// restarts, timeouts) are retried through the resilience layer with
-// exponential backoff and full jitter, behind a circuit breaker that fails
-// fast while the broker stays unreachable — the §V story of producers and
-// consumers riding out broker reconnects. Application-level responses
-// (error frames such as offset-out-of-range) are never retried.
+// RemoteBroker is a BrokerClient over the TCP protocol. By default every
+// request shares one multiplexed connection (internal/rpc) with many
+// requests in flight, correlated by id — including long-poll fetches, which
+// park server-side without blocking the other requests on the connection.
+// The legacy one-request-per-connection pool survives behind
+// DialBrokerPooled for wire tests and mux-versus-pool benchmarks. Transport
+// failures (dead connections, broker restarts, timeouts) are retried through
+// the resilience layer with exponential backoff and full jitter, behind a
+// circuit breaker that fails fast while the broker stays unreachable — the
+// §V story of producers and consumers riding out broker reconnects.
+// Application-level responses (error frames such as offset-out-of-range) are
+// never retried.
 type RemoteBroker struct {
 	addr    string
 	timeout time.Duration
 	retry   resilience.Policy
 	breaker *resilience.Breaker
 
+	mux    *rpc.Client // nil in pooled (legacy) mode
+	pooled bool
+
 	mu     sync.Mutex
 	conns  []net.Conn
 	closed bool
 }
 
-// DialBroker connects lazily to the broker at addr.
+// DialBroker connects lazily to the broker at addr, using a single
+// multiplexed connection shared by all concurrent requests.
 func DialBroker(addr string, timeout time.Duration) *RemoteBroker {
+	r := newRemoteBroker(addr, timeout)
+	r.mux = rpc.NewClient(addr, r.timeout)
+	return r
+}
+
+// DialBrokerPooled connects using the legacy lock-step protocol over a small
+// connection pool — one request in flight per connection. Kept for
+// wire-compatibility tests and as the baseline the multiplexed transport is
+// benchmarked against.
+func DialBrokerPooled(addr string, timeout time.Duration) *RemoteBroker {
+	r := newRemoteBroker(addr, timeout)
+	r.pooled = true
+	return r
+}
+
+func newRemoteBroker(addr string, timeout time.Duration) *RemoteBroker {
 	if timeout == 0 {
 		timeout = 5 * time.Second
 	}
@@ -91,11 +117,17 @@ func (r *RemoteBroker) putConn(c net.Conn) {
 // transport failures (each retry on a fresh connection: callOnce discards
 // the connection on any error).
 func (r *RemoteBroker) call(req []byte) ([]byte, error) {
+	return r.callTimeout(req, r.timeout)
+}
+
+// callTimeout is call with an explicit per-request timeout — long-poll
+// fetches need room for the server-side wait on top of the transport budget.
+func (r *RemoteBroker) callTimeout(req []byte, timeout time.Duration) ([]byte, error) {
 	return resilience.RetryValue(context.Background(), r.retry, func() ([]byte, error) {
 		if err := r.breaker.Allow(); err != nil {
 			return nil, err
 		}
-		body, err := r.callOnce(req)
+		body, err := r.callOnce(req, timeout)
 		if err != nil && resilience.IsTransient(err) {
 			r.breaker.Record(err)
 		} else {
@@ -106,13 +138,41 @@ func (r *RemoteBroker) call(req []byte) ([]byte, error) {
 	})
 }
 
-// callOnce performs one request/response exchange on one connection.
-func (r *RemoteBroker) callOnce(req []byte) ([]byte, error) {
+// parseStatus strips the status byte off a response body, mapping error
+// frames to errors.
+func parseStatus(body []byte) ([]byte, error) {
+	if len(body) < 1 {
+		return nil, fmt.Errorf("kafka: empty response frame")
+	}
+	if body[0] != 0 {
+		msg := string(body[1:])
+		if contains(msg, "offset out of range") {
+			return nil, fmt.Errorf("%w: %s", ErrOffsetOutOfRange, msg)
+		}
+		return nil, errors.New("kafka: " + msg)
+	}
+	return body[1:], nil
+}
+
+// callOnce performs one request/response exchange: over the shared
+// multiplexed connection by default, or on a dedicated pooled connection in
+// legacy mode. Mux timeouts abandon the request slot (the connection
+// survives for other in-flight requests) and surface as transient
+// net.Errors, so the retry loop treats them exactly like the legacy
+// deadline kill.
+func (r *RemoteBroker) callOnce(req []byte, timeout time.Duration) ([]byte, error) {
+	if !r.pooled {
+		body, err := r.mux.Call(req, timeout)
+		if err != nil {
+			return nil, err
+		}
+		return parseStatus(body)
+	}
 	conn, err := r.getConn()
 	if err != nil {
 		return nil, err
 	}
-	if err := conn.SetDeadline(time.Now().Add(r.timeout)); err != nil {
+	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("kafka: set deadline: %w", err)
 	}
@@ -145,14 +205,7 @@ func (r *RemoteBroker) callOnce(req []byte) ([]byte, error) {
 		return nil, fmt.Errorf("kafka: clear deadline: %w", err)
 	}
 	r.putConn(conn)
-	if body[0] != 0 {
-		msg := string(body[1:])
-		if contains(msg, "offset out of range") {
-			return nil, fmt.Errorf("%w: %s", ErrOffsetOutOfRange, msg)
-		}
-		return nil, errors.New("kafka: " + msg)
-	}
-	return body[1:], nil
+	return parseStatus(body)
 }
 
 func contains(s, sub string) bool {
@@ -202,6 +255,20 @@ func (r *RemoteBroker) Fetch(topic string, partition int, offset int64, maxBytes
 	return r.call(req)
 }
 
+// FetchWait implements BlockingFetcher: a fetch that long-polls server-side
+// when the partition is caught up, so a consumer at the log tail parks on
+// the broker instead of sleep-polling. The per-request timeout is widened to
+// cover the server wait; over the mux the parked request does not block the
+// connection's other traffic.
+func (r *RemoteBroker) FetchWait(topic string, partition int, offset int64, maxBytes int, wait time.Duration) ([]byte, error) {
+	req := reqHeader(brokerOpFetchWait, topic)
+	req = binary.BigEndian.AppendUint32(req, uint32(partition))
+	req = binary.BigEndian.AppendUint64(req, uint64(offset))
+	req = binary.BigEndian.AppendUint32(req, uint32(maxBytes))
+	req = binary.BigEndian.AppendUint32(req, uint32(wait/time.Millisecond))
+	return r.callTimeout(req, r.timeout+wait)
+}
+
 // Offsets implements BrokerClient.
 func (r *RemoteBroker) Offsets(topic string, partition int) (int64, int64, error) {
 	req := reqHeader(brokerOpOffsets, topic)
@@ -225,7 +292,7 @@ func (r *RemoteBroker) Partitions(topic string) (int, error) {
 	return strconv.Atoi(string(resp))
 }
 
-// Close drops pooled connections.
+// Close drops the multiplexed connection and any pooled connections.
 func (r *RemoteBroker) Close() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -234,4 +301,7 @@ func (r *RemoteBroker) Close() {
 		c.Close()
 	}
 	r.conns = nil
+	if r.mux != nil {
+		r.mux.Close()
+	}
 }

@@ -360,6 +360,18 @@ func (r *Registry) RegisterHistogram(name, help string) *FixedHistogram {
 	return e.hist
 }
 
+// RegisterHistogramBuckets returns the named fixed-bucket histogram,
+// creating it with the given ascending bucket upper bounds on first call
+// (first registration wins; later calls return the existing instrument).
+// Counting histograms — pipeline depth, batch sizes — pass small integer
+// bounds encoded as nanosecond durations.
+func (r *Registry) RegisterHistogramBuckets(name, help string, bounds ...time.Duration) *FixedHistogram {
+	e := r.register(name, help, KindHistogram, func() *entry {
+		return &entry{hist: NewFixedHistogram(bounds...)}
+	})
+	return e.hist
+}
+
 // RegisterCounterVec returns the named label-split counter family.
 func (r *Registry) RegisterCounterVec(name, help, label string) *CounterVec {
 	e := r.register(name, help, KindCounter, func() *entry {
@@ -398,6 +410,11 @@ func RegisterGaugeFunc(name, help string, fn func() int64) {
 // RegisterHistogram registers name on the Default registry.
 func RegisterHistogram(name, help string) *FixedHistogram {
 	return Default.RegisterHistogram(name, help)
+}
+
+// RegisterHistogramBuckets registers name on the Default registry.
+func RegisterHistogramBuckets(name, help string, bounds ...time.Duration) *FixedHistogram {
+	return Default.RegisterHistogramBuckets(name, help, bounds...)
 }
 
 // RegisterCounterVec registers name on the Default registry.

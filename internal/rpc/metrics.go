@@ -1,0 +1,40 @@
+package rpc
+
+import (
+	"time"
+
+	"datainfra/internal/metrics"
+)
+
+// Process-wide instruments for the multiplexed transport, documented in
+// OPERATIONS.md and checked by cmd/metriclint. Gauges aggregate across every
+// mux connection in the process (clients and servers alike), so a scrape
+// shows total pipelining pressure; the depth histogram uses raw integer
+// bucket bounds (encoded as nanoseconds) because it counts requests, not
+// time.
+var (
+	mInflight = metrics.RegisterGauge("rpc_inflight_requests",
+		"client calls registered and awaiting a response across all mux connections")
+	mPipelineDepth = metrics.RegisterHistogramBuckets("rpc_pipeline_depth_requests",
+		"in-flight requests sharing the connection at each send (bucket bounds are request counts)",
+		1, 2, 4, 8, 16, 32, 64, 128, 256)
+	mSendQueue = metrics.RegisterGauge("rpc_client_send_queue_requests",
+		"request frames queued for a client writer goroutine")
+	mTimeouts = metrics.RegisterCounter("rpc_client_timeouts_total",
+		"calls abandoned by the per-request timeout (slot freed, connection kept)")
+	mDials = metrics.RegisterCounter("rpc_client_dials_total",
+		"multiplexed connections dialed")
+	mConnErrors = metrics.RegisterCounter("rpc_client_conn_errors_total",
+		"multiplexed connections torn down after a transport failure or stall")
+	mServerQueue = metrics.RegisterGauge("rpc_server_queue_requests",
+		"requests read off mux connections and waiting for a worker")
+	mServerInflight = metrics.RegisterGauge("rpc_server_inflight_requests",
+		"handler invocations currently executing on mux worker pools")
+	mServerRequests = metrics.RegisterCounter("rpc_server_requests_total",
+		"requests served over multiplexed connections")
+)
+
+// observeDepth records the pipeline depth (pending request count) at a send.
+func observeDepth(depth int) {
+	mPipelineDepth.Observe(time.Duration(depth))
+}

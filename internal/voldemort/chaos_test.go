@@ -7,7 +7,12 @@ package voldemort
 // the async recovery probe once the network heals.
 
 import (
+	"errors"
 	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -227,4 +232,214 @@ func TestChaosBannedNodeRecoversViaProbe(t *testing.T) {
 	if n := rig.slop.Pending(); n != 0 {
 		t.Fatalf("%d hints still pending after recovery", n)
 	}
+}
+
+// startFaultProxy forwards TCP connections to target, injecting latency and
+// mid-flight kills on the client->server path per the seeded schedule
+// ("muxproxy.conn.read" / ".write"). Used to chaos-test the multiplexed
+// socket transport end to end.
+func startFaultProxy(t *testing.T, target string, inj *resilience.DeterministicInjector) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				fc := inj.WrapConn("muxproxy.conn", c)
+				defer fc.Close()
+				up, err := net.Dial("tcp", target)
+				if err != nil {
+					return
+				}
+				defer up.Close()
+				go func() { _, _ = io.Copy(up, fc) }()
+				_, _ = io.Copy(fc, up)
+			}(c)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestChaosMuxNoCorrelationCrossing hammers one multiplexed connection from
+// many goroutines through a proxy injecting latency and mid-flight
+// connection kills. Invariants: a Get for a key never returns another key's
+// value (correlation IDs never cross, even across redials), and every
+// request resolves — with a value or an error — rather than hanging.
+func TestChaosMuxNoCorrelationCrossing(t *testing.T) {
+	def := (&cluster.StoreDef{Name: "mux", Replication: 1, RequiredReads: 1, RequiredWrites: 1}).WithDefaults()
+	clus, _ := startCluster(t, 1, 4, def)
+
+	inj := resilience.NewInjector(11)
+	inj.Plan("muxproxy.conn.read", resilience.FaultPlan{
+		DropProb: 0.02, LatencyProb: 0.10, Latency: 500 * time.Microsecond,
+	})
+	inj.Plan("muxproxy.conn.write", resilience.FaultPlan{DropProb: 0.01})
+	proxyAddr := startFaultProxy(t, clus.NodeByID(0).Addr(), inj)
+
+	ss := DialStore("mux", proxyAddr, time.Second)
+	defer ss.Close()
+	ss.SetRetryPolicy(resilience.Policy{
+		MaxAttempts:    12,
+		InitialBackoff: 200 * time.Microsecond,
+		MaxBackoff:     5 * time.Millisecond,
+	})
+
+	const goroutines, ops = 16, 25
+	errs := make(chan error, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				key := []byte(fmt.Sprintf("g%d-k%d", g, i))
+				want := fmt.Sprintf("g%d-v%d", g, i)
+				v := versioned.New([]byte(want))
+				// An obsolete-version conflict means our own retried put
+				// already landed (at-least-once): counts as applied, exactly
+				// as the quorum layer treats it.
+				if err := ss.Put(key, v, nil); err != nil && !errors.Is(err, versioned.ErrObsoleteVersion) {
+					errs <- fmt.Errorf("g%d put %d never resolved: %v", g, i, err)
+					return
+				}
+				vs, err := ss.Get(key, nil)
+				if err != nil {
+					errs <- fmt.Errorf("g%d get %d never resolved: %v", g, i, err)
+					return
+				}
+				if len(vs) == 0 {
+					errs <- fmt.Errorf("g%d get %d: acknowledged put invisible", g, i)
+					return
+				}
+				for _, got := range vs {
+					if string(got.Value) != want {
+						errs <- fmt.Errorf("g%d get %d = %q, want %q: responses crossed correlation ids", g, i, got.Value, want)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("chaos workload hung: an in-flight mux request never resolved")
+	}
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if inj.Total() == 0 {
+		t.Fatal("no faults injected; chaos run is vacuous")
+	}
+	t.Logf("mux survived %s", inj)
+}
+
+// TestChaosMuxConnKillResolvesInflight repeatedly severs the only proxy
+// route while concurrent requests are in flight on the shared mux
+// connection: every caller must get an answer (success after redial+retry,
+// or an error) — none may hang on an abandoned correlation slot.
+func TestChaosMuxConnKillResolvesInflight(t *testing.T) {
+	def := (&cluster.StoreDef{Name: "kill", Replication: 1, RequiredReads: 1, RequiredWrites: 1}).WithDefaults()
+	clus, _ := startCluster(t, 1, 4, def)
+
+	var pmu sync.Mutex
+	var live []net.Conn
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			pmu.Lock()
+			live = append(live, c)
+			pmu.Unlock()
+			go func(c net.Conn) {
+				defer c.Close()
+				up, err := net.Dial("tcp", clus.NodeByID(0).Addr())
+				if err != nil {
+					return
+				}
+				defer up.Close()
+				go func() { _, _ = io.Copy(up, c) }()
+				_, _ = io.Copy(c, up)
+			}(c)
+		}
+	}()
+
+	ss := DialStore("kill", ln.Addr().String(), 500*time.Millisecond)
+	defer ss.Close()
+	ss.SetRetryPolicy(resilience.Policy{
+		MaxAttempts:    20,
+		InitialBackoff: 500 * time.Microsecond,
+		MaxBackoff:     5 * time.Millisecond,
+	})
+
+	stopKiller := make(chan struct{})
+	var kills atomic.Int64
+	var killerWg sync.WaitGroup
+	killerWg.Add(1)
+	go func() {
+		defer killerWg.Done()
+		for {
+			select {
+			case <-stopKiller:
+				return
+			case <-time.After(500 * time.Microsecond):
+				pmu.Lock()
+				for _, c := range live {
+					c.Close()
+					kills.Add(1)
+				}
+				live = live[:0]
+				pmu.Unlock()
+			}
+		}
+	}()
+
+	const goroutines, ops = 8, 60
+	var wg sync.WaitGroup
+	var resolved atomic.Int64
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				key := []byte(fmt.Sprintf("kg%d-k%d", g, i))
+				v := versioned.New([]byte("v"))
+				_ = ss.Put(key, v, nil) // errors allowed; hangs are not
+				resolved.Add(1)
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatalf("only %d/%d requests resolved under repeated conn kills", resolved.Load(), goroutines*ops)
+	}
+	close(stopKiller)
+	killerWg.Wait()
+	if got := resolved.Load(); got != goroutines*ops {
+		t.Fatalf("resolved %d of %d requests", got, goroutines*ops)
+	}
+	if kills.Load() == 0 {
+		t.Fatal("no connections killed mid-flight; chaos run is vacuous")
+	}
+	t.Logf("all %d requests resolved across %d mid-flight conn kills", resolved.Load(), kills.Load())
 }

@@ -71,12 +71,15 @@ func (s *RoutedStore) GetAll(keys [][]byte) (map[string][]*versioned.Versioned, 
 	}
 	ch := make(chan result, len(keys))
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, 16) // bound concurrency
+	// Acquire the semaphore BEFORE spawning: a 10k-key batch must never
+	// materialize 10k goroutines that all sit blocked on the semaphore —
+	// the bound has to hold on goroutines, not just on active quorum reads.
+	sem := make(chan struct{}, 16)
 	for _, k := range keys {
+		sem <- struct{}{}
 		wg.Add(1)
 		go func(k []byte) {
 			defer wg.Done()
-			sem <- struct{}{}
 			defer func() { <-sem }()
 			vs, err := s.Get(k, nil)
 			ch <- result{key: string(k), vs: vs, err: err}

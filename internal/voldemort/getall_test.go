@@ -2,10 +2,12 @@ package voldemort
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
 	"datainfra/internal/cluster"
+	"datainfra/internal/versioned"
 )
 
 func TestGetAllEngineStore(t *testing.T) {
@@ -84,5 +86,60 @@ func TestGetAllRoutedWithFailures(t *testing.T) {
 	}
 	if len(got) != 30 {
 		t.Fatalf("GetAll with node down returned %d/30", len(got))
+	}
+}
+
+// gatedGetStore blocks every Get until released, so in-flight GetAll work
+// piles up and the concurrency bound becomes observable.
+type gatedGetStore struct {
+	Store
+	release chan struct{}
+}
+
+func (g *gatedGetStore) Get(key []byte, tr *Transform) ([]*versioned.Versioned, error) {
+	<-g.release
+	return g.Store.Get(key, tr)
+}
+
+// TestRoutedGetAllBoundsGoroutines proves the routed GetAll holds its 16-way
+// semaphore BEFORE spawning: a large key batch must not materialize one
+// goroutine per key (all parked on the semaphore), only the bounded window.
+func TestRoutedGetAllBoundsGoroutines(t *testing.T) {
+	rig := newRig(t, 3, 12, 2, 1, 2, false)
+	release := make(chan struct{})
+	for id, st := range rig.routed.stores {
+		rig.routed.stores[id] = &gatedGetStore{Store: st, release: release}
+	}
+	const nkeys = 400
+	keys := make([][]byte, nkeys)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("k%d", i))
+	}
+	before := runtime.NumGoroutine()
+	done := make(chan error, 1)
+	go func() {
+		_, err := rig.routed.GetAll(keys)
+		done <- err
+	}()
+	// Let the batch saturate the semaphore while every Get is gated.
+	deadline := time.Now().Add(2 * time.Second)
+	var during int
+	for time.Now().Before(deadline) {
+		during = runtime.NumGoroutine()
+		if during > before+16 {
+			break // window is full; growth has peaked
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	time.Sleep(20 * time.Millisecond)
+	during = runtime.NumGoroutine()
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	// Each of the ≤16 admitted keys may fan out replica goroutines inside
+	// RoutedStore.Get; 400 unbounded spawns would show as ~400+.
+	if growth := during - before; growth > 120 {
+		t.Fatalf("GetAll grew goroutines by %d for %d keys; want bounded by the 16-way window", growth, nkeys)
 	}
 }

@@ -1,0 +1,143 @@
+package voldemort
+
+// Mux-versus-pool throughput benchmarks for the socket transport. The
+// interesting row is mux at 16 callers: one shared multiplexed connection
+// carrying 16 concurrent requests, against the same 16 callers serialized on
+// one lock-step connection (how the old transport behaved at a fixed
+// connection count), and against the unconstrained pool (the old transport's
+// actual behavior: N callers cost N connections).
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"datainfra/internal/cluster"
+	"datainfra/internal/versioned"
+)
+
+// startDelayProxy fronts target with a fixed one-way latency in each
+// direction — a bandwidth-unconstrained link approximation. Chunks propagate
+// through a timestamped queue, so many frames in flight overlap their
+// propagation delay exactly as they would on a real link; a lock-step
+// protocol instead pays the full RTT per request. On loopback (where the
+// real RTT is pure CPU) this is what makes the pipelining win measurable.
+func startDelayProxy(tb testing.TB, target string, oneWay time.Duration) string {
+	tb.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			up, err := net.Dial("tcp", target)
+			if err != nil {
+				c.Close()
+				continue
+			}
+			pipe := func(dst, src net.Conn) {
+				type chunk struct {
+					data []byte
+					due  time.Time
+				}
+				q := make(chan chunk, 1024)
+				go func() {
+					defer dst.Close()
+					for ch := range q {
+						time.Sleep(time.Until(ch.due))
+						if _, err := dst.Write(ch.data); err != nil {
+							return
+						}
+					}
+				}()
+				buf := make([]byte, 64<<10)
+				defer close(q)
+				for {
+					n, err := src.Read(buf)
+					if n > 0 {
+						q <- chunk{data: append([]byte(nil), buf[:n]...), due: time.Now().Add(oneWay)}
+					}
+					if err != nil {
+						return
+					}
+				}
+			}
+			go pipe(up, c)
+			go pipe(c, up)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func BenchmarkSocketStoreParallel(b *testing.B) {
+	def := (&cluster.StoreDef{Name: "bench", Replication: 1, RequiredReads: 1, RequiredWrites: 1}).WithDefaults()
+	clus, _ := startCluster(b, 1, 8, def)
+	addr := clus.NodeByID(0).Addr()
+
+	seed := DialStore("bench", addr, 2*time.Second)
+	if err := seed.Put([]byte("k"), versioned.New([]byte("0123456789abcdef0123456789abcdef")), nil); err != nil {
+		b.Fatal(err)
+	}
+	seed.Close()
+
+	// 500µs each way = 1ms RTT, a realistic cross-rack order of magnitude.
+	delayed := startDelayProxy(b, addr, 500*time.Microsecond)
+
+	transports := []struct {
+		name string
+		dial func() *SocketStore
+		sem  int // >0 caps client-side in-flight requests (lock-step conns)
+	}{
+		{name: "mux1conn", dial: func() *SocketStore { return DialStore("bench", addr, 2*time.Second) }},
+		{name: "lockstep1conn", dial: func() *SocketStore { return DialStorePooled("bench", addr, 2*time.Second) }, sem: 1},
+		{name: "pool", dial: func() *SocketStore { return DialStorePooled("bench", addr, 2*time.Second) }},
+		{name: "mux1conn-rtt1ms", dial: func() *SocketStore { return DialStore("bench", delayed, 2*time.Second) }},
+		{name: "lockstep1conn-rtt1ms", dial: func() *SocketStore { return DialStorePooled("bench", delayed, 2*time.Second) }, sem: 1},
+	}
+	for _, tr := range transports {
+		for _, callers := range []int{1, 4, 16} {
+			b.Run(fmt.Sprintf("%s/callers=%d", tr.name, callers), func(b *testing.B) {
+				ss := tr.dial()
+				defer ss.Close()
+				var sem chan struct{}
+				if tr.sem > 0 {
+					sem = make(chan struct{}, tr.sem)
+				}
+				var wg sync.WaitGroup
+				b.ReportAllocs()
+				b.ResetTimer()
+				for c := 0; c < callers; c++ {
+					n := b.N / callers
+					if c < b.N%callers {
+						n++
+					}
+					wg.Add(1)
+					go func(n int) {
+						defer wg.Done()
+						for i := 0; i < n; i++ {
+							if sem != nil {
+								sem <- struct{}{}
+							}
+							_, err := ss.Get([]byte("k"), nil)
+							if sem != nil {
+								<-sem
+							}
+							if err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}(n)
+				}
+				wg.Wait()
+			})
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 
 	"datainfra/internal/cluster"
 	"datainfra/internal/ring"
+	"datainfra/internal/rpc"
 	"datainfra/internal/storage"
 	"datainfra/internal/trace"
 	"datainfra/internal/vclock"
@@ -192,7 +193,18 @@ func (s *Server) acceptLoop(ln net.Listener) {
 				delete(s.conns, conn)
 				s.mu.Unlock()
 			}()
-			s.serveConn(conn)
+			// One port, two protocols: multiplexed connections announce
+			// themselves with the rpc magic; everything else (admin clients,
+			// partition-streaming fetches) speaks the legacy lock-step frames.
+			nc, muxed, err := rpc.Sniff(conn)
+			if err != nil {
+				return
+			}
+			if muxed {
+				_ = rpc.ServeConn(nc, s.handleMux, rpc.ServeOptions{})
+				return
+			}
+			s.serveConn(nc)
 		}()
 	}
 }
@@ -240,6 +252,36 @@ func (s *Server) serveConn(conn net.Conn) {
 			return
 		}
 	}
+}
+
+// handleMux serves one request arriving over a multiplexed connection. The
+// mux payload is the legacy request encoding without its length prefix (the
+// rpc frame carries the length), and the response payload likewise. Handlers
+// run concurrently on the per-connection worker pool, so responses may be
+// written out of order — the correlation id routes each to its caller.
+// Partition streaming writes multiple raw frames and so stays legacy-only.
+func (s *Server) handleMux(payload []byte) rpc.Response {
+	req, err := decodeRequest(payload)
+	if err != nil {
+		return rpc.Response{Payload: (&response{Status: statusError, Message: err.Error()}).appendTo(nil)}
+	}
+	mServerRequests.With(opName(req.Op)).Inc()
+	if req.Trace != "" {
+		s.traces.Add(req.Trace)
+		trace.Logf(req.Trace, "voldemort node %d: %s store=%s keylen=%d",
+			s.nodeID, opName(req.Op), req.Store, len(req.Key))
+	}
+	var resp *response
+	if req.Op == opFetchPartitions {
+		resp = &response{Status: statusError,
+			Message: "fetch-partitions streams frames and requires a dedicated legacy connection"}
+	} else {
+		resp = s.dispatch(req)
+	}
+	if resp.Status != statusOK && req.Trace != "" {
+		resp.Message = "[trace=" + req.Trace + "] " + resp.Message
+	}
+	return rpc.Response{Payload: resp.appendTo(nil)}
 }
 
 func (s *Server) store(name string) (*EngineStore, error) {

@@ -9,14 +9,19 @@ import (
 	"time"
 
 	"datainfra/internal/resilience"
+	"datainfra/internal/rpc"
 	"datainfra/internal/trace"
 	"datainfra/internal/vclock"
 	"datainfra/internal/versioned"
 )
 
 // SocketStore is the client side of the binary protocol: a Store backed by a
-// remote node, with a small connection pool. It is what the routed store
-// uses for client-side routing. Transport failures (a dead pooled
+// remote node. It is what the routed store uses for client-side routing. By
+// default all requests share one multiplexed connection (internal/rpc):
+// many calls are in flight at once, correlated by id, so concurrency no
+// longer costs one TCP connection per outstanding request. The legacy
+// one-request-per-connection pool survives behind DialStorePooled for
+// protocol tests and mux-versus-pool benchmarks. Transport failures (a dead
 // connection, a node restarting mid-request) are retried a bounded number of
 // times with jittered backoff before the error escapes to the routed store's
 // quorum accounting — so a blip costs a few milliseconds, not a failed
@@ -29,13 +34,33 @@ type SocketStore struct {
 	retry     resilience.Policy
 	trace     atomic.Value // string; stamped on every outgoing request
 
+	mux    *rpc.Client // nil in pooled (legacy) mode
+	pooled bool
+
 	mu     sync.Mutex
 	conns  []net.Conn
 	closed bool
 }
 
-// DialStore returns a SocketStore for storeName on the node at addr.
+// DialStore returns a SocketStore for storeName on the node at addr, using
+// a single multiplexed connection shared by all concurrent calls.
 func DialStore(storeName, addr string, timeout time.Duration) *SocketStore {
+	s := newSocketStore(storeName, addr, timeout)
+	s.mux = rpc.NewClient(addr, s.timeout)
+	return s
+}
+
+// DialStorePooled returns a SocketStore speaking the legacy lock-step
+// protocol over a small connection pool — one request in flight per
+// connection. Kept for wire-compatibility tests and as the baseline the
+// multiplexed transport is benchmarked against.
+func DialStorePooled(storeName, addr string, timeout time.Duration) *SocketStore {
+	s := newSocketStore(storeName, addr, timeout)
+	s.pooled = true
+	return s
+}
+
+func newSocketStore(storeName, addr string, timeout time.Duration) *SocketStore {
 	if timeout == 0 {
 		timeout = 2 * time.Second
 	}
@@ -126,8 +151,20 @@ func (s *SocketStore) call(req *request) (*response, error) {
 	return resp, trace.Annotate(req.Trace, err)
 }
 
-// callOnce performs one request/response exchange on one connection.
+// callOnce performs one request/response exchange: over the shared
+// multiplexed connection by default, or on a dedicated pooled connection in
+// legacy mode. On the mux path the per-request timeout abandons the slot
+// (the connection survives for the other in-flight calls) and surfaces as a
+// transient net.Error, so the retry loop treats it exactly like the legacy
+// deadline kill.
 func (s *SocketStore) callOnce(req *request) (*response, error) {
+	if !s.pooled {
+		payload, err := s.mux.Call(req.appendTo(nil), s.timeout)
+		if err != nil {
+			return nil, err
+		}
+		return decodeResponse(payload)
+	}
 	conn, err := s.getConn()
 	if err != nil {
 		return nil, err
@@ -220,7 +257,7 @@ func (s *SocketStore) Delete(key []byte, clock *vclock.Clock) (bool, error) {
 	return len(resp.Payload) == 1 && resp.Payload[0] == 1, nil
 }
 
-// Close drops pooled connections.
+// Close drops the multiplexed connection and any pooled connections.
 func (s *SocketStore) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -229,5 +266,8 @@ func (s *SocketStore) Close() error {
 		c.Close()
 	}
 	s.conns = nil
+	if s.mux != nil {
+		s.mux.Close()
+	}
 	return nil
 }
