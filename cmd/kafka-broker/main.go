@@ -1,18 +1,31 @@
-// Command kafka-broker runs one Kafka broker serving the binary TCP
-// protocol, with segment-file persistence, batched flushing and time-based
-// retention.
+// Command kafka-broker runs Kafka brokers serving the binary TCP protocol,
+// with segment-file persistence, batched flushing and time-based retention.
 //
-// Usage:
+// Single-broker (legacy) mode:
 //
 //	kafka-broker -id 0 -data /var/kafka -listen :9092 -partitions 4 -retention 168h
+//
+// Replicated mode (-replicas > 1) runs a whole ISR-replicated cluster in one
+// process — coordination (zk, the Helix controller, leader election) is
+// in-process, while every broker serves clients on its own TCP port
+// (-listen port, port+1, ...). Topics are registered up front with -topics;
+// produces sent to a non-leader fail with "not the partition leader", so
+// clients walk the brokers or use kafka.RoutedClient semantics. See
+// DESIGN.md §10.
+//
+//	kafka-broker -data /var/kafka -listen :9092 -replicas 3 -min-isr 2 -topics events,orders
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -23,22 +36,25 @@ import (
 
 func main() {
 	var (
-		id          = flag.Int("id", 0, "broker id")
+		id          = flag.Int("id", 0, "broker id (single-broker mode)")
 		dataDir     = flag.String("data", "kafka-data", "log directory")
-		listen      = flag.String("listen", "127.0.0.1:9092", "listen address")
+		listen      = flag.String("listen", "127.0.0.1:9092", "listen address (replicated mode: first broker; the rest take successive ports)")
 		metricsAddr = flag.String("metrics", "127.0.0.1:9192", "observability HTTP address (/metrics, /debug/pprof); empty disables")
 		partitions  = flag.Int("partitions", 4, "partitions per topic")
 		segment     = flag.Int64("segment-bytes", 64<<20, "segment roll size")
 		flushN      = flag.Int("flush-messages", 100, "flush after N messages")
 		flushMs     = flag.Duration("flush-interval", 50*time.Millisecond, "flush interval")
 		retention   = flag.Duration("retention", 7*24*time.Hour, "segment retention (the paper's 7-day SLA)")
+		replicas    = flag.Int("replicas", 1, "brokers in the ISR-replicated cluster; 1 = legacy single broker")
+		minISR      = flag.Int("min-isr", 1, "in-sync replicas required to accept a produce (replicated mode)")
+		topics      = flag.String("topics", "", "comma-separated topics to register for replication (replicated mode)")
 	)
 	flag.Parse()
 	if os.Getenv("DATAINFRA_TRACE") != "" {
 		trace.Enable(os.Stderr)
 	}
 
-	b, err := kafka.NewBroker(*id, *dataDir, kafka.BrokerConfig{
+	bcfg := kafka.BrokerConfig{
 		PartitionsPerTopic: *partitions,
 		Log: kafka.LogConfig{
 			SegmentBytes:  *segment,
@@ -46,15 +62,8 @@ func main() {
 			FlushInterval: *flushMs,
 			Retention:     *retention,
 		},
-	})
-	if err != nil {
-		log.Fatal(err)
 	}
-	addr, err := b.Listen(*listen)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("kafka broker %d listening on %s (data: %s, retention: %v)\n", *id, addr, *dataDir, *retention)
+
 	if *metricsAddr != "" {
 		obsAddr, stopObs, err := metrics.Serve(*metricsAddr, metrics.Default)
 		if err != nil {
@@ -66,9 +75,71 @@ func main() {
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+
+	if *replicas > 1 {
+		runReplicated(bcfg, *dataDir, *listen, *replicas, *minISR, *topics, sig)
+		return
+	}
+
+	b, err := kafka.NewBroker(*id, *dataDir, bcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	addr, err := b.Listen(*listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("kafka broker %d listening on %s (data: %s, retention: %v)\n", *id, addr, *dataDir, *retention)
 	<-sig
 	log.Println("shutting down")
 	if err := b.Close(); err != nil {
 		log.Fatal(err)
 	}
+}
+
+func runReplicated(bcfg kafka.BrokerConfig, dataDir, listen string, replicas, minISR int, topics string, sig chan os.Signal) {
+	host, portStr, err := net.SplitHostPort(listen)
+	if err != nil {
+		log.Fatalf("replicated mode needs host:port in -listen: %v", err)
+	}
+	port, err := strconv.Atoi(portStr)
+	if err != nil {
+		log.Fatalf("replicated mode needs a numeric -listen port: %v", err)
+	}
+
+	dirs := make([]string, replicas)
+	for i := range dirs {
+		dirs[i] = filepath.Join(dataDir, fmt.Sprintf("broker-%d", i))
+	}
+	c, err := kafka.NewReplicatedCluster(dirs, bcfg, kafka.ReplicatedConfig{
+		Cluster: "kafka", Replicas: replicas, MinISR: minISR,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, rb := range c.Brokers() {
+		addr, err := rb.Broker().Listen(net.JoinHostPort(host, strconv.Itoa(port+i)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("kafka broker %s listening on %s (data: %s)\n", rb.Instance(), addr, dirs[i])
+	}
+	registered := 0
+	for _, topic := range strings.Split(topics, ",") {
+		topic = strings.TrimSpace(topic)
+		if topic == "" {
+			continue
+		}
+		if err := c.AddTopic(topic); err != nil {
+			log.Fatalf("register topic %q: %v", topic, err)
+		}
+		registered++
+	}
+	if registered == 0 {
+		log.Println("warning: no -topics registered; nothing will be replicated or elected")
+	}
+	fmt.Printf("isr cluster up: %d brokers, min-isr %d, %d topics\n", replicas, minISR, registered)
+	<-sig
+	log.Println("shutting down")
+	c.Close()
 }

@@ -594,6 +594,188 @@ func TestVerifyKafkaLog(t *testing.T) {
 	t.Logf("kafka log: %d messages through %s", len(payloads), inj)
 }
 
+// faultPeer routes a broker's client surface through the injector: a
+// "peer.produce" fault is a request that provably never reached the broker, a
+// "peer.ack" fault is an append whose acknowledgment was lost — the retry
+// then duplicates, which is exactly the at-least-once behaviour the
+// replicated checker must tolerate without ever tolerating loss.
+type faultPeer struct {
+	kafka.ClusterPeer
+	inj *resilience.DeterministicInjector
+}
+
+func (f faultPeer) Produce(topic string, partition int, set kafka.MessageSet) (int64, error) {
+	if err := f.inj.Inject("peer.produce"); err != nil {
+		return 0, err
+	}
+	off, err := f.ClusterPeer.Produce(topic, partition, set)
+	if err != nil {
+		return 0, err
+	}
+	if err := f.inj.Inject("peer.ack"); err != nil {
+		return 0, err
+	}
+	return off, nil
+}
+
+func (f faultPeer) Fetch(topic string, partition int, offset int64, maxBytes int) ([]byte, error) {
+	if err := f.inj.Inject("peer.fetch"); err != nil {
+		return nil, err
+	}
+	return f.ClusterPeer.Fetch(topic, partition, offset, maxBytes)
+}
+
+// TestVerifyKafkaReplicated drives seeded concurrent producers against a
+// 3-broker ISR-replicated partition through injected faults, kills the
+// elected leader mid-produce (the kill point is VERIFY_SEED-driven), and
+// checks the replication contract on what the promoted leader serves: every
+// high-watermark-acked message present at exactly its acked offset, unique
+// ack offsets, gapless monotone consumption — loss-free failover. Unacked
+// duplicates from retried produces are legal; lost acked data is not.
+func TestVerifyKafkaReplicated(t *testing.T) {
+	seed := verifySeed(t)
+	dirs := make([]string, 3)
+	for i := range dirs {
+		dirs[i] = t.TempDir()
+	}
+	c, err := kafka.NewReplicatedCluster(dirs, kafka.BrokerConfig{PartitionsPerTopic: 1}, kafka.ReplicatedConfig{
+		Cluster: "verify", Replicas: 3, MinISR: 2,
+		FetchWait: 20 * time.Millisecond, LagTimeout: 300 * time.Millisecond,
+		AckTimeout: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	if err := c.AddTopic("verify"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WaitForISR("verify", 3, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	inj := resilience.NewInjector(seed)
+	inj.Plan("peer.produce", resilience.FaultPlan{DropProb: 0.15})
+	inj.Plan("peer.ack", resilience.FaultPlan{ErrProb: 0.05})
+	inj.Plan("peer.fetch", resilience.FaultPlan{DropProb: 0.1})
+	client := kafka.NewRoutedClient(c.ZK, "verify", func(instance string) (kafka.ClusterPeer, error) {
+		rb := c.Broker(instance)
+		if rb == nil {
+			return nil, fmt.Errorf("broker %q is dead", instance)
+		}
+		return faultPeer{ClusterPeer: rb, inj: inj}, nil
+	})
+	defer client.Close()
+	client.SetRetryPolicy(verifyRetryPolicy())
+
+	payloads := gen.Payloads(seed, "kafka-isr", 60)
+	killAfter := int64(15 + seed%20) // seeded mid-produce kill point
+
+	var mu sync.Mutex
+	var acked []consistency.ProducedMsg
+	var ackedCount atomic.Int64
+	killed := make(chan string, 1)
+	go func() {
+		for ackedCount.Load() < killAfter {
+			time.Sleep(time.Millisecond)
+		}
+		leader, err := c.LeaderOf("verify", 0)
+		if err == nil {
+			c.Kill(leader)
+			killed <- leader
+		} else {
+			killed <- ""
+		}
+	}()
+
+	const producers = 3
+	var wg sync.WaitGroup
+	for g := 0; g < producers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g; i < len(payloads); i += producers {
+				deadline := time.Now().Add(20 * time.Second)
+				for {
+					off, err := client.Produce("verify", 0, kafka.NewMessageSet([]byte(payloads[i])))
+					if err == nil {
+						mu.Lock()
+						acked = append(acked, consistency.ProducedMsg{Offset: off, Payload: payloads[i]})
+						mu.Unlock()
+						ackedCount.Add(1)
+						break
+					}
+					if time.Now().After(deadline) {
+						t.Errorf("produce %d never acknowledged across the failover: %v", i, err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	deadKilled := <-killed
+	if deadKilled == "" {
+		t.Fatal("leader kill never happened; failover was not exercised")
+	}
+	if inj.Total() == 0 {
+		t.Fatal("no faults injected; verify run is vacuous")
+	}
+
+	// The promoted leader must serve every acked message at its acked offset.
+	newLeader, err := c.LeaderOf("verify", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newLeader == deadKilled {
+		t.Fatalf("leader %q still recorded after its death", deadKilled)
+	}
+	var earliest, latest int64
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		earliest, latest, err = client.Offsets("verify", 0)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("offsets after failover: %v", err)
+		}
+	}
+	var consumed []consistency.ConsumedMsg
+	offset := earliest
+	for offset < latest {
+		if time.Now().After(deadline) {
+			t.Fatalf("consumed %d messages, stuck at offset %d of %d", len(consumed), offset, latest)
+		}
+		chunk, err := client.Fetch("verify", 0, offset, 1<<20)
+		if err != nil {
+			continue // injected fault; the deadline bounds the retries
+		}
+		msgs, err := kafka.Decode(chunk, offset)
+		if err != nil {
+			t.Fatalf("decode at offset %d: %v", offset, err)
+		}
+		for _, m := range msgs {
+			consumed = append(consumed, consistency.ConsumedMsg{NextOffset: m.NextOffset, Payload: string(m.Payload)})
+			offset = m.NextOffset
+		}
+	}
+
+	err = consistency.CheckKafkaReplicated(consistency.ReplicatedPartition{
+		Topic: "verify", Partition: 0,
+		Start: earliest, End: latest,
+		Acked: acked, Consumed: consumed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("kafka isr: %d acked (%d consumed incl. retry duplicates), leader %s killed after %d acks under %s",
+		len(acked), len(consumed), deadKilled, killAfter, inj)
+}
+
 // --- Databus -----------------------------------------------------------------
 
 // streamObsConsumer records the full delivery/checkpoint observation stream.

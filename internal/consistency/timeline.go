@@ -172,6 +172,81 @@ func CheckKafkaLog(p KafkaPartition) error {
 	return nil
 }
 
+// --- Kafka: ISR replication and loss-free failover --------------------------
+
+// ReplicatedPartition pairs the high-watermark-acknowledged produces of a
+// replicated partition with a sequential consumption taken after any number
+// of leader failovers. Offsets are physical byte positions, so an acked
+// message must be served at exactly the offset its ack named, by whichever
+// replica leads now.
+type ReplicatedPartition struct {
+	Topic     string
+	Partition int
+	Start     int64         // offset consumption began at
+	End       int64         // log end when consumption finished (-1: don't check)
+	Acked     []ProducedMsg // produces acknowledged at the high watermark
+	Consumed  []ConsumedMsg // sequential consumption order from Start
+}
+
+// CheckKafkaReplicated verifies the ISR replication contract:
+//
+//  1. Acked offsets are unique — the leader never acknowledges two produces
+//     at the same log position, across failovers included.
+//  2. Consumption is offset-monotone and gapless: each message's start
+//     offset is the previous message's NextOffset, and the final NextOffset
+//     reaches End.
+//  3. Loss-free failover: every acked message at or after Start is consumed
+//     at exactly its acked offset with exactly its acked payload. A message
+//     acknowledged at the high watermark survives any leader change, at an
+//     unchanged physical offset.
+//
+// Consumed messages that were never acked are legal: produce retries across
+// a failover can land twice (at-least-once), and a new leader may expose
+// messages the old leader replicated but never acknowledged. Only loss or
+// relocation of acked data is a violation.
+func CheckKafkaReplicated(p ReplicatedPartition) error {
+	where := fmt.Sprintf("%s/%d", p.Topic, p.Partition)
+	acked := append([]ProducedMsg(nil), p.Acked...)
+	sort.Slice(acked, func(i, j int) bool { return acked[i].Offset < acked[j].Offset })
+	for i := 1; i < len(acked); i++ {
+		if acked[i].Offset == acked[i-1].Offset {
+			return fmt.Errorf("%w: %s: two produces acked at offset %d (%q and %q)",
+				ErrLogViolation, where, acked[i].Offset, acked[i-1].Payload, acked[i].Payload)
+		}
+	}
+	// Walk the consumption chain, reconstructing each message's start
+	// offset from its predecessor's NextOffset.
+	at := p.Start
+	served := map[int64]string{}
+	for _, c := range p.Consumed {
+		if c.NextOffset <= at {
+			return fmt.Errorf("%w: %s: consumption rewound: NextOffset %d at offset %d",
+				ErrLogViolation, where, c.NextOffset, at)
+		}
+		served[at] = c.Payload
+		at = c.NextOffset
+	}
+	if p.End >= 0 && len(p.Consumed) > 0 && at != p.End {
+		return fmt.Errorf("%w: %s: consumption stopped at %d, log end is %d: gap in the log",
+			ErrLogViolation, where, at, p.End)
+	}
+	for _, a := range acked {
+		if a.Offset < p.Start {
+			continue
+		}
+		got, ok := served[a.Offset]
+		if !ok {
+			return fmt.Errorf("%w: %s: acked message at offset %d lost after failover (no message starts there)",
+				ErrLogViolation, where, a.Offset)
+		}
+		if got != a.Payload {
+			return fmt.Errorf("%w: %s: offset %d served %q, ack said %q",
+				ErrLogViolation, where, a.Offset, got, a.Payload)
+		}
+	}
+	return nil
+}
+
 // --- Databus: windowed SCN monotonicity -------------------------------------
 
 // StreamObs is one observation in a Databus client's delivery stream: either

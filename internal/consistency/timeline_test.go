@@ -216,3 +216,88 @@ func TestSCNStreamRejectsPartialWindowBelowCheckpoint(t *testing.T) {
 		t.Fatalf("partial window below checkpoint accepted: err=%v", err)
 	}
 }
+
+func goodReplicated() ReplicatedPartition {
+	return ReplicatedPartition{
+		Topic: "events", Partition: 0, Start: 0, End: 30,
+		Acked: []ProducedMsg{
+			{Offset: 0, Payload: "a"}, {Offset: 10, Payload: "b"}, {Offset: 20, Payload: "c"},
+		},
+		Consumed: []ConsumedMsg{
+			{NextOffset: 10, Payload: "a"}, {NextOffset: 20, Payload: "b"}, {NextOffset: 30, Payload: "c"},
+		},
+	}
+}
+
+func TestKafkaReplicatedAccepts(t *testing.T) {
+	if err := CheckKafkaReplicated(goodReplicated()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKafkaReplicatedAcceptsUnackedExtras(t *testing.T) {
+	// A produce retried across a failover lands twice: the duplicate at
+	// offset 30 was never acked, which is legal at-least-once behaviour.
+	p := goodReplicated()
+	p.End = 40
+	p.Consumed = append(p.Consumed, ConsumedMsg{NextOffset: 40, Payload: "c"})
+	if err := CheckKafkaReplicated(p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKafkaReplicatedAcceptsPartialConsumption(t *testing.T) {
+	// Consumption resumed at a saved mid-log offset: acks below Start are
+	// out of scope.
+	p := goodReplicated()
+	p.Start = 10
+	p.Consumed = p.Consumed[1:]
+	if err := CheckKafkaReplicated(p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKafkaReplicatedRejectsLostAck(t *testing.T) {
+	p := goodReplicated()
+	p.End = 20
+	p.Consumed = p.Consumed[:2] // acked "c" at offset 20 vanished
+	if err := CheckKafkaReplicated(p); !errors.Is(err, ErrLogViolation) {
+		t.Fatalf("lost acked message accepted: err=%v", err)
+	}
+}
+
+func TestKafkaReplicatedRejectsRelocatedAck(t *testing.T) {
+	// The messages all survive, but "b" moved: the offset its ack named now
+	// serves different bytes.
+	p := goodReplicated()
+	p.Consumed = []ConsumedMsg{
+		{NextOffset: 10, Payload: "a"}, {NextOffset: 20, Payload: "x"}, {NextOffset: 30, Payload: "b"},
+	}
+	if err := CheckKafkaReplicated(p); !errors.Is(err, ErrLogViolation) {
+		t.Fatalf("relocated acked message accepted: err=%v", err)
+	}
+}
+
+func TestKafkaReplicatedRejectsDuplicateAck(t *testing.T) {
+	p := goodReplicated()
+	p.Acked = append(p.Acked, ProducedMsg{Offset: 10, Payload: "b2"})
+	if err := CheckKafkaReplicated(p); !errors.Is(err, ErrLogViolation) {
+		t.Fatalf("duplicate ack accepted: err=%v", err)
+	}
+}
+
+func TestKafkaReplicatedRejectsOffsetRewind(t *testing.T) {
+	p := goodReplicated()
+	p.Consumed[2].NextOffset = 15
+	if err := CheckKafkaReplicated(p); !errors.Is(err, ErrLogViolation) {
+		t.Fatalf("offset rewind accepted: err=%v", err)
+	}
+}
+
+func TestKafkaReplicatedRejectsGapAtEnd(t *testing.T) {
+	p := goodReplicated()
+	p.End = 45 // log end says more data exists than consumption reached
+	if err := CheckKafkaReplicated(p); !errors.Is(err, ErrLogViolation) {
+		t.Fatalf("gap at end accepted: err=%v", err)
+	}
+}

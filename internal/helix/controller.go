@@ -29,8 +29,9 @@ type Controller struct {
 
 	mu        sync.Mutex
 	resources map[string]*Resource
-	ideal     map[string]Assignment // resource -> IDEALSTATE over registered instances
-	pending   map[string]bool       // in-flight transition ids
+	ideal     map[string]Assignment       // resource -> IDEALSTATE over registered instances
+	pending   map[string]bool             // in-flight transition ids
+	prefs     map[string]PreferenceFilter // resource -> election preference hook
 
 	stop chan struct{}
 	kick chan struct{}
@@ -51,6 +52,7 @@ func NewController(srv *zk.Server, clusterName string) (*Controller, error) {
 		resources:   map[string]*Resource{},
 		ideal:       map[string]Assignment{},
 		pending:     map[string]bool{},
+		prefs:       map[string]PreferenceFilter{},
 		stop:        make(chan struct{}),
 		kick:        make(chan struct{}, 1),
 	}, nil
@@ -75,6 +77,17 @@ func (c *Controller) AddResource(r *Resource) error {
 	c.mu.Unlock()
 	c.Kick()
 	return nil
+}
+
+// SetPreferenceFilter installs an election preference hook for a resource:
+// before states are assigned, the live candidate list of each partition is
+// passed through fn (see PreferenceFilter). Kafka uses this to promote only
+// in-sync replicas on leader failover.
+func (c *Controller) SetPreferenceFilter(resource string, fn PreferenceFilter) {
+	c.mu.Lock()
+	c.prefs[resource] = fn
+	c.mu.Unlock()
+	c.Kick()
 }
 
 // Kick requests a rebalance pass.
@@ -158,9 +171,10 @@ func (c *Controller) rebalance(live []string) {
 			ideal = IdealState(r, known)
 			c.ideal[r.Name] = ideal
 		}
+		prefFn := c.prefs[r.Name]
 		c.mu.Unlock()
 
-		target := BestPossible(r, ideal, live)
+		target := BestPossibleWithPreference(r, ideal, live, prefFn)
 
 		// Assemble CURRENTSTATE from participant reports.
 		current := Assignment{}
@@ -176,7 +190,7 @@ func (c *Controller) rebalance(live []string) {
 			}
 		}
 
-		for _, t := range diff(r.Name, current, target) {
+		for _, t := range diffModel(r.Model(), r.Name, current, target) {
 			c.issue(t)
 		}
 		c.publishExternalView(r.Name, current)

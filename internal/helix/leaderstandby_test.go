@@ -1,0 +1,142 @@
+package helix
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"datainfra/internal/zk"
+)
+
+func TestLegalNextLeaderStandby(t *testing.T) {
+	cases := []struct {
+		from, to State
+		next     State
+		changed  bool
+	}{
+		{StateOffline, StateLeader, StateStandby, true},
+		{StateOffline, StateStandby, StateStandby, true},
+		{StateStandby, StateLeader, StateLeader, true},
+		{StateStandby, StateOffline, StateOffline, true},
+		{StateLeader, StateOffline, StateStandby, true},
+		{StateLeader, StateStandby, StateStandby, true},
+		{StateLeader, StateLeader, StateLeader, false},
+		{StateOffline, StateOffline, StateOffline, false},
+	}
+	for _, c := range cases {
+		next, changed := legalNextModel(ModelLeaderStandby, c.from, c.to)
+		if next != c.next || changed != c.changed {
+			t.Errorf("legalNextModel(LeaderStandby,%s,%s) = (%s,%v), want (%s,%v)",
+				c.from, c.to, next, changed, c.next, c.changed)
+		}
+	}
+}
+
+func TestIdealStateLeaderStandby(t *testing.T) {
+	r := &Resource{Name: "topic", NumPartitions: 4, Replicas: 2, StateModel: ModelLeaderStandby}
+	ideal := IdealState(r, []string{"b0", "b1", "b2"})
+	for p := 0; p < 4; p++ {
+		leaders, standbys := 0, 0
+		for _, st := range ideal[p] {
+			switch st {
+			case StateLeader:
+				leaders++
+			case StateStandby:
+				standbys++
+			default:
+				t.Fatalf("partition %d: unexpected state %s", p, st)
+			}
+		}
+		if leaders != 1 || standbys != 1 {
+			t.Fatalf("partition %d: %d leaders, %d standbys", p, leaders, standbys)
+		}
+		if _, ok := ideal.MasterOf(p); !ok {
+			t.Fatalf("MasterOf must recognise LEADER for partition %d", p)
+		}
+	}
+}
+
+func TestBestPossiblePreferenceFilter(t *testing.T) {
+	r := &Resource{Name: "topic", NumPartitions: 1, Replicas: 3, StateModel: ModelLeaderStandby}
+	all := []string{"b0", "b1", "b2"}
+	ideal := IdealState(r, all)
+
+	// Without a filter the ideal leader keeps the partition.
+	best := BestPossibleWithPreference(r, ideal, all, nil)
+	def, _ := best.MasterOf(0)
+
+	// The filter forces a specific instance to the front (the ISR hook).
+	want := "b2"
+	if def == want {
+		want = "b1"
+	}
+	best = BestPossibleWithPreference(r, ideal, all, func(p int, chosen []string) []string {
+		out := []string{want}
+		for _, inst := range chosen {
+			if inst != want {
+				out = append(out, inst)
+			}
+		}
+		return out
+	})
+	if got, _ := best.MasterOf(0); got != want {
+		t.Fatalf("preference filter ignored: leader = %s, want %s", got, want)
+	}
+}
+
+func TestControllerConvergesLeaderStandby(t *testing.T) {
+	srv := zk.NewServer()
+	ctrl, err := NewController(srv, "ls1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.Close()
+
+	parts := make([]*Participant, 3)
+	for i := range parts {
+		p, err := NewParticipant(srv, "ls1", fmt.Sprintf("node-%d", i), &tracker{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts[i] = p
+	}
+	res := &Resource{Name: "topic", NumPartitions: 4, Replicas: 2, StateModel: ModelLeaderStandby}
+	if err := ctrl.AddResource(res); err != nil {
+		t.Fatal(err)
+	}
+	ctrl.Start()
+
+	count := func(want State) int {
+		n := 0
+		for _, p := range parts {
+			if p == nil {
+				continue
+			}
+			for _, st := range p.States("topic") {
+				if st == want {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	waitFor(t, "LeaderStandby convergence", 5*time.Second, func() bool {
+		return count(StateLeader) == 4 && count(StateStandby) == 4
+	})
+	if n := count(StateMaster) + count(StateSlave); n != 0 {
+		t.Fatalf("MasterSlave states leaked into a LeaderStandby resource: %d", n)
+	}
+
+	// Kill a node; the controller must re-elect so all partitions keep a leader.
+	victim := parts[0]
+	parts[0] = nil
+	victim.Close()
+	waitFor(t, "LeaderStandby failover", 5*time.Second, func() bool {
+		return count(StateLeader) == 4
+	})
+	for _, p := range parts {
+		if p != nil {
+			p.Close()
+		}
+	}
+}

@@ -2,8 +2,10 @@
 // observes cluster changes through the coordination service (package zk),
 // computes the BESTPOSSIBLESTATE — the state closest to the IDEALSTATE given
 // the currently live nodes — and issues state-machine transitions to
-// participants until the CURRENTSTATE converges. The bundled state model is
-// MasterSlave, the one Espresso partitions use.
+// participants until the CURRENTSTATE converges. Two state models are
+// bundled: MasterSlave (the one Espresso partitions use) and LeaderStandby
+// (the one replicated Kafka partitions use); both are three-state chains
+// OFFLINE <-> <mid> <-> <top> differing only in role names.
 package helix
 
 import (
@@ -12,44 +14,88 @@ import (
 	"sort"
 )
 
-// State is a node's role for one partition in the MasterSlave model.
+// State is a node's role for one partition.
 type State string
 
-// MasterSlave model states.
+// MasterSlave and LeaderStandby model states. Both models share OFFLINE.
 const (
 	StateOffline State = "OFFLINE"
 	StateSlave   State = "SLAVE"
 	StateMaster  State = "MASTER"
+	StateStandby State = "STANDBY"
+	StateLeader  State = "LEADER"
 )
+
+// StateModelDef names a bundled state machine.
+type StateModelDef string
+
+// Bundled state models.
+const (
+	ModelMasterSlave   StateModelDef = "MasterSlave"
+	ModelLeaderStandby StateModelDef = "LeaderStandby"
+)
+
+// top returns the model's highest state (one instance per partition).
+func (m StateModelDef) top() State {
+	if m == ModelLeaderStandby {
+		return StateLeader
+	}
+	return StateMaster
+}
+
+// mid returns the model's intermediate state (the catch-up role).
+func (m StateModelDef) mid() State {
+	if m == ModelLeaderStandby {
+		return StateStandby
+	}
+	return StateSlave
+}
 
 // legalNext returns the next hop from 'from' toward 'to' in the MasterSlave
 // transition graph: OFFLINE <-> SLAVE <-> MASTER. Transitions never skip a
 // step (an offline replica must become a slave — and catch up — before it
 // can master a partition).
 func legalNext(from, to State) (State, bool) {
+	return legalNextModel(ModelMasterSlave, from, to)
+}
+
+// legalNextModel is legalNext generalised over the three-state chain of any
+// bundled model: OFFLINE <-> mid <-> top, never skipping a step (an offline
+// replica must pass through the catch-up role before it can lead).
+func legalNextModel(m StateModelDef, from, to State) (State, bool) {
 	if from == to {
 		return to, false
 	}
-	switch from {
-	case StateOffline:
-		return StateSlave, true
-	case StateSlave:
-		if to == StateMaster {
-			return StateMaster, true
+	switch rank(from) {
+	case 0:
+		return m.mid(), true
+	case 1:
+		if rank(to) == 2 {
+			return m.top(), true
 		}
 		return StateOffline, true
-	case StateMaster:
-		return StateSlave, true
+	case 2:
+		return m.mid(), true
 	}
 	return to, false
 }
 
 // Resource is a partitioned, replicated entity managed by Helix (an Espresso
-// database, a relay group, ...).
+// database, a relay group, a Kafka topic, ...).
 type Resource struct {
 	Name          string `json:"name"`
 	NumPartitions int    `json:"numPartitions"`
-	Replicas      int    `json:"replicas"` // total replicas incl. master
+	Replicas      int    `json:"replicas"` // total replicas incl. master/leader
+	// StateModel selects the transition graph; empty means MasterSlave.
+	StateModel StateModelDef `json:"stateModel,omitempty"`
+}
+
+// Model returns the resource's state model, defaulting to MasterSlave.
+func (r *Resource) Model() StateModelDef {
+	if r.StateModel == "" {
+		return ModelMasterSlave
+	}
+	return r.StateModel
 }
 
 // Validate checks the resource definition.
@@ -83,10 +129,11 @@ func (a Assignment) Clone() Assignment {
 	return out
 }
 
-// MasterOf returns the instance mastering partition p, if any.
+// MasterOf returns the instance holding partition p's top state (MASTER or
+// LEADER, depending on the resource's model), if any.
 func (a Assignment) MasterOf(p int) (string, bool) {
 	for inst, st := range a[p] {
-		if st == StateMaster {
+		if rank(st) == 2 {
 			return inst, true
 		}
 	}
@@ -154,14 +201,15 @@ func IdealState(r *Resource, instances []string) Assignment {
 	if replicas > n {
 		replicas = n
 	}
+	model := r.Model()
 	for p := 0; p < r.NumPartitions; p++ {
 		m := make(map[string]State, replicas)
 		for i := 0; i < replicas; i++ {
 			inst := sorted[(p+i)%n]
 			if i == 0 {
-				m[inst] = StateMaster
+				m[inst] = model.top()
 			} else {
-				m[inst] = StateSlave
+				m[inst] = model.mid()
 			}
 		}
 		out[p] = m
@@ -174,30 +222,45 @@ func IdealState(r *Resource, instances []string) Assignment {
 // replicas slave. When a preferred replica is dead, the next live instance
 // (in global sorted order) is drafted to keep the replica count.
 func BestPossible(r *Resource, ideal Assignment, live []string) Assignment {
+	return BestPossibleWithPreference(r, ideal, live, nil)
+}
+
+// PreferenceFilter reorders (or prunes) the live candidate list for one
+// partition before states are assigned; chosen[0] gets the top state. It lets
+// an application constrain leader election — e.g. Kafka promotes only ISR
+// members so a high-watermark-acked message can never be lost to a stale
+// replica winning the election.
+type PreferenceFilter func(partition int, chosen []string) []string
+
+// BestPossibleWithPreference is BestPossible with an application hook: after
+// the live preference list for a partition is assembled, prefFn may reorder
+// it. A nil prefFn (or a nil/empty return) keeps the default order.
+func BestPossibleWithPreference(r *Resource, ideal Assignment, live []string, prefFn PreferenceFilter) Assignment {
 	liveSet := make(map[string]bool, len(live))
 	for _, inst := range live {
 		liveSet[inst] = true
 	}
 	sortedLive := append([]string(nil), live...)
 	sort.Strings(sortedLive)
+	model := r.Model()
 	out := make(Assignment, len(ideal))
 	for p, m := range ideal {
-		// preference order: master first, then slaves sorted by name.
+		// preference order: master/leader first, then the rest sorted by name.
 		var pref []string
 		for inst, st := range m {
-			if st == StateMaster {
+			if rank(st) == 2 {
 				pref = append(pref, inst)
 				break
 			}
 		}
-		var slaves []string
+		var mids []string
 		for inst, st := range m {
-			if st == StateSlave {
-				slaves = append(slaves, inst)
+			if rank(st) == 1 {
+				mids = append(mids, inst)
 			}
 		}
-		sort.Strings(slaves)
-		pref = append(pref, slaves...)
+		sort.Strings(mids)
+		pref = append(pref, mids...)
 
 		chosen := make([]string, 0, len(pref))
 		for _, inst := range pref {
@@ -225,12 +288,17 @@ func BestPossible(r *Resource, ideal Assignment, live []string) Assignment {
 				chosen = append(chosen, inst)
 			}
 		}
+		if prefFn != nil {
+			if reordered := prefFn(p, append([]string(nil), chosen...)); len(reordered) > 0 {
+				chosen = reordered
+			}
+		}
 		pm := make(map[string]State, len(chosen))
 		for i, inst := range chosen {
 			if i == 0 {
-				pm[inst] = StateMaster
+				pm[inst] = model.top()
 			} else {
-				pm[inst] = StateSlave
+				pm[inst] = model.mid()
 			}
 		}
 		out[p] = pm
@@ -249,9 +317,15 @@ type Transition struct {
 	To        State  `json:"to"`
 }
 
-// diff computes the next-hop transitions taking current toward target.
-// Instances present in current but absent from target are driven to OFFLINE.
+// diff computes the next-hop transitions taking current toward target in the
+// MasterSlave model. Instances present in current but absent from target are
+// driven to OFFLINE.
 func diff(resource string, current, target Assignment) []Transition {
+	return diffModel(ModelMasterSlave, resource, current, target)
+}
+
+// diffModel is diff generalised over a state model.
+func diffModel(model StateModelDef, resource string, current, target Assignment) []Transition {
 	var out []Transition
 	partitions := map[int]bool{}
 	for p := range current {
@@ -291,7 +365,7 @@ func diff(resource string, current, target Assignment) []Transition {
 				if !ok {
 					want = StateOffline
 				}
-				next, changed := legalNext(cur, want)
+				next, changed := legalNextModel(model, cur, want)
 				if !changed {
 					continue
 				}
@@ -315,9 +389,9 @@ func diff(resource string, current, target Assignment) []Transition {
 
 func rank(s State) int {
 	switch s {
-	case StateMaster:
+	case StateMaster, StateLeader:
 		return 2
-	case StateSlave:
+	case StateSlave, StateStandby:
 		return 1
 	default:
 		return 0

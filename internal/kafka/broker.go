@@ -28,6 +28,12 @@ type Broker struct {
 	topics map[string][]*Log
 	closed bool
 
+	// Replication hooks (see ReplicatedBroker): when set, produces route
+	// through the ISR layer (append + high-watermark ack) and op 6 serves
+	// follower replica fetches.
+	produceHandler ProduceHandler
+	replicaHandler ReplicaHandler
+
 	zkSess *zk.Session
 	ln     net.Listener
 	conns  map[net.Conn]bool
@@ -85,6 +91,30 @@ func NewBroker(id int, dataDir string, cfg BrokerConfig) (*Broker, error) {
 
 // ID returns the broker id.
 func (b *Broker) ID() int { return b.id }
+
+// ProduceHandler intercepts produce requests (the ISR layer gates the ack on
+// the high watermark instead of the bare append).
+type ProduceHandler func(topic string, partition int, set MessageSet) (int64, error)
+
+// ReplicaHandler serves follower replica fetches: raw log bytes from offset
+// (uncapped by the high watermark) plus the leader's current high watermark,
+// long-polling up to wait at the durable tail. follower identifies the
+// fetching replica so the leader can track its position for ISR accounting.
+type ReplicaHandler func(topic string, partition int, offset int64, maxBytes int, wait time.Duration, follower string) (hw int64, chunk []byte, err error)
+
+// SetProduceHandler routes produces through fn; nil restores direct appends.
+func (b *Broker) SetProduceHandler(fn ProduceHandler) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.produceHandler = fn
+}
+
+// SetReplicaHandler enables op 6 (replica fetch) through fn.
+func (b *Broker) SetReplicaHandler(fn ReplicaHandler) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.replicaHandler = fn
+}
 
 // Register announces the broker and its topics in zk (consumers watch these
 // paths to trigger rebalances).
@@ -340,14 +370,21 @@ func (b *Broker) CleanNow(now time.Time) int {
 //                 waitMs u32 -> raw chunk; blocks server-side until data or
 //                 waitMs (the long-poll fetch — under the mux it parks one
 //                 worker, not the whole connection)
+//   6 replica-fetch: topicLen u16 topic | partition u32 | offset i64 |
+//                 max u32 | waitMs u32 | followerLen u16 follower
+//                 -> hw i64 | raw chunk; the follower pull of ISR
+//                 replication — uncapped by the high watermark, long-polling
+//                 at the durable tail, and carrying the leader's hw back so
+//                 followers advance their own visibility limit
 
 // Broker protocol opcodes.
 const (
-	brokerOpProduce    = 1
-	brokerOpFetch      = 2
-	brokerOpOffsets    = 3
-	brokerOpPartitions = 4
-	brokerOpFetchWait  = 5
+	brokerOpProduce      = 1
+	brokerOpFetch        = 2
+	brokerOpOffsets      = 3
+	brokerOpPartitions   = 4
+	brokerOpFetchWait    = 5
+	brokerOpReplicaFetch = 6
 )
 
 // maxFetchWait caps how long a fetch-wait request may park a server worker.
@@ -485,13 +522,57 @@ func (b *Broker) handle(body []byte) rpc.Response {
 			return respErr(fmt.Errorf("short produce"))
 		}
 		partition := int(binary.BigEndian.Uint32(rest))
-		off, err := b.Produce(topic, partition, MessageSet{buf: rest[4:]})
+		b.mu.RLock()
+		produce := b.produceHandler
+		b.mu.RUnlock()
+		var off int64
+		if produce != nil {
+			off, err = produce(topic, partition, MessageSet{buf: rest[4:]})
+		} else {
+			off, err = b.Produce(topic, partition, MessageSet{buf: rest[4:]})
+		}
 		if err != nil {
 			return respErr(err)
 		}
 		var out [8]byte
 		binary.BigEndian.PutUint64(out[:], uint64(off))
 		return respOK(out[:])
+
+	case brokerOpReplicaFetch:
+		topic, rest, err := readTopic()
+		if err != nil {
+			return respErr(err)
+		}
+		if len(rest) < 22 {
+			return respErr(fmt.Errorf("short replica fetch"))
+		}
+		partition := int(binary.BigEndian.Uint32(rest))
+		offset := int64(binary.BigEndian.Uint64(rest[4:12]))
+		maxBytes := int(binary.BigEndian.Uint32(rest[12:16]))
+		wait := time.Duration(binary.BigEndian.Uint32(rest[16:20])) * time.Millisecond
+		if wait > maxFetchWait {
+			wait = maxFetchWait
+		}
+		fn := int(binary.BigEndian.Uint16(rest[20:22]))
+		if len(rest) < 22+fn {
+			return respErr(fmt.Errorf("short replica fetch follower"))
+		}
+		follower := string(rest[22 : 22+fn])
+		b.mu.RLock()
+		replica := b.replicaHandler
+		b.mu.RUnlock()
+		if replica == nil {
+			return respErr(fmt.Errorf("replication not enabled"))
+		}
+		hw, chunk, err := replica(topic, partition, offset, maxBytes, wait, follower)
+		if err != nil {
+			return respErr(err)
+		}
+		out := make([]byte, 0, 9+len(chunk))
+		out = append(out, 0)
+		out = binary.BigEndian.AppendUint64(out, uint64(hw))
+		out = append(out, chunk...)
+		return rpc.Response{Payload: out}
 
 	case brokerOpFetch:
 		topic, rest, err := readTopic()

@@ -1,0 +1,359 @@
+package kafka
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"datainfra/internal/helix"
+)
+
+func TestLogVisibilityLimit(t *testing.T) {
+	l, err := OpenLog(t.TempDir(), LogConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	var sets []MessageSet
+	var offs []int64
+	for i := 0; i < 3; i++ {
+		set := NewMessageSet([]byte(fmt.Sprintf("msg-%d", i)))
+		off, err := l.Append(set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sets, offs = append(sets, set), append(offs, off)
+	}
+	end := l.FlushedEnd()
+
+	// Cap visibility at the second message's start.
+	l.SetLimit(offs[1])
+	if got := l.Latest(); got != offs[1] {
+		t.Fatalf("Latest = %d, want limit %d", got, offs[1])
+	}
+	chunk, err := l.Read(offs[0], 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(chunk)) != offs[1]-offs[0] {
+		t.Fatalf("capped read returned %d bytes, want %d", len(chunk), offs[1]-offs[0])
+	}
+	if _, err := l.Read(offs[1]+1, 1); !errors.Is(err, ErrOffsetOutOfRange) {
+		t.Fatalf("read past limit: err = %v, want ErrOffsetOutOfRange", err)
+	}
+	// The replica path sees everything durable.
+	raw, err := l.ReadUncapped(offs[0], 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(raw)) != end-offs[0] {
+		t.Fatalf("uncapped read returned %d bytes, want %d", len(raw), end-offs[0])
+	}
+	// Raising the limit past the end exposes everything.
+	l.SetLimit(end + 100)
+	if got := l.Latest(); got != end {
+		t.Fatalf("Latest = %d, want flushed end %d", got, end)
+	}
+	l.SetLimit(-1)
+	if got := l.Latest(); got != end {
+		t.Fatalf("Latest with cap removed = %d, want %d", got, end)
+	}
+}
+
+func TestLogAppendAtAndTruncate(t *testing.T) {
+	dirA, dirB := t.TempDir(), t.TempDir()
+	leader, err := OpenLog(dirA, LogConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leader.Close()
+	follower, err := OpenLog(dirB, LogConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer follower.Close()
+
+	for i := 0; i < 5; i++ {
+		if _, err := leader.Append(NewMessageSet([]byte(fmt.Sprintf("payload-%d", i)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	raw, err := leader.ReadUncapped(0, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replay in two chunks at exact offsets.
+	half := int64(validPrefix(raw[:len(raw)/2]))
+	if err := follower.AppendAt(0, raw[:half]); err != nil {
+		t.Fatal(err)
+	}
+	if err := follower.AppendAt(half, raw[half:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := follower.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := follower.ReadUncapped(0, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, got) {
+		t.Fatal("follower log is not byte-identical after AppendAt replay")
+	}
+	// Non-contiguous appends are rejected.
+	if err := follower.AppendAt(half, raw[half:]); !errors.Is(err, ErrOffsetOutOfRange) {
+		t.Fatalf("non-contiguous AppendAt: err = %v, want ErrOffsetOutOfRange", err)
+	}
+	// Truncate back to half and re-replay the tail.
+	if err := follower.TruncateTo(half); err != nil {
+		t.Fatal(err)
+	}
+	if end := follower.FlushedEnd(); end != half {
+		t.Fatalf("FlushedEnd after truncate = %d, want %d", end, half)
+	}
+	if err := follower.AppendAt(half, raw[half:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := follower.TruncateTo(int64(len(raw)) + 50); err != nil {
+		t.Fatalf("truncate past end must be a no-op, got %v", err)
+	}
+	if err := follower.TruncateTo(-1); !errors.Is(err, ErrOffsetOutOfRange) {
+		t.Fatalf("truncate below earliest: err = %v, want ErrOffsetOutOfRange", err)
+	}
+}
+
+func newTestCluster(t *testing.T, brokers int, cfg ReplicatedConfig) *ReplicatedCluster {
+	t.Helper()
+	dirs := make([]string, brokers)
+	for i := range dirs {
+		dirs[i] = filepath.Join(t.TempDir(), fmt.Sprintf("broker-%d", i))
+	}
+	c, err := NewReplicatedCluster(dirs, BrokerConfig{PartitionsPerTopic: 2}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func TestReplicatedProduceConsumeAndByteIdenticalLogs(t *testing.T) {
+	c := newTestCluster(t, 3, ReplicatedConfig{
+		Cluster: "t1", Replicas: 3, MinISR: 2,
+		FetchWait: 20 * time.Millisecond, AckTimeout: 5 * time.Second,
+	})
+	if err := c.AddTopic("events"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WaitForISR("events", 2, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	client := c.Client()
+	defer client.Close()
+
+	n, err := client.Partitions("events")
+	if err != nil || n != 2 {
+		t.Fatalf("Partitions = %d, %v; want 2", n, err)
+	}
+	var offsets []int64
+	var payloads [][]byte
+	for i := 0; i < 20; i++ {
+		payload := []byte(fmt.Sprintf("event-%03d", i))
+		off, err := client.Produce("events", 0, NewMessageSet(payload))
+		if err != nil {
+			t.Fatalf("produce %d: %v", i, err)
+		}
+		offsets, payloads = append(offsets, off), append(payloads, payload)
+	}
+
+	// Consume everything back through the routed client.
+	consumer := NewSimpleConsumer(client, 1<<20)
+	msgs, err := consumer.Consume("events", 0, offsets[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != len(payloads) {
+		t.Fatalf("consumed %d messages, want %d", len(msgs), len(payloads))
+	}
+	for i, m := range msgs {
+		if !bytes.Equal(m.Payload, payloads[i]) {
+			t.Fatalf("message %d: payload %q, want %q", i, m.Payload, payloads[i])
+		}
+		if i+1 < len(offsets) && m.NextOffset != offsets[i+1] {
+			t.Fatalf("message %d: next offset %d, want %d", i, m.NextOffset, offsets[i+1])
+		}
+	}
+
+	// Every replica's log must be byte-identical over the acked range —
+	// a follower Fetch at a leader-issued offset returns the same bytes.
+	leader, err := c.LeaderOf("events", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ll, err := c.Broker(leader).Broker().log("events", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ll.Read(offsets[0], 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for _, rb := range c.Brokers() {
+		if rb.Instance() == leader {
+			continue
+		}
+		waitCond(t, "follower catch-up", 5*time.Second, func() bool {
+			fl, err := rb.Broker().log("events", 0)
+			if err != nil {
+				return false
+			}
+			return fl.FlushedEnd() >= ll.FlushedEnd()
+		})
+		fl, err := rb.Broker().log("events", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := fl.ReadUncapped(offsets[0], 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want, got) {
+			t.Fatalf("follower %s log differs from leader over acked range", rb.Instance())
+		}
+		checked++
+	}
+	if checked != 2 {
+		t.Fatalf("checked %d followers, want 2", checked)
+	}
+}
+
+func TestReplicatedFailoverPreservesConsumerOffset(t *testing.T) {
+	c := newTestCluster(t, 3, ReplicatedConfig{
+		Cluster: "t2", Replicas: 3, MinISR: 2,
+		FetchWait: 20 * time.Millisecond, LagTimeout: 300 * time.Millisecond,
+	})
+	if err := c.AddTopic("orders"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WaitForISR("orders", 3, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	client := c.Client()
+	defer client.Close()
+
+	var offsets []int64
+	var payloads [][]byte
+	for i := 0; i < 10; i++ {
+		payload := []byte(fmt.Sprintf("order-%03d", i))
+		off, err := client.Produce("orders", 1, NewMessageSet(payload))
+		if err != nil {
+			t.Fatalf("produce %d: %v", i, err)
+		}
+		offsets, payloads = append(offsets, off), append(payloads, payload)
+	}
+
+	// A consumer reads half the stream and saves its offset.
+	consumer := NewSimpleConsumer(client, 1 << 20)
+	msgs, err := consumer.Consume("orders", 1, offsets[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 10 {
+		t.Fatalf("consumed %d, want 10", len(msgs))
+	}
+	saved := msgs[4].NextOffset // consumed through message 4
+
+	// Kill the leader mid-stream.
+	leader, err := c.LeaderOf("orders", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Kill(leader)
+	waitCond(t, "new leader", 10*time.Second, func() bool {
+		l, err := c.LeaderOf("orders", 1)
+		return err == nil && l != leader
+	})
+
+	// Resuming at the saved offset yields exactly messages 5..9 with
+	// unchanged offsets: physical offsets survived the failover.
+	waitCond(t, "resumed consumption", 10*time.Second, func() bool {
+		rest, err := consumer.Consume("orders", 1, saved)
+		return err == nil && len(rest) == 5
+	})
+	rest, err := consumer.Consume("orders", 1, saved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range rest {
+		if !bytes.Equal(m.Payload, payloads[5+i]) {
+			t.Fatalf("post-failover message %d: payload %q, want %q", i, m.Payload, payloads[5+i])
+		}
+		if 6+i < len(offsets) && m.NextOffset != offsets[6+i] {
+			t.Fatalf("post-failover message %d: next offset %d, want %d (offsets must survive failover)", i, m.NextOffset, offsets[6+i])
+		}
+	}
+}
+
+func TestProduceRejectedBelowMinISR(t *testing.T) {
+	// Two brokers, MinISR 2: killing one must block produces instead of
+	// accepting writes a single failure could lose.
+	c := newTestCluster(t, 2, ReplicatedConfig{
+		Cluster: "t3", Replicas: 2, MinISR: 2,
+		FetchWait: 20 * time.Millisecond, LagTimeout: 200 * time.Millisecond,
+	})
+	if err := c.AddTopic("audit"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WaitForISR("audit", 2, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	leader, err := c.LeaderOf("audit", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var follower string
+	for _, rb := range c.Brokers() {
+		if rb.Instance() != leader {
+			follower = rb.Instance()
+		}
+	}
+	c.Kill(follower)
+	waitCond(t, "ISR shrink", 5*time.Second, func() bool {
+		return len(c.ISROf("audit", 0)) < 2
+	})
+	_, err = c.Broker(leader).Produce("audit", 0, NewMessageSet([]byte("x")))
+	if !errors.Is(err, ErrNotEnoughReplicas) {
+		t.Fatalf("produce with shrunken ISR: err = %v, want ErrNotEnoughReplicas", err)
+	}
+}
+
+func TestProduceToFollowerReturnsNotLeader(t *testing.T) {
+	c := newTestCluster(t, 2, ReplicatedConfig{
+		Cluster: "t4", Replicas: 2, MinISR: 1, FetchWait: 20 * time.Millisecond,
+	})
+	if err := c.AddTopic("logs"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WaitForISR("logs", 2, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	leader, err := c.LeaderOf("logs", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rb := range c.Brokers() {
+		if rb.Instance() == leader {
+			continue
+		}
+		if rb.Role("logs", 0) != helix.StateStandby {
+			t.Fatalf("%s role = %s, want STANDBY", rb.Instance(), rb.Role("logs", 0))
+		}
+		_, err := rb.Produce("logs", 0, NewMessageSet([]byte("x")))
+		if !errors.Is(err, ErrNotLeader) {
+			t.Fatalf("produce to follower: err = %v, want ErrNotLeader", err)
+		}
+	}
+}

@@ -26,11 +26,17 @@ type Log struct {
 
 	unflushedCount int
 	lastFlush      time.Time
-	flushedTo      int64 // messages below this offset are consumer-visible
+	flushedTo      int64 // bytes below this offset are durable (flushed)
 
-	// watch is closed and replaced whenever flushedTo advances, waking
-	// long-poll fetches parked in WaitForData. Visibility — not the append —
-	// is the wake point, because consumers only see flushed data.
+	// limit caps consumer visibility below flushedTo; -1 disables the cap.
+	// Replicated partitions set it to the high watermark so consumers never
+	// see messages the ISR has not fully acked (which a failover could lose).
+	limit int64
+
+	// watch is closed and replaced whenever the consumer-visible end (or the
+	// durable end, for replica fetches) advances, waking long-poll fetches
+	// parked in WaitForData. Visibility — not the append — is the wake point,
+	// because consumers only see flushed data.
 	watch chan struct{}
 }
 
@@ -67,7 +73,7 @@ func OpenLog(dir string, cfg LogConfig) (*Log, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	l := &Log{dir: dir, cfg: cfg, lastFlush: time.Now(), watch: make(chan struct{})}
+	l := &Log{dir: dir, cfg: cfg, lastFlush: time.Now(), limit: -1, watch: make(chan struct{})}
 	ents, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
@@ -177,10 +183,49 @@ func (l *Log) flushLocked() error {
 	l.lastFlush = time.Now()
 	if end := l.endOffsetLocked(); end != l.flushedTo {
 		l.flushedTo = end
-		close(l.watch) // wake long-poll fetches; see WaitForData
-		l.watch = make(chan struct{})
+		l.wakeLocked()
 	}
 	return nil
+}
+
+// wakeLocked wakes long-poll fetches; see WaitForData.
+func (l *Log) wakeLocked() {
+	close(l.watch)
+	l.watch = make(chan struct{})
+}
+
+// visibleEndLocked is the consumer-visible end of the log: the flush point,
+// further capped by the visibility limit when one is set.
+func (l *Log) visibleEndLocked() int64 {
+	end := l.flushedTo
+	if l.limit >= 0 && l.limit < end {
+		end = l.limit
+	}
+	return end
+}
+
+// SetLimit caps consumer visibility at limit (the partition high watermark);
+// -1 removes the cap. Raising the visible end wakes parked long-poll fetches.
+func (l *Log) SetLimit(limit int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if limit == l.limit {
+		return
+	}
+	before := l.visibleEndLocked()
+	l.limit = limit
+	if l.visibleEndLocked() > before {
+		l.wakeLocked()
+	}
+}
+
+// FlushedEnd returns the offset one past the last durable byte, ignoring the
+// visibility limit — the replica fetch bound (followers replicate durable
+// bytes the high watermark has not yet covered).
+func (l *Log) FlushedEnd() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.flushedTo
 }
 
 // WaitForData blocks until the consumer-visible end of the log moves past
@@ -188,11 +233,26 @@ func (l *Log) flushLocked() error {
 // readable at offset. This is the broker half of long-poll fetches: a
 // caught-up consumer parks here instead of sleep-polling.
 func (l *Log) WaitForData(offset int64, wait time.Duration, stop <-chan struct{}) bool {
+	return l.waitForData(offset, wait, stop, false)
+}
+
+// WaitForDataUncapped is WaitForData against the durable end of the log,
+// ignoring the visibility limit — the long-poll used by replica fetches,
+// which must see bytes before the high watermark covers them.
+func (l *Log) WaitForDataUncapped(offset int64, wait time.Duration, stop <-chan struct{}) bool {
+	return l.waitForData(offset, wait, stop, true)
+}
+
+func (l *Log) waitForData(offset int64, wait time.Duration, stop <-chan struct{}, uncapped bool) bool {
 	deadline := time.NewTimer(wait)
 	defer deadline.Stop()
 	for {
 		l.mu.Lock()
-		visible := l.flushedTo > offset
+		end := l.visibleEndLocked()
+		if uncapped {
+			end = l.flushedTo
+		}
+		visible := end > offset
 		w := l.watch
 		l.mu.Unlock()
 		if visible {
@@ -200,13 +260,89 @@ func (l *Log) WaitForData(offset int64, wait time.Duration, stop <-chan struct{}
 		}
 		select {
 		case <-w:
-			// flushedTo advanced; recheck against our offset.
+			// the visible/durable end advanced; recheck against our offset.
 		case <-deadline.C:
 			return false
 		case <-stop:
 			return false
 		}
 	}
+}
+
+// AppendAt writes raw log bytes at exactly offset, which must equal the
+// current end of the log (followers replay the leader's log byte-identically,
+// so physical offsets — the message addresses — survive failover). The same
+// flush and roll policy as Append applies.
+func (l *Log) AppendAt(offset int64, raw []byte) error {
+	if len(raw) == 0 {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	a := l.active()
+	end := a.baseOffset + a.size
+	if offset != end {
+		return fmt.Errorf("%w: append at %d, log ends at %d", ErrOffsetOutOfRange, offset, end)
+	}
+	if _, err := a.f.WriteAt(raw, a.size); err != nil {
+		return err
+	}
+	a.size += int64(len(raw))
+	a.mtime = time.Now()
+	l.unflushedCount++
+	if l.unflushedCount >= l.cfg.FlushMessages ||
+		(l.cfg.FlushInterval > 0 && time.Since(l.lastFlush) >= l.cfg.FlushInterval) {
+		if err := l.flushLocked(); err != nil {
+			return err
+		}
+	}
+	if a.size >= l.cfg.SegmentBytes {
+		if err := l.flushLocked(); err != nil {
+			return err
+		}
+		if err := l.rollLocked(a.baseOffset + a.size); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TruncateTo discards every byte at and beyond offset — the divergence repair
+// a deposed leader runs before rejoining as a follower (its unreplicated tail
+// was never high-watermark-acked and must not survive). offset below the
+// earliest retained byte is an error; offset at or past the end is a no-op.
+func (l *Log) TruncateTo(offset int64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if offset >= l.endOffsetLocked() {
+		return nil
+	}
+	if offset < l.segments[0].baseOffset {
+		return fmt.Errorf("%w: truncate to %d, log starts at %d",
+			ErrOffsetOutOfRange, offset, l.segments[0].baseOffset)
+	}
+	// Drop whole segments past the cut, keeping at least the one holding it.
+	for len(l.segments) > 1 && l.segments[len(l.segments)-1].baseOffset >= offset {
+		seg := l.segments[len(l.segments)-1]
+		seg.f.Close()
+		if err := os.Remove(filepath.Join(l.dir, segmentName(seg.baseOffset))); err != nil {
+			return err
+		}
+		l.segments = l.segments[:len(l.segments)-1]
+	}
+	a := l.active()
+	if keep := offset - a.baseOffset; keep < a.size {
+		if err := a.f.Truncate(keep); err != nil {
+			return err
+		}
+		a.size = keep
+		a.mtime = time.Now()
+	}
+	l.unflushedCount = 0
+	if end := l.endOffsetLocked(); l.flushedTo > end {
+		l.flushedTo = end
+	}
+	return nil
 }
 
 // Flush forces durability and visibility of everything appended.
@@ -234,21 +370,35 @@ func (l *Log) Earliest() int64 {
 	return l.segments[0].baseOffset
 }
 
-// Latest returns the offset one past the last *flushed* byte — the consumer
-// high-water mark.
+// Latest returns the offset one past the last consumer-visible byte — the
+// flush point, further capped by the visibility limit when one is set.
 func (l *Log) Latest() int64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.flushedTo
+	return l.visibleEndLocked()
 }
 
 // Read returns up to maxBytes of raw log starting at offset, never past the
-// flush point and never crossing a segment boundary (the consumer simply
-// fetches again). An empty result means caught-up.
+// consumer-visible end and never crossing a segment boundary (the consumer
+// simply fetches again). An empty result means caught-up.
 func (l *Log) Read(offset int64, maxBytes int) ([]byte, error) {
+	return l.read(offset, maxBytes, false)
+}
+
+// ReadUncapped is Read against the durable end of the log, ignoring the
+// visibility limit — the replica fetch path, which must replicate bytes the
+// high watermark has not yet covered.
+func (l *Log) ReadUncapped(offset int64, maxBytes int) ([]byte, error) {
+	return l.read(offset, maxBytes, true)
+}
+
+func (l *Log) read(offset int64, maxBytes int, uncapped bool) ([]byte, error) {
 	l.mu.Lock()
-	if offset < l.segments[0].baseOffset || offset > l.flushedTo {
-		end := l.flushedTo
+	end := l.visibleEndLocked()
+	if uncapped {
+		end = l.flushedTo
+	}
+	if offset < l.segments[0].baseOffset || offset > end {
 		l.mu.Unlock()
 		return nil, fmt.Errorf("%w: offset %d, log covers [%d,%d]",
 			ErrOffsetOutOfRange, offset, l.segments[0].baseOffset, end)
@@ -258,8 +408,8 @@ func (l *Log) Read(offset int64, maxBytes int) ([]byte, error) {
 	seg := l.segments[i]
 	pos := offset - seg.baseOffset
 	limit := seg.size
-	if segEnd := seg.baseOffset + seg.size; segEnd > l.flushedTo {
-		limit = l.flushedTo - seg.baseOffset
+	if segEnd := seg.baseOffset + seg.size; segEnd > end {
+		limit = end - seg.baseOffset
 	}
 	n := int64(maxBytes)
 	if n > limit-pos {
@@ -284,15 +434,16 @@ func (l *Log) Read(offset int64, maxBytes int) ([]byte, error) {
 func (l *Log) SectionReader(offset int64, maxBytes int) (*os.File, int64, int64, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if offset < l.segments[0].baseOffset || offset > l.flushedTo {
+	end := l.visibleEndLocked()
+	if offset < l.segments[0].baseOffset || offset > end {
 		return nil, 0, 0, fmt.Errorf("%w: offset %d", ErrOffsetOutOfRange, offset)
 	}
 	i := sort.Search(len(l.segments), func(i int) bool { return l.segments[i].baseOffset > offset }) - 1
 	seg := l.segments[i]
 	pos := offset - seg.baseOffset
 	limit := seg.size
-	if segEnd := seg.baseOffset + seg.size; segEnd > l.flushedTo {
-		limit = l.flushedTo - seg.baseOffset
+	if segEnd := seg.baseOffset + seg.size; segEnd > end {
+		limit = end - seg.baseOffset
 	}
 	n := int64(maxBytes)
 	if n > limit-pos {

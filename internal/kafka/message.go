@@ -39,6 +39,10 @@ const (
 var (
 	ErrCorruptMessage   = errors.New("kafka: corrupt message")
 	ErrOffsetOutOfRange = errors.New("kafka: offset out of range")
+	// ErrNotLeader rejects produces and replica fetches sent to a broker that
+	// does not (or no longer) lead the partition; clients re-resolve the
+	// leader from zk and retry.
+	ErrNotLeader = errors.New("kafka: not the partition leader")
 )
 
 // Message is a payload of bytes, optionally a compressed wrapper holding a

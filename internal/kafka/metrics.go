@@ -33,4 +33,16 @@ var (
 		"messages republished by the intra-cluster replica fetcher")
 	mReplicaLag = metrics.RegisterGauge("kafka_replica_lag_bytes",
 		"byte distance between the leader log head and the replica fetcher")
+	mISRSize = metrics.RegisterGaugeVec("kafka_isr_size_nodes",
+		"replicas currently in sync on partitions led by this process",
+		"partition")
+	mISRShrinks = metrics.RegisterCounter("kafka_isr_shrinks_total",
+		"followers evicted from an in-sync replica set for lagging or dying")
+	mISRExpands = metrics.RegisterCounter("kafka_isr_expands_total",
+		"followers readmitted to an in-sync replica set after catching up")
+	mISRAckTimeouts = metrics.RegisterCounter("kafka_isr_ack_timeouts_total",
+		"produces that timed out waiting for the high watermark to cover them")
+	mPartitionHW = metrics.RegisterGaugeVec("kafka_partition_hw_bytes",
+		"high watermark of partitions led by this process",
+		"partition")
 )

@@ -149,6 +149,9 @@ func parseStatus(body []byte) ([]byte, error) {
 		if contains(msg, "offset out of range") {
 			return nil, fmt.Errorf("%w: %s", ErrOffsetOutOfRange, msg)
 		}
+		if contains(msg, "not the partition leader") {
+			return nil, fmt.Errorf("%w: %s", ErrNotLeader, msg)
+		}
 		return nil, errors.New("kafka: " + msg)
 	}
 	return body[1:], nil
@@ -267,6 +270,29 @@ func (r *RemoteBroker) FetchWait(topic string, partition int, offset int64, maxB
 	req = binary.BigEndian.AppendUint32(req, uint32(maxBytes))
 	req = binary.BigEndian.AppendUint32(req, uint32(wait/time.Millisecond))
 	return r.callTimeout(req, r.timeout+wait)
+}
+
+// ReplicaFetch pulls raw log bytes for replication: uncapped by the high
+// watermark, long-polling at the durable tail, returning the leader's current
+// high watermark alongside the chunk. follower names the fetching replica so
+// the leader tracks its position for ISR accounting.
+func (r *RemoteBroker) ReplicaFetch(topic string, partition int, offset int64, maxBytes int, wait time.Duration, follower string) (int64, []byte, error) {
+	req := reqHeader(brokerOpReplicaFetch, topic)
+	req = binary.BigEndian.AppendUint32(req, uint32(partition))
+	req = binary.BigEndian.AppendUint64(req, uint64(offset))
+	req = binary.BigEndian.AppendUint32(req, uint32(maxBytes))
+	req = binary.BigEndian.AppendUint32(req, uint32(wait/time.Millisecond))
+	req = binary.BigEndian.AppendUint16(req, uint16(len(follower)))
+	req = append(req, follower...)
+	resp, err := r.callTimeout(req, r.timeout+wait)
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(resp) < 8 {
+		return 0, nil, fmt.Errorf("kafka: bad replica fetch response")
+	}
+	hw := int64(binary.BigEndian.Uint64(resp[:8]))
+	return hw, resp[8:], nil
 }
 
 // Offsets implements BrokerClient.

@@ -1,10 +1,13 @@
 package kafka
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"datainfra/internal/resilience"
 )
 
 // ReplicaSet implements §V.D's stated future feature, intra-cluster
@@ -15,6 +18,7 @@ import (
 // the unreplicated tail.
 type ReplicaSet struct {
 	leader, follower BrokerClient
+	retry            resilience.Policy
 
 	mu         sync.Mutex
 	fetchers   map[string]chan struct{} // topic -> stop channel
@@ -30,10 +34,19 @@ func NewReplicaSet(leader, follower BrokerClient) *ReplicaSet {
 		leader:   leader,
 		follower: follower,
 		fetchers: map[string]chan struct{}{},
+		retry: resilience.Policy{
+			MaxAttempts:    5,
+			InitialBackoff: 2 * time.Millisecond,
+			MaxBackoff:     100 * time.Millisecond,
+		},
 	}
 	rs.leaderUp.Store(true)
 	return rs
 }
+
+// SetRetryPolicy overrides the backoff used when republishing to the
+// follower fails. Call before the first Produce.
+func (rs *ReplicaSet) SetRetryPolicy(p resilience.Policy) { rs.retry = p }
 
 // Replicated returns how many messages have reached the follower.
 func (rs *ReplicaSet) Replicated() int64 { return rs.replicated.Load() }
@@ -61,22 +74,42 @@ func (rs *ReplicaSet) ensureFetcher(topic string) {
 	if _, ok := rs.fetchers[topic]; ok {
 		return
 	}
-	stop := make(chan struct{})
-	rs.fetchers[topic] = stop
+	// Look up the partition count before recording the fetcher: a failed
+	// lookup must leave no entry behind, or the next Produce would see the
+	// topic as covered and never start replication for it.
 	n, err := rs.leader.Partitions(topic)
 	if err != nil {
 		return
 	}
+	stop := make(chan struct{})
+	rs.fetchers[topic] = stop
 	for p := 0; p < n; p++ {
 		rs.wg.Add(1)
 		go rs.replicate(topic, p, stop)
 	}
 }
 
+// replicaPollWait is how long a caught-up replica fetcher parks server-side
+// in a long-poll before re-checking liveness and stop signals.
+const replicaPollWait = 250 * time.Millisecond
+
 // replicate is the follower's fetch loop: exactly a consumer that
-// republishes into the follower's log.
+// republishes into the follower's log. Leaders that support FetchWait are
+// long-polled, so a caught-up fetcher parks on the broker instead of
+// sleep-polling the tail.
 func (rs *ReplicaSet) replicate(topic string, partition int, stop chan struct{}) {
 	defer rs.wg.Done()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		select {
+		case <-stop:
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+
+	bf, blocking := rs.leader.(BlockingFetcher)
 	sc := NewSimpleConsumer(rs.leader, 300<<10)
 	var offset int64
 	for {
@@ -93,10 +126,23 @@ func (rs *ReplicaSet) replicate(topic string, partition int, stop chan struct{})
 			}
 			continue
 		}
-		msgs, err := sc.Consume(topic, partition, offset)
+		var msgs []MessageAndOffset
+		var err error
+		if blocking {
+			var chunk []byte
+			chunk, err = bf.FetchWait(topic, partition, offset, 300<<10, replicaPollWait)
+			if err == nil && len(chunk) > 0 {
+				msgs, err = Decode(chunk, offset)
+			}
+		} else {
+			msgs, err = sc.Consume(topic, partition, offset)
+		}
 		if err != nil || len(msgs) == 0 {
 			if err == nil {
 				mReplicaLag.Set(0) // caught up with the leader's head
+				if blocking {
+					continue // FetchWait already waited at the tail
+				}
 			}
 			select {
 			case <-stop:
@@ -106,8 +152,15 @@ func (rs *ReplicaSet) replicate(topic string, partition int, stop chan struct{})
 			continue
 		}
 		for _, m := range msgs {
-			if _, err := rs.follower.Produce(topic, partition, NewMessageSet(m.Payload)); err != nil {
-				return
+			payload := m.Payload
+			if err := resilience.Retry(ctx, rs.retry, func() error {
+				_, err := rs.follower.Produce(topic, partition, NewMessageSet(payload))
+				return err
+			}); err != nil {
+				// The follower stayed unreachable through the backoff:
+				// hold the offset and retry the remainder on the next
+				// pass instead of silently abandoning the partition.
+				break
 			}
 			offset = m.NextOffset
 			rs.replicated.Add(1)

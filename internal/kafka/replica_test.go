@@ -1,10 +1,13 @@
 package kafka
 
 import (
+	"errors"
 	"fmt"
+	"sync/atomic"
 	"testing"
 	"time"
 
+	"datainfra/internal/resilience"
 	"datainfra/internal/zk"
 )
 
@@ -145,5 +148,125 @@ func TestBrokerRegistersInZK(t *testing.T) {
 	srv.Close()
 	if ok, _ := sess.Exists("/brokers/ids/0"); ok {
 		t.Fatal("broker registration survived close")
+	}
+}
+
+// flakyClient wraps a broker client, failing the first N calls of selected
+// operations with a transient error to exercise retry paths.
+type flakyClient struct {
+	BrokerClient
+	produceFails   atomic.Int64
+	partitionFails atomic.Int64
+}
+
+func (f *flakyClient) Produce(topic string, partition int, set MessageSet) (int64, error) {
+	if f.produceFails.Add(-1) >= 0 {
+		return 0, errors.New("kafka: injected produce failure: connection reset")
+	}
+	return f.BrokerClient.Produce(topic, partition, set)
+}
+
+func (f *flakyClient) Partitions(topic string) (int, error) {
+	if f.partitionFails.Add(-1) >= 0 {
+		return 0, errors.New("kafka: injected partitions failure: connection reset")
+	}
+	return f.BrokerClient.Partitions(topic)
+}
+
+// TestReplicaSetRetriesFollowerProduce: a follower whose Produce fails
+// transiently must not end the partition's replication — the fetcher backs
+// off and retries until the republish lands.
+func TestReplicaSetRetriesFollowerProduce(t *testing.T) {
+	leader, err := NewBroker(0, t.TempDir(), BrokerConfig{PartitionsPerTopic: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { leader.Close() })
+	follower, err := NewBroker(1, t.TempDir(), BrokerConfig{PartitionsPerTopic: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { follower.Close() })
+	flaky := &flakyClient{BrokerClient: follower}
+	flaky.produceFails.Store(3)
+
+	rs := NewReplicaSet(leader, flaky)
+	rs.SetRetryPolicy(resilience.Policy{
+		MaxAttempts: 8, InitialBackoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond,
+	})
+	t.Cleanup(rs.Close)
+	if _, err := rs.Produce("t", 0, NewMessageSet([]byte("survives"))); err != nil {
+		t.Fatal(err)
+	}
+	waitCond(t, "replication through flaky follower", 5*time.Second, func() bool {
+		return rs.Replicated() == 1
+	})
+	if n := flaky.produceFails.Load(); n >= 0 {
+		t.Fatalf("follower produce was never retried (%d injected failures left)", n+1)
+	}
+}
+
+// TestReplicaSetRecoversFromPartitionsFailure: a failed partition lookup in
+// ensureFetcher must not leave a stale entry that marks the topic as
+// replicated forever — the next produce retries the lookup.
+func TestReplicaSetRecoversFromPartitionsFailure(t *testing.T) {
+	leader, err := NewBroker(0, t.TempDir(), BrokerConfig{PartitionsPerTopic: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { leader.Close() })
+	follower, err := NewBroker(1, t.TempDir(), BrokerConfig{PartitionsPerTopic: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { follower.Close() })
+	flaky := &flakyClient{BrokerClient: leader}
+	flaky.partitionFails.Store(1)
+
+	rs := NewReplicaSet(flaky, follower)
+	t.Cleanup(rs.Close)
+	// First produce hits the injected Partitions failure: no fetcher starts.
+	if _, err := rs.Produce("t", 0, NewMessageSet([]byte("one"))); err != nil {
+		t.Fatal(err)
+	}
+	// Second produce must retry the lookup and start replication, which
+	// then catches up on both messages.
+	if _, err := rs.Produce("t", 0, NewMessageSet([]byte("two"))); err != nil {
+		t.Fatal(err)
+	}
+	waitCond(t, "replication after partitions failure", 5*time.Second, func() bool {
+		return rs.Replicated() == 2
+	})
+}
+
+// TestReplicaFetcherTailLongPollNoBusySpin: a caught-up replica fetcher on a
+// FetchWait-capable leader must park in long-polls at the idle tail, not
+// fixed-interval poll. A 2ms poll would issue ~100 fetches in the idle
+// window; the long-poll path issues a handful and no plain Fetch at all.
+func TestReplicaFetcherTailLongPollNoBusySpin(t *testing.T) {
+	cb := &countingBlockingBroker{countingBroker{b: newTestBroker(t)}}
+	follower, err := NewBroker(1, t.TempDir(), BrokerConfig{PartitionsPerTopic: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { follower.Close() })
+	rs := NewReplicaSet(cb, follower)
+	t.Cleanup(rs.Close)
+
+	if _, err := rs.Produce("idle", 0, NewMessageSet([]byte("only"))); err != nil {
+		t.Fatal(err)
+	}
+	waitCond(t, "catch-up", 5*time.Second, func() bool { return rs.Replicated() == 1 })
+
+	base := cb.fetchWaits.Load()
+	time.Sleep(200 * time.Millisecond)
+	idleWaits := cb.fetchWaits.Load() - base
+	if fetches := cb.fetches.Load(); fetches != 0 {
+		t.Fatalf("replica fetchers issued %d plain fetches; want 0 (long-poll only)", fetches)
+	}
+	// Two partition fetchers parking replicaPollWait at a time: a couple of
+	// wakeups each over 200ms, far below a 2ms poll's ~100.
+	if idleWaits > 10 {
+		t.Fatalf("idle tail issued %d long-polls in 200ms — busy-spinning", idleWaits)
 	}
 }
