@@ -99,8 +99,9 @@ type ProduceHandler func(topic string, partition int, set MessageSet) (int64, er
 // ReplicaHandler serves follower replica fetches: raw log bytes from offset
 // (uncapped by the high watermark) plus the leader's current high watermark,
 // long-polling up to wait at the durable tail. follower identifies the
-// fetching replica so the leader can track its position for ISR accounting.
-type ReplicaHandler func(topic string, partition int, offset int64, maxBytes int, wait time.Duration, follower string) (hw int64, chunk []byte, err error)
+// fetching replica so the leader can track its position for ISR accounting;
+// epoch is the leader epoch the follower fetches under, rejected on mismatch.
+type ReplicaHandler func(topic string, partition int, offset int64, maxBytes int, wait time.Duration, follower string, epoch int) (hw int64, chunk []byte, err error)
 
 // SetProduceHandler routes produces through fn; nil restores direct appends.
 func (b *Broker) SetProduceHandler(fn ProduceHandler) {
@@ -543,7 +544,7 @@ func (b *Broker) handle(body []byte) rpc.Response {
 		if err != nil {
 			return respErr(err)
 		}
-		if len(rest) < 22 {
+		if len(rest) < 26 {
 			return respErr(fmt.Errorf("short replica fetch"))
 		}
 		partition := int(binary.BigEndian.Uint32(rest))
@@ -553,18 +554,19 @@ func (b *Broker) handle(body []byte) rpc.Response {
 		if wait > maxFetchWait {
 			wait = maxFetchWait
 		}
-		fn := int(binary.BigEndian.Uint16(rest[20:22]))
-		if len(rest) < 22+fn {
+		epoch := int(int32(binary.BigEndian.Uint32(rest[20:24])))
+		fn := int(binary.BigEndian.Uint16(rest[24:26]))
+		if len(rest) < 26+fn {
 			return respErr(fmt.Errorf("short replica fetch follower"))
 		}
-		follower := string(rest[22 : 22+fn])
+		follower := string(rest[26 : 26+fn])
 		b.mu.RLock()
 		replica := b.replicaHandler
 		b.mu.RUnlock()
 		if replica == nil {
 			return respErr(fmt.Errorf("replication not enabled"))
 		}
-		hw, chunk, err := replica(topic, partition, offset, maxBytes, wait, follower)
+		hw, chunk, err := replica(topic, partition, offset, maxBytes, wait, follower, epoch)
 		if err != nil {
 			return respErr(err)
 		}

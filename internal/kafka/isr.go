@@ -101,9 +101,13 @@ func topicMetaPath(cluster, topic string) string {
 }
 
 // ReplicaPeer is the leader surface a follower replicates from; implemented
-// by *RemoteBroker (TCP) and *ReplicatedBroker (in-process).
+// by *RemoteBroker (TCP) and *ReplicatedBroker (in-process). epoch is the
+// leader epoch the follower is fetching under (from the zk ISR record); the
+// serving broker rejects any fetch whose epoch differs from its own, so a
+// follower can never replicate from a stale leader and a stale leader learns
+// of its deposition from the first higher-epoch fetch.
 type ReplicaPeer interface {
-	ReplicaFetch(topic string, partition int, offset int64, maxBytes int, wait time.Duration, follower string) (hw int64, chunk []byte, err error)
+	ReplicaFetch(topic string, partition int, offset int64, maxBytes int, wait time.Duration, follower string, epoch int) (hw int64, chunk []byte, err error)
 }
 
 // ClusterPeer is the full broker surface a routed client talks to.
@@ -125,6 +129,13 @@ type followerPos struct {
 type partState struct {
 	topic string
 	part  int
+
+	// lead fences leader appends against demotion: Produce holds the read
+	// side across its leadership check, append and flush; becomeStandby holds
+	// the write side across the role flip and its divergence truncate. An
+	// append can therefore never interleave with the truncate and leak local
+	// bytes into a log that has become a follower replica.
+	lead sync.RWMutex
 
 	mu      sync.Mutex
 	role    helix.State
@@ -266,15 +277,22 @@ func (rb *ReplicatedBroker) becomeStandby(st *partState, fromLeader bool) error 
 	if err != nil {
 		return err
 	}
-	if err := l.TruncateTo(l.Latest()); err != nil {
-		return err
-	}
 	stop := make(chan struct{})
+	// Flip the role and truncate under the leadership write lock: an
+	// in-flight leader append either completes first (and its unacked bytes
+	// are cut here with the rest of the tail) or blocks until the truncate is
+	// done and then sees the standby role and is rejected.
+	st.lead.Lock()
 	st.mu.Lock()
 	st.role = helix.StateStandby
 	st.deposed = false
 	st.stopFollower = stop
 	st.mu.Unlock()
+	err = l.TruncateTo(l.Latest())
+	st.lead.Unlock()
+	if err != nil {
+		return err
+	}
 	st.done.Add(1)
 	go rb.followerLoop(st, l, stop)
 	return nil
@@ -382,35 +400,20 @@ func (rb *ReplicatedBroker) publishISRLocked(st *partState) error {
 }
 
 // Produce is the replicated produce path: reject unless leading with a full
-// enough ISR, append + flush, then block until the high watermark covers the
-// message (every in-sync replica has it durably) or AckTimeout passes.
+// enough ISR, append + flush under the leadership read lock, then block until
+// the high watermark covers the message (every in-sync replica has it
+// durably) or AckTimeout passes.
 func (rb *ReplicatedBroker) Produce(topic string, partition int, set MessageSet) (int64, error) {
 	st, ok := rb.lookup(topic, partition)
 	if !ok {
 		return 0, fmt.Errorf("%w: %s/%d not assigned here", ErrNotLeader, topic, partition)
 	}
-	st.mu.Lock()
-	if st.role != helix.StateLeader || st.deposed {
-		st.mu.Unlock()
-		return 0, fmt.Errorf("%w: %s/%d", ErrNotLeader, topic, partition)
-	}
-	if len(st.isr) < rb.cfg.MinISR {
-		st.mu.Unlock()
-		return 0, fmt.Errorf("%w: %s/%d has %d, need %d", ErrNotEnoughReplicas, topic, partition, len(st.isr), rb.cfg.MinISR)
-	}
-	st.mu.Unlock()
-
 	l, err := rb.broker.log(topic, partition)
 	if err != nil {
 		return 0, err
 	}
-	off, err := l.Append(set)
+	off, err := rb.leaderAppend(st, l, set)
 	if err != nil {
-		return 0, err
-	}
-	// Durable locally before followers can replicate it or the high
-	// watermark can cover it.
-	if err := l.Flush(); err != nil {
 		return 0, err
 	}
 	mProduceRequests.Inc()
@@ -441,6 +444,35 @@ func (rb *ReplicatedBroker) Produce(topic string, partition int, set MessageSet)
 			return 0, errors.New("kafka: replicated broker closed")
 		}
 	}
+}
+
+// leaderAppend runs the leadership check, append and flush as one unit under
+// the partition's leadership read lock, so a concurrent demotion (which takes
+// the write side across its role flip and truncate) cannot interleave and
+// leave locally-appended bytes in a log that has started following.
+func (rb *ReplicatedBroker) leaderAppend(st *partState, l *Log, set MessageSet) (int64, error) {
+	st.lead.RLock()
+	defer st.lead.RUnlock()
+	st.mu.Lock()
+	if st.role != helix.StateLeader || st.deposed {
+		st.mu.Unlock()
+		return 0, fmt.Errorf("%w: %s/%d", ErrNotLeader, st.topic, st.part)
+	}
+	if len(st.isr) < rb.cfg.MinISR {
+		st.mu.Unlock()
+		return 0, fmt.Errorf("%w: %s/%d has %d, need %d", ErrNotEnoughReplicas, st.topic, st.part, len(st.isr), rb.cfg.MinISR)
+	}
+	st.mu.Unlock()
+	off, err := l.Append(set)
+	if err != nil {
+		return 0, err
+	}
+	// Durable locally before followers can replicate it or the high
+	// watermark can cover it.
+	if err := l.Flush(); err != nil {
+		return 0, err
+	}
+	return off, nil
 }
 
 // advanceHW recomputes the high watermark: the smallest durable position
@@ -479,10 +511,11 @@ func (rb *ReplicatedBroker) advanceHW(st *partState, l *Log) {
 	}
 }
 
-// ReplicaFetch serves a follower's pull (op 6): record its position (its
-// offset acks everything below), maybe readmit it to the ISR, return raw
-// bytes past the high watermark cap, long-polling at the durable tail.
-func (rb *ReplicatedBroker) ReplicaFetch(topic string, partition int, offset int64, maxBytes int, wait time.Duration, follower string) (int64, []byte, error) {
+// ReplicaFetch serves a follower's pull (op 6): fence the leader epoch,
+// record the follower's position (its offset acks everything below), maybe
+// readmit it to the ISR, return raw bytes past the high watermark cap,
+// long-polling at the durable tail.
+func (rb *ReplicatedBroker) ReplicaFetch(topic string, partition int, offset int64, maxBytes int, wait time.Duration, follower string, epoch int) (int64, []byte, error) {
 	st, ok := rb.lookup(topic, partition)
 	if !ok {
 		return 0, nil, fmt.Errorf("%w: %s/%d not assigned here", ErrNotLeader, topic, partition)
@@ -495,6 +528,22 @@ func (rb *ReplicatedBroker) ReplicaFetch(topic string, partition int, offset int
 	if st.role != helix.StateLeader || st.deposed {
 		st.mu.Unlock()
 		return 0, nil, fmt.Errorf("%w: %s/%d", ErrNotLeader, topic, partition)
+	}
+	if epoch != st.epoch {
+		// Epoch fence (Kafka's FENCED_LEADER_EPOCH): a follower fetching
+		// under a newer epoch proves a newer election this broker missed —
+		// depose locally so produce waiters fail fast instead of waiting for
+		// acks that will never come. A follower on an older epoch must
+		// re-read the ISR record (and truncate) before its fetches count.
+		ferr := fmt.Errorf("%w: %s/%d fetch epoch %d, leader epoch %d",
+			ErrNotLeader, topic, partition, epoch, st.epoch)
+		if epoch > st.epoch {
+			st.deposed = true
+			close(st.hwCh)
+			st.hwCh = make(chan struct{})
+		}
+		st.mu.Unlock()
+		return 0, nil, ferr
 	}
 	fp, ok := st.pos[follower]
 	if !ok {
@@ -595,6 +644,10 @@ func (rb *ReplicatedBroker) leaderLoop(st *partState, stop chan struct{}) {
 	}
 }
 
+// maxReplicaFetchBytes caps the replica fetch window (and matches the wire
+// frame limit); a single message can never legitimately exceed it.
+const maxReplicaFetchBytes = 64 << 20
+
 // followerLoop replicates the leader's log byte-for-byte: fetch from the
 // local durable end, append at exactly that offset, flush, adopt the
 // leader's high watermark as the local visibility limit. Chunks are cut at
@@ -605,6 +658,7 @@ func (rb *ReplicatedBroker) followerLoop(st *partState, l *Log, stop chan struct
 	var (
 		peer       ReplicaPeer
 		leaderName string
+		epoch      = -1
 	)
 	fetchMax := rb.cfg.FetchMaxBytes
 	pause := func(d time.Duration) bool {
@@ -618,6 +672,16 @@ func (rb *ReplicatedBroker) followerLoop(st *partState, l *Log, stop chan struct
 		case <-t.C:
 			return true
 		}
+	}
+	// truncateToHW cuts the log back to the local high watermark — the
+	// divergence repair: everything acked lies at or below the watermark and
+	// is byte-identical on every ISR member, everything above may exist only
+	// under a dead leadership and is refetched from the current leader.
+	truncateToHW := func() bool {
+		if err := l.TruncateTo(l.Latest()); err != nil {
+			return false
+		}
+		return true
 	}
 	for {
 		select {
@@ -634,7 +698,18 @@ func (rb *ReplicatedBroker) followerLoop(st *partState, l *Log, stop chan struct
 			}
 			continue
 		}
-		if peer == nil || leaderName != rec.Leader {
+		if peer == nil || leaderName != rec.Leader || epoch != rec.Epoch {
+			// New leadership epoch: bytes replicated past the high watermark
+			// may exist only on the previous leader — never acked, possibly
+			// absent from (or different on) the new leader. Truncate to the
+			// watermark before the first fetch so the local log stays a
+			// byte-identical prefix of the new leader's log.
+			if !truncateToHW() {
+				if !pause(10 * time.Millisecond) {
+					return
+				}
+				continue
+			}
 			p, err := rb.resolve(rec.Leader)
 			if err != nil {
 				if !pause(10 * time.Millisecond) {
@@ -642,19 +717,20 @@ func (rb *ReplicatedBroker) followerLoop(st *partState, l *Log, stop chan struct
 				}
 				continue
 			}
-			peer, leaderName = p, rec.Leader
+			peer, leaderName, epoch = p, rec.Leader, rec.Epoch
 		}
 		off := l.FlushedEnd()
-		hw, chunk, err := peer.ReplicaFetch(st.topic, st.part, off, fetchMax, rb.cfg.FetchWait, rb.instance)
+		hw, chunk, err := peer.ReplicaFetch(st.topic, st.part, off, fetchMax, rb.cfg.FetchWait, rb.instance, epoch)
 		if err != nil {
 			switch {
 			case errors.Is(err, ErrOffsetOutOfRange):
 				// Our log diverges from (or ran ahead of) the leader's:
 				// everything acked lies below our high watermark, so cut
 				// back to it and re-fetch from there.
-				_ = l.TruncateTo(l.Latest())
+				truncateToHW()
 			case errors.Is(err, ErrNotLeader):
-				peer, leaderName = nil, ""
+				// Stale peer or epoch; re-resolve from zk next iteration.
+				peer, leaderName, epoch = nil, "", -1
 			}
 			if !pause(10 * time.Millisecond) {
 				return
@@ -664,10 +740,21 @@ func (rb *ReplicatedBroker) followerLoop(st *partState, l *Log, stop chan struct
 		if len(chunk) > 0 {
 			valid := validPrefix(chunk)
 			if valid == 0 {
+				if fetchMax >= maxReplicaFetchBytes {
+					// Garbage even at the widest window: not an oversized
+					// message but a misaligned chunk (divergence). Repair
+					// and refetch instead of busy-spinning at the cap.
+					truncateToHW()
+					fetchMax = rb.cfg.FetchMaxBytes
+					if !pause(10 * time.Millisecond) {
+						return
+					}
+					continue
+				}
 				// First message exceeds the fetch window; widen and retry.
 				fetchMax *= 2
-				if fetchMax > 64<<20 {
-					fetchMax = 64 << 20
+				if fetchMax > maxReplicaFetchBytes {
+					fetchMax = maxReplicaFetchBytes
 				}
 				continue
 			}

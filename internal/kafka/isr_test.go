@@ -2,13 +2,16 @@ package kafka
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"path/filepath"
+	"sync"
 	"testing"
 	"time"
 
 	"datainfra/internal/helix"
+	"datainfra/internal/zk"
 )
 
 func TestLogVisibilityLimit(t *testing.T) {
@@ -122,6 +125,79 @@ func TestLogAppendAtAndTruncate(t *testing.T) {
 	}
 	if err := follower.TruncateTo(-1); !errors.Is(err, ErrOffsetOutOfRange) {
 		t.Fatalf("truncate below earliest: err = %v, want ErrOffsetOutOfRange", err)
+	}
+}
+
+func TestLogLimitSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLog(dir, LogConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var offs []int64
+	for i := 0; i < 3; i++ {
+		off, err := l.Append(NewMessageSet([]byte(fmt.Sprintf("msg-%d", i))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		offs = append(offs, off)
+	}
+	// The high watermark covers the first two messages; the third is an
+	// unacked tail.
+	l.SetLimit(offs[2])
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenLog(dir, LogConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := re.Latest(); got != offs[2] {
+		t.Fatalf("Latest after restart = %d, want restored limit %d", got, offs[2])
+	}
+	// The divergence truncate a replica runs on (re)joining now has a real
+	// watermark to cut to: the unacked tail does not survive the restart.
+	if err := re.TruncateTo(re.Latest()); err != nil {
+		t.Fatal(err)
+	}
+	if got := re.FlushedEnd(); got != offs[2] {
+		t.Fatalf("FlushedEnd after restart truncate = %d, want %d (unacked tail must be cut)", got, offs[2])
+	}
+	// Removing the cap removes the checkpoint.
+	re.SetLimit(-1)
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+	third, err := OpenLog(dir, LogConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer third.Close()
+	if got := third.Latest(); got != offs[2] {
+		t.Fatalf("Latest with checkpoint removed = %d, want flushed end %d", got, offs[2])
+	}
+}
+
+func TestParseStatusMapsReplicationErrors(t *testing.T) {
+	cases := []struct {
+		msg  string
+		want error
+	}{
+		{"kafka: offset out of range: offset 9", ErrOffsetOutOfRange},
+		{"kafka: not the partition leader: t/0", ErrNotLeader},
+		{"kafka: not enough in-sync replicas: t/0 has 1, need 2", ErrNotEnoughReplicas},
+		{"kafka: timed out waiting for replica acks: t/0 offset 4", ErrAckTimeout},
+		{"kafka: no leader elected: t/0", errNoLeader},
+	}
+	for _, c := range cases {
+		frame := append([]byte{1}, c.msg...)
+		if _, err := parseStatus(frame); !errors.Is(err, c.want) {
+			t.Fatalf("parseStatus(%q) = %v, want %v", c.msg, err, c.want)
+		}
+	}
+	if _, err := parseStatus(append([]byte{1}, "something else"...)); err == nil {
+		t.Fatal("unknown error frame must still surface an error")
 	}
 }
 
@@ -256,7 +332,7 @@ func TestReplicatedFailoverPreservesConsumerOffset(t *testing.T) {
 	}
 
 	// A consumer reads half the stream and saves its offset.
-	consumer := NewSimpleConsumer(client, 1 << 20)
+	consumer := NewSimpleConsumer(client, 1<<20)
 	msgs, err := consumer.Consume("orders", 1, offsets[0])
 	if err != nil {
 		t.Fatal(err)
@@ -354,6 +430,340 @@ func TestProduceToFollowerReturnsNotLeader(t *testing.T) {
 		_, err := rb.Produce("logs", 0, NewMessageSet([]byte("x")))
 		if !errors.Is(err, ErrNotLeader) {
 			t.Fatalf("produce to follower: err = %v, want ErrNotLeader", err)
+		}
+	}
+}
+
+func TestReplicaFetchEpochFencing(t *testing.T) {
+	c := newTestCluster(t, 2, ReplicatedConfig{
+		Cluster: "t5", Replicas: 2, MinISR: 1, FetchWait: 20 * time.Millisecond,
+	})
+	if err := c.AddTopic("fence"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WaitForISR("fence", 2, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	leader, err := c.LeaderOf("fence", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb := c.Broker(leader)
+	data, _, err := c.sess.Get(isrPath("t5", "fence", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec isrRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fetch under an older epoch is fenced, and must not depose the leader.
+	if _, _, err := rb.ReplicaFetch("fence", 0, 0, 1<<20, 0, "broker-stale", rec.Epoch-1); !errors.Is(err, ErrNotLeader) {
+		t.Fatalf("stale-epoch replica fetch: err = %v, want ErrNotLeader", err)
+	}
+	if _, err := rb.Produce("fence", 0, NewMessageSet([]byte("still-leading"))); err != nil {
+		t.Fatalf("produce after stale-epoch fetch: %v", err)
+	}
+
+	// A fetch under a newer epoch proves a newer election: fenced, and the
+	// stale leader deposes itself so produce waiters fail fast.
+	if _, _, err := rb.ReplicaFetch("fence", 0, 0, 1<<20, 0, "broker-new", rec.Epoch+1); !errors.Is(err, ErrNotLeader) {
+		t.Fatalf("newer-epoch replica fetch: err = %v, want ErrNotLeader", err)
+	}
+	if _, err := rb.Produce("fence", 0, NewMessageSet([]byte("deposed"))); !errors.Is(err, ErrNotLeader) {
+		t.Fatalf("produce on deposed leader: err = %v, want ErrNotLeader", err)
+	}
+}
+
+// scriptedPeer serves ReplicaFetch straight from a local Log, standing in for
+// a leader broker so followerLoop can be driven deterministically.
+type scriptedPeer struct {
+	l     *Log
+	hw    int64
+	epoch int
+}
+
+func (p *scriptedPeer) ReplicaFetch(topic string, partition int, offset int64, maxBytes int, wait time.Duration, follower string, epoch int) (int64, []byte, error) {
+	if epoch != p.epoch {
+		return 0, nil, fmt.Errorf("%w: fetch epoch %d, leader epoch %d", ErrNotLeader, epoch, p.epoch)
+	}
+	chunk, err := p.l.ReadUncapped(offset, maxBytes)
+	if err != nil {
+		return 0, nil, err
+	}
+	return p.hw, chunk, nil
+}
+
+// TestFollowerTruncatesUnackedTailOnEpochChange is the deterministic
+// divergence regression: under epoch 1 the follower replicates the leader's
+// log past the high watermark (an unacked tail); the epoch-2 leader's log has
+// a *different* same-length tail at those offsets, already extended by new
+// produces. A follower that merely swaps peers on the leader change fetches
+// at its stale end, gets message-boundary-aligned bytes that parse cleanly,
+// and corrupts silently below the future watermark. The fix: on an epoch
+// bump, truncate to the local high watermark before the first fetch.
+func TestFollowerTruncatesUnackedTailOnEpochChange(t *testing.T) {
+	srv := zk.NewServer()
+	sess := srv.NewSession()
+	defer sess.Close()
+	// The controller only sets up the cluster tree; it is never started, so
+	// this test — not an election — decides epochs and leaders.
+	ctrl, err := helix.NewController(srv, "t7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.Close()
+
+	mkLog := func(msgs ...string) *Log {
+		t.Helper()
+		l, err := OpenLog(t.TempDir(), LogConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { l.Close() })
+		for _, m := range msgs {
+			if _, err := l.Append(NewMessageSet([]byte(m))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return l
+	}
+	acked := []string{"acked-000", "acked-001", "acked-002"}
+	// Epoch-1 leader: acked messages plus a tail it never acked.
+	ackedOnly := mkLog(acked...)
+	hw := ackedOnly.FlushedEnd()
+	l1 := mkLog(append(append([]string{}, acked...), "unacked-old-tail")...)
+	// Epoch-2 leader: same acked prefix, a different same-length tail (its
+	// own unacked inheritance, now committed), plus post-failover produces.
+	l2 := mkLog(append(append([]string{}, acked...), "unacked-new-tail", "post-failover-000")...)
+
+	var mu sync.Mutex
+	peers := map[string]*scriptedPeer{
+		"alpha": {l: l1, hw: hw, epoch: 1},
+	}
+	resolve := func(instance string) (ReplicaPeer, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		p, ok := peers[instance]
+		if !ok {
+			return nil, fmt.Errorf("kafka: unknown broker %q", instance)
+		}
+		return p, nil
+	}
+
+	b, err := NewBroker(0, t.TempDir(), BrokerConfig{PartitionsPerTopic: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ReplicatedConfig{Cluster: "t7", FetchWait: 5 * time.Millisecond}
+	rb, err := NewReplicatedBroker(b, srv, cfg, resolve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rb.Close()
+
+	publish := func(rec isrRecord) {
+		t.Helper()
+		data, err := json.Marshal(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := isrPath("t7", "events", 0)
+		if _, stat, err := sess.Get(p); err == nil {
+			if _, err := sess.Set(p, data, stat.Version); err != nil {
+				t.Fatal(err)
+			}
+			return
+		}
+		if err := sess.CreateAll(p, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	publish(isrRecord{Epoch: 1, Leader: "alpha", ISR: []string{"alpha", rb.Instance()}})
+
+	// Start following (the transition the Helix controller would issue).
+	if err := rb.apply(helix.Transition{
+		Resource: "events", Partition: 0,
+		From: helix.StateOffline, To: helix.StateStandby,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	fl, err := rb.Broker().log("events", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want1, err := l1.ReadUncapped(0, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitCond(t, "epoch-1 replication incl. unacked tail", 5*time.Second, func() bool {
+		got, err := fl.ReadUncapped(0, 1<<20)
+		return err == nil && bytes.Equal(want1, got)
+	})
+	if got := fl.Latest(); got != hw {
+		t.Fatalf("follower visible end = %d, want high watermark %d", got, hw)
+	}
+
+	// Failover: epoch 2, new leader, log already longer than the follower's
+	// stale end and boundary-aligned with it.
+	mu.Lock()
+	peers["beta"] = &scriptedPeer{l: l2, hw: l2.FlushedEnd(), epoch: 2}
+	mu.Unlock()
+	publish(isrRecord{Epoch: 2, Leader: "beta", ISR: []string{"beta", rb.Instance()}})
+
+	want2, err := l2.ReadUncapped(0, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitCond(t, "epoch-2 convergence", 5*time.Second, func() bool {
+		got, err := fl.ReadUncapped(0, 1<<20)
+		return err == nil && bytes.Equal(want2, got)
+	})
+}
+
+// TestFollowerUnackedTailRepairedOnFailover reproduces the follower-divergence
+// hazard: both followers hold distinct unacked tails past the high watermark
+// (as if replicated from a leadership that died before acking them), the
+// leader is killed, and one of those followers is promoted. The surviving
+// follower must truncate to the watermark when it sees the new leader epoch —
+// otherwise its first fetch lands mid-log on the promoted leader and the
+// replica silently diverges byte-for-byte.
+func TestFollowerUnackedTailRepairedOnFailover(t *testing.T) {
+	c := newTestCluster(t, 3, ReplicatedConfig{
+		Cluster: "t6", Replicas: 3, MinISR: 2,
+		FetchWait: 200 * time.Millisecond, LagTimeout: 500 * time.Millisecond,
+	})
+	if err := c.AddTopic("div"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WaitForISR("div", 3, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	client := c.Client()
+	defer client.Close()
+
+	var payloads [][]byte
+	var offsets []int64
+	for i := 0; i < 5; i++ {
+		payload := []byte(fmt.Sprintf("acked-%03d", i))
+		off, err := client.Produce("div", 0, NewMessageSet(payload))
+		if err != nil {
+			t.Fatalf("produce %d: %v", i, err)
+		}
+		payloads, offsets = append(payloads, payload), append(offsets, off)
+	}
+	leader, err := c.LeaderOf("div", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ll, err := c.Broker(leader).Broker().log("div", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw := ll.FlushedEnd()
+	for _, rb := range c.Brokers() {
+		if rb.Instance() == leader {
+			continue
+		}
+		fl, err := rb.Broker().log("div", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitCond(t, "follower catch-up", 5*time.Second, func() bool {
+			return fl.FlushedEnd() >= hw
+		})
+	}
+
+	// Give each follower a distinct, valid-framed tail past the high
+	// watermark: same length, different content — the byte-divergence shape
+	// that a message-boundary check alone cannot catch.
+	i := 0
+	for _, rb := range c.Brokers() {
+		if rb.Instance() == leader {
+			continue
+		}
+		fl, err := rb.Broker().log("div", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rogue := NewMessageSet([]byte(fmt.Sprintf("unacked-tail-%d", i)))
+		if err := fl.AppendAt(fl.FlushedEnd(), rogue.Bytes()); err != nil {
+			t.Fatal(err)
+		}
+		if err := fl.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	}
+	c.Kill(leader)
+	var promoted string
+	waitCond(t, "promoted leader", 10*time.Second, func() bool {
+		l, err := c.LeaderOf("div", 0)
+		promoted = l
+		return err == nil && l != leader
+	})
+
+	// Produce through the failover so the new leader's log grows past the
+	// surviving follower's stale end — the exact window where a non-truncating
+	// follower would fetch misaligned bytes and corrupt silently.
+	for i := 5; i < 10; i++ {
+		payload := []byte(fmt.Sprintf("acked-%03d", i))
+		var off int64
+		deadline := time.Now().Add(15 * time.Second)
+		for {
+			off, err = client.Produce("div", 0, NewMessageSet(payload))
+			if err == nil {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("produce %d across failover: %v", i, err)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		payloads, offsets = append(payloads, payload), append(offsets, off)
+	}
+
+	// Every surviving replica must converge to the promoted leader's log,
+	// byte-identical over its full range.
+	pl, err := c.Broker(promoted).Broker().log("div", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := pl.ReadUncapped(0, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rb := range c.Brokers() {
+		if rb.Instance() == promoted {
+			continue
+		}
+		fl, err := rb.Broker().log("div", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitCond(t, "follower convergence", 10*time.Second, func() bool {
+			got, err := fl.ReadUncapped(0, 1<<20)
+			return err == nil && bytes.Equal(want, got)
+		})
+	}
+	// And the acked stream is intact at unchanged offsets.
+	consumer := NewSimpleConsumer(client, 1<<20)
+	msgs, err := consumer.Consume("div", 0, offsets[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	byOffset := map[int64][]byte{}
+	for i, m := range msgs {
+		start := offsets[0]
+		if i > 0 {
+			start = msgs[i-1].NextOffset
+		}
+		byOffset[start] = m.Payload
+	}
+	for i, off := range offsets {
+		if !bytes.Equal(byOffset[off], payloads[i]) {
+			t.Fatalf("acked message %d at offset %d: got %q, want %q", i, off, byOffset[off], payloads[i])
 		}
 	}
 }

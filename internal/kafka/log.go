@@ -66,6 +66,12 @@ func (c *LogConfig) withDefaults() {
 
 func segmentName(base int64) string { return fmt.Sprintf("%020d.kafka", base) }
 
+// hwCheckpointName holds the persisted visibility limit (the partition high
+// watermark). Without it a restarted replica comes back with limit -1, its
+// divergence truncate becomes a no-op, and an unacked on-disk tail from the
+// old epoch survives into the new one.
+const hwCheckpointName = "hw.checkpoint"
+
 // OpenLog opens (creating if needed) the partition log in dir, recovering
 // the active segment by truncating any torn tail.
 func OpenLog(dir string, cfg LogConfig) (*Log, error) {
@@ -125,6 +131,15 @@ func OpenLog(dir string, cfg LogConfig) (*Log, error) {
 		}
 	}
 	l.flushedTo = l.endOffsetLocked()
+	// Restore the persisted high watermark as the visibility limit, so a
+	// replica that restarts mid-epoch still knows where acked data ends and
+	// TruncateTo(Latest()) cuts back to it. A missing or unparseable
+	// checkpoint leaves the limit off, matching the pre-replication behavior.
+	if data, err := os.ReadFile(filepath.Join(dir, hwCheckpointName)); err == nil {
+		if hw, perr := strconv.ParseInt(strings.TrimSpace(string(data)), 10, 64); perr == nil && hw >= 0 {
+			l.limit = hw
+		}
+	}
 	return l, nil
 }
 
@@ -206,6 +221,7 @@ func (l *Log) visibleEndLocked() int64 {
 
 // SetLimit caps consumer visibility at limit (the partition high watermark);
 // -1 removes the cap. Raising the visible end wakes parked long-poll fetches.
+// The limit is checkpointed to disk so it survives restarts.
 func (l *Log) SetLimit(limit int64) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -214,9 +230,28 @@ func (l *Log) SetLimit(limit int64) {
 	}
 	before := l.visibleEndLocked()
 	l.limit = limit
+	l.persistLimitLocked()
 	if l.visibleEndLocked() > before {
 		l.wakeLocked()
 	}
+}
+
+// persistLimitLocked checkpoints the visibility limit. Written to a temp file
+// and renamed so a crash leaves either the old or the new value, never a torn
+// one. A stale (low) checkpoint is safe — the replica truncates further back
+// and refetches from the leader — so write failures are deliberately ignored
+// and the file is not fsynced.
+func (l *Log) persistLimitLocked() {
+	p := filepath.Join(l.dir, hwCheckpointName)
+	if l.limit < 0 {
+		_ = os.Remove(p)
+		return
+	}
+	tmp := p + ".tmp"
+	if err := os.WriteFile(tmp, []byte(strconv.FormatInt(l.limit, 10)), 0o644); err != nil {
+		return
+	}
+	_ = os.Rename(tmp, p)
 }
 
 // FlushedEnd returns the offset one past the last durable byte, ignoring the

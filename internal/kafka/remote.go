@@ -138,6 +138,21 @@ func (r *RemoteBroker) callTimeout(req []byte, timeout time.Duration) ([]byte, e
 	})
 }
 
+// wireErrors maps error-frame substrings back to the package's typed errors:
+// a typed error crossing the TCP boundary arrives as text, and the routing
+// retry classifier (retryableRouted) needs the type back to ride out
+// failovers and ISR shrinks instead of surfacing them as hard failures.
+var wireErrors = []struct {
+	sub string
+	err error
+}{
+	{"offset out of range", ErrOffsetOutOfRange},
+	{"not the partition leader", ErrNotLeader},
+	{"not enough in-sync replicas", ErrNotEnoughReplicas},
+	{"timed out waiting for replica acks", ErrAckTimeout},
+	{"no leader elected", errNoLeader},
+}
+
 // parseStatus strips the status byte off a response body, mapping error
 // frames to errors.
 func parseStatus(body []byte) ([]byte, error) {
@@ -146,11 +161,10 @@ func parseStatus(body []byte) ([]byte, error) {
 	}
 	if body[0] != 0 {
 		msg := string(body[1:])
-		if contains(msg, "offset out of range") {
-			return nil, fmt.Errorf("%w: %s", ErrOffsetOutOfRange, msg)
-		}
-		if contains(msg, "not the partition leader") {
-			return nil, fmt.Errorf("%w: %s", ErrNotLeader, msg)
+		for _, w := range wireErrors {
+			if contains(msg, w.sub) {
+				return nil, fmt.Errorf("%w: %s", w.err, msg)
+			}
 		}
 		return nil, errors.New("kafka: " + msg)
 	}
@@ -275,13 +289,15 @@ func (r *RemoteBroker) FetchWait(topic string, partition int, offset int64, maxB
 // ReplicaFetch pulls raw log bytes for replication: uncapped by the high
 // watermark, long-polling at the durable tail, returning the leader's current
 // high watermark alongside the chunk. follower names the fetching replica so
-// the leader tracks its position for ISR accounting.
-func (r *RemoteBroker) ReplicaFetch(topic string, partition int, offset int64, maxBytes int, wait time.Duration, follower string) (int64, []byte, error) {
+// the leader tracks its position for ISR accounting; epoch fences the fetch
+// against stale leadership (the serving broker rejects a mismatched epoch).
+func (r *RemoteBroker) ReplicaFetch(topic string, partition int, offset int64, maxBytes int, wait time.Duration, follower string, epoch int) (int64, []byte, error) {
 	req := reqHeader(brokerOpReplicaFetch, topic)
 	req = binary.BigEndian.AppendUint32(req, uint32(partition))
 	req = binary.BigEndian.AppendUint64(req, uint64(offset))
 	req = binary.BigEndian.AppendUint32(req, uint32(maxBytes))
 	req = binary.BigEndian.AppendUint32(req, uint32(wait/time.Millisecond))
+	req = binary.BigEndian.AppendUint32(req, uint32(epoch))
 	req = binary.BigEndian.AppendUint16(req, uint16(len(follower)))
 	req = append(req, follower...)
 	resp, err := r.callTimeout(req, r.timeout+wait)
