@@ -13,7 +13,7 @@ RACE_PKGS = ./internal/rpc ./internal/resilience ./internal/failure ./internal/v
 # panic on arbitrary bytes.
 FUZZ_TARGETS = FuzzUnmarshal/internal/schema FuzzResolve/internal/schema FuzzDecode/internal/kafka
 
-.PHONY: all build vet test check test-race bench bench-json bench-smoke verify fuzz-smoke clean
+.PHONY: all build vet test check test-race bench bench-json bench-smoke verify fuzz-smoke docs-check clean
 
 all: check
 
@@ -60,6 +60,13 @@ bench-smoke:
 # VERIFY_SEED=n. See EXPERIMENTS.md.
 verify:
 	$(GO) test -run 'TestVerify' -count=1 -v .
+
+# Documentation gate: every markdown link and #anchor in the operator-facing
+# documents resolves (docscheck), and every registered metric follows the
+# naming convention and is documented in OPERATIONS.md (metriclint).
+docs-check:
+	$(GO) run ./cmd/docscheck
+	$(GO) run ./cmd/metriclint
 
 # A short fuzzing pass over every fuzz target (3s each) — enough to replay
 # the seed corpus plus a burst of mutated inputs in CI.

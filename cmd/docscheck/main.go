@@ -1,0 +1,171 @@
+// Command docscheck is the markdown link checker behind `make docs-check`:
+// it parses the repo's operator-facing documents, extracts every inline
+// markdown link, and verifies that
+//
+//   - relative file targets exist (resolved against the document's own
+//     directory), and any #fragment on them points at a real heading in the
+//     target file,
+//   - bare #fragment links point at a real heading in the same document,
+//     using GitHub's anchor slug rules (lowercase, punctuation stripped,
+//     spaces to dashes).
+//
+// External links (http, https, mailto) are recorded but not fetched — CI has
+// no network, and a dead external link is a doc bug, not a build failure.
+// Fenced code blocks are skipped so example snippets can show link syntax.
+//
+// Usage: docscheck [files...]   (defaults to the repo's top-level documents)
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// defaultDocs is the operator-facing set; ISSUE/CHANGES and friends are
+// working files, not documentation.
+var defaultDocs = []string{
+	"README.md", "DESIGN.md", "OPERATIONS.md", "EXPERIMENTS.md", "ROADMAP.md",
+}
+
+var (
+	// Inline links/images: [text](target) — the target ends at the first
+	// unescaped ')'; titles ("...") inside the parens are tolerated.
+	linkRE    = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+	headingRE = regexp.MustCompile(`^(#{1,6})\s+(.*?)\s*#*\s*$`)
+	// GitHub slugs drop everything that is not a word character, space or
+	// dash (backticks, punctuation, the § sign...).
+	slugStripRE = regexp.MustCompile(`[^\w\- ]`)
+)
+
+// slugify mirrors GitHub's heading → anchor transformation closely enough
+// for this repo's ASCII headings.
+func slugify(heading string) string {
+	s := strings.ToLower(strings.TrimSpace(heading))
+	s = strings.ReplaceAll(s, "`", "")
+	s = slugStripRE.ReplaceAllString(s, "")
+	return strings.ReplaceAll(s, " ", "-")
+}
+
+// anchors returns the set of heading slugs in a markdown file, numbering
+// duplicates the way GitHub does (slug, slug-1, slug-2, ...).
+func anchors(text string) map[string]bool {
+	out := map[string]bool{}
+	counts := map[string]int{}
+	inFence := false
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		m := headingRE.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		slug := slugify(m[2])
+		if n := counts[slug]; n > 0 {
+			out[fmt.Sprintf("%s-%d", slug, n)] = true
+		} else {
+			out[slug] = true
+		}
+		counts[slug]++
+	}
+	return out
+}
+
+// links extracts every inline link target outside fenced code blocks.
+func links(text string) []string {
+	var out []string
+	inFence := false
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		for _, m := range linkRE.FindAllStringSubmatch(line, -1) {
+			out = append(out, m[1])
+		}
+	}
+	return out
+}
+
+func external(target string) bool {
+	return strings.HasPrefix(target, "http://") ||
+		strings.HasPrefix(target, "https://") ||
+		strings.HasPrefix(target, "mailto:")
+}
+
+func main() {
+	docs := defaultDocs
+	if len(os.Args) > 1 {
+		docs = os.Args[1:]
+	}
+
+	anchorCache := map[string]map[string]bool{}
+	load := func(path string) (string, error) {
+		b, err := os.ReadFile(path)
+		return string(b), err
+	}
+
+	bad, checked, externals := 0, 0, 0
+	for _, doc := range docs {
+		text, err := load(doc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
+			bad++
+			continue
+		}
+		anchorCache[doc] = anchors(text)
+		for _, target := range links(text) {
+			checked++
+			if external(target) {
+				externals++
+				continue
+			}
+			file, frag, _ := strings.Cut(target, "#")
+			resolved := doc
+			if file != "" {
+				resolved = filepath.Join(filepath.Dir(doc), file)
+				if _, err := os.Stat(resolved); err != nil {
+					fmt.Fprintf(os.Stderr, "docscheck: %s: broken link %q: %s does not exist\n", doc, target, resolved)
+					bad++
+					continue
+				}
+			}
+			if frag == "" {
+				continue
+			}
+			if !strings.HasSuffix(resolved, ".md") {
+				continue // fragments into non-markdown files are not checkable
+			}
+			if _, ok := anchorCache[resolved]; !ok {
+				text, err := load(resolved)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "docscheck: %s: broken link %q: %v\n", doc, target, err)
+					bad++
+					continue
+				}
+				anchorCache[resolved] = anchors(text)
+			}
+			if !anchorCache[resolved][frag] {
+				fmt.Fprintf(os.Stderr, "docscheck: %s: broken anchor %q: no heading slugs to #%s in %s\n",
+					doc, target, frag, resolved)
+				bad++
+			}
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "docscheck: %d broken link(s) across %d document(s)\n", bad, len(docs))
+		os.Exit(1)
+	}
+	fmt.Printf("docscheck: %d documents, %d links checked (%d external, not fetched), all resolve\n",
+		len(docs), checked, externals)
+}

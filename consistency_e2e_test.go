@@ -625,6 +625,13 @@ func (f faultPeer) Fetch(topic string, partition int, offset int64, maxBytes int
 	return f.ClusterPeer.Fetch(topic, partition, offset, maxBytes)
 }
 
+func (f faultPeer) FetchWait(topic string, partition int, offset int64, maxBytes int, wait time.Duration) ([]byte, error) {
+	if err := f.inj.Inject("peer.fetch"); err != nil {
+		return nil, err
+	}
+	return f.ClusterPeer.FetchWait(topic, partition, offset, maxBytes, wait)
+}
+
 // TestVerifyKafkaReplicated drives seeded concurrent producers against a
 // 3-broker ISR-replicated partition through injected faults, kills the
 // elected leader mid-produce (the kill point is VERIFY_SEED-driven), and
@@ -774,6 +781,282 @@ func TestVerifyKafkaReplicated(t *testing.T) {
 	}
 	t.Logf("kafka isr: %d acked (%d consumed incl. retry duplicates), leader %s killed after %d acks under %s",
 		len(acked), len(consumed), deadKilled, killAfter, inj)
+}
+
+// newVerifySourceCluster builds one datacenter-local 3-broker ISR cluster
+// with a single-partition topic, the source side of a mirrored topology.
+func newVerifySourceCluster(t *testing.T, name, topic string) *kafka.ReplicatedCluster {
+	t.Helper()
+	dirs := make([]string, 3)
+	for i := range dirs {
+		dirs[i] = t.TempDir()
+	}
+	c, err := kafka.NewReplicatedCluster(dirs, kafka.BrokerConfig{PartitionsPerTopic: 1}, kafka.ReplicatedConfig{
+		Cluster: name, Replicas: 3, MinISR: 2,
+		FetchWait: 20 * time.Millisecond, LagTimeout: 300 * time.Millisecond,
+		AckTimeout: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	if err := c.AddTopic(topic); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WaitForISR(topic, 3, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// newFaultRoutedClient routes a cluster's client surface through the shared
+// injector, so producers and mirrors alike see dropped requests, lost acks
+// and failed fetches.
+func newFaultRoutedClient(t *testing.T, c *kafka.ReplicatedCluster, name string, inj *resilience.DeterministicInjector) *kafka.RoutedClient {
+	t.Helper()
+	client := kafka.NewRoutedClient(c.ZK, name, func(instance string) (kafka.ClusterPeer, error) {
+		rb := c.Broker(instance)
+		if rb == nil {
+			return nil, fmt.Errorf("broker %q is dead", instance)
+		}
+		return faultPeer{ClusterPeer: rb, inj: inj}, nil
+	})
+	t.Cleanup(client.Close)
+	client.SetRetryPolicy(verifyRetryPolicy())
+	return client
+}
+
+// drainMirrored sequentially consumes the aggregate partition and decodes the
+// global-ordering envelopes into the checker's observation type.
+func drainMirrored(t *testing.T, dst *kafka.Broker, topic string) []consistency.MirroredMsg {
+	t.Helper()
+	earliest, latest, err := dst.Offsets(topic, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []consistency.MirroredMsg
+	for off := earliest; off < latest; {
+		chunk, err := dst.Fetch(topic, 0, off, 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		msgs, err := kafka.Decode(chunk, off)
+		if err != nil {
+			t.Fatalf("decode aggregate log at offset %d: %v", off, err)
+		}
+		if len(msgs) == 0 {
+			break
+		}
+		for _, m := range msgs {
+			env, err := kafka.DecodeEnvelope(m.Payload)
+			if err != nil {
+				t.Fatalf("aggregate message at offset %d: %v", off, err)
+			}
+			out = append(out, consistency.MirroredMsg{
+				Origin: env.Origin, Partition: env.Partition,
+				Seq: env.Seq, Sub: env.Sub, Payload: string(env.Payload),
+			})
+			off = m.NextOffset
+		}
+	}
+	return out
+}
+
+// TestVerifyKafkaMirrored runs the full mirrored topology under chaos: two
+// datacenter-local ISR clusters ("east", "west") feed one aggregate broker
+// through global-ordering MirrorMakers whose routed clients see injected
+// drops, lost acks and failed fetches. Mid-produce, east's elected leader is
+// killed (seeded kill point) AND east's mirror is killed and restarted from
+// its checkpoint file (seeded restart point). The aggregate log must then
+// hold every message either source HW-acked — no loss across the failover or
+// the mirror restart — with per-origin causal order intact and duplicates
+// byte-identical, which CheckKafkaMirrored verifies.
+func TestVerifyKafkaMirrored(t *testing.T) {
+	seed := verifySeed(t)
+	const topic = "mirror"
+	east := newVerifySourceCluster(t, "east", topic)
+	west := newVerifySourceCluster(t, "west", topic)
+	dst, err := kafka.NewBroker(0, t.TempDir(), kafka.BrokerConfig{PartitionsPerTopic: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { dst.Close() })
+
+	inj := resilience.NewInjector(seed)
+	inj.Plan("peer.produce", resilience.FaultPlan{DropProb: 0.15})
+	inj.Plan("peer.ack", resilience.FaultPlan{ErrProb: 0.05})
+	inj.Plan("peer.fetch", resilience.FaultPlan{DropProb: 0.1})
+
+	clients := map[string]*kafka.RoutedClient{
+		"east": newFaultRoutedClient(t, east, "east", inj),
+		"west": newFaultRoutedClient(t, west, "west", inj),
+	}
+	cpDir := t.TempDir()
+	mirrorCfg := func(origin string) kafka.MirrorConfig {
+		return kafka.MirrorConfig{
+			Topics:         []string{topic},
+			CheckpointPath: cpDir + "/" + origin + ".checkpoint",
+			Origin:         origin,
+			GlobalOrder:    true,
+			FetchWait:      20 * time.Millisecond,
+			RetryPause:     2 * time.Millisecond,
+		}
+	}
+	// Each mirror consumes through its own fault-injected routed client, so
+	// the east mirror rides the leader kill like any other client.
+	eastMirror, err := kafka.NewMirrorMaker(newFaultRoutedClient(t, east, "east", inj), dst, mirrorCfg("east"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	westMirror, err := kafka.NewMirrorMaker(newFaultRoutedClient(t, west, "west", inj), dst, mirrorCfg("west"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eastMirror.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := westMirror.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(westMirror.Close)
+
+	const perOrigin = 40
+	payloads := map[string][]string{
+		"east": gen.Payloads(seed, "kafka-mirror-east", perOrigin),
+		"west": gen.Payloads(seed, "kafka-mirror-west", perOrigin),
+	}
+
+	var mu sync.Mutex
+	acked := map[string][]consistency.ProducedMsg{}
+	var eastAcked atomic.Int64
+
+	// Seeded chaos #1: kill east's elected leader mid-produce.
+	killAfter := int64(8 + seed%12)
+	killed := make(chan string, 1)
+	go func() {
+		for eastAcked.Load() < killAfter {
+			time.Sleep(time.Millisecond)
+		}
+		leader, err := east.LeaderOf(topic, 0)
+		if err == nil {
+			east.Kill(leader)
+			killed <- leader
+		} else {
+			killed <- ""
+		}
+	}()
+
+	const producers = 2
+	var wg sync.WaitGroup
+	for origin, client := range clients {
+		for g := 0; g < producers; g++ {
+			wg.Add(1)
+			go func(origin string, client *kafka.RoutedClient, g int) {
+				defer wg.Done()
+				ps := payloads[origin]
+				for i := g; i < len(ps); i += producers {
+					deadline := time.Now().Add(20 * time.Second)
+					for {
+						off, err := client.Produce(topic, 0, kafka.NewMessageSet([]byte(ps[i])))
+						if err == nil {
+							mu.Lock()
+							acked[origin] = append(acked[origin], consistency.ProducedMsg{Offset: off, Payload: ps[i]})
+							mu.Unlock()
+							if origin == "east" {
+								eastAcked.Add(1)
+							}
+							break
+						}
+						if time.Now().After(deadline) {
+							t.Errorf("%s produce %d never acknowledged across the failover: %v", origin, i, err)
+							return
+						}
+					}
+				}
+			}(origin, client, g)
+		}
+	}
+
+	// Seeded chaos #2: kill the east mirror mid-stream and restart it from
+	// its checkpoint file — the redelivery window the checker must see as
+	// duplicates, never loss.
+	restartAfter := int64(5 + seed%10)
+	restartDeadline := time.Now().Add(20 * time.Second)
+	for eastMirror.Mirrored() < restartAfter {
+		if time.Now().After(restartDeadline) {
+			t.Fatalf("east mirror stuck at %d of %d messages before the planned restart",
+				eastMirror.Mirrored(), restartAfter)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	eastMirror.Close()
+	restartedAt := eastMirror.Mirrored()
+	eastMirror, err = kafka.NewMirrorMaker(newFaultRoutedClient(t, east, "east", inj), dst, mirrorCfg("east"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eastMirror.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eastMirror.Close() })
+
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	deadKilled := <-killed
+	if deadKilled == "" {
+		t.Fatal("leader kill never happened; failover was not exercised")
+	}
+	if inj.Total() == 0 {
+		t.Fatal("no faults injected; verify run is vacuous")
+	}
+
+	// Wait until every acked message of both origins has reached the
+	// aggregate, then freeze the log by closing the mirrors.
+	covered := func() bool {
+		seen := map[string]map[int64]bool{}
+		for _, m := range drainMirrored(t, dst, topic) {
+			s := seen[m.Origin]
+			if s == nil {
+				s = map[int64]bool{}
+				seen[m.Origin] = s
+			}
+			if m.Sub == 0 {
+				s[m.Seq] = true
+			}
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		for origin, msgs := range acked {
+			for _, a := range msgs {
+				if !seen[origin][a.Offset] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for !covered() {
+		if time.Now().After(deadline) {
+			t.Fatal("aggregate never covered every acked message")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	eastMirror.Close()
+	westMirror.Close()
+
+	mirrored := drainMirrored(t, dst, topic)
+	err = consistency.CheckKafkaMirrored(consistency.MirroredPartition{
+		Topic: topic, Partition: 0,
+		Acked: acked, Mirrored: mirrored,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("kafka mirror: %d+%d acked (%d in aggregate incl. duplicates), leader %s killed after %d acks, east mirror restarted at %d mirrored, under %s",
+		len(acked["east"]), len(acked["west"]), len(mirrored), deadKilled, killAfter, restartedAt, inj)
 }
 
 // --- Databus -----------------------------------------------------------------

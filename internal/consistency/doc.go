@@ -1,0 +1,25 @@
+// Package consistency implements history-based consistency checking: a
+// concurrent-history recorder (invocation/response events stamped with
+// logical timestamps) plus checkers that decide whether a recorded history
+// satisfies a formal model — Wing & Gong linearizability for read/write
+// registers, a vector-clock-aware "eventual + causal" relaxation matching
+// Voldemort's R+W>N quorum semantics, and declarative timeline models for
+// Espresso per-key SCN order, Kafka partition offset contiguity and Databus
+// windowed SCN monotonicity.
+//
+// The Kafka models grow with the replication stack: CheckKafkaLog demands
+// offset contiguity and exact produce/consume equality on a single broker,
+// CheckKafkaReplicated relaxes that to the ISR contract (every
+// high-watermark-acked message served at exactly its acked offset across a
+// failover, at-least-once retry duplicates tolerated, loss never —
+// DESIGN.md §10), and CheckKafkaMirrored extends it across clusters
+// (DESIGN.md §11): every acked message of every origin reaches the
+// aggregate, duplicates from mirror restarts are byte-identical, and each
+// origin partition's causal order survives in the first occurrences.
+//
+// The chaos suites of internal/resilience assert hand-picked invariants per
+// scenario; this package instead records everything concurrent clients did
+// and observed, and checks the whole history against the model the paper
+// promises. See DESIGN.md §7 and the generator-driven harness in
+// consistency_e2e_test.go (`make verify`).
+package consistency

@@ -1,17 +1,3 @@
-// Package consistency implements history-based consistency checking: a
-// concurrent-history recorder (invocation/response events stamped with
-// logical timestamps) plus checkers that decide whether a recorded history
-// satisfies a formal model — Wing & Gong linearizability for read/write
-// registers, a vector-clock-aware "eventual + causal" relaxation matching
-// Voldemort's R+W>N quorum semantics, and declarative timeline models for
-// Espresso per-key SCN order, Kafka partition offset contiguity and Databus
-// windowed SCN monotonicity.
-//
-// The chaos suites of internal/resilience assert hand-picked invariants per
-// scenario; this package instead records everything concurrent clients did
-// and observed, and checks the whole history against the model the paper
-// promises. See DESIGN.md §7 and the generator-driven harness in
-// consistency_e2e_test.go (`make verify`).
 package consistency
 
 import (

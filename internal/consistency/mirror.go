@@ -1,0 +1,148 @@
+package consistency
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Checker for Kafka cross-cluster mirroring (DESIGN.md §11): several
+// datacenter-local source clusters are mirrored into one aggregate
+// destination by kafka.MirrorMaker in global-ordering mode, every mirrored
+// message stamped with its origin cluster ID and source-log position. The
+// model demands that mirroring loses nothing that a source acknowledged at
+// its high watermark, invents nothing it cannot account for, and preserves
+// per-key causal order — where a "key" lives on one partition of one origin,
+// so per-key order is per-(origin, source partition) order.
+
+// MirroredMsg is one message consumed from the aggregate (destination)
+// cluster, decoded from its kafka.MirrorEnvelope: the origin cluster ID, the
+// source partition, the source-log position (Seq = source offset, Sub = index
+// within a compressed wrapper at that offset) and the original payload.
+type MirroredMsg struct {
+	Origin    string
+	Partition int
+	Seq       int64
+	Sub       int
+	Payload   string
+}
+
+// MirroredPartition pairs the high-watermark-acknowledged produces of one
+// topic/partition on every source cluster with a sequential consumption of
+// the same partition at the destination.
+//
+// Acked maps origin cluster ID → that source's acknowledged produces
+// (ProducedMsg.Offset is the source log offset, which the envelope carries
+// as Seq). The acked produces must be single uncompressed messages — the
+// shape the verify harness produces — so each ack names exactly one
+// (origin, Seq) with Sub 0.
+type MirroredPartition struct {
+	Topic     string
+	Partition int
+	Acked     map[string][]ProducedMsg
+	Mirrored  []MirroredMsg // destination consumption order
+}
+
+// seqSub orders source-log positions within one origin partition.
+type seqSub struct {
+	seq int64
+	sub int
+}
+
+func (a seqSub) before(b seqSub) bool {
+	return a.seq < b.seq || (a.seq == b.seq && a.sub < b.sub)
+}
+
+// CheckKafkaMirrored verifies the mirroring contract:
+//
+//  1. Provenance: every mirrored message names an origin the checker was
+//     given, and the mirror preserves the partition index. A message whose
+//     (origin, Seq) matches an acknowledged produce must carry exactly the
+//     acknowledged payload (Sub 0 — acked produces are single messages).
+//     Mirrored messages at source positions that were never acknowledged are
+//     legal: a producer retry across a source failover appends twice, and
+//     only one append gets the ack.
+//  2. Duplicate identity: redelivery after a mirror restart is legal
+//     (at-least-once), but every copy of a source position must be
+//     byte-identical — "exactly-once-or-duplicated", never mutated.
+//  3. Completeness: every acknowledged produce of every origin appears at
+//     the destination at least once. A message HW-acked at a source cannot
+//     be lost by mirroring, mirror restarts included.
+//  4. Per-key causal order: for each origin, a consumer that drops
+//     duplicates (keeps the first copy of each source position) sees that
+//     origin's positions in strictly increasing (Seq, Sub) order — the
+//     source partition's order, which contains every per-key order. Later
+//     duplicates may rewind (a redelivered suffix), first occurrences may
+//     not.
+func CheckKafkaMirrored(p MirroredPartition) error {
+	where := fmt.Sprintf("%s/%d", p.Topic, p.Partition)
+
+	// Index the acked produces by (origin, offset); offsets are unique
+	// within a source log (CheckKafkaReplicated separately enforces this on
+	// the sources).
+	type ackKey struct {
+		origin string
+		seq    int64
+	}
+	acked := map[ackKey]string{}
+	for origin, msgs := range p.Acked {
+		for _, a := range msgs {
+			acked[ackKey{origin, a.Offset}] = a.Payload
+		}
+	}
+
+	firstSeen := map[string]map[seqSub]string{} // origin → position → payload of first copy
+	lastFirst := map[string]seqSub{}            // origin → highest first-occurrence position
+	for i, m := range p.Mirrored {
+		if _, known := p.Acked[m.Origin]; !known {
+			return fmt.Errorf("%w: %s: message %d claims unknown origin %q",
+				ErrLogViolation, where, i, m.Origin)
+		}
+		if m.Partition != p.Partition {
+			return fmt.Errorf("%w: %s: message %d from origin %q carries source partition %d",
+				ErrLogViolation, where, i, m.Origin, m.Partition)
+		}
+		pos := seqSub{m.Seq, m.Sub}
+		if want, isAcked := acked[ackKey{m.Origin, m.Seq}]; isAcked && m.Sub == 0 && m.Payload != want {
+			return fmt.Errorf("%w: %s: origin %q offset %d mirrored as %q, ack said %q",
+				ErrLogViolation, where, m.Origin, m.Seq, m.Payload, want)
+		}
+		seen := firstSeen[m.Origin]
+		if seen == nil {
+			seen = map[seqSub]string{}
+			firstSeen[m.Origin] = seen
+		}
+		if prev, dup := seen[pos]; dup {
+			if prev != m.Payload {
+				return fmt.Errorf("%w: %s: origin %q offset %d/%d duplicated with different payloads (%q then %q)",
+					ErrLogViolation, where, m.Origin, m.Seq, m.Sub, prev, m.Payload)
+			}
+			continue // a faithful duplicate; may legally rewind
+		}
+		if last, any := lastFirst[m.Origin]; any && !last.before(pos) {
+			return fmt.Errorf("%w: %s: origin %q causal order broken: position %d/%d first seen after %d/%d",
+				ErrLogViolation, where, m.Origin, m.Seq, m.Sub, last.seq, last.sub)
+		}
+		seen[pos] = m.Payload
+		lastFirst[m.Origin] = pos
+	}
+
+	// Completeness: walk acks in offset order so the error names the
+	// earliest loss.
+	origins := make([]string, 0, len(p.Acked))
+	for origin := range p.Acked {
+		origins = append(origins, origin)
+	}
+	sort.Strings(origins)
+	for _, origin := range origins {
+		msgs := append([]ProducedMsg(nil), p.Acked[origin]...)
+		sort.Slice(msgs, func(i, j int) bool { return msgs[i].Offset < msgs[j].Offset })
+		seen := firstSeen[origin]
+		for _, a := range msgs {
+			if _, ok := seen[seqSub{a.Offset, 0}]; !ok {
+				return fmt.Errorf("%w: %s: origin %q acked message at offset %d (%q) never reached the destination",
+					ErrLogViolation, where, origin, a.Offset, a.Payload)
+			}
+		}
+	}
+	return nil
+}

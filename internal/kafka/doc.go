@@ -1,0 +1,33 @@
+// Package kafka implements the log-structured pub/sub system of §V: brokers
+// persist each topic partition as a set of segment files; messages are
+// addressed by their logical offset (the byte position in the partition log)
+// rather than ids — increasing but not consecutive, exactly as the paper
+// describes; producers batch and optionally gzip-compress message sets;
+// consumers pull sequentially, own their offsets, and coordinate group
+// membership through the zk package.
+//
+// On top of the single-broker core sit two replication tiers. The
+// intra-cluster tier (isr.go, DESIGN.md §10) is the paper's headline
+// future-work item: ReplicatedBroker keeps in-sync replica sets with
+// high-watermark ack gating and byte-identical follower logs under
+// Helix-elected leadership, ReplicatedCluster wires a whole cluster
+// in-process, and RoutedClient resolves leaders through zk and rides
+// failovers inside its retry policy — an acked message's offset never
+// changes across a leader change. The cross-cluster tier (mirror.go,
+// DESIGN.md §11) is §V.D's datacenter topology: MirrorMaker republishes a
+// local cluster's partitions into an aggregate cluster with per-partition
+// source offsets checkpointed via atomic rename (at-least-once resume,
+// no loss across kill -9), optionally stamping every message with a
+// MirrorEnvelope — origin cluster, source partition, source offset — so
+// aggregate consumers keep per-key causal order across datacenters;
+// StaticClient is the TCP counterpart of RoutedClient for clusters
+// addressed as a fixed broker list.
+//
+// Observability: broker request/byte throughput, producer and consumer
+// message flow, group rebalances and per-partition consumer lag, the
+// intra-cluster replica's position, ISR membership churn and partition high
+// watermarks, and the mirror's throughput/lag/checkpoint position are
+// exported through internal/metrics (names under kafka_*, catalogued in
+// OPERATIONS.md). Offsets are byte positions, so the lag gauges are
+// measured in bytes.
+package kafka

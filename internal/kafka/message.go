@@ -1,16 +1,3 @@
-// Package kafka implements the log-structured pub/sub system of §V: brokers
-// persist each topic partition as a set of segment files; messages are
-// addressed by their logical offset (the byte position in the partition log)
-// rather than ids — increasing but not consecutive, exactly as the paper
-// describes; producers batch and optionally gzip-compress message sets;
-// consumers pull sequentially, own their offsets, and coordinate group
-// membership through the zk package.
-//
-// Observability: broker request/byte throughput, producer and consumer
-// message flow, group rebalances and per-partition consumer lag, and the
-// intra-cluster replica's position are exported through internal/metrics
-// (names under kafka_*, catalogued in OPERATIONS.md). Offsets are byte
-// positions, so the lag gauges are measured in bytes.
 package kafka
 
 import (

@@ -45,4 +45,18 @@ var (
 	mPartitionHW = metrics.RegisterGaugeVec("kafka_partition_hw_bytes",
 		"high watermark of partitions led by this process",
 		"partition")
+	mMirrorMessages = metrics.RegisterCounter("kafka_mirror_messages_total",
+		"messages republished into the destination cluster by MirrorMaker (includes redelivered duplicates)")
+	mMirrorBytes = metrics.RegisterCounter("kafka_mirror_bytes_total",
+		"message-set bytes produced into the destination cluster by MirrorMaker")
+	mMirrorLag = metrics.RegisterGaugeVec("kafka_mirror_lag_bytes",
+		"source log head minus the mirror's position on a partition",
+		"partition")
+	mMirrorCheckpoints = metrics.RegisterCounter("kafka_mirror_checkpoints_total",
+		"mirror checkpoint file writes (one per mirrored batch, atomic rename)")
+	mMirrorCheckpointPos = metrics.RegisterGaugeVec("kafka_mirror_checkpoint_bytes",
+		"last checkpointed source offset of a mirrored partition",
+		"partition")
+	mMirrorErrors = metrics.RegisterCounter("kafka_mirror_errors_total",
+		"source fetch, decode, destination produce and checkpoint failures absorbed by the mirror's retry loop")
 )

@@ -1,0 +1,630 @@
+package kafka
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"datainfra/internal/resilience"
+)
+
+// This file is the cross-cluster mirroring tier of §V.D: the paper runs
+// Kafka as per-datacenter *local* clusters whose messages are republished
+// into *aggregate* clusters that hold the union of all datacenters. The
+// legacy best-effort copier (kafka.Mirror in audit.go) loses its place on
+// restart and its ordering on anything less than a perfect run; MirrorMaker
+// replaces it with the production protocol: per-partition source offsets
+// checkpointed through atomic renames (the hw.checkpoint pattern) so a
+// restarted mirror resumes where it durably left off — at-least-once into
+// the aggregate, never lossy — plus an opt-in global-ordering mode that
+// stamps every mirrored message with a causal sequence (origin cluster ID +
+// source partition + source offset) following the PAPERS.md "Global Message
+// Ordering using Distributed Kafka Clusters" design, so an aggregate
+// consumer can totally order the updates to a key across source clusters.
+
+// Mirror errors.
+var (
+	// ErrCorruptEnvelope rejects bytes that do not parse as a global-ordering
+	// envelope — a raw (non-enveloped) payload read by an envelope-aware
+	// consumer, or genuine corruption.
+	ErrCorruptEnvelope = errors.New("kafka: corrupt mirror envelope")
+)
+
+// --- Global-ordering envelope ------------------------------------------------
+
+// MirrorEnvelope is the global-ordering stamp carried by every message a
+// MirrorMaker republishes in GlobalOrder mode. (Origin, Partition, Seq, Sub)
+// identifies the source-log position of the payload exactly once:
+//
+//   - Origin is the source cluster ID (one per datacenter-local cluster).
+//   - Partition is the source partition index. A key is produced to one
+//     partition of one origin, so per-key order is per-(Origin,Partition)
+//     order.
+//   - Seq is the source log offset the message started at — monotone within
+//     a partition, stable across mirror restarts, identical on redelivery.
+//   - Sub disambiguates the inner messages of one compressed wrapper, which
+//     all live at the same source offset (§V.B).
+//
+// An aggregate consumer that orders messages for a key by (Seq, Sub), and
+// two updates from different origins by (Seq, Sub, Origin), obtains a total
+// order that is consistent with every origin's local (causal) order; see
+// DESIGN.md §11 for what that does and does not promise.
+type MirrorEnvelope struct {
+	Origin    string
+	Partition int
+	Seq       int64
+	Sub       int
+	Payload   []byte
+}
+
+const (
+	envMagic   byte = 'M'
+	envVersion byte = 1
+	// magic + version + u16 origin len + u32 partition + u64 seq + u16 sub
+	envHeaderMin = 2 + 2 + 4 + 8 + 2
+)
+
+// EncodeEnvelope serialises the envelope:
+//
+//	'M' | version | u16 len(origin) | origin | u32 partition | u64 seq | u16 sub | payload
+func EncodeEnvelope(e MirrorEnvelope) []byte {
+	buf := make([]byte, 0, envHeaderMin+len(e.Origin)+len(e.Payload))
+	buf = append(buf, envMagic, envVersion)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(e.Origin)))
+	buf = append(buf, e.Origin...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(e.Partition))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(e.Seq))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(e.Sub))
+	return append(buf, e.Payload...)
+}
+
+// DecodeEnvelope parses an envelope produced by EncodeEnvelope.
+func DecodeEnvelope(b []byte) (MirrorEnvelope, error) {
+	if len(b) < envHeaderMin || b[0] != envMagic || b[1] != envVersion {
+		return MirrorEnvelope{}, fmt.Errorf("%w: missing header", ErrCorruptEnvelope)
+	}
+	olen := int(binary.BigEndian.Uint16(b[2:4]))
+	if len(b) < envHeaderMin+olen {
+		return MirrorEnvelope{}, fmt.Errorf("%w: truncated origin", ErrCorruptEnvelope)
+	}
+	pos := 4
+	origin := string(b[pos : pos+olen])
+	pos += olen
+	part := int(binary.BigEndian.Uint32(b[pos : pos+4]))
+	pos += 4
+	seq := int64(binary.BigEndian.Uint64(b[pos : pos+8]))
+	pos += 8
+	sub := int(binary.BigEndian.Uint16(b[pos : pos+2]))
+	pos += 2
+	payload := make([]byte, len(b)-pos)
+	copy(payload, b[pos:])
+	return MirrorEnvelope{Origin: origin, Partition: part, Seq: seq, Sub: sub, Payload: payload}, nil
+}
+
+// --- Checkpoint --------------------------------------------------------------
+
+// mirrorCheckpoint persists per-partition source offsets. Like the partition
+// high watermark (hw.checkpoint), it is written to a temp file and renamed,
+// so a crash leaves either the old or the new state, never a torn one. A
+// stale (low) checkpoint is safe: the mirror re-fetches and re-produces a
+// bounded suffix — at-least-once, never loss.
+type mirrorCheckpoint struct {
+	path string
+
+	mu  sync.Mutex
+	off map[string]int64
+}
+
+func cpKey(topic string, partition int) string {
+	return topic + "/" + strconv.Itoa(partition)
+}
+
+// loadMirrorCheckpoint reads the checkpoint file; a missing file is an empty
+// checkpoint (first run), a corrupt one is an error — better to stop than to
+// silently re-mirror a whole cluster from offset zero.
+func loadMirrorCheckpoint(path string) (*mirrorCheckpoint, error) {
+	cp := &mirrorCheckpoint{path: path, off: map[string]int64{}}
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return cp, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := json.Unmarshal(data, &cp.off); err != nil {
+		return nil, fmt.Errorf("kafka: mirror checkpoint %s corrupt: %w", path, err)
+	}
+	return cp, nil
+}
+
+func (cp *mirrorCheckpoint) get(key string) (int64, bool) {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	off, ok := cp.off[key]
+	return off, ok
+}
+
+// set records the offset and persists the whole table atomically.
+func (cp *mirrorCheckpoint) set(key string, off int64) error {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	cp.off[key] = off
+	data, err := json.Marshal(cp.off)
+	if err != nil {
+		return err
+	}
+	if dir := filepath.Dir(cp.path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	tmp := cp.path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, cp.path)
+}
+
+// --- MirrorMaker -------------------------------------------------------------
+
+// MirrorConfig tunes a MirrorMaker.
+type MirrorConfig struct {
+	Topics         []string      // topics to mirror (every partition of each)
+	CheckpointPath string        // per-partition source offsets; required
+	Origin         string        // origin cluster ID stamped into envelopes; required in GlobalOrder mode
+	GlobalOrder    bool          // wrap payloads in MirrorEnvelope causal stamps
+	FetchMaxBytes  int           // per-fetch cap at the source; default 1 MiB
+	FetchWait      time.Duration // source long-poll at the tail; default 250ms
+	RetryPause     time.Duration // pause after an absorbed fetch/produce failure; default 10ms
+}
+
+func (c *MirrorConfig) withDefaults() error {
+	if c.CheckpointPath == "" {
+		return errors.New("kafka: mirror needs a CheckpointPath")
+	}
+	if len(c.Topics) == 0 {
+		return errors.New("kafka: mirror needs at least one topic")
+	}
+	if c.GlobalOrder && c.Origin == "" {
+		return errors.New("kafka: global-ordering mirror needs an Origin cluster ID")
+	}
+	if c.FetchMaxBytes == 0 {
+		c.FetchMaxBytes = 1 << 20
+	}
+	if c.FetchWait == 0 {
+		c.FetchWait = 250 * time.Millisecond
+	}
+	if c.RetryPause == 0 {
+		c.RetryPause = 10 * time.Millisecond
+	}
+	return nil
+}
+
+// MirrorMaker republishes every partition of the configured topics from a
+// source cluster into a destination cluster, partition-for-partition.
+// Delivery is at-least-once: a batch is produced to the destination first
+// and checkpointed second, so a crash between the two re-delivers that batch
+// (and only that batch) on restart. Ordering within a source partition is
+// preserved — the mirror is a single sequential reader per partition — and
+// in GlobalOrder mode every message carries a MirrorEnvelope so aggregate
+// consumers can order updates to a key across several mirrored origins.
+//
+// The source is a ClusterPeer — typically a RoutedClient (in-process zk) or
+// a StaticClient (TCP) — whose own retries ride source-cluster failovers;
+// the mirror additionally absorbs and retries any error either side still
+// surfaces, so a source leader kill or a destination hiccup shows up as lag,
+// not loss.
+type MirrorMaker struct {
+	src ClusterPeer
+	dst BrokerClient
+	cfg MirrorConfig
+	cp  *mirrorCheckpoint
+
+	mirrored atomic.Int64
+
+	// afterProduce, when set (tests), runs after a batch is produced to the
+	// destination and before its checkpoint is persisted — the window a
+	// crash re-delivers.
+	afterProduce func(topic string, partition int, next int64)
+
+	startOnce sync.Once
+	stop      chan struct{}
+	wg        sync.WaitGroup
+}
+
+// NewMirrorMaker builds a mirror and loads its checkpoint. Partitions whose
+// offset is checkpointed resume there; new partitions start at the source's
+// earliest retained offset.
+func NewMirrorMaker(src ClusterPeer, dst BrokerClient, cfg MirrorConfig) (*MirrorMaker, error) {
+	if err := cfg.withDefaults(); err != nil {
+		return nil, err
+	}
+	cp, err := loadMirrorCheckpoint(cfg.CheckpointPath)
+	if err != nil {
+		return nil, err
+	}
+	return &MirrorMaker{src: src, dst: dst, cfg: cfg, cp: cp, stop: make(chan struct{})}, nil
+}
+
+// Start resolves each topic's partition count from the source and launches
+// one mirror loop per partition. Topic metadata may not exist until the
+// source cluster has elected leaders, so resolution retries briefly.
+func (m *MirrorMaker) Start() error {
+	type tp struct {
+		topic string
+		parts int
+	}
+	var work []tp
+	for _, topic := range m.cfg.Topics {
+		var n int
+		err := resilience.Retry(context.Background(), resilience.Policy{
+			MaxAttempts:    20,
+			InitialBackoff: 5 * time.Millisecond,
+			MaxBackoff:     250 * time.Millisecond,
+			Retryable:      func(error) bool { return true },
+		}, func() error {
+			var err error
+			n, err = m.src.Partitions(topic)
+			return err
+		})
+		if err != nil {
+			return fmt.Errorf("kafka: mirror cannot resolve partitions of %q: %w", topic, err)
+		}
+		work = append(work, tp{topic, n})
+	}
+	m.startOnce.Do(func() {
+		for _, w := range work {
+			for p := 0; p < w.parts; p++ {
+				m.wg.Add(1)
+				go m.mirrorLoop(w.topic, p)
+			}
+		}
+	})
+	return nil
+}
+
+// Mirrored returns how many messages have been produced into the
+// destination (including redelivered duplicates).
+func (m *MirrorMaker) Mirrored() int64 { return m.mirrored.Load() }
+
+// Checkpoint returns the checkpointed source offset of a partition; ok is
+// false before the first batch of that partition is checkpointed.
+func (m *MirrorMaker) Checkpoint(topic string, partition int) (int64, bool) {
+	return m.cp.get(cpKey(topic, partition))
+}
+
+// pause sleeps d unless the mirror is stopping; it reports whether to keep
+// running.
+func (m *MirrorMaker) pause(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-m.stop:
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// resumeOffset decides where a partition's mirroring starts: the checkpoint
+// when one exists, else the source's earliest retained offset.
+func (m *MirrorMaker) resumeOffset(topic string, partition int) (int64, bool) {
+	if off, ok := m.cp.get(cpKey(topic, partition)); ok {
+		return off, true
+	}
+	for {
+		earliest, _, err := m.src.Offsets(topic, partition)
+		if err == nil {
+			return earliest, true
+		}
+		mMirrorErrors.Inc()
+		if !m.pause(m.cfg.RetryPause) {
+			return 0, false
+		}
+	}
+}
+
+// mirrorLoop is the per-partition pipeline: long-poll fetch at the source,
+// re-encode (enveloping in GlobalOrder mode), produce to the destination,
+// then checkpoint. The produce-before-checkpoint order is the at-least-once
+// guarantee; the sequential single-reader structure is the ordering one.
+func (m *MirrorMaker) mirrorLoop(topic string, partition int) {
+	defer m.wg.Done()
+	label := cpKey(topic, partition)
+	off, ok := m.resumeOffset(topic, partition)
+	if !ok {
+		return
+	}
+	var set MessageSet
+	for {
+		select {
+		case <-m.stop:
+			return
+		default:
+		}
+		chunk, err := m.src.FetchWait(topic, partition, off, m.cfg.FetchMaxBytes, m.cfg.FetchWait)
+		if err != nil {
+			mMirrorErrors.Inc()
+			if !m.pause(m.cfg.RetryPause) {
+				return
+			}
+			continue
+		}
+		if len(chunk) == 0 {
+			m.updateLag(label, topic, partition, off)
+			continue
+		}
+		msgs, err := Decode(chunk, off)
+		if err != nil {
+			mMirrorErrors.Inc()
+			if !m.pause(m.cfg.RetryPause) {
+				return
+			}
+			continue
+		}
+		if len(msgs) == 0 {
+			continue
+		}
+		set.Reset()
+		at, sub := off, 0
+		for i, msg := range msgs {
+			payload := msg.Payload
+			if m.cfg.GlobalOrder {
+				payload = EncodeEnvelope(MirrorEnvelope{
+					Origin:    m.cfg.Origin,
+					Partition: partition,
+					Seq:       at,
+					Sub:       sub,
+					Payload:   msg.Payload,
+				})
+			}
+			set.Append(NewMessage(payload))
+			// Inner messages of one compressed wrapper share a NextOffset —
+			// and therefore a Seq; Sub tells them apart.
+			if i+1 < len(msgs) && msgs[i+1].NextOffset == msg.NextOffset {
+				sub++
+			} else {
+				at, sub = msg.NextOffset, 0
+			}
+		}
+		for {
+			if _, err := m.dst.Produce(topic, partition, set); err == nil {
+				break
+			}
+			mMirrorErrors.Inc()
+			if !m.pause(m.cfg.RetryPause) {
+				return
+			}
+		}
+		off = at
+		m.mirrored.Add(int64(len(msgs)))
+		mMirrorMessages.Add(int64(len(msgs)))
+		mMirrorBytes.Add(int64(set.Len()))
+		if m.afterProduce != nil {
+			m.afterProduce(topic, partition, off)
+		}
+		if err := m.cp.set(label, off); err == nil {
+			mMirrorCheckpoints.Inc()
+			mMirrorCheckpointPos.With(label).Set(off)
+		} else {
+			// A failed checkpoint write only widens the redelivery window;
+			// the data itself is already in the destination.
+			mMirrorErrors.Inc()
+		}
+		m.updateLag(label, topic, partition, off)
+	}
+}
+
+// updateLag refreshes the partition's lag gauge: source log head minus the
+// mirrored position, in bytes (offsets are byte positions, §V.B).
+func (m *MirrorMaker) updateLag(label, topic string, partition int, off int64) {
+	_, latest, err := m.src.Offsets(topic, partition)
+	if err != nil {
+		return
+	}
+	lag := latest - off
+	if lag < 0 {
+		lag = 0
+	}
+	mMirrorLag.With(label).Set(lag)
+}
+
+// Close stops every mirror loop and waits for them to exit. The checkpoint
+// already on disk is the resume point of the next MirrorMaker.
+func (m *MirrorMaker) Close() {
+	select {
+	case <-m.stop:
+	default:
+		close(m.stop)
+	}
+	m.wg.Wait()
+}
+
+// --- StaticClient ------------------------------------------------------------
+
+// StaticClient is the TCP counterpart of RoutedClient for deployments where
+// the coordination plane is in-process on the broker side (cmd/kafka-broker
+// -replicas): a ClusterPeer over a fixed list of broker addresses that
+// discovers the partition leader by walking the list, caches it, and on
+// ErrNotLeader or a transport failure invalidates and walks again — so a
+// mirror or consumer rides a source failover with nothing but its retry
+// budget.
+type StaticClient struct {
+	brokers []*RemoteBroker
+	retry   resilience.Policy
+
+	mu     sync.Mutex
+	leader map[topicPartition]int
+	next   int
+}
+
+// NewStaticClient dials (lazily) every address in addrs.
+func NewStaticClient(addrs []string, timeout time.Duration) *StaticClient {
+	sc := &StaticClient{
+		leader: map[topicPartition]int{},
+		retry: resilience.Policy{
+			InitialBackoff: 2 * time.Millisecond,
+			MaxBackoff:     250 * time.Millisecond,
+			Retryable:      retryableRouted,
+		},
+	}
+	for _, a := range addrs {
+		sc.brokers = append(sc.brokers, DialBroker(a, timeout))
+	}
+	// Enough attempts to walk the whole cluster a few times across a
+	// failover window.
+	sc.retry.MaxAttempts = 4 * len(sc.brokers)
+	if sc.retry.MaxAttempts < 8 {
+		sc.retry.MaxAttempts = 8
+	}
+	return sc
+}
+
+// pick returns the broker to try for a partition: the cached leader, or the
+// next one in rotation.
+func (sc *StaticClient) pick(tp topicPartition) (int, *RemoteBroker) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	i, ok := sc.leader[tp]
+	if !ok {
+		i = sc.next % len(sc.brokers)
+		sc.next++
+	}
+	return i, sc.brokers[i]
+}
+
+func (sc *StaticClient) invalidate(tp topicPartition, i int) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if cur, ok := sc.leader[tp]; ok && cur == i {
+		delete(sc.leader, tp)
+	}
+}
+
+func (sc *StaticClient) remember(tp topicPartition, i int) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	sc.leader[tp] = i
+}
+
+// do runs fn against the partition's presumed leader, walking the broker
+// list on leader changes and transient failures.
+func (sc *StaticClient) do(topic string, partition int, fn func(*RemoteBroker) error) error {
+	tp := topicPartition{topic, partition}
+	return resilience.Retry(context.Background(), sc.retry, func() error {
+		i, b := sc.pick(tp)
+		if err := fn(b); err != nil {
+			if retryableRouted(err) {
+				sc.invalidate(tp, i)
+			}
+			return err
+		}
+		sc.remember(tp, i)
+		return nil
+	})
+}
+
+// Produce implements BrokerClient.
+func (sc *StaticClient) Produce(topic string, partition int, set MessageSet) (int64, error) {
+	var off int64
+	err := sc.do(topic, partition, func(b *RemoteBroker) error {
+		var err error
+		off, err = b.Produce(topic, partition, set)
+		return err
+	})
+	return off, err
+}
+
+// Fetch implements BrokerClient.
+func (sc *StaticClient) Fetch(topic string, partition int, offset int64, maxBytes int) ([]byte, error) {
+	var chunk []byte
+	err := sc.do(topic, partition, func(b *RemoteBroker) error {
+		var err error
+		chunk, err = b.Fetch(topic, partition, offset, maxBytes)
+		return err
+	})
+	return chunk, err
+}
+
+// FetchWait implements BlockingFetcher.
+func (sc *StaticClient) FetchWait(topic string, partition int, offset int64, maxBytes int, wait time.Duration) ([]byte, error) {
+	var chunk []byte
+	err := sc.do(topic, partition, func(b *RemoteBroker) error {
+		var err error
+		chunk, err = b.FetchWait(topic, partition, offset, maxBytes, wait)
+		return err
+	})
+	return chunk, err
+}
+
+// Offsets implements BrokerClient.
+func (sc *StaticClient) Offsets(topic string, partition int) (int64, int64, error) {
+	var earliest, latest int64
+	err := sc.do(topic, partition, func(b *RemoteBroker) error {
+		var err error
+		earliest, latest, err = b.Offsets(topic, partition)
+		return err
+	})
+	return earliest, latest, err
+}
+
+// Partitions implements BrokerClient: any live broker can answer.
+func (sc *StaticClient) Partitions(topic string) (int, error) {
+	var n int
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		for _, b := range sc.brokers {
+			var err error
+			n, err = b.Partitions(topic)
+			if err == nil {
+				return n, nil
+			}
+			lastErr = err
+		}
+	}
+	if lastErr == nil {
+		lastErr = errors.New("kafka: no brokers configured")
+	}
+	return 0, lastErr
+}
+
+// Close closes every broker connection.
+func (sc *StaticClient) Close() {
+	for _, b := range sc.brokers {
+		b.Close()
+	}
+}
+
+// sortedCheckpointKeys is a debugging helper: the checkpoint table's keys in
+// stable order (used by String).
+func (cp *mirrorCheckpoint) sortedKeys() []string {
+	keys := make([]string, 0, len(cp.off))
+	for k := range cp.off {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// String renders the checkpoint table (diagnostics and test logs).
+func (cp *mirrorCheckpoint) String() string {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	s := "mirror checkpoint{"
+	for i, k := range cp.sortedKeys() {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%s=%d", k, cp.off[k])
+	}
+	return s + "}"
+}

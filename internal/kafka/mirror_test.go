@@ -1,0 +1,428 @@
+package kafka
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+)
+
+func TestMirrorEnvelopeRoundTrip(t *testing.T) {
+	in := MirrorEnvelope{Origin: "dc-east", Partition: 7, Seq: 1234567, Sub: 3, Payload: []byte("hello")}
+	out, err := DecodeEnvelope(EncodeEnvelope(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Origin != in.Origin || out.Partition != in.Partition ||
+		out.Seq != in.Seq || out.Sub != in.Sub || !bytes.Equal(out.Payload, in.Payload) {
+		t.Fatalf("round trip mangled envelope: %+v -> %+v", in, out)
+	}
+	if _, err := DecodeEnvelope([]byte("raw payload")); !errors.Is(err, ErrCorruptEnvelope) {
+		t.Fatalf("raw payload decoded as envelope: %v", err)
+	}
+	if _, err := DecodeEnvelope(EncodeEnvelope(in)[:5]); !errors.Is(err, ErrCorruptEnvelope) {
+		t.Fatalf("truncated envelope decoded: %v", err)
+	}
+	empty := MirrorEnvelope{Origin: "x"}
+	if out, err := DecodeEnvelope(EncodeEnvelope(empty)); err != nil || len(out.Payload) != 0 {
+		t.Fatalf("empty payload round trip: %+v, %v", out, err)
+	}
+}
+
+func newMirrorBroker(t *testing.T, id int) *Broker {
+	t.Helper()
+	b, err := NewBroker(id, t.TempDir(), BrokerConfig{PartitionsPerTopic: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { b.Close() })
+	return b
+}
+
+// drainPayloads consumes a whole partition sequentially and returns the raw
+// payloads in log order.
+func drainPayloads(t *testing.T, b BrokerClient, topic string, partition int) [][]byte {
+	t.Helper()
+	earliest, latest, err := b.Offsets(topic, partition)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out [][]byte
+	for off := earliest; off < latest; {
+		chunk, err := b.Fetch(topic, partition, off, 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		msgs, err := Decode(chunk, off)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(msgs) == 0 {
+			break
+		}
+		for _, m := range msgs {
+			out = append(out, m.Payload)
+			off = m.NextOffset
+		}
+	}
+	return out
+}
+
+// waitMirrored polls until the destination partition holds at least want
+// messages.
+func waitMirrored(t *testing.T, dst BrokerClient, topic string, want int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if len(drainPayloads(t, dst, topic, 0)) >= want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("destination never reached %d messages", want)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestMirrorMakerCopiesInOrder(t *testing.T) {
+	src, dst := newMirrorBroker(t, 0), newMirrorBroker(t, 1)
+	const n = 25
+	for i := 0; i < n; i++ {
+		if _, err := src.Produce("events", 0, NewMessageSet([]byte(fmt.Sprintf("m%02d", i)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mm, err := NewMirrorMaker(src, dst, MirrorConfig{
+		Topics:         []string{"events"},
+		CheckpointPath: filepath.Join(t.TempDir(), "mirror.checkpoint"),
+		FetchWait:      10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mm.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer mm.Close()
+	waitMirrored(t, dst, "events", n)
+	got := drainPayloads(t, dst, "events", 0)
+	if len(got) != n {
+		t.Fatalf("mirrored %d messages, want %d", len(got), n)
+	}
+	for i, p := range got {
+		if want := fmt.Sprintf("m%02d", i); string(p) != want {
+			t.Fatalf("message %d: got %q, want %q (order not preserved)", i, p, want)
+		}
+	}
+	if mm.Mirrored() != n {
+		t.Fatalf("Mirrored() = %d, want %d", mm.Mirrored(), n)
+	}
+}
+
+func TestMirrorMakerGlobalOrderTwoOrigins(t *testing.T) {
+	east, west, dst := newMirrorBroker(t, 0), newMirrorBroker(t, 1), newMirrorBroker(t, 2)
+	const n = 10
+	for i := 0; i < n; i++ {
+		if _, err := east.Produce("events", 0, NewMessageSet([]byte(fmt.Sprintf("e%02d", i)))); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := west.Produce("events", 0, NewMessageSet([]byte(fmt.Sprintf("w%02d", i)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dir := t.TempDir()
+	for origin, src := range map[string]*Broker{"east": east, "west": west} {
+		mm, err := NewMirrorMaker(src, dst, MirrorConfig{
+			Topics:         []string{"events"},
+			CheckpointPath: filepath.Join(dir, origin+".checkpoint"),
+			Origin:         origin,
+			GlobalOrder:    true,
+			FetchWait:      10 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := mm.Start(); err != nil {
+			t.Fatal(err)
+		}
+		defer mm.Close()
+	}
+	waitMirrored(t, dst, "events", 2*n)
+
+	lastSeq := map[string]int64{"east": -1, "west": -1}
+	counts := map[string]int{}
+	for i, raw := range drainPayloads(t, dst, "events", 0) {
+		env, err := DecodeEnvelope(raw)
+		if err != nil {
+			t.Fatalf("destination message %d: %v", i, err)
+		}
+		if env.Seq <= lastSeq[env.Origin] {
+			t.Fatalf("origin %s: seq %d after %d — per-origin order broken", env.Origin, env.Seq, lastSeq[env.Origin])
+		}
+		lastSeq[env.Origin] = env.Seq
+		counts[env.Origin]++
+		if want := byte('e'); env.Origin == "west" {
+			want = 'w'
+		} else if env.Payload[0] != want {
+			t.Fatalf("origin %s carries payload %q", env.Origin, env.Payload)
+		}
+	}
+	if counts["east"] != n || counts["west"] != n {
+		t.Fatalf("per-origin counts %v, want %d each", counts, n)
+	}
+}
+
+func TestMirrorMakerEnvelopesCompressedWrappers(t *testing.T) {
+	src, dst := newMirrorBroker(t, 0), newMirrorBroker(t, 1)
+	set := NewMessageSet([]byte("a"), []byte("b"), []byte("c"))
+	wrapped, err := set.Compress()
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := src.Produce("events", 0, wrapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm, err := NewMirrorMaker(src, dst, MirrorConfig{
+		Topics:         []string{"events"},
+		CheckpointPath: filepath.Join(t.TempDir(), "mirror.checkpoint"),
+		Origin:         "east",
+		GlobalOrder:    true,
+		FetchWait:      10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mm.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer mm.Close()
+	waitMirrored(t, dst, "events", 3)
+	for i, raw := range drainPayloads(t, dst, "events", 0) {
+		env, err := DecodeEnvelope(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if env.Seq != off || env.Sub != i {
+			t.Fatalf("inner message %d stamped (seq=%d sub=%d), want (seq=%d sub=%d)",
+				i, env.Seq, env.Sub, off, i)
+		}
+		if want := string([]byte{'a' + byte(i)}); string(env.Payload) != want {
+			t.Fatalf("inner message %d payload %q, want %q", i, env.Payload, want)
+		}
+	}
+}
+
+// TestMirrorMakerCheckpointRestart is the deterministic crash-window test:
+// the mirror is killed *between* producing a batch to the destination and
+// persisting its checkpoint — the at-least-once window — then restarted from
+// the checkpoint file. The restarted mirror must resume at exactly the
+// checkpointed offset, re-deliver at most the one in-flight batch, and lose
+// nothing.
+func TestMirrorMakerCheckpointRestart(t *testing.T) {
+	src, dst := newMirrorBroker(t, 0), newMirrorBroker(t, 1)
+	const n = 30
+	var offsets []int64
+	for i := 0; i < n; i++ {
+		off, err := src.Produce("events", 0, NewMessageSet([]byte(fmt.Sprintf("m%02d", i))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		offsets = append(offsets, off)
+	}
+	// Each message is 3 payload bytes + 10 overhead = 13 bytes; a 40-byte
+	// fetch window yields deterministic 3-message batches.
+	const batchMsgs = 3
+	cpPath := filepath.Join(t.TempDir(), "mirror.checkpoint")
+	mm, err := NewMirrorMaker(src, dst, MirrorConfig{
+		Topics:         []string{"events"},
+		CheckpointPath: cpPath,
+		Origin:         "east",
+		GlobalOrder:    true,
+		FetchMaxBytes:  40,
+		FetchWait:      10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill the partition's mirror goroutine after the third batch is in the
+	// destination but before its checkpoint lands: batches 1-2 are
+	// checkpointed, batch 3 is the in-flight redelivery window.
+	killedAt := make(chan int64, 1)
+	batches := 0
+	mm.afterProduce = func(topic string, partition int, next int64) {
+		batches++
+		if batches == 3 {
+			killedAt <- next
+			runtime.Goexit() // simulated crash: wg.Done runs via defer, checkpoint does not
+		}
+	}
+	if err := mm.Start(); err != nil {
+		t.Fatal(err)
+	}
+	var next3 int64
+	select {
+	case next3 = <-killedAt:
+	case <-time.After(10 * time.Second):
+		t.Fatal("mirror never reached the third batch")
+	}
+	mm.Close()
+
+	// The checkpoint on disk must be the end of batch 2, not batch 3.
+	wantCP := offsets[2*batchMsgs] // start offset of message 7 = end of batch 2
+	cp, ok := mm.Checkpoint("events", 0)
+	if !ok || cp != wantCP {
+		t.Fatalf("checkpoint after kill = %d (ok=%v), want %d", cp, ok, wantCP)
+	}
+	if data, err := os.ReadFile(cpPath); err != nil || len(data) == 0 {
+		t.Fatalf("checkpoint file unreadable: %q, %v", data, err)
+	}
+	if next3 <= wantCP {
+		t.Fatalf("batch 3 ended at %d, not past the checkpoint %d", next3, wantCP)
+	}
+
+	// Restart: a fresh MirrorMaker over the same checkpoint file.
+	mm2, err := NewMirrorMaker(src, dst, MirrorConfig{
+		Topics:         []string{"events"},
+		CheckpointPath: cpPath,
+		Origin:         "east",
+		GlobalOrder:    true,
+		FetchMaxBytes:  40,
+		FetchWait:      10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := mm2.Checkpoint("events", 0); !ok || got != wantCP {
+		t.Fatalf("restarted mirror resumes at %d (ok=%v), want checkpointed %d", got, ok, wantCP)
+	}
+	if err := mm2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer mm2.Close()
+	waitMirrored(t, dst, "events", n+batchMsgs)
+
+	// Zero loss, bounded redelivery: every source offset delivered, only the
+	// in-flight batch twice, first occurrences in source order.
+	seen := map[int64]int{}
+	lastSeq := int64(-1)
+	raws := drainPayloads(t, dst, "events", 0)
+	for i, raw := range raws {
+		env, err := DecodeEnvelope(raw)
+		if err != nil {
+			t.Fatalf("destination message %d: %v", i, err)
+		}
+		if seen[env.Seq] == 0 {
+			if env.Seq <= lastSeq {
+				t.Fatalf("first occurrence of seq %d after %d — causal order broken", env.Seq, lastSeq)
+			}
+			lastSeq = env.Seq
+		}
+		seen[env.Seq]++
+	}
+	for i, off := range offsets {
+		if seen[off] == 0 {
+			t.Fatalf("message %d (source offset %d) lost across the mirror restart", i, off)
+		}
+	}
+	dups := len(raws) - len(seen)
+	if dups != batchMsgs {
+		t.Fatalf("redelivered %d messages, want exactly the killed batch (%d)", dups, batchMsgs)
+	}
+	for i, off := range offsets {
+		wantCopies := 1
+		if i >= 2*batchMsgs && i < 3*batchMsgs {
+			wantCopies = 2
+		}
+		if seen[off] != wantCopies {
+			t.Fatalf("message %d (offset %d) delivered %d times, want %d", i, off, seen[off], wantCopies)
+		}
+	}
+}
+
+// TestMirrorMakerRejectsCorruptCheckpoint: silently restarting from zero
+// would re-mirror a whole cluster; a corrupt checkpoint must be an error.
+func TestMirrorMakerRejectsCorruptCheckpoint(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "mirror.checkpoint")
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src, dst := newMirrorBroker(t, 0), newMirrorBroker(t, 1)
+	_, err := NewMirrorMaker(src, dst, MirrorConfig{Topics: []string{"t"}, CheckpointPath: path})
+	if err == nil {
+		t.Fatal("corrupt checkpoint accepted")
+	}
+}
+
+// TestStaticClientRidesFailover drives the TCP client against a 2-broker
+// ISR cluster: it must find the leader by walking the address list, and
+// re-find it after the leader dies.
+func TestStaticClientRidesFailover(t *testing.T) {
+	dirs := []string{t.TempDir(), t.TempDir()}
+	c, err := NewReplicatedCluster(dirs, BrokerConfig{PartitionsPerTopic: 1}, ReplicatedConfig{
+		Cluster: "static", Replicas: 2, MinISR: 1,
+		FetchWait: 20 * time.Millisecond, LagTimeout: 200 * time.Millisecond,
+		AckTimeout: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	var addrs []string
+	for _, rb := range c.Brokers() {
+		addr, err := rb.Broker().Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs = append(addrs, addr)
+	}
+	if err := c.AddTopic("events"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WaitForISR("events", 2, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	sc := NewStaticClient(addrs, 2*time.Second)
+	defer sc.Close()
+	if n, err := sc.Partitions("events"); err != nil || n != 1 {
+		t.Fatalf("partitions: %d, %v", n, err)
+	}
+	off1, err := sc.Produce("events", 0, NewMessageSet([]byte("before")))
+	if err != nil {
+		t.Fatalf("produce via static client: %v", err)
+	}
+	leader, err := c.LeaderOf("events", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Kill(leader)
+	deadline := time.Now().Add(15 * time.Second)
+	var off2 int64
+	for {
+		off2, err = sc.Produce("events", 0, NewMessageSet([]byte("after")))
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("produce never succeeded after leader kill: %v", err)
+		}
+	}
+	if off2 <= off1 {
+		t.Fatalf("post-failover offset %d not past %d", off2, off1)
+	}
+	chunk, err := sc.Fetch("events", 0, off1, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs, err := Decode(chunk, off1)
+	if err != nil || len(msgs) < 2 {
+		t.Fatalf("post-failover fetch: %d msgs, %v", len(msgs), err)
+	}
+	if string(msgs[0].Payload) != "before" || string(msgs[1].Payload) != "after" {
+		t.Fatalf("payloads %q, %q", msgs[0].Payload, msgs[1].Payload)
+	}
+}
