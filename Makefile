@@ -13,7 +13,7 @@ RACE_PKGS = ./internal/rpc ./internal/resilience ./internal/failure ./internal/v
 # panic on arbitrary bytes.
 FUZZ_TARGETS = FuzzUnmarshal/internal/schema FuzzResolve/internal/schema FuzzDecode/internal/kafka
 
-.PHONY: all build vet test check test-race bench bench-json bench-smoke verify fuzz-smoke docs-check clean
+.PHONY: all build vet test check test-race bench bench-json bench-smoke verify fuzz-smoke docs-check bins scenarios clean
 
 all: check
 
@@ -67,6 +67,18 @@ verify:
 docs-check:
 	$(GO) run ./cmd/docscheck
 	$(GO) run ./cmd/metriclint
+
+# Every server and tool binary, built where the scenario suite (and an
+# operator poking at the stack) expects them.
+bins:
+	$(GO) build -o bin/ ./cmd/...
+
+# Tier-2 verification: the black-box scenario suite. Real OS processes, real
+# kill -9 mid-workload, convergence and no-acked-write-loss checked from the
+# outside, SLO reports in scenario-artifacts/. Knobs: SCENARIO_DURATION_SECS,
+# SCENARIO_ARTIFACTS. See EXPERIMENTS.md and scenarios/.
+scenarios: bins
+	./scenarios/run_all.sh
 
 # A short fuzzing pass over every fuzz target (3s each) — enough to replay
 # the seed corpus plus a burst of mutated inputs in CI.

@@ -1,0 +1,528 @@
+// Command datainfra-cluster launches the paper's full serving site as real
+// OS processes — N Voldemort nodes, the Espresso router+storage process, a
+// Databus relay, and an ISR-replicated Kafka broker set — waits for health,
+// drives a closed-loop social workload against all four, and emits an SLO
+// report as JSON: client-observed p99s, error budgets, burn rates, fault
+// windows, and black-box convergence verification of every acknowledged
+// write.
+//
+// It is the engine under scenarios/: the scripts start this driver, crash
+// processes out from under it with kill -9 using the state files it
+// publishes (see topology.go), restart them the same way, and then judge the
+// run purely by the driver's exit code and report.
+//
+// Exit codes: 0 — SLO gate and verification passed; 1 — gate failed (report
+// still written); 2 — the run could not be set up or completed.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"time"
+
+	"datainfra/internal/cluster"
+	"datainfra/internal/espresso"
+	"datainfra/internal/kafka"
+	"datainfra/internal/metrics"
+	"datainfra/internal/voldemort"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+// config is the parsed command line.
+type config struct {
+	dir         string
+	binDir      string
+	duration    time.Duration
+	workers     int
+	voldNodes   int
+	kafkaReps   int
+	kafkaParts  int
+	report      string
+	strict      bool
+	seed        int64
+	converge    time.Duration
+	keepWorkdir bool
+}
+
+func parseFlags() *config {
+	c := &config{}
+	flag.StringVar(&c.dir, "dir", "", "workdir for state/, logs/, data/ (default: a fresh temp dir)")
+	flag.StringVar(&c.binDir, "bin", "bin", "directory holding the server binaries (falls back to $PATH)")
+	flag.DurationVar(&c.duration, "duration", 30*time.Second, "workload duration")
+	flag.IntVar(&c.workers, "workers", 3, "closed-loop workers per subsystem")
+	flag.IntVar(&c.voldNodes, "voldemort-nodes", 3, "voldemort cluster size")
+	flag.IntVar(&c.kafkaReps, "kafka-replicas", 3, "kafka replication factor (one process, in-process replica set)")
+	flag.IntVar(&c.kafkaParts, "kafka-partitions", 2, "kafka partitions for the activity topic")
+	flag.StringVar(&c.report, "report", "", "SLO report path (default: <dir>/slo.json)")
+	flag.BoolVar(&c.strict, "slo-strict", false, "enforce latency and steady-state error budgets (for fault-free runs)")
+	flag.Int64Var(&c.seed, "seed", 1, "workload random seed")
+	flag.DurationVar(&c.converge, "converge-timeout", 60*time.Second, "post-run convergence deadline per subsystem")
+	flag.BoolVar(&c.keepWorkdir, "keep", false, "keep the workdir on success (always kept on failure)")
+	flag.Parse()
+	return c
+}
+
+// workloadStoreDef is the availability-leaning client view of the follow
+// store: N=2 with R=W=1 keeps serving through a single-node crash, hinted
+// handoff repairs the dark replica afterwards.
+func workloadStoreDef() *cluster.StoreDef {
+	return (&cluster.StoreDef{
+		Name: followStore, Engine: cluster.EngineBitcask,
+		Replication: 2, RequiredReads: 1, RequiredWrites: 1,
+		HintedHandoff: true, ReadRepair: true,
+	}).WithDefaults()
+}
+
+// verifyStoreDef is the consistency-leaning view of the same store: R=W=N
+// reads consult every replica, so a verified value survived the crash on
+// all of them (or was repaired back).
+func verifyStoreDef() *cluster.StoreDef {
+	d := workloadStoreDef()
+	d.RequiredReads = 2
+	d.RequiredWrites = 2
+	d.PreferredReads = 2
+	d.PreferredWrites = 2
+	return d
+}
+
+const followStore = "follow"
+
+func run() int {
+	cfg := parseFlags()
+	log.SetPrefix("datainfra-cluster: ")
+	log.SetFlags(log.Ltime | log.Lmicroseconds)
+
+	ownDir := cfg.dir == ""
+	if ownDir {
+		d, err := os.MkdirTemp("", "datainfra-cluster-")
+		if err != nil {
+			log.Printf("workdir: %v", err)
+			return 2
+		}
+		cfg.dir = d
+	}
+	if cfg.report == "" {
+		cfg.report = filepath.Join(cfg.dir, "slo.json")
+	}
+
+	topo, err := newTopology(cfg.dir)
+	if err != nil {
+		log.Printf("topology: %v", err)
+		return 2
+	}
+	defer topo.teardown()
+
+	site, err := buildSite(cfg, topo)
+	if err != nil {
+		log.Printf("site: %v", err)
+		return 2
+	}
+
+	log.Printf("waiting for %d processes to report healthy", len(topo.procs))
+	if err := topo.waitAllHealthy(30 * time.Second); err != nil {
+		log.Printf("health: %v", err)
+		return 2
+	}
+	if err := site.waitServing(60 * time.Second); err != nil {
+		log.Printf("readiness: %v", err)
+		return 2
+	}
+	if err := topo.markReady(); err != nil {
+		log.Printf("ready marker: %v", err)
+		return 2
+	}
+	log.Printf("topology ready (workdir %s); running workload for %v", cfg.dir, cfg.duration)
+
+	started := time.Now()
+	topo.startMonitor(250 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.duration)
+	var wg sync.WaitGroup
+	site.vold.run(ctx, &wg)
+	site.esp.run(ctx, &wg)
+	site.kaf.run(ctx, &wg)
+	site.dbus.run(ctx, &wg)
+	wg.Wait()
+	cancel()
+	windows := topo.stopMonitor()
+	log.Printf("workload done: %d fault windows observed", len(windows))
+
+	// Verification needs the whole topology back: a scenario script may
+	// restart a victim close to the end of the workload.
+	if err := topo.waitAllHealthy(cfg.converge); err != nil {
+		log.Printf("post-run health: %v", err)
+		// Keep going: the report should still show what the run saw. The
+		// verification phase will fail and fail the gate.
+	}
+
+	report := &sloReport{
+		Started:   started,
+		Duration:  cfg.duration.String(),
+		Topology:  fmt.Sprintf("voldemort=%d kafka-replicas=%d kafka-partitions=%d espresso=1 databus=1", cfg.voldNodes, cfg.kafkaReps, cfg.kafkaParts),
+		SLOStrict: cfg.strict,
+		Subsystems: map[string]*subsystemReport{
+			"voldemort": buildSubsystemReport(site.vold.stats, windows, cfg.strict),
+			"espresso":  buildSubsystemReport(site.esp.stats, windows, cfg.strict),
+			"kafka":     buildSubsystemReport(site.kaf.stats, windows, cfg.strict),
+			"databus":   buildSubsystemReport(site.dbus.stats, windows, cfg.strict),
+		},
+		FaultWindows: windows,
+	}
+
+	log.Printf("verifying convergence (deadline %v per subsystem)", cfg.converge)
+	maxCommit, _ := site.dbus.progress()
+	report.Verification = []verifyResult{
+		verifyVoldemort(site.verifyFactory, site.vold.ackedWrites(), cfg.converge),
+		verifyKafka(site.kafkaClient, site.kaf.ackedProduces(), cfg.kafkaParts, cfg.converge),
+		verifyEspresso(site.espressoAddr, site.esp.ackedWrites(), cfg.converge),
+		verifyDatabus(site.databusAddr, maxCommit, cfg.converge),
+	}
+	report.Servers = scrapeServers(topo)
+	finalizeReport(report)
+
+	if err := writeReport(cfg.report, report); err != nil {
+		log.Printf("writing report: %v", err)
+		return 2
+	}
+	site.close()
+	for _, v := range report.Verification {
+		log.Printf("verify %-10s checked=%-6d lost=%-4d pass=%v %s", v.Subsystem, v.Checked, v.Lost, v.Pass, v.Detail)
+	}
+	if !report.Pass {
+		log.Printf("SLO gate FAILED: %v (report: %s, logs: %s)", report.Faults, cfg.report, filepath.Join(cfg.dir, "logs"))
+		return 1
+	}
+	log.Printf("SLO gate passed (report: %s)", cfg.report)
+	if ownDir && !cfg.keepWorkdir && filepath.Dir(cfg.report) != cfg.dir {
+		// Only self-created temp dirs are cleaned, and only when the report
+		// lives elsewhere; a -dir workdir belongs to the caller (the
+		// scenario scripts read its logs and state after the run).
+		_ = os.RemoveAll(cfg.dir)
+	}
+	return 0
+}
+
+// site bundles the launched topology's client-side handles.
+type site struct {
+	clus          *cluster.Cluster
+	verifyFactory *voldemort.ClientFactory
+	kafkaClient   *kafka.StaticClient
+	espressoAddr  string
+	databusAddr   string
+	kafkaAddrs    []string
+	voldAddrs     []string
+
+	vold *voldemortWorkload
+	esp  *espressoWorkload
+	kaf  *kafkaWorkload
+	dbus *databusWorkload
+}
+
+func (s *site) close() {
+	s.vold.factory.Close()
+	s.verifyFactory.Close()
+	s.kafkaClient.Close()
+}
+
+// resolveBin finds a server binary: in -bin, else on $PATH.
+func resolveBin(binDir, name string) (string, error) {
+	p := filepath.Join(binDir, name)
+	if _, err := os.Stat(p); err == nil {
+		abs, err := filepath.Abs(p)
+		if err != nil {
+			return "", err
+		}
+		return abs, nil
+	}
+	return exec.LookPath(name)
+}
+
+// buildSite allocates ports, writes topology files, and launches every
+// process.
+func buildSite(cfg *config, topo *topology) (*site, error) {
+	s := &site{}
+
+	// Voldemort: one process per node, shared cluster.json/stores.json.
+	voldBin, err := resolveBin(cfg.binDir, "voldemort-server")
+	if err != nil {
+		return nil, err
+	}
+	clus := cluster.Uniform("scenario", cfg.voldNodes, 12, 0)
+	for _, n := range clus.Nodes {
+		port, err := freePort()
+		if err != nil {
+			return nil, err
+		}
+		n.Host, n.Port = "127.0.0.1", port
+		s.voldAddrs = append(s.voldAddrs, n.Addr())
+	}
+	s.clus = clus
+	clusterFile := filepath.Join(cfg.dir, "cluster.json")
+	if err := writeJSON(clusterFile, clus); err != nil {
+		return nil, err
+	}
+	storesFile := filepath.Join(cfg.dir, "stores.json")
+	if err := writeJSON(storesFile, []*cluster.StoreDef{workloadStoreDef()}); err != nil {
+		return nil, err
+	}
+	for _, n := range clus.Nodes {
+		mport, err := freePort()
+		if err != nil {
+			return nil, err
+		}
+		name := "voldemort-" + strconv.Itoa(n.ID)
+		err = topo.launch(&proc{
+			name: name, bin: voldBin,
+			args: []string{
+				"-node", strconv.Itoa(n.ID),
+				"-cluster", clusterFile,
+				"-stores", storesFile,
+				"-data", filepath.Join(cfg.dir, "data", name),
+				"-listen", n.Addr(),
+				"-metrics", "127.0.0.1:" + strconv.Itoa(mport),
+				"-sync-every", "0",
+			},
+			service: n.Addr(),
+			metrics: "127.0.0.1:" + strconv.Itoa(mport),
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Kafka: one process hosting the whole in-process replica set; broker i
+	// listens on base+i, so the base needs a consecutive free run.
+	kafkaBin, err := resolveBin(cfg.binDir, "kafka-broker")
+	if err != nil {
+		return nil, err
+	}
+	kbase, err := freePortRun(cfg.kafkaReps)
+	if err != nil {
+		return nil, err
+	}
+	kmetrics, err := freePort()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < cfg.kafkaReps; i++ {
+		s.kafkaAddrs = append(s.kafkaAddrs, "127.0.0.1:"+strconv.Itoa(kbase+i))
+	}
+	minISR := 2
+	if cfg.kafkaReps < 2 {
+		minISR = 1
+	}
+	err = topo.launch(&proc{
+		name: "kafka", bin: kafkaBin,
+		args: []string{
+			"-data", filepath.Join(cfg.dir, "data", "kafka"),
+			"-listen", s.kafkaAddrs[0],
+			"-metrics", "127.0.0.1:" + strconv.Itoa(kmetrics),
+			"-partitions", strconv.Itoa(cfg.kafkaParts),
+			"-replicas", strconv.Itoa(cfg.kafkaReps),
+			"-min-isr", strconv.Itoa(minISR),
+			"-topics", activityTopic,
+			"-flush-messages", "64",
+			"-flush-interval", "5ms",
+		},
+		service: s.kafkaAddrs[0],
+		metrics: "127.0.0.1:" + strconv.Itoa(kmetrics),
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Espresso: router + storage in one process, in-memory store.
+	espBin, err := resolveBin(cfg.binDir, "espresso-server")
+	if err != nil {
+		return nil, err
+	}
+	eport, err := freePort()
+	if err != nil {
+		return nil, err
+	}
+	emetrics, err := freePort()
+	if err != nil {
+		return nil, err
+	}
+	s.espressoAddr = "127.0.0.1:" + strconv.Itoa(eport)
+	err = topo.launch(&proc{
+		name: "espresso", bin: espBin,
+		args: []string{
+			"-listen", s.espressoAddr,
+			"-metrics", "127.0.0.1:" + strconv.Itoa(emetrics),
+		},
+		service: s.espressoAddr,
+		metrics: "127.0.0.1:" + strconv.Itoa(emetrics),
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Databus relay.
+	dbusBin, err := resolveBin(cfg.binDir, "databus-relay")
+	if err != nil {
+		return nil, err
+	}
+	dport, err := freePort()
+	if err != nil {
+		return nil, err
+	}
+	dmetrics, err := freePort()
+	if err != nil {
+		return nil, err
+	}
+	s.databusAddr = "127.0.0.1:" + strconv.Itoa(dport)
+	err = topo.launch(&proc{
+		name: "databus", bin: dbusBin,
+		args: []string{
+			"-listen", s.databusAddr,
+			"-metrics", "127.0.0.1:" + strconv.Itoa(dmetrics),
+		},
+		service: s.databusAddr,
+		metrics: "127.0.0.1:" + strconv.Itoa(dmetrics),
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Client-side handles and workload drivers.
+	workloadFactory := voldemort.NewClientFactory(clus, 2*time.Second)
+	s.verifyFactory = voldemort.NewClientFactory(clus, 2*time.Second)
+	s.kafkaClient = kafka.NewStaticClient(s.kafkaAddrs, 2*time.Second)
+	s.vold = &voldemortWorkload{
+		factory: workloadFactory, stats: newSubsystemStats("voldemort"),
+		workers: cfg.workers, seed: cfg.seed,
+	}
+	s.esp = &espressoWorkload{
+		base: s.espressoAddr, stats: newSubsystemStats("espresso"),
+		workers: cfg.workers, seed: cfg.seed,
+	}
+	s.kaf = &kafkaWorkload{
+		client: s.kafkaClient, stats: newSubsystemStats("kafka"),
+		workers: cfg.workers, partitions: cfg.kafkaParts,
+	}
+	s.dbus = &databusWorkload{
+		base: s.databusAddr, stats: newSubsystemStats("databus"), seed: cfg.seed,
+	}
+	return s, nil
+}
+
+// waitServing probes each subsystem's data plane: /healthz only proves the
+// debug mux is up (kafka mounts it before leader election finishes), so
+// readiness means an actual client operation succeeds.
+func (s *site) waitServing(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+
+	// Voldemort: the socket protocol answers ping on every node.
+	for i, addr := range s.voldAddrs {
+		st := voldemort.DialStore(followStore, addr, time.Second)
+		if err := pollUntil(deadline, func() error { return st.Ping() }); err != nil {
+			return fmt.Errorf("voldemort node %d (%s): %w", i, addr, err)
+		}
+	}
+
+	// Kafka: the topic resolves and every partition has an electable leader.
+	if err := pollUntil(deadline, func() error {
+		n, err := s.kafkaClient.Partitions(activityTopic)
+		if err != nil {
+			return err
+		}
+		for p := 0; p < n; p++ {
+			if _, _, err := s.kafkaClient.Offsets(activityTopic, p); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return fmt.Errorf("kafka: %w", err)
+	}
+
+	// Espresso: the router answers a document read (a 404 is an answer).
+	esp := espresso.NewHTTPClient("http://"+s.espressoAddr, nil)
+	if err := pollUntil(deadline, func() error {
+		_, err := esp.Get("Music", "Album", "readiness", "probe")
+		if errors.Is(err, espresso.ErrNoSuchDocument) {
+			return nil
+		}
+		return err
+	}); err != nil {
+		return fmt.Errorf("espresso: %w", err)
+	}
+
+	// Databus: /stats answers.
+	hc := &http.Client{Timeout: time.Second}
+	if err := pollUntil(deadline, func() error {
+		resp, err := hc.Get("http://" + s.databusAddr + "/stats")
+		if err != nil {
+			return err
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("stats: status %d", resp.StatusCode)
+		}
+		return nil
+	}); err != nil {
+		return fmt.Errorf("databus: %w", err)
+	}
+	return nil
+}
+
+// pollUntil retries fn every 200ms until it succeeds or the deadline passes.
+func pollUntil(deadline time.Time, fn func() error) error {
+	for {
+		err := fn()
+		if err == nil {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return err
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+// scrapeServers takes the final /metrics.json snapshot of every process for
+// the report's server-side section.
+func scrapeServers(topo *topology) map[string]serverMetricsReport {
+	out := map[string]serverMetricsReport{}
+	for _, p := range topo.procs {
+		samples, err := topo.scrape.Scrape(p.metrics)
+		if err != nil {
+			continue
+		}
+		r := serverMetricsReport{Counters: map[string]int64{}, P99Ms: map[string]float64{}}
+		for name, sm := range samples {
+			switch {
+			case sm.Value != nil:
+				r.Counters[name] = *sm.Value
+			case len(sm.Values) > 0:
+				r.Counters[name] = metrics.LabelCount(samples, name)
+			case sm.Histogram != nil:
+				r.P99Ms[name] = float64(sm.Histogram.P99Ns) / float64(time.Millisecond)
+			}
+		}
+		out[p.name] = r
+	}
+	return out
+}
+
+// writeJSON marshals v to path, pretty-printed.
+func writeJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,201 @@
+// The SLO report: the run's client-observed service levels, error budgets in
+// the SRE sense (allowed error fraction over the run, burn rate as the ratio
+// of actual to allowed), and the attribution of errors to the fault windows
+// the health monitor observed.
+//
+// Attribution is what makes a kill -9 scenario meaningful: a crash is
+// *supposed* to cost availability while the process is down, so errors inside
+// a fault window (padded by a grace interval for detection lag and recovery
+// tails) spend a separate budget from errors during steady state. The gate
+// demands near-perfect availability outside fault windows and bounded burn
+// inside them.
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"time"
+)
+
+// Grace padding around an observed fault window when classifying errors:
+// the probe notices a crash up to one interval late (pre), and clients keep
+// failing briefly after /healthz returns — leader re-election, socket-pool
+// redial — so the window extends past recovery (post).
+const (
+	faultGracePre  = 2 * time.Second
+	faultGracePost = 10 * time.Second
+)
+
+// sloBudget is one subsystem's SLO targets.
+type sloBudget struct {
+	P99         time.Duration // latency budget (steady-state; informational under faults)
+	ErrorBudget float64       // allowed error fraction outside fault windows
+	FaultBudget float64       // allowed error fraction counting everything, fault windows included
+}
+
+// budgets returns the per-subsystem targets. Outside fault windows the stack
+// must be essentially clean; with a crash in the run, half the operations
+// failing overall would still mean something is stuck after restart.
+func budgets() map[string]sloBudget {
+	return map[string]sloBudget{
+		"voldemort": {P99: 150 * time.Millisecond, ErrorBudget: 0.01, FaultBudget: 0.5},
+		"espresso":  {P99: 250 * time.Millisecond, ErrorBudget: 0.01, FaultBudget: 0.5},
+		"kafka":     {P99: 500 * time.Millisecond, ErrorBudget: 0.01, FaultBudget: 0.5},
+		"databus":   {P99: 250 * time.Millisecond, ErrorBudget: 0.01, FaultBudget: 0.5},
+	}
+}
+
+// errorBudgetReport is the error-budget arithmetic for one subsystem.
+type errorBudgetReport struct {
+	AllowedFraction float64 `json:"allowedFraction"` // budget outside fault windows
+	ActualFraction  float64 `json:"actualFraction"`  // errors/ops, all included
+	BurnRate        float64 `json:"burnRate"`        // out-of-window fraction / allowed
+}
+
+// subsystemReport is one subsystem's section of the SLO report.
+type subsystemReport struct {
+	Ops    int64 `json:"ops"`
+	Errors int64 `json:"errors"`
+
+	ErrorsInFaultWindow  int64 `json:"errorsInFaultWindow"`
+	ErrorsOutsideWindows int64 `json:"errorsOutsideWindows"`
+
+	Availability          float64 `json:"availability"`          // 1 - errors/ops
+	AvailabilityExclFault float64 `json:"availabilityExclFault"` // 1 - outside-errors/ops
+
+	P50Ms float64 `json:"p50Ms"`
+	P99Ms float64 `json:"p99Ms"`
+	MaxMs float64 `json:"maxMs"`
+
+	P99BudgetMs float64           `json:"p99BudgetMs"`
+	P99Met      bool              `json:"p99Met"`
+	ErrorBudget errorBudgetReport `json:"errorBudget"`
+
+	Pass   bool   `json:"pass"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// serverMetricsReport is the final scrape of one process's debug mux:
+// scalar counters/gauges, vec sums, and histogram p99s in milliseconds.
+type serverMetricsReport struct {
+	Counters map[string]int64   `json:"counters,omitempty"`
+	P99Ms    map[string]float64 `json:"p99Ms,omitempty"`
+}
+
+// sloReport is the run's full JSON artifact.
+type sloReport struct {
+	Started   time.Time `json:"started"`
+	Duration  string    `json:"duration"`
+	Topology  string    `json:"topology"`
+	SLOStrict bool      `json:"sloStrict"`
+
+	Subsystems   map[string]*subsystemReport    `json:"subsystems"`
+	FaultWindows []faultWindow                  `json:"faultWindows"`
+	Verification []verifyResult                 `json:"verification"`
+	Servers      map[string]serverMetricsReport `json:"servers,omitempty"`
+
+	Pass   bool     `json:"pass"`
+	Faults []string `json:"failures,omitempty"` // human-readable gate violations
+}
+
+// inFaultWindow reports whether t falls inside any window padded by grace.
+func inFaultWindow(t time.Time, windows []faultWindow) bool {
+	for _, w := range windows {
+		if t.After(w.Start.Add(-faultGracePre)) && t.Before(w.End.Add(faultGracePost)) {
+			return true
+		}
+	}
+	return false
+}
+
+// buildSubsystemReport folds one stats ledger plus the fault windows into a
+// report section and applies the gate for that subsystem.
+func buildSubsystemReport(s *subsystemStats, windows []faultWindow, strict bool) *subsystemReport {
+	ops, errs, errTimes := s.snapshot()
+	b, ok := budgets()[s.name]
+	if !ok {
+		// A subsystem without explicit targets gets the strictest ones;
+		// also keeps the burn-rate division well-defined (JSON cannot
+		// encode Inf).
+		b = sloBudget{P99: 150 * time.Millisecond, ErrorBudget: 0.01, FaultBudget: 0.5}
+	}
+	r := &subsystemReport{
+		Ops: ops, Errors: errs,
+		P50Ms:       ms(s.hist.Percentile(50)),
+		P99Ms:       ms(s.hist.Percentile(99)),
+		MaxMs:       ms(s.hist.Max()),
+		P99BudgetMs: ms(b.P99),
+	}
+	for _, t := range errTimes {
+		if inFaultWindow(t, windows) {
+			r.ErrorsInFaultWindow++
+		} else {
+			r.ErrorsOutsideWindows++
+		}
+	}
+	if ops > 0 {
+		r.Availability = 1 - float64(errs)/float64(ops)
+		r.AvailabilityExclFault = 1 - float64(r.ErrorsOutsideWindows)/float64(ops)
+	}
+	r.ErrorBudget = errorBudgetReport{
+		AllowedFraction: b.ErrorBudget,
+		ActualFraction:  frac(errs, ops),
+		BurnRate:        frac(r.ErrorsOutsideWindows, ops) / b.ErrorBudget,
+	}
+	r.P99Met = s.hist.Percentile(99) <= b.P99
+
+	// The gate. Always: the subsystem must have done real work, errors
+	// outside fault windows must fit the steady-state budget, and overall
+	// errors must fit the fault budget. Strict runs (no injected faults)
+	// additionally demand the latency budget and a clean overall error rate.
+	r.Pass = true
+	switch {
+	case ops == 0:
+		r.Pass, r.Detail = false, "no operations completed"
+	case frac(r.ErrorsOutsideWindows, ops) > b.ErrorBudget:
+		r.Pass, r.Detail = false, "error budget exhausted outside fault windows"
+	case frac(errs, ops) > b.FaultBudget:
+		r.Pass, r.Detail = false, "error rate excessive even accounting for fault windows"
+	case strict && !r.P99Met:
+		r.Pass, r.Detail = false, "p99 latency budget missed"
+	case strict && frac(errs, ops) > b.ErrorBudget:
+		r.Pass, r.Detail = false, "error budget exhausted (strict)"
+	}
+	return r
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+func frac(n, d int64) float64 {
+	if d == 0 {
+		return 0
+	}
+	return float64(n) / float64(d)
+}
+
+// finalizeReport applies the cross-cutting gate: every subsystem section and
+// every verification verdict must pass.
+func finalizeReport(r *sloReport) {
+	r.Pass = true
+	for name, sub := range r.Subsystems {
+		if !sub.Pass {
+			r.Pass = false
+			r.Faults = append(r.Faults, name+": "+sub.Detail)
+		}
+	}
+	for _, v := range r.Verification {
+		if !v.Pass {
+			r.Pass = false
+			r.Faults = append(r.Faults, "verify "+v.Subsystem+": "+v.Detail)
+		}
+	}
+}
+
+// writeReport emits the report JSON (pretty-printed; CI archives it).
+func writeReport(path string, r *sloReport) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

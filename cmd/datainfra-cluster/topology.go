@@ -1,0 +1,246 @@
+// Topology management: launching the site's servers as real OS processes,
+// tracking them through externally-induced crashes and restarts, and turning
+// health-probe transitions into fault windows for the SLO report.
+//
+// The driver deliberately holds the servers at arm's length. Every process is
+// started from a binary with flags, observed only through its debug mux and
+// its data-plane port, and killed with signals. Scenario scripts get the same
+// interface through state files:
+//
+//	<dir>/state/<name>.pid   pid of the running process (rewritten on restart)
+//	<dir>/state/<name>.cmd   the full command line, one space-joined line
+//	<dir>/state/ready        created once the whole topology passed readiness
+//
+// so `kill -9 $(cat state/voldemort-1.pid)` followed by re-running the .cmd
+// line is a faithful crash-restart — the same operations an operator would
+// perform, with no driver cooperation.
+package main
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"datainfra/internal/metrics"
+)
+
+// proc is one managed server process.
+type proc struct {
+	name    string   // state-file stem, e.g. "voldemort-1"
+	bin     string   // absolute binary path
+	args    []string // flags; must not contain spaces (state-file protocol)
+	service string   // data-plane host:port (informational)
+	metrics string   // debug-mux host:port — health and scrape target
+}
+
+// faultWindow is one observed unavailability interval of a process, from the
+// first failed health probe to the first succeeding one.
+type faultWindow struct {
+	Target string    `json:"target"`
+	Start  time.Time `json:"start"`
+	End    time.Time `json:"end"`
+}
+
+// topology owns the process set and the health monitor.
+type topology struct {
+	dir    string // workdir: state/, logs/, data/ live under it
+	procs  []*proc
+	scrape *metrics.ScrapeClient
+
+	mu      sync.Mutex
+	windows []faultWindow
+	open    map[string]int // target name -> index of open window
+
+	stopMon chan struct{}
+	monDone sync.WaitGroup
+}
+
+func newTopology(dir string) (*topology, error) {
+	for _, sub := range []string{"state", "logs", "data"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, err
+		}
+	}
+	return &topology{
+		dir:     dir,
+		scrape:  metrics.NewScrapeClient(2 * time.Second),
+		open:    map[string]int{},
+		stopMon: make(chan struct{}),
+	}, nil
+}
+
+func (t *topology) stateFile(name, ext string) string {
+	return filepath.Join(t.dir, "state", name+"."+ext)
+}
+
+// launch starts a process, routes its output to logs/<name>.log, and writes
+// the pid and cmd state files. The driver never Waits on the child beyond
+// reaping — external kill -9 is part of normal operation.
+func (t *topology) launch(p *proc) error {
+	for _, a := range p.args {
+		if strings.ContainsAny(a, " \t\n") {
+			return fmt.Errorf("%s: argument %q contains whitespace; the state-file restart protocol cannot represent it", p.name, a)
+		}
+	}
+	logf, err := os.OpenFile(filepath.Join(t.dir, "logs", p.name+".log"),
+		os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	cmd := exec.Command(p.bin, p.args...)
+	cmd.Stdout = logf
+	cmd.Stderr = logf
+	if err := cmd.Start(); err != nil {
+		logf.Close()
+		return fmt.Errorf("starting %s: %w", p.name, err)
+	}
+	logf.Close()  // the child holds its own fd now
+	go cmd.Wait() // reap if it dies while still our child
+	if err := os.WriteFile(t.stateFile(p.name, "pid"),
+		[]byte(strconv.Itoa(cmd.Process.Pid)+"\n"), 0o644); err != nil {
+		return err
+	}
+	line := p.bin + " " + strings.Join(p.args, " ") + "\n"
+	if err := os.WriteFile(t.stateFile(p.name, "cmd"), []byte(line), 0o644); err != nil {
+		return err
+	}
+	t.procs = append(t.procs, p)
+	return nil
+}
+
+// waitAllHealthy blocks until every process's debug mux answers /healthz.
+func (t *topology) waitAllHealthy(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for _, p := range t.procs {
+		left := time.Until(deadline)
+		if left <= 0 {
+			left = time.Second
+		}
+		if err := t.scrape.WaitHealthy(p.metrics, left); err != nil {
+			return fmt.Errorf("%s: %w", p.name, err)
+		}
+	}
+	return nil
+}
+
+// markReady drops the state/ready marker scenario scripts synchronise on.
+func (t *topology) markReady() error {
+	return os.WriteFile(filepath.Join(t.dir, "state", "ready"), []byte("ok\n"), 0o644)
+}
+
+// startMonitor begins probing every process's /healthz every interval,
+// recording unhealthy intervals as fault windows.
+func (t *topology) startMonitor(interval time.Duration) {
+	for _, p := range t.procs {
+		p := p
+		t.monDone.Add(1)
+		go func() {
+			defer t.monDone.Done()
+			healthy := true
+			tick := time.NewTicker(interval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-t.stopMon:
+					return
+				case <-tick.C:
+				}
+				now := time.Now()
+				up := t.scrape.Healthy(p.metrics)
+				if up == healthy {
+					continue
+				}
+				healthy = up
+				t.mu.Lock()
+				if !up {
+					t.open[p.name] = len(t.windows)
+					t.windows = append(t.windows, faultWindow{Target: p.name, Start: now})
+				} else if i, ok := t.open[p.name]; ok {
+					t.windows[i].End = now
+					delete(t.open, p.name)
+				}
+				t.mu.Unlock()
+			}
+		}()
+	}
+}
+
+// stopMonitor halts probing and closes any still-open windows at now.
+func (t *topology) stopMonitor() []faultWindow {
+	close(t.stopMon)
+	t.monDone.Wait()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := time.Now()
+	for name, i := range t.open {
+		t.windows[i].End = now
+		delete(t.open, name)
+	}
+	return append([]faultWindow(nil), t.windows...)
+}
+
+// teardown kills every process by its *current* pid file — a process the
+// scenario script crashed and restarted has a different pid than the one the
+// driver launched, and the pid file is the source of truth.
+func (t *topology) teardown() {
+	for _, p := range t.procs {
+		data, err := os.ReadFile(t.stateFile(p.name, "pid"))
+		if err != nil {
+			continue
+		}
+		pid, err := strconv.Atoi(strings.TrimSpace(string(data)))
+		if err != nil || pid <= 0 {
+			continue
+		}
+		_ = syscall.Kill(pid, syscall.SIGKILL)
+	}
+}
+
+// freePort reserves an ephemeral TCP port by binding :0 and releasing it.
+// The tiny race against another process is accepted: server startup fails
+// loudly, and the scenario retries by rerunning.
+func freePort() (int, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, err
+	}
+	port := l.Addr().(*net.TCPAddr).Port
+	l.Close()
+	return port, nil
+}
+
+// freePortRun finds a base port with n consecutive free ports — the
+// replicated kafka-broker process listens on -listen, -listen+1, ... for its
+// in-process replica set.
+func freePortRun(n int) (int, error) {
+	for attempt := 0; attempt < 64; attempt++ {
+		base, err := freePort()
+		if err != nil {
+			return 0, err
+		}
+		ok := true
+		var held []net.Listener
+		for i := 0; i < n; i++ {
+			l, err := net.Listen("tcp", fmt.Sprintf("127.0.0.1:%d", base+i))
+			if err != nil {
+				ok = false
+				break
+			}
+			held = append(held, l)
+		}
+		for _, l := range held {
+			l.Close()
+		}
+		if ok {
+			return base, nil
+		}
+	}
+	return 0, fmt.Errorf("no run of %d consecutive free ports found", n)
+}

@@ -1,0 +1,230 @@
+// Post-run convergence verification, entirely from the outside: client
+// protocols and /metrics only. The contract each check enforces:
+//
+//   - Voldemort: every acked put is readable at R=W=N quorum with a sequence
+//     number at least as high as the last acked one (monotone, because each
+//     key has a single sequential writer). Hinted handoff and read repair are
+//     given a bounded window to reconverge after the restart.
+//   - Kafka: for every partition, the log end reaches past the highest acked
+//     offset, and a full drain satisfies the formal replicated-log checker —
+//     every acked message present at its exact offset, consumption gapless.
+//   - Espresso: every acked document PUT reads back with a monotone sequence.
+//   - Databus: the relay's last SCN covers the highest acked commit and a
+//     fresh subscriber can stream to it.
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"datainfra/internal/consistency"
+	"datainfra/internal/espresso"
+	"datainfra/internal/kafka"
+	"datainfra/internal/voldemort"
+)
+
+// verifyResult is one subsystem's verdict for the SLO report.
+type verifyResult struct {
+	Subsystem string `json:"subsystem"`
+	Checked   int    `json:"checked"` // units examined (keys, messages, docs, SCNs)
+	Lost      int    `json:"lost"`    // acked writes that never converged
+	Pass      bool   `json:"pass"`
+	Detail    string `json:"detail,omitempty"`
+}
+
+// verifyVoldemort reads every acked key back at full quorum, retrying until
+// the convergence deadline — the restarted node needs its hinted writes
+// pushed back before R=N reads return the merged view.
+func verifyVoldemort(factory *voldemort.ClientFactory, acked ackedSeqs, deadline time.Duration) verifyResult {
+	res := verifyResult{Subsystem: "voldemort", Checked: len(acked)}
+	cl, err := factory.Client(verifyStoreDef(), 9999)
+	if err != nil {
+		res.Detail = fmt.Sprintf("building verifier client: %v", err)
+		res.Lost = len(acked)
+		return res
+	}
+	pending := make(map[string]int64, len(acked))
+	for k, v := range acked {
+		pending[k] = v
+	}
+	until := time.Now().Add(deadline)
+	for len(pending) > 0 && time.Now().Before(until) {
+		for k, want := range pending {
+			val, ok, err := cl.Get([]byte(k))
+			if err != nil || !ok {
+				continue
+			}
+			seq, valid := parseSeq(string(val))
+			if valid && seq >= want {
+				delete(pending, k)
+			}
+		}
+		if len(pending) > 0 {
+			time.Sleep(500 * time.Millisecond)
+		}
+	}
+	res.Lost = len(pending)
+	res.Pass = res.Lost == 0
+	if !res.Pass {
+		for k, want := range pending {
+			res.Detail = fmt.Sprintf("first unconverged key %q (want seq >= %d); %d total", k, want, res.Lost)
+			break
+		}
+	}
+	return res
+}
+
+// verifyKafka drains every partition and runs the formal replicated-log
+// checker against the acked ledger.
+func verifyKafka(client *kafka.StaticClient, acked map[int][]consistency.ProducedMsg, partitions int, deadline time.Duration) verifyResult {
+	res := verifyResult{Subsystem: "kafka"}
+	until := time.Now().Add(deadline)
+	for p := 0; p < partitions; p++ {
+		ackedMsgs := acked[p]
+		res.Checked += len(ackedMsgs)
+		var maxAcked int64 = -1
+		for _, m := range ackedMsgs {
+			if m.Offset > maxAcked {
+				maxAcked = m.Offset
+			}
+		}
+		// The log end must cover every acked offset: the consumer-visible
+		// high watermark reaches the producer's acks after failover.
+		var earliest, latest int64
+		for {
+			var err error
+			earliest, latest, err = client.Offsets(activityTopic, p)
+			if err == nil && latest > maxAcked {
+				break
+			}
+			if time.Now().After(until) {
+				res.Lost += len(ackedMsgs)
+				res.Detail = fmt.Sprintf("partition %d: log end %d never reached acked offset %d (err=%v)", p, latest, maxAcked, err)
+				res.Pass = false
+				return res
+			}
+			time.Sleep(200 * time.Millisecond)
+		}
+		consumed, err := drainPartition(client, p, earliest, latest)
+		if err != nil {
+			res.Lost += len(ackedMsgs)
+			res.Detail = fmt.Sprintf("partition %d: drain: %v", p, err)
+			res.Pass = false
+			return res
+		}
+		check := consistency.ReplicatedPartition{
+			Topic: activityTopic, Partition: p,
+			Start: earliest, End: latest,
+			Acked: ackedMsgs, Consumed: consumed,
+		}
+		if err := consistency.CheckKafkaReplicated(check); err != nil {
+			res.Lost++
+			res.Detail = fmt.Sprintf("partition %d: %v", p, err)
+		}
+	}
+	res.Pass = res.Lost == 0
+	return res
+}
+
+// drainPartition fetches [from, to) sequentially and decodes into the
+// consistency checker's consumed-message form.
+func drainPartition(client *kafka.StaticClient, partition int, from, to int64) ([]consistency.ConsumedMsg, error) {
+	var out []consistency.ConsumedMsg
+	offset := from
+	for offset < to {
+		chunk, err := client.Fetch(activityTopic, partition, offset, 1<<20)
+		if err != nil {
+			return nil, err
+		}
+		msgs, err := kafka.Decode(chunk, offset)
+		if err != nil {
+			return nil, err
+		}
+		if len(msgs) == 0 {
+			return nil, fmt.Errorf("empty fetch at offset %d (log end %d)", offset, to)
+		}
+		for _, m := range msgs {
+			out = append(out, consistency.ConsumedMsg{NextOffset: m.NextOffset, Payload: string(m.Payload)})
+			offset = m.NextOffset
+		}
+	}
+	return out, nil
+}
+
+// verifyEspresso reads every acked document back through the router.
+func verifyEspresso(base string, acked ackedSeqs, deadline time.Duration) verifyResult {
+	res := verifyResult{Subsystem: "espresso", Checked: len(acked)}
+	cl := espresso.NewHTTPClient("http://"+base, nil)
+	pending := make(map[string]int64, len(acked))
+	for k, v := range acked {
+		pending[k] = v
+	}
+	until := time.Now().Add(deadline)
+	for len(pending) > 0 && time.Now().Before(until) {
+		for k, want := range pending {
+			artist, album, ok := strings.Cut(k, "/")
+			if !ok {
+				delete(pending, k)
+				continue
+			}
+			doc, err := cl.Get("Music", "Album", artist, album)
+			if err != nil {
+				continue
+			}
+			title, _ := doc.Doc["title"].(string)
+			seq, valid := parseSeq(title)
+			if valid && seq >= want {
+				delete(pending, k)
+			}
+		}
+		if len(pending) > 0 {
+			time.Sleep(200 * time.Millisecond)
+		}
+	}
+	res.Lost = len(pending)
+	res.Pass = res.Lost == 0
+	if !res.Pass {
+		for k, want := range pending {
+			res.Detail = fmt.Sprintf("first unconverged doc %q (want seq >= %d); %d total", k, want, res.Lost)
+			break
+		}
+	}
+	return res
+}
+
+// verifyDatabus confirms the relay covers the highest acked commit SCN and a
+// fresh subscriber can stream up to it.
+func verifyDatabus(base string, maxCommit int64, deadline time.Duration) verifyResult {
+	res := verifyResult{Subsystem: "databus", Checked: int(maxCommit)}
+	if maxCommit == 0 {
+		res.Pass = true
+		return res
+	}
+	hc := &http.Client{Timeout: 2 * time.Second}
+	var since int64
+	until := time.Now().Add(deadline)
+	for time.Now().Before(until) {
+		events, err := fetchStream(hc, base, since, 1000)
+		if err != nil {
+			time.Sleep(200 * time.Millisecond)
+			continue
+		}
+		for _, e := range events {
+			if e.SCN > since {
+				since = e.SCN
+			}
+		}
+		if since >= maxCommit {
+			res.Pass = true
+			return res
+		}
+		if len(events) == 0 {
+			time.Sleep(100 * time.Millisecond)
+		}
+	}
+	res.Lost = int(maxCommit - since)
+	res.Detail = fmt.Sprintf("subscriber stalled at SCN %d, acked commits reach %d", since, maxCommit)
+	return res
+}

@@ -1,0 +1,439 @@
+// The closed-loop social workload: Zipfian Company-Follow reads and writes
+// against Voldemort, profile-style documents against Espresso, the change
+// fan-out through the Databus relay, and activity events through Kafka.
+//
+// Every subsystem driver keeps two kinds of state:
+//
+//   - latency/error accounting (subsystemStats) for the SLO report, with
+//     per-error timestamps so errors can later be attributed to fault windows;
+//   - the acked-write ledger the verification phase replays from the outside:
+//     a write enters the ledger only after the server acknowledged it, so
+//     "no acked write lost" is checkable black-box.
+//
+// Writers shard the key space by worker (worker w owns ids ≡ w mod W), which
+// makes per-key writes sequential and lets verification demand monotone
+// sequence numbers instead of exact values — robust to last-write-wins
+// resolution across a failover.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"datainfra/internal/consistency"
+	"datainfra/internal/espresso"
+	"datainfra/internal/kafka"
+	"datainfra/internal/metrics"
+	"datainfra/internal/voldemort"
+	"datainfra/internal/workload"
+)
+
+// subsystemStats accumulates one subsystem's client-side view of the run.
+type subsystemStats struct {
+	name string
+	hist *metrics.FixedHistogram
+
+	mu       sync.Mutex
+	ops      int64
+	errs     int64
+	errTimes []time.Time
+}
+
+func newSubsystemStats(name string) *subsystemStats {
+	return &subsystemStats{name: name, hist: metrics.NewFixedHistogram()}
+}
+
+// record accounts one operation that started at start.
+func (s *subsystemStats) record(start time.Time, err error) {
+	s.hist.Observe(time.Since(start))
+	s.mu.Lock()
+	s.ops++
+	if err != nil {
+		s.errs++
+		s.errTimes = append(s.errTimes, time.Now())
+	}
+	s.mu.Unlock()
+}
+
+// snapshot returns (ops, errs, error timestamps).
+func (s *subsystemStats) snapshot() (int64, int64, []time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ops, s.errs, append([]time.Time(nil), s.errTimes...)
+}
+
+// ackedSeqs is a worker-local ledger of the highest acknowledged sequence
+// number per key. Workers own disjoint keys, so merging is collision-free.
+type ackedSeqs map[string]int64
+
+func mergeAcked(parts []ackedSeqs) ackedSeqs {
+	out := ackedSeqs{}
+	for _, p := range parts {
+		for k, v := range p {
+			if v > out[k] {
+				out[k] = v
+			}
+		}
+	}
+	return out
+}
+
+// errBackoff pauses a closed-loop worker after a failed operation. Without
+// it a worker facing a dead server spins at connection-refused speed and the
+// op count stops meaning anything; with it the loop stays closed — one
+// outstanding request per worker — even through an outage.
+func errBackoff(ctx context.Context, err error) {
+	if err == nil {
+		return
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+// seqValue renders a seq-prefixed value and parseSeq recovers the prefix.
+func seqValue(seq int64, body string) string {
+	return fmt.Sprintf("%d|%s", seq, body)
+}
+
+func parseSeq(v string) (int64, bool) {
+	i := strings.IndexByte(v, '|')
+	if i < 0 {
+		return 0, false
+	}
+	var seq int64
+	if _, err := fmt.Sscanf(v[:i], "%d", &seq); err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// --- Voldemort: Company-Follow read/write mix --------------------------------
+
+const (
+	followKeyspace = "follow"
+	followMembers  = 2000 // member-id domain per run
+)
+
+// voldemortWorkload drives the follow store with the paper's 60/40 mix.
+type voldemortWorkload struct {
+	factory *voldemort.ClientFactory
+	stats   *subsystemStats
+	workers int
+	seed    int64
+
+	// acked[w] is touched only by worker w while running and read only
+	// after the workload WaitGroup drains — no lock needed.
+	acked []ackedSeqs
+}
+
+func (w *voldemortWorkload) run(ctx context.Context, wg *sync.WaitGroup) {
+	w.acked = make([]ackedSeqs, w.workers)
+	for i := 0; i < w.workers; i++ {
+		w.acked[i] = ackedSeqs{}
+		wg.Add(1)
+		go w.worker(ctx, wg, i)
+	}
+}
+
+func (w *voldemortWorkload) worker(ctx context.Context, wg *sync.WaitGroup, id int) {
+	defer wg.Done()
+	cl, err := w.factory.Client(workloadStoreDef(), id)
+	if err != nil {
+		w.stats.record(time.Now(), err)
+		return
+	}
+	ownedIDs := followMembers / w.workers
+	if ownedIDs == 0 {
+		ownedIDs = 1
+	}
+	readZ := workload.NewFastZipfian(followMembers, 0.99, w.seed+int64(id))
+	writeZ := workload.NewFastZipfian(ownedIDs, 0.99, w.seed+int64(100+id))
+	mix := workload.NewMix(0.6, w.seed+int64(200+id))
+	sizes := workload.NewSizeZipfian(32, 512, 0.99, w.seed+int64(300+id))
+	seq := ackedSeqs{} // local next-seq per key; acked lags it on errors
+	for ctx.Err() == nil {
+		start := time.Now()
+		if mix.Read() {
+			member := readZ.Next()
+			_, _, err := cl.Get(workload.Key(followKeyspace, member))
+			w.stats.record(start, err)
+			errBackoff(ctx, err)
+			continue
+		}
+		member := id + w.workers*writeZ.Next() // ids ≡ id (mod workers)
+		key := workload.Key(followKeyspace, member)
+		ks := string(key)
+		next := seq[ks] + 1
+		val := seqValue(next, string(workload.Value(member, sizes.Next())))
+		err := cl.Put(key, []byte(val))
+		w.stats.record(start, err)
+		if err == nil {
+			seq[ks] = next
+			w.acked[id][ks] = next
+		}
+		errBackoff(ctx, err)
+	}
+}
+
+func (w *voldemortWorkload) ackedWrites() ackedSeqs { return mergeAcked(w.acked) }
+
+// --- Espresso: profile documents ---------------------------------------------
+
+type espressoWorkload struct {
+	base    string // router URL
+	stats   *subsystemStats
+	workers int
+	seed    int64
+
+	acked []ackedSeqs
+}
+
+const espressoAlbums = 50 // albums per worker-owned artist
+
+func (w *espressoWorkload) run(ctx context.Context, wg *sync.WaitGroup) {
+	w.acked = make([]ackedSeqs, w.workers)
+	for i := 0; i < w.workers; i++ {
+		w.acked[i] = ackedSeqs{}
+		wg.Add(1)
+		go w.worker(ctx, wg, i)
+	}
+}
+
+func (w *espressoWorkload) worker(ctx context.Context, wg *sync.WaitGroup, id int) {
+	defer wg.Done()
+	cl := espresso.NewHTTPClient("http://"+w.base, nil)
+	artist := fmt.Sprintf("artist-%d", id)
+	albumZ := workload.NewFastZipfian(espressoAlbums, 0.99, w.seed+int64(id))
+	mix := workload.NewMix(0.5, w.seed+int64(100+id))
+	seq := ackedSeqs{}
+	for ctx.Err() == nil {
+		start := time.Now()
+		album := fmt.Sprintf("album-%d", albumZ.Next())
+		ledgerKey := artist + "/" + album
+		if mix.Read() {
+			_, err := cl.Get("Music", "Album", artist, album)
+			if errors.Is(err, espresso.ErrNoSuchDocument) {
+				err = nil // a miss is a correct answer, not a failure
+			}
+			w.stats.record(start, err)
+			errBackoff(ctx, err)
+			continue
+		}
+		next := seq[ledgerKey] + 1
+		doc := map[string]any{
+			"artist": artist,
+			"title":  seqValue(next, album),
+			"year":   1990 + int(next%30),
+		}
+		_, err := cl.Put("Music", "Album", []string{artist, album}, doc, "")
+		w.stats.record(start, err)
+		if err == nil {
+			seq[ledgerKey] = next
+			w.acked[id][ledgerKey] = next
+		}
+		errBackoff(ctx, err)
+	}
+}
+
+func (w *espressoWorkload) ackedWrites() ackedSeqs { return mergeAcked(w.acked) }
+
+// --- Kafka: activity events through the replicated cluster -------------------
+
+const activityTopic = "activity"
+
+type kafkaWorkload struct {
+	client     *kafka.StaticClient
+	stats      *subsystemStats
+	workers    int
+	partitions int
+
+	mu    sync.Mutex
+	acked map[int][]consistency.ProducedMsg // partition -> acked produces
+}
+
+func (w *kafkaWorkload) run(ctx context.Context, wg *sync.WaitGroup) {
+	w.acked = map[int][]consistency.ProducedMsg{}
+	for i := 0; i < w.workers; i++ {
+		wg.Add(1)
+		go w.worker(ctx, wg, i)
+	}
+}
+
+func (w *kafkaWorkload) worker(ctx context.Context, wg *sync.WaitGroup, id int) {
+	defer wg.Done()
+	var seq int64
+	for ctx.Err() == nil {
+		seq++
+		payload := fmt.Sprintf("w%d-seq%d", id, seq)
+		partition := int(seq+int64(id)) % w.partitions
+		start := time.Now()
+		off, err := w.client.Produce(activityTopic, partition, kafka.NewMessageSet([]byte(payload)))
+		w.stats.record(start, err)
+		if err != nil {
+			// The produce may or may not have landed; either way it is not
+			// in the acked ledger, and the consistency checker tolerates
+			// unacked messages in the log.
+			errBackoff(ctx, err)
+			continue
+		}
+		w.mu.Lock()
+		w.acked[partition] = append(w.acked[partition],
+			consistency.ProducedMsg{Offset: off, Payload: payload})
+		w.mu.Unlock()
+	}
+}
+
+func (w *kafkaWorkload) ackedProduces() map[int][]consistency.ProducedMsg {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make(map[int][]consistency.ProducedMsg, len(w.acked))
+	for p, msgs := range w.acked {
+		out[p] = append([]consistency.ProducedMsg(nil), msgs...)
+	}
+	return out
+}
+
+// --- Databus: change capture fan-out -----------------------------------------
+
+type databusWorkload struct {
+	base  string // relay URL host:port
+	stats *subsystemStats
+	seed  int64
+
+	mu          sync.Mutex
+	maxCommit   int64 // highest SCN the relay acked a commit at
+	maxConsumed int64 // highest SCN the streaming consumer has seen
+}
+
+type commitItem struct {
+	Source  string `json:"source"`
+	Key     string `json:"key"`
+	Payload string `json:"payload"`
+	Op      int    `json:"op"`
+}
+
+type streamEvent struct {
+	SCN     int64  `json:"scn"`
+	Key     string `json:"key"`
+	Payload string `json:"payload"`
+}
+
+func (w *databusWorkload) run(ctx context.Context, wg *sync.WaitGroup) {
+	wg.Add(2)
+	go w.producer(ctx, wg)
+	go w.consumer(ctx, wg)
+}
+
+func (w *databusWorkload) producer(ctx context.Context, wg *sync.WaitGroup) {
+	defer wg.Done()
+	hc := &http.Client{Timeout: 2 * time.Second}
+	keys := workload.NewFastZipfian(followMembers, 0.99, w.seed)
+	var seq int64
+	for ctx.Err() == nil {
+		batch := make([]commitItem, 0, 8)
+		for i := 0; i < 8; i++ {
+			seq++
+			member := keys.Next()
+			batch = append(batch, commitItem{
+				Source:  "follow",
+				Key:     string(workload.Key(followKeyspace, member)),
+				Payload: fmt.Sprintf("change-%d", seq),
+				Op:      0,
+			})
+		}
+		body, _ := json.Marshal(batch)
+		start := time.Now()
+		resp, err := hc.Post("http://"+w.base+"/commit", "application/json", strings.NewReader(string(body)))
+		var scn struct {
+			SCN int64 `json:"scn"`
+		}
+		if err == nil {
+			decErr := json.NewDecoder(resp.Body).Decode(&scn)
+			resp.Body.Close()
+			if decErr != nil {
+				err = decErr
+			} else if resp.StatusCode != http.StatusOK {
+				err = fmt.Errorf("commit: status %d", resp.StatusCode)
+			}
+		}
+		w.stats.record(start, err)
+		if err == nil {
+			w.mu.Lock()
+			if scn.SCN > w.maxCommit {
+				w.maxCommit = scn.SCN
+			}
+			w.mu.Unlock()
+		}
+		// Closed loop with a small pause: the relay is not the bottleneck
+		// under test, steady fan-out is.
+		select {
+		case <-ctx.Done():
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
+
+func (w *databusWorkload) consumer(ctx context.Context, wg *sync.WaitGroup) {
+	defer wg.Done()
+	hc := &http.Client{Timeout: 2 * time.Second}
+	var since int64
+	for ctx.Err() == nil {
+		events, err := fetchStream(hc, w.base, since, 500)
+		if err != nil {
+			// Consumer fetch failures are tracked on the same subsystem:
+			// fan-out is only useful if subscribers can follow.
+			w.stats.record(time.Now(), err)
+			select {
+			case <-ctx.Done():
+			case <-time.After(100 * time.Millisecond):
+			}
+			continue
+		}
+		for _, e := range events {
+			if e.SCN > since {
+				since = e.SCN
+			}
+		}
+		if len(events) > 0 {
+			w.mu.Lock()
+			if since > w.maxConsumed {
+				w.maxConsumed = since
+			}
+			w.mu.Unlock()
+		}
+	}
+}
+
+// fetchStream reads one /stream page after since.
+func fetchStream(hc *http.Client, base string, since int64, max int) ([]streamEvent, error) {
+	resp, err := hc.Get(fmt.Sprintf("http://%s/stream?since=%d&max=%d", base, since, max))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, fmt.Errorf("stream: status %d", resp.StatusCode)
+	}
+	var events []streamEvent
+	if err := json.NewDecoder(resp.Body).Decode(&events); err != nil {
+		return nil, err
+	}
+	return events, nil
+}
+
+// progress returns (highest committed SCN, highest consumed SCN).
+func (w *databusWorkload) progress() (int64, int64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.maxCommit, w.maxConsumed
+}

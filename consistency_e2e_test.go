@@ -75,7 +75,7 @@ type voldemortRig struct {
 
 func newVoldemortRig(t *testing.T, seed int64, plan resilience.FaultPlan) *voldemortRig {
 	t.Helper()
-	clus := cluster.Uniform("verify", 3, 12, 9100)
+	clus := cluster.Uniform("verify", 3, 12, 0)
 	def := (&cluster.StoreDef{
 		Name: "verify", Replication: 3, RequiredReads: 2, RequiredWrites: 2,
 		ReadRepair: true, HintedHandoff: true,

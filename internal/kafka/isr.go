@@ -458,9 +458,9 @@ func (rb *ReplicatedBroker) leaderAppend(st *partState, l *Log, set MessageSet) 
 		st.mu.Unlock()
 		return 0, fmt.Errorf("%w: %s/%d", ErrNotLeader, st.topic, st.part)
 	}
-	if len(st.isr) < rb.cfg.MinISR {
+	if n := len(st.isr); n < rb.cfg.MinISR {
 		st.mu.Unlock()
-		return 0, fmt.Errorf("%w: %s/%d has %d, need %d", ErrNotEnoughReplicas, st.topic, st.part, len(st.isr), rb.cfg.MinISR)
+		return 0, fmt.Errorf("%w: %s/%d has %d, need %d", ErrNotEnoughReplicas, st.topic, st.part, n, rb.cfg.MinISR)
 	}
 	st.mu.Unlock()
 	off, err := l.Append(set)
@@ -889,7 +889,14 @@ func NewRoutedClient(srv *zk.Server, cluster string, resolve ClientResolver) *Ro
 var errNoLeader = errors.New("kafka: no leader elected")
 
 func retryableRouted(err error) bool {
+	// ErrBreakerOpen is deliberately non-transient for a single endpoint
+	// (resilience.IsTransient): hammering one broker's open breaker cannot
+	// help. Routed clients walk a broker *list*, though, and an open breaker
+	// on the cached leader is exactly the moment to invalidate the cache and
+	// try the next broker — otherwise a dead leader stays pinned until its
+	// breaker half-opens and every request fails fast in the meantime.
 	return resilience.IsTransient(err) ||
+		errors.Is(err, resilience.ErrBreakerOpen) ||
 		errors.Is(err, ErrNotLeader) ||
 		errors.Is(err, ErrNotEnoughReplicas) ||
 		errors.Is(err, ErrAckTimeout) ||

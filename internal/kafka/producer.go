@@ -50,6 +50,12 @@ type Producer struct {
 	batches map[topicPartition]*batch
 	closed  bool
 
+	// shipMu serializes batch hand-off to the broker between Flush and the
+	// linger ticker. Without it a batch the ticker has already claimed (but
+	// not yet shipped) is invisible to Flush, which then returns while
+	// messages sent before the Flush call are still in flight.
+	shipMu sync.Mutex
+
 	sent        int64 // messages produced
 	bytesOnWire int64 // bytes shipped to the broker (post-compression)
 
@@ -181,8 +187,12 @@ func (p *Producer) ship(b *batch) error {
 	return err
 }
 
-// Flush ships every pending batch.
+// Flush ships every pending batch, including any the linger ticker has
+// claimed but not yet delivered: when Flush returns, every message from a
+// completed SendTo call has reached the broker.
 func (p *Producer) Flush() error {
+	p.shipMu.Lock()
+	defer p.shipMu.Unlock()
 	p.mu.Lock()
 	pending := make([]*batch, 0, len(p.batches))
 	for k, b := range p.batches {
@@ -207,6 +217,9 @@ func (p *Producer) lingerLoop() {
 		case <-p.stop:
 			return
 		case <-t.C:
+			// Claim and ship under shipMu as one unit so a concurrent Flush
+			// cannot return before these batches reach the broker.
+			p.shipMu.Lock()
 			p.mu.Lock()
 			var due []*batch
 			for k, b := range p.batches {
@@ -219,6 +232,7 @@ func (p *Producer) lingerLoop() {
 			for _, b := range due {
 				_ = p.ship(b)
 			}
+			p.shipMu.Unlock()
 		}
 	}
 }

@@ -437,12 +437,12 @@ type LabelValue struct {
 
 // HistogramSnapshot is the JSON shape of a histogram sample.
 type HistogramSnapshot struct {
-	Count   int64   `json:"count"`
-	SumNs   int64   `json:"sum_ns"`
-	MeanNs  int64   `json:"mean_ns"`
-	P50Ns   int64   `json:"p50_ns"`
-	P99Ns   int64   `json:"p99_ns"`
-	MaxNs   int64   `json:"max_ns"`
+	Count   int64 `json:"count"`
+	SumNs   int64 `json:"sum_ns"`
+	MeanNs  int64 `json:"mean_ns"`
+	P50Ns   int64 `json:"p50_ns"`
+	P99Ns   int64 `json:"p99_ns"`
+	MaxNs   int64 `json:"max_ns"`
 	Buckets []struct {
 		LeNs  int64 `json:"le_ns"` // -1 means +Inf
 		Count int64 `json:"count"`
@@ -464,9 +464,12 @@ type Sample struct {
 func (r *Registry) Snapshot() []Sample {
 	r.mu.RLock()
 	names := append([]string(nil), r.order...)
-	entries := make([]*entry, len(names))
+	entries := make([]entry, len(names))
 	for i, n := range names {
-		entries[i] = r.entries[n]
+		// Copy the entry, not its pointer: RegisterGaugeFunc rebinds the
+		// gauge/gaugeFn fields under the write lock, and the instrument
+		// reads below happen after this lock is released.
+		entries[i] = *r.entries[n]
 	}
 	r.mu.RUnlock()
 

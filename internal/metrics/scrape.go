@@ -1,0 +1,117 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// This file is the client side of the observability plane: a scrape client
+// for the debug mux every cmd/* server mounts (see NewDebugMux). It is what
+// black-box harnesses — cmd/datainfra-cluster above all — use to read a
+// process's health and metrics from the outside, over nothing but HTTP.
+
+// ScrapeClient reads /healthz and /metrics.json from a server's debug mux.
+// The zero value is not usable; build one with NewScrapeClient.
+type ScrapeClient struct {
+	hc *http.Client
+}
+
+// NewScrapeClient builds a scrape client. timeout bounds every request
+// (0 means 5s): a scrape target that is down must fail fast, because health
+// probing is how fault windows are detected.
+func NewScrapeClient(timeout time.Duration) *ScrapeClient {
+	if timeout == 0 {
+		timeout = 5 * time.Second
+	}
+	return &ScrapeClient{hc: &http.Client{Timeout: timeout}}
+}
+
+// normalizeBase accepts "host:port" or "http://host:port" and returns the
+// latter with no trailing slash.
+func normalizeBase(base string) string {
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	return strings.TrimRight(base, "/")
+}
+
+// Healthy probes GET {base}/healthz and reports whether the target answered
+// 200 within the client timeout.
+func (c *ScrapeClient) Healthy(base string) bool {
+	resp, err := c.hc.Get(normalizeBase(base) + "/healthz")
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode == http.StatusOK
+}
+
+// WaitHealthy polls /healthz until the target answers or the timeout passes.
+func (c *ScrapeClient) WaitHealthy(base string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		if c.Healthy(base) {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("metrics: %s not healthy after %v", base, timeout)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// Scrape fetches {base}/metrics.json and returns the samples keyed by metric
+// name — the registry's JSON snapshot, parsed back into the same Sample type
+// the server serialized.
+func (c *ScrapeClient) Scrape(base string) (map[string]Sample, error) {
+	url := normalizeBase(base) + "/metrics.json"
+	resp, err := c.hc.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("metrics: GET %s: status %d", url, resp.StatusCode)
+	}
+	var doc struct {
+		Metrics []Sample `json:"metrics"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("metrics: parse %s: %w", url, err)
+	}
+	out := make(map[string]Sample, len(doc.Metrics))
+	for _, s := range doc.Metrics {
+		out[s.Name] = s
+	}
+	return out, nil
+}
+
+// Value returns the scalar value of a counter/gauge sample, or 0 when the
+// metric is absent or not scalar — scrape consumers treat a missing metric
+// as zero, the Prometheus convention.
+func Value(samples map[string]Sample, name string) int64 {
+	s, ok := samples[name]
+	if !ok || s.Value == nil {
+		return 0
+	}
+	return *s.Value
+}
+
+// LabelCount sums every labelled value of a vec sample — e.g. total requests
+// across all ops of voldemort_server_requests_total.
+func LabelCount(samples map[string]Sample, name string) int64 {
+	s, ok := samples[name]
+	if !ok {
+		return 0
+	}
+	var sum int64
+	for _, lv := range s.Values {
+		sum += lv.Value
+	}
+	return sum
+}

@@ -1,0 +1,72 @@
+package metrics
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestScrapeRoundTrip serves a registry through the standard debug mux and
+// reads it back with the scrape client: scalar values, vec sums and
+// histogram percentiles must survive the JSON round trip.
+func TestScrapeRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.RegisterCounter("scrape_test_ops_total", "test").Add(7)
+	r.RegisterGauge("scrape_test_lag_scn", "test").Set(42)
+	v := r.RegisterCounterVec("scrape_test_reqs_total", "test", "op")
+	v.With("get").Add(3)
+	v.With("put").Add(4)
+	h := r.RegisterHistogram("scrape_test_latency_seconds", "test")
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Millisecond)
+	}
+
+	srv := httptest.NewServer(NewDebugMux(r))
+	defer srv.Close()
+
+	c := NewScrapeClient(time.Second)
+	if !c.Healthy(srv.URL) {
+		t.Fatal("healthz probe failed against a live mux")
+	}
+	if err := c.WaitHealthy(srv.URL, time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	samples, err := c.Scrape(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Value(samples, "scrape_test_ops_total"); got != 7 {
+		t.Fatalf("counter = %d, want 7", got)
+	}
+	if got := Value(samples, "scrape_test_lag_scn"); got != 42 {
+		t.Fatalf("gauge = %d, want 42", got)
+	}
+	if got := LabelCount(samples, "scrape_test_reqs_total"); got != 7 {
+		t.Fatalf("vec sum = %d, want 7", got)
+	}
+	hs := samples["scrape_test_latency_seconds"].Histogram
+	if hs == nil {
+		t.Fatal("histogram sample missing")
+	}
+	if hs.Count != 100 {
+		t.Fatalf("histogram count = %d, want 100", hs.Count)
+	}
+	if hs.P99Ns <= 0 {
+		t.Fatalf("histogram p99 = %d, want > 0", hs.P99Ns)
+	}
+	if got := Value(samples, "scrape_test_missing_total"); got != 0 {
+		t.Fatalf("missing metric = %d, want 0", got)
+	}
+}
+
+// TestScrapeDownTarget: a dead target must fail fast and read as unhealthy.
+func TestScrapeDownTarget(t *testing.T) {
+	c := NewScrapeClient(200 * time.Millisecond)
+	if c.Healthy("127.0.0.1:1") {
+		t.Fatal("closed port reported healthy")
+	}
+	if _, err := c.Scrape("127.0.0.1:1"); err == nil {
+		t.Fatal("scrape of closed port succeeded")
+	}
+}

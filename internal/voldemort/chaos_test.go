@@ -40,7 +40,7 @@ type chaosRig struct {
 // only when the injected outage actually ends.
 func newChaosRig(t *testing.T, seed int64, plan resilience.FaultPlan) *chaosRig {
 	t.Helper()
-	clus := cluster.Uniform("chaos", 3, 12, 9000)
+	clus := cluster.Uniform("chaos", 3, 12, 0)
 	def := (&cluster.StoreDef{
 		Name: "chaos", Replication: 3, RequiredReads: 2, RequiredWrites: 2,
 		ReadRepair: true, HintedHandoff: true,

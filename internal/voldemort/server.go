@@ -23,8 +23,9 @@ import (
 // (§II.B "Admin Service") that allows store addition/deletion and partition
 // streaming for rebalancing — all without downtime.
 type Server struct {
-	nodeID  int
-	dataDir string
+	nodeID    int
+	dataDir   string
+	syncEvery int
 
 	mu     sync.RWMutex
 	clus   *cluster.Cluster
@@ -46,6 +47,12 @@ type ServerConfig struct {
 	Cluster    *cluster.Cluster
 	DataDir    string // required for bitcask/readonly engines
 	Transforms *TransformRegistry
+	// SyncEvery is the bitcask fsync batching policy: 0 (the default) syncs
+	// every write through the group-commit path, so an acknowledged put is on
+	// disk before the ack — the contract the black-box kill -9 scenarios
+	// verify. n > 0 flushes every n writes without an explicit sync,
+	// trading the durability of the last n acks for throughput.
+	SyncEvery int
 }
 
 // NewServer builds a node with no stores.
@@ -60,6 +67,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	return &Server{
 		nodeID:     cfg.NodeID,
 		dataDir:    cfg.DataDir,
+		syncEvery:  cfg.SyncEvery,
 		clus:       cfg.Cluster,
 		stores:     make(map[string]*EngineStore),
 		defs:       make(map[string]*cluster.StoreDef),
@@ -104,7 +112,7 @@ func (s *Server) AddStore(def *cluster.StoreDef) error {
 	case cluster.EngineMemory:
 		eng = storage.NewMemory(def.Name)
 	case cluster.EngineBitcask:
-		eng, err = storage.OpenBitcask(def.Name, s.storeDir(def.Name), 100)
+		eng, err = storage.OpenBitcask(def.Name, s.storeDir(def.Name), s.syncEvery)
 	case cluster.EngineReadOnly:
 		eng, err = storage.OpenReadOnly(def.Name, s.storeDir(def.Name))
 	default:

@@ -28,7 +28,7 @@ type testRig struct {
 
 func newRig(t *testing.T, nodes, partitions, n, r, w int, hinted bool) *testRig {
 	t.Helper()
-	clus := cluster.Uniform("rig", nodes, partitions, 9000)
+	clus := cluster.Uniform("rig", nodes, partitions, 0)
 	def := (&cluster.StoreDef{
 		Name: "test", Replication: n, RequiredReads: r, RequiredWrites: w,
 		ReadRepair: true, HintedHandoff: hinted,
@@ -458,7 +458,7 @@ func TestZoneRoutedStore(t *testing.T) {
 }
 
 func BenchmarkRoutedPut(b *testing.B) {
-	clus := cluster.Uniform("bench", 3, 24, 9200)
+	clus := cluster.Uniform("bench", 3, 24, 0)
 	def := (&cluster.StoreDef{Name: "b", Replication: 2, RequiredReads: 1, RequiredWrites: 1}).WithDefaults()
 	strategy, _ := ring.NewConsistent(clus, 2)
 	stores := make(map[int]Store)

@@ -1,0 +1,89 @@
+// Goroutine-leak gate for the root-package e2e suites (consistency_e2e,
+// obs_e2e, verify harness): after every test in the package has run and
+// shut its rigs down, no test-spawned goroutine may still be alive.
+//
+// The check is goleak-style but stdlib-only: let the package's tests run,
+// give asynchronous teardown a settling window, then parse the full stack
+// dump and fail on any goroutine that is neither part of the runtime/testing
+// machinery nor this main goroutine. Leaks found here are real — a server
+// Close that doesn't join its accept loop, a pusher left running — and were
+// previously invisible because `go test` exits without looking back.
+package datainfra
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if code == 0 {
+		if leaked := leakedGoroutines(5 * time.Second); len(leaked) > 0 {
+			fmt.Fprintf(os.Stderr, "goroutine leak check FAILED: %d goroutines still alive after tests:\n\n%s\n",
+				len(leaked), strings.Join(leaked, "\n\n"))
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// leakAllowlist matches goroutines that are allowed to outlive the tests:
+// the runtime's own workers, the testing framework, and stdlib machinery
+// that parks background goroutines by design.
+var leakAllowlist = []string{
+	"testing.(*M).",
+	"testing.tRunner",
+	"testing.runTests",
+	"runtime.goexit",
+	"runtime_mcall",
+	"runtime.gc",
+	"runtime.bgsweep",
+	"runtime.bgscavenge",
+	"runtime.forcegchelper",
+	"runtime.MHeap_Scavenger",
+	"signal.signal_recv",
+	"signal.loop",
+	"os/signal.",
+	"runtime.ensureSigM",
+	"net/http.(*persistConn).", // http.Transport idle conns; reaped by the runtime
+	"net/http.setRequestCancel",
+	"internal/poll.runtime_pollWait", // only as part of an allowed parent above
+	"leakedGoroutines",               // this checker itself
+}
+
+// leakedGoroutines polls the stack dump until only allowlisted goroutines
+// remain or the settle deadline passes, then returns the offenders. Polling
+// matters: rig teardown is asynchronous (socket pools draining, pushers
+// exiting) and a goroutine observed mid-exit is not a leak.
+func leakedGoroutines(settle time.Duration) []string {
+	deadline := time.Now().Add(settle)
+	var leaked []string
+	for {
+		leaked = leaked[:0]
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		for _, g := range strings.Split(string(buf[:n]), "\n\n") {
+			if g == "" || strings.HasPrefix(g, "goroutine 1 ") {
+				continue // the main goroutine (running TestMain)
+			}
+			allowed := false
+			for _, pat := range leakAllowlist {
+				if strings.Contains(g, pat) {
+					allowed = true
+					break
+				}
+			}
+			if !allowed {
+				leaked = append(leaked, g)
+			}
+		}
+		if len(leaked) == 0 || time.Now().After(deadline) {
+			return append([]string(nil), leaked...)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Crash-restart the Kafka broker process mid-workload — it hosts the leader
+# of every partition, so this is a leader kill for all of them at once. After
+# restart the log must reopen from its flush checkpoints, the log end must
+# reach past every acknowledged offset, and a full black-box drain must
+# satisfy the formal replicated-log checker: every acked message present at
+# its exact offset, consumption gapless.
+. "$(dirname "$0")/lib.sh"
+
+scenario_start kill_kafka_leader
+
+sleep "$((DURATION_SECS / 4))"
+crash kafka
+sleep 5
+restart kafka
+
+scenario_finish
+
+require_report '"pass": true' "SLO gate with fault-window accounting"
+require_report '"target": "kafka"' "fault window recorded for the crashed broker set"
+scenario_pass

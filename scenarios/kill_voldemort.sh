@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Crash-restart a Voldemort storage node mid-workload. The stack must keep
+# serving at R=W=1 through the outage, the restarted node must take hinted
+# writes back, and post-run verification must read every acked write at full
+# R=W=N quorum — no acked write lost — while the SLO report attributes the
+# outage's errors to the node's fault window.
+. "$(dirname "$0")/lib.sh"
+
+scenario_start kill_voldemort
+
+sleep "$((DURATION_SECS / 4))"
+crash voldemort-1
+sleep 5
+restart voldemort-1
+
+scenario_finish
+
+require_report '"pass": true' "SLO gate with fault-window accounting"
+require_report '"target": "voldemort-1"' "fault window recorded for the crashed node"
+scenario_pass

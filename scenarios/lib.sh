@@ -1,0 +1,114 @@
+# Shared helpers for the black-box scenario suite.
+#
+# Every scenario follows the same shape (modeled on dolt's bats suite): start
+# the datainfra-cluster driver against freshly built binaries, synchronise on
+# its state/ready marker, inject faults with nothing but kill -9 and the
+# state files the driver publishes, then judge the run by the driver's exit
+# code plus grep assertions on the SLO report JSON.
+#
+# Knobs (environment):
+#   SCENARIO_DURATION_SECS  workload length per scenario (default 30)
+#   SCENARIO_ARTIFACTS      where SLO reports land (default ./scenario-artifacts)
+
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BIN="$ROOT/bin"
+DURATION_SECS="${SCENARIO_DURATION_SECS:-30}"
+ARTIFACTS="${SCENARIO_ARTIFACTS:-$ROOT/scenario-artifacts}"
+
+NAME=""
+DIR=""
+REPORT=""
+DRIVER_PID=""
+
+# scenario_start <name> [extra driver flags...] — launch the driver in the
+# background and wait for the whole topology to pass readiness.
+scenario_start() {
+    NAME="$1"; shift
+    DIR="$(mktemp -d "${TMPDIR:-/tmp}/scenario-$NAME-XXXXXX")"
+    mkdir -p "$ARTIFACTS"
+    REPORT="$ARTIFACTS/$NAME.slo.json"
+    echo "=== scenario $NAME (workdir $DIR, ${DURATION_SECS}s workload)"
+    trap scenario_cleanup EXIT
+    "$BIN/datainfra-cluster" \
+        -dir "$DIR" -bin "$BIN" \
+        -duration "${DURATION_SECS}s" -report "$REPORT" \
+        "$@" > "$DIR/driver.log" 2>&1 &
+    DRIVER_PID=$!
+
+    local i
+    for i in $(seq 1 240); do
+        [ -f "$DIR/state/ready" ] && return 0
+        if ! kill -0 "$DRIVER_PID" 2>/dev/null; then
+            echo "FAIL: $NAME: driver exited before the topology was ready"
+            cat "$DIR/driver.log"
+            exit 1
+        fi
+        sleep 0.5
+    done
+    echo "FAIL: $NAME: topology never became ready"
+    cat "$DIR/driver.log"
+    exit 1
+}
+
+# scenario_cleanup — belt and braces for aborted runs: the driver tears its
+# processes down on a normal exit, but a failing script must not leak either.
+scenario_cleanup() {
+    if [ -n "$DRIVER_PID" ] && kill -0 "$DRIVER_PID" 2>/dev/null; then
+        kill -9 "$DRIVER_PID" 2>/dev/null || true
+    fi
+    local pidfile
+    for pidfile in "$DIR"/state/*.pid; do
+        [ -f "$pidfile" ] || continue
+        kill -9 "$(cat "$pidfile")" 2>/dev/null || true
+    done
+}
+
+# crash <proc> — kill -9 a topology process by its pid state file.
+crash() {
+    local pid
+    pid="$(cat "$DIR/state/$1.pid")"
+    kill -9 "$pid"
+    echo "crashed $1 (pid $pid) with SIGKILL"
+}
+
+# restart <proc> — relaunch a crashed process from its recorded command line,
+# exactly as an operator would, and publish the new pid.
+restart() {
+    local cmd
+    cmd="$(cat "$DIR/state/$1.cmd")"
+    # shellcheck disable=SC2086 # word splitting is the protocol: args are space-free
+    nohup $cmd >> "$DIR/logs/$1.log" 2>&1 &
+    echo "$!" > "$DIR/state/$1.pid"
+    echo "restarted $1 (pid $!)"
+}
+
+# scenario_finish — wait for the driver; its exit code is the primary gate.
+scenario_finish() {
+    local status=0
+    wait "$DRIVER_PID" || status=$?
+    DRIVER_PID=""
+    echo "--- driver log tail ($NAME)"
+    tail -n 12 "$DIR/driver.log"
+    if [ "$status" -ne 0 ]; then
+        echo "FAIL: $NAME: driver exited $status (SLO gate or setup failure)"
+        echo "--- server logs: $DIR/logs"
+        exit 1
+    fi
+}
+
+# require_report <pattern> <why> — grep assertion against the SLO report.
+require_report() {
+    if ! grep -q "$1" "$REPORT"; then
+        echo "FAIL: $NAME: report $REPORT missing $1 ($2)"
+        exit 1
+    fi
+}
+
+# scenario_pass — final banner; workdir is removed on success.
+scenario_pass() {
+    rm -rf "$DIR"
+    trap - EXIT
+    echo "PASS: $NAME (report: $REPORT)"
+}

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Run the whole black-box scenario suite sequentially. Any scenario failure
+# fails the suite; SLO reports land in $SCENARIO_ARTIFACTS either way.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+scenarios=(smoke.sh kill_voldemort.sh kill_kafka_leader.sh)
+failed=()
+
+for s in "${scenarios[@]}"; do
+    if ! bash "$s"; then
+        failed+=("$s")
+    fi
+done
+
+if [ "${#failed[@]}" -gt 0 ]; then
+    echo "scenario suite FAILED: ${failed[*]}"
+    exit 1
+fi
+echo "scenario suite passed (${#scenarios[@]} scenarios)"

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Fault-free baseline: the full topology under the social workload must meet
+# the strict SLO — latency budgets included — and converge with zero loss.
+. "$(dirname "$0")/lib.sh"
+
+scenario_start smoke -slo-strict
+scenario_finish
+
+require_report '"pass": true' "strict SLO gate"
+require_report '"faultWindows": \[\]\|"faultWindows": null' "no fault windows in a clean run"
+scenario_pass
