@@ -15,6 +15,7 @@ import (
 	"datainfra/internal/storage"
 	"datainfra/internal/vclock"
 	"datainfra/internal/versioned"
+	"datainfra/internal/voldemort"
 	"datainfra/internal/workload"
 )
 
@@ -136,5 +137,61 @@ func BenchmarkAblationCompaction(b *testing.B) {
 		b.ReportMetric(float64(before-after)/float64(before)*100, "%-reclaimed")
 		eng.Close()
 		b.StartTimer()
+	}
+}
+
+// BenchmarkAblationHotSetCache is the hot-set read cache ablation: the
+// same Zipfian(0.99) Get stream against a bitcask-backed EngineStore
+// with the cache off versus on (budget sized so the hot set is
+// resident, warmed to steady state). This is the serving-tier shape
+// the paper describes — the top ~1% of keys absorb most reads, so an
+// in-memory hot set turns disk reads into near-RAM lookups.
+func BenchmarkAblationHotSetCache(b *testing.B) {
+	const nkeys = 50_000
+	keys := make([][]byte, nkeys)
+	for i := range keys {
+		keys[i] = workload.Key("member", i)
+	}
+	for _, cfg := range []struct {
+		name  string
+		bytes int64
+	}{{"cache=off", 0}, {"cache=on", 64 << 20}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			eng, err := storage.OpenBitcask("hot", b.TempDir(), 1000)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer eng.Close()
+			es := voldemort.NewEngineStore(eng, 0, nil).EnableCache(cfg.bytes)
+			val := workload.Value(1, 128)
+			for i, k := range keys {
+				c := vclock.New().Increment(0, int64(i))
+				if err := es.Put(k, versioned.With(val, c), nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+			z := workload.NewFastZipfian(nkeys, 0.99, 7)
+			if cfg.bytes > 0 {
+				for i := 0; i < 2*nkeys; i++ {
+					if _, err := es.Get(keys[z.Next()], nil); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := es.Get(keys[z.Next()], nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if c := es.Cache(); c != nil {
+				st := c.Stats()
+				if total := st.Hits + st.Misses; total > 0 {
+					b.ReportMetric(float64(st.Hits)/float64(total)*100, "hit%")
+				}
+			}
+		})
 	}
 }

@@ -1,0 +1,185 @@
+// Command benchcmp compares two benchjson/v1 files (see cmd/benchjson and
+// EXPERIMENTS.md) and fails when a named benchmark regressed: more than
+// -threshold (default 20%) slower in ns/op, or any increase in allocs/op
+// when -allocs is set. It is the perf gate wired into CI as
+// `make bench-compare`, judging the current tree against the checked-in
+// baseline (BENCH_PR5.json).
+//
+// Usage:
+//
+//	benchcmp -baseline BENCH_PR5.json -current BENCH_PR9.json \
+//	    -bench BenchmarkBitcaskGet -bench BenchmarkMarshal
+//
+// With no -bench flags every benchmark present in BOTH files is compared.
+// Benchmarks only present on one side are reported but never fail the gate
+// (suites grow and shrink PR over PR).
+//
+// A frozen baseline is measured on whatever hardware recorded it, and CI
+// runners drift: raw ns/op comparisons would flag a uniformly slower host
+// as a regression of everything. With -normalize (the default) benchcmp
+// divides every delta by the median current/baseline ns/op ratio across
+// ALL benchmarks common to both files — a slower host shifts the median
+// and cancels out, while a genuine regression of a few gated benchmarks
+// barely moves it and still fails the gate. Pass -normalize=false for
+// same-host comparisons.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+type result struct {
+	Name        string  `json:"name"`
+	Pkg         string  `json:"pkg"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+type benchFile struct {
+	Schema  string   `json:"schema"`
+	Results []result `json:"results"`
+}
+
+// key identifies a benchmark across files: package + full name (including
+// sub-benchmark path).
+func key(r result) string { return r.Pkg + " " + r.Name }
+
+func load(path string) (map[string]result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f benchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if f.Schema != "benchjson/v1" {
+		return nil, fmt.Errorf("%s: unsupported schema %q", path, f.Schema)
+	}
+	out := make(map[string]result, len(f.Results))
+	for _, r := range f.Results {
+		out[key(r)] = r
+	}
+	return out, nil
+}
+
+// multiFlag collects repeated -bench flags.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+func main() {
+	var benches multiFlag
+	baseline := flag.String("baseline", "", "baseline benchjson file")
+	current := flag.String("current", "", "current benchjson file")
+	threshold := flag.Float64("threshold", 20, "max allowed ns/op regression in percent")
+	allocs := flag.Bool("allocs", false, "also fail on any allocs/op increase")
+	normalize := flag.Bool("normalize", true, "divide deltas by the median ns/op ratio over all common benchmarks (cancels host-speed drift)")
+	flag.Var(&benches, "bench", "benchmark name (substring match) to gate on; repeatable, default: all common benchmarks")
+	flag.Parse()
+	if *baseline == "" || *current == "" {
+		fmt.Fprintln(os.Stderr, "benchcmp: need -baseline and -current")
+		os.Exit(2)
+	}
+
+	base, err := load(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+	cur, err := load(*current)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+
+	gated := func(name string) bool {
+		if len(benches) == 0 {
+			return true
+		}
+		for _, b := range benches {
+			if strings.Contains(name, b) {
+				return true
+			}
+		}
+		return false
+	}
+
+	keys := make([]string, 0, len(base))
+	for k := range base {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	// Host-speed factor: the median ns/op ratio over every benchmark the
+	// files share. A uniformly slower (or faster) host moves all ratios
+	// together; a real regression of the few gated benchmarks barely
+	// shifts the median.
+	factor := 1.0
+	if *normalize {
+		var ratios []float64
+		for _, k := range keys {
+			b := base[k]
+			if c, ok := cur[k]; ok && b.NsPerOp > 0 && c.NsPerOp > 0 {
+				ratios = append(ratios, c.NsPerOp/b.NsPerOp)
+			}
+		}
+		if len(ratios) > 0 {
+			sort.Float64s(ratios)
+			factor = ratios[len(ratios)/2]
+			fmt.Printf("host-speed factor: %.2fx (median over %d common benchmarks)\n", factor, len(ratios))
+		}
+	}
+
+	var failures []string
+	compared := 0
+	for _, k := range keys {
+		b := base[k]
+		if !gated(b.Name) {
+			continue
+		}
+		c, ok := cur[k]
+		if !ok {
+			fmt.Printf("only in baseline: %s\n", k)
+			continue
+		}
+		compared++
+		delta := 0.0
+		if b.NsPerOp > 0 {
+			delta = (c.NsPerOp/(b.NsPerOp*factor) - 1) * 100
+		}
+		status := "ok"
+		if delta > *threshold {
+			status = "REGRESSED"
+			failures = append(failures, fmt.Sprintf("%s: %.1f -> %.1f ns/op (%+.1f%%, threshold %.0f%%)",
+				k, b.NsPerOp, c.NsPerOp, delta, *threshold))
+		}
+		if *allocs && c.AllocsPerOp > b.AllocsPerOp {
+			status = "REGRESSED"
+			failures = append(failures, fmt.Sprintf("%s: allocs/op %d -> %d",
+				k, b.AllocsPerOp, c.AllocsPerOp))
+		}
+		fmt.Printf("%-60s %10.1f -> %10.1f ns/op  %+6.1f%%  %d -> %d allocs/op  %s\n",
+			k, b.NsPerOp, c.NsPerOp, delta, b.AllocsPerOp, c.AllocsPerOp, status)
+	}
+	if len(benches) > 0 && compared == 0 {
+		fmt.Fprintln(os.Stderr, "benchcmp: no gated benchmark found in both files")
+		os.Exit(2)
+	}
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "benchcmp: %d regression(s):\n", len(failures))
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "  "+f)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchcmp: %d benchmark(s) within %.0f%% of baseline\n", compared, *threshold)
+}

@@ -3,7 +3,7 @@
 // trajectory is machine-readable PR over PR. The output schema is documented
 // in EXPERIMENTS.md.
 //
-// Usage: go run ./cmd/benchjson [-out BENCH_PR5.json] [-benchtime 0.5s]
+// Usage: go run ./cmd/benchjson [-out BENCH_PR9.json] [-benchtime 0.5s]
 package main
 
 import (
@@ -44,6 +44,12 @@ var suites = []suite{
 	{Pkg: "./internal/voldemort", Bench: "BenchmarkSocketStoreParallel", Benchtime: "0.3s"},
 	{Pkg: "./internal/kafka", Bench: "BenchmarkRemoteBrokerProduceFetchParallel", Benchtime: "0.3s"},
 	{Pkg: "./internal/databus", Bench: "BenchmarkRelay", Benchtime: "0.3s"},
+	{Pkg: "./internal/cache", Bench: ".", Benchtime: "0.5s"},
+	{Pkg: "./internal/voldemort", Bench: "BenchmarkEngineStore", Benchtime: "0.5s"},
+	{Pkg: "./internal/espresso", Bench: "BenchmarkNodeGet", Benchtime: "0.5s"},
+	// The PR 9 headline gets a real budget so the steady-state hit rate —
+	// not round-to-round bitcask layout noise — decides the number.
+	{Pkg: ".", Bench: "BenchmarkAblationHotSetCache", Benchtime: "2s"},
 }
 
 // result is one benchmark line. NsPerOp is always set; BytesPerOp and
@@ -60,17 +66,35 @@ type result struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR5.json", "output JSON file")
+	out := flag.String("out", "BENCH_PR9.json", "output JSON file")
 	benchtime := flag.String("benchtime", "", "override -benchtime for every suite")
+	count := flag.Int("count", 1, "run each suite -count times and record the minimum ns/op per benchmark (noise-robust)")
+	pkgs := flag.String("pkgs", "", "comma-separated substrings: only run suites whose package path matches one")
+	macro := flag.String("macro", "", "optional datainfra-cluster slo.json to embed under \"macro\"")
 	flag.Parse()
 
 	var results []result
 	for _, s := range suites {
+		if *pkgs != "" {
+			match := false
+			for _, p := range strings.Split(*pkgs, ",") {
+				if p != "" && strings.Contains(s.Pkg, p) {
+					match = true
+					break
+				}
+			}
+			if !match {
+				continue
+			}
+		}
 		bt := s.Benchtime
 		if *benchtime != "" {
 			bt = *benchtime
 		}
 		args := []string{"test", "-run=NONE", "-bench=" + s.Bench, "-benchmem", "-benchtime=" + bt}
+		if *count > 1 {
+			args = append(args, "-count="+strconv.Itoa(*count))
+		}
 		if s.Cpu != "" {
 			args = append(args, "-cpu="+s.Cpu)
 		}
@@ -83,7 +107,22 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n%s\n", s.Pkg, err, outBytes)
 			os.Exit(1)
 		}
-		results = append(results, parseBenchOutput(s.Pkg, s.Cpu, string(outBytes))...)
+		// Within one suite, -count repeats the same configuration; keep
+		// the fastest sample per benchmark (min damps scheduler noise).
+		parsed := parseBenchOutput(s.Pkg, s.Cpu, string(outBytes))
+		best := make(map[string]int)
+		suiteResults := parsed[:0]
+		for _, r := range parsed {
+			if i, ok := best[r.Name]; ok {
+				if r.NsPerOp < suiteResults[i].NsPerOp {
+					suiteResults[i] = r
+				}
+				continue
+			}
+			best[r.Name] = len(suiteResults)
+			suiteResults = append(suiteResults, r)
+		}
+		results = append(results, suiteResults...)
 	}
 
 	// Later suites supersede earlier results with the same (pkg, name).
@@ -103,6 +142,19 @@ func main() {
 	doc := map[string]any{
 		"schema":  "benchjson/v1",
 		"results": results,
+	}
+	if *macro != "" {
+		data, err := os.ReadFile(*macro)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		var slo any
+		if err := json.Unmarshal(data, &slo); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", *macro, err)
+			os.Exit(1)
+		}
+		doc["macro"] = slo
 	}
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {

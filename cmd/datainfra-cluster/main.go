@@ -47,9 +47,11 @@ type config struct {
 	binDir      string
 	duration    time.Duration
 	workers     int
+	members     int
 	voldNodes   int
 	kafkaReps   int
 	kafkaParts  int
+	cacheBytes  int64
 	report      string
 	strict      bool
 	seed        int64
@@ -63,9 +65,11 @@ func parseFlags() *config {
 	flag.StringVar(&c.binDir, "bin", "bin", "directory holding the server binaries (falls back to $PATH)")
 	flag.DurationVar(&c.duration, "duration", 30*time.Second, "workload duration")
 	flag.IntVar(&c.workers, "workers", 3, "closed-loop workers per subsystem")
+	flag.IntVar(&c.members, "members", 2000, "member-id domain for the social workload (millions are fine)")
 	flag.IntVar(&c.voldNodes, "voldemort-nodes", 3, "voldemort cluster size")
 	flag.IntVar(&c.kafkaReps, "kafka-replicas", 3, "kafka replication factor (one process, in-process replica set)")
 	flag.IntVar(&c.kafkaParts, "kafka-partitions", 2, "kafka partitions for the activity topic")
+	flag.Int64Var(&c.cacheBytes, "cache-bytes", 0, "hot-set read cache budget forwarded to the voldemort and espresso servers; 0 disables")
 	flag.StringVar(&c.report, "report", "", "SLO report path (default: <dir>/slo.json)")
 	flag.BoolVar(&c.strict, "slo-strict", false, "enforce latency and steady-state error budgets (for fault-free runs)")
 	flag.Int64Var(&c.seed, "seed", 1, "workload random seed")
@@ -170,7 +174,7 @@ func run() int {
 	report := &sloReport{
 		Started:   started,
 		Duration:  cfg.duration.String(),
-		Topology:  fmt.Sprintf("voldemort=%d kafka-replicas=%d kafka-partitions=%d espresso=1 databus=1", cfg.voldNodes, cfg.kafkaReps, cfg.kafkaParts),
+		Topology:  fmt.Sprintf("voldemort=%d kafka-replicas=%d kafka-partitions=%d espresso=1 databus=1 members=%d cache-bytes=%d", cfg.voldNodes, cfg.kafkaReps, cfg.kafkaParts, cfg.members, cfg.cacheBytes),
 		SLOStrict: cfg.strict,
 		Subsystems: map[string]*subsystemReport{
 			"voldemort": buildSubsystemReport(site.vold.stats, windows, cfg.strict),
@@ -293,6 +297,7 @@ func buildSite(cfg *config, topo *topology) (*site, error) {
 				"-listen", n.Addr(),
 				"-metrics", "127.0.0.1:" + strconv.Itoa(mport),
 				"-sync-every", "0",
+				"-cache-bytes", strconv.FormatInt(cfg.cacheBytes, 10),
 			},
 			service: n.Addr(),
 			metrics: "127.0.0.1:" + strconv.Itoa(mport),
@@ -362,6 +367,7 @@ func buildSite(cfg *config, topo *topology) (*site, error) {
 		args: []string{
 			"-listen", s.espressoAddr,
 			"-metrics", "127.0.0.1:" + strconv.Itoa(emetrics),
+			"-cache-bytes", strconv.FormatInt(cfg.cacheBytes, 10),
 		},
 		service: s.espressoAddr,
 		metrics: "127.0.0.1:" + strconv.Itoa(emetrics),
@@ -403,7 +409,7 @@ func buildSite(cfg *config, topo *topology) (*site, error) {
 	s.kafkaClient = kafka.NewStaticClient(s.kafkaAddrs, 2*time.Second)
 	s.vold = &voldemortWorkload{
 		factory: workloadFactory, stats: newSubsystemStats("voldemort"),
-		workers: cfg.workers, seed: cfg.seed,
+		workers: cfg.workers, members: cfg.members, seed: cfg.seed,
 	}
 	s.esp = &espressoWorkload{
 		base: s.espressoAddr, stats: newSubsystemStats("espresso"),
@@ -414,7 +420,8 @@ func buildSite(cfg *config, topo *topology) (*site, error) {
 		workers: cfg.workers, partitions: cfg.kafkaParts,
 	}
 	s.dbus = &databusWorkload{
-		base: s.databusAddr, stats: newSubsystemStats("databus"), seed: cfg.seed,
+		base: s.databusAddr, stats: newSubsystemStats("databus"),
+		members: cfg.members, seed: cfg.seed,
 	}
 	return s, nil
 }

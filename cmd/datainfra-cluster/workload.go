@@ -85,6 +85,38 @@ func mergeAcked(parts []ackedSeqs) ackedSeqs {
 	return out
 }
 
+// denseSeqs is the ledger at million-member cardinality: worker id owns
+// member ids ≡ id (mod workers), so slot j holds the acked sequence for
+// member id + workers*j. 8 bytes per owned id beats a string-keyed map
+// entry by an order of magnitude, and the map the verifier wants is
+// materialized lazily from the non-zero slots after the run.
+type denseSeqs struct {
+	workerID, workers int
+	seqs              []int64
+}
+
+func newDenseSeqs(workerID, workers, members int) *denseSeqs {
+	owned := members / workers
+	if owned == 0 {
+		owned = 1
+	}
+	return &denseSeqs{workerID: workerID, workers: workers, seqs: make([]int64, owned)}
+}
+
+// member returns the member id owned slot j maps to.
+func (d *denseSeqs) member(j int) int { return d.workerID + d.workers*j }
+
+// toAcked materializes the verifier's key→seq map from written slots.
+func (d *denseSeqs) toAcked(keyspace string) ackedSeqs {
+	out := ackedSeqs{}
+	for j, seq := range d.seqs {
+		if seq > 0 {
+			out[string(workload.Key(keyspace, d.member(j)))] = seq
+		}
+	}
+	return out
+}
+
 // errBackoff pauses a closed-loop worker after a failed operation. Without
 // it a worker facing a dead server spins at connection-refused speed and the
 // op count stops meaning anything; with it the loop stays closed — one
@@ -118,27 +150,27 @@ func parseSeq(v string) (int64, bool) {
 
 // --- Voldemort: Company-Follow read/write mix --------------------------------
 
-const (
-	followKeyspace = "follow"
-	followMembers  = 2000 // member-id domain per run
-)
+const followKeyspace = "follow"
 
-// voldemortWorkload drives the follow store with the paper's 60/40 mix.
+// voldemortWorkload drives the follow store with the paper's 60/40 mix
+// over a member-id domain of cfg.members (millions are fine: per-worker
+// ledgers are dense slices, not maps).
 type voldemortWorkload struct {
 	factory *voldemort.ClientFactory
 	stats   *subsystemStats
 	workers int
+	members int
 	seed    int64
 
 	// acked[w] is touched only by worker w while running and read only
 	// after the workload WaitGroup drains — no lock needed.
-	acked []ackedSeqs
+	acked []*denseSeqs
 }
 
 func (w *voldemortWorkload) run(ctx context.Context, wg *sync.WaitGroup) {
-	w.acked = make([]ackedSeqs, w.workers)
+	w.acked = make([]*denseSeqs, w.workers)
 	for i := 0; i < w.workers; i++ {
-		w.acked[i] = ackedSeqs{}
+		w.acked[i] = newDenseSeqs(i, w.workers, w.members)
 		wg.Add(1)
 		go w.worker(ctx, wg, i)
 	}
@@ -151,15 +183,11 @@ func (w *voldemortWorkload) worker(ctx context.Context, wg *sync.WaitGroup, id i
 		w.stats.record(time.Now(), err)
 		return
 	}
-	ownedIDs := followMembers / w.workers
-	if ownedIDs == 0 {
-		ownedIDs = 1
-	}
-	readZ := workload.NewFastZipfian(followMembers, 0.99, w.seed+int64(id))
-	writeZ := workload.NewFastZipfian(ownedIDs, 0.99, w.seed+int64(100+id))
+	acked := w.acked[id]
+	readZ := workload.NewFastZipfian(w.members, 0.99, w.seed+int64(id))
+	writeZ := workload.NewFastZipfian(len(acked.seqs), 0.99, w.seed+int64(100+id))
 	mix := workload.NewMix(0.6, w.seed+int64(200+id))
 	sizes := workload.NewSizeZipfian(32, 512, 0.99, w.seed+int64(300+id))
-	seq := ackedSeqs{} // local next-seq per key; acked lags it on errors
 	for ctx.Err() == nil {
 		start := time.Now()
 		if mix.Read() {
@@ -169,22 +197,27 @@ func (w *voldemortWorkload) worker(ctx context.Context, wg *sync.WaitGroup, id i
 			errBackoff(ctx, err)
 			continue
 		}
-		member := id + w.workers*writeZ.Next() // ids ≡ id (mod workers)
+		slot := writeZ.Next()
+		member := acked.member(slot) // ids ≡ id (mod workers)
 		key := workload.Key(followKeyspace, member)
-		ks := string(key)
-		next := seq[ks] + 1
+		next := acked.seqs[slot] + 1
 		val := seqValue(next, string(workload.Value(member, sizes.Next())))
 		err := cl.Put(key, []byte(val))
 		w.stats.record(start, err)
 		if err == nil {
-			seq[ks] = next
-			w.acked[id][ks] = next
+			acked.seqs[slot] = next
 		}
 		errBackoff(ctx, err)
 	}
 }
 
-func (w *voldemortWorkload) ackedWrites() ackedSeqs { return mergeAcked(w.acked) }
+func (w *voldemortWorkload) ackedWrites() ackedSeqs {
+	parts := make([]ackedSeqs, 0, len(w.acked))
+	for _, d := range w.acked {
+		parts = append(parts, d.toAcked(followKeyspace))
+	}
+	return mergeAcked(parts)
+}
 
 // --- Espresso: profile documents ---------------------------------------------
 
@@ -305,9 +338,10 @@ func (w *kafkaWorkload) ackedProduces() map[int][]consistency.ProducedMsg {
 // --- Databus: change capture fan-out -----------------------------------------
 
 type databusWorkload struct {
-	base  string // relay URL host:port
-	stats *subsystemStats
-	seed  int64
+	base    string // relay URL host:port
+	stats   *subsystemStats
+	members int
+	seed    int64
 
 	mu          sync.Mutex
 	maxCommit   int64 // highest SCN the relay acked a commit at
@@ -336,7 +370,7 @@ func (w *databusWorkload) run(ctx context.Context, wg *sync.WaitGroup) {
 func (w *databusWorkload) producer(ctx context.Context, wg *sync.WaitGroup) {
 	defer wg.Done()
 	hc := &http.Client{Timeout: 2 * time.Second}
-	keys := workload.NewFastZipfian(followMembers, 0.99, w.seed)
+	keys := workload.NewFastZipfian(w.members, 0.99, w.seed)
 	var seq int64
 	for ctx.Err() == nil {
 		batch := make([]commitItem, 0, 8)

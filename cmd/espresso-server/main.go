@@ -64,6 +64,7 @@ func main() {
 		nodes       = flag.Int("nodes", 3, "storage nodes")
 		partitions  = flag.Int("partitions", 8, "database partitions")
 		replicas    = flag.Int("replicas", 2, "replicas per partition")
+		cacheBytes  = flag.Int64("cache-bytes", 0, "document read cache budget per node in bytes; 0 disables caching")
 	)
 	flag.Parse()
 	if os.Getenv("DATAINFRA_TRACE") != "" {
@@ -79,6 +80,7 @@ func main() {
 		log.Fatal(err)
 	}
 	defer c.Close()
+	c.EnableDocCache(*cacheBytes)
 	for i := 0; i < *nodes; i++ {
 		if _, err := c.AddNode(fmt.Sprintf("node-%d", i)); err != nil {
 			log.Fatal(err)

@@ -34,6 +34,7 @@ func main() {
 		listen      = flag.String("listen", "", "listen address (default: the node's address from the cluster file)")
 		metricsAddr = flag.String("metrics", "127.0.0.1:6676", "observability HTTP address (/metrics, /debug/pprof); empty disables")
 		syncEvery   = flag.Int("sync-every", 0, "bitcask fsync batching: 0 group-commit-syncs every write (acked => on disk), n>0 flushes every n writes unsynced")
+		cacheBytes  = flag.Int64("cache-bytes", 0, "hot-set read cache budget per store in bytes; 0 disables caching")
 		demo        = flag.Bool("demo", false, "run a single-node demo cluster with a memory store named 'demo'")
 	)
 	flag.Parse()
@@ -74,6 +75,7 @@ func main() {
 
 	srv, err := voldemort.NewServer(voldemort.ServerConfig{
 		NodeID: *nodeID, Cluster: clus, DataDir: *dataDir, SyncEvery: *syncEvery,
+		CacheBytes: *cacheBytes,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -90,7 +90,11 @@ func newVoldemortRig(t *testing.T, seed int64, plan resilience.FaultPlan) *volde
 
 	rig := &voldemortRig{stores: make(map[int]voldemort.Store), inj: inj}
 	for _, node := range clus.Nodes {
-		es := voldemort.NewEngineStore(storage.NewMemory("verify"), node.ID, nil)
+		// The hot-set read cache runs in the verify harness so the
+		// linearizability/causal checkers cover cached reads: a stale
+		// cache hit would surface as a consistency violation here.
+		es := voldemort.NewEngineStore(storage.NewMemory("verify"), node.ID, nil).
+			EnableCache(1 << 20)
 		rig.stores[node.ID] = &voldemort.FaultStore{
 			Inner: es, Injector: inj, Op: fmt.Sprintf("node%d", node.ID),
 		}
@@ -336,11 +340,13 @@ func TestVerifyEspressoTimeline(t *testing.T) {
 	}
 
 	binlog := databus.NewLogSource()
-	master := espresso.NewNode("master", db, binlog)
+	// Doc caches on: the timeline check must hold with caching enabled
+	// (commits and replicated applies fence the cached rows).
+	master := espresso.NewNode("master", db, binlog).EnableDocCache(1 << 20)
 	for p := 0; p < partitions; p++ {
 		master.SetRole(p, true)
 	}
-	slave := espresso.NewNode("slave", db, databus.NewLogSource())
+	slave := espresso.NewNode("slave", db, databus.NewLogSource()).EnableDocCache(1 << 20)
 
 	// Concurrent writers: unique values over a small key space, so keys are
 	// rewritten and per-key ordering is actually exercised.

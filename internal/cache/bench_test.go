@@ -1,0 +1,123 @@
+package cache
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"datainfra/internal/workload"
+)
+
+func newBench(b *testing.B, maxBytes int64) *Cache[[]byte] {
+	b.Helper()
+	return New(Config[[]byte]{
+		Name:     "bench",
+		MaxBytes: maxBytes,
+		Shards:   16,
+		SizeOf:   func(key string, v []byte) int64 { return int64(len(key) + len(v)) },
+	})
+}
+
+// BenchmarkGetHit measures the steady-state hit path: one RLock, one
+// map probe, one atomic ref-bit store. Must be zero-alloc.
+func BenchmarkGetHit(b *testing.B) {
+	c := newBench(b, 1<<26)
+	val := make([]byte, 128)
+	keys := make([][]byte, 1024)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("member:%07d", i))
+		c.Reserve(keys[i]).Commit(val)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := c.Get(keys[i&1023]); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+// BenchmarkGetOrLoadHit is the hit path through the singleflight
+// entrypoint — what EngineStore actually calls.
+func BenchmarkGetOrLoadHit(b *testing.B) {
+	c := newBench(b, 1<<26)
+	val := make([]byte, 128)
+	keys := make([][]byte, 1024)
+	load := func(k []byte) ([]byte, error) { return val, nil }
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("member:%07d", i))
+		c.Reserve(keys[i]).Commit(val)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.GetOrLoad(keys[i&1023], load); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGetOrLoadMissEvict measures the full miss path with CLOCK
+// eviction on every install (budget much smaller than keyspace).
+func BenchmarkGetOrLoadMissEvict(b *testing.B) {
+	c := newBench(b, 64<<10)
+	val := make([]byte, 128)
+	load := func(k []byte) ([]byte, error) { return val, nil }
+	keys := make([][]byte, 8192)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("member:%07d", i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Stride through a keyspace much larger than the budget so
+		// nearly every access misses and evicts.
+		if _, err := c.GetOrLoad(keys[(i*37)&8191], load); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkZipfianParallel is the shape the serving tier sees: many
+// goroutines, Zipfian(0.99) key popularity, byte budget covering only
+// the hot set.
+func BenchmarkZipfianParallel(b *testing.B) {
+	const keyspace = 1 << 20
+	c := newBench(b, 16<<20) // holds roughly the top 10% of keys
+	val := make([]byte, 128)
+	load := func(k []byte) ([]byte, error) { return val, nil }
+	var seed atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		z := workload.NewFastZipfian(keyspace, 0.99, seed.Add(1))
+		key := make([]byte, 0, 32)
+		for pb.Next() {
+			key = fmt.Appendf(key[:0], "member:%07d", z.Next())
+			if _, err := c.GetOrLoad(key, load); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	st := c.Stats()
+	if total := st.Hits + st.Misses; total > 0 {
+		b.ReportMetric(float64(st.Hits)/float64(total)*100, "hit%")
+	}
+}
+
+// BenchmarkInvalidate measures the write-through invalidation cost a
+// Put pays.
+func BenchmarkInvalidate(b *testing.B) {
+	c := newBench(b, 1<<26)
+	val := make([]byte, 128)
+	keys := make([][]byte, 1024)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("member:%07d", i))
+		c.Reserve(keys[i]).Commit(val)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Invalidate(keys[i&1023])
+	}
+}

@@ -1,0 +1,437 @@
+package cache
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Config parameterises a Cache.
+type Config[V any] struct {
+	// Name labels this cache's metrics (cache_hit_total{cache="Name"}).
+	Name string
+	// MaxBytes is the total byte budget across all shards. Must be > 0.
+	MaxBytes int64
+	// Shards is rounded up to a power of two; 0 means 16.
+	Shards int
+	// SizeOf charges an entry against the byte budget. It must account
+	// for the key and the value payload. Entries larger than a shard's
+	// budget are served to the caller but never cached.
+	SizeOf func(key string, v V) int64
+}
+
+// Stats is a point-in-time snapshot of one Cache instance's counters.
+// (The exported cache_* metrics aggregate all caches sharing a Name;
+// Stats is always per-instance.)
+type Stats struct {
+	Hits          int64
+	Misses        int64
+	Evictions     int64
+	Invalidations int64
+	Collapsed     int64 // loads that piggybacked on another caller's fetch
+	Bytes         int64
+	Entries       int64
+}
+
+type entry[V any] struct {
+	key  string
+	val  V
+	size int64
+	idx  int         // position in the shard's CLOCK ring
+	ref  atomic.Bool // CLOCK reference bit, set on every hit
+}
+
+// resv is an outstanding load reservation for one key. It exists only
+// while at least one loader is in flight (refs > 0); Invalidate bumps
+// gen so the fenced Commit drops the stale value.
+type resv struct {
+	key  string
+	gen  uint64
+	refs int
+}
+
+// call is a singleflight slot: the leader loads, waiters block on wg.
+// gen records the key's generation when the load began; a caller whose
+// read starts after a later invalidation must not join this call (the
+// leader's backend read predates the write, so sharing its result
+// would be a stale read, not a concurrent one).
+type call[V any] struct {
+	wg   sync.WaitGroup
+	gen  uint64
+	val  V
+	err  error
+	dups int64
+}
+
+type shard[V any] struct {
+	mu    sync.RWMutex
+	m     map[string]*entry[V]
+	ring  []*entry[V]
+	hand  int
+	bytes int64
+	resv  map[string]*resv
+	calls map[string]*call[V]
+}
+
+// Cache is a sharded, byte-budgeted hot-set cache. All methods are
+// safe for concurrent use. Cached values are shared between callers
+// and must not be mutated.
+type Cache[V any] struct {
+	name   string
+	shards []shard[V]
+	mask   uint64
+	budget int64 // per shard
+	sizeOf func(string, V) int64
+
+	entryPool sync.Pool
+	resvPool  sync.Pool
+	callPool  sync.Pool
+
+	hits, misses, evictions, invalidations, collapsed atomic.Int64
+	bytes, entries                                    atomic.Int64
+
+	met cacheMetrics
+}
+
+// New builds a Cache. MaxBytes must be positive and SizeOf non-nil.
+func New[V any](cfg Config[V]) *Cache[V] {
+	if cfg.MaxBytes <= 0 {
+		panic("cache: MaxBytes must be > 0")
+	}
+	if cfg.SizeOf == nil {
+		panic("cache: SizeOf must be set")
+	}
+	n := cfg.Shards
+	if n <= 0 {
+		n = 16
+	}
+	shards := 1
+	for shards < n {
+		shards <<= 1
+	}
+	budget := cfg.MaxBytes / int64(shards)
+	if budget < 1 {
+		budget = 1
+	}
+	c := &Cache[V]{
+		name:   cfg.Name,
+		shards: make([]shard[V], shards),
+		mask:   uint64(shards - 1),
+		budget: budget,
+		sizeOf: cfg.SizeOf,
+		met:    metricsFor(cfg.Name),
+	}
+	for i := range c.shards {
+		c.shards[i].m = make(map[string]*entry[V])
+		c.shards[i].resv = make(map[string]*resv)
+		c.shards[i].calls = make(map[string]*call[V])
+	}
+	c.entryPool.New = func() any { return new(entry[V]) }
+	c.resvPool.New = func() any { return new(resv) }
+	c.callPool.New = func() any { return new(call[V]) }
+	return c
+}
+
+// fnv-1a, inlined so key lookup never allocates.
+func hashKey(key []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return h
+}
+
+func (c *Cache[V]) shard(key []byte) *shard[V] {
+	return &c.shards[hashKey(key)&c.mask]
+}
+
+// Get returns the cached value for key, if present.
+func (c *Cache[V]) Get(key []byte) (V, bool) {
+	s := c.shard(key)
+	s.mu.RLock()
+	e := s.m[string(key)]
+	if e != nil {
+		e.ref.Store(true)
+		v := e.val
+		s.mu.RUnlock()
+		c.hits.Add(1)
+		c.met.hits.Inc()
+		return v, true
+	}
+	s.mu.RUnlock()
+	c.misses.Add(1)
+	c.met.misses.Inc()
+	var zero V
+	return zero, false
+}
+
+// Token fences one backend load against concurrent invalidation. It
+// must be finished with exactly one Commit or Release call.
+type Token[V any] struct {
+	c   *Cache[V]
+	s   *shard[V]
+	r   *resv
+	gen uint64
+}
+
+// Reserve records the key's current generation before the caller reads
+// the backend. If Invalidate runs between Reserve and Commit, the
+// commit is dropped and the stale value never enters the cache.
+func (c *Cache[V]) Reserve(key []byte) Token[V] {
+	s := c.shard(key)
+	s.mu.Lock()
+	r := s.reserveLocked(c, key)
+	gen := r.gen
+	s.mu.Unlock()
+	return Token[V]{c: c, s: s, r: r, gen: gen}
+}
+
+// reserveLocked finds or creates the reservation for key and takes a ref.
+func (s *shard[V]) reserveLocked(c *Cache[V], key []byte) *resv {
+	r := s.resv[string(key)]
+	if r == nil {
+		ks := string(key)
+		r = c.resvPool.Get().(*resv)
+		r.key = ks
+		r.gen = 0
+		r.refs = 0
+		s.resv[ks] = r
+	}
+	r.refs++
+	return r
+}
+
+func (s *shard[V]) releaseLocked(c *Cache[V], r *resv) {
+	r.refs--
+	if r.refs == 0 {
+		delete(s.resv, r.key)
+		r.key = ""
+		c.resvPool.Put(r)
+	}
+}
+
+// Commit installs v for the reserved key unless the key was
+// invalidated since Reserve. It reports whether the value was cached.
+func (t Token[V]) Commit(v V) bool {
+	t.s.mu.Lock()
+	ok := t.r.gen == t.gen
+	if ok {
+		ok = t.c.installLocked(t.s, t.r.key, v)
+	}
+	t.s.releaseLocked(t.c, t.r)
+	t.s.mu.Unlock()
+	return ok
+}
+
+// Release abandons the reservation without installing anything (for
+// example when the backend load failed).
+func (t Token[V]) Release() {
+	t.s.mu.Lock()
+	t.s.releaseLocked(t.c, t.r)
+	t.s.mu.Unlock()
+}
+
+// installLocked inserts or replaces the entry for key, evicting with
+// CLOCK until the shard fits its budget. Oversized values are skipped;
+// the return reports whether the value is now resident.
+func (c *Cache[V]) installLocked(s *shard[V], key string, v V) bool {
+	size := c.sizeOf(key, v)
+	if old := s.m[key]; old != nil {
+		c.removeLocked(s, old)
+	}
+	if size > c.budget {
+		return false
+	}
+	// CLOCK sweep: second-chance entries with the ref bit set; evict
+	// the first entry found clear. Terminates because every pass either
+	// evicts (shrinks the ring) or clears a bit.
+	for s.bytes+size > c.budget && len(s.ring) > 0 {
+		e := s.ring[s.hand]
+		if e.ref.Load() {
+			e.ref.Store(false)
+			s.hand++
+			if s.hand >= len(s.ring) {
+				s.hand = 0
+			}
+			continue
+		}
+		c.removeLocked(s, e)
+		c.evictions.Add(1)
+		c.met.evictions.Inc()
+		if s.hand >= len(s.ring) {
+			s.hand = 0
+		}
+	}
+	e := c.entryPool.Get().(*entry[V])
+	e.key = key
+	e.val = v
+	e.size = size
+	e.idx = len(s.ring)
+	e.ref.Store(false)
+	s.ring = append(s.ring, e)
+	s.m[key] = e
+	s.bytes += size
+	c.bytes.Add(size)
+	c.entries.Add(1)
+	c.met.bytes.Add(size)
+	c.met.entries.Inc()
+	return true
+}
+
+// removeLocked unlinks e from the shard (swap-delete in the ring) and
+// returns it to the pool.
+func (c *Cache[V]) removeLocked(s *shard[V], e *entry[V]) {
+	last := len(s.ring) - 1
+	moved := s.ring[last]
+	s.ring[e.idx] = moved
+	moved.idx = e.idx
+	s.ring[last] = nil
+	s.ring = s.ring[:last]
+	delete(s.m, e.key)
+	s.bytes -= e.size
+	c.bytes.Add(-e.size)
+	c.entries.Add(-1)
+	c.met.bytes.Add(-e.size)
+	c.met.entries.Dec()
+	var zero V
+	e.key = ""
+	e.val = zero
+	c.entryPool.Put(e)
+}
+
+// Invalidate removes any cached entry for key and fences every
+// in-flight load of it so a racing Commit cannot resurrect stale data.
+// Call it AFTER the backend mutation is applied.
+func (c *Cache[V]) Invalidate(key []byte) {
+	s := c.shard(key)
+	s.mu.Lock()
+	if r := s.resv[string(key)]; r != nil {
+		r.gen++
+	}
+	if e := s.m[string(key)]; e != nil {
+		c.removeLocked(s, e)
+	}
+	s.mu.Unlock()
+	c.invalidations.Add(1)
+	c.met.invalidations.Inc()
+}
+
+// InvalidateAll drops every cached entry and fences every in-flight
+// load. Used when the backend changes wholesale (partition delete,
+// read-only store swap).
+func (c *Cache[V]) InvalidateAll() {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for _, r := range s.resv {
+			r.gen++
+		}
+		for len(s.ring) > 0 {
+			c.removeLocked(s, s.ring[len(s.ring)-1])
+		}
+		s.hand = 0
+		s.mu.Unlock()
+	}
+	c.invalidations.Add(1)
+	c.met.invalidations.Inc()
+}
+
+// GetOrLoad returns the cached value for key, or collapses concurrent
+// misses into one call of load. The loader runs outside all cache
+// locks; its result is installed only if the key was not invalidated
+// while it ran. Errors are propagated to every waiter and not cached.
+//
+// load receives the key back so callers can pass a pre-built function
+// value and keep the hit path allocation-free.
+func (c *Cache[V]) GetOrLoad(key []byte, load func(key []byte) (V, error)) (V, error) {
+	s := c.shard(key)
+	s.mu.RLock()
+	if e := s.m[string(key)]; e != nil {
+		e.ref.Store(true)
+		v := e.val
+		s.mu.RUnlock()
+		c.hits.Add(1)
+		c.met.hits.Inc()
+		return v, nil
+	}
+	s.mu.RUnlock()
+
+	s.mu.Lock()
+	// Re-check: the entry may have been installed while upgrading.
+	if e := s.m[string(key)]; e != nil {
+		e.ref.Store(true)
+		v := e.val
+		s.mu.Unlock()
+		c.hits.Add(1)
+		c.met.hits.Inc()
+		return v, nil
+	}
+	if cl := s.calls[string(key)]; cl != nil {
+		// Join only if the key has not been invalidated since the
+		// leader's load began — the leader's reservation is alive for
+		// the whole load, so its current gen is authoritative. If the
+		// gens differ, fall through and start a fresh load (the stale
+		// call keeps running for its own waiters but is replaced in
+		// the slot, and its gen-fenced commit cannot install).
+		if r := s.resv[string(key)]; r != nil && r.gen == cl.gen {
+			cl.dups++
+			s.mu.Unlock()
+			cl.wg.Wait()
+			c.collapsed.Add(1)
+			c.met.collapsed.Inc()
+			return cl.val, cl.err
+		}
+	}
+	// Leader: publish the call slot and reserve before loading.
+	ks := string(key)
+	cl := c.callPool.Get().(*call[V])
+	cl.dups = 0
+	cl.wg.Add(1)
+	r := s.reserveLocked(c, key)
+	gen := r.gen
+	cl.gen = gen
+	s.calls[ks] = cl
+	s.mu.Unlock()
+	c.misses.Add(1)
+	c.met.misses.Inc()
+
+	v, err := load(key)
+
+	s.mu.Lock()
+	if s.calls[ks] == cl {
+		delete(s.calls, ks)
+	}
+	if err == nil && r.gen == gen {
+		c.installLocked(s, ks, v)
+	}
+	s.releaseLocked(c, r)
+	dups := cl.dups
+	s.mu.Unlock()
+
+	cl.val, cl.err = v, err
+	cl.wg.Done()
+	if dups == 0 {
+		// No waiter ever observed this slot (checked under the shard
+		// lock after unpublishing), so it is safe to recycle.
+		var zero V
+		cl.val, cl.err = zero, nil
+		c.callPool.Put(cl)
+	}
+	return v, err
+}
+
+// Stats snapshots this instance's counters.
+func (c *Cache[V]) Stats() Stats {
+	return Stats{
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Evictions:     c.evictions.Load(),
+		Invalidations: c.invalidations.Load(),
+		Collapsed:     c.collapsed.Load(),
+		Bytes:         c.bytes.Load(),
+		Entries:       c.entries.Load(),
+	}
+}
+
+// Name returns the metrics label this cache was built with.
+func (c *Cache[V]) Name() string { return c.name }

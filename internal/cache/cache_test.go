@@ -1,0 +1,441 @@
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func newTest(t *testing.T, maxBytes int64, shards int) *Cache[string] {
+	t.Helper()
+	return New(Config[string]{
+		Name:     "test",
+		MaxBytes: maxBytes,
+		Shards:   shards,
+		SizeOf:   func(key string, v string) int64 { return int64(len(key) + len(v)) },
+	})
+}
+
+func TestGetLoadInvalidate(t *testing.T) {
+	c := newTest(t, 1<<20, 4)
+	key := []byte("alpha")
+
+	if _, ok := c.Get(key); ok {
+		t.Fatal("unexpected hit on empty cache")
+	}
+	loads := 0
+	load := func(k []byte) (string, error) { loads++; return "v1", nil }
+	if v, err := c.GetOrLoad(key, load); err != nil || v != "v1" {
+		t.Fatalf("GetOrLoad = %q, %v", v, err)
+	}
+	if v, err := c.GetOrLoad(key, load); err != nil || v != "v1" {
+		t.Fatalf("GetOrLoad (cached) = %q, %v", v, err)
+	}
+	if loads != 1 {
+		t.Fatalf("loader ran %d times, want 1", loads)
+	}
+	if v, ok := c.Get(key); !ok || v != "v1" {
+		t.Fatalf("Get = %q, %v", v, ok)
+	}
+
+	c.Invalidate(key)
+	if _, ok := c.Get(key); ok {
+		t.Fatal("hit after invalidate")
+	}
+	st := c.Stats()
+	if st.Hits < 2 || st.Misses < 2 || st.Invalidations != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestLoadErrorNotCached(t *testing.T) {
+	c := newTest(t, 1<<20, 1)
+	key := []byte("k")
+	boom := errors.New("backend down")
+	calls := 0
+	if _, err := c.GetOrLoad(key, func([]byte) (string, error) { calls++; return "", boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if _, ok := c.Get(key); ok {
+		t.Fatal("error result was cached")
+	}
+	// The next caller must retry the backend, not observe a cached error.
+	if v, err := c.GetOrLoad(key, func([]byte) (string, error) { calls++; return "ok", nil }); err != nil || v != "ok" {
+		t.Fatalf("retry = %q, %v", v, err)
+	}
+	if calls != 2 {
+		t.Fatalf("loader calls = %d, want 2", calls)
+	}
+}
+
+func TestByteBudgetEviction(t *testing.T) {
+	// One shard, budget 100 bytes, entries of 10 bytes each (5-byte key
+	// + 5-byte value): at most 10 resident.
+	c := newTest(t, 100, 1)
+	for i := 0; i < 50; i++ {
+		key := []byte(fmt.Sprintf("k%04d", i))
+		tok := c.Reserve(key)
+		tok.Commit("12345")
+	}
+	st := c.Stats()
+	if st.Bytes > 100 {
+		t.Fatalf("resident bytes %d exceed budget", st.Bytes)
+	}
+	if st.Entries != 10 {
+		t.Fatalf("entries = %d, want 10", st.Entries)
+	}
+	if st.Evictions != 40 {
+		t.Fatalf("evictions = %d, want 40", st.Evictions)
+	}
+}
+
+func TestClockPrefersHotEntries(t *testing.T) {
+	c := newTest(t, 100, 1)
+	hot := []byte("hot00")
+	c.Reserve(hot).Commit("12345")
+	for i := 0; i < 9; i++ {
+		c.Reserve([]byte(fmt.Sprintf("c%04d", i))).Commit("12345")
+	}
+	// Touch the hot key so its ref bit survives the next sweep.
+	if _, ok := c.Get(hot); !ok {
+		t.Fatal("hot key missing before sweep")
+	}
+	// Insert enough cold keys to force eviction of half the shard.
+	for i := 0; i < 5; i++ {
+		c.Reserve([]byte(fmt.Sprintf("d%04d", i))).Commit("12345")
+	}
+	if _, ok := c.Get(hot); !ok {
+		t.Fatal("CLOCK evicted the referenced hot entry")
+	}
+}
+
+func TestOversizedEntrySkipped(t *testing.T) {
+	c := newTest(t, 64, 1)
+	big := make([]byte, 200)
+	tok := c.Reserve([]byte("big"))
+	if tok.Commit(string(big)) {
+		t.Fatal("oversized entry reported as cached")
+	}
+	if _, ok := c.Get([]byte("big")); ok {
+		t.Fatal("oversized entry resident")
+	}
+	if st := c.Stats(); st.Bytes != 0 || st.Entries != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestReplaceExistingEntry(t *testing.T) {
+	c := newTest(t, 1<<20, 1)
+	key := []byte("k")
+	c.Reserve(key).Commit("one")
+	c.Reserve(key).Commit("three")
+	if v, ok := c.Get(key); !ok || v != "three" {
+		t.Fatalf("Get = %q, %v", v, ok)
+	}
+	if st := c.Stats(); st.Entries != 1 || st.Bytes != int64(len("k")+len("three")) {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestInvalidationFencesInFlightLoad is the deterministic stale-read
+// repro: a load reads the backend, an invalidation lands before the
+// commit, and the stale value must not enter the cache.
+func TestInvalidationFencesInFlightLoad(t *testing.T) {
+	c := newTest(t, 1<<20, 4)
+	key := []byte("user:42")
+
+	tok := c.Reserve(key)
+	// Loader has read "old" from the backend; a writer now updates the
+	// backend and invalidates.
+	c.Invalidate(key)
+	if tok.Commit("old") {
+		t.Fatal("fenced commit reported success")
+	}
+	if _, ok := c.Get(key); ok {
+		t.Fatal("stale value resurrected after invalidation")
+	}
+
+	// A reservation taken after the invalidation commits normally.
+	tok = c.Reserve(key)
+	if !tok.Commit("new") {
+		t.Fatal("clean commit failed")
+	}
+	if v, _ := c.Get(key); v != "new" {
+		t.Fatalf("Get = %q, want new", v)
+	}
+}
+
+// TestInvalidationFencesGetOrLoad drives the same race through the
+// singleflight path with a gated loader.
+func TestInvalidationFencesGetOrLoad(t *testing.T) {
+	c := newTest(t, 1<<20, 4)
+	key := []byte("user:7")
+	started := make(chan struct{})
+	unblock := make(chan struct{})
+	done := make(chan struct{})
+
+	go func() {
+		defer close(done)
+		v, err := c.GetOrLoad(key, func([]byte) (string, error) {
+			close(started)
+			<-unblock
+			return "stale", nil
+		})
+		// The caller still gets the value it read — a read concurrent
+		// with a write may see either side.
+		if err != nil || v != "stale" {
+			t.Errorf("GetOrLoad = %q, %v", v, err)
+		}
+	}()
+
+	<-started
+	c.Invalidate(key) // writer updated the backend mid-load
+	close(unblock)
+	<-done
+
+	if _, ok := c.Get(key); ok {
+		t.Fatal("stale load was cached past the invalidation")
+	}
+}
+
+func TestInvalidateAll(t *testing.T) {
+	c := newTest(t, 1<<20, 4)
+	for i := 0; i < 100; i++ {
+		c.Reserve([]byte(fmt.Sprintf("k%d", i))).Commit("v")
+	}
+	tok := c.Reserve([]byte("inflight"))
+	c.InvalidateAll()
+	if st := c.Stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("stats after flush = %+v", st)
+	}
+	if tok.Commit("stale") {
+		t.Fatal("in-flight load committed past InvalidateAll")
+	}
+}
+
+func TestSingleflightCollapses(t *testing.T) {
+	c := newTest(t, 1<<20, 1)
+	key := []byte("k")
+	var loads atomic.Int64
+	started := make(chan struct{})
+	unblock := make(chan struct{})
+
+	const waiters = 8
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.GetOrLoad(key, func([]byte) (string, error) {
+			loads.Add(1)
+			close(started)
+			<-unblock
+			return "v", nil
+		})
+	}()
+	<-started
+	// While the leader is parked in its loader, every concurrent caller
+	// must either join the in-flight call or (after the leader commits)
+	// hit the cache — the loader can never run a second time.
+	results := make([]string, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := c.GetOrLoad(key, func([]byte) (string, error) {
+				loads.Add(1)
+				return "v", nil
+			})
+			if err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+			}
+			results[i] = v
+		}(i)
+	}
+	close(unblock)
+	wg.Wait()
+	if n := loads.Load(); n != 1 {
+		t.Fatalf("loader ran %d times, want 1", n)
+	}
+	for i, v := range results {
+		if v != "v" {
+			t.Fatalf("waiter %d got %q", i, v)
+		}
+	}
+}
+
+func TestSingleflightErrorFansOut(t *testing.T) {
+	c := newTest(t, 1<<20, 1)
+	key := []byte("k")
+	boom := errors.New("injected fault")
+	started := make(chan struct{})
+	unblock := make(chan struct{})
+
+	var wg sync.WaitGroup
+	errs := make([]error, 5)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, errs[0] = c.GetOrLoad(key, func([]byte) (string, error) {
+			close(started)
+			<-unblock
+			return "", boom
+		})
+	}()
+	<-started
+	for i := 1; i < 5; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = c.GetOrLoad(key, func([]byte) (string, error) {
+				<-unblock // any late leader also fails
+				return "", boom
+			})
+		}(i)
+	}
+	close(unblock)
+	wg.Wait()
+	for i, err := range errs {
+		if !errors.Is(err, boom) {
+			t.Fatalf("caller %d err = %v, want %v", i, err, boom)
+		}
+	}
+	if _, ok := c.Get(key); ok {
+		t.Fatal("failed load left a cache entry")
+	}
+}
+
+// TestSeededInvalidationRace is the randomized stale-read hunt: writers
+// bump a backing store version and invalidate; readers assert they
+// never observe a version older than one published before their read
+// began. Run under -race via RACE_PKGS.
+func TestSeededInvalidationRace(t *testing.T) {
+	seed := int64(1)
+	if s := testing.Verbose(); s {
+		t.Logf("seed=%d", seed)
+	}
+	const (
+		keys    = 64
+		writers = 4
+		readers = 8
+		opsEach = 3000
+	)
+	c := New(Config[uint64]{
+		Name:     "test",
+		MaxBytes: 448, // ~8 entries per shard: force constant eviction alongside the race
+		Shards:   4,
+		SizeOf:   func(key string, v uint64) int64 { return int64(len(key)) + 8 },
+	})
+	var backing [keys]atomic.Uint64   // the "engine"
+	var published [keys]atomic.Uint64 // version guaranteed visible (post-invalidate)
+
+	keyName := func(i int) []byte { return []byte(fmt.Sprintf("row-%02d", i)) }
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(w)))
+			for i := 0; i < opsEach; i++ {
+				k := rng.Intn(keys)
+				v := backing[k].Add(1)
+				c.Invalidate(keyName(k))
+				// Only after the invalidation returns is v guaranteed
+				// to be observed by future reads.
+				for {
+					cur := published[k].Load()
+					if cur >= v || published[k].CompareAndSwap(cur, v) {
+						break
+					}
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + 1000 + int64(r)))
+			for i := 0; i < opsEach; i++ {
+				k := rng.Intn(keys)
+				floor := published[k].Load()
+				v, err := c.GetOrLoad(keyName(k), func([]byte) (uint64, error) {
+					return backing[k].Load(), nil
+				})
+				if err != nil {
+					t.Errorf("reader %d: %v", r, err)
+					return
+				}
+				if v < floor {
+					t.Errorf("stale read on key %d: got version %d, published floor was %d", k, v, floor)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Fatal("race test never evicted — budget too large to stress CLOCK")
+	}
+}
+
+// TestConcurrentChurn hammers every operation at once; the assertions
+// are the race detector plus budget accounting staying consistent.
+func TestConcurrentChurn(t *testing.T) {
+	c := newTest(t, 2048, 8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 4000; i++ {
+				key := []byte(fmt.Sprintf("k%03d", rng.Intn(200)))
+				switch rng.Intn(5) {
+				case 0:
+					c.Get(key)
+				case 1:
+					c.GetOrLoad(key, func(k []byte) (string, error) { return string(k), nil })
+				case 2:
+					c.Reserve(key).Commit("abcdefgh")
+				case 3:
+					c.Reserve(key).Release()
+				case 4:
+					c.Invalidate(key)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Bytes < 0 || st.Entries < 0 {
+		t.Fatalf("accounting went negative: %+v", st)
+	}
+	// Recount resident bytes against the shards directly.
+	var bytes, entries int64
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for _, e := range s.m {
+			bytes += e.size
+			entries++
+		}
+		if len(s.m) != len(s.ring) {
+			t.Errorf("shard %d: map %d vs ring %d", i, len(s.m), len(s.ring))
+		}
+		if len(s.resv) != 0 {
+			t.Errorf("shard %d: %d leaked reservations", i, len(s.resv))
+		}
+		if len(s.calls) != 0 {
+			t.Errorf("shard %d: %d leaked calls", i, len(s.calls))
+		}
+		s.mu.Unlock()
+	}
+	if bytes != st.Bytes || entries != st.Entries {
+		t.Fatalf("accounting drift: counted %d bytes/%d entries, stats %+v", bytes, entries, st)
+	}
+}

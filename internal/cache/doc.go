@@ -1,0 +1,36 @@
+// Package cache provides a sharded, byte-budgeted, concurrency-safe
+// hot-set cache with CLOCK eviction and a singleflight layer that
+// collapses concurrent misses for the same key into one backend fetch.
+//
+// The cache is generic over the value type: Voldemort caches version
+// sets ([]*versioned.Versioned) in front of EngineStore, Espresso
+// caches document rows (*Row) in front of the partition store. Values
+// must be treated as immutable once installed — every consumer of a
+// cached value sees the same pointer.
+//
+// # Invalidation versus in-flight loads
+//
+// The fundamental race in any look-aside cache: a reader misses, reads
+// the backend, and installs the result — but between the backend read
+// and the install, a writer mutated the backend and invalidated the
+// key. A naive cache re-installs the stale pre-write value, which then
+// serves stale reads forever (until evicted). This cache makes that
+// impossible with generation-fenced reservations:
+//
+//   - A loader calls Reserve(key) BEFORE reading the backend. The
+//     reservation records the key's current generation.
+//   - Invalidate(key) deletes any cached entry AND bumps the
+//     generation of every outstanding reservation for the key.
+//   - Commit(v) installs the loaded value only if the generation is
+//     unchanged; otherwise the value is returned to the caller (a read
+//     concurrent with the write — linearizable either way) but never
+//     cached.
+//
+// Reservations are refcounted and exist only while loads are in
+// flight, so invalidation fencing costs no tombstone memory.
+//
+// GetOrLoad wraps the Reserve/load/Commit dance with singleflight:
+// concurrent misses for one key block on a single leader's backend
+// fetch and share its result (errors are shared too, and never
+// cached, so a failed load is retried by the next caller).
+package cache

@@ -1,0 +1,39 @@
+package cache
+
+import "datainfra/internal/metrics"
+
+// Exported instruments are vectors labelled by cache name so every
+// cache in a process shares one registration. Two cache instances
+// created with the same Name aggregate into the same series; per
+// instance numbers come from Stats().
+var (
+	mHits          = metrics.RegisterCounterVec("cache_hit_total", "reads served from the hot-set cache", "cache")
+	mMisses        = metrics.RegisterCounterVec("cache_miss_total", "reads that fell through to the backend", "cache")
+	mEvictions     = metrics.RegisterCounterVec("cache_eviction_total", "entries evicted by the CLOCK sweep to fit the byte budget", "cache")
+	mInvalidations = metrics.RegisterCounterVec("cache_invalidation_total", "write-through invalidations (including whole-cache flushes)", "cache")
+	mCollapsed     = metrics.RegisterCounterVec("cache_load_collapsed_total", "misses that piggybacked on another caller's in-flight backend fetch", "cache")
+	mBytes         = metrics.RegisterGaugeVec("cache_bytes", "resident bytes charged against the cache budget", "cache")
+	mEntries       = metrics.RegisterGaugeVec("cache_resident_rows", "entries currently resident in the cache", "cache")
+)
+
+type cacheMetrics struct {
+	hits          *metrics.Counter
+	misses        *metrics.Counter
+	evictions     *metrics.Counter
+	invalidations *metrics.Counter
+	collapsed     *metrics.Counter
+	bytes         *metrics.Gauge
+	entries       *metrics.Gauge
+}
+
+func metricsFor(name string) cacheMetrics {
+	return cacheMetrics{
+		hits:          mHits.With(name),
+		misses:        mMisses.With(name),
+		evictions:     mEvictions.With(name),
+		invalidations: mInvalidations.With(name),
+		collapsed:     mCollapsed.With(name),
+		bytes:         mBytes.With(name),
+		entries:       mEntries.With(name),
+	}
+}

@@ -1,0 +1,203 @@
+package espresso
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func cachedSoloNode(t testing.TB) *Node {
+	t.Helper()
+	db := musicDB(t, 4, 1)
+	return soloNode(t, db).EnableDocCache(1 << 20)
+}
+
+func TestDocCacheServesRepeatReads(t *testing.T) {
+	n := cachedSoloNode(t)
+	key := DocKey{Table: "Artist", Parts: []string{"Cher"}}
+	if _, err := n.Put(key, map[string]any{"name": "Cher", "genre": "pop"}, ""); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		row, err := n.Get(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		doc, err := n.Document(row)
+		if err != nil || doc["name"] != "Cher" {
+			t.Fatalf("doc = %v, %v", doc, err)
+		}
+	}
+	st := n.DocCache().Stats()
+	if st.Hits != 9 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want 9 hits / 1 miss", st)
+	}
+}
+
+func TestDocCacheInvalidatedOnCommit(t *testing.T) {
+	n := cachedSoloNode(t)
+	key := DocKey{Table: "Album", Parts: []string{"Akon", "Trouble"}}
+	if _, err := n.Put(key, map[string]any{"artist": "Akon", "title": "Trouble", "year": int64(2004)}, ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Get(key); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite: the commit must fence the cached row.
+	if _, err := n.Put(key, map[string]any{"artist": "Akon", "title": "Trouble", "year": int64(2005)}, ""); err != nil {
+		t.Fatal(err)
+	}
+	row, err := n.Get(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, _ := n.Document(row)
+	if doc["year"] != int64(2005) {
+		t.Fatalf("stale read after commit: %v", doc)
+	}
+	// Deletes fence too; missing documents are never cached.
+	if err := n.Delete(key, ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Get(key); !errors.Is(err, ErrNoSuchDocument) {
+		t.Fatalf("get after delete = %v", err)
+	}
+	if _, err := n.Get(key); !errors.Is(err, ErrNoSuchDocument) {
+		t.Fatalf("second get after delete = %v", err)
+	}
+}
+
+func TestDocCacheConditionalWritesSeesFreshEtag(t *testing.T) {
+	n := cachedSoloNode(t)
+	key := DocKey{Table: "Artist", Parts: []string{"Etta"}}
+	row, err := n.Put(key, map[string]any{"name": "Etta", "genre": "soul"}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Get(key); err != nil {
+		t.Fatal(err)
+	}
+	row2, err := n.Put(key, map[string]any{"name": "Etta James", "genre": "soul"}, row.Etag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := n.Get(key)
+	if err != nil || got.Etag != row2.Etag {
+		t.Fatalf("etag after conditional put = %v (want %s), err %v", got, row2.Etag, err)
+	}
+}
+
+// TestDocCacheSlaveInvalidatedOnReplicatedApply proves timeline
+// consistency survives caching on slaves: replicated applies fence the
+// cache, so a slave poll-read converges to the new value instead of
+// pinning the cached one forever.
+func TestDocCacheSlaveInvalidatedOnReplicatedApply(t *testing.T) {
+	db := musicDB(t, 4, 2)
+	c, err := NewCluster(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	c.EnableDocCache(1 << 20)
+	for i := 0; i < 2; i++ {
+		if _, err := c.AddNode(fmt.Sprintf("node-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.WaitForMasters(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	key := DocKey{Table: "Artist", Parts: []string{"Cher"}}
+	clusterPut(t, c, key, map[string]any{"name": "Cher", "genre": "pop"})
+	master, err := c.Route(key.ResourceID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var slave *Node
+	for i := 0; i < 2; i++ {
+		m, ok := c.Member(fmt.Sprintf("node-%d", i))
+		if !ok {
+			t.Fatal("member missing")
+		}
+		if m.Node != master {
+			slave = m.Node
+		}
+	}
+	if slave == nil {
+		t.Fatal("no slave node")
+	}
+
+	waitDoc := func(n *Node, wantGenre string) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			row, err := n.Get(key)
+			if err == nil {
+				if doc, _ := n.Document(row); doc["genre"] == wantGenre {
+					return
+				}
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("slave never served genre=%q (err=%v)", wantGenre, err)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	// Warm the slave's cache on the old value, then update through the
+	// master. If ApplyReplicated did not invalidate, the slave would
+	// serve the cached "pop" row forever and this poll would time out.
+	waitDoc(slave, "pop")
+	waitDoc(slave, "pop")
+	clusterPut(t, c, key, map[string]any{"name": "Cher", "genre": "disco"})
+	waitDoc(slave, "disco")
+	if st := slave.DocCache().Stats(); st.Hits == 0 || st.Invalidations == 0 {
+		t.Fatalf("slave cache never engaged: %+v", st)
+	}
+}
+
+func benchNode(b *testing.B, cacheBytes int64) (*Node, []DocKey) {
+	b.Helper()
+	db := musicDB(b, 4, 1)
+	n := soloNode(b, db)
+	if cacheBytes > 0 {
+		n.EnableDocCache(cacheBytes)
+	}
+	const ndocs = 4096
+	keys := make([]DocKey, ndocs)
+	for i := range keys {
+		keys[i] = DocKey{Table: "Artist", Parts: []string{fmt.Sprintf("artist-%05d", i)}}
+		if _, err := n.Put(keys[i], map[string]any{"name": fmt.Sprintf("artist-%05d", i), "genre": "rock"}, ""); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return n, keys
+}
+
+// BenchmarkNodeGet measures the document read path with and without the
+// doc cache (uncached = the seed partition-store path).
+func BenchmarkNodeGet(b *testing.B) {
+	for _, cfg := range []struct {
+		name  string
+		bytes int64
+	}{{"uncached", 0}, {"cached", 64 << 20}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			n, keys := benchNode(b, cfg.bytes)
+			if cfg.bytes > 0 {
+				for _, k := range keys {
+					if _, err := n.Get(k); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := n.Get(keys[i&4095]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -26,6 +26,7 @@ type Cluster struct {
 	controller *helix.Controller
 	spectator  *helix.Spectator
 	bootClient *databus.Client
+	cacheBytes int64
 
 	mu      sync.Mutex
 	members map[string]*Member
@@ -88,6 +89,15 @@ func NewCluster(db *Database) (*Cluster, error) {
 	return c, nil
 }
 
+// EnableDocCache gives every node added after this call a document read
+// cache of maxBytes (see Node.EnableDocCache). Chainable; ≤0 is a no-op.
+func (c *Cluster) EnableDocCache(maxBytes int64) *Cluster {
+	c.mu.Lock()
+	c.cacheBytes = maxBytes
+	c.mu.Unlock()
+	return c
+}
+
 // AddNode creates a storage node, registers it as a Helix participant and
 // returns the member. Helix will assign it partitions (slaving first, then
 // mastering), which is also how elastic expansion works (§IV.B).
@@ -97,9 +107,10 @@ func (c *Cluster) AddNode(id string) (*Member, error) {
 		c.mu.Unlock()
 		return nil, fmt.Errorf("espresso: duplicate node %q", id)
 	}
+	cacheBytes := c.cacheBytes
 	c.mu.Unlock()
 	m := &Member{
-		Node:    NewNode(id, c.DB, c.Binlog),
+		Node:    NewNode(id, c.DB, c.Binlog).EnableDocCache(cacheBytes),
 		cluster: c,
 		subs:    map[int]*databus.Client{},
 	}

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"datainfra/internal/cache"
 	"datainfra/internal/databus"
 	"datainfra/internal/docindex"
 	"datainfra/internal/schema"
@@ -55,7 +56,52 @@ type Node struct {
 	mu         sync.RWMutex
 	partitions map[int]*partitionStore
 
+	// cache, when non-nil, serves repeated document reads for this
+	// node's (db, table, key) space without touching the partition
+	// store. Every commit and replicated apply invalidates the touched
+	// rows, and in-flight loads are generation-fenced (internal/cache),
+	// so a cached read can never return a row older than the last
+	// committed version. Rows are immutable once stored, so sharing
+	// the *Row pointer is safe.
+	cache *cache.Cache[*Row]
+
 	now func() time.Time
+}
+
+// EnableDocCache puts a document-read cache with the given byte budget
+// in front of the node's partition stores. Call before serving;
+// maxBytes <= 0 leaves caching disabled. Returns n for chaining.
+func (n *Node) EnableDocCache(maxBytes int64) *Node {
+	if maxBytes <= 0 {
+		return n
+	}
+	n.cache = cache.New(cache.Config[*Row]{
+		Name:     "espresso",
+		MaxBytes: maxBytes,
+		SizeOf:   sizeOfRow,
+	})
+	return n
+}
+
+// DocCache exposes the document cache, if enabled (stats, tests).
+func (n *Node) DocCache() *cache.Cache[*Row] { return n.cache }
+
+// sizeOfRow charges a cached row against the byte budget: the rowID
+// key, the encoded value, the etag, and a fixed struct overhead.
+func sizeOfRow(key string, row *Row) int64 {
+	size := int64(len(key)) + int64(len(row.Val)) + int64(len(row.Etag)) + 112
+	for _, p := range row.Key.Parts {
+		size += int64(len(p)) + 16
+	}
+	return size + int64(len(row.Key.Table))
+}
+
+// invalidateDoc fences one rowID after a mutation. Callers hold the
+// partition lock, which is safe: the cache never takes partition locks.
+func (n *Node) invalidateDoc(rowID string) {
+	if n.cache != nil {
+		n.cache.Invalidate([]byte(rowID))
+	}
 }
 
 // NewNode builds a storage node for db committing to binlog.
@@ -244,10 +290,14 @@ func (n *Node) Commit(writes []Write) ([]*Row, error) {
 	}
 	scn := n.binlog.Commit(events...)
 
-	// Apply locally in the same commit order.
+	// Apply locally in the same commit order. Invalidation happens
+	// after each row is applied and inside the partition lock, so any
+	// read that loaded the pre-commit state is generation-fenced out of
+	// the cache before this transaction's effects become visible.
 	rows := make([]*Row, 0, len(stagedWrites))
 	for _, st := range stagedWrites {
 		ps.applyLocked(n.db, st.row, st.rec, st.delete)
+		n.invalidateDoc(st.row.Key.rowID())
 		rows = append(rows, st.row)
 	}
 	ps.appliedSCN = scn
@@ -290,6 +340,26 @@ func (n *Node) Get(key DocKey) (*Row, error) {
 	if _, err := n.db.validateKey(key); err != nil {
 		return nil, err
 	}
+	var row *Row
+	var err error
+	if n.cache != nil {
+		row, err = n.cache.GetOrLoad([]byte(key.rowID()), func([]byte) (*Row, error) {
+			return n.getStore(key)
+		})
+	} else {
+		row, err = n.getStore(key)
+	}
+	if err != nil {
+		return nil, err
+	}
+	mGets.Inc()
+	return row, nil
+}
+
+// getStore reads key from the partition store, bypassing the cache.
+// Missing documents are errors, which the cache never stores — a
+// failed load is retried by the next reader.
+func (n *Node) getStore(key DocKey) (*Row, error) {
 	ps := n.partition(n.db.PartitionOf(key.ResourceID()), false)
 	if ps == nil {
 		return nil, fmt.Errorf("%w: %s", ErrNoSuchDocument, key)
@@ -300,7 +370,6 @@ func (n *Node) Get(key DocKey) (*Row, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrNoSuchDocument, key)
 	}
-	mGets.Inc()
 	return row, nil
 }
 
@@ -408,6 +477,7 @@ func (n *Node) ApplyReplicated(e databus.Event) error {
 		SchemaVersion: cr.SchemaVersion,
 	}
 	ps.applyLocked(n.db, row, nil, cr.Delete)
+	n.invalidateDoc(row.Key.rowID())
 	if e.EndOfTxn {
 		ps.appliedSCN = e.SCN
 		mAppliedSCN.Set(e.SCN)

@@ -1,0 +1,131 @@
+package voldemort
+
+import (
+	"fmt"
+	"testing"
+
+	"datainfra/internal/storage"
+	"datainfra/internal/versioned"
+	"datainfra/internal/workload"
+)
+
+// benchEngineStore builds a bitcask-backed EngineStore preloaded with
+// nkeys 128-byte values. cacheBytes 0 = uncached (the seed read path).
+func benchEngineStore(b *testing.B, nkeys int, cacheBytes int64) *EngineStore {
+	b.Helper()
+	eng, err := storage.OpenBitcask("bench", b.TempDir(), 1000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { eng.Close() })
+	es := NewEngineStore(eng, 0, nil).EnableCache(cacheBytes)
+	val := make([]byte, 128)
+	for i := 0; i < nkeys; i++ {
+		v := versioned.New(val)
+		v.Clock.Increment(0, 1)
+		if err := es.Put([]byte(fmt.Sprintf("member:%07d", i)), v, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return es
+}
+
+// BenchmarkEngineStoreGet is the alloc audit for the cached read path:
+// "uncached" must match the seed engine path byte-for-byte (the cache
+// branch is nil-checked out), "hot" shows the hit path, and "zipfian"
+// is the realistic mix at a budget holding ~10% of the keyspace.
+func BenchmarkEngineStoreGet(b *testing.B) {
+	const nkeys = 100_000
+	keys := make([][]byte, nkeys)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("member:%07d", i))
+	}
+	b.Run("uncached", func(b *testing.B) {
+		es := benchEngineStore(b, nkeys, 0)
+		z := workload.NewFastZipfian(nkeys, 0.99, 1)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := es.Get(keys[z.Next()], nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached-zipfian", func(b *testing.B) {
+		es := benchEngineStore(b, nkeys, 4<<20)
+		z := workload.NewFastZipfian(nkeys, 0.99, 1)
+		// Warm the hot set so the benchmark measures steady state, not
+		// the cold-start fill.
+		for i := 0; i < 2*nkeys; i++ {
+			if _, err := es.Get(keys[z.Next()], nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := es.Get(keys[z.Next()], nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		st := es.Cache().Stats()
+		if total := st.Hits + st.Misses; total > 0 {
+			b.ReportMetric(float64(st.Hits)/float64(total)*100, "hit%")
+		}
+	})
+	b.Run("cached-hot", func(b *testing.B) {
+		es := benchEngineStore(b, nkeys, 64<<20)
+		// Prime a resident working set, then read only within it.
+		for i := 0; i < 1024; i++ {
+			if _, err := es.Get(keys[i], nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := es.Get(keys[i&1023], nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkEngineStoreGetParallel is the server-shaped load: many
+// goroutines hammering the Zipfian hot set.
+func BenchmarkEngineStoreGetParallel(b *testing.B) {
+	const nkeys = 100_000
+	keys := make([][]byte, nkeys)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("member:%07d", i))
+	}
+	for _, cfg := range []struct {
+		name  string
+		bytes int64
+	}{{"uncached", 0}, {"cached", 4 << 20}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			es := benchEngineStore(b, nkeys, cfg.bytes)
+			if cfg.bytes > 0 {
+				z := workload.NewFastZipfian(nkeys, 0.99, 99)
+				for i := 0; i < 2*nkeys; i++ {
+					if _, err := es.Get(keys[z.Next()], nil); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			var seed int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				seed++
+				z := workload.NewFastZipfian(nkeys, 0.99, seed)
+				for pb.Next() {
+					if _, err := es.Get(keys[z.Next()], nil); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"datainfra/internal/cache"
 	"datainfra/internal/storage"
 	"datainfra/internal/vclock"
 	"datainfra/internal/versioned"
@@ -19,6 +20,15 @@ type EngineStore struct {
 
 	// putMu serializes transformed puts, which are read-modify-write.
 	putMu sync.Mutex
+
+	// cache, when non-nil, serves the hot set of raw version sets in
+	// front of the engine with write-through invalidation. Cached
+	// entries carry their vector clocks untouched, so quorum reads,
+	// conflict resolution, and read repair behave identically; the
+	// cache only short-circuits the engine lookup. loadFn is built once
+	// so the hit path never allocates a closure.
+	cache  *cache.Cache[[]*versioned.Versioned]
+	loadFn func(key []byte) ([]*versioned.Versioned, error)
 }
 
 // NewEngineStore wraps engine. nodeID stamps clocks generated for
@@ -31,7 +41,67 @@ func NewEngineStore(engine storage.Engine, nodeID int, transforms *TransformRegi
 	return &EngineStore{engine: engine, transforms: transforms, nodeID: int32(nodeID)}
 }
 
-// Engine exposes the wrapped engine (admin streaming, tests).
+// EnableCache puts a hot-set read cache with the given byte budget in
+// front of the engine. Call before the store starts serving; maxBytes
+// <= 0 leaves caching disabled. Returns s for chaining.
+func (s *EngineStore) EnableCache(maxBytes int64) *EngineStore {
+	if maxBytes <= 0 {
+		return s
+	}
+	s.cache = cache.New(cache.Config[[]*versioned.Versioned]{
+		Name:     "voldemort",
+		MaxBytes: maxBytes,
+		SizeOf:   sizeOfVersionSet,
+	})
+	s.loadFn = func(key []byte) ([]*versioned.Versioned, error) { return s.engine.Get(key) }
+	return s
+}
+
+// Cache exposes the read cache, if enabled (stats, tests).
+func (s *EngineStore) Cache() *cache.Cache[[]*versioned.Versioned] { return s.cache }
+
+// sizeOfVersionSet charges a cached version set against the byte
+// budget: key bytes plus, per version, the value payload, the clock
+// entries, and a fixed overhead for the structs and slice headers.
+func sizeOfVersionSet(key string, vs []*versioned.Versioned) int64 {
+	size := int64(len(key)) + 48
+	for _, v := range vs {
+		size += int64(len(v.Value)) + 64
+		if v.Clock != nil {
+			size += int64(len(v.Clock.Entries())) * 24
+		}
+	}
+	return size
+}
+
+// read fetches the raw version set for key, through the cache when one
+// is enabled. An empty version set (missing key) is a valid, cacheable
+// answer — negative caching keeps repeated misses off the engine.
+func (s *EngineStore) read(key []byte) ([]*versioned.Versioned, error) {
+	if s.cache == nil {
+		return s.engine.Get(key)
+	}
+	return s.cache.GetOrLoad(key, s.loadFn)
+}
+
+// invalidate fences the key after an engine mutation. Called even when
+// the mutation reported an error: over-invalidating is always safe.
+func (s *EngineStore) invalidate(key []byte) {
+	if s.cache != nil {
+		s.cache.Invalidate(key)
+	}
+}
+
+// InvalidateCache drops the whole read cache. Admin paths that mutate
+// the engine wholesale (partition delete, read-only swap) call this.
+func (s *EngineStore) InvalidateCache() {
+	if s.cache != nil {
+		s.cache.InvalidateAll()
+	}
+}
+
+// Engine exposes the wrapped engine (admin streaming, tests). Callers
+// that mutate through it directly must call InvalidateCache afterwards.
 func (s *EngineStore) Engine() storage.Engine { return s.engine }
 
 // Name returns the underlying store name.
@@ -39,7 +109,7 @@ func (s *EngineStore) Name() string { return s.engine.Name() }
 
 // Get reads versions, optionally transforming each value.
 func (s *EngineStore) Get(key []byte, tr *Transform) ([]*versioned.Versioned, error) {
-	vs, err := s.engine.Get(key)
+	vs, err := s.read(key)
 	if err != nil || tr == nil {
 		return vs, err
 	}
@@ -63,7 +133,9 @@ func (s *EngineStore) Get(key []byte, tr *Transform) ([]*versioned.Versioned, er
 // dominates everything read — the server-side append of Figure II.2.
 func (s *EngineStore) Put(key []byte, v *versioned.Versioned, tr *Transform) error {
 	if tr == nil {
-		return s.engine.Put(key, v)
+		err := s.engine.Put(key, v)
+		s.invalidate(key)
+		return err
 	}
 	fn, err := s.transforms.Put(tr.Name)
 	if err != nil {
@@ -88,12 +160,16 @@ func (s *EngineStore) Put(key []byte, v *versioned.Versioned, tr *Transform) err
 	if err != nil {
 		return err
 	}
-	return s.engine.Put(key, versioned.With(merged, clock))
+	err = s.engine.Put(key, versioned.With(merged, clock))
+	s.invalidate(key)
+	return err
 }
 
 // Delete removes dominated versions.
 func (s *EngineStore) Delete(key []byte, clock *vclock.Clock) (bool, error) {
-	return s.engine.Delete(key, clock)
+	ok, err := s.engine.Delete(key, clock)
+	s.invalidate(key)
+	return ok, err
 }
 
 // Close closes the engine.

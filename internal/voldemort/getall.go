@@ -3,6 +3,7 @@ package voldemort
 import (
 	"sync"
 
+	"datainfra/internal/cache"
 	"datainfra/internal/versioned"
 )
 
@@ -34,16 +35,65 @@ func GetAll(s Store, keys [][]byte) (map[string][]*versioned.Versioned, error) {
 	return out, nil
 }
 
-// GetAll implements MultiGetter on the engine store.
+// GetAll implements MultiGetter on the engine store. With a cache
+// enabled it serves partial hits from memory and touches the engine
+// only for the misses, installing each fetched set under an
+// invalidation-fenced reservation.
 func (s *EngineStore) GetAll(keys [][]byte) (map[string][]*versioned.Versioned, error) {
 	out := make(map[string][]*versioned.Versioned, len(keys))
+	if s.cache == nil {
+		for _, k := range keys {
+			vs, err := s.engine.Get(k)
+			if err != nil {
+				return nil, err
+			}
+			if len(vs) > 0 {
+				out[string(k)] = vs
+			}
+		}
+		return out, nil
+	}
+	type pending struct {
+		key []byte
+		tok cache.Token[[]*versioned.Versioned]
+	}
+	var misses []pending
+	var missSet map[string]struct{}
 	for _, k := range keys {
-		vs, err := s.engine.Get(k)
+		if _, dup := out[string(k)]; dup {
+			continue
+		}
+		if _, dup := missSet[string(k)]; dup {
+			continue
+		}
+		if vs, ok := s.cache.Get(k); ok {
+			out[string(k)] = vs
+			continue
+		}
+		// Reserve before the engine read so a concurrent Put/Delete
+		// fences the install, exactly as on the single-key path.
+		misses = append(misses, pending{key: k, tok: s.cache.Reserve(k)})
+		if missSet == nil {
+			missSet = make(map[string]struct{}, len(keys))
+		}
+		missSet[string(k)] = struct{}{}
+	}
+	for i, p := range misses {
+		vs, err := s.engine.Get(p.key)
 		if err != nil {
+			for _, rest := range misses[i:] {
+				rest.tok.Release()
+			}
 			return nil, err
 		}
-		if len(vs) > 0 {
-			out[string(k)] = vs
+		p.tok.Commit(vs)
+		out[string(p.key)] = vs
+	}
+	// Missing keys cached their empty set above but are absent from the
+	// result map by contract.
+	for k, vs := range out {
+		if len(vs) == 0 {
+			delete(out, k)
 		}
 	}
 	return out, nil
@@ -62,20 +112,34 @@ func (s *SocketStore) GetAll(keys [][]byte) (map[string][]*versioned.Versioned, 
 }
 
 // GetAll implements MultiGetter on the routed store: keys resolve through
-// their own quorums concurrently.
+// their own quorums concurrently. Repeated keys in one request are
+// deduplicated before the fan-out — each unique key costs exactly one
+// quorum read no matter how often it appears in the batch.
 func (s *RoutedStore) GetAll(keys [][]byte) (map[string][]*versioned.Versioned, error) {
+	unique := keys
+	if len(keys) > 1 {
+		seen := make(map[string]struct{}, len(keys))
+		unique = make([][]byte, 0, len(keys))
+		for _, k := range keys {
+			if _, dup := seen[string(k)]; dup {
+				continue
+			}
+			seen[string(k)] = struct{}{}
+			unique = append(unique, k)
+		}
+	}
 	type result struct {
 		key string
 		vs  []*versioned.Versioned
 		err error
 	}
-	ch := make(chan result, len(keys))
+	ch := make(chan result, len(unique))
 	var wg sync.WaitGroup
 	// Acquire the semaphore BEFORE spawning: a 10k-key batch must never
 	// materialize 10k goroutines that all sit blocked on the semaphore —
 	// the bound has to hold on goroutines, not just on active quorum reads.
 	sem := make(chan struct{}, 16)
-	for _, k := range keys {
+	for _, k := range unique {
 		sem <- struct{}{}
 		wg.Add(1)
 		go func(k []byte) {

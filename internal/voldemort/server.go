@@ -23,9 +23,10 @@ import (
 // (§II.B "Admin Service") that allows store addition/deletion and partition
 // streaming for rebalancing — all without downtime.
 type Server struct {
-	nodeID    int
-	dataDir   string
-	syncEvery int
+	nodeID     int
+	dataDir    string
+	syncEvery  int
+	cacheBytes int64
 
 	mu     sync.RWMutex
 	clus   *cluster.Cluster
@@ -53,6 +54,11 @@ type ServerConfig struct {
 	// verify. n > 0 flushes every n writes without an explicit sync,
 	// trading the durability of the last n acks for throughput.
 	SyncEvery int
+	// CacheBytes, when > 0, puts a hot-set read cache of that byte
+	// budget in front of every store's engine (write-through
+	// invalidation; see internal/cache). Each store gets its own
+	// budget.
+	CacheBytes int64
 }
 
 // NewServer builds a node with no stores.
@@ -68,6 +74,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		nodeID:     cfg.NodeID,
 		dataDir:    cfg.DataDir,
 		syncEvery:  cfg.SyncEvery,
+		cacheBytes: cfg.CacheBytes,
 		clus:       cfg.Cluster,
 		stores:     make(map[string]*EngineStore),
 		defs:       make(map[string]*cluster.StoreDef),
@@ -121,7 +128,7 @@ func (s *Server) AddStore(def *cluster.StoreDef) error {
 	if err != nil {
 		return err
 	}
-	s.stores[def.Name] = NewEngineStore(eng, s.nodeID, s.transforms)
+	s.stores[def.Name] = NewEngineStore(eng, s.nodeID, s.transforms).EnableCache(s.cacheBytes)
 	s.defs[def.Name] = def
 	return nil
 }
@@ -431,6 +438,9 @@ func (s *Server) swapReadOnly(store string, versionBytes []byte, rollback bool) 
 	if !ok {
 		return fmt.Errorf("voldemort: store %q is not read-only", store)
 	}
+	// The swap replaces the entire dataset behind the store, so any
+	// cached version sets are stale wholesale.
+	defer st.InvalidateCache()
 	if rollback {
 		return ro.Rollback()
 	}
@@ -528,6 +538,9 @@ func (s *Server) deletePartition(req *request) error {
 	}); err != nil {
 		return err
 	}
+	// Deletes went straight to the engine, bypassing the store's
+	// write-through invalidation — flush the cache once at the end.
+	defer st.InvalidateCache()
 	for _, k := range keys {
 		if _, err := st.Engine().Delete(k, nil); err != nil && !errors.Is(err, storage.ErrNoSuchKey) {
 			return err
