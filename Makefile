@@ -44,11 +44,12 @@ bench:
 
 # Machine-readable benchmark results: runs the experiment (E*/Ablation),
 # hot-path (storage, schema, cache), transport-pipelining (voldemort, kafka,
-# databus) and cached-read (EngineStore, espresso Node) benchmark suites with
-# -benchmem and writes BENCH_PR9.json. BENCH_PR5.json is the frozen baseline
-# bench-compare judges against. The schema is documented in EXPERIMENTS.md.
+# databus fan-out) and cached-read (EngineStore, espresso Node) benchmark
+# suites with -benchmem and writes BENCH_PR10.json. BENCH_PR5.json and
+# BENCH_PR10.json are the frozen baselines bench-compare judges against. The
+# schema is documented in EXPERIMENTS.md.
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_PR9.json
+	$(GO) run ./cmd/benchjson -out BENCH_PR10.json
 
 # The perf regression gate: re-runs the baseline's hot-path suites (5
 # samples each, min taken) and fails on a >20% normalized ns/op regression
@@ -60,9 +61,19 @@ bench-json:
 # BenchmarkUnmarshal drift ±30-50% between identical-code runs on shared
 # hardware and are recorded but not gated. See cmd/benchcmp.
 BENCH_GATE = -bench BenchmarkBitcaskGet -bench BenchmarkMarshal -bench BenchmarkUnmarshalReuse
+# The databus relay serve path is gated against the BENCH_PR10.json baseline:
+# single-page serve (filtered and not; allocs must stay 0 on the unfiltered
+# path) and the 1/16/128-consumer fan-out. BenchmarkDatabusAppend drifts
+# ±50% between identical-code runs on shared hardware (GC pacing vs the
+# 256 KiB chunk churn) and is recorded but not gated, like BenchmarkMemoryGet
+# above; its allocs still can't regress silently — append allocations show up
+# in the gated fan-out rows' strict allocs/op compare.
+DATABUS_GATE = -bench BenchmarkDatabusServePage -bench BenchmarkDatabusFanOut
 bench-compare:
 	$(GO) run ./cmd/benchjson -out /tmp/bench_current.json -pkgs internal/storage,internal/schema -benchtime 0.5s -count 5
 	$(GO) run ./cmd/benchcmp -baseline BENCH_PR5.json -current /tmp/bench_current.json -allocs $(BENCH_GATE)
+	$(GO) run ./cmd/benchjson -out /tmp/bench_databus.json -pkgs internal/databus -benchtime 0.3s -count 5
+	$(GO) run ./cmd/benchcmp -baseline BENCH_PR10.json -current /tmp/bench_databus.json -allocs $(DATABUS_GATE)
 
 # Compile every benchmark and run each once — benchmarks can't silently rot.
 bench-smoke:

@@ -43,7 +43,7 @@ var suites = []suite{
 	{Pkg: "./internal/schema", Bench: ".", Benchtime: "0.5s"},
 	{Pkg: "./internal/voldemort", Bench: "BenchmarkSocketStoreParallel", Benchtime: "0.3s"},
 	{Pkg: "./internal/kafka", Bench: "BenchmarkRemoteBrokerProduceFetchParallel", Benchtime: "0.3s"},
-	{Pkg: "./internal/databus", Bench: "BenchmarkRelay", Benchtime: "0.3s"},
+	{Pkg: "./internal/databus", Bench: "BenchmarkRelay|BenchmarkDatabus", Benchtime: "0.3s"},
 	{Pkg: "./internal/cache", Bench: ".", Benchtime: "0.5s"},
 	{Pkg: "./internal/voldemort", Bench: "BenchmarkEngineStore", Benchtime: "0.5s"},
 	{Pkg: "./internal/espresso", Bench: "BenchmarkNodeGet", Benchtime: "0.5s"},

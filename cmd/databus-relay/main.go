@@ -9,6 +9,12 @@
 //	GET  /bootstrap?since=N returns the consolidated delta / snapshot and the
 //	                        SCN to resume streaming from
 //	GET  /stats             relay counters
+//
+// The binary fan-out transport (the framing databus.HTTPReader speaks, served
+// zero-copy from the relay's encode-once ring) is mounted under /databus:
+//
+//	GET  /databus/stream    pre-encoded event frames, long-polling
+//	GET  /databus/bootstrap binary catch-up with the resume SCN in a header
 package main
 
 import (
@@ -86,6 +92,11 @@ func main() {
 	}()
 
 	mux := http.NewServeMux()
+	// Binary transport: consumers using databus.HTTPReader/HTTPBootstrap get
+	// the relay's pre-encoded frames streamed zero-copy; the JSON endpoints
+	// below stay for curl-friendly inspection and legacy callers.
+	mux.Handle("/databus/", http.StripPrefix("/databus",
+		&databus.Handler{Relay: relay, Boot: boot, PollExpiry: 500 * time.Millisecond}))
 	mux.HandleFunc("POST /commit", func(w http.ResponseWriter, r *http.Request) {
 		var items []commitItem
 		if err := json.NewDecoder(r.Body).Decode(&items); err != nil {
@@ -161,7 +172,11 @@ func main() {
 			"minSCN":         relay.MinSCN(),
 			"bufferedEvents": relay.BufferedEvents(),
 			"bufferedBytes":  relay.BufferedBytes(),
+			"bufferedChunks": relay.BufferedChunks(),
 			"eventsServed":   relay.EventsServed(),
+			"bytesServed":    relay.BytesServed(),
+			"waiters":        relay.Waiters(),
+			"consumerLagSCN": max(relay.LastSCN()-bootClient.SCN(), 0),
 			"bootstrapLog":   boot.LogLen(),
 			"snapshotRows":   boot.SnapshotLen(),
 		})

@@ -51,6 +51,7 @@ type config struct {
 	voldNodes   int
 	kafkaReps   int
 	kafkaParts  int
+	dbusFanout  int
 	cacheBytes  int64
 	report      string
 	strict      bool
@@ -69,6 +70,7 @@ func parseFlags() *config {
 	flag.IntVar(&c.voldNodes, "voldemort-nodes", 3, "voldemort cluster size")
 	flag.IntVar(&c.kafkaReps, "kafka-replicas", 3, "kafka replication factor (one process, in-process replica set)")
 	flag.IntVar(&c.kafkaParts, "kafka-partitions", 2, "kafka partitions for the activity topic")
+	flag.IntVar(&c.dbusFanout, "databus-consumers", 4, "concurrent databus subscribers (mixed JSON and binary zero-copy transports)")
 	flag.Int64Var(&c.cacheBytes, "cache-bytes", 0, "hot-set read cache budget forwarded to the voldemort and espresso servers; 0 disables")
 	flag.StringVar(&c.report, "report", "", "SLO report path (default: <dir>/slo.json)")
 	flag.BoolVar(&c.strict, "slo-strict", false, "enforce latency and steady-state error budgets (for fault-free runs)")
@@ -174,7 +176,7 @@ func run() int {
 	report := &sloReport{
 		Started:   started,
 		Duration:  cfg.duration.String(),
-		Topology:  fmt.Sprintf("voldemort=%d kafka-replicas=%d kafka-partitions=%d espresso=1 databus=1 members=%d cache-bytes=%d", cfg.voldNodes, cfg.kafkaReps, cfg.kafkaParts, cfg.members, cfg.cacheBytes),
+		Topology:  fmt.Sprintf("voldemort=%d kafka-replicas=%d kafka-partitions=%d espresso=1 databus=1 databus-consumers=%d members=%d cache-bytes=%d", cfg.voldNodes, cfg.kafkaReps, cfg.kafkaParts, cfg.dbusFanout, cfg.members, cfg.cacheBytes),
 		SLOStrict: cfg.strict,
 		Subsystems: map[string]*subsystemReport{
 			"voldemort": buildSubsystemReport(site.vold.stats, windows, cfg.strict),
@@ -185,8 +187,21 @@ func run() int {
 		FaultWindows: windows,
 	}
 
-	log.Printf("verifying convergence (deadline %v per subsystem)", cfg.converge)
 	maxCommit, _ := site.dbus.progress()
+	fanout := &databusFanoutReport{
+		Consumers:          cfg.dbusFanout,
+		CommittedSCN:       maxCommit,
+		SlowestConsumerSCN: site.dbus.slowestConsumed(),
+	}
+	fanout.ConsumerLagSCN = max(maxCommit-fanout.SlowestConsumerSCN, 0)
+	if st, err := fetchRelayStats(nil, site.databusAddr); err == nil {
+		fanout.RelayServedEvents = st.EventsServed
+		fanout.RelayServedBytes = st.BytesServed
+		fanout.RelayChunks = st.BufferedChunks
+	}
+	report.Databus = fanout
+
+	log.Printf("verifying convergence (deadline %v per subsystem)", cfg.converge)
 	report.Verification = []verifyResult{
 		verifyVoldemort(site.verifyFactory, site.vold.ackedWrites(), cfg.converge),
 		verifyKafka(site.kafkaClient, site.kaf.ackedProduces(), cfg.kafkaParts, cfg.converge),
@@ -421,7 +436,7 @@ func buildSite(cfg *config, topo *topology) (*site, error) {
 	}
 	s.dbus = &databusWorkload{
 		base: s.databusAddr, stats: newSubsystemStats("databus"),
-		members: cfg.members, seed: cfg.seed,
+		members: cfg.members, seed: cfg.seed, consumers: cfg.dbusFanout,
 	}
 	return s, nil
 }

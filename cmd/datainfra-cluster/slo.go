@@ -82,6 +82,20 @@ type serverMetricsReport struct {
 	P99Ms    map[string]float64 `json:"p99Ms,omitempty"`
 }
 
+// databusFanoutReport is the relay's fan-out view of the run: how far the
+// slowest of the N subscribers trailed the stream head at workload end, and
+// the relay-side serve volume (events/bytes actually streamed — with N
+// consumers, served events ≈ N × committed events unless consumers lagged).
+type databusFanoutReport struct {
+	Consumers          int   `json:"consumers"`
+	CommittedSCN       int64 `json:"committedSCN"`
+	SlowestConsumerSCN int64 `json:"slowestConsumerSCN"`
+	ConsumerLagSCN     int64 `json:"consumerLagSCN"` // committed - slowest at workload end
+	RelayServedEvents  int64 `json:"relayServedEvents"`
+	RelayServedBytes   int64 `json:"relayServedBytes"`
+	RelayChunks        int64 `json:"relayChunks"`
+}
+
 // sloReport is the run's full JSON artifact.
 type sloReport struct {
 	Started   time.Time `json:"started"`
@@ -90,6 +104,7 @@ type sloReport struct {
 	SLOStrict bool      `json:"sloStrict"`
 
 	Subsystems   map[string]*subsystemReport    `json:"subsystems"`
+	Databus      *databusFanoutReport           `json:"databusFanout,omitempty"`
 	FaultWindows []faultWindow                  `json:"faultWindows"`
 	Verification []verifyResult                 `json:"verification"`
 	Servers      map[string]serverMetricsReport `json:"servers,omitempty"`

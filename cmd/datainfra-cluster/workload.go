@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"datainfra/internal/consistency"
+	"datainfra/internal/databus"
 	"datainfra/internal/espresso"
 	"datainfra/internal/kafka"
 	"datainfra/internal/metrics"
@@ -338,14 +339,16 @@ func (w *kafkaWorkload) ackedProduces() map[int][]consistency.ProducedMsg {
 // --- Databus: change capture fan-out -----------------------------------------
 
 type databusWorkload struct {
-	base    string // relay URL host:port
-	stats   *subsystemStats
-	members int
-	seed    int64
+	base      string // relay URL host:port
+	stats     *subsystemStats
+	members   int
+	seed      int64
+	consumers int // fan-out: concurrent subscribers (-databus-consumers)
 
 	mu          sync.Mutex
-	maxCommit   int64 // highest SCN the relay acked a commit at
-	maxConsumed int64 // highest SCN the streaming consumer has seen
+	maxCommit   int64   // highest SCN the relay acked a commit at
+	maxConsumed int64   // highest SCN any consumer has seen
+	consumed    []int64 // per-consumer high-water SCN (lag = head - min)
 }
 
 type commitItem struct {
@@ -362,9 +365,22 @@ type streamEvent struct {
 }
 
 func (w *databusWorkload) run(ctx context.Context, wg *sync.WaitGroup) {
-	wg.Add(2)
+	if w.consumers <= 0 {
+		w.consumers = 1
+	}
+	w.consumed = make([]int64, w.consumers)
+	wg.Add(1 + w.consumers)
 	go w.producer(ctx, wg)
-	go w.consumer(ctx, wg)
+	// Mixed subscriber population, the E8 shape: consumer 0 keeps the legacy
+	// JSON endpoint; the rest speak the binary zero-copy transport, every
+	// fourth with a server-side source filter.
+	for c := 0; c < w.consumers; c++ {
+		if c%2 == 0 {
+			go w.consumer(ctx, wg, c)
+		} else {
+			go w.binaryConsumer(ctx, wg, c)
+		}
+	}
 }
 
 func (w *databusWorkload) producer(ctx context.Context, wg *sync.WaitGroup) {
@@ -416,7 +432,7 @@ func (w *databusWorkload) producer(ctx context.Context, wg *sync.WaitGroup) {
 	}
 }
 
-func (w *databusWorkload) consumer(ctx context.Context, wg *sync.WaitGroup) {
+func (w *databusWorkload) consumer(ctx context.Context, wg *sync.WaitGroup, id int) {
 	defer wg.Done()
 	hc := &http.Client{Timeout: 2 * time.Second}
 	var since int64
@@ -438,13 +454,61 @@ func (w *databusWorkload) consumer(ctx context.Context, wg *sync.WaitGroup) {
 			}
 		}
 		if len(events) > 0 {
-			w.mu.Lock()
-			if since > w.maxConsumed {
-				w.maxConsumed = since
-			}
-			w.mu.Unlock()
+			w.advance(id, since)
 		}
 	}
+}
+
+// binaryConsumer follows the relay through the zero-copy binary transport
+// mounted at /databus, reusing one Batch so the steady-state decode cost is
+// an exact-size arena per page.
+func (w *databusWorkload) binaryConsumer(ctx context.Context, wg *sync.WaitGroup, id int) {
+	defer wg.Done()
+	reader := &databus.HTTPReader{
+		BaseURL: "http://" + w.base + "/databus",
+		Client:  &http.Client{Timeout: 2 * time.Second},
+	}
+	var f *databus.Filter
+	if id%4 == 3 {
+		f = &databus.Filter{Sources: []string{"follow"}}
+	}
+	var batch databus.Batch
+	var since int64
+	for ctx.Err() == nil {
+		resume, err := reader.ReadBatchBlocking(since, 500, f, time.Second, &batch)
+		if err != nil {
+			if errors.Is(err, databus.ErrSCNTooOld) {
+				// Fell off the window (a long fault stall): re-join at the
+				// window tail rather than sitting dead for the rest of the run.
+				if st, serr := fetchRelayStats(reader.Client, w.base); serr == nil {
+					since = st.MinSCN - 1
+				}
+				continue
+			}
+			w.stats.record(time.Now(), err)
+			select {
+			case <-ctx.Done():
+			case <-time.After(100 * time.Millisecond):
+			}
+			continue
+		}
+		since = resume
+		if len(batch.Events) > 0 {
+			w.advance(id, since)
+		}
+	}
+}
+
+// advance records consumer id's new high-water SCN.
+func (w *databusWorkload) advance(id int, scn int64) {
+	w.mu.Lock()
+	if scn > w.consumed[id] {
+		w.consumed[id] = scn
+	}
+	if scn > w.maxConsumed {
+		w.maxConsumed = scn
+	}
+	w.mu.Unlock()
 }
 
 // fetchStream reads one /stream page after since.
@@ -470,4 +534,50 @@ func (w *databusWorkload) progress() (int64, int64) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return w.maxCommit, w.maxConsumed
+}
+
+// slowestConsumed returns the laggard's high-water SCN — relay head minus
+// this is the fan-out lag the SLO report records.
+func (w *databusWorkload) slowestConsumed() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	slowest := int64(-1)
+	for _, s := range w.consumed {
+		if slowest < 0 || s < slowest {
+			slowest = s
+		}
+	}
+	if slowest < 0 {
+		return 0
+	}
+	return slowest
+}
+
+// relayStats mirrors the databus-relay /stats JSON.
+type relayStats struct {
+	LastSCN        int64 `json:"lastSCN"`
+	MinSCN         int64 `json:"minSCN"`
+	BufferedEvents int64 `json:"bufferedEvents"`
+	BufferedBytes  int64 `json:"bufferedBytes"`
+	BufferedChunks int64 `json:"bufferedChunks"`
+	EventsServed   int64 `json:"eventsServed"`
+	BytesServed    int64 `json:"bytesServed"`
+}
+
+func fetchRelayStats(hc *http.Client, base string) (relayStats, error) {
+	var st relayStats
+	if hc == nil {
+		hc = &http.Client{Timeout: 2 * time.Second}
+	}
+	resp, err := hc.Get("http://" + base + "/stats")
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return st, fmt.Errorf("stats: status %d", resp.StatusCode)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	return st, err
 }

@@ -33,7 +33,7 @@ var (
 // with the "Naming convention" section of OPERATIONS.md.
 var unitSuffixes = []string{
 	"_total", "_bytes", "_seconds", "_events", "_messages",
-	"_hints", "_scn", "_rows", "_state", "_nodes", "_requests",
+	"_hints", "_scn", "_rows", "_state", "_nodes", "_requests", "_chunks",
 }
 
 func hasUnitSuffix(name string) bool {

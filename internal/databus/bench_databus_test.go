@@ -1,0 +1,187 @@
+package databus_test
+
+// Fan-out benchmarks for the relay serve path (§III.C, E8 isolation): the
+// relay must serve hundreds of consumers from one in-memory buffer, so the
+// cost that matters is per page *per consumer* — copies, allocations and
+// re-encoding that scale with fan-out. BenchmarkDatabusFanOut reports
+// ns/page-consumer so 1-vs-128-consumer runs are directly comparable; the
+// before/after table lives in EXPERIMENTS.md and the JSON rows in
+// BENCH_PR10.json (gated by `make bench-compare`).
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+
+	"datainfra/internal/databus"
+)
+
+const (
+	benchWindow  = 8192 // events buffered in the relay under test
+	benchPage    = 256  // events per serve page
+	benchPayload = 256  // payload bytes per event
+)
+
+// benchRelay builds a relay holding benchWindow single-event transactions
+// with benchPayload-byte payloads across two sources (so filtered runs match
+// half the window).
+func benchRelay(b *testing.B) *databus.Relay {
+	b.Helper()
+	r := databus.NewRelay(databus.RelayConfig{MaxEvents: 1 << 20})
+	b.Cleanup(r.Close)
+	payload := make([]byte, benchPayload)
+	for i := 0; i < benchWindow; i++ {
+		src := "follow"
+		if i%2 == 1 {
+			src = "profile"
+		}
+		e := databus.Event{Source: src, Key: []byte(fmt.Sprintf("member:%08d", i)), Payload: payload}
+		e.ComputePartition(16)
+		if err := r.Append(databus.Txn{SCN: int64(i + 1), Events: []databus.Event{e}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return r
+}
+
+// servePage streams one unfiltered page of the relay window to w in the HTTP
+// wire framing — the cost one caught-up consumer puts on the relay per poll.
+func servePage(b *testing.B, r *databus.Relay, w io.Writer, since int64, f *databus.Filter) int {
+	n, _, err := r.StreamTo(w, since, benchPage, f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return n
+}
+
+// BenchmarkDatabusAppend measures append throughput: SCN stamping plus the
+// encode-once wire framing of a 4-event transaction.
+func BenchmarkDatabusAppend(b *testing.B) {
+	r := databus.NewRelay(databus.RelayConfig{MaxEvents: 1 << 18})
+	defer r.Close()
+	payload := make([]byte, benchPayload)
+	events := make([]databus.Event, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range events {
+			events[j] = databus.Event{Source: "follow", Key: []byte("member:00000042"), Payload: payload}
+		}
+		if err := r.Append(databus.Txn{SCN: int64(i + 1), Events: events}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(4 * (benchPayload + 64)))
+}
+
+// BenchmarkDatabusServePage is the single-consumer serve cost: one page of
+// the window encoded into the HTTP wire framing.
+func BenchmarkDatabusServePage(b *testing.B) {
+	r := benchRelay(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		since := int64((i * benchPage) % (benchWindow - benchPage))
+		if got := servePage(b, r, io.Discard, since, nil); got < benchPage {
+			b.Fatalf("page at %d returned %d events", since, got)
+		}
+	}
+}
+
+// BenchmarkDatabusServePageFiltered is the same page serve through a source
+// filter matching half the window (no projection).
+func BenchmarkDatabusServePageFiltered(b *testing.B) {
+	r := benchRelay(b)
+	f := &databus.Filter{Sources: []string{"follow"}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		since := int64((i * benchPage) % (benchWindow - 2*benchPage))
+		if got := servePage(b, r, io.Discard, since, f); got == 0 {
+			b.Fatalf("filtered page at %d returned nothing", since)
+		}
+	}
+}
+
+// BenchmarkDatabusFanOut has N concurrent consumers each page through the
+// whole window once per iteration — the E8 shape. ns/page-consumer is the
+// per-consumer serve cost; flat across consumers=1..128 means fan-out does
+// not amplify per-consumer work.
+func BenchmarkDatabusFanOut(b *testing.B) {
+	for _, consumers := range []int{1, 16, 128} {
+		b.Run(fmt.Sprintf("consumers=%d", consumers), func(b *testing.B) {
+			r := benchRelay(b)
+			pagesPerPass := benchWindow / benchPage
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				for c := 0; c < consumers; c++ {
+					wg.Add(1)
+					go func(c int) {
+						defer wg.Done()
+						var f *databus.Filter
+						if c%4 == 3 { // every 4th consumer is filtered
+							f = &databus.Filter{Sources: []string{"follow"}}
+						}
+						since := int64(0)
+						for since < benchWindow {
+							events, last, err := r.StreamTo(io.Discard, since, benchPage, f)
+							if err != nil {
+								b.Error(err)
+								return
+							}
+							if events == 0 {
+								break
+							}
+							since = last
+						}
+					}(c)
+				}
+				wg.Wait()
+			}
+			b.StopTimer()
+			perOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+			b.ReportMetric(perOp/float64(consumers*pagesPerPass), "ns/page-consumer")
+		})
+	}
+}
+
+// BenchmarkDatabusCatchup is the cold-SCN catch-up: an in-process Client
+// starting at SCN 0 consumes the whole window through its delivery loop
+// (decode + consumer callbacks + checkpoints). allocs/op divided by
+// benchWindow is the client-side per-event allocation cost.
+func BenchmarkDatabusCatchup(b *testing.B) {
+	r := benchRelay(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var got int
+		cl, err := databus.NewClient(databus.ClientConfig{
+			Relay:     r,
+			BatchSize: benchPage,
+			Consumer: databus.ConsumerFuncs{Event: func(e databus.Event) error {
+				got++
+				return nil
+			}},
+			PollExpiry: 0, // non-blocking at tail: default applies but never hit
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for got < benchWindow {
+			n, err := cl.Poll()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if n == 0 {
+				b.Fatalf("stalled at %d/%d", got, benchWindow)
+			}
+		}
+		cl.Close()
+	}
+	b.StopTimer()
+	perOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	b.ReportMetric(perOp/float64(benchWindow), "ns/event")
+}

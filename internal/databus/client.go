@@ -46,6 +46,15 @@ type EventReader interface {
 	ReadBlocking(sinceSCN int64, maxEvents int, f *Filter, timeout time.Duration) ([]Event, error)
 }
 
+// BatchReader is the allocation-frugal pull surface: the batch's Events
+// slice (and transport scratch) are reused across calls, while each batch's
+// keys and payloads live in a fresh exact-size arena so consumers may retain
+// delivered events. Relay and HTTPReader implement it; Client prefers it
+// automatically when its reader does.
+type BatchReader interface {
+	ReadBatchBlocking(sinceSCN int64, maxEvents int, f *Filter, timeout time.Duration, b *Batch) (int64, error)
+}
+
 // BootstrapSource serves arbitrary look-back queries when the relay buffer
 // no longer covers the client's SCN (§III.C bootstrap server). Catchup
 // streams events (consolidated delta or snapshot+replay as it sees fit) and
@@ -80,6 +89,7 @@ type Client struct {
 	cfg    ClientConfig
 	relays []EventReader // primary first, then failovers
 	active int           // index into relays; touched only by the poll loop
+	batch  Batch         // reused decode buffers for BatchReader relays
 
 	scn        atomic.Int64
 	bootstraps atomic.Int64
@@ -197,6 +207,10 @@ func (c *Client) readBatch() ([]Event, error) {
 		idx := (c.active + i) % len(c.relays)
 		relay := c.relays[idx]
 		events, err := resilience.RetryValue(c.ctx, c.cfg.Retry, func() ([]Event, error) {
+			if br, ok := relay.(BatchReader); ok {
+				_, err := br.ReadBatchBlocking(c.scn.Load(), c.cfg.BatchSize, c.cfg.Filter, c.cfg.PollExpiry, &c.batch)
+				return c.batch.Events, err
+			}
 			return relay.ReadBlocking(c.scn.Load(), c.cfg.BatchSize, c.cfg.Filter, c.cfg.PollExpiry)
 		})
 		if err == nil || !resilience.IsTransient(err) {

@@ -83,43 +83,73 @@ var (
 	ErrClosed = errors.New("databus: closed")
 )
 
-// Binary event codec (length-delimited, used by the HTTP/socket transports
-// and the bootstrap log).
+// Binary event codec (length-delimited, used by the HTTP/socket transports,
+// the relay's chunked ring and the bootstrap log). The encoding has a fixed
+// 45-byte header followed by the variable source/key/payload sections, so
+// the relay can peek at filter-relevant fields (source, partition, flags)
+// without decoding — see frameMatch.
 
-// MarshalBinary encodes the event.
-func (e *Event) MarshalBinary() ([]byte, error) {
-	src := []byte(e.Source)
-	buf := make([]byte, 0, e.SizeBytes()+16)
-	var tmp [8]byte
-	put64 := func(v int64) {
-		binary.BigEndian.PutUint64(tmp[:], uint64(v))
-		buf = append(buf, tmp[:]...)
-	}
-	put32 := func(v int) {
-		binary.BigEndian.PutUint32(tmp[:4], uint32(v))
-		buf = append(buf, tmp[:4]...)
-	}
-	put64(e.SCN)
-	put64(e.TxnID)
-	put64(e.Timestamp)
+// Fixed offsets inside an encoded event (not counting the u32 frame-length
+// prefix a wire frame carries in front of it).
+const (
+	evOffFlags     = 24 // after SCN, TxnID, Timestamp
+	evOffPartition = 29 // after flags + schema version
+	evOffSrcLen    = 33
+	evOffSrc       = 37
+	evFixedBytes   = 45 // header + the three section length words
+	frameHdrBytes  = 4  // u32 frame-length prefix
+)
+
+// encodedSize is the exact byte length of the event's encoding.
+func (e *Event) encodedSize() int {
+	return evFixedBytes + len(e.Source) + len(e.Key) + len(e.Payload)
+}
+
+// appendEvent appends the event's encoding to buf (no length prefix).
+func appendEvent(buf []byte, e *Event) []byte {
+	buf = binary.BigEndian.AppendUint64(buf, uint64(e.SCN))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(e.TxnID))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(e.Timestamp))
 	flags := byte(e.Op)
 	if e.EndOfTxn {
 		flags |= 0x80
 	}
 	buf = append(buf, flags)
-	put32(e.SchemaVersion)
-	put32(e.Partition)
-	put32(len(src))
-	buf = append(buf, src...)
-	put32(len(e.Key))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(e.SchemaVersion))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(e.Partition))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(e.Source)))
+	buf = append(buf, e.Source...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(e.Key)))
 	buf = append(buf, e.Key...)
-	put32(len(e.Payload))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(e.Payload)))
 	buf = append(buf, e.Payload...)
-	return buf, nil
+	return buf
+}
+
+// appendEventFrame appends the wire frame — u32 length + encoding — to buf.
+// This is the form the relay ring stores, byte-identical to what the HTTP
+// transport puts on the wire, so serving is a straight copy.
+func appendEventFrame(buf []byte, e *Event) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, uint32(e.encodedSize()))
+	return appendEvent(buf, e)
+}
+
+// MarshalBinary encodes the event.
+func (e *Event) MarshalBinary() ([]byte, error) {
+	return appendEvent(make([]byte, 0, e.encodedSize()), e), nil
 }
 
 // UnmarshalBinary decodes an event written by MarshalBinary.
 func (e *Event) UnmarshalBinary(data []byte) error {
+	return decodeEvent(e, data, nil, nil)
+}
+
+// decodeEvent decodes into e. With a non-nil arena, Key and Payload are
+// sub-sliced out of it instead of individually allocated — the arena must
+// have enough spare capacity for both, or earlier events' slices would be
+// invalidated by reallocation. With a non-nil intern map, source names are
+// deduplicated across events (a stream carries few distinct sources).
+func decodeEvent(e *Event, data []byte, arena *[]byte, intern map[string]string) error {
 	r := breader{b: data}
 	var err error
 	if e.SCN, err = r.i64(); err != nil {
@@ -149,19 +179,102 @@ func (e *Event) UnmarshalBinary(data []byte) error {
 	if err != nil {
 		return err
 	}
-	e.Source = string(src)
+	if intern != nil {
+		s, ok := intern[string(src)]
+		if !ok {
+			s = string(src)
+			intern[s] = s
+		}
+		e.Source = s
+	} else {
+		e.Source = string(src)
+	}
 	if e.Key, err = r.blob(); err != nil {
 		return err
 	}
-	e.Key = append([]byte(nil), e.Key...)
+	e.Key = arenaCopy(arena, e.Key)
 	if e.Payload, err = r.blob(); err != nil {
 		return err
 	}
-	e.Payload = append([]byte(nil), e.Payload...)
+	e.Payload = arenaCopy(arena, e.Payload)
 	if len(r.b) != 0 {
 		return fmt.Errorf("databus: %d trailing bytes in event", len(r.b))
 	}
 	return nil
+}
+
+// arenaCopy copies b into the arena (or a fresh allocation when arena is
+// nil) and returns the owned copy.
+func arenaCopy(arena *[]byte, b []byte) []byte {
+	if arena == nil {
+		return append([]byte(nil), b...)
+	}
+	start := len(*arena)
+	*arena = append(*arena, b...)
+	return (*arena)[start:len(*arena):len(*arena)]
+}
+
+// frameMatch evaluates the filter against an encoded event without decoding
+// or allocating: source and partition sit at known offsets.
+func frameMatch(f *Filter, ev []byte) bool {
+	if f == nil {
+		return true
+	}
+	if len(f.Sources) > 0 {
+		n := int(binary.BigEndian.Uint32(ev[evOffSrcLen:]))
+		src := ev[evOffSrc : evOffSrc+n]
+		ok := false
+		for _, s := range f.Sources {
+			if s == string(src) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	if f.Partitions != nil {
+		p := int(int32(binary.BigEndian.Uint32(ev[evOffPartition:])))
+		ok := false
+		for _, q := range f.Partitions {
+			if q == p {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// frameBodyBytes is the key+payload byte count of an encoded event — the
+// arena space a batch decode of it needs.
+func frameBodyBytes(ev []byte) int {
+	n := int(binary.BigEndian.Uint32(ev[evOffSrcLen:]))
+	return len(ev) - evFixedBytes - n
+}
+
+// Batch is a reusable container for client-side batch reads. The Events
+// slice and internal scratch are recycled across calls; the byte arena
+// backing each batch's keys and payloads is allocated fresh per call and
+// never reused, so consumers may retain any Event (and its slices) — only
+// the Events slice header itself is invalidated by the next read.
+type Batch struct {
+	Events []Event
+
+	intern  map[string]string // source-name dedup, lives across batches
+	scratch []byte            // transport scratch (HTTP body staging)
+}
+
+// reset prepares the batch for refilling.
+func (b *Batch) reset() {
+	b.Events = b.Events[:0]
+	if b.intern == nil {
+		b.intern = make(map[string]string, 4)
+	}
 }
 
 type breader struct{ b []byte }
@@ -258,12 +371,21 @@ func (f *Filter) Match(e *Event) bool {
 // events that Match.
 func (f *Filter) Apply(e *Event) Event {
 	out := e.Clone()
-	if f == nil || len(f.Project) == 0 || len(out.Payload) == 0 {
-		return out
+	if f != nil {
+		out.Payload = f.projectPayload(out.Payload)
+	}
+	return out
+}
+
+// projectPayload reduces a JSON-object payload to the projected fields;
+// non-JSON payloads (and non-projecting filters) pass through untouched.
+func (f *Filter) projectPayload(payload []byte) []byte {
+	if f == nil || len(f.Project) == 0 || len(payload) == 0 {
+		return payload
 	}
 	var obj map[string]json.RawMessage
-	if err := json.Unmarshal(out.Payload, &obj); err != nil {
-		return out // not a JSON object: pass through
+	if err := json.Unmarshal(payload, &obj); err != nil {
+		return payload // not a JSON object: pass through
 	}
 	kept := make(map[string]json.RawMessage, len(f.Project))
 	for _, field := range f.Project {
@@ -273,8 +395,7 @@ func (f *Filter) Apply(e *Event) Event {
 	}
 	projected, err := json.Marshal(kept)
 	if err != nil {
-		return out
+		return payload
 	}
-	out.Payload = projected
-	return out
+	return projected
 }

@@ -1,0 +1,269 @@
+package databus_test
+
+// Fan-out correctness and resource-bound tests for the chunked-ring relay:
+// the long-poll path must leave no state behind per poll (the old relay
+// leaked one subscriber channel per ReadBlocking), PullOnce must surface
+// append failures instead of tearing holes in the commit order, and — E8 —
+// source load and per-consumer serve cost must not scale with consumer
+// count, even with appends and chunk eviction racing the readers.
+
+import (
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"datainfra/internal/databus"
+	"datainfra/internal/metrics"
+)
+
+// TestReadBlockingLeakFree is the subscriber-leak regression test: 10k
+// caught-up blocking polls must leave zero parked waiters and a bounded
+// heap. The pre-chunked-ring relay registered one channel in r.subs per
+// poll and never removed it (~1 MiB across 10k polls), failing both checks.
+func TestReadBlockingLeakFree(t *testing.T) {
+	r := databus.NewRelay(databus.RelayConfig{MaxEvents: 128})
+	defer r.Close()
+	for i := 1; i <= 8; i++ {
+		mustAppend(t, r, int64(i), "follow", i)
+	}
+	head := r.LastSCN()
+
+	const polls = 10000
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < polls; i++ {
+		events, err := r.ReadBlocking(head, 64, nil, time.Microsecond)
+		if err != nil {
+			t.Fatalf("poll %d: %v", i, err)
+		}
+		if len(events) != 0 {
+			t.Fatalf("poll %d: caught-up read returned %d events", i, len(events))
+		}
+	}
+	runtime.GC()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+
+	if w := r.Waiters(); w != 0 {
+		t.Fatalf("%d waiters still registered after %d finished polls", w, polls)
+	}
+	growth := int64(after.HeapAlloc) - int64(before.HeapAlloc)
+	if growth > 512<<10 {
+		t.Fatalf("heap grew %d bytes across %d caught-up polls; blocking reads are leaking", growth, polls)
+	}
+}
+
+// failingSource returns a fixed batch whose middle transaction violates SCN
+// monotonicity, then nothing.
+type failingSource struct{ pulled bool }
+
+func (s *failingSource) Pull(sinceSCN int64, limit int) ([]databus.Txn, error) {
+	if s.pulled {
+		return nil, nil
+	}
+	s.pulled = true
+	mk := func(scn int64) databus.Txn {
+		return databus.Txn{SCN: scn, Events: []databus.Event{{Source: "follow", Key: []byte("k"), Payload: []byte("v")}}}
+	}
+	return []databus.Txn{mk(5), mk(3), mk(7)}, nil
+}
+
+// TestPullOnceSurfacesAppendError: a non-monotonic transaction mid-batch
+// must stop the batch, surface the error, bump the append-errors counter,
+// and leave the transactions after the bad one un-appended (appending past
+// a rejected txn would silently tear a hole in the commit order).
+func TestPullOnceSurfacesAppendError(t *testing.T) {
+	appendErrors := metrics.RegisterCounter("databus_relay_append_errors_total", "")
+	errsBefore := appendErrors.Value()
+
+	r := databus.NewRelay(databus.RelayConfig{MaxEvents: 128})
+	defer r.Close()
+	n, err := r.PullOnce(&failingSource{}, 100)
+	if !errors.Is(err, databus.ErrNonMonotonicSCN) {
+		t.Fatalf("PullOnce error = %v, want ErrNonMonotonicSCN", err)
+	}
+	if n != 1 {
+		t.Fatalf("PullOnce appended %d txns before the bad one, want 1", n)
+	}
+	if last := r.LastSCN(); last != 5 {
+		t.Fatalf("LastSCN = %d after rejected batch, want 5 (txn 7 must not ride past txn 3's rejection)", last)
+	}
+	if got := r.BufferedEvents(); got != 1 {
+		t.Fatalf("BufferedEvents = %d, want 1", got)
+	}
+	if d := appendErrors.Value() - errsBefore; d != 1 {
+		t.Fatalf("databus_relay_append_errors_total moved by %d, want 1", d)
+	}
+
+	// A source pull failure surfaces too (and appends nothing).
+	boom := errors.New("source down")
+	_, err = r.PullOnce(pullFunc(func(int64, int) ([]databus.Txn, error) { return nil, boom }), 10)
+	if !errors.Is(err, boom) {
+		t.Fatalf("PullOnce pull error = %v, want wrapped %v", err, boom)
+	}
+}
+
+type pullFunc func(sinceSCN int64, limit int) ([]databus.Txn, error)
+
+func (f pullFunc) Pull(sinceSCN int64, limit int) ([]databus.Txn, error) { return f(sinceSCN, limit) }
+
+func mustAppend(tb testing.TB, r *databus.Relay, scn int64, source string, seq int) {
+	tb.Helper()
+	e := databus.Event{
+		Source:  source,
+		Key:     []byte(fmt.Sprintf("k:%08d", scn)),
+		Payload: []byte(fmt.Sprintf("p:%08d:%d", scn, seq)),
+	}
+	e.ComputePartition(16)
+	if err := r.Append(databus.Txn{SCN: scn, Events: []databus.Event{e}}); err != nil {
+		tb.Fatalf("append SCN %d: %v", scn, err)
+	}
+}
+
+// TestE8IsolationFanOut drives 200 concurrent consumers — mixed filtered and
+// unfiltered, some over HTTP — against one relay while a producer appends
+// (and the small window forces continuous chunk eviction). Asserts the E8
+// property: SourcePulls is exactly the producer's pull count, i.e. serving
+// 200 consumers put zero additional load on the source. Every consumer
+// stream must be strictly SCN-ordered with untorn events (key and payload
+// re-derivable from the SCN); filtered consumers must see only their source.
+func TestE8IsolationFanOut(t *testing.T) {
+	const (
+		totalTxns = 1024
+		window    = 512 // half the stream: eviction races the readers
+		consumers = 200
+		httpEvery = 25 // consumers 24, 49, ... go through the HTTP transport
+	)
+	r := databus.NewRelay(databus.RelayConfig{MaxEvents: window})
+	defer r.Close()
+	srv := httptest.NewServer(&databus.Handler{Relay: r, PollExpiry: 20 * time.Millisecond})
+	defer srv.Close()
+
+	// The producer is the only path to the source: it commits to a LogSource
+	// and pulls explicitly, so SourcePulls has a deterministic expected value.
+	src := databus.NewLogSource()
+	done := make(chan struct{})
+	var producerPulls int64
+	var wgProd sync.WaitGroup
+	wgProd.Add(1)
+	go func() {
+		defer wgProd.Done()
+		defer close(done)
+		for scn := 1; scn <= totalTxns; scn++ {
+			src.Commit(databus.Event{
+				Source:  []string{"follow", "profile"}[scn%2],
+				Key:     []byte(fmt.Sprintf("k:%08d", scn)),
+				Payload: []byte(fmt.Sprintf("p:%08d:0", scn)),
+			})
+			if scn%8 == 0 || scn == totalTxns {
+				if _, err := r.PullOnce(src, 16); err != nil {
+					t.Errorf("producer pull: %v", err)
+					return
+				}
+				producerPulls++
+			}
+		}
+	}()
+
+	verify := func(c int, e *databus.Event, lastSCN int64, filtered string) error {
+		if e.SCN <= lastSCN {
+			return fmt.Errorf("consumer %d: SCN went %d -> %d", c, lastSCN, e.SCN)
+		}
+		if filtered != "" && e.Source != filtered {
+			return fmt.Errorf("consumer %d: filtered stream leaked source %q at SCN %d", c, e.Source, e.SCN)
+		}
+		wantKey := fmt.Sprintf("k:%08d", e.SCN)
+		wantPayload := fmt.Sprintf("p:%08d:0", e.SCN)
+		if string(e.Key) != wantKey || string(e.Payload) != wantPayload {
+			return fmt.Errorf("consumer %d: torn event at SCN %d: key=%q payload=%q", c, e.SCN, e.Key, e.Payload)
+		}
+		return nil
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, consumers)
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			filtered := ""
+			var f *databus.Filter
+			if c%4 == 3 {
+				filtered = "follow"
+				f = &databus.Filter{Sources: []string{filtered}}
+			}
+			var reader databus.EventReader = r
+			if c%httpEvery == httpEvery-1 {
+				reader = &databus.HTTPReader{BaseURL: srv.URL}
+			}
+			var batch databus.Batch
+			useBatch := c%2 == 0
+			since, seen := int64(0), 0
+			for {
+				var events []databus.Event
+				var err error
+				if br, ok := reader.(databus.BatchReader); ok && useBatch {
+					_, err = br.ReadBatchBlocking(since, 128, f, 10*time.Millisecond, &batch)
+					events = batch.Events
+				} else {
+					events, err = reader.ReadBlocking(since, 128, f, 10*time.Millisecond)
+				}
+				if errors.Is(err, databus.ErrSCNTooOld) {
+					since = r.MinSCN() - 1 // fell off the window: re-join at its tail
+					continue
+				}
+				if err != nil {
+					errs <- fmt.Errorf("consumer %d: %v", c, err)
+					return
+				}
+				for i := range events {
+					if verr := verify(c, &events[i], since, filtered); verr != nil {
+						errs <- verr
+						return
+					}
+					since = events[i].SCN
+					seen++
+				}
+				if len(events) == 0 {
+					select {
+					case <-done:
+						// The final txn's source is "follow", so filtered
+						// consumers reach totalTxns too.
+						if since >= int64(totalTxns) {
+							if seen == 0 {
+								errs <- fmt.Errorf("consumer %d: saw no events", c)
+							}
+							return
+						}
+					default:
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	wgProd.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	if got := r.SourcePulls(); got != producerPulls {
+		t.Fatalf("SourcePulls = %d with %d consumers, want exactly the producer's %d: consumers must never reach the source (E8)",
+			got, consumers, producerPulls)
+	}
+	if evicted := r.BufferedEvents(); evicted > window {
+		t.Fatalf("window holds %d events, budget %d", evicted, window)
+	}
+	if w := r.Waiters(); w != 0 {
+		t.Fatalf("%d waiters leaked after all consumers exited", w)
+	}
+}

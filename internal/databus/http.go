@@ -93,6 +93,25 @@ func writeTerminator(w io.Writer) error {
 	return err
 }
 
+// countingWriter distinguishes "failed before any byte hit the wire" (an
+// HTTP error status is still possible) from a mid-stream failure.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// stream serves one long-poll page. Events go straight from the relay's
+// encode-once ring to the response writer (StreamTo) — no []Event
+// materialization, no re-encoding, no relay lock held during socket writes.
+// When the client is caught up the handler parks on the relay's append
+// broadcast until events arrive, the poll expiry passes, or the client goes
+// away; nothing is registered, so an abandoned poll leaves no state behind.
 func (h *Handler) stream(w http.ResponseWriter, r *http.Request) {
 	since, _ := strconv.ParseInt(r.URL.Query().Get("since"), 10, 64)
 	max, _ := strconv.Atoi(r.URL.Query().Get("max"))
@@ -108,22 +127,47 @@ func (h *Handler) stream(w http.ResponseWriter, r *http.Request) {
 	if expiry == 0 {
 		expiry = 250 * time.Millisecond
 	}
-	events, err := h.Relay.ReadBlocking(since, max, f, expiry)
-	switch {
-	case errors.Is(err, ErrSCNTooOld):
-		http.Error(w, err.Error(), http.StatusGone)
-		return
-	case err != nil:
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
-	}
-	w.Header().Set("Content-Type", "application/x-databus-events")
-	for i := range events {
-		if err := writeEventFrame(w, &events[i]); err != nil {
+	deadline := time.NewTimer(expiry)
+	defer deadline.Stop()
+	cw := &countingWriter{w: w}
+	for {
+		// Capture the broadcast channel before reading so an append racing
+		// the read can never be missed.
+		ch := h.Relay.notify()
+		w.Header().Set("Content-Type", "application/x-databus-events")
+		n, _, err := h.Relay.StreamTo(cw, since, max, f)
+		switch {
+		case errors.Is(err, ErrSCNTooOld):
+			http.Error(w, err.Error(), http.StatusGone)
+			return
+		case err != nil:
+			if cw.n == 0 {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+			return // mid-stream failure: the framing's truncation is the signal
+		}
+		if n > 0 {
+			_ = writeTerminator(w)
 			return
 		}
+		h.Relay.waiters.Add(1)
+		mRelayBlockedReaders.Set(h.Relay.Waiters())
+		select {
+		case <-deadline.C:
+			h.Relay.waiters.Add(-1)
+			_ = writeTerminator(w) // empty batch: the client re-polls
+			return
+		case <-r.Context().Done():
+			h.Relay.waiters.Add(-1)
+			return
+		case <-h.Relay.stop:
+			h.Relay.waiters.Add(-1)
+			_ = writeTerminator(w)
+			return
+		case <-ch:
+			h.Relay.waiters.Add(-1)
+		}
 	}
-	_ = writeTerminator(w)
 }
 
 func (h *Handler) bootstrap(w http.ResponseWriter, r *http.Request) {
@@ -279,6 +323,104 @@ func (h *HTTPReader) ReadBlocking(sinceSCN int64, maxEvents int, f *Filter, time
 			return nil, fmt.Errorf("databus: remote relay: %s: %s", resp.Status, strings.TrimSpace(string(msg)))
 		}
 	})
+}
+
+// ReadBatchBlocking implements BatchReader against the remote relay: the
+// response body is staged into the batch's reusable scratch buffer, then
+// decoded into the batch's reusable Events slice with one exact-size byte
+// arena for all keys and payloads — steady-state cost is ~2 allocations per
+// batch regardless of batch size.
+func (h *HTTPReader) ReadBatchBlocking(sinceSCN int64, maxEvents int, f *Filter, timeout time.Duration, b *Batch) (int64, error) {
+	b.reset()
+	url := fmt.Sprintf("%s%s?since=%d&max=%d%s", h.BaseURL, StreamPath, sinceSCN, maxEvents, filterQuery(f))
+	_, err := resilience.RetryValue(context.Background(), retryPolicy(h.Retry), func() (int, error) {
+		b.scratch = b.scratch[:0]
+		resp, err := h.httpClient().Get(url)
+		if err != nil {
+			return 0, err
+		}
+		defer resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			b.scratch, err = appendAll(b.scratch, resp.Body)
+			return len(b.scratch), err
+		case resp.StatusCode == http.StatusGone:
+			msg, _ := io.ReadAll(resp.Body)
+			return 0, fmt.Errorf("%w: %s", ErrSCNTooOld, strings.TrimSpace(string(msg)))
+		case resp.StatusCode >= 500:
+			msg, _ := io.ReadAll(resp.Body)
+			return 0, fmt.Errorf("%w: remote relay: %s: %s", errServerStatus, resp.Status, strings.TrimSpace(string(msg)))
+		default:
+			msg, _ := io.ReadAll(resp.Body)
+			return 0, fmt.Errorf("databus: remote relay: %s: %s", resp.Status, strings.TrimSpace(string(msg)))
+		}
+	})
+	if err != nil {
+		return sinceSCN, err
+	}
+	return decodeStagedFrames(b, sinceSCN)
+}
+
+// appendAll reads r to EOF into dst, reusing dst's capacity across calls.
+func appendAll(dst []byte, r io.Reader) ([]byte, error) {
+	for {
+		if len(dst) == cap(dst) {
+			dst = append(dst, 0)[:len(dst)]
+		}
+		n, err := r.Read(dst[len(dst):cap(dst)])
+		dst = dst[:len(dst)+n]
+		if err == io.EOF {
+			return dst, nil
+		}
+		if err != nil {
+			return dst, err
+		}
+	}
+}
+
+// decodeStagedFrames decodes the wire frames staged in b.scratch into
+// b.Events. Two passes: the first validates framing and sizes the arena
+// exactly, the second decodes with source interning. Returns the resume SCN
+// (last event's SCN, or sinceSCN when the batch is empty).
+func decodeStagedFrames(b *Batch, sinceSCN int64) (int64, error) {
+	data := b.scratch
+	frames, body := 0, 0
+	for off := 0; off+frameHdrBytes <= len(data); {
+		n := int(binary.BigEndian.Uint32(data[off:]))
+		if n == 0 {
+			break
+		}
+		off += frameHdrBytes
+		if n < evFixedBytes || off+n > len(data) {
+			return sinceSCN, errShort
+		}
+		body += frameBodyBytes(data[off : off+n])
+		frames++
+		off += n
+	}
+	if frames == 0 {
+		return sinceSCN, nil
+	}
+	if cap(b.Events) < frames {
+		b.Events = make([]Event, 0, frames)
+	}
+	arena := make([]byte, 0, body)
+	resume := sinceSCN
+	for off := 0; off+frameHdrBytes <= len(data); {
+		n := int(binary.BigEndian.Uint32(data[off:]))
+		if n == 0 {
+			break
+		}
+		off += frameHdrBytes
+		var e Event
+		if err := decodeEvent(&e, data[off:off+n], &arena, b.intern); err != nil {
+			return resume, err
+		}
+		b.Events = append(b.Events, e)
+		resume = e.SCN
+		off += n
+	}
+	return resume, nil
 }
 
 // HTTPBootstrap is a BootstrapSource over a remote /bootstrap endpoint.

@@ -22,6 +22,16 @@ var (
 		"highest SCN buffered by the relay (the stream head)")
 	mRelayMinSCN = metrics.RegisterGauge("databus_relay_min_scn",
 		"oldest SCN still buffered; consumers behind this must bootstrap")
+	mRelayServedBytes = metrics.RegisterCounter("databus_relay_served_bytes_total",
+		"wire-frame bytes streamed to pulling clients")
+	mRelayAppendErrors = metrics.RegisterCounter("databus_relay_append_errors_total",
+		"transactions rejected on append (non-monotonic SCN from a source)")
+	mRelayBufferedChunks = metrics.RegisterGauge("databus_relay_buffered_chunks",
+		"encode-once ring segments currently held in the relay window")
+	mRelayEvictedChunks = metrics.RegisterCounter("databus_relay_evicted_chunks_total",
+		"ring segments dropped whole to keep the window within budget")
+	mRelayBlockedReaders = metrics.RegisterGauge("databus_relay_blocked_requests",
+		"long-poll reads currently parked on the append broadcast")
 	mClientDelivered = metrics.RegisterCounter("databus_client_delivered_events_total",
 		"events delivered to consumer callbacks (after retries)")
 	mClientBootstraps = metrics.RegisterCounter("databus_client_bootstraps_total",

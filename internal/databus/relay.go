@@ -2,6 +2,7 @@ package databus
 
 import (
 	"fmt"
+	"io"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -9,37 +10,72 @@ import (
 )
 
 // Relay captures changes from a source database, serializes them and buffers
-// them in an in-memory circular buffer that serves Databus clients from a
-// given sequence number (§III.C). The buffer is bounded by event count and
-// bytes; old events are evicted and such clients are redirected to the
-// bootstrap server via ErrSCNTooOld.
+// them in an in-memory window that serves Databus clients from a given
+// sequence number (§III.C). The window is a chunked ring of immutable,
+// encode-once segments: Append stamps the transaction and writes each event's
+// wire frame exactly once into the current chunk, so serving hundreds of
+// consumers is a binary search plus straight byte copies — no re-encoding,
+// no per-consumer event cloning, and no global lock held during response I/O
+// (the E8 isolation property: consumer count must not amplify relay work,
+// let alone source load).
+//
+// The buffer is bounded by event count and bytes; eviction drops whole
+// chunks from the head in O(1), and clients that have fallen behind the
+// window are redirected to the bootstrap server via ErrSCNTooOld.
 //
 // A relay is shared-nothing and stateless across restarts: it re-pulls from
 // the source, which owns the transaction log and drives ordering (§III.D).
 type Relay struct {
-	mu       sync.RWMutex
-	events   []Event // SCN-ordered window
-	bytes    int
-	maxCount int
-	maxBytes int
-	lastSCN  int64
-	minSCN   int64 // smallest SCN still buffered
+	mu     sync.RWMutex
+	chunks []*chunk // SCN-ascending; the last chunk is still growing
+	count  int      // buffered events across all chunks
+	bytes  int      // buffered frame bytes across all chunks
 
-	subsMu sync.Mutex
-	subs   []chan struct{} // wakeups for blocking readers
+	lastSCN int64
+	minSCN  int64 // smallest SCN still buffered
 
+	// epoch is closed and replaced on every append: a broadcast that costs
+	// nothing per blocked reader and leaves nothing behind when a reader
+	// gives up (the subscriber-channel list it replaces grew forever).
+	epoch chan struct{}
+
+	maxCount    int
+	maxBytes    int
+	chunkBytes  int // seal the growing chunk at this size
+	chunkEvents int // ... or at this many events, whichever comes first
+
+	waiters     atomic.Int64 // blocked ReadBlocking/stream calls right now
 	sourcePulls atomic.Int64 // how many times we hit the source (E8)
 	served      atomic.Int64 // events served to clients
+	servedBytes atomic.Int64 // frame bytes served to clients
 
 	stop    chan struct{}
 	stopped sync.Once
 	wg      sync.WaitGroup
 }
 
+// chunk is one segment of the ring: concatenated wire frames plus a
+// per-frame SCN index and frame offsets. Chunks are append-only — existing
+// bytes and index entries are never rewritten — so a view captured under the
+// relay lock stays valid after the lock is released, and an evicted chunk
+// stays readable for whoever still holds a reference to it.
+type chunk struct {
+	buf  []byte  // wire frames: u32 BE length + encoded event
+	scns []int64 // per-frame SCN (== TxnID; one txn's frames are contiguous)
+	offs []int32 // frame start offsets; offs[len(scns)] == len(buf)
+
+	firstSCN int64
+	lastSCN  int64
+}
+
 // RelayConfig bounds the circular buffer.
 type RelayConfig struct {
 	MaxEvents int // default 1<<20
 	MaxBytes  int // default 256 MB
+	// ChunkBytes is the target segment size; eviction granularity is one
+	// chunk. Default 256 KiB, clamped so a chunk never exceeds 1/8 of the
+	// byte or event budget (tiny test buffers still evict finely).
+	ChunkBytes int
 }
 
 // NewRelay builds an empty relay.
@@ -50,10 +86,17 @@ func NewRelay(cfg RelayConfig) *Relay {
 	if cfg.MaxBytes == 0 {
 		cfg.MaxBytes = 256 << 20
 	}
+	if cfg.ChunkBytes == 0 {
+		cfg.ChunkBytes = 256 << 10
+	}
+	chunkBytes := min(cfg.ChunkBytes, max(1, cfg.MaxBytes/8))
 	return &Relay{
-		maxCount: cfg.MaxEvents,
-		maxBytes: cfg.MaxBytes,
-		stop:     make(chan struct{}),
+		maxCount:    cfg.MaxEvents,
+		maxBytes:    cfg.MaxBytes,
+		chunkBytes:  chunkBytes,
+		chunkEvents: max(1, cfg.MaxEvents/8),
+		epoch:       make(chan struct{}),
+		stop:        make(chan struct{}),
 	}
 }
 
@@ -68,7 +111,9 @@ type ChangeSource interface {
 
 // AttachSource starts a background goroutine pulling from src every
 // interval. Multiple relays can attach to the same source (replicated
-// availability) or to another relay (chaining).
+// availability) or to another relay (chaining). Pull and append failures are
+// counted (databus_relay_append_errors_total) and retried next tick — the
+// source owns the log, so re-pulling from LastSCN is always safe.
 func (r *Relay) AttachSource(src ChangeSource, interval time.Duration) {
 	if interval == 0 {
 		interval = 10 * time.Millisecond
@@ -83,27 +128,30 @@ func (r *Relay) AttachSource(src ChangeSource, interval time.Duration) {
 			case <-r.stop:
 				return
 			case <-t.C:
-				r.PullOnce(src, 1024)
+				_, _ = r.PullOnce(src, 1024)
 			}
 		}
 	}()
 }
 
 // PullOnce pulls a batch from the source into the buffer; it returns the
-// number of transactions appended.
-func (r *Relay) PullOnce(src ChangeSource, limit int) int {
+// number of transactions appended. The first append failure stops the batch
+// and is returned — skipping a bad transaction and appending the ones after
+// it would silently tear a hole in the commit order.
+func (r *Relay) PullOnce(src ChangeSource, limit int) (int, error) {
 	r.sourcePulls.Add(1)
 	txns, err := src.Pull(r.LastSCN(), limit)
-	if err != nil || len(txns) == 0 {
-		return 0
+	if err != nil {
+		return 0, fmt.Errorf("databus: source pull after SCN %d: %w", r.LastSCN(), err)
 	}
 	n := 0
 	for _, txn := range txns {
-		if err := r.Append(txn); err == nil {
-			n++
+		if err := r.Append(txn); err != nil {
+			return n, fmt.Errorf("databus: relay append: %w", err)
 		}
+		n++
 	}
-	return n
+	return n, nil
 }
 
 // SourcePulls reports how many times the relay hit the source — the E8
@@ -113,8 +161,16 @@ func (r *Relay) SourcePulls() int64 { return r.sourcePulls.Load() }
 // EventsServed reports the total events streamed to clients.
 func (r *Relay) EventsServed() int64 { return r.served.Load() }
 
-// Append buffers one transaction. Events receive the txn's SCN stamping and
-// the final event is marked EndOfTxn, preserving transaction boundaries.
+// BytesServed reports the total wire-frame bytes streamed to clients.
+func (r *Relay) BytesServed() int64 { return r.servedBytes.Load() }
+
+// Waiters reports how many blocking reads are parked right now. It is
+// bounded by the number of concurrent callers — the leak regression gate.
+func (r *Relay) Waiters() int64 { return r.waiters.Load() }
+
+// Append buffers one transaction: each event is stamped with the txn's SCN
+// (the final one marked EndOfTxn, preserving transaction boundaries) and
+// serialized into its wire frame exactly once, into the growing chunk.
 func (r *Relay) Append(txn Txn) error {
 	if len(txn.Events) == 0 {
 		return nil
@@ -122,68 +178,87 @@ func (r *Relay) Append(txn Txn) error {
 	r.mu.Lock()
 	if txn.SCN <= r.lastSCN {
 		r.mu.Unlock()
+		mRelayAppendErrors.Inc()
 		return fmt.Errorf("%w: txn SCN %d after %d", ErrNonMonotonicSCN, txn.SCN, r.lastSCN)
+	}
+	c := r.activeChunkLocked()
+	if c.firstSCN == 0 {
+		c.firstSCN = txn.SCN
 	}
 	for i := range txn.Events {
 		e := txn.Events[i]
 		e.SCN = txn.SCN
 		e.TxnID = txn.SCN
 		e.EndOfTxn = i == len(txn.Events)-1
-		r.events = append(r.events, e)
-		r.bytes += e.SizeBytes()
+		start := len(c.buf)
+		c.buf = appendEventFrame(c.buf, &e)
+		c.scns = append(c.scns, txn.SCN)
+		c.offs = append(c.offs, int32(len(c.buf)))
+		r.bytes += len(c.buf) - start
 	}
+	c.lastSCN = txn.SCN
+	r.count += len(txn.Events)
 	r.lastSCN = txn.SCN
 	if r.minSCN == 0 {
 		r.minSCN = txn.SCN
 	}
 	r.evictLocked()
 	mRelayAppended.Add(int64(len(txn.Events)))
-	mRelayBufferedEvents.Set(int64(len(r.events)))
+	mRelayBufferedEvents.Set(int64(r.count))
 	mRelayBufferedBytes.Set(int64(r.bytes))
+	mRelayBufferedChunks.Set(int64(len(r.chunks)))
 	mRelayLastSCN.Set(r.lastSCN)
 	mRelayMinSCN.Set(r.minSCN)
+	// Broadcast: closing the epoch channel wakes every parked reader at
+	// once; the next epoch is already in place before the lock drops.
+	close(r.epoch)
+	r.epoch = make(chan struct{})
 	r.mu.Unlock()
-	r.wake()
 	return nil
 }
 
-// evictLocked drops whole transactions from the head while over budget.
+// activeChunkLocked returns the chunk to append into, sealing the previous
+// one (by simply starting a new one — sealed means "no longer growing") when
+// it has reached the segment target. A transaction is never split across
+// chunks, so eviction and txn windows stay aligned.
+func (r *Relay) activeChunkLocked() *chunk {
+	if n := len(r.chunks); n > 0 {
+		c := r.chunks[n-1]
+		if len(c.buf) < r.chunkBytes && len(c.scns) < r.chunkEvents {
+			return c
+		}
+	}
+	c := &chunk{
+		buf:  make([]byte, 0, r.chunkBytes+r.chunkBytes/4),
+		offs: make([]int32, 1, 64),
+	}
+	r.chunks = append(r.chunks, c)
+	return c
+}
+
+// evictLocked drops whole chunks from the head while over budget — O(1) per
+// chunk, no memmove, no per-event bookkeeping. Readers holding a view of an
+// evicted chunk keep reading it; the memory is reclaimed when the last
+// reference drops.
 func (r *Relay) evictLocked() {
-	for (len(r.events) > r.maxCount || r.bytes > r.maxBytes) && len(r.events) > 0 {
-		// find the end of the first transaction
-		first := r.events[0].TxnID
-		cut := 0
-		for cut < len(r.events) && r.events[cut].TxnID == first {
-			r.bytes -= r.events[cut].SizeBytes()
-			cut++
-		}
-		r.events = r.events[cut:]
-		if len(r.events) > 0 {
-			r.minSCN = r.events[0].SCN
-		} else {
-			r.minSCN = r.lastSCN + 1
-		}
+	evicted := false
+	for len(r.chunks) > 0 && (r.count > r.maxCount || r.bytes > r.maxBytes) {
+		c := r.chunks[0]
+		r.count -= len(c.scns)
+		r.bytes -= len(c.buf)
+		r.chunks[0] = nil
+		r.chunks = r.chunks[1:]
+		evicted = true
+		mRelayEvictedChunks.Inc()
 	}
-}
-
-func (r *Relay) wake() {
-	r.subsMu.Lock()
-	for _, ch := range r.subs {
-		select {
-		case ch <- struct{}{}:
-		default:
-		}
+	if !evicted {
+		return
 	}
-	r.subsMu.Unlock()
-}
-
-// notify returns a channel pulsed on every append.
-func (r *Relay) notify() chan struct{} {
-	ch := make(chan struct{}, 1)
-	r.subsMu.Lock()
-	r.subs = append(r.subs, ch)
-	r.subsMu.Unlock()
-	return ch
+	if len(r.chunks) > 0 {
+		r.minSCN = r.chunks[0].firstSCN
+	} else {
+		r.minSCN = r.lastSCN + 1
+	}
 }
 
 // LastSCN returns the newest buffered sequence number.
@@ -204,79 +279,324 @@ func (r *Relay) MinSCN() int64 {
 func (r *Relay) BufferedEvents() int {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	return len(r.events)
+	return r.count
 }
 
-// BufferedBytes returns the approximate buffered footprint.
+// BufferedBytes returns the buffered wire-frame footprint.
 func (r *Relay) BufferedBytes() int {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	return r.bytes
 }
 
-// Read returns up to maxEvents events with SCN > sinceSCN passing the
-// filter, never splitting a transaction window. If sinceSCN predates the
-// buffer, ErrSCNTooOld is returned and the client must bootstrap.
-func (r *Relay) Read(sinceSCN int64, maxEvents int, f *Filter) ([]Event, error) {
+// BufferedChunks returns the current segment count (diagnostics).
+func (r *Relay) BufferedChunks() int {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	if len(r.events) == 0 {
-		if sinceSCN < r.minSCN-1 && r.minSCN > 0 {
-			return nil, fmt.Errorf("%w: since=%d, buffer starts at %d", ErrSCNTooOld, sinceSCN, r.minSCN)
-		}
-		return nil, nil
-	}
-	if sinceSCN < r.minSCN-1 {
+	return len(r.chunks)
+}
+
+// frameView is a consistent snapshot of one chunk's frames, captured under
+// the relay lock and safe to read after it is released: chunks only ever
+// grow, and never in place below the captured lengths.
+type frameView struct {
+	buf  []byte  // frame bytes [0 : offs[len(scns)]]
+	scns []int64 // per-frame SCNs
+	offs []int32 // len(scns)+1 frame boundaries
+	lo   int     // first frame index after sinceSCN
+}
+
+// snapshotInto captures zero-copy views of the frames after sinceSCN into
+// dst (reusing its capacity), stopping once at least maxFrames frames are
+// covered — a transaction never spans chunks, so the txn-boundary extension
+// of a read can never need a chunk beyond the captured ones. nil views with
+// nil error means the caller is caught up.
+func (r *Relay) snapshotInto(dst []frameView, sinceSCN int64, maxFrames int) ([]frameView, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if sinceSCN < r.minSCN-1 && r.minSCN > 0 {
 		return nil, fmt.Errorf("%w: since=%d, buffer starts at %d", ErrSCNTooOld, sinceSCN, r.minSCN)
 	}
-	// Binary search for the first event with SCN > sinceSCN.
-	i := sort.Search(len(r.events), func(i int) bool { return r.events[i].SCN > sinceSCN })
+	if r.count == 0 || sinceSCN >= r.lastSCN {
+		return nil, nil
+	}
+	ci := sort.Search(len(r.chunks), func(i int) bool { return r.chunks[i].lastSCN > sinceSCN })
+	covered := 0
+	for ; ci < len(r.chunks) && covered < maxFrames; ci++ {
+		c := r.chunks[ci]
+		n := len(c.scns)
+		if n == 0 {
+			continue
+		}
+		lo := 0
+		if c.scns[0] <= sinceSCN {
+			lo = sort.Search(n, func(i int) bool { return c.scns[i] > sinceSCN })
+		}
+		if lo >= n {
+			continue
+		}
+		dst = append(dst, frameView{
+			buf:  c.buf[:c.offs[n]],
+			scns: c.scns[:n:n],
+			offs: c.offs[: n+1 : n+1],
+			lo:   lo,
+		})
+		covered += n - lo
+	}
+	return dst, nil
+}
+
+// Read returns up to maxEvents events with SCN > sinceSCN passing the
+// filter, never splitting a transaction window. If sinceSCN predates the
+// buffer, ErrSCNTooOld is returned and the client must bootstrap. Events are
+// decoded fresh from the ring — the caller owns them.
+func (r *Relay) Read(sinceSCN int64, maxEvents int, f *Filter) ([]Event, error) {
+	var out []Event
+	err := r.readInto(sinceSCN, maxEvents, f, func(n int) {
+		out = make([]Event, 0, n)
+	}, func(ev []byte) error {
+		var e Event
+		if err := decodeEvent(&e, ev, nil, nil); err != nil {
+			return err
+		}
+		e.Payload = f.projectPayload(e.Payload)
+		out = append(out, e)
+		return nil
+	})
+	return out, err
+}
+
+// ReadBatch fills b with up to maxEvents events after sinceSCN, reusing the
+// batch's Events slice and allocating one exact-size byte arena for every
+// key and payload in the batch (consumers may retain events; the arena is
+// never recycled). It returns the resume SCN — the SCN of the last event in
+// the batch, or sinceSCN when caught up.
+func (r *Relay) ReadBatch(sinceSCN int64, maxEvents int, f *Filter, b *Batch) (int64, error) {
+	b.reset()
+	var arena []byte
+	resume := sinceSCN
+	err := r.readInto(sinceSCN, maxEvents, f, func(n int) {
+		if cap(b.Events) < n {
+			b.Events = make([]Event, 0, n)
+		}
+	}, func(ev []byte) error {
+		arena = arenaEnsure(arena, frameBodyBytes(ev))
+		var e Event
+		if err := decodeEvent(&e, ev, &arena, b.intern); err != nil {
+			return err
+		}
+		e.Payload = f.projectPayload(e.Payload)
+		b.Events = append(b.Events, e)
+		resume = e.SCN
+		return nil
+	})
+	return resume, err
+}
+
+// arenaEnsure grows the arena's spare capacity to at least need bytes
+// without disturbing earlier sub-slices (growth allocates a fresh block
+// rather than copying — handed-out slices keep pointing at the old one).
+func arenaEnsure(arena []byte, need int) []byte {
+	if cap(arena)-len(arena) >= need {
+		return arena
+	}
+	block := 64 << 10
+	if need > block {
+		block = need
+	}
+	return make([]byte, 0, block)
+}
+
+// readInto walks matching frames after sinceSCN, calling sized once with the
+// frame-count upper bound and emit for each matching encoded event, honoring
+// maxEvents at transaction boundaries. The walk happens on an immutable
+// snapshot — no relay lock is held while emit runs.
+func (r *Relay) readInto(sinceSCN int64, maxEvents int, f *Filter, sized func(int), emit func(ev []byte) error) error {
 	if maxEvents <= 0 {
 		maxEvents = 1 << 20
 	}
-	out := make([]Event, 0, min(maxEvents, len(r.events)-i))
-	lastIncludedTxn := int64(-1)
-	for ; i < len(r.events); i++ {
-		e := &r.events[i]
-		if len(out) >= maxEvents && e.TxnID != lastIncludedTxn {
-			break // only stop at a transaction boundary
+	var vbuf [8]frameView
+	views, err := r.snapshotInto(vbuf[:0], sinceSCN, maxEvents)
+	if err != nil || views == nil {
+		return err
+	}
+	total := 0
+	for i := range views {
+		total += len(views[i].scns) - views[i].lo
+	}
+	sized(min(total, maxEvents))
+	n, bytes := 0, 0
+	lastTxn := int64(-1)
+	defer func() {
+		if n > 0 {
+			r.served.Add(int64(n))
+			r.servedBytes.Add(int64(bytes))
+			mRelayServed.Add(int64(n))
+			mRelayServedBytes.Add(int64(bytes))
 		}
-		if f.Match(e) {
-			out = append(out, f.Apply(e))
-			lastIncludedTxn = e.TxnID
+	}()
+	for _, v := range views {
+		for i := v.lo; i < len(v.scns); i++ {
+			if n >= maxEvents && v.scns[i] != lastTxn {
+				return nil // only stop at a transaction boundary
+			}
+			ev := v.buf[v.offs[i]+frameHdrBytes : v.offs[i+1]]
+			if !frameMatch(f, ev) {
+				continue
+			}
+			if err := emit(ev); err != nil {
+				return err
+			}
+			n++
+			bytes += len(ev) + frameHdrBytes
+			lastTxn = v.scns[i]
 		}
 	}
-	r.served.Add(int64(len(out)))
-	mRelayServed.Add(int64(len(out)))
-	return out, nil
+	return nil
+}
+
+// StreamTo writes up to maxEvents events after sinceSCN to w in the HTTP
+// wire framing, returning the count written and the SCN to resume from. The
+// unfiltered path is zero-copy and allocation-free: pre-encoded frames are
+// written straight from the ring in contiguous runs, and the relay lock is
+// not held during any Write. Filtered streams peek at each frame's source
+// and partition without decoding; only projection decodes events.
+func (r *Relay) StreamTo(w io.Writer, sinceSCN int64, maxEvents int, f *Filter) (int, int64, error) {
+	if maxEvents <= 0 {
+		maxEvents = 1 << 20
+	}
+	var vbuf [8]frameView
+	views, err := r.snapshotInto(vbuf[:0], sinceSCN, maxEvents)
+	if err != nil || views == nil {
+		return 0, sinceSCN, err
+	}
+	project := f != nil && len(f.Project) > 0
+	n, bytes := 0, 0
+	resume := sinceSCN
+	lastTxn := int64(-1)
+	defer func() {
+		if n > 0 {
+			r.served.Add(int64(n))
+			r.servedBytes.Add(int64(bytes))
+			mRelayServed.Add(int64(n))
+			mRelayServedBytes.Add(int64(bytes))
+		}
+	}()
+	for _, v := range views {
+		run := -1 // start frame of the pending contiguous write, -1 = none
+		flush := func(end int) error {
+			if run < 0 {
+				return nil
+			}
+			b := v.buf[v.offs[run]:v.offs[end]]
+			run = -1
+			if len(b) == 0 {
+				return nil
+			}
+			bytes += len(b)
+			_, err := w.Write(b)
+			return err
+		}
+		for i := v.lo; i < len(v.scns); i++ {
+			if n >= maxEvents && v.scns[i] != lastTxn {
+				return n, resume, flush(i)
+			}
+			ev := v.buf[v.offs[i]+frameHdrBytes : v.offs[i+1]]
+			if !frameMatch(f, ev) {
+				if err := flush(i); err != nil {
+					return n, resume, err
+				}
+				continue
+			}
+			if project {
+				if err := flush(i); err != nil {
+					return n, resume, err
+				}
+				var e Event
+				if err := decodeEvent(&e, ev, nil, nil); err != nil {
+					return n, resume, err
+				}
+				e.Payload = f.projectPayload(e.Payload)
+				if err := writeEventFrame(w, &e); err != nil {
+					return n, resume, err
+				}
+				bytes += frameHdrBytes + e.encodedSize()
+			} else if run < 0 {
+				run = i
+			}
+			n++
+			resume = v.scns[i]
+			lastTxn = v.scns[i]
+		}
+		if err := flush(len(v.scns)); err != nil {
+			return n, resume, err
+		}
+	}
+	return n, resume, nil
+}
+
+// notify returns the current epoch channel: it is closed by the next append,
+// waking every reader that selected on it. Nothing is registered, so a
+// reader that times out leaves no trace behind.
+func (r *Relay) notify() <-chan struct{} {
+	r.mu.RLock()
+	ch := r.epoch
+	r.mu.RUnlock()
+	return ch
 }
 
 // ReadBlocking behaves like Read but waits up to timeout for new events when
 // the client is caught up.
 func (r *Relay) ReadBlocking(sinceSCN int64, maxEvents int, f *Filter, timeout time.Duration) ([]Event, error) {
-	events, err := r.Read(sinceSCN, maxEvents, f)
-	if err != nil || len(events) > 0 {
-		return events, err
-	}
-	ch := r.notify()
+	var events []Event
+	err := r.blockingLoop(timeout, func() (bool, error) {
+		var err error
+		events, err = r.Read(sinceSCN, maxEvents, f)
+		return len(events) > 0, err
+	})
+	return events, err
+}
+
+// ReadBatchBlocking is ReadBatch with ReadBlocking's wait semantics; it
+// implements BatchReader for the in-process relay.
+func (r *Relay) ReadBatchBlocking(sinceSCN int64, maxEvents int, f *Filter, timeout time.Duration, b *Batch) (int64, error) {
+	resume := sinceSCN
+	err := r.blockingLoop(timeout, func() (bool, error) {
+		var err error
+		resume, err = r.ReadBatch(sinceSCN, maxEvents, f, b)
+		return len(b.Events) > 0, err
+	})
+	return resume, err
+}
+
+// blockingLoop runs attempt until it yields events, errors, or the timeout
+// passes. The epoch channel is captured before each attempt, so an append
+// racing the attempt can never be missed — its close is already pending.
+func (r *Relay) blockingLoop(timeout time.Duration, attempt func() (bool, error)) error {
 	deadline := time.NewTimer(timeout)
 	defer deadline.Stop()
 	for {
+		ch := r.notify()
+		ok, err := attempt()
+		if err != nil || ok {
+			return err
+		}
+		r.waiters.Add(1)
+		mRelayBlockedReaders.Set(r.waiters.Load())
 		select {
 		case <-deadline.C:
-			return nil, nil
+			r.waiters.Add(-1)
+			return nil
 		case <-r.stop:
-			return nil, ErrClosed
+			r.waiters.Add(-1)
+			return ErrClosed
 		case <-ch:
-			events, err := r.Read(sinceSCN, maxEvents, f)
-			if err != nil || len(events) > 0 {
-				return events, err
-			}
+			r.waiters.Add(-1)
 		}
 	}
 }
 
-// Close stops background pulls.
+// Close stops background pulls and fails parked blocking reads.
 func (r *Relay) Close() {
 	r.stopped.Do(func() { close(r.stop) })
 	r.wg.Wait()
